@@ -1,0 +1,35 @@
+# BlastFunction reproduction build targets.
+GO ?= go
+
+.PHONY: all build test race bench check experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Verify the paper's qualitative claims hold.
+check:
+	$(GO) run ./cmd/blastbench -check
+
+# Regenerate every figure and table of the paper.
+experiments:
+	$(GO) run ./cmd/blastbench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/matrixservice
+	$(GO) run ./examples/cnninference
+	$(GO) run ./examples/imagepipeline
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,129 @@
+package blastfunction
+
+import (
+	"testing"
+
+	"blastfunction/internal/accel"
+	"blastfunction/internal/apps"
+	"blastfunction/internal/model"
+	"blastfunction/internal/remote"
+)
+
+func TestTestbedLifecycle(t *testing.T) {
+	tb, err := NewTestbed(
+		NodeConfig{Name: "A", Master: true},
+		NodeConfig{Name: "B"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if len(tb.Nodes) != 2 || len(tb.Addrs()) != 2 {
+		t.Fatalf("nodes = %d", len(tb.Nodes))
+	}
+	if tb.Nodes[0].Board.Cost().PCIeGBps >= tb.Nodes[1].Board.Cost().PCIeGBps {
+		t.Fatal("master node must have the slower PCIe link")
+	}
+	if _, err := NewTestbed(); err == nil {
+		t.Fatal("empty testbed must fail")
+	}
+}
+
+func TestTestbedClientSelection(t *testing.T) {
+	tb, err := NewTestbed(NodeConfig{Name: "A"}, NodeConfig{Name: "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	all, err := tb.Client("everything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer all.Close()
+	platforms, err := all.Platforms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs, err := platforms[0].Devices(0xFFFFFFFF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 2 {
+		t.Fatalf("devices = %d, want 2", len(devs))
+	}
+
+	one, err := tb.Client("only-b", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Close()
+	platforms, _ = one.Platforms()
+	devs, _ = platforms[0].Devices(0xFFFFFFFF)
+	if len(devs) != 1 {
+		t.Fatalf("devices = %d, want 1", len(devs))
+	}
+
+	if _, err := tb.Client("nope", "Z"); err == nil {
+		t.Fatal("unknown node must fail")
+	}
+}
+
+func TestTestbedEndToEnd(t *testing.T) {
+	tb, err := NewTestbed(NodeConfig{Name: "X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	client, err := tb.Client("e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	app, err := apps.NewMM(client, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	a := apps.RandomMatrix(8, 1)
+	bm := apps.RandomMatrix(8, 2)
+	out, err := app.Multiply(a, bm, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 64 {
+		t.Fatalf("result = %d elements", len(out))
+	}
+	if tb.Nodes[0].Board.ConfiguredID() != accel.MMBitstreamID {
+		t.Fatalf("board configured with %q", tb.Nodes[0].Board.ConfiguredID())
+	}
+}
+
+func TestTestbedTransportNegotiation(t *testing.T) {
+	tb, err := NewTestbed(NodeConfig{Name: "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	client, err := tb.Client("shm-check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// In-process testbed: co-location holds, so auto selects shm.
+	if got := client.Transport(0); got != model.TransportShm {
+		t.Fatalf("transport = %v, want shm", got)
+	}
+	forced, err := remote.Dial(remote.Config{
+		ClientName: "grpc-check",
+		Managers:   []string{tb.Nodes[0].Addr},
+		Transport:  remote.TransportGRPC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer forced.Close()
+	if got := forced.Transport(0); got != model.TransportGRPC {
+		t.Fatalf("forced transport = %v", got)
+	}
+}

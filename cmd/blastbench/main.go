@@ -1,0 +1,111 @@
+// Command blastbench regenerates the paper's figures and tables.
+//
+//	blastbench -exp all       everything, in paper order
+//	blastbench -exp fig4a     R/W overhead sweep (Figure 4a)
+//	blastbench -exp fig4b     Sobel overhead sweep (Figure 4b)
+//	blastbench -exp fig4c     MM overhead sweep (Figure 4c)
+//	blastbench -exp table1    load configurations (Table I)
+//	blastbench -exp table2    Sobel multi-function study (Table II)
+//	blastbench -exp table3    MM multi-function study (Table III)
+//	blastbench -exp table4    AlexNet multi-function study (Table IV)
+//	blastbench -check         verify the qualitative claims and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"blastfunction/internal/bench"
+	"blastfunction/internal/simcluster"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (fig4a..c, table1..4, spaceshare, all)")
+		check  = flag.Bool("check", false, "run the qualitative shape checks and exit non-zero on violation")
+		format = flag.String("format", "text", "output format for figures: text or csv")
+		detail = flag.Bool("detail", false, "print per-function rows for table3/table4")
+	)
+	flag.Parse()
+
+	if *check {
+		problems := bench.FigureShapeChecks()
+		for _, uc := range []simcluster.UseCase{simcluster.UseSobel, simcluster.UseMM, simcluster.UseAlexNet} {
+			study, err := bench.RunStudy(uc)
+			if err != nil {
+				log.Fatalf("blastbench: %v", err)
+			}
+			problems = append(problems, study.CheckShape()...)
+		}
+		if len(problems) == 0 {
+			fmt.Println("all qualitative claims hold")
+			return
+		}
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "VIOLATED:", p)
+		}
+		os.Exit(1)
+	}
+
+	renderFig := func(f *bench.Figure) string {
+		if *format == "csv" {
+			return f.RenderCSV()
+		}
+		return f.Render()
+	}
+	run := func(id string) {
+		switch id {
+		case "fig4a":
+			fmt.Println(renderFig(bench.Fig4a()))
+		case "fig4b":
+			fmt.Println(renderFig(bench.Fig4b()))
+		case "fig4c":
+			fmt.Println(renderFig(bench.Fig4c()))
+		case "table1":
+			fmt.Println(bench.RenderTable1())
+		case "table2":
+			study, err := bench.RunStudy(simcluster.UseSobel)
+			if err != nil {
+				log.Fatalf("blastbench: %v", err)
+			}
+			fmt.Println(study.RenderPerFunction())
+			fmt.Println(study.RenderAggregate())
+		case "table3":
+			study, err := bench.RunStudy(simcluster.UseMM)
+			if err != nil {
+				log.Fatalf("blastbench: %v", err)
+			}
+			if *detail {
+				fmt.Println(study.RenderPerFunction())
+			}
+			fmt.Println(study.RenderAggregate())
+		case "table4":
+			study, err := bench.RunStudy(simcluster.UseAlexNet)
+			if err != nil {
+				log.Fatalf("blastbench: %v", err)
+			}
+			if *detail {
+				fmt.Println(study.RenderPerFunction())
+			}
+			fmt.Println(study.RenderAggregate())
+		case "spaceshare":
+			study, err := bench.RunSpaceSharingStudy(simcluster.MediumLoad)
+			if err != nil {
+				log.Fatalf("blastbench: %v", err)
+			}
+			fmt.Println(study.Render())
+		default:
+			log.Fatalf("blastbench: unknown experiment %q", id)
+		}
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"fig4a", "fig4b", "fig4c", "table1", "table2", "table3", "table4"} {
+			run(id)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,118 @@
+// Command blastctl inspects a running BlastFunction deployment.
+//
+//	blastctl -registry http://localhost:8080 devices
+//	blastctl -registry http://localhost:8080 functions
+//	blastctl -manager http://localhost:5101 traces
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"text/tabwriter"
+)
+
+func main() {
+	registryURL := flag.String("registry", "http://127.0.0.1:8080", "registry base URL")
+	managerURL := flag.String("manager", "http://127.0.0.1:5101", "Device Manager HTTP base URL (for traces)")
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "devices"
+	}
+	switch cmd {
+	case "devices":
+		showDevices(*registryURL)
+	case "functions":
+		showFunctions(*registryURL)
+	case "traces":
+		showTraces(*managerURL)
+	default:
+		log.Fatalf("blastctl: unknown command %q (want devices|functions|traces)", cmd)
+	}
+}
+
+func showTraces(base string) {
+	var traces []struct {
+		Seq         uint64 `json:"seq"`
+		Client      string `json:"client"`
+		Ops         int    `json:"ops"`
+		DeviceNanos int64  `json:"device_ns"`
+		Failed      bool   `json:"failed"`
+		CompletedAt string `json:"completed_at"`
+	}
+	fetch(base+"/debug/tasks", &traces)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "SEQ\tCLIENT\tOPS\tDEVICE_MS\tSTATUS\tCOMPLETED")
+	for _, tr := range traces {
+		status := "ok"
+		if tr.Failed {
+			status = "FAILED"
+		}
+		fmt.Fprintf(w, "%d\t%s\t%d\t%.3f\t%s\t%s\n",
+			tr.Seq, tr.Client, tr.Ops, float64(tr.DeviceNanos)/1e6, status, tr.CompletedAt)
+	}
+	w.Flush()
+}
+
+func fetch(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("blastctl: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("blastctl: %s answered %s: %s", url, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatalf("blastctl: decoding %s: %v", url, err)
+	}
+}
+
+func showDevices(base string) {
+	var devices []struct {
+		ID, Node, ManagerAddr, Bitstream, Accelerator string
+		Healthy                                       bool
+		Metrics                                       *struct {
+			Utilization, Connected, QueueDepth float64
+		}
+		Connected []string
+	}
+	fetch(base+"/devices", &devices)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "DEVICE\tNODE\tHEALTHY\tMANAGER\tBITSTREAM\tUTIL\tCLIENTS\tINSTANCES")
+	for _, d := range devices {
+		util, clients := "-", "-"
+		if d.Metrics != nil {
+			util = fmt.Sprintf("%.1f%%", d.Metrics.Utilization*100)
+			clients = fmt.Sprintf("%.0f", d.Metrics.Connected)
+		}
+		bit := d.Bitstream
+		if bit == "" {
+			bit = "(unconfigured)"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%t\t%s\t%s\t%s\t%s\t%d\n",
+			d.ID, d.Node, d.Healthy, d.ManagerAddr, bit, util, clients, len(d.Connected))
+	}
+	w.Flush()
+}
+
+func showFunctions(base string) {
+	var functions []struct {
+		Name      string
+		Bitstream string
+		Query     struct{ Vendor, Platform, Accelerator string }
+	}
+	fetch(base+"/functions", &functions)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "FUNCTION\tACCELERATOR\tBITSTREAM\tVENDOR")
+	for _, f := range functions {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", f.Name, f.Query.Accelerator, f.Bitstream, f.Query.Vendor)
+	}
+	w.Flush()
+}

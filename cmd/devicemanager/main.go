@@ -1,0 +1,105 @@
+// Command devicemanager serves one simulated FPGA board as a BlastFunction
+// Device Manager: the RPC service on -listen, Prometheus-style metrics on
+// -metrics, optional self-registration with an Accelerators Registry.
+//
+// Example:
+//
+//	devicemanager -node B -device fpga-B -listen :5100 -metrics :5101 \
+//	    -register http://registry:8080 -timescale 0.01
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"blastfunction/internal/accel"
+	"blastfunction/internal/fpga"
+	"blastfunction/internal/manager"
+	"blastfunction/internal/model"
+	"blastfunction/internal/rpc"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:5100", "RPC listen address")
+		metricsAt = flag.String("metrics", "127.0.0.1:5101", "metrics HTTP listen address")
+		node      = flag.String("node", "local", "node name (shared-memory co-location check)")
+		device    = flag.String("device", "fpga0", "device identifier")
+		master    = flag.Bool("master", false, "use the master-node cost model (PCIe Gen2, slower host)")
+		timescale = flag.Float64("timescale", 0.01, "wall seconds per modelled second (0 disables sleeping)")
+		register  = flag.String("register", "", "registry base URL for self-registration (optional)")
+	)
+	flag.Parse()
+
+	cost := model.WorkerNode()
+	if *master {
+		cost = model.MasterNode()
+	}
+	cfg := fpga.DE5aNet(cost)
+	cfg.TimeScale = *timescale
+	board := fpga.NewBoard(cfg, accel.Catalog())
+	mgr := manager.New(manager.Config{Node: *node, DeviceID: *device}, board)
+	defer mgr.Close()
+
+	srv := rpc.NewServer(mgr)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("devicemanager: listen: %v", err)
+	}
+	defer srv.Close()
+	log.Printf("devicemanager: %s on node %s serving RPC at %s", *device, *node, addr)
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", mgr.MetricsHandler())
+	mux.Handle("/debug/tasks", mgr.TraceHandler())
+	metricsSrv := &http.Server{Addr: *metricsAt, Handler: mux}
+	go func() {
+		if err := metricsSrv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("devicemanager: metrics server: %v", err)
+		}
+	}()
+	log.Printf("devicemanager: metrics at http://%s/metrics", *metricsAt)
+
+	if *register != "" {
+		if err := selfRegister(*register, *device, *node, addr, "http://"+*metricsAt+"/metrics", board); err != nil {
+			log.Fatalf("devicemanager: registration: %v", err)
+		}
+		log.Printf("devicemanager: registered with %s", *register)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("devicemanager: shutting down")
+	metricsSrv.Close()
+}
+
+func selfRegister(base, device, node, rpcAddr, metricsURL string, board *fpga.Board) error {
+	body, err := json.Marshal(map[string]string{
+		"ID":          device,
+		"Node":        node,
+		"Vendor":      board.Config().Vendor,
+		"Platform":    "Intel(R) FPGA SDK for OpenCL(TM)",
+		"ManagerAddr": rpcAddr,
+		"MetricsURL":  metricsURL,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/devices", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("registry answered %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+// Command gateway runs the BlastFunction control plane and serverless
+// endpoint in one process: the in-memory cluster orchestrator, the
+// Accelerators Registry with its controller and Metrics Gatherer, and the
+// OpenFaaS-style gateway that materializes functions over remote Device
+// Managers.
+//
+// Example (two managers already running):
+//
+//	gateway -listen :8081 \
+//	    -manager node=B,id=fpga-B,addr=127.0.0.1:5100,metrics=http://127.0.0.1:5101/metrics \
+//	    -manager node=C,id=fpga-C,addr=127.0.0.1:5200,metrics=http://127.0.0.1:5201/metrics \
+//	    -deploy sobel-1=sobel -deploy sobel-2=sobel -deploy mm-1=mm
+//
+// Invoke with: curl http://localhost:8081/function/sobel-1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"blastfunction/internal/accel"
+	"blastfunction/internal/apps"
+	"blastfunction/internal/cluster"
+	"blastfunction/internal/gateway"
+	"blastfunction/internal/metrics"
+	"blastfunction/internal/registry"
+	"blastfunction/internal/remote"
+)
+
+// listFlag collects repeated string flags.
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+// managerSpec is one -manager flag value.
+type managerSpec struct {
+	node, id, addr, metrics string
+}
+
+func parseManager(v string) (managerSpec, error) {
+	var m managerSpec
+	for _, part := range strings.Split(v, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("malformed -manager element %q", part)
+		}
+		switch kv[0] {
+		case "node":
+			m.node = kv[1]
+		case "id":
+			m.id = kv[1]
+		case "addr":
+			m.addr = kv[1]
+		case "metrics":
+			m.metrics = kv[1]
+		default:
+			return m, fmt.Errorf("unknown -manager key %q", kv[0])
+		}
+	}
+	if m.node == "" || m.id == "" || m.addr == "" {
+		return m, fmt.Errorf("-manager needs node=, id= and addr=")
+	}
+	return m, nil
+}
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:8081", "gateway HTTP listen address")
+		scrape   = flag.Duration("scrape", 2*time.Second, "metrics scrape interval")
+		managers listFlag
+		deploys  listFlag
+	)
+	flag.Var(&managers, "manager", "Device Manager spec: node=N,id=I,addr=H:P[,metrics=URL] (repeatable)")
+	flag.Var(&deploys, "deploy", "function deployment: name=usecase (usecase: sobel|mm|cnn; repeatable)")
+	flag.Parse()
+	if len(managers) == 0 {
+		log.Fatal("gateway: at least one -manager is required")
+	}
+
+	cl := cluster.New()
+	db := metrics.NewTSDB(15 * time.Minute)
+	scraper := metrics.NewScraper(db, *scrape)
+	gatherer := registry.NewGatherer(db)
+	reg := registry.New(registry.DefaultPolicy(gatherer))
+
+	for _, raw := range managers {
+		m, err := parseManager(raw)
+		if err != nil {
+			log.Fatalf("gateway: %v", err)
+		}
+		if err := cl.AddNode(cluster.Node{Name: m.node}); err != nil && !strings.Contains(err.Error(), "already") {
+			log.Fatalf("gateway: %v", err)
+		}
+		if err := reg.RegisterDevice(registry.Device{
+			ID: m.id, Node: m.node,
+			Vendor:      "Intel(R) Corporation",
+			Platform:    "Intel(R) FPGA SDK for OpenCL(TM)",
+			ManagerAddr: m.addr, MetricsURL: m.metrics,
+		}); err != nil {
+			log.Fatalf("gateway: %v", err)
+		}
+		if m.metrics != "" {
+			scraper.AddTarget(m.id, m.metrics)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go scraper.Run(ctx)
+	// Propagate scrape health into allocation decisions.
+	go func() {
+		ticker := time.NewTicker(*scrape)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				for _, d := range reg.Devices() {
+					if d.MetricsURL != "" {
+						reg.SetDeviceHealth(d.ID, scraper.LastError(d.ID))
+					}
+				}
+			}
+		}
+	}()
+	ctrl := registry.NewController(reg, cl)
+	go ctrl.Run(ctx)
+	gw := gateway.New(cl)
+	go gw.Run(ctx)
+
+	for _, d := range deploys {
+		kv := strings.SplitN(d, "=", 2)
+		if len(kv) != 2 {
+			log.Fatalf("gateway: malformed -deploy %q", d)
+		}
+		name, usecase := kv[0], kv[1]
+		if err := reg.RegisterFunction(registry.Function{
+			Name:      name,
+			Query:     registry.DeviceQuery{Vendor: "Intel(R) Corporation", Accelerator: accelerator(usecase)},
+			Bitstream: bitstream(usecase),
+		}); err != nil {
+			log.Fatalf("gateway: %v", err)
+		}
+		if err := gw.Deploy(name, 1, factory(name, usecase)); err != nil {
+			log.Fatalf("gateway: deploy %s: %v", name, err)
+		}
+		log.Printf("gateway: deployed %s (%s)", name, usecase)
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: gw.Handler()}
+	go func() {
+		log.Printf("gateway: serving at http://%s/function/<name>", *listen)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("gateway: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("gateway: shutting down")
+	srv.Close()
+}
+
+func accelerator(usecase string) string {
+	switch usecase {
+	case "cnn":
+		return "pipecnn"
+	default:
+		return usecase
+	}
+}
+
+func bitstream(usecase string) string {
+	switch usecase {
+	case "sobel":
+		return accel.SobelBitstreamID
+	case "mm":
+		return accel.MMBitstreamID
+	case "cnn":
+		return accel.PipeCNNBitstreamID
+	}
+	return usecase
+}
+
+// factory materializes a function instance: it dials the Device Manager
+// the Registry injected into the environment and builds the matching app.
+func factory(name, usecase string) gateway.Factory {
+	return func(in cluster.Instance) (gateway.Endpoint, error) {
+		addr := in.Env[registry.EnvManagerAddr]
+		if addr == "" {
+			return nil, fmt.Errorf("instance %s has no %s", in.Name, registry.EnvManagerAddr)
+		}
+		client, err := remote.Dial(remote.Config{
+			ClientName: in.Name,
+			Managers:   []string{addr},
+			Transport:  remote.TransportAuto,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var handler http.Handler
+		switch usecase {
+		case "sobel":
+			app, err := apps.NewSobel(client, 0, 1920, 1080)
+			if err != nil {
+				client.Close()
+				return nil, err
+			}
+			handler = apps.SobelHandler(app, 1920, 1080)
+		case "mm":
+			app, err := apps.NewMM(client, 0, 1024)
+			if err != nil {
+				client.Close()
+				return nil, err
+			}
+			handler = apps.MMHandler(app, 512)
+		case "cnn":
+			app, err := apps.NewCNN(client, 0, accel.TinyCNN())
+			if err != nil {
+				client.Close()
+				return nil, err
+			}
+			handler = apps.CNNHandler(app)
+		default:
+			client.Close()
+			return nil, fmt.Errorf("unknown use case %q for %s", usecase, name)
+		}
+		return gateway.HandlerEndpoint{Handler: handler, CloseFunc: client.Close}, nil
+	}
+}

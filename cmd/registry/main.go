@@ -1,0 +1,77 @@
+// Command registry serves the Accelerators Registry API: device and
+// function registration plus live metrics, backed by a scraper that polls
+// every registered Device Manager's metrics endpoint.
+//
+// Example:
+//
+//	registry -listen :8080 -scrape 2s
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blastfunction/internal/metrics"
+	"blastfunction/internal/registry"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		interval = flag.Duration("scrape", 2*time.Second, "metrics scrape interval")
+		window   = flag.Duration("window", 30*time.Second, "utilization rate window")
+	)
+	flag.Parse()
+
+	db := metrics.NewTSDB(15 * time.Minute)
+	scraper := metrics.NewScraper(db, *interval)
+	gatherer := registry.NewGatherer(db)
+	gatherer.Window = *window
+	reg := registry.New(registry.DefaultPolicy(gatherer))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go scraper.Run(ctx)
+
+	// Keep scrape targets synced with registered devices.
+	go func() {
+		ticker := time.NewTicker(*interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				for _, d := range reg.Devices() {
+					if d.MetricsURL == "" {
+						continue
+					}
+					scraper.AddTarget(d.ID, d.MetricsURL)
+					// Propagate scrape health: unreachable managers drop
+					// out of allocation until they answer again.
+					reg.SetDeviceHealth(d.ID, scraper.LastError(d.ID))
+				}
+			}
+		}
+	}()
+
+	srv := &http.Server{Addr: *listen, Handler: reg.Handler()}
+	go func() {
+		log.Printf("registry: serving at http://%s", *listen)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("registry: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("registry: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,58 @@
+package blastfunction_test
+
+import (
+	"fmt"
+	"log"
+
+	"blastfunction"
+	"blastfunction/internal/apps"
+)
+
+// Example shares one simulated board between two tenants through the full
+// BlastFunction stack (RPC + Device Manager + board) and verifies both see
+// identical results — the transparency property.
+func Example() {
+	tb, err := blastfunction.NewTestbed(blastfunction.NodeConfig{Name: "B"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Close()
+
+	const n = 8
+	a := apps.RandomMatrix(n, 1)
+	b := apps.RandomMatrix(n, 2)
+
+	var first []float32
+	for tenant := 1; tenant <= 2; tenant++ {
+		client, err := tb.Client(fmt.Sprintf("tenant-%d", tenant))
+		if err != nil {
+			log.Fatal(err)
+		}
+		app, err := apps.NewMM(client, 0, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := app.Multiply(a, b, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if first == nil {
+			first = out
+		} else {
+			same := true
+			for i := range out {
+				if out[i] != first[i] {
+					same = false
+					break
+				}
+			}
+			fmt.Printf("tenant results identical: %t\n", same)
+		}
+		app.Close()
+		client.Close()
+	}
+	fmt.Printf("kernel launches on the shared board: %d\n", tb.Nodes[0].Board.Stats().KernelRuns)
+	// Output:
+	// tenant results identical: true
+	// kernel launches on the shared board: 2
+}

@@ -1,0 +1,102 @@
+// Cnninference: PipeCNN-style CNN inference over a shared board, with the
+// board reconfiguration path on display.
+//
+// The board starts configured with the Sobel bitstream; deploying the CNN
+// function makes the Device Manager reprogram it (the blocking
+// context/information method of the paper), after which two tenants run
+// inferences concurrently. The example uses the reduced TinyCNN network so
+// the real software convolutions stay fast; the AlexNet-scale numbers come
+// from cmd/blastbench -exp table4.
+//
+// Run with: go run ./examples/cnninference
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"blastfunction"
+	"blastfunction/internal/accel"
+	"blastfunction/internal/apps"
+)
+
+func main() {
+	tb, err := blastfunction.NewTestbed(blastfunction.NodeConfig{Name: "B"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Close()
+	boardStats := tb.Nodes[0].Board.Stats
+
+	// Pre-configure the board with Sobel, as if a previous tenant left it
+	// that way.
+	warm, err := tb.Client("previous-tenant")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sobelApp, err := apps.NewSobel(warm, 0, 64, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img := apps.SyntheticImage(64, 64)
+	if _, err := sobelApp.Process(img, 64, 64); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("board initially configured with %q (%d reconfiguration)\n",
+		tb.Nodes[0].Board.ConfiguredID(), boardStats().Reconfigs)
+	sobelApp.Close()
+	warm.Close()
+
+	// The CNN tenants arrive: the first Build triggers the blocking
+	// reconfiguration; the second reuses the configuration.
+	spec := accel.TinyCNN()
+	fmt.Printf("\ndeploying %q inference (%d layers, %d kernel launches/inference)\n",
+		spec.Name, len(spec.Layers), spec.KernelLaunches())
+
+	var wg sync.WaitGroup
+	for tenant := 1; tenant <= 2; tenant++ {
+		wg.Add(1)
+		go func(tenant int) {
+			defer wg.Done()
+			name := fmt.Sprintf("cnn-tenant-%d", tenant)
+			client, err := tb.Client(name)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			defer client.Close()
+			app, err := apps.NewCNN(client, 0, spec)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			defer app.Close()
+			input := app.RandomInput(int64(tenant))
+			for i := 0; i < 3; i++ {
+				start := time.Now()
+				out, err := app.Infer(input)
+				if err != nil {
+					log.Fatalf("%s: inference %d: %v", name, i, err)
+				}
+				best, bestV := 0, out[0]
+				for c, v := range out {
+					if v > bestV {
+						best, bestV = c, v
+					}
+				}
+				fmt.Printf("%s: inference %d in %8v -> class %d (%.4f)\n",
+					name, i, time.Since(start).Round(time.Microsecond), best, bestV)
+			}
+		}(tenant)
+	}
+	wg.Wait()
+
+	st := boardStats()
+	fmt.Printf("\nafter the CNN tenants:\n")
+	fmt.Printf("  configured bitstream : %q\n", tb.Nodes[0].Board.ConfiguredID())
+	fmt.Printf("  reconfigurations     : %d total (initial sobel + one sobel->pipecnn swap;\n"+
+		"                         the second tenant reused the configuration)\n", st.Reconfigs)
+	fmt.Printf("  kernel launches      : %d\n", st.KernelRuns)
+	fmt.Printf("  modelled AlexNet cost: %v board time per inference at paper scale\n",
+		accel.AlexNet().BoardTime().Round(time.Millisecond))
+}

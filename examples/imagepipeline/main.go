@@ -1,0 +1,204 @@
+// Imagepipeline: the full BlastFunction serverless stack, in process.
+//
+// The example reproduces the structure of the paper's Sobel experiment
+// (Table II) live: three nodes with one simulated board each, the
+// Accelerators Registry intercepting instance creation and running the
+// allocation algorithm, the gateway materializing five Sobel functions
+// over Remote OpenCL Library clients, and a hey-style load generator
+// driving every function with one closed-loop connection. Placements and
+// utilization come from the real components, not the simulator.
+//
+// Run with: go run ./examples/imagepipeline
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"blastfunction"
+	"blastfunction/internal/apps"
+	"blastfunction/internal/cluster"
+	"blastfunction/internal/gateway"
+	"blastfunction/internal/loadgen"
+	"blastfunction/internal/registry"
+	"blastfunction/internal/remote"
+)
+
+// Live-demo image size: small enough that the real software Sobel keeps
+// up with the request rates (the paper-scale numbers come from
+// cmd/blastbench, which uses the calibrated models instead).
+const imgW, imgH = 320, 240
+
+func main() {
+	// 1. Three nodes, one board + Device Manager each (A is the slower
+	// master node, as in the paper's testbed).
+	tb, err := blastfunction.NewTestbed(
+		blastfunction.NodeConfig{Name: "A", Master: true},
+		blastfunction.NodeConfig{Name: "B"},
+		blastfunction.NodeConfig{Name: "C"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Close()
+
+	// 2. Control plane: cluster orchestrator + Accelerators Registry.
+	cl := cluster.New()
+	// The default policy orders by utilization then connected instances;
+	// with no scraper attached the Registry still spreads functions using
+	// its own connected-instance counts.
+	reg := registry.New(registry.DefaultPolicy(nil))
+	for _, n := range tb.Nodes {
+		if err := cl.AddNode(cluster.Node{Name: n.Name}); err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.RegisterDevice(registry.Device{
+			ID:          "fpga-" + n.Name,
+			Node:        n.Name,
+			Vendor:      "Intel(R) Corporation",
+			Platform:    "Intel(R) FPGA SDK for OpenCL(TM)",
+			ManagerAddr: n.Addr,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctrl := registry.NewController(reg, cl)
+	go ctrl.Run(ctx)
+
+	// 3. Serverless gateway with five identical Sobel functions.
+	gw := gateway.New(cl)
+	go gw.Run(ctx)
+	functions := []string{"sobel-1", "sobel-2", "sobel-3", "sobel-4", "sobel-5"}
+	for _, name := range functions {
+		if err := reg.RegisterFunction(registry.Function{
+			Name:      name,
+			Query:     registry.DeviceQuery{Vendor: "Intel(R) Corporation", Accelerator: "sobel"},
+			Bitstream: "spector-sobel",
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if err := gw.Deploy(name, 1, sobelFactory); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, name := range functions {
+		waitReady(gw, name)
+	}
+	srv := httptest.NewServer(gw.Handler())
+	defer srv.Close()
+
+	fmt.Println("placements chosen by the allocation algorithm:")
+	printPlacements(cl, functions)
+
+	// 4. hey-style load: one closed-loop connection per function.
+	rates := map[string]float64{
+		"sobel-1": 20, "sobel-2": 15, "sobel-3": 10, "sobel-4": 5, "sobel-5": 5,
+	}
+	fmt.Println("\ndriving each function for 3s (one connection each)...")
+	var wg sync.WaitGroup
+	results := make(map[string]*loadgen.Result, len(functions))
+	var mu sync.Mutex
+	for _, name := range functions {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			res, err := loadgen.Run(ctx, loadgen.Config{
+				URL:         fmt.Sprintf("%s/function/%s?w=%d&h=%d", srv.URL, name, imgW, imgH),
+				Connections: 1,
+				RatePerSec:  rates[name],
+				Duration:    3 * time.Second,
+			})
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			mu.Lock()
+			results[name] = res
+			mu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+
+	// 5. Report: the live equivalent of a Table II block.
+	fmt.Printf("\n%-10s %-5s %12s %12s %10s\n", "function", "node", "latency", "processed", "target")
+	for _, name := range functions {
+		res := results[name]
+		node := placementNode(cl, name)
+		fmt.Printf("%-10s %-5s %12v %9.2f rq/s %6.0f rq/s\n",
+			name, node, res.AvgLatency.Round(time.Microsecond), res.Throughput, rates[name])
+	}
+	fmt.Println("\nper-board kernel launches (the sharing at work):")
+	for _, n := range tb.Nodes {
+		st := n.Board.Stats()
+		fmt.Printf("  node %s: %4d launches, modelled busy %v\n",
+			n.Name, st.KernelRuns, st.BusyTime.Round(time.Millisecond))
+	}
+}
+
+// sobelFactory materializes one function instance over the Device Manager
+// the Registry injected.
+func sobelFactory(in cluster.Instance) (gateway.Endpoint, error) {
+	addr := in.Env[registry.EnvManagerAddr]
+	if addr == "" {
+		return nil, fmt.Errorf("instance %s not allocated", in.Name)
+	}
+	client, err := remote.Dial(remote.Config{
+		ClientName: in.Name,
+		Managers:   []string{addr},
+		Transport:  remote.TransportAuto,
+	})
+	if err != nil {
+		return nil, err
+	}
+	app, err := apps.NewSobel(client, 0, imgW, imgH)
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	return gateway.HandlerEndpoint{
+		Handler:   apps.SobelHandler(app, imgW, imgH),
+		CloseFunc: client.Close,
+	}, nil
+}
+
+func waitReady(gw *gateway.Gateway, name string) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if gw.ReadyReplicas(name) > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	log.Fatalf("function %s never became ready", name)
+}
+
+func placementNode(cl *cluster.Cluster, function string) string {
+	for _, in := range cl.Instances(function) {
+		if in.Phase == cluster.Running {
+			return in.Node
+		}
+	}
+	return "?"
+}
+
+func printPlacements(cl *cluster.Cluster, functions []string) {
+	byNode := map[string][]string{}
+	for _, fn := range functions {
+		node := placementNode(cl, fn)
+		byNode[node] = append(byNode[node], fn)
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		fmt.Printf("  node %s: %v\n", n, byNode[n])
+	}
+}

@@ -1,0 +1,3 @@
+module blastfunction
+
+go 1.22

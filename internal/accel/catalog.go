@@ -1,0 +1,62 @@
+package accel
+
+import (
+	"time"
+
+	"blastfunction/internal/fpga"
+	"blastfunction/internal/ocl"
+)
+
+// LoopbackBitstreamID identifies the diagnostic pass-through design used by
+// the R/W overhead experiment (Figure 4a) and transport tests.
+const LoopbackBitstreamID = "diag-loopback"
+
+// loopbackRun copies the input buffer into the output buffer.
+// Arguments: in, out, n (bytes).
+func loopbackRun(mem fpga.MemAccess, args []ocl.Arg, _ []int) error {
+	in, err := mem.Bytes(args[0].BufferID)
+	if err != nil {
+		return err
+	}
+	out, err := mem.Bytes(args[1].BufferID)
+	if err != nil {
+		return err
+	}
+	n := int(args[2].IntValue())
+	if n < 0 || n > len(in) || n > len(out) {
+		return ocl.Errf(ocl.ErrInvalidBufferSize, "loopback: n=%d in=%d out=%d", n, len(in), len(out))
+	}
+	copy(out[:n], in[:n])
+	return nil
+}
+
+// LoopbackBitstream builds the diagnostic design: a "copy" kernel moving n
+// bytes at on-chip bandwidth (modelled as negligible next to PCIe).
+func LoopbackBitstream() *fpga.Bitstream {
+	return &fpga.Bitstream{
+		ID:          LoopbackBitstreamID,
+		Accelerator: "loopback",
+		Vendor:      "Intel(R) Corporation",
+		Kernels: []fpga.KernelSpec{{
+			Name:    "copy",
+			NumArgs: 3,
+			Model: func(args []ocl.Arg, _ []int) time.Duration {
+				// On-chip copy at ~25 GB/s through DDR, dwarfed by PCIe.
+				n := args[2].IntValue()
+				return time.Duration(float64(n) * 0.04)
+			},
+			Run: loopbackRun,
+		}},
+	}
+}
+
+// Catalog returns the bitstream catalog of the reproduction: every design
+// the paper evaluates plus the diagnostic loopback.
+func Catalog() *fpga.Catalog {
+	return fpga.NewCatalog(
+		SobelBitstream(),
+		MMBitstream(),
+		PipeCNNBitstream(),
+		LoopbackBitstream(),
+	)
+}

@@ -1,0 +1,19 @@
+// Package accel provides the accelerator bitstreams the paper evaluates.
+//
+// Three accelerated cloud functions drive the paper's experiments:
+//
+//   - Sobel edge detector from the Spector benchmark suite, synthesized
+//     with 32x8 blocks, 4x1 window, no SIMD, one compute unit (the
+//     best-latency design point);
+//   - Matrix Multiply (MM) from Spector, one compute unit, 8 work-items,
+//     fully unrolled 16x16 block (~38 GFLOP/s);
+//   - PipeCNN running AlexNet: a pipelined CNN engine whose host code
+//     launches several kernels per inference over multiple command queues.
+//
+// Each bitstream couples a real software implementation (so outputs can be
+// verified bit-for-bit in tests and examples) with an analytic latency
+// model calibrated to the paper's Figure 4 measurements (see package
+// model for the calibration anchors). Timing and computation are
+// independent: the computation validates correctness, the model drives the
+// simulated clock.
+package accel

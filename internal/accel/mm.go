@@ -1,0 +1,128 @@
+package accel
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"blastfunction/internal/fpga"
+	"blastfunction/internal/ocl"
+)
+
+// MM latency model, calibrated to Figure 4c: native RTT = PCIe transfers +
+// mmBase + n^3 * mmPerMACPs, hitting 0.45 ms at 16x16 and 3.571 s at
+// 4096x4096 with the worker-node PCIe model. The per-MAC time corresponds
+// to the fully unrolled 16x16 Spector block (256 MACs/cycle at ~150 MHz,
+// about 38.4 GFLOP/s).
+// mmBase covers kernel launch and drain of the unrolled block pipeline.
+const mmBase = 419 * time.Microsecond
+
+// mmPerMACNs is the steady-state time per multiply-accumulate in
+// nanoseconds (51.5 ps).
+const mmPerMACNs = 0.0515
+
+// MMBitstreamID identifies the Spector MM design.
+const MMBitstreamID = "spector-mm"
+
+// MMModel returns the modelled kernel execution time for an n x n
+// single-precision matrix multiplication.
+func MMModel(n int64) time.Duration {
+	macs := n * n * n
+	// macs reaches 6.9e10 at n=4096; 6.9e10 * 51.5 ps = 3.54 s, far inside
+	// float64 precision.
+	ns := float64(macs) * mmPerMACNs
+	return mmBase + time.Duration(ns)*time.Nanosecond
+}
+
+// mmModelArgs adapts MMModel to the kernel argument convention.
+func mmModelArgs(args []ocl.Arg, _ []int) time.Duration {
+	return MMModel(args[3].IntValue())
+}
+
+// mmRun computes C = A x B for n x n row-major float32 matrices.
+// Arguments: A buffer, B buffer, C buffer, n.
+func mmRun(mem fpga.MemAccess, args []ocl.Arg, _ []int) error {
+	a, err := mem.Bytes(args[0].BufferID)
+	if err != nil {
+		return err
+	}
+	b, err := mem.Bytes(args[1].BufferID)
+	if err != nil {
+		return err
+	}
+	c, err := mem.Bytes(args[2].BufferID)
+	if err != nil {
+		return err
+	}
+	n := int(args[3].IntValue())
+	if n <= 0 {
+		return ocl.Errf(ocl.ErrInvalidKernelArgs, "mm: bad size %d", n)
+	}
+	need := n * n * 4
+	if len(a) < need || len(b) < need || len(c) < need {
+		return ocl.Errf(ocl.ErrInvalidBufferSize,
+			"mm: n=%d needs %d bytes, a=%d b=%d c=%d", n, need, len(a), len(b), len(c))
+	}
+	af := Float32Slice(a[:need])
+	bf := Float32Slice(b[:need])
+	// Blocked i-k-j loop ordering: accumulate rows of C in a scratch row to
+	// keep the inner loop sequential over B, mirroring the unrolled-block
+	// dataflow of the hardware design (and staying cache-friendly).
+	row := make([]float32, n)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = 0
+		}
+		for k := 0; k < n; k++ {
+			aik := af[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			brow := bf[k*n : k*n+n]
+			for j, bv := range brow {
+				row[j] += aik * bv
+			}
+		}
+		for j, v := range row {
+			binary.LittleEndian.PutUint32(c[(i*n+j)*4:], math.Float32bits(v))
+		}
+	}
+	return nil
+}
+
+// MMBitstream builds the Spector MM bitstream: a single "mm" kernel taking
+// (A, B, C, n).
+func MMBitstream() *fpga.Bitstream {
+	return &fpga.Bitstream{
+		ID:          MMBitstreamID,
+		Accelerator: "mm",
+		Vendor:      "Intel(R) Corporation",
+		Kernels: []fpga.KernelSpec{{
+			Name:    "mm",
+			NumArgs: 4,
+			Model:   mmModelArgs,
+			Run:     mmRun,
+		}},
+	}
+}
+
+// MMMatrixBytes returns the byte size of one n x n float32 matrix.
+func MMMatrixBytes(n int) int64 { return int64(n) * int64(n) * 4 }
+
+// Float32Slice decodes little-endian bytes into float32 values. The byte
+// length must be a multiple of 4.
+func Float32Slice(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// PutFloat32Slice encodes float32 values into little-endian bytes. dst must
+// hold at least 4*len(src) bytes.
+func PutFloat32Slice(dst []byte, src []float32) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[i*4:], math.Float32bits(v))
+	}
+}

@@ -1,0 +1,293 @@
+package accel
+
+import (
+	"time"
+
+	"blastfunction/internal/fpga"
+	"blastfunction/internal/ocl"
+)
+
+// PipeCNN latency model. PipeCNN is a pipelined OpenCL CNN engine whose
+// host code launches data-mover and compute kernels per layer over several
+// command queues. Per-layer times are calibrated so an AlexNet inference
+// occupies the board for ~90 ms, matching the paper's native latency
+// (91.7-94.3 ms including transfers and launch overhead).
+const (
+	convLaunchBase = 50 * time.Microsecond
+	convPerMACNs   = 0.098 // ~10.2 GMAC/s sustained conv throughput
+	fcPerMACNs     = 0.410 // fully-connected layers are bandwidth-bound
+	poolLaunchBase = 30 * time.Microsecond
+	poolPerElemNs  = 2.0
+	moverLaunchFee = 20 * time.Microsecond
+)
+
+// PipeCNNBitstreamID identifies the PipeCNN AlexNet design.
+const PipeCNNBitstreamID = "pipecnn-alexnet"
+
+// Kernel argument layouts (indices) for the PipeCNN kernels.
+//
+//	coreConv: in, weights, bias, out, inC, inH, inW, outC, k, stride, pad, groups, relu
+//	maxPool:  in, out, c, h, w, pool, stride
+//	fc:       in, weights, bias, out, inN, outN, relu
+//	memRead:  buf        (streams DDR into the on-chip channels)
+//	memWrite: buf        (streams channel output back to DDR)
+const (
+	convArgCount = 13
+	poolArgCount = 7
+	fcArgCount   = 7
+)
+
+// ConvMACs returns the multiply-accumulate count of a convolution layer.
+func ConvMACs(inC, outC, outH, outW, k, groups int) int64 {
+	if groups < 1 {
+		groups = 1
+	}
+	return int64(outC) * int64(outH) * int64(outW) * int64(inC/groups) * int64(k) * int64(k)
+}
+
+// ConvModel returns the modelled execution time of a convolution layer.
+func ConvModel(macs int64) time.Duration {
+	return convLaunchBase + time.Duration(float64(macs)*convPerMACNs)*time.Nanosecond
+}
+
+// FCModel returns the modelled execution time of a fully-connected layer.
+func FCModel(macs int64) time.Duration {
+	return convLaunchBase + time.Duration(float64(macs)*fcPerMACNs)*time.Nanosecond
+}
+
+// PoolModel returns the modelled execution time of a pooling layer over
+// outElems output elements.
+func PoolModel(outElems int64) time.Duration {
+	return poolLaunchBase + time.Duration(float64(outElems)*poolPerElemNs)*time.Nanosecond
+}
+
+func convOut(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}
+
+func convModelArgs(args []ocl.Arg, _ []int) time.Duration {
+	inC := int(args[4].IntValue())
+	inH := int(args[5].IntValue())
+	inW := int(args[6].IntValue())
+	outC := int(args[7].IntValue())
+	k := int(args[8].IntValue())
+	stride := int(args[9].IntValue())
+	pad := int(args[10].IntValue())
+	groups := int(args[11].IntValue())
+	outH := convOut(inH, k, stride, pad)
+	outW := convOut(inW, k, stride, pad)
+	return ConvModel(ConvMACs(inC, outC, outH, outW, k, groups))
+}
+
+func poolModelArgs(args []ocl.Arg, _ []int) time.Duration {
+	c := args[2].IntValue()
+	h := int(args[3].IntValue())
+	w := int(args[4].IntValue())
+	pool := int(args[5].IntValue())
+	stride := int(args[6].IntValue())
+	oh := (h-pool)/stride + 1
+	ow := (w-pool)/stride + 1
+	return PoolModel(c * int64(oh) * int64(ow))
+}
+
+func fcModelArgs(args []ocl.Arg, _ []int) time.Duration {
+	return FCModel(args[4].IntValue() * args[5].IntValue())
+}
+
+func moverModel(_ []ocl.Arg, _ []int) time.Duration { return moverLaunchFee }
+
+// convRun computes a grouped 2D convolution with optional ReLU over
+// float32 CHW tensors.
+func convRun(mem fpga.MemAccess, args []ocl.Arg, _ []int) error {
+	in, err := mem.Bytes(args[0].BufferID)
+	if err != nil {
+		return err
+	}
+	weights, err := mem.Bytes(args[1].BufferID)
+	if err != nil {
+		return err
+	}
+	bias, err := mem.Bytes(args[2].BufferID)
+	if err != nil {
+		return err
+	}
+	out, err := mem.Bytes(args[3].BufferID)
+	if err != nil {
+		return err
+	}
+	inC := int(args[4].IntValue())
+	inH := int(args[5].IntValue())
+	inW := int(args[6].IntValue())
+	outC := int(args[7].IntValue())
+	k := int(args[8].IntValue())
+	stride := int(args[9].IntValue())
+	pad := int(args[10].IntValue())
+	groups := int(args[11].IntValue())
+	relu := args[12].IntValue() != 0
+	if inC <= 0 || outC <= 0 || k <= 0 || stride <= 0 || groups <= 0 ||
+		inC%groups != 0 || outC%groups != 0 {
+		return ocl.Errf(ocl.ErrInvalidKernelArgs, "conv: bad shape inC=%d outC=%d k=%d stride=%d groups=%d",
+			inC, outC, k, stride, groups)
+	}
+	outH := convOut(inH, k, stride, pad)
+	outW := convOut(inW, k, stride, pad)
+	if outH <= 0 || outW <= 0 {
+		return ocl.Errf(ocl.ErrInvalidKernelArgs, "conv: empty output %dx%d", outH, outW)
+	}
+	gIn := inC / groups
+	gOut := outC / groups
+	needIn := inC * inH * inW * 4
+	needW := outC * gIn * k * k * 4
+	needB := outC * 4
+	needOut := outC * outH * outW * 4
+	if len(in) < needIn || len(weights) < needW || len(bias) < needB || len(out) < needOut {
+		return ocl.Errf(ocl.ErrInvalidBufferSize,
+			"conv: buffers too small (in %d/%d, w %d/%d, b %d/%d, out %d/%d)",
+			len(in), needIn, len(weights), needW, len(bias), needB, len(out), needOut)
+	}
+	inF := Float32Slice(in[:needIn])
+	wF := Float32Slice(weights[:needW])
+	bF := Float32Slice(bias[:needB])
+	outF := make([]float32, outC*outH*outW)
+	for oc := 0; oc < outC; oc++ {
+		g := oc / gOut
+		icBase := g * gIn
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				acc := bF[oc]
+				for ic := 0; ic < gIn; ic++ {
+					for ky := 0; ky < k; ky++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							acc += inF[((icBase+ic)*inH+iy)*inW+ix] *
+								wF[((oc*gIn+ic)*k+ky)*k+kx]
+						}
+					}
+				}
+				if relu && acc < 0 {
+					acc = 0
+				}
+				outF[(oc*outH+oy)*outW+ox] = acc
+			}
+		}
+	}
+	PutFloat32Slice(out, outF)
+	return nil
+}
+
+// poolRun computes max pooling over float32 CHW tensors.
+func poolRun(mem fpga.MemAccess, args []ocl.Arg, _ []int) error {
+	in, err := mem.Bytes(args[0].BufferID)
+	if err != nil {
+		return err
+	}
+	out, err := mem.Bytes(args[1].BufferID)
+	if err != nil {
+		return err
+	}
+	c := int(args[2].IntValue())
+	h := int(args[3].IntValue())
+	w := int(args[4].IntValue())
+	pool := int(args[5].IntValue())
+	stride := int(args[6].IntValue())
+	if c <= 0 || pool <= 0 || stride <= 0 || h < pool || w < pool {
+		return ocl.Errf(ocl.ErrInvalidKernelArgs, "pool: bad shape c=%d h=%d w=%d pool=%d stride=%d",
+			c, h, w, pool, stride)
+	}
+	oh := (h-pool)/stride + 1
+	ow := (w-pool)/stride + 1
+	needIn := c * h * w * 4
+	needOut := c * oh * ow * 4
+	if len(in) < needIn || len(out) < needOut {
+		return ocl.Errf(ocl.ErrInvalidBufferSize, "pool: buffers too small")
+	}
+	inF := Float32Slice(in[:needIn])
+	outF := make([]float32, c*oh*ow)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := inF[(ch*h+oy*stride)*w+ox*stride]
+				for ky := 0; ky < pool; ky++ {
+					for kx := 0; kx < pool; kx++ {
+						v := inF[(ch*h+oy*stride+ky)*w+ox*stride+kx]
+						if v > best {
+							best = v
+						}
+					}
+				}
+				outF[(ch*oh+oy)*ow+ox] = best
+			}
+		}
+	}
+	PutFloat32Slice(out, outF)
+	return nil
+}
+
+// fcRun computes a fully-connected layer with optional ReLU.
+func fcRun(mem fpga.MemAccess, args []ocl.Arg, _ []int) error {
+	in, err := mem.Bytes(args[0].BufferID)
+	if err != nil {
+		return err
+	}
+	weights, err := mem.Bytes(args[1].BufferID)
+	if err != nil {
+		return err
+	}
+	bias, err := mem.Bytes(args[2].BufferID)
+	if err != nil {
+		return err
+	}
+	out, err := mem.Bytes(args[3].BufferID)
+	if err != nil {
+		return err
+	}
+	inN := int(args[4].IntValue())
+	outN := int(args[5].IntValue())
+	relu := args[6].IntValue() != 0
+	if inN <= 0 || outN <= 0 {
+		return ocl.Errf(ocl.ErrInvalidKernelArgs, "fc: bad shape in=%d out=%d", inN, outN)
+	}
+	if len(in) < inN*4 || len(weights) < inN*outN*4 || len(bias) < outN*4 || len(out) < outN*4 {
+		return ocl.Errf(ocl.ErrInvalidBufferSize, "fc: buffers too small")
+	}
+	inF := Float32Slice(in[:inN*4])
+	wF := Float32Slice(weights[:inN*outN*4])
+	bF := Float32Slice(bias[:outN*4])
+	outF := make([]float32, outN)
+	for o := 0; o < outN; o++ {
+		acc := bF[o]
+		wrow := wF[o*inN : o*inN+inN]
+		for i, v := range inF {
+			acc += v * wrow[i]
+		}
+		if relu && acc < 0 {
+			acc = 0
+		}
+		outF[o] = acc
+	}
+	PutFloat32Slice(out, outF)
+	return nil
+}
+
+// PipeCNNBitstream builds the PipeCNN design with its five kernels.
+func PipeCNNBitstream() *fpga.Bitstream {
+	return &fpga.Bitstream{
+		ID:          PipeCNNBitstreamID,
+		Accelerator: "pipecnn",
+		Vendor:      "Intel(R) Corporation",
+		Kernels: []fpga.KernelSpec{
+			{Name: "memRead", NumArgs: 1, Model: moverModel},
+			{Name: "coreConv", NumArgs: convArgCount, Model: convModelArgs, Run: convRun},
+			{Name: "maxPool", NumArgs: poolArgCount, Model: poolModelArgs, Run: poolRun},
+			{Name: "fc", NumArgs: fcArgCount, Model: fcModelArgs, Run: fcRun},
+			{Name: "memWrite", NumArgs: 1, Model: moverModel},
+		},
+	}
+}

@@ -1,0 +1,110 @@
+package accel
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"blastfunction/internal/fpga"
+	"blastfunction/internal/ocl"
+)
+
+// Sobel latency model, calibrated to Figure 4b:
+// native RTT = PCIe transfers + sobelFill + pixels*sobelPerPixel, hitting
+// 0.27 ms at 10x10 and 14.53 ms at 1920x1080 with the worker-node PCIe
+// model.
+const (
+	// sobelFill covers kernel launch plus pipeline fill of the 32x8-block,
+	// 4x1-window single-CU Spector design.
+	sobelFill = 250 * time.Microsecond
+	// sobelPerPixelPs is the steady-state per-pixel time in picoseconds
+	// (about 160 Mpixel/s at the design's clock).
+	sobelPerPixelPs = 6256
+)
+
+// SobelBitstreamID identifies the Spector Sobel design.
+const SobelBitstreamID = "spector-sobel"
+
+// SobelBytesPerPixel is the wire size of one pixel in each direction:
+// 16-bit grayscale in, 16-bit gradient magnitude out.
+const SobelBytesPerPixel = 2
+
+// SobelModel returns the modelled kernel execution time for an image of
+// width*height pixels. Exported for the analytic experiment harness.
+func SobelModel(pixels int64) time.Duration {
+	return sobelFill + time.Duration(pixels*sobelPerPixelPs/1000)*time.Nanosecond
+}
+
+// sobelModelArgs adapts SobelModel to the kernel argument convention.
+func sobelModelArgs(args []ocl.Arg, _ []int) time.Duration {
+	w := args[2].IntValue()
+	h := args[3].IntValue()
+	return SobelModel(w * h)
+}
+
+// sobelRun computes the 3x3 Sobel gradient magnitude over a 16-bit
+// grayscale image. Arguments: in buffer, out buffer, width, height.
+// Border pixels (where the window falls outside the image) produce 0,
+// matching the Spector kernel's behaviour.
+func sobelRun(mem fpga.MemAccess, args []ocl.Arg, _ []int) error {
+	in, err := mem.Bytes(args[0].BufferID)
+	if err != nil {
+		return err
+	}
+	out, err := mem.Bytes(args[1].BufferID)
+	if err != nil {
+		return err
+	}
+	w := int(args[2].IntValue())
+	h := int(args[3].IntValue())
+	if w <= 0 || h <= 0 {
+		return ocl.Errf(ocl.ErrInvalidKernelArgs, "sobel: bad dimensions %dx%d", w, h)
+	}
+	need := w * h * SobelBytesPerPixel
+	if len(in) < need || len(out) < need {
+		return ocl.Errf(ocl.ErrInvalidBufferSize,
+			"sobel: image %dx%d needs %d bytes, in=%d out=%d", w, h, need, len(in), len(out))
+	}
+	px := func(x, y int) int32 {
+		return int32(binary.LittleEndian.Uint16(in[(y*w+x)*2:]))
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var v uint16
+			if x > 0 && y > 0 && x < w-1 && y < h-1 {
+				gx := -px(x-1, y-1) + px(x+1, y-1) +
+					-2*px(x-1, y) + 2*px(x+1, y) +
+					-px(x-1, y+1) + px(x+1, y+1)
+				gy := -px(x-1, y-1) - 2*px(x, y-1) - px(x+1, y-1) +
+					px(x-1, y+1) + 2*px(x, y+1) + px(x+1, y+1)
+				mag := math.Sqrt(float64(gx)*float64(gx) + float64(gy)*float64(gy))
+				if mag > math.MaxUint16 {
+					mag = math.MaxUint16
+				}
+				v = uint16(mag)
+			}
+			binary.LittleEndian.PutUint16(out[(y*w+x)*2:], v)
+		}
+	}
+	return nil
+}
+
+// SobelBitstream builds the Spector Sobel bitstream: a single "sobel"
+// kernel taking (in, out, width, height).
+func SobelBitstream() *fpga.Bitstream {
+	return &fpga.Bitstream{
+		ID:          SobelBitstreamID,
+		Accelerator: "sobel",
+		Vendor:      "Intel(R) Corporation",
+		Kernels: []fpga.KernelSpec{{
+			Name:    "sobel",
+			NumArgs: 4,
+			Model:   sobelModelArgs,
+			Run:     sobelRun,
+		}},
+	}
+}
+
+// SobelImageBytes returns the transfer size of a w x h image in one
+// direction.
+func SobelImageBytes(w, h int) int64 { return int64(w) * int64(h) * SobelBytesPerPixel }

@@ -1,0 +1,248 @@
+// Package apps contains the host-side code of the paper's three
+// accelerated cloud functions: the Sobel edge detector, the MM matrix
+// multiplier and PipeCNN inference.
+//
+// Each app is written once against the ocl API and therefore runs
+// unchanged on the native runtime (exclusive board) and on BlastFunction's
+// Remote OpenCL Library (shared board) — the transparency property the
+// paper demonstrates. The apps also provide the HTTP handlers that wrap
+// them into OpenFaaS-style functions for the gateway.
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"blastfunction/internal/accel"
+	"blastfunction/internal/ocl"
+)
+
+// openDevice picks the idx-th accelerator device of the first platform
+// and prepares a context.
+func openDevice(client ocl.Client, idx int) (ocl.Context, ocl.Device, error) {
+	platforms, err := client.Platforms()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(platforms) == 0 {
+		return nil, nil, ocl.Errf(ocl.ErrInvalidPlatform, "no OpenCL platforms")
+	}
+	devs, err := platforms[0].Devices(ocl.DeviceTypeAccelerator)
+	if err != nil {
+		return nil, nil, err
+	}
+	if idx < 0 || idx >= len(devs) {
+		return nil, nil, ocl.Errf(ocl.ErrDeviceNotFound, "device index %d of %d", idx, len(devs))
+	}
+	ctx, err := client.CreateContext(devs[idx : idx+1])
+	if err != nil {
+		return nil, nil, err
+	}
+	return ctx, devs[idx], nil
+}
+
+// buildProgram loads and programs a bitstream, returning the named kernel.
+func buildProgram(ctx ocl.Context, dev ocl.Device, binary []byte, kernel string) (ocl.Kernel, error) {
+	prog, err := ctx.CreateProgramWithBinary(dev, binary)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Build(""); err != nil {
+		return nil, err
+	}
+	return prog.CreateKernel(kernel)
+}
+
+// SobelApp is the Sobel edge-detection function.
+type SobelApp struct {
+	mu   sync.Mutex
+	ctx  ocl.Context
+	q    ocl.CommandQueue
+	k    ocl.Kernel
+	in   ocl.Buffer
+	out  ocl.Buffer
+	capB int
+}
+
+// NewSobel builds the Sobel function on the idx-th device of the client.
+// maxW/maxH bound the accepted image sizes; device buffers are allocated
+// once at that capacity, like the Spector host code.
+func NewSobel(client ocl.Client, idx, maxW, maxH int) (*SobelApp, error) {
+	ctx, dev, err := openDevice(client, idx)
+	if err != nil {
+		return nil, err
+	}
+	k, err := buildProgram(ctx, dev, accel.SobelBitstream().Binary(), "sobel")
+	if err != nil {
+		return nil, err
+	}
+	q, err := ctx.CreateCommandQueue(dev, 0)
+	if err != nil {
+		return nil, err
+	}
+	capB := maxW * maxH * accel.SobelBytesPerPixel
+	in, err := ctx.CreateBuffer(ocl.MemReadOnly, capB, nil)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ctx.CreateBuffer(ocl.MemWriteOnly, capB, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &SobelApp{ctx: ctx, q: q, k: k, in: in, out: out, capB: capB}, nil
+}
+
+// Process runs edge detection over a w x h 16-bit grayscale image and
+// returns the gradient magnitude image. One request at a time per app
+// instance, matching a function container handling one invocation.
+func (a *SobelApp) Process(img []byte, w, h int) ([]byte, error) {
+	need := w * h * accel.SobelBytesPerPixel
+	if w <= 0 || h <= 0 || len(img) != need {
+		return nil, fmt.Errorf("sobel: image %dx%d needs %d bytes, got %d", w, h, need, len(img))
+	}
+	if need > a.capB {
+		return nil, fmt.Errorf("sobel: image exceeds configured capacity (%d > %d)", need, a.capB)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.k.SetArg(0, a.in); err != nil {
+		return nil, err
+	}
+	if err := a.k.SetArg(1, a.out); err != nil {
+		return nil, err
+	}
+	if err := a.k.SetArg(2, int32(w)); err != nil {
+		return nil, err
+	}
+	if err := a.k.SetArg(3, int32(h)); err != nil {
+		return nil, err
+	}
+	if _, err := a.q.EnqueueWriteBuffer(a.in, false, 0, img, nil); err != nil {
+		return nil, err
+	}
+	if _, err := a.q.EnqueueNDRangeKernel(a.k, []int{w, h}, nil, nil); err != nil {
+		return nil, err
+	}
+	res := make([]byte, need)
+	if _, err := a.q.EnqueueReadBuffer(a.out, false, 0, res, nil); err != nil {
+		return nil, err
+	}
+	if err := a.q.Finish(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Close releases the app's resources.
+func (a *SobelApp) Close() error { return a.ctx.Release() }
+
+// MMApp is the matrix-multiply function.
+type MMApp struct {
+	mu   sync.Mutex
+	ctx  ocl.Context
+	q    ocl.CommandQueue
+	k    ocl.Kernel
+	a    ocl.Buffer
+	b    ocl.Buffer
+	c    ocl.Buffer
+	maxN int
+}
+
+// NewMM builds the MM function with capacity for maxN x maxN matrices.
+func NewMM(client ocl.Client, idx, maxN int) (*MMApp, error) {
+	ctx, dev, err := openDevice(client, idx)
+	if err != nil {
+		return nil, err
+	}
+	k, err := buildProgram(ctx, dev, accel.MMBitstream().Binary(), "mm")
+	if err != nil {
+		return nil, err
+	}
+	q, err := ctx.CreateCommandQueue(dev, 0)
+	if err != nil {
+		return nil, err
+	}
+	capB := int(accel.MMMatrixBytes(maxN))
+	bufs := make([]ocl.Buffer, 3)
+	for i, flags := range []ocl.MemFlags{ocl.MemReadOnly, ocl.MemReadOnly, ocl.MemWriteOnly} {
+		b, err := ctx.CreateBuffer(flags, capB, nil)
+		if err != nil {
+			return nil, err
+		}
+		bufs[i] = b
+	}
+	return &MMApp{ctx: ctx, q: q, k: k, a: bufs[0], b: bufs[1], c: bufs[2], maxN: maxN}, nil
+}
+
+// Multiply computes C = A x B for n x n row-major float32 matrices.
+func (m *MMApp) Multiply(a, b []float32, n int) ([]float32, error) {
+	if n <= 0 || n > m.maxN || len(a) != n*n || len(b) != n*n {
+		return nil, fmt.Errorf("mm: bad operands n=%d len(a)=%d len(b)=%d (max n %d)", n, len(a), len(b), m.maxN)
+	}
+	ab := make([]byte, n*n*4)
+	bb := make([]byte, n*n*4)
+	accel.PutFloat32Slice(ab, a)
+	accel.PutFloat32Slice(bb, b)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.k.SetArg(0, m.a); err != nil {
+		return nil, err
+	}
+	if err := m.k.SetArg(1, m.b); err != nil {
+		return nil, err
+	}
+	if err := m.k.SetArg(2, m.c); err != nil {
+		return nil, err
+	}
+	if err := m.k.SetArg(3, int32(n)); err != nil {
+		return nil, err
+	}
+	if _, err := m.q.EnqueueWriteBuffer(m.a, false, 0, ab, nil); err != nil {
+		return nil, err
+	}
+	if _, err := m.q.EnqueueWriteBuffer(m.b, false, 0, bb, nil); err != nil {
+		return nil, err
+	}
+	if _, err := m.q.EnqueueTask(m.k, nil); err != nil {
+		return nil, err
+	}
+	cb := make([]byte, n*n*4)
+	if _, err := m.q.EnqueueReadBuffer(m.c, false, 0, cb, nil); err != nil {
+		return nil, err
+	}
+	if err := m.q.Finish(); err != nil {
+		return nil, err
+	}
+	return accel.Float32Slice(cb), nil
+}
+
+// Close releases the app's resources.
+func (m *MMApp) Close() error { return m.ctx.Release() }
+
+// SyntheticImage builds a deterministic w x h 16-bit grayscale test image
+// with gradients and edges, used by examples and load tests.
+func SyntheticImage(w, h int) []byte {
+	img := make([]byte, w*h*accel.SobelBytesPerPixel)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := uint16(x * 255 / max(1, w-1) * 128)
+			if (x/8+y/8)%2 == 0 {
+				v += 9000
+			}
+			binary.LittleEndian.PutUint16(img[(y*w+x)*2:], v)
+		}
+	}
+	return img
+}
+
+// RandomMatrix builds a deterministic pseudo-random n x n matrix.
+func RandomMatrix(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	m := make([]float32, n*n)
+	for i := range m {
+		m[i] = rng.Float32()*2 - 1
+	}
+	return m
+}

@@ -1,0 +1,312 @@
+package apps
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"blastfunction/internal/accel"
+	"blastfunction/internal/fpga"
+	"blastfunction/internal/manager"
+	"blastfunction/internal/model"
+	"blastfunction/internal/native"
+	"blastfunction/internal/remote"
+	"blastfunction/internal/rpc"
+)
+
+func nativeClient() (*native.Client, *fpga.Board) {
+	board := fpga.NewBoard(fpga.DE5aNet(model.WorkerNode()), accel.Catalog())
+	return native.New(board), board
+}
+
+func remoteClient(t *testing.T) *remote.Client {
+	t.Helper()
+	board := fpga.NewBoard(fpga.DE5aNet(model.WorkerNode()), accel.Catalog())
+	mgr := manager.New(manager.Config{Node: "n1", DeviceID: "fpga0"}, board)
+	srv := rpc.NewServer(mgr)
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); mgr.Close() })
+	client, err := remote.Dial(remote.Config{
+		ClientName: "apps-test",
+		Managers:   []string{addr},
+		Transport:  remote.TransportShm,
+		ShmDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+func TestSobelAppProducesEdges(t *testing.T) {
+	client, _ := nativeClient()
+	app, err := NewSobel(client, 0, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	img := SyntheticImage(32, 32)
+	out, err := app.Process(img, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonZero := 0
+	for _, b := range out {
+		if b != 0 {
+			nonZero++
+		}
+	}
+	if nonZero == 0 {
+		t.Fatal("sobel produced an all-zero image on a checkered input")
+	}
+}
+
+func TestSobelAppValidation(t *testing.T) {
+	client, _ := nativeClient()
+	app, err := NewSobel(client, 0, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if _, err := app.Process(make([]byte, 10), 16, 16); err == nil {
+		t.Fatal("wrong byte count must fail")
+	}
+	if _, err := app.Process(SyntheticImage(64, 64), 64, 64); err == nil {
+		t.Fatal("over-capacity image must fail")
+	}
+}
+
+func TestMMAppMatchesReference(t *testing.T) {
+	client, _ := nativeClient()
+	app, err := NewMM(client, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	const n = 16
+	a := RandomMatrix(n, 1)
+	b := RandomMatrix(n, 2)
+	got, err := app.Multiply(a, b, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float32
+			for k := 0; k < n; k++ {
+				want += a[i*n+k] * b[k*n+j]
+			}
+			if math.Abs(float64(got[i*n+j]-want)) > 1e-4 {
+				t.Fatalf("C[%d,%d] = %g, want %g", i, j, got[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestCNNAppRunsTinyNetwork(t *testing.T) {
+	client, _ := nativeClient()
+	app, err := NewCNN(client, 0, accel.TinyCNN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	out, err := app.Infer(app.RandomInput(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 10 {
+		t.Fatalf("output = %d classes, want 10", len(out))
+	}
+	for i, v := range out {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("out[%d] = %v", i, v)
+		}
+	}
+	// Deterministic weights + input: a second inference matches.
+	out2, err := app.Infer(app.RandomInput(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatal("inference is not deterministic")
+		}
+	}
+}
+
+func TestAppsTransparencyAcrossRuntimes(t *testing.T) {
+	// The same app code must produce identical results on the native
+	// runtime and through BlastFunction (remote, shm transport).
+	nclient, _ := nativeClient()
+	nApp, err := NewMM(nclient, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nApp.Close()
+	rApp, err := NewMM(remoteClient(t), 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rApp.Close()
+
+	const n = 24
+	a := RandomMatrix(n, 3)
+	b := RandomMatrix(n, 4)
+	nOut, err := nApp.Multiply(a, b, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOut, err := rApp.Multiply(a, b, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nOut {
+		if nOut[i] != rOut[i] {
+			t.Fatalf("native and remote disagree at %d: %g vs %g", i, nOut[i], rOut[i])
+		}
+	}
+}
+
+func TestCNNTransparencyAcrossRuntimes(t *testing.T) {
+	nclient, _ := nativeClient()
+	nApp, err := NewCNN(nclient, 0, accel.TinyCNN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nApp.Close()
+	rApp, err := NewCNN(remoteClient(t), 0, accel.TinyCNN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rApp.Close()
+	in := nApp.RandomInput(9)
+	nOut, err := nApp.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOut, err := rApp.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nOut {
+		if nOut[i] != rOut[i] {
+			t.Fatalf("CNN outputs diverge at %d: %g vs %g", i, nOut[i], rOut[i])
+		}
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	// One board per app: a single board holds a single bitstream, so the
+	// three functions cannot share one device without reconfiguring.
+	c1, _ := nativeClient()
+	sobel, err := NewSobel(c1, 0, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sobel.Close()
+	c2, _ := nativeClient()
+	mm, err := NewMM(c2, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	c3, _ := nativeClient()
+	cnn, err := NewCNN(c3, 0, accel.TinyCNN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cnn.Close()
+
+	for name, h := range map[string]struct {
+		srv  *httptest.Server
+		path string
+	}{
+		"sobel": {httptest.NewServer(SobelHandler(sobel, 32, 32)), "/?w=16&h=16"},
+		"mm":    {httptest.NewServer(MMHandler(mm, 16)), "/?n=16"},
+		"cnn":   {httptest.NewServer(CNNHandler(cnn)), "/"},
+	} {
+		resp, err := h.srv.Client().Get(h.srv.URL + h.path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var rep Reply
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		resp.Body.Close()
+		if rep.Error != "" {
+			t.Fatalf("%s: %s", name, rep.Error)
+		}
+		if rep.Millis < 0 {
+			t.Fatalf("%s: millis = %v", name, rep.Millis)
+		}
+		h.srv.Close()
+	}
+}
+
+func TestHandlerChecksumStableAcrossRuntimes(t *testing.T) {
+	nclient, _ := nativeClient()
+	nApp, _ := NewMM(nclient, 0, 32)
+	defer nApp.Close()
+	rApp, err := NewMM(remoteClient(t), 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rApp.Close()
+
+	get := func(app *MMApp) Reply {
+		srv := httptest.NewServer(MMHandler(app, 16))
+		defer srv.Close()
+		resp, err := srv.Client().Get(srv.URL + "/?n=16")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rep Reply
+		json.NewDecoder(resp.Body).Decode(&rep)
+		return rep
+	}
+	if a, b := get(nApp), get(rApp); a.Checksum != b.Checksum {
+		t.Fatalf("checksums diverge: %08x vs %08x", a.Checksum, b.Checksum)
+	}
+}
+
+func TestAlexNetFullScaleInference(t *testing.T) {
+	// Full AlexNet-dimension inference through the whole stack: real
+	// grouped convolutions over 227x227 inputs. A single inference takes
+	// on the order of a second of real compute, so it is skipped in
+	// -short runs.
+	if testing.Short() {
+		t.Skip("full AlexNet compute is slow; skipped with -short")
+	}
+	client, board := nativeClient()
+	app, err := NewCNN(client, 0, accel.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	out, err := app.Infer(app.RandomInput(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1000 {
+		t.Fatalf("output classes = %d, want 1000", len(out))
+	}
+	for i, v := range out {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("out[%d] = %v", i, v)
+		}
+	}
+	// The modelled board occupancy of the inference is ~90ms.
+	busy := board.Stats().BusyTime
+	if busy < 80*time.Millisecond || busy > 3*time.Second {
+		t.Fatalf("board busy = %v", busy)
+	}
+}

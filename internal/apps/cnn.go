@@ -1,0 +1,243 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"blastfunction/internal/accel"
+	"blastfunction/internal/ocl"
+)
+
+// CNNApp is the PipeCNN inference function. Its host code reproduces the
+// paper's structure: several kernels launched iteratively per inference
+// over multiple parallel command queues, which is why BlastFunction pays
+// visibly more control overhead here than for single-kernel functions.
+type CNNApp struct {
+	mu   sync.Mutex
+	spec *accel.CNNSpec
+	ctx  ocl.Context
+
+	// q1 carries the data movers + compute kernels, q2 the write-backs —
+	// PipeCNN's multi-queue layout.
+	q1, q2 ocl.CommandQueue
+
+	kMemRead, kConv, kPool, kFC, kMemWrite ocl.Kernel
+
+	// Per-layer device buffers: activations ping-pong between act[0] and
+	// act[1]; weights and biases are uploaded once at construction.
+	act     [2]ocl.Buffer
+	weights []ocl.Buffer // indexed by layer (nil for pools)
+	biases  []ocl.Buffer
+}
+
+// NewCNN builds the PipeCNN function for the given network on the idx-th
+// device. Weights are deterministic pseudo-random values (seeded by layer)
+// — the paper's evaluation measures latency/throughput, not accuracy.
+func NewCNN(client ocl.Client, idx int, spec *accel.CNNSpec) (*CNNApp, error) {
+	ctx, dev, err := openDevice(client, idx)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ctx.CreateProgramWithBinary(dev, accel.PipeCNNBitstream().Binary())
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Build(""); err != nil {
+		return nil, err
+	}
+	app := &CNNApp{spec: spec, ctx: ctx}
+	for _, bind := range []struct {
+		dst  *ocl.Kernel
+		name string
+	}{
+		{&app.kMemRead, "memRead"},
+		{&app.kConv, "coreConv"},
+		{&app.kPool, "maxPool"},
+		{&app.kFC, "fc"},
+		{&app.kMemWrite, "memWrite"},
+	} {
+		k, err := prog.CreateKernel(bind.name)
+		if err != nil {
+			return nil, err
+		}
+		*bind.dst = k
+	}
+	if app.q1, err = ctx.CreateCommandQueue(dev, 0); err != nil {
+		return nil, err
+	}
+	if app.q2, err = ctx.CreateCommandQueue(dev, 0); err != nil {
+		return nil, err
+	}
+
+	// Activation buffers sized to the largest tensor in the chain.
+	maxBytes := spec.InputBytes()
+	for _, l := range spec.Layers {
+		c, h, w := l.OutDims()
+		if b := int64(c*h*w) * 4; b > maxBytes {
+			maxBytes = b
+		}
+	}
+	for i := range app.act {
+		b, err := ctx.CreateBuffer(ocl.MemReadWrite, int(maxBytes), nil)
+		if err != nil {
+			return nil, err
+		}
+		app.act[i] = b
+	}
+
+	// Upload weights and biases once (CL_MEM_COPY_HOST_PTR style).
+	for li, l := range spec.Layers {
+		var wb, bb ocl.Buffer
+		if wBytes := l.WeightBytes(); wBytes > 0 {
+			wb, err = ctx.CreateBuffer(ocl.MemReadOnly, int(wBytes), randomBytes(int(wBytes), int64(li)*7+1))
+			if err != nil {
+				return nil, err
+			}
+			bb, err = ctx.CreateBuffer(ocl.MemReadOnly, int(l.BiasBytes()), randomBytes(int(l.BiasBytes()), int64(li)*7+2))
+			if err != nil {
+				return nil, err
+			}
+		}
+		app.weights = append(app.weights, wb)
+		app.biases = append(app.biases, bb)
+	}
+	return app, nil
+}
+
+// randomBytes builds small deterministic float32 weights packed as bytes.
+func randomBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float32, n/4)
+	for i := range vals {
+		vals[i] = rng.Float32()*0.2 - 0.1
+	}
+	out := make([]byte, n)
+	accel.PutFloat32Slice(out, vals)
+	return out
+}
+
+// Spec returns the network the app serves.
+func (a *CNNApp) Spec() *accel.CNNSpec { return a.spec }
+
+// Infer runs one inference and returns the output tensor. The per-layer
+// enqueue/flush pattern follows PipeCNN's host code: convolution layers
+// split their kernels across the two queues (two task flushes), pooling
+// and fully-connected layers flush once.
+func (a *CNNApp) Infer(input []float32) ([]float32, error) {
+	if int64(len(input))*4 != a.spec.InputBytes() {
+		return nil, fmt.Errorf("cnn: input %d floats, want %d", len(input), a.spec.InputBytes()/4)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	inBytes := make([]byte, len(input)*4)
+	accel.PutFloat32Slice(inBytes, input)
+	if _, err := a.q1.EnqueueWriteBuffer(a.act[0], true, 0, inBytes, nil); err != nil {
+		return nil, err
+	}
+	cur := 0
+	for li, l := range a.spec.Layers {
+		src, dst := a.act[cur], a.act[1-cur]
+		if err := a.runLayer(li, l, src, dst); err != nil {
+			return nil, fmt.Errorf("cnn: layer %s: %w", l.Name, err)
+		}
+		cur = 1 - cur
+	}
+	outBytes := make([]byte, a.spec.OutputBytes())
+	if _, err := a.q1.EnqueueReadBuffer(a.act[cur], true, 0, outBytes, nil); err != nil {
+		return nil, err
+	}
+	return accel.Float32Slice(outBytes), nil
+}
+
+func (a *CNNApp) runLayer(li int, l accel.Layer, src, dst ocl.Buffer) error {
+	relu := int32(0)
+	if l.Relu {
+		relu = 1
+	}
+	if err := a.kMemRead.SetArg(0, src); err != nil {
+		return err
+	}
+	if err := a.kMemWrite.SetArg(0, dst); err != nil {
+		return err
+	}
+	switch l.Kind {
+	case accel.LayerConv:
+		args := []any{src, a.weights[li], a.biases[li], dst,
+			int32(l.InC), int32(l.InH), int32(l.InW),
+			int32(l.OutC), int32(l.K), int32(l.Stride), int32(l.Pad),
+			int32(l.Groups), relu}
+		for i, v := range args {
+			if err := a.kConv.SetArg(i, v); err != nil {
+				return err
+			}
+		}
+		// Queue 1: mover + compute, one task.
+		if _, err := a.q1.EnqueueTask(a.kMemRead, nil); err != nil {
+			return err
+		}
+		convEv, err := a.q1.EnqueueTask(a.kConv, nil)
+		if err != nil {
+			return err
+		}
+		if err := a.q1.Flush(); err != nil {
+			return err
+		}
+		// Queue 2: write-back, dependent on the compute, second task.
+		if _, err := a.q2.EnqueueTask(a.kMemWrite, []ocl.Event{convEv}); err != nil {
+			return err
+		}
+		return a.q2.Finish()
+	case accel.LayerPool:
+		args := []any{src, dst, int32(l.InC), int32(l.InH), int32(l.InW),
+			int32(l.Pool), int32(l.PoolStride)}
+		for i, v := range args {
+			if err := a.kPool.SetArg(i, v); err != nil {
+				return err
+			}
+		}
+		if _, err := a.q1.EnqueueTask(a.kMemRead, nil); err != nil {
+			return err
+		}
+		if _, err := a.q1.EnqueueTask(a.kPool, nil); err != nil {
+			return err
+		}
+		if _, err := a.q1.EnqueueTask(a.kMemWrite, nil); err != nil {
+			return err
+		}
+		return a.q1.Finish()
+	case accel.LayerFC:
+		args := []any{src, a.weights[li], a.biases[li], dst,
+			int32(l.InN), int32(l.OutN), relu}
+		for i, v := range args {
+			if err := a.kFC.SetArg(i, v); err != nil {
+				return err
+			}
+		}
+		if _, err := a.q1.EnqueueTask(a.kMemRead, nil); err != nil {
+			return err
+		}
+		if _, err := a.q1.EnqueueTask(a.kFC, nil); err != nil {
+			return err
+		}
+		if _, err := a.q1.EnqueueTask(a.kMemWrite, nil); err != nil {
+			return err
+		}
+		return a.q1.Finish()
+	}
+	return fmt.Errorf("unknown layer kind %d", l.Kind)
+}
+
+// Close releases the app's resources.
+func (a *CNNApp) Close() error { return a.ctx.Release() }
+
+// RandomInput builds a deterministic input tensor for the network.
+func (a *CNNApp) RandomInput(seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]float32, a.spec.InputBytes()/4)
+	for i := range in {
+		in[i] = rng.Float32()
+	}
+	return in
+}

@@ -1,0 +1,140 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Reply is the JSON body every function handler returns, small by design
+// so the measured path is the accelerator, not the HTTP payload.
+type Reply struct {
+	Function string  `json:"function"`
+	Checksum uint32  `json:"checksum"`
+	Millis   float64 `json:"ms"`
+	Error    string  `json:"error,omitempty"`
+}
+
+func writeReply(w http.ResponseWriter, rep Reply) {
+	if rep.Error != "" {
+		w.WriteHeader(http.StatusInternalServerError)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// SobelHandler serves the Sobel function over HTTP. Requests select the
+// image size with ?w=&h= (default 1920x1080, the paper's largest); the
+// input image is a cached synthetic frame so load tests exercise the
+// accelerator path rather than HTTP uploads.
+func SobelHandler(app *SobelApp, defW, defH int) http.Handler {
+	var mu sync.Mutex
+	images := make(map[[2]int][]byte)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		width := intParam(r, "w", defW)
+		height := intParam(r, "h", defH)
+		key := [2]int{width, height}
+		mu.Lock()
+		img, ok := images[key]
+		if !ok {
+			img = SyntheticImage(width, height)
+			images[key] = img
+		}
+		mu.Unlock()
+		start := time.Now()
+		out, err := app.Process(img, width, height)
+		rep := Reply{Function: "sobel", Millis: float64(time.Since(start).Microseconds()) / 1000}
+		if err != nil {
+			rep.Error = err.Error()
+		} else {
+			rep.Checksum = crc32.ChecksumIEEE(out)
+		}
+		writeReply(w, rep)
+	})
+}
+
+// MMHandler serves the MM function over HTTP. Requests select the matrix
+// size with ?n= (default 512); operands are cached random matrices.
+func MMHandler(app *MMApp, defN int) http.Handler {
+	var mu sync.Mutex
+	type operands struct{ a, b []float32 }
+	cache := make(map[int]operands)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := intParam(r, "n", defN)
+		mu.Lock()
+		ops, ok := cache[n]
+		if !ok {
+			ops = operands{a: RandomMatrix(n, 1), b: RandomMatrix(n, 2)}
+			cache[n] = ops
+		}
+		mu.Unlock()
+		start := time.Now()
+		out, err := app.Multiply(ops.a, ops.b, n)
+		rep := Reply{Function: "mm", Millis: float64(time.Since(start).Microseconds()) / 1000}
+		if err != nil {
+			rep.Error = err.Error()
+		} else {
+			rep.Checksum = checksumFloats(out)
+		}
+		writeReply(w, rep)
+	})
+}
+
+// CNNHandler serves the CNN inference function over HTTP. Every request
+// runs one inference on a cached input tensor.
+func CNNHandler(app *CNNApp) http.Handler {
+	input := app.RandomInput(42)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		out, err := app.Infer(input)
+		rep := Reply{Function: app.Spec().Name, Millis: float64(time.Since(start).Microseconds()) / 1000}
+		if err != nil {
+			rep.Error = err.Error()
+		} else {
+			rep.Checksum = checksumFloats(out)
+		}
+		writeReply(w, rep)
+	})
+}
+
+func checksumFloats(v []float32) uint32 {
+	buf := make([]byte, len(v)*4)
+	for i, f := range v {
+		u := uint32FromFloat(f)
+		buf[i*4] = byte(u)
+		buf[i*4+1] = byte(u >> 8)
+		buf[i*4+2] = byte(u >> 16)
+		buf[i*4+3] = byte(u >> 24)
+	}
+	return crc32.ChecksumIEEE(buf)
+}
+
+func uint32FromFloat(f float32) uint32 {
+	// Quantize slightly so checksums tolerate float reassociation between
+	// runtimes while still catching real corruption.
+	return uint32(int32(f * 1024))
+}
+
+// String renders the reply for CLI output.
+func (r Reply) String() string {
+	if r.Error != "" {
+		return fmt.Sprintf("%s: error: %s", r.Function, r.Error)
+	}
+	return fmt.Sprintf("%s: %.3f ms (checksum %08x)", r.Function, r.Millis, r.Checksum)
+}

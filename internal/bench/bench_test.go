@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"blastfunction/internal/simcluster"
+)
+
+func TestFigureShapesMatchPaper(t *testing.T) {
+	for _, problem := range FigureShapeChecks() {
+		t.Error(problem)
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	for _, f := range []*Figure{Fig4a(), Fig4b(), Fig4c()} {
+		text := f.Render()
+		if !strings.Contains(text, "Native") || !strings.Contains(text, "BlastFunction") {
+			t.Errorf("%s render missing series headers:\n%s", f.ID, text)
+		}
+		if len(f.Points) < 8 {
+			t.Errorf("%s has only %d points", f.ID, len(f.Points))
+		}
+		// Monotone non-decreasing in size for every series.
+		for i := 1; i < len(f.Points); i++ {
+			if f.Points[i].Native < f.Points[i-1].Native ||
+				f.Points[i].GRPC < f.Points[i-1].GRPC ||
+				f.Points[i].Shm < f.Points[i-1].Shm {
+				t.Errorf("%s: series not monotone at %s", f.ID, f.Points[i].Label)
+			}
+		}
+		// Ordering: native <= shm <= grpc at every point.
+		for _, p := range f.Points {
+			if p.Shm < p.Native || p.GRPC < p.Shm {
+				t.Errorf("%s: transport ordering violated at %s: %v %v %v",
+					f.ID, p.Label, p.Native, p.Shm, p.GRPC)
+			}
+		}
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	text := RenderTable1()
+	for _, want := range []string{"Sobel", "MM", "AlexNet", "60", "84", "Medium"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table I missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "AlexNet   Low") {
+		t.Error("AlexNet must not have a low-load row")
+	}
+}
+
+func TestSobelStudyShape(t *testing.T) {
+	study, err := RunStudy(simcluster.UseSobel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range study.CheckShape() {
+		t.Error(p)
+	}
+	if len(study.Runs) != 6 { // 2 systems x 3 levels
+		t.Fatalf("runs = %d", len(study.Runs))
+	}
+	text := study.RenderPerFunction()
+	for _, want := range []string{"sobel-1", "sobel-5", "BlastFunction", "Native", "rq/s"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table II render missing %q", want)
+		}
+	}
+	// Native has 3 function rows per level, BlastFunction 5.
+	bfRows := 0
+	natRows := 0
+	for _, run := range study.Runs {
+		if run.System == "Native" {
+			natRows += len(run.Result.Functions)
+		} else {
+			bfRows += len(run.Result.Functions)
+		}
+	}
+	if bfRows != 15 || natRows != 9 {
+		t.Fatalf("rows: bf=%d nat=%d, want 15/9", bfRows, natRows)
+	}
+}
+
+func TestMMStudyShape(t *testing.T) {
+	study, err := RunStudy(simcluster.UseMM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range study.CheckShape() {
+		t.Error(p)
+	}
+	dev := study.Deviation()
+	// Native's target shortfall grows with load (the paper's 4% -> 15% ->
+	// 40% progression; our magnitudes differ, see EXPERIMENTS.md).
+	natLow := dev["Native/"+string(simcluster.LowLoad)]
+	natHigh := dev["Native/"+string(simcluster.HighLoad)]
+	if natHigh <= natLow {
+		t.Errorf("native shortfall must grow with load: low %.1f%% high %.1f%%", natLow, natHigh)
+	}
+	if dev["BlastFunction/"+string(simcluster.LowLoad)] > 3 {
+		t.Errorf("BF low-load shortfall %.1f%%, want near zero", dev["BlastFunction/"+string(simcluster.LowLoad)])
+	}
+	// At high load BlastFunction serves substantially more absolute
+	// traffic (Table III: 262.7 vs 121.9 rq/s in the paper).
+	var bfHigh, natHighRes *simcluster.Result
+	for _, run := range study.Runs {
+		if run.Level == simcluster.HighLoad {
+			if run.System == "Native" {
+				natHighRes = run.Result
+			} else {
+				bfHigh = run.Result
+			}
+		}
+	}
+	if bfHigh.Processed <= natHighRes.Processed*1.1 {
+		t.Errorf("BF high-load processed %.1f, want well above native %.1f",
+			bfHigh.Processed, natHighRes.Processed)
+	}
+	if !strings.Contains(study.RenderAggregate(), "Utilization") {
+		t.Error("aggregate render malformed")
+	}
+}
+
+func TestAlexNetStudyShape(t *testing.T) {
+	study, err := RunStudy(simcluster.UseAlexNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Runs) != 4 { // 2 systems x 2 levels
+		t.Fatalf("runs = %d", len(study.Runs))
+	}
+	for _, p := range study.CheckShape() {
+		t.Error(p)
+	}
+	// The paper: BlastFunction's AlexNet latency is visibly above native
+	// (many kernel launches each paying control overhead).
+	var bfMed, natMed *simcluster.Result
+	for _, run := range study.Runs {
+		if run.Level != simcluster.MediumLoad {
+			continue
+		}
+		if run.System == "Native" {
+			natMed = run.Result
+		} else {
+			bfMed = run.Result
+		}
+	}
+	if bfMed.AvgLatency <= natMed.AvgLatency {
+		t.Errorf("AlexNet BF latency %v must exceed native %v", bfMed.AvgLatency, natMed.AvgLatency)
+	}
+	ratio := float64(bfMed.AvgLatency) / float64(natMed.AvgLatency)
+	if ratio < 1.1 || ratio > 2.0 {
+		t.Errorf("AlexNet latency ratio = %.2f, paper shows ~1.4", ratio)
+	}
+	// But BlastFunction still processes more (5 vs 3 functions).
+	if bfMed.Processed <= natMed.Processed {
+		t.Errorf("AlexNet BF processed %.1f <= native %.1f", bfMed.Processed, natMed.Processed)
+	}
+}
+
+func TestSpaceSharingStudy(t *testing.T) {
+	study, err := RunSpaceSharingStudy(simcluster.MediumLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.TimeSharing == nil || study.SpaceSharing == nil {
+		t.Fatal("both modes must run")
+	}
+	// Space-sharing raises the utilization ceiling (two regions per
+	// board) at an area penalty visible in latency.
+	if study.SpaceSharing.TotalUtilization <= study.TimeSharing.TotalUtilization {
+		t.Errorf("space-sharing utilization %.1f%% <= time-sharing %.1f%%",
+			study.SpaceSharing.TotalUtilization*100, study.TimeSharing.TotalUtilization*100)
+	}
+	if study.SpaceSharing.AvgLatency <= study.TimeSharing.AvgLatency {
+		t.Errorf("space-sharing latency %v <= time-sharing %v (area penalty missing)",
+			study.SpaceSharing.AvgLatency, study.TimeSharing.AvgLatency)
+	}
+	text := study.Render()
+	for _, want := range []string{"time-sharing", "space-sharing", "Per-function"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package bench regenerates every figure and table of the paper's
+// evaluation section.
+//
+// Figure 4 (the overhead study) is computed from the calibrated analytic
+// models — the same models that drive both the live FPGA simulator and the
+// discrete-event experiments — sweeping the exact size ranges the paper
+// plots. Tables II-IV run the full multi-node scenarios on the
+// discrete-event engine via package simcluster. Renderers produce aligned
+// text matching the paper's rows and series, consumed by cmd/blastbench
+// and the repository benchmarks.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"blastfunction/internal/model"
+	"blastfunction/internal/simcluster"
+)
+
+// Point is one x-sample of a latency figure: the three series the paper
+// plots (Native, BlastFunction over gRPC, BlastFunction over shm).
+type Point struct {
+	// Label is the x value ("1 KB", "640x480", "1024").
+	Label string
+	// Bytes is the total payload moved per request, for context columns.
+	Bytes  int64
+	Native time.Duration
+	GRPC   time.Duration
+	Shm    time.Duration
+}
+
+// Figure is one latency-vs-size figure.
+type Figure struct {
+	ID      string
+	Caption string
+	XHeader string
+	Points  []Point
+}
+
+// rtts evaluates one workload under the three transports on a worker node
+// (the paper measures the single-node overhead on a worker).
+func rtts(w simcluster.Workload) (native, grpc, shm time.Duration) {
+	c := model.WorkerNode()
+	native = w.DeviceTime(c)
+	grpc = native + w.RemoteOverhead(c, model.TransportGRPC)
+	shm = native + w.RemoteOverhead(c, model.TransportShm)
+	return native, grpc, shm
+}
+
+// Fig4a builds Figure 4a: write+read round-trip time against total
+// transfer size, 1 KB to 2 GB.
+func Fig4a() *Figure {
+	f := &Figure{
+		ID:      "fig4a",
+		Caption: "Latency overhead for read and write operations (Fig. 4a)",
+		XHeader: "total size",
+	}
+	for _, size := range []int64{
+		1 << 10, 16 << 10, 256 << 10, 1 << 20, 16 << 20,
+		64 << 20, 256 << 20, 512 << 20, 1 << 30, 2 << 30,
+	} {
+		n, g, s := rtts(simcluster.RWWorkload(size))
+		f.Points = append(f.Points, Point{
+			Label: formatBytes(size), Bytes: size, Native: n, GRPC: g, Shm: s,
+		})
+	}
+	return f
+}
+
+// Fig4b builds Figure 4b: Sobel round-trip time against image size,
+// 10x10 up to 1920x1080.
+func Fig4b() *Figure {
+	f := &Figure{
+		ID:      "fig4b",
+		Caption: "Latency overhead for the Sobel operator (Fig. 4b)",
+		XHeader: "image",
+	}
+	for _, dim := range [][2]int{
+		{10, 10}, {64, 64}, {160, 120}, {320, 240}, {640, 480},
+		{800, 600}, {1024, 768}, {1280, 720}, {1600, 900}, {1920, 1080},
+	} {
+		w := simcluster.SobelWorkload(dim[0], dim[1])
+		n, g, s := rtts(w)
+		f.Points = append(f.Points, Point{
+			Label:  fmt.Sprintf("%dx%d", dim[0], dim[1]),
+			Bytes:  w.Tasks[0].HostBytes,
+			Native: n, GRPC: g, Shm: s,
+		})
+	}
+	return f
+}
+
+// Fig4c builds Figure 4c: MM round-trip time against matrix size, 16^2 up
+// to 4096^2.
+func Fig4c() *Figure {
+	f := &Figure{
+		ID:      "fig4c",
+		Caption: "Latency overhead for the MM accelerator (Fig. 4c)",
+		XHeader: "matrix n",
+	}
+	for _, n := range []int{16, 32, 64, 128, 256, 512, 1024, 2048, 3072, 4096} {
+		w := simcluster.MMWorkload(n)
+		nat, g, s := rtts(w)
+		f.Points = append(f.Points, Point{
+			Label: fmt.Sprintf("%d", n), Bytes: w.Tasks[0].HostBytes,
+			Native: nat, GRPC: g, Shm: s,
+		})
+	}
+	return f
+}
+
+// Render produces the figure as an aligned text table with the three
+// series plus the overhead columns the paper discusses.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Caption)
+	fmt.Fprintf(&b, "%-12s %-10s %14s %16s %16s %10s %10s\n",
+		f.XHeader, "payload", "Native", "BlastFunction", "BlastFn shm", "grpc/nat", "shm-nat")
+	for _, p := range f.Points {
+		ratio := 0.0
+		if p.Native > 0 {
+			ratio = float64(p.GRPC) / float64(p.Native)
+		}
+		fmt.Fprintf(&b, "%-12s %-10s %14s %16s %16s %9.2fx %10s\n",
+			p.Label, formatBytes(p.Bytes),
+			fmtDur(p.Native), fmtDur(p.GRPC), fmtDur(p.Shm),
+			ratio, fmtDur(p.Shm-p.Native))
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3f s", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2f ms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%d us", d.Microseconds())
+	}
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// RenderCSV produces the figure as CSV for external plotting tools:
+// label,bytes,native_us,grpc_us,shm_us.
+func (f *Figure) RenderCSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", f.Caption)
+	fmt.Fprintf(&b, "%s,bytes,native_us,blastfunction_us,blastfunction_shm_us\n", f.XHeader)
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d\n",
+			p.Label, p.Bytes, p.Native.Microseconds(), p.GRPC.Microseconds(), p.Shm.Microseconds())
+	}
+	return b.String()
+}

@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"blastfunction/internal/simcluster"
+)
+
+// ScenarioResult couples one scenario run (system x load level) with its
+// identifying labels.
+type ScenarioResult struct {
+	System string // "BlastFunction" or "Native"
+	Level  simcluster.LoadLevel
+	Result *simcluster.Result
+}
+
+// UtilizationStudy is one of the Tables II-IV: both systems across the use
+// case's load levels.
+type UtilizationStudy struct {
+	ID      string
+	Caption string
+	UseCase simcluster.UseCase
+	Runs    []ScenarioResult
+}
+
+// levelsFor returns the load levels evaluated for a use case (AlexNet has
+// no low-load configuration).
+func levelsFor(uc simcluster.UseCase) []simcluster.LoadLevel {
+	if uc == simcluster.UseAlexNet {
+		return []simcluster.LoadLevel{simcluster.MediumLoad, simcluster.HighLoad}
+	}
+	return []simcluster.LoadLevel{simcluster.LowLoad, simcluster.MediumLoad, simcluster.HighLoad}
+}
+
+// RunStudy executes the full utilization study of a use case: the
+// BlastFunction scenario (5 functions, Algorithm 1 placement, shm) and the
+// Native scenario (3 functions pinned 1:1) at every load level.
+func RunStudy(uc simcluster.UseCase) (*UtilizationStudy, error) {
+	study := &UtilizationStudy{UseCase: uc}
+	switch uc {
+	case simcluster.UseSobel:
+		study.ID, study.Caption = "table2", "Multi-function test results for the Sobel accelerator (Table II)"
+	case simcluster.UseMM:
+		study.ID, study.Caption = "table3", "Multi-function aggregate results for MM (Table III)"
+	case simcluster.UseAlexNet:
+		study.ID, study.Caption = "table4", "Multi-function aggregate results for PipeCNN/AlexNet (Table IV)"
+	default:
+		return nil, fmt.Errorf("bench: unknown use case %q", uc)
+	}
+	for _, level := range levelsFor(uc) {
+		exp, err := simcluster.BlastFunctionExperiment(uc, level)
+		if err != nil {
+			return nil, err
+		}
+		res, err := simcluster.Run(exp)
+		if err != nil {
+			return nil, err
+		}
+		study.Runs = append(study.Runs, ScenarioResult{System: "BlastFunction", Level: level, Result: res})
+	}
+	for _, level := range levelsFor(uc) {
+		exp, err := simcluster.NativeExperiment(uc, level)
+		if err != nil {
+			return nil, err
+		}
+		res, err := simcluster.Run(exp)
+		if err != nil {
+			return nil, err
+		}
+		study.Runs = append(study.Runs, ScenarioResult{System: "Native", Level: level, Result: res})
+	}
+	return study, nil
+}
+
+// RenderPerFunction renders the study in Table II's per-function layout.
+func (s *UtilizationStudy) RenderPerFunction() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Caption)
+	fmt.Fprintf(&b, "%-14s %-12s %-10s %-5s %8s %12s %12s %12s\n",
+		"Type", "Config", "Function", "Node", "Util.", "Latency", "Processed", "Target")
+	for _, run := range s.Runs {
+		for _, fr := range run.Result.Functions {
+			fmt.Fprintf(&b, "%-14s %-12s %-10s %-5s %7.2f%% %12s %9.2f rq/s %9.2f rq/s\n",
+				run.System, shortLevel(run.Level), fr.Function, fr.Node,
+				fr.Utilization*100, fmtDur(fr.AvgLatency), fr.Processed, fr.Target)
+		}
+	}
+	return b.String()
+}
+
+// RenderAggregate renders the study in Table III/IV's aggregate layout.
+func (s *UtilizationStudy) RenderAggregate() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Caption)
+	fmt.Fprintf(&b, "%-14s %-12s %12s %12s %14s %12s\n",
+		"Type", "Config", "Utilization", "Latency", "Processed", "Target")
+	for _, run := range s.Runs {
+		r := run.Result
+		fmt.Fprintf(&b, "%-14s %-12s %11.2f%% %12s %11.2f rq/s %8.0f rq/s\n",
+			run.System, shortLevel(run.Level),
+			r.TotalUtilization*100, fmtDur(r.AvgLatency), r.Processed, r.Target)
+	}
+	return b.String()
+}
+
+func shortLevel(l simcluster.LoadLevel) string {
+	return strings.TrimSuffix(string(l), " Load")
+}
+
+// RenderTable1 renders Table I: the request rates sent to each function
+// per benchmark and load level.
+func RenderTable1() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Tests configurations overview (Table I): target rq/s per function")
+	fmt.Fprintf(&b, "%-9s %-12s %6s %6s %6s %6s %6s\n", "Use-Case", "Config", "1st", "2nd", "3rd", "4th", "5th")
+	for _, uc := range []simcluster.UseCase{simcluster.UseSobel, simcluster.UseMM, simcluster.UseAlexNet} {
+		for _, level := range levelsFor(uc) {
+			rates, err := simcluster.TableIRates(uc, level)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%-9s %-12s", uc, shortLevel(level))
+			for _, r := range rates {
+				fmt.Fprintf(&b, " %6.0f", r)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+// Deviation summarizes target-vs-processed shortfall percentages per run,
+// the comparison the paper's prose makes ("Native has a difference w.r.t.
+// the target of ...%").
+func (s *UtilizationStudy) Deviation() map[string]float64 {
+	out := make(map[string]float64, len(s.Runs))
+	for _, run := range s.Runs {
+		key := run.System + "/" + string(run.Level)
+		if run.Result.Target > 0 {
+			out[key] = 100 * (run.Result.Target - run.Result.Processed) / run.Result.Target
+		}
+	}
+	return out
+}
+
+// CheckShape verifies the paper's qualitative claims on a study: at every
+// load level BlastFunction processes at least as many requests and reaches
+// at least the utilization of Native, and its shortfall from target is no
+// worse. It returns a description of any violated claim.
+func (s *UtilizationStudy) CheckShape() []string {
+	type pair struct{ bf, nat *simcluster.Result }
+	byLevel := make(map[simcluster.LoadLevel]*pair)
+	for _, run := range s.Runs {
+		p := byLevel[run.Level]
+		if p == nil {
+			p = &pair{}
+			byLevel[run.Level] = p
+		}
+		if run.System == "Native" {
+			p.nat = run.Result
+		} else {
+			p.bf = run.Result
+		}
+	}
+	var problems []string
+	for level, p := range byLevel {
+		if p.bf == nil || p.nat == nil {
+			continue
+		}
+		if p.bf.Processed < p.nat.Processed {
+			problems = append(problems, fmt.Sprintf("%s: BlastFunction processed %.1f < native %.1f",
+				level, p.bf.Processed, p.nat.Processed))
+		}
+		if p.bf.TotalUtilization < p.nat.TotalUtilization {
+			problems = append(problems, fmt.Sprintf("%s: BlastFunction utilization %.1f%% < native %.1f%%",
+				level, p.bf.TotalUtilization*100, p.nat.TotalUtilization*100))
+		}
+		if p.bf.AvgLatency > p.nat.AvgLatency*3 {
+			problems = append(problems, fmt.Sprintf("%s: BlastFunction latency %v not comparable to native %v",
+				level, p.bf.AvgLatency, p.nat.AvgLatency))
+		}
+	}
+	return problems
+}
+
+// FigureShapeChecks verifies Figure 4's qualitative claims against the
+// generated curves, returning violated claims.
+func FigureShapeChecks() []string {
+	var problems []string
+	a := Fig4a()
+	last := a.Points[len(a.Points)-1]
+	if ratio := float64(last.GRPC) / float64(last.Native); ratio < 3 || ratio > 5 {
+		problems = append(problems, fmt.Sprintf("fig4a: gRPC/native at 2GB = %.2f, want ~4", ratio))
+	}
+	if over := last.Shm - last.Native; over < 120*time.Millisecond || over > 200*time.Millisecond {
+		problems = append(problems, fmt.Sprintf("fig4a: shm overhead at 2GB = %v, want ~155ms", over))
+	}
+	b := Fig4b()
+	if first := b.Points[0]; first.Native < 200*time.Microsecond || first.Native > 350*time.Microsecond {
+		problems = append(problems, fmt.Sprintf("fig4b: native 10x10 = %v, want ~0.27ms", first.Native))
+	}
+	blast := b.Points[len(b.Points)-1]
+	if blast.Native < 13500*time.Microsecond || blast.Native > 15500*time.Microsecond {
+		problems = append(problems, fmt.Sprintf("fig4b: native 1080p = %v, want ~14.53ms", blast.Native))
+	}
+	if blast.GRPC < 19*time.Millisecond || blast.GRPC > 27*time.Millisecond {
+		problems = append(problems, fmt.Sprintf("fig4b: gRPC 1080p = %v, want ~24ms", blast.GRPC))
+	}
+	if over := blast.Shm - blast.Native; over < time.Millisecond || over > 4*time.Millisecond {
+		problems = append(problems, fmt.Sprintf("fig4b: shm constant overhead = %v, want ~2ms", over))
+	}
+	c := Fig4c()
+	big := c.Points[len(c.Points)-1]
+	if big.Native < 3450*time.Millisecond || big.Native > 3700*time.Millisecond {
+		problems = append(problems, fmt.Sprintf("fig4c: native 4096 = %v, want ~3.571s", big.Native))
+	}
+	if over := big.Shm - big.Native; over < 10*time.Millisecond || over > 30*time.Millisecond {
+		problems = append(problems, fmt.Sprintf("fig4c: shm overhead at 4096 = %v, want ~17ms", over))
+	}
+	if over := big.GRPC - big.Native; over < 70*time.Millisecond || over > 160*time.Millisecond {
+		problems = append(problems, fmt.Sprintf("fig4c: gRPC overhead at 4096 = %v, want ~104ms", over))
+	}
+	return problems
+}
+
+// SpaceSharingStudy compares time-sharing against the space-sharing
+// extension on the mixed Sobel+MM scenario (DESIGN.md section 7).
+type SpaceSharingStudy struct {
+	Level        simcluster.LoadLevel
+	TimeSharing  *simcluster.Result
+	SpaceSharing *simcluster.Result
+}
+
+// RunSpaceSharingStudy executes both modes at the given load level.
+func RunSpaceSharingStudy(level simcluster.LoadLevel) (*SpaceSharingStudy, error) {
+	study := &SpaceSharingStudy{Level: level}
+	for _, space := range []bool{false, true} {
+		exp, err := simcluster.MixedExperiment(level, space)
+		if err != nil {
+			return nil, err
+		}
+		res, err := simcluster.Run(exp)
+		if err != nil {
+			return nil, err
+		}
+		if space {
+			study.SpaceSharing = res
+		} else {
+			study.TimeSharing = res
+		}
+	}
+	return study, nil
+}
+
+// Render produces the comparison as aligned text.
+func (s *SpaceSharingStudy) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Space-sharing extension study, mixed Sobel+MM (%s)\n", s.Level)
+	fmt.Fprintf(&b, "%-14s %12s %12s %14s %12s\n",
+		"Mode", "Utilization", "Latency", "Processed", "Target")
+	for _, row := range []struct {
+		name string
+		r    *simcluster.Result
+	}{
+		{"time-sharing", s.TimeSharing},
+		{"space-sharing", s.SpaceSharing},
+	} {
+		fmt.Fprintf(&b, "%-14s %11.2f%% %12s %11.2f rq/s %8.0f rq/s\n",
+			row.name, row.r.TotalUtilization*100, fmtDur(row.r.AvgLatency),
+			row.r.Processed, row.r.Target)
+	}
+	fmt.Fprintln(&b, "\nPer-function placements (space-sharing mode):")
+	for _, fr := range s.SpaceSharing.Functions {
+		fmt.Fprintf(&b, "  %-10s node %-2s %7.2f%% util %10s %8.2f/%.0f rq/s\n",
+			fr.Function, fr.Node, fr.Utilization*100, fmtDur(fr.AvgLatency), fr.Processed, fr.Target)
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package gateway
+
+import (
+	"context"
+	"time"
+)
+
+// AutoscaleConfig bounds an autoscaler loop for one function.
+type AutoscaleConfig struct {
+	// Function is the deployed function to scale.
+	Function string
+	// Min and Max bound the replica count (OpenFaaS-style).
+	Min, Max int
+	// TargetInFlight is the per-replica concurrency the scaler aims for:
+	// above it, scale out; at less than half of it, scale in.
+	TargetInFlight float64
+	// Interval is the evaluation period; default one second.
+	Interval time.Duration
+}
+
+// Autoscale runs an OpenFaaS-style autoscaler until ctx is cancelled: it
+// samples the gateway's in-flight count for the function each interval and
+// adjusts replicas within [Min, Max]. This is the paper's "Gateway ...
+// handles autoscaling" integration point; the Registry then places every
+// new replica through the allocation algorithm like any other instance.
+func (g *Gateway) Autoscale(ctx context.Context, cfg AutoscaleConfig) error {
+	if cfg.Min < 1 {
+		cfg.Min = 1
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+	}
+	if cfg.TargetInFlight <= 0 {
+		cfg.TargetInFlight = 1
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	// Enforce the floor immediately.
+	if st := g.Stats(cfg.Function); st.Replicas < cfg.Min {
+		if err := g.Scale(cfg.Function, cfg.Min); err != nil {
+			return err
+		}
+	}
+	ticker := time.NewTicker(cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			st := g.Stats(cfg.Function)
+			if st.Replicas == 0 {
+				continue // not materialized yet
+			}
+			perReplica := float64(st.InFlight) / float64(st.Replicas)
+			want := st.Replicas
+			switch {
+			case perReplica > cfg.TargetInFlight:
+				want = st.Replicas + 1
+			case perReplica < cfg.TargetInFlight/2:
+				want = st.Replicas - 1
+			}
+			if want < cfg.Min {
+				want = cfg.Min
+			}
+			if want > cfg.Max {
+				want = cfg.Max
+			}
+			if want != st.Replicas {
+				if err := g.Scale(cfg.Function, want); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package gateway is the reproduction's serverless platform — the slice
+// of OpenFaaS the paper deploys BlastFunction under.
+//
+// The Gateway is "the serverless system's endpoint, which forwards the
+// requests to the functions and handles autoscaling". It deploys functions
+// by creating function instances through the cluster orchestrator (where
+// the Accelerators Registry intercepts and patches them), materializes
+// each Running instance with the function's Factory (the function runtime:
+// in a real deployment this is the container starting; here it builds the
+// HTTP handler backed by an ocl client), and routes /function/<name>
+// requests round-robin across ready instances.
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blastfunction/internal/cluster"
+)
+
+// Endpoint is a materialized function instance: an HTTP handler plus its
+// teardown.
+type Endpoint interface {
+	http.Handler
+	io.Closer
+}
+
+// HandlerEndpoint adapts a plain handler with a close hook.
+type HandlerEndpoint struct {
+	http.Handler
+	CloseFunc func() error
+}
+
+// Close implements Endpoint.
+func (h HandlerEndpoint) Close() error {
+	if h.CloseFunc == nil {
+		return nil
+	}
+	return h.CloseFunc()
+}
+
+// Factory materializes a function instance once the orchestrator reports
+// it Running. The instance's Env carries whatever the Registry injected
+// (Device Manager address, device ID, node).
+type Factory func(in cluster.Instance) (Endpoint, error)
+
+// FuncStats aggregates per-function gateway statistics.
+type FuncStats struct {
+	Requests  int64
+	Errors    int64
+	InFlight  int64
+	Replicas  int
+	AvgMillis float64
+}
+
+type funcState struct {
+	factory  Factory
+	mu       sync.Mutex
+	eps      map[string]Endpoint // by instance UID
+	order    []string
+	rr       int
+	requests atomic.Int64
+	errors   atomic.Int64
+	inflight atomic.Int64
+	latSumUs atomic.Int64
+}
+
+// factoryRetries bounds materialization attempts per instance; the delay
+// doubles between attempts from factoryRetryDelay.
+const (
+	factoryRetries    = 5
+	factoryRetryDelay = 100 * time.Millisecond
+)
+
+// Gateway routes requests to deployed functions.
+type Gateway struct {
+	cl *cluster.Cluster
+	// Logf logs deployment issues; defaults to log.Printf.
+	Logf func(format string, args ...any)
+	// RetryDelay is the initial factory retry backoff; tests shorten it.
+	RetryDelay time.Duration
+
+	mu      sync.Mutex
+	funcs   map[string]*funcState
+	runCtx  context.Context
+	stopped bool
+}
+
+// New creates a gateway over the cluster.
+func New(cl *cluster.Cluster) *Gateway {
+	return &Gateway{
+		cl:         cl,
+		Logf:       log.Printf,
+		RetryDelay: factoryRetryDelay,
+		funcs:      make(map[string]*funcState),
+	}
+}
+
+// Deploy registers a function and creates replicas instances. Instances
+// pre-bound to nodes (for the Native scenario) can be created with
+// DeployPinned instead.
+func (g *Gateway) Deploy(name string, replicas int, factory Factory) error {
+	return g.deploy(name, factory, replicas, nil)
+}
+
+// DeployPinned registers a function with one instance pinned per node —
+// the paper's Native scenario, one function per board with direct access.
+func (g *Gateway) DeployPinned(name string, nodes []string, factory Factory) error {
+	return g.deploy(name, factory, len(nodes), nodes)
+}
+
+func (g *Gateway) deploy(name string, factory Factory, replicas int, nodes []string) error {
+	if name == "" || factory == nil || replicas <= 0 {
+		return fmt.Errorf("gateway: bad deployment (name %q, %d replicas)", name, replicas)
+	}
+	g.mu.Lock()
+	if _, ok := g.funcs[name]; ok {
+		g.mu.Unlock()
+		return fmt.Errorf("gateway: function %q already deployed", name)
+	}
+	g.funcs[name] = &funcState{factory: factory, eps: make(map[string]Endpoint)}
+	g.mu.Unlock()
+	for i := 0; i < replicas; i++ {
+		spec := cluster.Instance{Function: name}
+		if nodes != nil {
+			spec.Node = nodes[i]
+		}
+		if _, err := g.cl.CreateInstance(spec); err != nil {
+			return fmt.Errorf("gateway: creating replica %d of %q: %w", i, name, err)
+		}
+	}
+	return nil
+}
+
+// Scale adjusts a function's replica count — the autoscaling hook. It
+// creates or deletes instances; the registry reallocates accordingly.
+func (g *Gateway) Scale(name string, replicas int) error {
+	if replicas < 0 {
+		return fmt.Errorf("gateway: negative replica count")
+	}
+	g.mu.Lock()
+	_, ok := g.funcs[name]
+	g.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("gateway: function %q not deployed", name)
+	}
+	current := g.cl.Instances(name)
+	for len(current) < replicas {
+		if _, err := g.cl.CreateInstance(cluster.Instance{Function: name}); err != nil {
+			return err
+		}
+		current = append(current, cluster.Instance{})
+	}
+	for i := len(current) - 1; i >= replicas; i-- {
+		if current[i].UID == "" {
+			continue
+		}
+		if err := g.cl.DeleteInstance(current[i].UID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run materializes instances from cluster events until ctx is cancelled.
+// Call it after deploying at least the factories you expect events for;
+// instances of unknown functions are ignored (they belong to other
+// controllers).
+func (g *Gateway) Run(ctx context.Context) {
+	g.mu.Lock()
+	g.runCtx = ctx
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.stopped = true
+		g.mu.Unlock()
+	}()
+	events, cancel := g.cl.Watch(64)
+	defer cancel()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			g.handle(ev)
+		}
+	}
+}
+
+func (g *Gateway) handle(ev cluster.Event) {
+	g.mu.Lock()
+	fs := g.funcs[ev.Instance.Function]
+	g.mu.Unlock()
+	if fs == nil {
+		return
+	}
+	switch ev.Type {
+	case cluster.Added, cluster.Modified:
+		if ev.Instance.Phase != cluster.Running {
+			return
+		}
+		g.materialize(fs, ev.Instance, 0)
+	case cluster.Deleted:
+		fs.mu.Lock()
+		ep, ok := fs.eps[ev.Instance.UID]
+		if ok {
+			delete(fs.eps, ev.Instance.UID)
+			for i, uid := range fs.order {
+				if uid == ev.Instance.UID {
+					fs.order = append(fs.order[:i], fs.order[i+1:]...)
+					break
+				}
+			}
+		}
+		fs.mu.Unlock()
+		if ok {
+			ep.Close()
+		}
+	}
+}
+
+// materialize runs the function factory for a Running instance, retrying
+// transient failures with exponential backoff (e.g. a Device Manager that
+// has not finished starting). Retries abandon silently if the instance
+// disappeared in the meantime.
+func (g *Gateway) materialize(fs *funcState, in cluster.Instance, attempt int) {
+	g.mu.Lock()
+	ctx, stopped := g.runCtx, g.stopped
+	g.mu.Unlock()
+	if stopped || (ctx != nil && ctx.Err() != nil) {
+		return // the gateway shut down; abandon retries
+	}
+	fs.mu.Lock()
+	_, exists := fs.eps[in.UID]
+	fs.mu.Unlock()
+	if exists {
+		return
+	}
+	if cur, ok := g.cl.Get(in.UID); !ok || cur.Phase != cluster.Running {
+		return // deleted or rescheduled while we were retrying
+	}
+	ep, err := fs.factory(in)
+	if err != nil {
+		if attempt+1 >= factoryRetries {
+			g.Logf("gateway: starting %s (%s): %v (giving up after %d attempts)",
+				in.Name, in.Function, err, attempt+1)
+			return
+		}
+		delay := g.RetryDelay << attempt
+		g.Logf("gateway: starting %s (%s): %v (retry in %v)", in.Name, in.Function, err, delay)
+		time.AfterFunc(delay, func() { g.materialize(fs, in, attempt+1) })
+		return
+	}
+	fs.mu.Lock()
+	if _, exists := fs.eps[in.UID]; exists {
+		fs.mu.Unlock()
+		ep.Close()
+		return
+	}
+	fs.eps[in.UID] = ep
+	fs.order = append(fs.order, in.UID)
+	fs.mu.Unlock()
+}
+
+// next picks an endpoint round-robin.
+func (fs *funcState) next() Endpoint {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if len(fs.order) == 0 {
+		return nil
+	}
+	uid := fs.order[fs.rr%len(fs.order)]
+	fs.rr++
+	return fs.eps[uid]
+}
+
+// Handler serves the gateway API:
+//
+//	ANY /function/<name>   invoke the function
+//	GET /system/functions  list deployments and statistics
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/function/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/function/")
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			name = name[:i]
+		}
+		g.mu.Lock()
+		fs := g.funcs[name]
+		g.mu.Unlock()
+		if fs == nil {
+			http.Error(w, fmt.Sprintf("function %q not found", name), http.StatusNotFound)
+			return
+		}
+		ep := fs.next()
+		if ep == nil {
+			http.Error(w, fmt.Sprintf("function %q has no ready instances", name), http.StatusServiceUnavailable)
+			return
+		}
+		fs.requests.Add(1)
+		fs.inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		ep.ServeHTTP(sw, r)
+		fs.inflight.Add(-1)
+		fs.latSumUs.Add(time.Since(start).Microseconds())
+		if sw.status >= 400 {
+			fs.errors.Add(1)
+		}
+	})
+	mux.HandleFunc("/system/functions", func(w http.ResponseWriter, _ *http.Request) {
+		g.mu.Lock()
+		names := make([]string, 0, len(g.funcs))
+		for n := range g.funcs {
+			names = append(names, n)
+		}
+		g.mu.Unlock()
+		fmt.Fprintln(w, "function requests errors inflight replicas avg_ms")
+		for _, n := range names {
+			s := g.Stats(n)
+			fmt.Fprintf(w, "%s %d %d %d %d %.3f\n",
+				n, s.Requests, s.Errors, s.InFlight, s.Replicas, s.AvgMillis)
+		}
+	})
+	return mux
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// Stats returns a function's gateway statistics.
+func (g *Gateway) Stats(name string) FuncStats {
+	g.mu.Lock()
+	fs := g.funcs[name]
+	g.mu.Unlock()
+	if fs == nil {
+		return FuncStats{}
+	}
+	fs.mu.Lock()
+	replicas := len(fs.order)
+	fs.mu.Unlock()
+	st := FuncStats{
+		Requests: fs.requests.Load(),
+		Errors:   fs.errors.Load(),
+		InFlight: fs.inflight.Load(),
+		Replicas: replicas,
+	}
+	if st.Requests > 0 {
+		st.AvgMillis = float64(fs.latSumUs.Load()) / float64(st.Requests) / 1000
+	}
+	return st
+}
+
+// ReadyReplicas reports how many instances of a function are serving.
+func (g *Gateway) ReadyReplicas(name string) int {
+	return g.Stats(name).Replicas
+}

@@ -1,0 +1,30 @@
+package loadgen_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"blastfunction/internal/loadgen"
+)
+
+// ExampleRun drives a synthetic target with one closed-loop connection at
+// a fixed rate, like hey -c 1 -q 50.
+func ExampleRun() {
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Connections: 1,
+		RatePerSec:  50,
+		Duration:    200 * time.Millisecond,
+		Do: func(ctx context.Context) error {
+			time.Sleep(time.Millisecond) // the simulated request
+			return nil
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("errors: %d, completed all sent: %t\n", res.Errors, res.Completed == res.Sent)
+	// Output:
+	// errors: 0, completed all sent: true
+}

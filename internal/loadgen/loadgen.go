@@ -1,0 +1,286 @@
+// Package loadgen is the reproduction's `hey` — the HTTP load generator
+// driving the paper's multi-function experiments (Table I configurations).
+//
+// Like hey with -c connections and -q rate, workers are closed loops with
+// a per-worker rate limit: a worker sends its next request at the later of
+// (a) the previous response arriving and (b) the next slot of its rate
+// schedule. With one connection per function — the paper's setup — the
+// achieved throughput therefore caps at 1/latency once the target rate
+// exceeds what the function can serve, which is exactly the saturation
+// behaviour Tables II-IV show.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// URL is the target endpoint (used by the default HTTP Do).
+	URL string
+	// Connections is the number of closed-loop workers; the paper uses 1
+	// per function.
+	Connections int
+	// RatePerSec is the aggregate target request rate across workers;
+	// zero disables rate limiting (maximum closed-loop pressure).
+	RatePerSec float64
+	// Duration bounds the run.
+	Duration time.Duration
+	// Do performs one request; nil selects an HTTP GET of URL. The
+	// returned error marks the request failed.
+	Do func(ctx context.Context) error
+	// OpenLoop decouples arrivals from completions: each worker fires
+	// requests on its rate schedule regardless of outstanding responses
+	// (bounded by MaxInFlight). The default closed loop matches hey.
+	OpenLoop bool
+	// MaxInFlight bounds concurrent requests in open-loop mode; zero
+	// selects 256.
+	MaxInFlight int
+}
+
+// Result summarizes a load run.
+type Result struct {
+	// Sent counts issued requests, Completed the successful ones, Errors
+	// the failed ones (Sent = Completed + Errors).
+	Sent      int
+	Completed int
+	Errors    int
+	// Elapsed is the observed run length.
+	Elapsed time.Duration
+	// Throughput is Completed / Elapsed in requests per second.
+	Throughput float64
+	// Latency statistics over completed requests.
+	AvgLatency time.Duration
+	MinLatency time.Duration
+	MaxLatency time.Duration
+	P50Latency time.Duration
+	P95Latency time.Duration
+	P99Latency time.Duration
+}
+
+// Run drives the target according to cfg and reports the results. It
+// returns early if ctx is cancelled.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Connections <= 0 {
+		cfg.Connections = 1
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive")
+	}
+	do := cfg.Do
+	if do == nil {
+		if cfg.URL == "" {
+			return nil, fmt.Errorf("loadgen: need URL or Do")
+		}
+		client := &http.Client{Timeout: 30 * time.Second}
+		do = func(ctx context.Context) error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.URL, nil)
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode >= 400 {
+				return fmt.Errorf("HTTP %d", resp.StatusCode)
+			}
+			return nil
+		}
+	}
+
+	if cfg.OpenLoop {
+		if cfg.RatePerSec <= 0 {
+			return nil, fmt.Errorf("loadgen: open loop requires a rate")
+		}
+		return runOpenLoop(ctx, cfg, do)
+	}
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	perWorkerRate := cfg.RatePerSec / float64(cfg.Connections)
+
+	type workerResult struct {
+		sent, completed, errors int
+		latencies               []time.Duration
+	}
+	results := make([]workerResult, cfg.Connections)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Connections; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			var interval time.Duration
+			if perWorkerRate > 0 {
+				interval = time.Duration(float64(time.Second) / perWorkerRate)
+			}
+			next := start
+			for {
+				if interval > 0 {
+					now := time.Now()
+					if now.Before(next) {
+						select {
+						case <-runCtx.Done():
+							return
+						case <-time.After(next.Sub(now)):
+						}
+					}
+					next = next.Add(interval)
+					// A saturated worker schedules from now rather than
+					// accumulating an unbounded backlog, like hey.
+					if behind := time.Since(next); behind > interval {
+						next = time.Now()
+					}
+				}
+				select {
+				case <-runCtx.Done():
+					return
+				default:
+				}
+				res.sent++
+				t0 := time.Now()
+				err := do(runCtx)
+				lat := time.Since(t0)
+				if err != nil {
+					if runCtx.Err() != nil {
+						res.sent-- // aborted by shutdown, not a real request
+						return
+					}
+					res.errors++
+					continue
+				}
+				res.completed++
+				res.latencies = append(res.latencies, lat)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	out := &Result{Elapsed: elapsed}
+	var all []time.Duration
+	for i := range results {
+		out.Sent += results[i].sent
+		out.Completed += results[i].completed
+		out.Errors += results[i].errors
+		all = append(all, results[i].latencies...)
+	}
+	if elapsed > 0 {
+		out.Throughput = float64(out.Completed) / elapsed.Seconds()
+	}
+	summarize(out, all)
+	return out, nil
+}
+
+func summarize(out *Result, lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	out.AvgLatency = sum / time.Duration(len(lats))
+	out.MinLatency = lats[0]
+	out.MaxLatency = lats[len(lats)-1]
+	out.P50Latency = percentile(lats, 0.50)
+	out.P95Latency = percentile(lats, 0.95)
+	out.P99Latency = percentile(lats, 0.99)
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// String renders the result like hey's summary.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"requests: %d sent, %d ok, %d errors | %.2f rq/s | latency avg %v p50 %v p95 %v max %v",
+		r.Sent, r.Completed, r.Errors, r.Throughput,
+		r.AvgLatency.Round(time.Microsecond), r.P50Latency.Round(time.Microsecond),
+		r.P95Latency.Round(time.Microsecond), r.MaxLatency.Round(time.Microsecond))
+}
+
+// runOpenLoop fires requests on a fixed schedule, independent of response
+// times — the arrival process of a public endpoint rather than a polite
+// closed-loop client. Latency under overload then grows with queueing
+// instead of throttling arrivals.
+func runOpenLoop(ctx context.Context, cfg Config, do func(context.Context) error) (*Result, error) {
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 256
+	}
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	interval := time.Duration(float64(time.Second) / cfg.RatePerSec)
+	sem := make(chan struct{}, maxInFlight)
+
+	var mu sync.Mutex
+	out := &Result{}
+	var lats []time.Duration
+	var wg sync.WaitGroup
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+loop:
+	for {
+		select {
+		case <-runCtx.Done():
+			break loop
+		case <-ticker.C:
+			select {
+			case sem <- struct{}{}:
+			default:
+				// At the in-flight cap: the request is dropped, counted as
+				// an error (an overloaded open-loop target sheds load).
+				mu.Lock()
+				out.Sent++
+				out.Errors++
+				mu.Unlock()
+				continue
+			}
+			mu.Lock()
+			out.Sent++
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				err := do(runCtx)
+				lat := time.Since(t0)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if runCtx.Err() != nil {
+						out.Sent--
+						return
+					}
+					out.Errors++
+					return
+				}
+				out.Completed++
+				lats = append(lats, lat)
+			}()
+		}
+	}
+	wg.Wait()
+	out.Elapsed = time.Since(start)
+	if out.Elapsed > 0 {
+		out.Throughput = float64(out.Completed) / out.Elapsed.Seconds()
+	}
+	summarize(out, lats)
+	return out, nil
+}

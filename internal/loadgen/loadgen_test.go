@@ -1,0 +1,234 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRateLimitedOpenLoad(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+	}))
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Config{
+		URL:         srv.URL,
+		Connections: 2,
+		RatePerSec:  100,
+		Duration:    500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~50 requests expected; allow wide scheduling slack.
+	if res.Completed < 30 || res.Completed > 70 {
+		t.Fatalf("completed = %d, want ~50", res.Completed)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Throughput < 60 || res.Throughput > 140 {
+		t.Fatalf("throughput = %.1f, want ~100", res.Throughput)
+	}
+	if res.AvgLatency <= 0 || res.MinLatency > res.MaxLatency {
+		t.Fatalf("latency stats inconsistent: %+v", res)
+	}
+}
+
+func TestClosedLoopSaturation(t *testing.T) {
+	// A single connection against a 20ms handler cannot exceed ~50 rq/s
+	// regardless of the 500 rq/s target — the paper's saturation regime.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(20 * time.Millisecond)
+	}))
+	defer srv.Close()
+	res, err := Run(context.Background(), Config{
+		URL:         srv.URL,
+		Connections: 1,
+		RatePerSec:  500,
+		Duration:    400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput > 60 {
+		t.Fatalf("throughput = %.1f, closed loop must cap near 50", res.Throughput)
+	}
+	if res.AvgLatency < 15*time.Millisecond {
+		t.Fatalf("avg latency = %v, want >= 20ms-ish", res.AvgLatency)
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 0 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	defer srv.Close()
+	res, err := Run(context.Background(), Config{
+		URL:         srv.URL,
+		Connections: 1,
+		RatePerSec:  200,
+		Duration:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 || res.Completed == 0 {
+		t.Fatalf("expected mixed outcomes: %+v", res)
+	}
+	if res.Sent != res.Completed+res.Errors {
+		t.Fatalf("sent %d != completed %d + errors %d", res.Sent, res.Completed, res.Errors)
+	}
+}
+
+func TestCustomDoFunc(t *testing.T) {
+	var calls atomic.Int64
+	res, err := Run(context.Background(), Config{
+		Connections: 4,
+		Duration:    100 * time.Millisecond,
+		Do: func(ctx context.Context) error {
+			calls.Add(1)
+			time.Sleep(time.Millisecond)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || int64(res.Completed) != calls.Load() {
+		t.Fatalf("completed = %d, calls = %d", res.Completed, calls.Load())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{URL: "x", Duration: 0}); err == nil {
+		t.Fatal("zero duration must fail")
+	}
+	if _, err := Run(context.Background(), Config{Duration: time.Second}); err == nil {
+		t.Fatal("no target must fail")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(ctx, Config{
+		Connections: 1,
+		Duration:    10 * time.Second,
+		Do: func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Millisecond):
+				return nil
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation did not stop the run")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	var r Result
+	summarize(&r, lats)
+	if r.P50Latency != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", r.P50Latency)
+	}
+	if r.P95Latency != 95*time.Millisecond {
+		t.Fatalf("p95 = %v", r.P95Latency)
+	}
+	if r.MinLatency != time.Millisecond || r.MaxLatency != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", r.MinLatency, r.MaxLatency)
+	}
+	if r.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestResultStringFormat(t *testing.T) {
+	r := &Result{Sent: 10, Completed: 9, Errors: 1, Throughput: 45.5,
+		AvgLatency: 20 * time.Millisecond}
+	s := r.String()
+	for _, want := range []string{"10 sent", "9 ok", "1 errors", "45.50 rq/s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestOpenLoopMaintainsArrivalRate(t *testing.T) {
+	// A slow handler does not throttle open-loop arrivals: sent count
+	// tracks the schedule even though each response takes 50ms.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(50 * time.Millisecond)
+	}))
+	defer srv.Close()
+	res, err := Run(context.Background(), Config{
+		URL:        srv.URL,
+		RatePerSec: 100,
+		Duration:   500 * time.Millisecond,
+		OpenLoop:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~50 arrivals expected despite 50ms latency (a closed loop with one
+	// connection would manage ~10).
+	if res.Sent < 30 {
+		t.Fatalf("open loop sent only %d", res.Sent)
+	}
+}
+
+func TestOpenLoopShedsAtInFlightCap(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	done := make(chan *Result, 1)
+	go func() {
+		res, _ := Run(context.Background(), Config{
+			URL:         srv.URL,
+			RatePerSec:  200,
+			Duration:    300 * time.Millisecond,
+			OpenLoop:    true,
+			MaxInFlight: 4,
+		})
+		done <- res
+	}()
+	time.Sleep(350 * time.Millisecond)
+	close(block)
+	res := <-done
+	if res.Errors == 0 {
+		t.Fatal("expected shed requests at the in-flight cap")
+	}
+}
+
+func TestOpenLoopRequiresRate(t *testing.T) {
+	if _, err := Run(context.Background(), Config{
+		URL: "http://example.invalid", Duration: time.Second, OpenLoop: true,
+	}); err == nil {
+		t.Fatal("open loop without rate must fail")
+	}
+}

@@ -1,0 +1,337 @@
+// Package manager implements the BlastFunction Device Manager.
+//
+// One Device Manager controls one FPGA board and provides the time-sharing
+// mechanism of the paper's Section III-B:
+//
+//   - context and information methods (session, context, queue, buffer,
+//     program and kernel management) execute synchronously; the board
+//     reconfiguration request is the one blocking member of this group;
+//   - command-queue methods (enqueue write/read/kernel) accumulate into
+//     the client's current multi-operation task, the atomic unit of
+//     execution; a flush seals the task and submits it to the manager's
+//     central FIFO queue;
+//   - a worker pulls tasks and executes them on the FPGA one at a time,
+//     notifying the per-operation events back to the caller as each
+//     operation completes;
+//   - each client's resource pool (buffers, kernels, queues) is private,
+//     enforcing isolation between tenants sharing the board;
+//   - data moves inline over the RPC channel or through a per-client
+//     shared-memory segment;
+//   - runtime metrics (above all the FPGA time utilization) are exported
+//     in the Prometheus text format for the Accelerators Registry.
+package manager
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blastfunction/internal/fpga"
+	"blastfunction/internal/metrics"
+	"blastfunction/internal/ocl"
+	"blastfunction/internal/rpc"
+	"blastfunction/internal/wire"
+)
+
+// Config parameterizes a Device Manager.
+type Config struct {
+	// Node is the node name the manager runs on; clients compare it with
+	// their own to decide whether shared memory is possible.
+	Node string
+	// DeviceID names the managed board in metrics and the Registry.
+	DeviceID string
+	// QueueCapacity bounds the central task queue; submissions block when
+	// it is full (backpressure). Zero selects 1024.
+	QueueCapacity int
+	// ReconfigGate, when set, validates reconfiguration requests before
+	// they reach the board. The Accelerators Registry installs a gate that
+	// enforces its allocation decisions.
+	ReconfigGate func(clientName, bitstreamID string) error
+}
+
+// Manager serves one board. It implements rpc.Handler.
+type Manager struct {
+	cfg   Config
+	board *fpga.Board
+	reg   *metrics.Registry
+
+	tasks chan *task
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	nextSess uint64
+	closed   bool
+
+	wg sync.WaitGroup
+
+	// Counters behind the exported metrics.
+	mConnected  metrics.Gauge
+	mTasks      metrics.Counter
+	mOps        metrics.Counter
+	mQueueDepth metrics.Gauge
+	mBusy       metrics.Counter
+	mScale      metrics.Gauge
+	mReconfigs  metrics.Counter
+	mBytesIn    metrics.Counter
+	mBytesOut   metrics.Counter
+	mKernels    metrics.Counter
+	mTaskHist   metrics.Histogram
+
+	traces *traceRing
+
+	lastBusy atomic.Int64 // last board busy reading pushed to mBusy
+}
+
+// New creates a Device Manager for the board and starts its worker.
+func New(cfg Config, board *fpga.Board) *Manager {
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 1024
+	}
+	if cfg.DeviceID == "" {
+		cfg.DeviceID = "fpga0"
+	}
+	reg := metrics.NewRegistry()
+	lbl := metrics.Labels{"device": cfg.DeviceID, "node": cfg.Node}
+	m := &Manager{
+		cfg:      cfg,
+		board:    board,
+		reg:      reg,
+		tasks:    make(chan *task, cfg.QueueCapacity),
+		sessions: make(map[uint64]*session),
+
+		mConnected:  reg.Gauge("bf_connected_clients", "Function instances connected to this Device Manager.", lbl),
+		mTasks:      reg.Counter("bf_tasks_total", "Tasks executed on the device.", lbl),
+		mOps:        reg.Counter("bf_ops_total", "Operations executed on the device.", lbl),
+		mQueueDepth: reg.Gauge("bf_queue_depth", "Tasks waiting in the central queue.", lbl),
+		mBusy:       reg.Counter("bf_device_busy_seconds_total", "Modelled seconds the device spent computing OpenCL calls.", lbl),
+		mScale:      reg.Gauge("bf_device_time_scale", "Wall seconds per modelled second (board TimeScale).", lbl),
+		mReconfigs:  reg.Counter("bf_reconfigurations_total", "Board reconfigurations performed.", lbl),
+		mBytesIn:    reg.Counter("bf_bytes_in_total", "Bytes written to the device.", lbl),
+		mBytesOut:   reg.Counter("bf_bytes_out_total", "Bytes read from the device.", lbl),
+		mKernels:    reg.Counter("bf_kernel_runs_total", "Kernel launches executed.", lbl),
+		mTaskHist: reg.Histogram("bf_task_device_seconds",
+			"Modelled device occupancy per executed task.", lbl, nil),
+		traces: newTraceRing(512),
+	}
+	m.mScale.Set(board.Config().TimeScale)
+	m.wg.Add(1)
+	go m.worker()
+	return m
+}
+
+// Board returns the managed board.
+func (m *Manager) Board() *fpga.Board { return m.board }
+
+// Node returns the manager's node name.
+func (m *Manager) Node() string { return m.cfg.Node }
+
+// DeviceID returns the managed device's identifier.
+func (m *Manager) DeviceID() string { return m.cfg.DeviceID }
+
+// MetricsHandler serves the manager's metrics in exposition format.
+func (m *Manager) MetricsHandler() http.Handler { return m.reg.Handler() }
+
+// Metrics exposes the registry for in-process consumers (tests, embedded
+// deployments).
+func (m *Manager) Metrics() *metrics.Registry { return m.reg }
+
+// Close stops the worker after draining submitted tasks. Connections are
+// owned by the rpc.Server and closed there.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.tasks)
+	m.wg.Wait()
+}
+
+// worker is the single executor pulling tasks from the central queue in
+// FIFO order — one task occupies the FPGA at a time.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for t := range m.tasks {
+		m.mQueueDepth.Set(float64(len(m.tasks)))
+		m.runTask(t)
+		m.syncBoardCounters()
+	}
+}
+
+// syncBoardCounters pushes the board's cumulative counters into the
+// exported metrics.
+func (m *Manager) syncBoardCounters() {
+	st := m.board.Stats()
+	busy := int64(st.BusyTime)
+	prev := m.lastBusy.Swap(busy)
+	if busy > prev {
+		m.mBusy.Add(time.Duration(busy - prev).Seconds())
+	}
+}
+
+// HandleConnect implements rpc.Handler.
+func (m *Manager) HandleConnect(c *rpc.Conn) {
+	m.mConnected.Add(1)
+}
+
+// HandleDisconnect implements rpc.Handler: release the client's private
+// resource pool.
+func (m *Manager) HandleDisconnect(c *rpc.Conn) {
+	m.mConnected.Add(-1)
+	s, _ := c.Session().(*session)
+	if s == nil {
+		return
+	}
+	m.mu.Lock()
+	delete(m.sessions, s.id)
+	m.mu.Unlock()
+	s.release(m.board)
+}
+
+// HandleRequest implements rpc.Handler, dispatching the Device Manager
+// service methods.
+func (m *Manager) HandleRequest(c *rpc.Conn, method wire.Method, body []byte) ([]byte, error) {
+	d := wire.NewDecoder(body)
+	if method == wire.MethodHello {
+		return m.handleHello(c, d)
+	}
+	s, _ := c.Session().(*session)
+	if s == nil {
+		return nil, ocl.Errf(ocl.ErrInvalidOperation, "no session: Hello required first")
+	}
+	switch method {
+	case wire.MethodDeviceInfo:
+		return m.handleDeviceInfo()
+	case wire.MethodCreateContext:
+		return s.createContext()
+	case wire.MethodReleaseContext:
+		return s.releaseContext(d)
+	case wire.MethodCreateQueue:
+		return s.createQueue(d)
+	case wire.MethodReleaseQueue:
+		return s.releaseQueue(m, d)
+	case wire.MethodCreateBuffer:
+		return s.createBuffer(m.board, d)
+	case wire.MethodReleaseBuffer:
+		return s.releaseBuffer(m.board, d)
+	case wire.MethodCreateProgram:
+		return s.createProgram(m.board, d)
+	case wire.MethodBuildProgram:
+		return m.handleBuildProgram(s, d)
+	case wire.MethodCreateKernel:
+		return s.createKernel(d)
+	case wire.MethodReleaseKernel:
+		return s.releaseKernel(d)
+	case wire.MethodSetKernelArg:
+		return s.setKernelArg(d)
+	case wire.MethodSetupShm:
+		return s.setupShm(d)
+	case wire.MethodEnqueueWrite:
+		return s.enqueueWrite(m, c, d)
+	case wire.MethodEnqueueRead:
+		return s.enqueueRead(m, c, d)
+	case wire.MethodEnqueueKernel:
+		return s.enqueueKernel(m, c, d)
+	case wire.MethodFlush:
+		return s.flush(m, c, d)
+	}
+	return nil, ocl.Errf(ocl.ErrInvalidOperation, "unknown method %v", method)
+}
+
+func (m *Manager) handleHello(c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
+	var req wire.HelloRequest
+	req.Decode(d)
+	if err := d.Err(); err != nil {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "malformed Hello: %v", err)
+	}
+	if req.ProtoVersion != wire.ProtoVersion {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "protocol version %d, manager speaks %d",
+			req.ProtoVersion, wire.ProtoVersion)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ocl.Errf(ocl.ErrDeviceNotAvailable, "manager shutting down")
+	}
+	m.nextSess++
+	s := newSession(m.nextSess, req.ClientName)
+	m.sessions[s.id] = s
+	m.mu.Unlock()
+	c.SetSession(s)
+
+	e := wire.NewEncoder(32)
+	(&wire.HelloResponse{SessionID: s.id, Node: m.cfg.Node}).Encode(e)
+	return e.Bytes(), nil
+}
+
+func (m *Manager) handleDeviceInfo() ([]byte, error) {
+	cfg := m.board.Config()
+	e := wire.NewEncoder(128)
+	(&wire.DeviceInfoResponse{
+		Name:          cfg.Name,
+		Vendor:        cfg.Vendor,
+		PlatformName:  "Intel(R) FPGA SDK for OpenCL(TM) (BlastFunction remote)",
+		GlobalMem:     cfg.MemBytes,
+		ConfiguredBit: m.board.ConfiguredID(),
+		Accelerator:   m.board.ConfiguredAccelerator(),
+	}).Encode(e)
+	return e.Bytes(), nil
+}
+
+// handleBuildProgram is the blocking board-reconfiguration request: it is
+// the only context/information method that stalls the device (the board
+// mutex holds off the worker while reprogramming).
+func (m *Manager) handleBuildProgram(s *session, d *wire.Decoder) ([]byte, error) {
+	var req wire.IDRequest
+	req.Decode(d)
+	if err := d.Err(); err != nil {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "malformed BuildProgram: %v", err)
+	}
+	binary, bitID, err := s.programBinary(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	if m.board.ConfiguredID() == bitID {
+		return nil, nil // already configured: cheap no-op as in the Intel runtime
+	}
+	if gate := m.cfg.ReconfigGate; gate != nil {
+		if err := gate(s.clientName, bitID); err != nil {
+			return nil, ocl.Errf(ocl.ErrInvalidOperation, "reconfiguration rejected: %v", err)
+		}
+	}
+	if _, err := m.board.Configure(binary); err != nil {
+		return nil, err
+	}
+	m.mReconfigs.Inc()
+	m.syncBoardCounters()
+	return nil, nil
+}
+
+// submit places a sealed task on the central queue.
+func (m *Manager) submit(t *task) error {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return ocl.Errf(ocl.ErrDeviceNotAvailable, "manager shutting down")
+	}
+	m.tasks <- t
+	m.mQueueDepth.Set(float64(len(m.tasks)))
+	return nil
+}
+
+// Sessions reports the number of live sessions (diagnostics).
+func (m *Manager) Sessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// String describes the manager for logs.
+func (m *Manager) String() string {
+	return fmt.Sprintf("manager(%s@%s)", m.cfg.DeviceID, m.cfg.Node)
+}

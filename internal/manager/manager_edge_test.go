@@ -1,0 +1,255 @@
+package manager_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"blastfunction/internal/accel"
+	"blastfunction/internal/fpga"
+	"blastfunction/internal/manager"
+	"blastfunction/internal/model"
+	"blastfunction/internal/ocl"
+	"blastfunction/internal/rpc"
+	"blastfunction/internal/wire"
+)
+
+// rawClient dials the rig with a bare RPC client for protocol-level tests.
+func rawClient(t *testing.T, rig *testRig) *rpc.Client {
+	t.Helper()
+	c, err := rpc.Dial(rig.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func hello(t *testing.T, c *rpc.Client, name string, version uint32) ([]byte, error) {
+	t.Helper()
+	e := wire.NewEncoder(32)
+	(&wire.HelloRequest{ClientName: name, ProtoVersion: version}).Encode(e)
+	return c.Call(wire.MethodHello, e.Bytes())
+}
+
+func TestProtocolVersionMismatchRejected(t *testing.T) {
+	rig := newRig(t, manager.Config{})
+	c := rawClient(t, rig)
+	if _, err := hello(t, c, "old-client", wire.ProtoVersion+1); !errors.Is(err, ocl.ErrInvalidValue) {
+		t.Fatalf("version mismatch err = %v", err)
+	}
+	// The connection itself survives; a correct Hello then works.
+	if _, err := hello(t, c, "fixed-client", wire.ProtoVersion); err != nil {
+		t.Fatalf("corrected hello: %v", err)
+	}
+}
+
+func TestRequestsBeforeHelloRejected(t *testing.T) {
+	rig := newRig(t, manager.Config{})
+	c := rawClient(t, rig)
+	for _, m := range []wire.Method{
+		wire.MethodDeviceInfo, wire.MethodCreateContext, wire.MethodCreateBuffer,
+	} {
+		if _, err := c.Call(m, nil); !errors.Is(err, ocl.ErrInvalidOperation) {
+			t.Fatalf("%v before Hello err = %v", m, err)
+		}
+	}
+}
+
+func TestUnknownMethodRejected(t *testing.T) {
+	rig := newRig(t, manager.Config{})
+	c := rawClient(t, rig)
+	if _, err := hello(t, c, "x", wire.ProtoVersion); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(wire.Method(9999), nil); !errors.Is(err, ocl.ErrInvalidOperation) {
+		t.Fatalf("unknown method err = %v", err)
+	}
+}
+
+func TestMalformedBodiesDoNotCrashManager(t *testing.T) {
+	rig := newRig(t, manager.Config{})
+	c := rawClient(t, rig)
+	if _, err := hello(t, c, "fuzz", wire.ProtoVersion); err != nil {
+		t.Fatal(err)
+	}
+	garbage := [][]byte{nil, {0x01}, bytes.Repeat([]byte{0xFF}, 64), []byte("not a message")}
+	// MethodCreateContext is excluded: it takes no body, so any payload
+	// legitimately succeeds.
+	methods := []wire.Method{
+		wire.MethodReleaseContext, wire.MethodCreateQueue,
+		wire.MethodReleaseQueue, wire.MethodCreateBuffer, wire.MethodReleaseBuffer,
+		wire.MethodCreateProgram, wire.MethodBuildProgram, wire.MethodCreateKernel,
+		wire.MethodReleaseKernel, wire.MethodSetKernelArg, wire.MethodSetupShm,
+	}
+	for _, m := range methods {
+		for _, g := range garbage {
+			// Some short bodies decode to zero-valued requests, which fail
+			// handle-validation instead; either way the call must return an
+			// error response, never crash or hang.
+			if _, err := c.Call(m, g); err == nil {
+				t.Fatalf("method %v accepted garbage body %v", m, g)
+			}
+		}
+	}
+	// The session is still functional afterwards.
+	if _, err := c.Call(wire.MethodCreateContext, nil); err != nil {
+		t.Fatalf("manager unusable after garbage: %v", err)
+	}
+}
+
+func TestCommandQueueGarbageFailsViaEvents(t *testing.T) {
+	rig := newRig(t, manager.Config{})
+	c := rawClient(t, rig)
+	if _, err := hello(t, c, "fuzz2", wire.ProtoVersion); err != nil {
+		t.Fatal(err)
+	}
+	// Fire-and-forget garbage on the command-queue methods: no unary
+	// response exists, so nothing to assert beyond the manager staying
+	// alive and responsive.
+	for _, m := range []wire.Method{wire.MethodEnqueueWrite, wire.MethodEnqueueRead, wire.MethodEnqueueKernel, wire.MethodFlush} {
+		if err := c.Send(m, []byte{0xde, 0xad}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Call(wire.MethodDeviceInfo, nil); err != nil {
+		t.Fatalf("manager unresponsive after command-queue garbage: %v", err)
+	}
+}
+
+func TestSmallQueueCapacityBackpressure(t *testing.T) {
+	// A tiny central queue with a slow board: submissions backpressure
+	// but every task still completes.
+	board := fpga.NewBoard(fpga.Config{
+		Name:      "slow",
+		Vendor:    "v",
+		MemBytes:  1 << 20,
+		Cost:      model.WorkerNode(),
+		TimeScale: 0.001,
+	}, accel.Catalog())
+	mgr := manager.New(manager.Config{Node: "n", DeviceID: "d", QueueCapacity: 2}, board)
+	srv := rpc.NewServer(mgr)
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); mgr.Close() })
+
+	rig := &testRig{mgr: mgr, srv: srv, addr: addr, board: board}
+	client := dialRig(t, rig, 1 /* TransportGRPC */, "backpressure")
+	ctx, dev, q := openDevice(t, client)
+	k := buildLoopback(t, ctx, dev)
+	in, _ := ctx.CreateBuffer(ocl.MemReadOnly, 256, nil)
+	out, _ := ctx.CreateBuffer(ocl.MemWriteOnly, 256, nil)
+	k.SetArg(0, in)
+	k.SetArg(1, out)
+	k.SetArg(2, int32(256))
+	var events []ocl.Event
+	for i := 0; i < 16; i++ {
+		ev, err := q.EnqueueTask(k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+		if err := q.Flush(); err != nil { // one task per flush: 16 tasks
+			t.Fatal(err)
+		}
+	}
+	if err := ocl.WaitForEvents(events...); err != nil {
+		t.Fatal(err)
+	}
+	if got := board.Stats().KernelRuns; got != 16 {
+		t.Fatalf("kernel runs = %d", got)
+	}
+}
+
+func TestTaskTraceAndHistogram(t *testing.T) {
+	rig := newRig(t, manager.Config{DeviceID: "traced"})
+	client := dialRig(t, rig, 1, "trace-tenant")
+	ctx, dev, q := openDevice(t, client)
+	k := buildLoopback(t, ctx, dev)
+	in, _ := ctx.CreateBuffer(ocl.MemReadOnly, 64, nil)
+	out, _ := ctx.CreateBuffer(ocl.MemWriteOnly, 64, nil)
+	k.SetArg(0, in)
+	k.SetArg(1, out)
+	k.SetArg(2, int32(64))
+	for i := 0; i < 3; i++ {
+		if _, err := q.EnqueueWriteBuffer(in, false, 0, make([]byte, 64), nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.EnqueueTask(k, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	traces := rig.mgr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("traces = %d, want 3", len(traces))
+	}
+	for i, tr := range traces {
+		if tr.Client != "trace-tenant" || tr.Ops != 2 || tr.Failed {
+			t.Fatalf("trace %d = %+v", i, tr)
+		}
+		if tr.DeviceTime <= 0 {
+			t.Fatalf("trace %d device time = %v", i, tr.DeviceTime)
+		}
+		if i > 0 && traces[i].Seq != traces[i-1].Seq+1 {
+			t.Fatalf("sequence gap at %d", i)
+		}
+	}
+	// The histogram counted the tasks.
+	text := rig.mgr.Metrics().Render()
+	if !strings.Contains(text, `bf_task_device_seconds_count{device="traced",node="testnode"} 3`) {
+		t.Fatalf("task histogram missing:\n%s", text)
+	}
+	// The trace HTTP endpoint serves JSON.
+	srv := httptest.NewServer(rig.mgr.TraceHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []manager.TaskTrace
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(got) != 3 {
+		t.Fatalf("endpoint traces = %d", len(got))
+	}
+}
+
+func TestTraceRingOverwritesOldest(t *testing.T) {
+	rig := newRig(t, manager.Config{DeviceID: "ring"})
+	client := dialRig(t, rig, 1, "ring-tenant")
+	ctx, _, q := openDevice(t, client)
+	buf, _ := ctx.CreateBuffer(ocl.MemReadWrite, 16, nil)
+	// 600 single-op tasks against the default 512-entry ring.
+	for i := 0; i < 600; i++ {
+		if _, err := q.EnqueueWriteBuffer(buf, false, 0, make([]byte, 16), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	traces := rig.mgr.Traces()
+	if len(traces) != 512 {
+		t.Fatalf("ring holds %d, want 512", len(traces))
+	}
+	if traces[0].Seq != 600-512+1 {
+		t.Fatalf("oldest seq = %d, want %d", traces[0].Seq, 600-512+1)
+	}
+	if traces[len(traces)-1].Seq != 600 {
+		t.Fatalf("newest seq = %d, want 600", traces[len(traces)-1].Seq)
+	}
+}

@@ -1,0 +1,349 @@
+package manager
+
+import (
+	"time"
+
+	"blastfunction/internal/model"
+	"blastfunction/internal/ocl"
+	"blastfunction/internal/rpc"
+	"blastfunction/internal/wire"
+)
+
+// opKind discriminates task operations.
+type opKind uint8
+
+const (
+	opWrite opKind = iota + 1
+	opRead
+	opKernel
+)
+
+// op is one operation inside a task. Kernel arguments are snapshotted at
+// enqueue time, as clEnqueueNDRangeKernel semantics require.
+type op struct {
+	kind opKind
+	tag  uint64
+
+	// Transfers.
+	boardBuf uint64
+	offset   int64
+	length   int64
+	via      wire.DataVia
+	data     []byte // inline write payload
+	shmOff   int64
+
+	// Kernel launches.
+	kernelName string
+	args       []ocl.Arg
+	global     []int
+	local      []int
+}
+
+// task is the atomic unit of execution: the operations a client enqueued
+// on one command queue between two flushes. The worker runs its operations
+// back to back on the FPGA, which keeps one client's read-kernel-write
+// sequences from interleaving with another tenant's.
+type task struct {
+	sess *session
+	conn *rpc.Conn
+	ops  []op
+}
+
+func (s *session) enqueueWrite(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
+	var req wire.EnqueueWriteRequest
+	req.Decode(d)
+	if err := d.Err(); err != nil {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "malformed EnqueueWrite: %v", err)
+	}
+	q, err := s.queue(req.Queue)
+	if err != nil {
+		sendFail(c, req.Tag, err)
+		return nil, nil
+	}
+	buf, err := s.lookupBuffer(req.Buffer)
+	if err != nil {
+		sendFail(c, req.Tag, err)
+		return nil, nil
+	}
+	o := op{
+		kind:     opWrite,
+		tag:      req.Tag,
+		boardBuf: buf.boardID,
+		offset:   req.Offset,
+		via:      req.Via,
+	}
+	switch req.Via {
+	case wire.ViaInline:
+		o.data = req.Data
+		o.length = int64(len(req.Data))
+	case wire.ViaShm:
+		if s.segment() == nil {
+			sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidOperation, "no shared-memory segment negotiated"))
+			return nil, nil
+		}
+		o.shmOff = req.ShmOff
+		o.length = req.ShmLen
+	default:
+		sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidValue, "data path %d", req.Via))
+		return nil, nil
+	}
+	s.appendOp(m, c, q, o)
+	return nil, nil
+}
+
+func (s *session) enqueueRead(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
+	var req wire.EnqueueReadRequest
+	req.Decode(d)
+	if err := d.Err(); err != nil {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "malformed EnqueueRead: %v", err)
+	}
+	q, err := s.queue(req.Queue)
+	if err != nil {
+		sendFail(c, req.Tag, err)
+		return nil, nil
+	}
+	buf, err := s.lookupBuffer(req.Buffer)
+	if err != nil {
+		sendFail(c, req.Tag, err)
+		return nil, nil
+	}
+	if req.Via == wire.ViaShm && s.segment() == nil {
+		sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidOperation, "no shared-memory segment negotiated"))
+		return nil, nil
+	}
+	s.appendOp(m, c, q, op{
+		kind:     opRead,
+		tag:      req.Tag,
+		boardBuf: buf.boardID,
+		offset:   req.Offset,
+		length:   req.Length,
+		via:      req.Via,
+		shmOff:   req.ShmOff,
+	})
+	return nil, nil
+}
+
+func (s *session) enqueueKernel(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
+	var req wire.EnqueueKernelRequest
+	req.Decode(d)
+	if err := d.Err(); err != nil {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "malformed EnqueueKernel: %v", err)
+	}
+	q, err := s.queue(req.Queue)
+	if err != nil {
+		sendFail(c, req.Tag, err)
+		return nil, nil
+	}
+	s.mu.Lock()
+	k, ok := s.kernels[req.Kernel]
+	if !ok {
+		s.mu.Unlock()
+		sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidKernel, "kernel %d", req.Kernel))
+		return nil, nil
+	}
+	for i, set := range k.set {
+		if !set {
+			name := k.name
+			s.mu.Unlock()
+			sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidKernelArgs,
+				"kernel %q: argument %d not set", name, i))
+			return nil, nil
+		}
+	}
+	args := append([]ocl.Arg(nil), k.args...)
+	name := k.name
+	s.mu.Unlock()
+
+	toInts := func(v []int64) []int {
+		if v == nil {
+			return nil
+		}
+		out := make([]int, len(v))
+		for i, x := range v {
+			out[i] = int(x)
+		}
+		return out
+	}
+	s.appendOp(m, c, q, op{
+		kind:       opKernel,
+		tag:        req.Tag,
+		kernelName: name,
+		args:       args,
+		global:     toInts(req.Global),
+		local:      toInts(req.Local),
+	})
+	return nil, nil
+}
+
+// appendOp adds the operation to the queue's current task and acknowledges
+// it (the FIRST step of the client's event state machine).
+func (s *session) appendOp(m *Manager, c *rpc.Conn, q *queueState, o op) {
+	s.mu.Lock()
+	q.cur = append(q.cur, o)
+	s.mu.Unlock()
+	m.notifyOp(c, &wire.OpNotification{Tag: o.tag, State: wire.OpAccepted})
+}
+
+// flush seals the queue's current task and submits it to the central FIFO
+// queue. An empty task is a no-op.
+func (s *session) flush(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
+	var req wire.FlushRequest
+	req.Decode(d)
+	if err := d.Err(); err != nil {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "malformed Flush: %v", err)
+	}
+	q, err := s.queue(req.Queue)
+	if err != nil {
+		return nil, nil // nothing to fail: flush carries no tag
+	}
+	s.mu.Lock()
+	ops := q.cur
+	q.cur = nil
+	s.mu.Unlock()
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	if err := m.submit(&task{sess: s, conn: c, ops: ops}); err != nil {
+		for _, o := range ops {
+			sendFail(c, o.tag, err)
+		}
+	}
+	return nil, nil
+}
+
+// notifyOp pushes an operation notification to the client.
+func (m *Manager) notifyOp(c *rpc.Conn, n *wire.OpNotification) {
+	e := wire.NewEncoder(64 + len(n.Data))
+	n.Encode(e)
+	c.Notify(e.Bytes()) // best effort
+}
+
+// runTask executes one task's operations back to back on the FPGA.
+// A failing operation aborts the rest of the task: the queue is in-order,
+// so later operations would observe inconsistent state.
+func (m *Manager) runTask(t *task) {
+	m.mTasks.Inc()
+	var taskDevice time.Duration
+	cost := m.board.Cost()
+	scale := m.board.Config().TimeScale
+	// Control-plane overhead of the flushed task (calibrated; the real
+	// wire cost of this reproduction is far below hardware-era gRPC).
+	if scale > 0 {
+		time.Sleep(time.Duration(float64(cost.TaskControlOverhead(len(t.ops))) * scale))
+	}
+	failed := false
+	var abortErr error
+	for _, o := range t.ops {
+		if failed {
+			m.notifyOp(t.conn, &wire.OpNotification{
+				Tag:    o.tag,
+				State:  wire.OpFailed,
+				Status: int32(ocl.ErrInvalidOperation),
+				Error:  "aborted: earlier operation in task failed: " + abortErr.Error(),
+			})
+			continue
+		}
+		m.notifyOp(t.conn, &wire.OpNotification{Tag: o.tag, State: wire.OpRunning})
+		n, err := m.runOp(t, o, cost, scale)
+		m.mOps.Inc()
+		if n != nil {
+			taskDevice += time.Duration(n.DeviceNanos)
+		}
+		if err != nil {
+			failed, abortErr = true, err
+			m.notifyOp(t.conn, &wire.OpNotification{
+				Tag:    o.tag,
+				State:  wire.OpFailed,
+				Status: int32(ocl.StatusOf(err)),
+				Error:  err.Error(),
+			})
+			continue
+		}
+		m.notifyOp(t.conn, n)
+	}
+	m.mTaskHist.Observe(taskDevice.Seconds())
+	m.traces.add(TaskTrace{
+		Client:      t.sess.clientName,
+		Ops:         len(t.ops),
+		DeviceTime:  taskDevice,
+		Failed:      failed,
+		CompletedAt: time.Now(),
+	})
+}
+
+// runOp executes one operation and builds its completion notification.
+func (m *Manager) runOp(t *task, o op, cost *model.CostModel, scale float64) (*wire.OpNotification, error) {
+	n := &wire.OpNotification{Tag: o.tag, State: wire.OpComplete}
+	sleepHost := func(d time.Duration) {
+		if scale > 0 && d > 0 {
+			time.Sleep(time.Duration(float64(d) * scale))
+		}
+	}
+	switch o.kind {
+	case opWrite:
+		var src []byte
+		switch o.via {
+		case wire.ViaInline:
+			src = o.data
+			sleepHost(cost.GRPCDataOverhead(o.length))
+		case wire.ViaShm:
+			seg := t.sess.segment()
+			if seg == nil {
+				return nil, ocl.Errf(ocl.ErrInvalidOperation, "shared-memory segment vanished")
+			}
+			rng, err := seg.Range(o.shmOff, o.length)
+			if err != nil {
+				return nil, ocl.Errf(ocl.ErrInvalidValue, "shm write range: %v", err)
+			}
+			src = rng
+			sleepHost(cost.ShmDataOverhead(o.length))
+		}
+		d, err := m.board.Write(o.boardBuf, o.offset, src)
+		if err != nil {
+			return nil, err
+		}
+		n.DeviceNanos = int64(d)
+		m.mBytesIn.Add(float64(o.length))
+	case opRead:
+		switch o.via {
+		case wire.ViaInline:
+			dst := make([]byte, o.length)
+			d, err := m.board.Read(o.boardBuf, o.offset, dst)
+			if err != nil {
+				return nil, err
+			}
+			sleepHost(cost.GRPCDataOverhead(o.length))
+			n.Data = dst
+			n.DeviceNanos = int64(d)
+		case wire.ViaShm:
+			seg := t.sess.segment()
+			if seg == nil {
+				return nil, ocl.Errf(ocl.ErrInvalidOperation, "shared-memory segment vanished")
+			}
+			dst, err := seg.Range(o.shmOff, o.length)
+			if err != nil {
+				return nil, ocl.Errf(ocl.ErrInvalidValue, "shm read range: %v", err)
+			}
+			d, err := m.board.Read(o.boardBuf, o.offset, dst)
+			if err != nil {
+				return nil, err
+			}
+			sleepHost(cost.ShmDataOverhead(o.length))
+			n.ShmLen = o.length
+			n.DeviceNanos = int64(d)
+		default:
+			return nil, ocl.Errf(ocl.ErrInvalidValue, "data path %d", o.via)
+		}
+		m.mBytesOut.Add(float64(o.length))
+	case opKernel:
+		d, err := m.board.Run(o.kernelName, o.args, o.global)
+		if err != nil {
+			return nil, err
+		}
+		n.DeviceNanos = int64(d)
+		m.mKernels.Inc()
+	default:
+		return nil, ocl.Errf(ocl.ErrInvalidOperation, "unknown op kind %d", o.kind)
+	}
+	return n, nil
+}

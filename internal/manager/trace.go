@@ -1,0 +1,81 @@
+package manager
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// TaskTrace is one completed task's execution record, kept in the
+// manager's trace ring for operational debugging (which tenant ran what,
+// when, for how long).
+type TaskTrace struct {
+	// Seq is a monotonically increasing task sequence number.
+	Seq uint64 `json:"seq"`
+	// Client is the owning function instance's name.
+	Client string `json:"client"`
+	// Ops is the number of operations in the task.
+	Ops int `json:"ops"`
+	// DeviceTime is the modelled board occupancy of the task.
+	DeviceTime time.Duration `json:"device_ns"`
+	// Failed marks tasks aborted by a failing operation.
+	Failed bool `json:"failed,omitempty"`
+	// CompletedAt is the wall-clock completion time.
+	CompletedAt time.Time `json:"completed_at"`
+}
+
+// traceRing keeps the most recent task traces.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []TaskTrace
+	next int
+	full bool
+	seq  uint64
+}
+
+func newTraceRing(capacity int) *traceRing {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &traceRing{buf: make([]TaskTrace, capacity)}
+}
+
+// add appends one trace, overwriting the oldest when full.
+func (r *traceRing) add(t TaskTrace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	t.Seq = r.seq
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// snapshot returns the retained traces, oldest first.
+func (r *traceRing) snapshot() []TaskTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []TaskTrace
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Traces returns the manager's recent task executions, oldest first.
+func (m *Manager) Traces() []TaskTrace { return m.traces.snapshot() }
+
+// TraceHandler serves the trace ring as JSON, for blastctl-style
+// inspection of what recently ran on the board.
+func (m *Manager) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.Traces())
+	})
+}

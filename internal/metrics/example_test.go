@@ -1,0 +1,25 @@
+package metrics_test
+
+import (
+	"fmt"
+	"strings"
+
+	"blastfunction/internal/metrics"
+)
+
+// ExampleRegistry exports a utilization counter in the Prometheus text
+// format, as every Device Manager does.
+func ExampleRegistry() {
+	reg := metrics.NewRegistry()
+	busy := reg.Counter("bf_device_busy_seconds_total",
+		"Seconds the device spent computing OpenCL calls.",
+		metrics.Labels{"device": "fpga-B", "node": "B"})
+	busy.Add(12.5)
+	for _, line := range strings.Split(strings.TrimSpace(reg.Render()), "\n") {
+		fmt.Println(line)
+	}
+	// Output:
+	// # HELP bf_device_busy_seconds_total Seconds the device spent computing OpenCL calls.
+	// # TYPE bf_device_busy_seconds_total counter
+	// bf_device_busy_seconds_total{device="fpga-B",node="B"} 12.5
+}

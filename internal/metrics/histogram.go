@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefaultLatencyBuckets spans microseconds to seconds, suitable for the
+// task-latency distributions the Device Manager exports.
+var DefaultLatencyBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5,
+}
+
+// histSeries is one histogram time series.
+type histSeries struct {
+	labels  Labels
+	buckets []float64 // sorted upper bounds, +Inf implied
+
+	mu     sync.Mutex
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// Histogram observes a distribution into cumulative buckets, exposed in
+// the standard <name>_bucket{le=...}/_sum/_count form.
+type Histogram struct{ s *histSeries }
+
+// Observe records one value.
+func (h Histogram) Observe(v float64) {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	for i, ub := range h.s.buckets {
+		if v <= ub {
+			h.s.counts[i]++
+		}
+	}
+	h.s.sum += v
+	h.s.count++
+}
+
+// Count returns the number of observations.
+func (h Histogram) Count() uint64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.count
+}
+
+// Sum returns the sum of observations.
+func (h Histogram) Sum() float64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.sum
+}
+
+// Quantile estimates the q-quantile (0..1) from the cumulative buckets by
+// linear interpolation inside the containing bucket, like Prometheus'
+// histogram_quantile.
+func (h Histogram) Quantile(q float64) float64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	if h.s.count == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(h.s.count)
+	lower := 0.0
+	var prev uint64
+	for i, ub := range h.s.buckets {
+		c := h.s.counts[i]
+		if float64(c) >= rank {
+			inBucket := c - prev
+			if inBucket == 0 {
+				return ub
+			}
+			frac := (rank - float64(prev)) / float64(inBucket)
+			return lower + (ub-lower)*frac
+		}
+		lower = ub
+		prev = c
+	}
+	return lower // above the last finite bucket
+}
+
+// histFamily stores histogram series under one metric name.
+type histFamily struct {
+	name    string
+	help    string
+	buckets []float64
+	mu      sync.Mutex
+	byLabel map[string]*histSeries
+}
+
+// Histogram returns the histogram series for (name, labels), creating it
+// with the given buckets on first use (nil selects
+// DefaultLatencyBuckets). Buckets are fixed per metric name.
+func (r *Registry) Histogram(name, help string, labels Labels, buckets []float64) Histogram {
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets
+	}
+	r.mu.Lock()
+	hf, ok := r.hists[name]
+	if !ok {
+		sorted := append([]float64(nil), buckets...)
+		sort.Float64s(sorted)
+		hf = &histFamily{name: name, help: help, buckets: sorted, byLabel: make(map[string]*histSeries)}
+		if r.hists == nil {
+			r.hists = make(map[string]*histFamily)
+		}
+		r.hists[name] = hf
+		r.histOrder = append(r.histOrder, name)
+	}
+	r.mu.Unlock()
+
+	k := labels.key()
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	s, ok := hf.byLabel[k]
+	if !ok {
+		copied := make(Labels, len(labels))
+		for lk, lv := range labels {
+			copied[lk] = lv
+		}
+		s = &histSeries{labels: copied, buckets: hf.buckets, counts: make([]uint64, len(hf.buckets))}
+		hf.byLabel[k] = s
+	}
+	return Histogram{s}
+}
+
+// renderHistograms appends exposition lines for every histogram family.
+func (r *Registry) renderHistograms(b *strings.Builder) {
+	r.mu.Lock()
+	names := append([]string(nil), r.histOrder...)
+	fams := make([]*histFamily, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.hists[n])
+	}
+	r.mu.Unlock()
+	for _, hf := range fams {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", hf.name, hf.help, hf.name)
+		hf.mu.Lock()
+		keys := make([]string, 0, len(hf.byLabel))
+		for k := range hf.byLabel {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := hf.byLabel[k]
+			s.mu.Lock()
+			for i, ub := range s.buckets {
+				fmt.Fprintf(b, "%s_bucket%s %d\n", hf.name,
+					withLE(s.labels, strconv.FormatFloat(ub, 'g', -1, 64)), s.counts[i])
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", hf.name, withLE(s.labels, "+Inf"), s.count)
+			fmt.Fprintf(b, "%s_sum%s %s\n", hf.name, s.labels.String(),
+				strconv.FormatFloat(s.sum, 'g', -1, 64))
+			fmt.Fprintf(b, "%s_count%s %d\n", hf.name, s.labels.String(), s.count)
+			s.mu.Unlock()
+		}
+		hf.mu.Unlock()
+	}
+}
+
+// withLE renders a label set extended with an le bucket bound.
+func withLE(l Labels, le string) string {
+	parts := make([]string, 0, len(l)+1)
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, l[k]))
+	}
+	parts = append(parts, fmt.Sprintf("le=%q", le))
+	return "{" + strings.Join(parts, ",") + "}"
+}

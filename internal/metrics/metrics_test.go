@@ -1,0 +1,308 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Total requests.", Labels{"fn": "sobel-1"})
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // ignored: counters are monotonic
+	if c.Value() != 3.5 {
+		t.Fatalf("counter = %v", c.Value())
+	}
+	g := r.Gauge("queue_depth", "Tasks queued.", nil)
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	// Same name+labels returns the same series.
+	c2 := r.Counter("requests_total", "Total requests.", Labels{"fn": "sobel-1"})
+	c2.Inc()
+	if c.Value() != 4.5 {
+		t.Fatalf("series not shared: %v", c.Value())
+	}
+}
+
+func TestRenderFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bf_tasks_total", "Tasks executed.", Labels{"device": "fpga0", "node": "B"}).Add(12)
+	r.Gauge("bf_utilization", "FPGA time utilization.", nil).Set(0.42)
+	text := r.Render()
+	for _, want := range []string{
+		"# HELP bf_tasks_total Tasks executed.",
+		"# TYPE bf_tasks_total counter",
+		`bf_tasks_total{device="fpga0",node="B"} 12`,
+		"# TYPE bf_utilization gauge",
+		"bf_utilization 0.42",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.", Labels{"x": "1", "y": "two"}).Add(5)
+	r.Gauge("b", "B.", nil).Set(-1.5)
+	r.Gauge("c", "C.", Labels{"esc": "with space"}).Set(1e9)
+	samples, err := Parse(r.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]float64)
+	for _, s := range samples {
+		byKey[s.SeriesKey()] = s.Value
+	}
+	if byKey[`a_total{x="1",y="two"}`] != 5 {
+		t.Errorf("a_total = %v (keys %v)", byKey, samples)
+	}
+	if byKey["b"] != -1.5 {
+		t.Errorf("b = %v", byKey["b"])
+	}
+	if byKey[`c{esc="with space"}`] != 1e9 {
+		t.Errorf("c = %v", byKey)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"novalue",
+		"name{unterminated 1",
+		`name{k=nov} 1`,
+		`name{k="open} 1`,
+		"1badname 2",
+		"name notanumber",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParsePropertyRoundTrip(t *testing.T) {
+	// Any counter value and simple label value survives render->parse.
+	check := func(v float64, raw uint32) bool {
+		if v != v || v < 0 { // NaN/negative not representable by counters
+			v = 1
+		}
+		label := "v" + string(rune('a'+raw%26))
+		r := NewRegistry()
+		r.Counter("prop_total", "p", Labels{"k": label}).Add(v)
+		samples, err := Parse(r.Render())
+		if err != nil || len(samples) != 1 {
+			return false
+		}
+		return samples[0].Value == v && samples[0].Labels["k"] == label
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTSDBRateAndAvg(t *testing.T) {
+	db := NewTSDB(time.Minute)
+	base := time.Unix(1000, 0)
+	lbl := Labels{"device": "fpga0"}
+	// Counter increasing 2 per second.
+	for i := 0; i < 10; i++ {
+		db.Append(base.Add(time.Duration(i)*time.Second), []Sample{
+			{Name: "busy_total", Labels: lbl, Value: float64(i * 2)},
+			{Name: "depth", Labels: lbl, Value: float64(i)},
+		})
+	}
+	now := base.Add(9 * time.Second)
+	rate, ok := db.Rate("busy_total", lbl, now, 20*time.Second)
+	if !ok || rate < 1.99 || rate > 2.01 {
+		t.Fatalf("rate = %v ok=%v, want 2", rate, ok)
+	}
+	avg, ok := db.Avg("depth", lbl, now, 20*time.Second)
+	if !ok || avg != 4.5 {
+		t.Fatalf("avg = %v ok=%v, want 4.5", avg, ok)
+	}
+	latest, ok := db.Latest("depth", lbl)
+	if !ok || latest != 9 {
+		t.Fatalf("latest = %v", latest)
+	}
+	if _, ok := db.Rate("missing", nil, now, time.Second); ok {
+		t.Fatal("rate of unknown series must report not-ok")
+	}
+}
+
+func TestTSDBCounterReset(t *testing.T) {
+	db := NewTSDB(time.Minute)
+	base := time.Unix(2000, 0)
+	lbl := Labels{"d": "x"}
+	db.Append(base, []Sample{{Name: "c_total", Labels: lbl, Value: 100}})
+	// Manager restarts: counter falls back to near zero.
+	db.Append(base.Add(10*time.Second), []Sample{{Name: "c_total", Labels: lbl, Value: 5}})
+	rate, ok := db.Rate("c_total", lbl, base.Add(10*time.Second), time.Minute)
+	if !ok || rate < 0 {
+		t.Fatalf("rate after reset = %v ok=%v", rate, ok)
+	}
+}
+
+func TestTSDBRetention(t *testing.T) {
+	db := NewTSDB(10 * time.Second)
+	base := time.Unix(3000, 0)
+	lbl := Labels{"d": "x"}
+	db.Append(base, []Sample{{Name: "g", Labels: lbl, Value: 1}})
+	db.Append(base.Add(30*time.Second), []Sample{{Name: "g", Labels: lbl, Value: 2}})
+	// Only the recent point remains; Avg over a huge window sees just it.
+	avg, ok := db.Avg("g", lbl, base.Add(30*time.Second), time.Hour)
+	if !ok || avg != 2 {
+		t.Fatalf("avg = %v ok=%v, want 2 (old point must be evicted)", avg, ok)
+	}
+}
+
+func TestTSDBSeriesDiscovery(t *testing.T) {
+	db := NewTSDB(time.Minute)
+	now := time.Unix(4000, 0)
+	db.Append(now, []Sample{
+		{Name: "util", Labels: Labels{"device": "a"}, Value: 1},
+		{Name: "util", Labels: Labels{"device": "b"}, Value: 2},
+		{Name: "other", Labels: Labels{"device": "c"}, Value: 3},
+	})
+	got := db.Series("util")
+	if len(got) != 2 {
+		t.Fatalf("Series = %v", got)
+	}
+}
+
+func TestScraperEndToEnd(t *testing.T) {
+	reg := NewRegistry()
+	busy := reg.Counter("bf_busy_seconds_total", "Busy.", Labels{"device": "fpga0"})
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	db := NewTSDB(time.Minute)
+	sc := NewScraper(db, time.Second)
+	now := time.Unix(5000, 0)
+	sc.Now = func() time.Time { return now }
+	sc.AddTarget("fpga0", srv.URL)
+
+	busy.Add(1.0)
+	sc.ScrapeOnce()
+	now = now.Add(10 * time.Second)
+	busy.Add(5.0)
+	sc.ScrapeOnce()
+
+	rate, ok := db.Rate("bf_busy_seconds_total", Labels{"device": "fpga0"}, now, time.Minute)
+	if !ok {
+		t.Fatal("no rate after two scrapes")
+	}
+	if rate < 0.49 || rate > 0.51 { // 5 seconds of busy over 10 seconds
+		t.Fatalf("rate = %v, want 0.5", rate)
+	}
+	if err := sc.LastError("fpga0"); err != nil {
+		t.Fatalf("scrape error: %v", err)
+	}
+	if len(sc.Targets()) != 1 {
+		t.Fatalf("targets = %v", sc.Targets())
+	}
+	sc.RemoveTarget("fpga0")
+	if len(sc.Targets()) != 0 {
+		t.Fatal("target not removed")
+	}
+}
+
+func TestScraperRecordsErrors(t *testing.T) {
+	db := NewTSDB(time.Minute)
+	sc := NewScraper(db, time.Second)
+	sc.AddTarget("dead", "http://127.0.0.1:1/metrics")
+	sc.ScrapeOnce()
+	if err := sc.LastError("dead"); err == nil {
+		t.Fatal("expected scrape error for dead target")
+	}
+}
+
+func TestLabelsString(t *testing.T) {
+	if got := (Labels{}).String(); got != "" {
+		t.Errorf("empty labels = %q", got)
+	}
+	l := Labels{"b": "2", "a": "1"}
+	if got := l.String(); got != `{a="1",b="2"}` {
+		t.Errorf("labels = %q (must be sorted)", got)
+	}
+}
+
+func TestHistogramObserveAndRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bf_task_seconds", "Task durations.", Labels{"device": "d0"},
+		[]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 5.555 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	text := r.Render()
+	for _, want := range []string{
+		"# TYPE bf_task_seconds histogram",
+		`bf_task_seconds_bucket{device="d0",le="0.01"} 1`,
+		`bf_task_seconds_bucket{device="d0",le="0.1"} 2`,
+		`bf_task_seconds_bucket{device="d0",le="1"} 3`,
+		`bf_task_seconds_bucket{device="d0",le="+Inf"} 4`,
+		`bf_task_seconds_sum{device="d0"} 5.555`,
+		`bf_task_seconds_count{device="d0"} 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+	// Rendered histograms parse back (le is an ordinary label).
+	samples, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 6 {
+		t.Fatalf("parsed %d samples", len(samples))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "Q.", nil, []float64{1, 2, 4, 8})
+	// 100 observations uniform over (0,4]: quantiles interpolate.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	if q := h.Quantile(0.5); q < 1.8 || q > 2.2 {
+		t.Fatalf("p50 = %v, want ~2", q)
+	}
+	if q := h.Quantile(0.95); q < 3.4 || q > 4.2 {
+		t.Fatalf("p95 = %v, want ~3.8", q)
+	}
+	if !math.IsNaN(r.Histogram("empty", "E.", nil, nil).Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	if !math.IsNaN(h.Quantile(1.5)) {
+		t.Fatal("out-of-range quantile must be NaN")
+	}
+}
+
+func TestHistogramSeriesSharing(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("shared", "S.", Labels{"x": "1"}, []float64{1})
+	b := r.Histogram("shared", "S.", Labels{"x": "1"}, []float64{99}) // buckets fixed at first use
+	a.Observe(0.5)
+	if b.Count() != 1 {
+		t.Fatal("same name+labels must share the series")
+	}
+	c := r.Histogram("shared", "S.", Labels{"x": "2"}, nil)
+	if c.Count() != 0 {
+		t.Fatal("different labels must get a fresh series")
+	}
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels Labels
+	Value  float64
+}
+
+// SeriesKey identifies a time series across scrapes.
+func (s Sample) SeriesKey() string { return s.Name + s.Labels.String() }
+
+// Parse reads the text exposition format, skipping comments and blanks.
+// It accepts exactly the subset Render produces (names, optional label
+// sets, float values) and rejects malformed lines rather than guessing.
+func Parse(text string) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	return out, sc.Err()
+}
+
+func parseLine(line string) (Sample, error) {
+	var s Sample
+	// Split metric part from value at the last space.
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return s, fmt.Errorf("no value separator in %q", line)
+	}
+	metricPart := strings.TrimSpace(line[:sp])
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	brace := strings.IndexByte(metricPart, '{')
+	if brace < 0 {
+		s.Name = metricPart
+		return s, validName(s.Name)
+	}
+	if !strings.HasSuffix(metricPart, "}") {
+		return s, fmt.Errorf("unterminated label set in %q", line)
+	}
+	s.Name = metricPart[:brace]
+	if err := validName(s.Name); err != nil {
+		return s, err
+	}
+	labelText := metricPart[brace+1 : len(metricPart)-1]
+	if labelText == "" {
+		return s, nil
+	}
+	s.Labels = make(Labels)
+	for len(labelText) > 0 {
+		eq := strings.IndexByte(labelText, '=')
+		if eq < 0 || len(labelText) < eq+2 || labelText[eq+1] != '"' {
+			return s, fmt.Errorf("malformed label in %q", line)
+		}
+		key := labelText[:eq]
+		rest := labelText[eq+2:]
+		end := strings.IndexByte(rest, '"')
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label value in %q", line)
+		}
+		s.Labels[key] = rest[:end]
+		labelText = rest[end+1:]
+		labelText = strings.TrimPrefix(labelText, ",")
+	}
+	return s, nil
+}
+
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}

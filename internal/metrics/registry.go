@@ -1,0 +1,208 @@
+// Package metrics is the reproduction's Prometheus substitute.
+//
+// The paper's Accelerators Registry consumes Device Manager metrics (FPGA
+// time utilization above all) through a Prometheus service. Offline
+// modules rule out the real client libraries, so this package provides the
+// pieces BlastFunction needs: counters/gauges with labels, the text
+// exposition format over HTTP, a polling scraper, and a small in-memory
+// TSDB with the windowed rate/average queries the Metrics Gatherer runs.
+package metrics
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels is an immutable label set. Keep them small: every distinct
+// combination creates one time series.
+type Labels map[string]string
+
+// key renders labels canonically (sorted) for map keys and exposition.
+func (l Labels) key() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	return b.String()
+}
+
+// String renders labels in exposition syntax: {a="x",b="y"}.
+func (l Labels) String() string {
+	if len(l) == 0 {
+		return ""
+	}
+	return "{" + l.key() + "}"
+}
+
+// series is one (name, labels) time series' current value.
+type series struct {
+	labels Labels
+	mu     sync.Mutex
+	value  float64
+}
+
+// metric is a named family of series.
+type metric struct {
+	name    string
+	help    string
+	typ     string // "counter" or "gauge"
+	mu      sync.Mutex
+	byLabel map[string]*series
+}
+
+func (m *metric) get(l Labels) *series {
+	k := l.key()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.byLabel[k]
+	if !ok {
+		copied := make(Labels, len(l))
+		for lk, lv := range l {
+			copied[lk] = lv
+		}
+		s = &series{labels: copied}
+		m.byLabel[k] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ s *series }
+
+// Add increases the counter; negative deltas are ignored to preserve
+// monotonicity.
+func (c Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.s.mu.Lock()
+	c.s.value += v
+	c.s.mu.Unlock()
+}
+
+// Inc adds one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c Counter) Value() float64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.s.value
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g Gauge) Set(v float64) {
+	g.s.mu.Lock()
+	g.s.value = v
+	g.s.mu.Unlock()
+}
+
+// Add adjusts the gauge by v (may be negative).
+func (g Gauge) Add(v float64) {
+	g.s.mu.Lock()
+	g.s.value += v
+	g.s.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g Gauge) Value() float64 {
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
+	return g.s.value
+}
+
+// Registry holds metric families and renders the exposition format.
+type Registry struct {
+	mu        sync.Mutex
+	metrics   map[string]*metric
+	order     []string
+	hists     map[string]*histFamily
+	histOrder []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func (r *Registry) family(name, help, typ string) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.metrics[name]
+	if !ok {
+		m = &metric{name: name, help: help, typ: typ, byLabel: make(map[string]*series)}
+		r.metrics[name] = m
+		r.order = append(r.order, name)
+	}
+	return m
+}
+
+// Counter returns the counter series for (name, labels), creating it on
+// first use.
+func (r *Registry) Counter(name, help string, labels Labels) Counter {
+	return Counter{r.family(name, help, "counter").get(labels)}
+}
+
+// Gauge returns the gauge series for (name, labels).
+func (r *Registry) Gauge(name, help string, labels Labels) Gauge {
+	return Gauge{r.family(name, help, "gauge").get(labels)}
+}
+
+// Render writes the registry in the Prometheus text exposition format.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*metric, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.metrics[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, fam := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.typ)
+		fam.mu.Lock()
+		keys := make([]string, 0, len(fam.byLabel))
+		for k := range fam.byLabel {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := fam.byLabel[k]
+			s.mu.Lock()
+			v := s.value
+			s.mu.Unlock()
+			fmt.Fprintf(&b, "%s%s %s\n", fam.name, s.labels.String(),
+				strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		fam.mu.Unlock()
+	}
+	r.renderHistograms(&b)
+	return b.String()
+}
+
+// Handler serves the exposition format, like promhttp.Handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, r.Render())
+	})
+}

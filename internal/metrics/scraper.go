@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Scraper polls metric endpoints and feeds a TSDB, standing in for the
+// Prometheus server of the paper's deployment.
+type Scraper struct {
+	db       *TSDB
+	interval time.Duration
+	client   *http.Client
+	// Now is injectable for deterministic tests.
+	Now func() time.Time
+
+	mu      sync.Mutex
+	targets map[string]string // target name -> URL
+	errs    map[string]error  // last scrape error per target
+}
+
+// NewScraper creates a scraper feeding db every interval.
+func NewScraper(db *TSDB, interval time.Duration) *Scraper {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Scraper{
+		db:       db,
+		interval: interval,
+		client:   &http.Client{Timeout: 5 * time.Second},
+		Now:      time.Now,
+		targets:  make(map[string]string),
+		errs:     make(map[string]error),
+	}
+}
+
+// AddTarget registers a named scrape endpoint (e.g. a Device Manager's
+// /metrics URL). Re-adding a name replaces its URL.
+func (s *Scraper) AddTarget(name, url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.targets[name] = url
+}
+
+// RemoveTarget deregisters a target.
+func (s *Scraper) RemoveTarget(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.targets, name)
+	delete(s.errs, name)
+}
+
+// Targets lists registered target names.
+func (s *Scraper) Targets() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.targets))
+	for n := range s.targets {
+		out = append(out, n)
+	}
+	return out
+}
+
+// LastError returns the most recent scrape error for a target (nil when
+// healthy or unknown).
+func (s *Scraper) LastError(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errs[name]
+}
+
+// ScrapeOnce polls every target once at the current time. Tests and the
+// DES experiments call it directly for determinism.
+func (s *Scraper) ScrapeOnce() {
+	s.mu.Lock()
+	targets := make(map[string]string, len(s.targets))
+	for n, u := range s.targets {
+		targets[n] = u
+	}
+	s.mu.Unlock()
+	now := s.Now()
+	for name, url := range targets {
+		samples, err := s.fetch(url)
+		s.mu.Lock()
+		s.errs[name] = err
+		s.mu.Unlock()
+		if err != nil {
+			continue
+		}
+		s.db.Append(now, samples)
+	}
+}
+
+func (s *Scraper) fetch(url string) ([]Sample, error) {
+	resp, err := s.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	return Parse(string(body))
+}
+
+// Run scrapes on the configured interval until ctx is cancelled.
+func (s *Scraper) Run(ctx context.Context) {
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.ScrapeOnce()
+		}
+	}
+}

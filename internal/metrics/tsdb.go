@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one timestamped observation.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// TSDB is a small in-memory time-series store with bounded retention —
+// the slice of Prometheus the Metrics Gatherer needs.
+type TSDB struct {
+	mu        sync.Mutex
+	retention time.Duration
+	series    map[string][]Point // keyed by Sample.SeriesKey()
+	meta      map[string]Sample  // name+labels of each key
+}
+
+// NewTSDB creates a store keeping points for the given retention window.
+func NewTSDB(retention time.Duration) *TSDB {
+	if retention <= 0 {
+		retention = 15 * time.Minute
+	}
+	return &TSDB{
+		retention: retention,
+		series:    make(map[string][]Point),
+		meta:      make(map[string]Sample),
+	}
+}
+
+// Append stores samples observed at time t.
+func (db *TSDB) Append(t time.Time, samples []Sample) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cutoff := t.Add(-db.retention)
+	for _, s := range samples {
+		k := s.SeriesKey()
+		pts := append(db.series[k], Point{T: t, V: s.Value})
+		// Drop points past retention (they are sorted by time).
+		i := 0
+		for i < len(pts) && pts[i].T.Before(cutoff) {
+			i++
+		}
+		db.series[k] = pts[i:]
+		if _, ok := db.meta[k]; !ok {
+			db.meta[k] = Sample{Name: s.Name, Labels: s.Labels}
+		}
+	}
+}
+
+// Latest returns the most recent value of the series, if any.
+func (db *TSDB) Latest(name string, labels Labels) (float64, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pts := db.series[Sample{Name: name, Labels: labels}.SeriesKey()]
+	if len(pts) == 0 {
+		return 0, false
+	}
+	return pts[len(pts)-1].V, true
+}
+
+// window returns the points of a series within [now-window, now].
+func (db *TSDB) window(key string, now time.Time, window time.Duration) []Point {
+	pts := db.series[key]
+	lo := sort.Search(len(pts), func(i int) bool {
+		return !pts[i].T.Before(now.Add(-window))
+	})
+	return pts[lo:]
+}
+
+// Rate computes the per-second increase of a counter series over the
+// window ending at now — the equivalent of PromQL's rate(). It needs at
+// least two points in the window.
+func (db *TSDB) Rate(name string, labels Labels, now time.Time, window time.Duration) (float64, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pts := db.window(Sample{Name: name, Labels: labels}.SeriesKey(), now, window)
+	if len(pts) < 2 {
+		return 0, false
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	dt := last.T.Sub(first.T).Seconds()
+	if dt <= 0 {
+		return 0, false
+	}
+	dv := last.V - first.V
+	if dv < 0 {
+		// Counter reset (manager restart): fall back to the last value
+		// accumulated since the reset.
+		dv = last.V
+	}
+	return dv / dt, true
+}
+
+// Avg computes the mean of a gauge series over the window ending at now.
+func (db *TSDB) Avg(name string, labels Labels, now time.Time, window time.Duration) (float64, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pts := db.window(Sample{Name: name, Labels: labels}.SeriesKey(), now, window)
+	if len(pts) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += p.V
+	}
+	return sum / float64(len(pts)), true
+}
+
+// Series lists the label sets currently stored for a metric name.
+func (db *TSDB) Series(name string) []Labels {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []Labels
+	for _, m := range db.meta {
+		if m.Name == name {
+			out = append(out, m.Labels)
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPCIeTransferScalesLinearly(t *testing.T) {
+	m := WorkerNode()
+	small := m.PCIeTransfer(1 << 20)
+	big := m.PCIeTransfer(1 << 30)
+	if small <= m.PCIeBaseLatency {
+		t.Fatalf("1MB transfer %v not above base latency", small)
+	}
+	// 1 GB at 6 GB/s is ~166 ms.
+	want := time.Second / 6
+	if diff := big - m.PCIeBaseLatency - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("1GB transfer = %v, want ~%v", big, want)
+	}
+	if m.PCIeTransfer(0) != 0 || m.PCIeTransfer(-5) != 0 {
+		t.Fatal("degenerate transfers must cost nothing")
+	}
+}
+
+func TestShmOverheadCalibration(t *testing.T) {
+	// Paper: transferring 2 GB through the shm path costs ~155 ms of
+	// copy overhead (one staging copy at ~13 GB/s).
+	m := WorkerNode()
+	got := m.ShmDataOverhead(2 << 30)
+	want := 155 * time.Millisecond
+	if got < want-10*time.Millisecond || got > want+10*time.Millisecond {
+		t.Fatalf("shm overhead at 2GB = %v, want ~%v", got, want)
+	}
+}
+
+func TestGRPCRoughlyFourTimesNative(t *testing.T) {
+	// Paper Fig. 4a: the pure gRPC path shows ~4x the native RTT at large
+	// sizes. Native large-transfer RTT is dominated by PCIe; the gRPC path
+	// adds 3 copies + serialization.
+	m := WorkerNode()
+	size := int64(2 << 30)
+	native := m.PCIeTransfer(size)
+	grpc := native + m.GRPCDataOverhead(size) + m.ControlRTT
+	ratio := float64(grpc) / float64(native)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("gRPC/native ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func TestControlOverheadPerOp(t *testing.T) {
+	m := WorkerNode()
+	if m.TaskControlOverhead(0) != 0 {
+		t.Fatal("empty task must cost nothing")
+	}
+	one := m.TaskControlOverhead(1)
+	if one != m.ControlRTT {
+		t.Fatalf("1-op task = %v, want %v", one, m.ControlRTT)
+	}
+	three := m.TaskControlOverhead(3)
+	if three != m.ControlRTT+2*m.PerOpControl {
+		t.Fatalf("3-op task = %v", three)
+	}
+}
+
+func TestMasterNodeIsSlower(t *testing.T) {
+	w, a := WorkerNode(), MasterNode()
+	size := int64(8 << 20)
+	if a.PCIeTransfer(size) <= w.PCIeTransfer(size) {
+		t.Fatal("master node PCIe Gen2 must be slower than worker Gen3")
+	}
+	if a.HostCopy(size) <= w.HostCopy(size) {
+		t.Fatal("master node host copies must be slower")
+	}
+	if a.HostFactor <= w.HostFactor {
+		t.Fatal("master node host factor must exceed worker")
+	}
+}
+
+func TestTransportString(t *testing.T) {
+	cases := map[Transport]string{
+		TransportNative: "Native",
+		TransportGRPC:   "BlastFunction",
+		TransportShm:    "BlastFunction shm",
+		Transport(99):   "unknown",
+	}
+	for tr, want := range cases {
+		if tr.String() != want {
+			t.Errorf("%d.String() = %q, want %q", tr, tr.String(), want)
+		}
+	}
+}
+
+func TestDataOverheadByTransport(t *testing.T) {
+	m := WorkerNode()
+	n := int64(1 << 20)
+	if m.DataOverhead(TransportNative, n) != 0 {
+		t.Fatal("native transport has no data overhead")
+	}
+	if m.DataOverhead(TransportShm, n) != m.ShmDataOverhead(n) {
+		t.Fatal("shm overhead mismatch")
+	}
+	if m.DataOverhead(TransportGRPC, n) != m.GRPCDataOverhead(n) {
+		t.Fatal("grpc overhead mismatch")
+	}
+	if m.DataOverhead(TransportGRPC, n) <= m.DataOverhead(TransportShm, n) {
+		t.Fatal("gRPC path must cost more than shm path")
+	}
+	if m.ControlOverhead(TransportNative, 3) != 0 {
+		t.Fatal("native pays no control overhead")
+	}
+	if m.ControlOverhead(TransportShm, 3) != m.TaskControlOverhead(3) {
+		t.Fatal("shm control overhead mismatch")
+	}
+}
+
+func TestOverheadMonotonicInSize(t *testing.T) {
+	m := WorkerNode()
+	prevG, prevS := time.Duration(0), time.Duration(0)
+	for _, n := range []int64{1 << 10, 1 << 16, 1 << 20, 1 << 26, 1 << 30} {
+		g, s := m.GRPCDataOverhead(n), m.ShmDataOverhead(n)
+		if g < prevG || s < prevS {
+			t.Fatalf("overheads not monotonic at %d bytes", n)
+		}
+		prevG, prevS = g, s
+	}
+}

@@ -1,0 +1,167 @@
+package ocl
+
+// Client is the entry point of an OpenCL runtime. Both the native runtime
+// (exclusive board access, the paper's baseline) and the BlastFunction
+// Remote OpenCL Library implement it, so host code is written once and runs
+// against either — the transparency property the paper claims.
+type Client interface {
+	// Platforms enumerates the available OpenCL platforms, as in
+	// clGetPlatformIDs.
+	Platforms() ([]Platform, error)
+	// CreateContext creates an execution context spanning the given
+	// devices, which must all belong to the same platform.
+	CreateContext(devices []Device) (Context, error)
+	// Close releases every resource the client still holds, including
+	// remote sessions for the remote implementation.
+	Close() error
+}
+
+// Platform describes an OpenCL platform (vendor runtime).
+type Platform interface {
+	// Name returns the platform name, e.g. "Intel(R) FPGA SDK for OpenCL(TM)".
+	Name() string
+	// Vendor returns the platform vendor string.
+	Vendor() string
+	// Version returns the platform OpenCL version string.
+	Version() string
+	// Devices enumerates devices of the given type, as in clGetDeviceIDs.
+	Devices(typ DeviceType) ([]Device, error)
+}
+
+// Device describes a single accelerator board.
+type Device interface {
+	// Name returns the board name, e.g. "de5a_net : Arria 10 GX".
+	Name() string
+	// Vendor returns the device vendor string.
+	Vendor() string
+	// Type returns the device class; FPGAs report DeviceTypeAccelerator.
+	Type() DeviceType
+	// GlobalMemSize returns the on-board DDR capacity in bytes.
+	GlobalMemSize() int64
+	// Available reports whether the device can accept new contexts.
+	Available() bool
+}
+
+// Context owns devices, buffers, programs and queues, as in clCreateContext.
+type Context interface {
+	// Devices returns the devices the context spans.
+	Devices() []Device
+	// CreateCommandQueue creates an in-order command queue on the device,
+	// as in clCreateCommandQueue.
+	CreateCommandQueue(d Device, props QueueProps) (CommandQueue, error)
+	// CreateBuffer allocates a device buffer of size bytes, as in
+	// clCreateBuffer. If hostData is non-nil the buffer is initialized by
+	// copying it (CL_MEM_COPY_HOST_PTR semantics).
+	CreateBuffer(flags MemFlags, size int, hostData []byte) (Buffer, error)
+	// CreateProgramWithBinary loads a pre-synthesized bitstream, as in
+	// clCreateProgramWithBinary. FPGA flows never compile from source
+	// online; the binary is the .aocx produced offline.
+	CreateProgramWithBinary(d Device, binary []byte) (Program, error)
+	// Release destroys the context and everything created from it.
+	Release() error
+}
+
+// Buffer is a device memory object, as created by clCreateBuffer.
+type Buffer interface {
+	// Size returns the allocation size in bytes.
+	Size() int
+	// Flags returns the allocation flags.
+	Flags() MemFlags
+	// Release frees the device allocation.
+	Release() error
+}
+
+// Program is a loaded bitstream, as created by clCreateProgramWithBinary.
+type Program interface {
+	// Build finalizes the program for the context devices, as in
+	// clBuildProgram. For FPGA binaries this triggers (or schedules) board
+	// reconfiguration if the currently configured bitstream differs.
+	Build(options string) error
+	// CreateKernel instantiates a kernel by name, as in clCreateKernel.
+	CreateKernel(name string) (Kernel, error)
+	// KernelNames lists the kernels contained in the bitstream.
+	KernelNames() []string
+	// Release drops the host handle; the board keeps the configuration.
+	Release() error
+}
+
+// Kernel is a kernel instance with argument bindings, as in clCreateKernel.
+type Kernel interface {
+	// Name returns the kernel's name inside its program.
+	Name() string
+	// SetArg binds argument index i, as in clSetKernelArg. Accepted values:
+	// Buffer (device memory argument), or one of int32, uint32, int64,
+	// uint64, float32, float64 (by-value scalar argument).
+	SetArg(i int, value any) error
+	// Release drops the kernel handle.
+	Release() error
+}
+
+// CommandQueue issues work to a device in order, as in clCreateCommandQueue
+// with in-order semantics. Enqueue methods return immediately with an Event
+// unless blocking is requested; Flush/Finish provide the clFlush/clFinish
+// semantics that also close the current BlastFunction task.
+type CommandQueue interface {
+	// EnqueueWriteBuffer copies host data into a device buffer, as in
+	// clEnqueueWriteBuffer. When blocking is true the call returns only
+	// after the transfer completed.
+	EnqueueWriteBuffer(b Buffer, blocking bool, offset int, data []byte, waitList []Event) (Event, error)
+	// EnqueueReadBuffer copies device data into host memory, as in
+	// clEnqueueReadBuffer. dst must be sized to the transfer length.
+	EnqueueReadBuffer(b Buffer, blocking bool, offset int, dst []byte, waitList []Event) (Event, error)
+	// EnqueueNDRangeKernel launches a kernel over the global range, as in
+	// clEnqueueNDRangeKernel. local may be nil to let the runtime choose.
+	EnqueueNDRangeKernel(k Kernel, global, local []int, waitList []Event) (Event, error)
+	// EnqueueTask launches a single work-item kernel, as in clEnqueueTask.
+	// This is the common launch style for Intel FPGA pipeline kernels.
+	EnqueueTask(k Kernel, waitList []Event) (Event, error)
+	// EnqueueMarker inserts a marker event that completes when all prior
+	// commands in the queue completed, as in clEnqueueMarker.
+	EnqueueMarker() (Event, error)
+	// EnqueueBarrier enforces that later commands start only after all
+	// earlier ones finished, as in clEnqueueBarrier. In BlastFunction this
+	// also flushes the current task to the Device Manager.
+	EnqueueBarrier() error
+	// Flush submits all queued commands for execution, as in clFlush. In
+	// BlastFunction this seals the current multi-operation task and sends
+	// it to the Device Manager's central queue.
+	Flush() error
+	// Finish flushes and then blocks until every submitted command
+	// completed, as in clFinish.
+	Finish() error
+	// Release destroys the queue after finishing outstanding work.
+	Release() error
+}
+
+// Event tracks an asynchronous command, as in OpenCL event objects.
+type Event interface {
+	// CommandType identifies the command the event belongs to.
+	CommandType() CommandType
+	// Status returns the current execution status without blocking, as in
+	// clGetEventInfo(CL_EVENT_COMMAND_EXECUTION_STATUS).
+	Status() ExecStatus
+	// Wait blocks until the event is terminal and returns its error, if
+	// any. Wait on an already-terminal event returns immediately.
+	Wait() error
+	// Err returns the terminal error, or nil if the event completed
+	// successfully or is still in flight.
+	Err() error
+}
+
+// WaitForEvents blocks until every event terminates, as in clWaitForEvents.
+// It returns ErrExecStatusErrorInWait (wrapped) if any event failed.
+func WaitForEvents(events ...Event) error {
+	var failed bool
+	for _, e := range events {
+		if e == nil {
+			return Errf(ErrInvalidEventWaitList, "nil event in wait list")
+		}
+		if err := e.Wait(); err != nil {
+			failed = true
+		}
+	}
+	if failed {
+		return Errf(ErrExecStatusErrorInWait, "one or more events in the wait list failed")
+	}
+	return nil
+}

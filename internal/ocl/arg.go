@@ -1,0 +1,132 @@
+package ocl
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// ArgKind discriminates kernel argument encodings on the wire and in the
+// Device Manager's per-session argument tables.
+type ArgKind uint8
+
+// Kernel argument kinds.
+const (
+	ArgBuffer  ArgKind = 1 // device buffer reference (by id)
+	ArgInt32   ArgKind = 2
+	ArgUint32  ArgKind = 3
+	ArgInt64   ArgKind = 4
+	ArgUint64  ArgKind = 5
+	ArgFloat32 ArgKind = 6
+	ArgFloat64 ArgKind = 7
+)
+
+// String names the argument kind.
+func (k ArgKind) String() string {
+	switch k {
+	case ArgBuffer:
+		return "buffer"
+	case ArgInt32:
+		return "int32"
+	case ArgUint32:
+		return "uint32"
+	case ArgInt64:
+		return "int64"
+	case ArgUint64:
+		return "uint64"
+	case ArgFloat32:
+		return "float32"
+	case ArgFloat64:
+		return "float64"
+	}
+	return "invalid"
+}
+
+// Arg is the runtime-neutral encoding of a clSetKernelArg value: either a
+// buffer reference or a little-endian packed scalar, exactly what crosses
+// the wire to the Device Manager.
+type Arg struct {
+	Kind ArgKind
+	// BufferID is set for ArgBuffer arguments. IDs are session-scoped
+	// handles issued by the owning runtime.
+	BufferID uint64
+	// Scalar holds the little-endian packed bytes of scalar arguments.
+	Scalar [8]byte
+	// ScalarLen is the meaningful prefix length of Scalar (4 or 8).
+	ScalarLen uint8
+}
+
+// PackArg converts a Go value accepted by Kernel.SetArg into its wire
+// encoding. Buffers are packed by the runtimes themselves since buffer IDs
+// are runtime-private; PackArg handles scalars and the generic int, which
+// is packed as int64 to match OpenCL's size_t-style arguments on 64-bit
+// hosts.
+func PackArg(value any) (Arg, error) {
+	var a Arg
+	switch v := value.(type) {
+	case int32:
+		a.Kind, a.ScalarLen = ArgInt32, 4
+		binary.LittleEndian.PutUint32(a.Scalar[:4], uint32(v))
+	case uint32:
+		a.Kind, a.ScalarLen = ArgUint32, 4
+		binary.LittleEndian.PutUint32(a.Scalar[:4], v)
+	case int:
+		a.Kind, a.ScalarLen = ArgInt64, 8
+		binary.LittleEndian.PutUint64(a.Scalar[:8], uint64(int64(v)))
+	case int64:
+		a.Kind, a.ScalarLen = ArgInt64, 8
+		binary.LittleEndian.PutUint64(a.Scalar[:8], uint64(v))
+	case uint64:
+		a.Kind, a.ScalarLen = ArgUint64, 8
+		binary.LittleEndian.PutUint64(a.Scalar[:8], v)
+	case float32:
+		a.Kind, a.ScalarLen = ArgFloat32, 4
+		binary.LittleEndian.PutUint32(a.Scalar[:4], math.Float32bits(v))
+	case float64:
+		a.Kind, a.ScalarLen = ArgFloat64, 8
+		binary.LittleEndian.PutUint64(a.Scalar[:8], math.Float64bits(v))
+	default:
+		return Arg{}, Errf(ErrInvalidArgValue, "unsupported kernel argument type %T", value)
+	}
+	return a, nil
+}
+
+// BufferArg builds the wire encoding of a buffer argument.
+func BufferArg(id uint64) Arg {
+	return Arg{Kind: ArgBuffer, BufferID: id}
+}
+
+// Int32 decodes the argument as int32; valid only for ArgInt32/ArgUint32.
+func (a Arg) Int32() int32 { return int32(binary.LittleEndian.Uint32(a.Scalar[:4])) }
+
+// Uint32 decodes the argument as uint32.
+func (a Arg) Uint32() uint32 { return binary.LittleEndian.Uint32(a.Scalar[:4]) }
+
+// Int64 decodes the argument as int64; valid for ArgInt64/ArgUint64.
+func (a Arg) Int64() int64 { return int64(binary.LittleEndian.Uint64(a.Scalar[:8])) }
+
+// Uint64 decodes the argument as uint64.
+func (a Arg) Uint64() uint64 { return binary.LittleEndian.Uint64(a.Scalar[:8]) }
+
+// Float32 decodes the argument as float32; valid for ArgFloat32.
+func (a Arg) Float32() float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(a.Scalar[:4]))
+}
+
+// Float64 decodes the argument as float64; valid for ArgFloat64.
+func (a Arg) Float64() float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(a.Scalar[:8]))
+}
+
+// IntValue decodes any integer-kinded argument as int64, widening 32-bit
+// values. It is the decoding used by accelerator models that take sizes.
+func (a Arg) IntValue() int64 {
+	switch a.Kind {
+	case ArgInt32:
+		return int64(a.Int32())
+	case ArgUint32:
+		return int64(a.Uint32())
+	case ArgInt64, ArgUint64:
+		return a.Int64()
+	}
+	return 0
+}

@@ -1,0 +1,107 @@
+package ocl
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackArgScalars(t *testing.T) {
+	cases := []struct {
+		in   any
+		kind ArgKind
+		len  uint8
+	}{
+		{int32(-7), ArgInt32, 4},
+		{uint32(42), ArgUint32, 4},
+		{int(123456789), ArgInt64, 8},
+		{int64(-1 << 40), ArgInt64, 8},
+		{uint64(1 << 63), ArgUint64, 8},
+		{float32(3.25), ArgFloat32, 4},
+		{float64(-2.5), ArgFloat64, 8},
+	}
+	for _, c := range cases {
+		a, err := PackArg(c.in)
+		if err != nil {
+			t.Fatalf("PackArg(%T): %v", c.in, err)
+		}
+		if a.Kind != c.kind || a.ScalarLen != c.len {
+			t.Errorf("PackArg(%T) kind=%v len=%d, want %v/%d", c.in, a.Kind, a.ScalarLen, c.kind, c.len)
+		}
+	}
+}
+
+func TestPackArgRejectsUnsupported(t *testing.T) {
+	for _, v := range []any{"str", []byte{1}, 3.0 + 1i, struct{}{}, nil, true} {
+		if _, err := PackArg(v); !errors.Is(err, ErrInvalidArgValue) {
+			t.Errorf("PackArg(%T) err = %v, want CL_INVALID_ARG_VALUE", v, err)
+		}
+	}
+}
+
+func TestBufferArg(t *testing.T) {
+	a := BufferArg(99)
+	if a.Kind != ArgBuffer || a.BufferID != 99 {
+		t.Fatalf("BufferArg = %+v", a)
+	}
+}
+
+func TestArgRoundTripProperties(t *testing.T) {
+	if err := quick.Check(func(v int32) bool {
+		a, _ := PackArg(v)
+		return a.Int32() == v && a.IntValue() == int64(v)
+	}, nil); err != nil {
+		t.Error("int32 round-trip:", err)
+	}
+	if err := quick.Check(func(v uint32) bool {
+		a, _ := PackArg(v)
+		return a.Uint32() == v && a.IntValue() == int64(v)
+	}, nil); err != nil {
+		t.Error("uint32 round-trip:", err)
+	}
+	if err := quick.Check(func(v int64) bool {
+		a, _ := PackArg(v)
+		return a.Int64() == v && a.IntValue() == v
+	}, nil); err != nil {
+		t.Error("int64 round-trip:", err)
+	}
+	if err := quick.Check(func(v uint64) bool {
+		a, _ := PackArg(v)
+		return a.Uint64() == v
+	}, nil); err != nil {
+		t.Error("uint64 round-trip:", err)
+	}
+	if err := quick.Check(func(v float32) bool {
+		a, _ := PackArg(v)
+		got := a.Float32()
+		return got == v || (math.IsNaN(float64(v)) && math.IsNaN(float64(got)))
+	}, nil); err != nil {
+		t.Error("float32 round-trip:", err)
+	}
+	if err := quick.Check(func(v float64) bool {
+		a, _ := PackArg(v)
+		got := a.Float64()
+		return got == v || (math.IsNaN(v) && math.IsNaN(got))
+	}, nil); err != nil {
+		t.Error("float64 round-trip:", err)
+	}
+}
+
+func TestArgKindString(t *testing.T) {
+	names := map[ArgKind]string{
+		ArgBuffer:  "buffer",
+		ArgInt32:   "int32",
+		ArgUint32:  "uint32",
+		ArgInt64:   "int64",
+		ArgUint64:  "uint64",
+		ArgFloat32: "float32",
+		ArgFloat64: "float64",
+		ArgKind(0): "invalid",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("ArgKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

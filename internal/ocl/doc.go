@@ -1,0 +1,17 @@
+// Package ocl defines the OpenCL host-API subset used by BlastFunction.
+//
+// The package mirrors the parts of the OpenCL 1.2 host specification that
+// FPGA-accelerated cloud functions use: platform and device discovery,
+// contexts, command queues, memory buffers, programs (bitstreams), kernels
+// and events. It is deliberately backend-agnostic: the same application code
+// runs unchanged against the direct runtime (package native, the paper's
+// "Native" baseline, which owns the board exclusively) and against the
+// Remote OpenCL Library (package remote, the BlastFunction client, which
+// time-shares boards through a Device Manager).
+//
+// The API is Go-idiomatic rather than a literal C binding: objects are
+// interfaces with methods instead of opaque handles passed to free
+// functions, errors are returned as error values wrapping Status codes, and
+// events satisfy a small Event interface that supports the polling and
+// waiting semantics of clWaitForEvents / clGetEventInfo.
+package ocl

@@ -1,0 +1,160 @@
+package ocl
+
+import "fmt"
+
+// Status is an OpenCL status code. The numeric values match the OpenCL 1.2
+// specification so that logs and traces can be compared against host code
+// written for the real Intel FPGA runtime.
+type Status int32
+
+// OpenCL status codes used by BlastFunction.
+const (
+	Success                    Status = 0
+	ErrDeviceNotFound          Status = -1
+	ErrDeviceNotAvailable      Status = -2
+	ErrCompilerNotAvailable    Status = -3
+	ErrMemObjectAllocFailure   Status = -4
+	ErrOutOfResources          Status = -5
+	ErrOutOfHostMemory         Status = -6
+	ErrMemCopyOverlap          Status = -8
+	ErrBuildProgramFailure     Status = -11
+	ErrMisalignedSubBuffer     Status = -13
+	ErrExecStatusErrorInWait   Status = -14
+	ErrInvalidValue            Status = -30
+	ErrInvalidDeviceType       Status = -31
+	ErrInvalidPlatform         Status = -32
+	ErrInvalidDevice           Status = -33
+	ErrInvalidContext          Status = -34
+	ErrInvalidQueueProperties  Status = -35
+	ErrInvalidCommandQueue     Status = -36
+	ErrInvalidMemObject        Status = -38
+	ErrInvalidBinary           Status = -42
+	ErrInvalidBuildOptions     Status = -43
+	ErrInvalidProgram          Status = -44
+	ErrInvalidProgramExec      Status = -45
+	ErrInvalidKernelName       Status = -46
+	ErrInvalidKernelDefinition Status = -47
+	ErrInvalidKernel           Status = -48
+	ErrInvalidArgIndex         Status = -49
+	ErrInvalidArgValue         Status = -50
+	ErrInvalidArgSize          Status = -51
+	ErrInvalidKernelArgs       Status = -52
+	ErrInvalidWorkDimension    Status = -53
+	ErrInvalidWorkGroupSize    Status = -54
+	ErrInvalidWorkItemSize     Status = -55
+	ErrInvalidGlobalOffset     Status = -56
+	ErrInvalidEventWaitList    Status = -57
+	ErrInvalidEvent            Status = -58
+	ErrInvalidOperation        Status = -59
+	ErrInvalidBufferSize       Status = -61
+	ErrInvalidGlobalWorkSize   Status = -63
+)
+
+var statusNames = map[Status]string{
+	Success:                    "CL_SUCCESS",
+	ErrDeviceNotFound:          "CL_DEVICE_NOT_FOUND",
+	ErrDeviceNotAvailable:      "CL_DEVICE_NOT_AVAILABLE",
+	ErrCompilerNotAvailable:    "CL_COMPILER_NOT_AVAILABLE",
+	ErrMemObjectAllocFailure:   "CL_MEM_OBJECT_ALLOCATION_FAILURE",
+	ErrOutOfResources:          "CL_OUT_OF_RESOURCES",
+	ErrOutOfHostMemory:         "CL_OUT_OF_HOST_MEMORY",
+	ErrMemCopyOverlap:          "CL_MEM_COPY_OVERLAP",
+	ErrBuildProgramFailure:     "CL_BUILD_PROGRAM_FAILURE",
+	ErrMisalignedSubBuffer:     "CL_MISALIGNED_SUB_BUFFER_OFFSET",
+	ErrExecStatusErrorInWait:   "CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST",
+	ErrInvalidValue:            "CL_INVALID_VALUE",
+	ErrInvalidDeviceType:       "CL_INVALID_DEVICE_TYPE",
+	ErrInvalidPlatform:         "CL_INVALID_PLATFORM",
+	ErrInvalidDevice:           "CL_INVALID_DEVICE",
+	ErrInvalidContext:          "CL_INVALID_CONTEXT",
+	ErrInvalidQueueProperties:  "CL_INVALID_QUEUE_PROPERTIES",
+	ErrInvalidCommandQueue:     "CL_INVALID_COMMAND_QUEUE",
+	ErrInvalidMemObject:        "CL_INVALID_MEM_OBJECT",
+	ErrInvalidBinary:           "CL_INVALID_BINARY",
+	ErrInvalidBuildOptions:     "CL_INVALID_BUILD_OPTIONS",
+	ErrInvalidProgram:          "CL_INVALID_PROGRAM",
+	ErrInvalidProgramExec:      "CL_INVALID_PROGRAM_EXECUTABLE",
+	ErrInvalidKernelName:       "CL_INVALID_KERNEL_NAME",
+	ErrInvalidKernelDefinition: "CL_INVALID_KERNEL_DEFINITION",
+	ErrInvalidKernel:           "CL_INVALID_KERNEL",
+	ErrInvalidArgIndex:         "CL_INVALID_ARG_INDEX",
+	ErrInvalidArgValue:         "CL_INVALID_ARG_VALUE",
+	ErrInvalidArgSize:          "CL_INVALID_ARG_SIZE",
+	ErrInvalidKernelArgs:       "CL_INVALID_KERNEL_ARGS",
+	ErrInvalidWorkDimension:    "CL_INVALID_WORK_DIMENSION",
+	ErrInvalidWorkGroupSize:    "CL_INVALID_WORK_GROUP_SIZE",
+	ErrInvalidWorkItemSize:     "CL_INVALID_WORK_ITEM_SIZE",
+	ErrInvalidGlobalOffset:     "CL_INVALID_GLOBAL_OFFSET",
+	ErrInvalidEventWaitList:    "CL_INVALID_EVENT_WAIT_LIST",
+	ErrInvalidEvent:            "CL_INVALID_EVENT",
+	ErrInvalidOperation:        "CL_INVALID_OPERATION",
+	ErrInvalidBufferSize:       "CL_INVALID_BUFFER_SIZE",
+	ErrInvalidGlobalWorkSize:   "CL_INVALID_GLOBAL_WORK_SIZE",
+}
+
+// String returns the OpenCL specification name of the status code.
+func (s Status) String() string {
+	if name, ok := statusNames[s]; ok {
+		return name
+	}
+	return fmt.Sprintf("CL_UNKNOWN_STATUS(%d)", int32(s))
+}
+
+// Error makes non-success statuses usable as error values. Calling Error on
+// Success is a programming bug; it returns a recognizable string rather than
+// panicking so that logs stay readable.
+func (s Status) Error() string { return s.String() }
+
+// Errf wraps a status code with a formatted context message. The returned
+// error matches the status under errors.Is.
+func Errf(s Status, format string, args ...any) error {
+	return &StatusError{Status: s, Context: fmt.Sprintf(format, args...)}
+}
+
+// StatusError is a Status with human-readable context attached.
+type StatusError struct {
+	Status  Status
+	Context string
+}
+
+// Error implements the error interface.
+func (e *StatusError) Error() string {
+	if e.Context == "" {
+		return e.Status.String()
+	}
+	return e.Status.String() + ": " + e.Context
+}
+
+// Unwrap exposes the underlying Status so errors.Is(err, ocl.ErrInvalidValue)
+// works on wrapped errors.
+func (e *StatusError) Unwrap() error { return e.Status }
+
+// StatusOf extracts the Status from an error produced by this package. It
+// returns Success for nil and ErrInvalidValue for foreign errors.
+func StatusOf(err error) Status {
+	if err == nil {
+		return Success
+	}
+	if s, ok := err.(Status); ok {
+		return s
+	}
+	var se *StatusError
+	for e := err; e != nil; {
+		if s, ok := e.(Status); ok {
+			return s
+		}
+		if es, ok := e.(*StatusError); ok {
+			se = es
+			break
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			break
+		}
+		e = u.Unwrap()
+	}
+	if se != nil {
+		return se.Status
+	}
+	return ErrInvalidValue
+}

@@ -1,0 +1,119 @@
+package ocl
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestStatusString(t *testing.T) {
+	cases := []struct {
+		s    Status
+		want string
+	}{
+		{Success, "CL_SUCCESS"},
+		{ErrDeviceNotFound, "CL_DEVICE_NOT_FOUND"},
+		{ErrInvalidKernelArgs, "CL_INVALID_KERNEL_ARGS"},
+		{ErrInvalidBufferSize, "CL_INVALID_BUFFER_SIZE"},
+		{Status(-999), "CL_UNKNOWN_STATUS(-999)"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("Status(%d).String() = %q, want %q", int32(c.s), got, c.want)
+		}
+	}
+}
+
+func TestStatusAsError(t *testing.T) {
+	var err error = ErrInvalidValue
+	if err.Error() != "CL_INVALID_VALUE" {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+	if !errors.Is(err, ErrInvalidValue) {
+		t.Fatal("errors.Is should match the same status")
+	}
+	if errors.Is(err, ErrInvalidDevice) {
+		t.Fatal("errors.Is must not match a different status")
+	}
+}
+
+func TestErrfWrapping(t *testing.T) {
+	err := Errf(ErrInvalidArgIndex, "kernel %q has %d args", "mm", 3)
+	if !errors.Is(err, ErrInvalidArgIndex) {
+		t.Fatalf("wrapped error does not match its status: %v", err)
+	}
+	want := `CL_INVALID_ARG_INDEX: kernel "mm" has 3 args`
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestStatusOf(t *testing.T) {
+	if got := StatusOf(nil); got != Success {
+		t.Errorf("StatusOf(nil) = %v", got)
+	}
+	if got := StatusOf(ErrInvalidKernel); got != ErrInvalidKernel {
+		t.Errorf("StatusOf(status) = %v", got)
+	}
+	if got := StatusOf(Errf(ErrInvalidEvent, "boom")); got != ErrInvalidEvent {
+		t.Errorf("StatusOf(Errf) = %v", got)
+	}
+	wrapped := fmt.Errorf("context: %w", Errf(ErrOutOfResources, "queue full"))
+	if got := StatusOf(wrapped); got != ErrOutOfResources {
+		t.Errorf("StatusOf(wrapped Errf) = %v", got)
+	}
+	if got := StatusOf(errors.New("plain")); got != ErrInvalidValue {
+		t.Errorf("StatusOf(foreign) = %v", got)
+	}
+}
+
+func TestExecStatusProperties(t *testing.T) {
+	if !Complete.Done() || Complete.Failed() {
+		t.Error("Complete must be done and not failed")
+	}
+	for _, s := range []ExecStatus{Running, Submitted, Queued} {
+		if s.Done() || s.Failed() {
+			t.Errorf("%v must not be terminal", s)
+		}
+	}
+	failed := ExecStatus(ErrOutOfResources)
+	if !failed.Done() || !failed.Failed() {
+		t.Error("negative statuses must be terminal failures")
+	}
+	if failed.String() != "ERROR(CL_OUT_OF_RESOURCES)" {
+		t.Errorf("failed.String() = %q", failed.String())
+	}
+}
+
+func TestMemFlagsValid(t *testing.T) {
+	valid := []MemFlags{MemReadWrite, MemReadOnly, MemWriteOnly}
+	for _, f := range valid {
+		if !f.Valid() {
+			t.Errorf("%v should be valid", f)
+		}
+	}
+	invalid := []MemFlags{0, MemReadWrite | MemReadOnly, MemReadOnly | MemWriteOnly}
+	for _, f := range invalid {
+		if f.Valid() {
+			t.Errorf("%v should be invalid", f)
+		}
+	}
+}
+
+func TestCommandTypeString(t *testing.T) {
+	if CommandReadBuffer.String() != "READ_BUFFER" {
+		t.Errorf("got %q", CommandReadBuffer.String())
+	}
+	if CommandType(0).String() != "UNKNOWN_COMMAND" {
+		t.Errorf("got %q", CommandType(0).String())
+	}
+}
+
+func TestDeviceTypeString(t *testing.T) {
+	if DeviceTypeAccelerator.String() != "accelerator" {
+		t.Errorf("got %q", DeviceTypeAccelerator.String())
+	}
+	if DeviceTypeAll.String() != "all" {
+		t.Errorf("got %q", DeviceTypeAll.String())
+	}
+}

@@ -1,0 +1,136 @@
+package ocl
+
+// DeviceType selects device classes during discovery, as in clGetDeviceIDs.
+type DeviceType uint32
+
+// Device type bit flags.
+const (
+	DeviceTypeDefault     DeviceType = 1 << 0
+	DeviceTypeCPU         DeviceType = 1 << 1
+	DeviceTypeGPU         DeviceType = 1 << 2
+	DeviceTypeAccelerator DeviceType = 1 << 3 // FPGAs enumerate as accelerators
+	DeviceTypeAll         DeviceType = 0xFFFFFFFF
+)
+
+// String returns a short human-readable name for the device type.
+func (t DeviceType) String() string {
+	switch t {
+	case DeviceTypeDefault:
+		return "default"
+	case DeviceTypeCPU:
+		return "cpu"
+	case DeviceTypeGPU:
+		return "gpu"
+	case DeviceTypeAccelerator:
+		return "accelerator"
+	case DeviceTypeAll:
+		return "all"
+	}
+	return "mixed"
+}
+
+// MemFlags configure buffer allocation, as in clCreateBuffer.
+type MemFlags uint32
+
+// Buffer allocation flags.
+const (
+	MemReadWrite MemFlags = 1 << 0
+	MemWriteOnly MemFlags = 1 << 1
+	MemReadOnly  MemFlags = 1 << 2
+)
+
+// Valid reports whether exactly one access mode is set.
+func (f MemFlags) Valid() bool {
+	mode := f & (MemReadWrite | MemWriteOnly | MemReadOnly)
+	return mode == MemReadWrite || mode == MemWriteOnly || mode == MemReadOnly
+}
+
+// QueueProps configure command-queue behaviour, as in clCreateCommandQueue.
+type QueueProps uint32
+
+// Command queue property flags.
+const (
+	// QueueOutOfOrder allows the runtime to reorder commands within the
+	// queue. BlastFunction preserves in-order semantics inside a task even
+	// when this is set, matching the Intel FPGA runtime behaviour for
+	// single-device queues.
+	QueueOutOfOrder QueueProps = 1 << 0
+	// QueueProfiling enables timestamp collection on events.
+	QueueProfiling QueueProps = 1 << 1
+)
+
+// CommandType identifies the operation an event tracks, as in
+// clGetEventInfo(CL_EVENT_COMMAND_TYPE).
+type CommandType int32
+
+// Command types. Values follow the OpenCL specification constants.
+const (
+	CommandNDRangeKernel CommandType = 0x11F0
+	CommandTask          CommandType = 0x11F1
+	CommandReadBuffer    CommandType = 0x11F3
+	CommandWriteBuffer   CommandType = 0x11F4
+	CommandCopyBuffer    CommandType = 0x11F5
+	CommandMarker        CommandType = 0x11F8
+	CommandBarrier       CommandType = 0x1205
+	CommandUser          CommandType = 0x11FB
+)
+
+// String returns the OpenCL-style name of the command type.
+func (c CommandType) String() string {
+	switch c {
+	case CommandNDRangeKernel:
+		return "NDRANGE_KERNEL"
+	case CommandTask:
+		return "TASK"
+	case CommandReadBuffer:
+		return "READ_BUFFER"
+	case CommandWriteBuffer:
+		return "WRITE_BUFFER"
+	case CommandCopyBuffer:
+		return "COPY_BUFFER"
+	case CommandMarker:
+		return "MARKER"
+	case CommandBarrier:
+		return "BARRIER"
+	case CommandUser:
+		return "USER"
+	}
+	return "UNKNOWN_COMMAND"
+}
+
+// ExecStatus is the execution status of an event, as returned by
+// clGetEventInfo(CL_EVENT_COMMAND_EXECUTION_STATUS). Lower values are more
+// complete; negative values signal an error, matching the specification.
+type ExecStatus int32
+
+// Event execution states. A normally progressing command moves
+// Queued -> Submitted -> Running -> Complete.
+const (
+	Complete  ExecStatus = 0
+	Running   ExecStatus = 1
+	Submitted ExecStatus = 2
+	Queued    ExecStatus = 3
+)
+
+// String returns the OpenCL-style name of the execution status.
+func (s ExecStatus) String() string {
+	switch {
+	case s < 0:
+		return "ERROR(" + Status(s).String() + ")"
+	case s == Complete:
+		return "CL_COMPLETE"
+	case s == Running:
+		return "CL_RUNNING"
+	case s == Submitted:
+		return "CL_SUBMITTED"
+	case s == Queued:
+		return "CL_QUEUED"
+	}
+	return "CL_UNKNOWN"
+}
+
+// Done reports whether the status is terminal (complete or failed).
+func (s ExecStatus) Done() bool { return s <= Complete }
+
+// Failed reports whether the status carries an error code.
+func (s ExecStatus) Failed() bool { return s < 0 }

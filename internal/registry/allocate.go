@@ -1,0 +1,287 @@
+package registry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrDeviceNotFound is raised when Algorithm 1 exhausts the candidate list
+// — the paper's `raise error "device not found"`.
+var ErrDeviceNotFound = fmt.Errorf("registry: device not found")
+
+// AllocRequest describes the function instance to match, the input of
+// Algorithm 1.
+type AllocRequest struct {
+	// InstanceUID and InstanceName identify the instance.
+	InstanceUID  string
+	InstanceName string
+	// Function names the Functions Service record carrying the device
+	// query and bitstream.
+	Function string
+	// Node, when non-empty, is a pre-bound node: only that node's devices
+	// qualify, and the final `instance.node` assignment is skipped.
+	Node string
+}
+
+// Allocation is Algorithm 1's output.
+type Allocation struct {
+	// Device is the chosen device.
+	Device Device
+	// Node is the node the instance must run on.
+	Node string
+	// NeedsReconfigure is true when the chosen device's current bitstream
+	// does not serve the function's accelerator; the Registry has already
+	// validated that the device's existing workloads are redistributable.
+	NeedsReconfigure bool
+	// Displaced lists instance UIDs that must migrate off the chosen
+	// device before it is reconfigured.
+	Displaced []string
+}
+
+// candidate is a device under evaluation, with its metrics snapshot.
+type candidate struct {
+	ds         *deviceState
+	metrics    DeviceMetrics
+	hasMetrics bool
+	compatible bool // accelerator-compatible: no reconfiguration needed
+}
+
+// Allocate runs the paper's Algorithm 1 and records the resulting
+// placement. It must be called once per created instance (the watch loop
+// does); the returned Allocation tells the caller how to patch the
+// instance and whether a reconfiguration (with migrations) is pending.
+func (r *Registry) Allocate(req AllocRequest) (*Allocation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	fn, ok := r.functions[req.Function]
+	if !ok {
+		return nil, fmt.Errorf("registry: function %q not registered", req.Function)
+	}
+
+	// Line 2: filterby_compatibility — vendor/platform/node constraints,
+	// plus operational health (a dead manager serves nobody).
+	var cands []*candidate
+	for _, ds := range r.devices {
+		if ds.unhealthy || !queryCompatible(ds.Device, fn.Query) {
+			continue
+		}
+		if req.Node != "" && ds.Node != req.Node {
+			continue
+		}
+		c := &candidate{ds: ds, compatible: acceleratorCompatible(ds.Device, fn.Query)}
+		if r.source.Metrics != nil {
+			c.metrics, c.hasMetrics = r.source.Metrics.DeviceMetrics(ds.ID, ds.Node)
+		}
+		// The connected-instance count is Devices Service state, not a
+		// scraped metric: the Registry itself records every allocation, so
+		// placement decisions see their own effects immediately instead of
+		// racing the next metrics scrape.
+		if own := float64(len(ds.instances)); own > c.metrics.Connected {
+			c.metrics.Connected = own
+		}
+		cands = append(cands, c)
+	}
+
+	// Line 3: filterby_metrics — drop overloaded devices.
+	cands = filterByMetrics(cands, r.source.Filters)
+
+	// Line 4: orderby_metrics_and_acc.
+	orderCandidates(cands, r.source.Order)
+
+	// Lines 5-12: pick the best-ordered compatible device. Only "when
+	// compatible accelerators are missing" (the paper's wording) does the
+	// algorithm fall back to scanning for a device whose current
+	// workloads can be redistributed to other boards; eager displacement
+	// would let two accelerator families evict each other indefinitely.
+	var chosen *candidate
+	var displaced []string
+	for _, c := range cands {
+		if c.compatible {
+			chosen = c
+			break
+		}
+	}
+	if chosen == nil {
+		for _, c := range cands {
+			if moved, ok := r.redistributable(c.ds); ok {
+				chosen = c
+				displaced = moved
+				break
+			}
+		}
+	}
+	if chosen == nil {
+		return nil, fmt.Errorf("%w: function %q needs accelerator %q (%d candidates)",
+			ErrDeviceNotFound, fn.Name, fn.Query.Accelerator, len(cands))
+	}
+
+	// Lines 13-15: bind instance to the chosen device (and its node when
+	// the instance was unscheduled).
+	alloc := &Allocation{
+		Device:           chosen.ds.Device,
+		Node:             req.Node,
+		NeedsReconfigure: !chosen.compatible,
+		Displaced:        displaced,
+	}
+	if alloc.Node == "" {
+		alloc.Node = chosen.ds.Node
+	}
+	r.byInstance[req.InstanceUID] = chosen.ds.ID
+	r.byName[req.InstanceName] = req.InstanceUID
+	chosen.ds.instances[req.InstanceUID] = instanceInfo{
+		uid:      req.InstanceUID,
+		name:     req.InstanceName,
+		function: req.Function,
+		node:     alloc.Node,
+	}
+	if !chosen.compatible || chosen.ds.Accelerator == "" {
+		// Record the expected bitstream immediately — both for devices
+		// that must reconfigure and for fresh, unconfigured ones the
+		// client is about to program. Later allocations then see the
+		// device's future configuration instead of treating it as a blank
+		// board, and the reconfiguration gate can validate the client's
+		// Build call.
+		chosen.ds.Bitstream = fn.Bitstream
+		chosen.ds.Accelerator = fn.Query.Accelerator
+	}
+	return alloc, nil
+}
+
+// queryCompatible implements the vendor/platform part of
+// filterby_compatibility.
+func queryCompatible(d Device, q DeviceQuery) bool {
+	if q.Vendor != "" && q.Vendor != d.Vendor {
+		return false
+	}
+	if q.Platform != "" && q.Platform != d.Platform {
+		return false
+	}
+	return true
+}
+
+// acceleratorCompatible reports whether the device already serves the
+// requested accelerator (a fresh, unconfigured device counts as
+// compatible: programming an idle board displaces nobody).
+func acceleratorCompatible(d Device, q DeviceQuery) bool {
+	if d.Accelerator == "" {
+		return true
+	}
+	return q.Accelerator == "" || d.Accelerator == q.Accelerator
+}
+
+// filterByMetrics implements filterby_metrics. Devices without metric data
+// pass every filter (treated as idle).
+func filterByMetrics(cands []*candidate, filters []Filter) []*candidate {
+	if len(filters) == 0 {
+		return cands
+	}
+	out := cands[:0]
+	for _, c := range cands {
+		ok := true
+		if c.hasMetrics {
+			for _, f := range filters {
+				if c.metrics.value(f.Metric) > f.Max {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// orderCandidates implements orderby_metrics_and_acc: criteria in
+// priority order, with accelerator compatibility as the tiebreak so that
+// among equally loaded devices the one avoiding a reconfiguration wins;
+// device ID breaks the final tie for determinism.
+func orderCandidates(cands []*candidate, order []Criterion) {
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		for _, crit := range order {
+			av := quantize(a.metrics.value(crit.Metric), crit.Quantum)
+			bv := quantize(b.metrics.value(crit.Metric), crit.Quantum)
+			if av != bv {
+				if crit.Desc {
+					return av > bv
+				}
+				return av < bv
+			}
+		}
+		if a.compatible != b.compatible {
+			return a.compatible
+		}
+		return a.ds.ID < b.ds.ID
+	})
+}
+
+func quantize(v, quantum float64) float64 {
+	if quantum <= 0 {
+		return v
+	}
+	return math.Floor(v/quantum) * quantum
+}
+
+// redistributable implements the paper's not_redistributable check (lines
+// 6-8, inverted): every instance currently connected to the device must
+// have at least one other device that is compatible with its function's
+// query and already serves its accelerator. It returns the UIDs to
+// migrate. Called with r.mu held.
+func (r *Registry) redistributable(ds *deviceState) ([]string, bool) {
+	var moved []string
+	for uid, info := range ds.instances {
+		fn, ok := r.functions[info.function]
+		if !ok {
+			return nil, false
+		}
+		found := false
+		for _, other := range r.devices {
+			if other.ID == ds.ID {
+				continue
+			}
+			if queryCompatible(other.Device, fn.Query) &&
+				other.Accelerator == fn.Query.Accelerator {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+		moved = append(moved, uid)
+	}
+	sort.Strings(moved)
+	return moved, true
+}
+
+// ValidateReconfiguration is the Device Managers' reconfiguration gate
+// (paper: the Registry "validates reconfiguration operations"). The
+// requesting client (a function instance, identified by name) may program
+// bitID only if it is allocated to the device and the device's expected
+// bitstream matches; the common case is the Build call that follows the
+// allocation above.
+func (r *Registry) ValidateReconfiguration(deviceID, clientName, bitID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds, ok := r.devices[deviceID]
+	if !ok {
+		return fmt.Errorf("registry: unknown device %q", deviceID)
+	}
+	uid, ok := r.byName[clientName]
+	if !ok {
+		return fmt.Errorf("registry: client %q has no allocation", clientName)
+	}
+	if r.byInstance[uid] != deviceID {
+		return fmt.Errorf("registry: client %q is not allocated to device %q", clientName, deviceID)
+	}
+	if ds.Bitstream != "" && ds.Bitstream != bitID {
+		return fmt.Errorf("registry: device %q expects bitstream %q, client wants %q",
+			deviceID, ds.Bitstream, bitID)
+	}
+	ds.Bitstream = bitID
+	return nil
+}

@@ -1,0 +1,132 @@
+package registry
+
+import (
+	"context"
+	"log"
+	"sync"
+
+	"blastfunction/internal/cluster"
+)
+
+// Environment variables the Registry injects into allocated instances —
+// the paper's "patches the notified operation (e.g. adds environment
+// variables, volumes for shared memory and forces the host allocation)".
+const (
+	// EnvManagerAddr is the Device Manager RPC endpoint the instance's
+	// Remote OpenCL Library must dial.
+	EnvManagerAddr = "BF_MANAGER_ADDR"
+	// EnvDeviceID is the allocated device's identifier.
+	EnvDeviceID = "BF_DEVICE_ID"
+	// EnvNode is the node the instance was placed on.
+	EnvNode = "BF_NODE"
+)
+
+// ShmVolume is the shared-memory volume mounted into allocated instances.
+const ShmVolume = "/dev/shm"
+
+// Controller connects the Registry to the cluster orchestrator: it
+// intercepts instance creation, runs the allocation algorithm, patches the
+// instance, and performs migrations when a device needs reconfiguration.
+type Controller struct {
+	reg *Registry
+	cl  *cluster.Cluster
+	// Logf logs allocation failures; defaults to log.Printf.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	failures map[string]error // instance UID -> last allocation error
+}
+
+// NewController creates a controller for the registry and cluster.
+func NewController(reg *Registry, cl *cluster.Cluster) *Controller {
+	return &Controller{
+		reg:      reg,
+		cl:       cl,
+		Logf:     log.Printf,
+		failures: make(map[string]error),
+	}
+}
+
+// Run consumes cluster events until ctx is cancelled. It processes the
+// informer's initial sync first, so a controller started late adopts
+// existing instances.
+func (c *Controller) Run(ctx context.Context) {
+	events, cancel := c.cl.Watch(64)
+	defer cancel()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			c.handle(ev)
+		}
+	}
+}
+
+// handle processes one cluster event.
+func (c *Controller) handle(ev cluster.Event) {
+	switch ev.Type {
+	case cluster.Added:
+		if ev.Instance.Phase == cluster.Pending {
+			c.allocate(ev.Instance)
+		}
+	case cluster.Deleted:
+		c.reg.Release(ev.Instance.UID)
+	}
+}
+
+// allocate runs Algorithm 1 for a pending instance and patches it.
+func (c *Controller) allocate(in cluster.Instance) {
+	alloc, err := c.reg.Allocate(AllocRequest{
+		InstanceUID:  in.UID,
+		InstanceName: in.Name,
+		Function:     in.Function,
+		Node:         in.Node,
+	})
+	if err != nil {
+		c.mu.Lock()
+		c.failures[in.UID] = err
+		c.mu.Unlock()
+		c.Logf("registry: allocation of %s (%s) failed: %v", in.Name, in.Function, err)
+		return
+	}
+	c.mu.Lock()
+	delete(c.failures, in.UID)
+	c.mu.Unlock()
+
+	// Migrate displaced instances first (create-before-delete): their
+	// replacements re-enter this loop as fresh Pending instances and are
+	// re-allocated onto still-compatible devices.
+	for _, uid := range alloc.Displaced {
+		c.reg.Release(uid)
+		if _, err := c.cl.ReplaceInstance(uid); err != nil {
+			c.Logf("registry: migration of %s off %s failed: %v", uid, alloc.Device.ID, err)
+		}
+	}
+
+	node := alloc.Node
+	_, err = c.cl.PatchInstance(in.UID, cluster.Patch{
+		Env: map[string]string{
+			EnvManagerAddr: alloc.Device.ManagerAddr,
+			EnvDeviceID:    alloc.Device.ID,
+			EnvNode:        node,
+		},
+		AddVolumes: []string{ShmVolume},
+		Node:       &node,
+	})
+	if err != nil {
+		c.Logf("registry: patch of %s failed: %v", in.Name, err)
+		c.reg.Release(in.UID)
+	}
+}
+
+// AllocationFailure returns the last allocation error of an instance, if
+// any (diagnostics and tests).
+func (c *Controller) AllocationFailure(uid string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failures[uid]
+}

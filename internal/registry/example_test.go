@@ -1,0 +1,43 @@
+package registry_test
+
+import (
+	"fmt"
+
+	"blastfunction/internal/registry"
+)
+
+// ExampleRegistry_Allocate runs the paper's Algorithm 1: the least-loaded
+// compatible device wins, and the Registry records the placement.
+func ExampleRegistry_Allocate() {
+	src := registry.StaticMetrics{
+		"fpga-A": {Utilization: 0.72},
+		"fpga-B": {Utilization: 0.15},
+		"fpga-C": {Utilization: 0.40},
+	}
+	reg := registry.New(registry.DefaultPolicy(src))
+	for _, n := range []string{"A", "B", "C"} {
+		reg.RegisterDevice(registry.Device{
+			ID: "fpga-" + n, Node: n,
+			Vendor:   "Intel(R) Corporation",
+			Platform: "Intel(R) FPGA SDK for OpenCL(TM)",
+		})
+	}
+	reg.RegisterFunction(registry.Function{
+		Name:      "sobel-1",
+		Query:     registry.DeviceQuery{Vendor: "Intel(R) Corporation", Accelerator: "sobel"},
+		Bitstream: "spector-sobel",
+	})
+	alloc, err := reg.Allocate(registry.AllocRequest{
+		InstanceUID:  "uid-1",
+		InstanceName: "sobel-1-abc",
+		Function:     "sobel-1",
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("allocated %s on node %s (reconfigure: %t)\n",
+		alloc.Device.ID, alloc.Node, alloc.NeedsReconfigure)
+	// Output:
+	// allocated fpga-B on node B (reconfigure: false)
+}

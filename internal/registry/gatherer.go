@@ -1,0 +1,63 @@
+package registry
+
+import (
+	"time"
+
+	"blastfunction/internal/metrics"
+)
+
+// Gatherer is the paper's Metrics Gatherer: it reads Device Manager
+// metrics collected by the (mini-)Prometheus scraper and turns them into
+// the DeviceMetrics view Algorithm 1 consumes. FPGA time utilization is
+// computed as the rate of the device's busy-seconds counter, converted
+// from modelled seconds to wall seconds with the manager's advertised
+// time scale.
+type Gatherer struct {
+	db *metrics.TSDB
+	// Window is the sliding window of the utilization rate; defaults to
+	// 30 seconds.
+	Window time.Duration
+	// Now is injectable for deterministic tests.
+	Now func() time.Time
+}
+
+// NewGatherer creates a Gatherer over the TSDB the scraper feeds.
+func NewGatherer(db *metrics.TSDB) *Gatherer {
+	return &Gatherer{db: db, Window: 30 * time.Second, Now: time.Now}
+}
+
+// DeviceMetrics implements MetricsSource.
+func (g *Gatherer) DeviceMetrics(deviceID, node string) (DeviceMetrics, bool) {
+	lbl := metrics.Labels{"device": deviceID, "node": node}
+	now := g.Now()
+	var m DeviceMetrics
+	rate, ok := g.db.Rate("bf_device_busy_seconds_total", lbl, now, g.Window)
+	if !ok {
+		return DeviceMetrics{}, false
+	}
+	// The busy counter advances in modelled seconds; scale converts one
+	// modelled second into wall seconds so the utilization is a wall
+	// fraction. An unscaled board (scale 1) needs no conversion; scale 0
+	// (no sleeping, tests) leaves the raw rate, which is still a usable
+	// relative load signal.
+	if scale, ok := g.db.Latest("bf_device_time_scale", lbl); ok && scale > 0 {
+		rate *= scale
+	}
+	m.Utilization = rate
+	if v, ok := g.db.Latest("bf_connected_clients", lbl); ok {
+		m.Connected = v
+	}
+	if v, ok := g.db.Latest("bf_queue_depth", lbl); ok {
+		m.QueueDepth = v
+	}
+	return m, true
+}
+
+// StaticMetrics is a fixed MetricsSource for tests and the DES harness.
+type StaticMetrics map[string]DeviceMetrics
+
+// DeviceMetrics implements MetricsSource.
+func (s StaticMetrics) DeviceMetrics(deviceID, node string) (DeviceMetrics, bool) {
+	m, ok := s[deviceID]
+	return m, ok
+}

@@ -1,0 +1,328 @@
+// Package registry implements the BlastFunction Accelerators Registry.
+//
+// The Registry is the master component of the paper's Section III-C. It
+// registers functions and devices (the Functions Service and Devices
+// Service), aggregates Device Manager performance metrics through the
+// Metrics Gatherer, allocates devices to function instances with the
+// paper's online allocation algorithm (Algorithm 1), and validates
+// reconfiguration operations, migrating connected instances through the
+// cluster orchestrator when a board must change bitstream.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DeviceQuery is a function's device requirements — the paper's
+// "instance.devicequery" matched during compatibility filtering.
+type DeviceQuery struct {
+	// Vendor restricts acceptable device vendors; empty accepts any.
+	Vendor string
+	// Platform restricts acceptable platforms; empty accepts any.
+	Platform string
+	// Accelerator is the logical accelerator the function needs (the
+	// family of its bitstream, e.g. "sobel").
+	Accelerator string
+}
+
+// Device is a Devices Service record: one FPGA board under a Device
+// Manager.
+type Device struct {
+	// ID is the device identifier, unique in the cluster.
+	ID string
+	// Node is the node hosting the board.
+	Node string
+	// Vendor and Platform describe the board for compatibility checks.
+	Vendor   string
+	Platform string
+	// ManagerAddr is the Device Manager's RPC endpoint, injected into
+	// allocated instances' environments.
+	ManagerAddr string
+	// MetricsURL is the manager's metrics endpoint for the scraper.
+	MetricsURL string
+	// Bitstream is the currently configured (or expected) bitstream ID.
+	Bitstream string
+	// Accelerator is the logical accelerator of Bitstream.
+	Accelerator string
+}
+
+// Function is a Functions Service record.
+type Function struct {
+	// Name is the serverless function name (e.g. "sobel-1").
+	Name string
+	// Query is the function's device requirements.
+	Query DeviceQuery
+	// Bitstream is the bitstream ID the function programs.
+	Bitstream string
+}
+
+// instanceInfo tracks one allocated function instance.
+type instanceInfo struct {
+	uid      string
+	name     string
+	function string
+	node     string
+}
+
+// deviceState couples a Device record with its connected instances.
+type deviceState struct {
+	Device
+	instances map[string]instanceInfo // by instance UID
+	// unhealthy marks devices whose Device Manager stopped answering
+	// metric scrapes; allocation skips them until they recover.
+	unhealthy bool
+	healthErr string
+}
+
+// Registry is the Accelerators Registry.
+type Registry struct {
+	mu        sync.Mutex
+	devices   map[string]*deviceState
+	functions map[string]*Function
+	// byInstance maps an allocated instance UID to its device ID.
+	byInstance map[string]string
+	// byName maps instance names to UIDs (Device Managers authenticate
+	// clients by instance name).
+	byName map[string]string
+
+	source AllocPolicy
+}
+
+// AllocPolicy supplies the metrics view and the ordering/filtering
+// configuration of Algorithm 1.
+type AllocPolicy struct {
+	// Metrics yields a device's current metrics; nil disables metric
+	// filtering and ordering (fresh clusters).
+	Metrics MetricsSource
+	// Order lists the sort criteria, most significant first.
+	Order []Criterion
+	// Filters drop overloaded devices before ordering.
+	Filters []Filter
+}
+
+// MetricsSource yields per-device runtime metrics.
+type MetricsSource interface {
+	// DeviceMetrics returns the device's current metrics; ok is false
+	// when no data is available yet (the device is then treated as idle).
+	DeviceMetrics(deviceID, node string) (DeviceMetrics, bool)
+}
+
+// DeviceMetrics is the metric set Algorithm 1 consumes.
+type DeviceMetrics struct {
+	// Utilization is the FPGA time utilization over the recent window,
+	// 0..1 (can exceed 1 transiently on scrape jitter).
+	Utilization float64
+	// Connected is the number of connected function instances.
+	Connected float64
+	// QueueDepth is the central queue depth.
+	QueueDepth float64
+}
+
+// value extracts a metric by name.
+func (m DeviceMetrics) value(name string) float64 {
+	switch name {
+	case MetricUtilization:
+		return m.Utilization
+	case MetricConnected:
+		return m.Connected
+	case MetricQueueDepth:
+		return m.QueueDepth
+	}
+	return 0
+}
+
+// Metric names usable in criteria and filters.
+const (
+	MetricUtilization = "utilization"
+	MetricConnected   = "connected"
+	MetricQueueDepth  = "queue_depth"
+)
+
+// Criterion is one sort key of the allocation ordering.
+type Criterion struct {
+	// Metric names the metric (Metric* constants).
+	Metric string
+	// Desc sorts descending when true (default ascending: less loaded
+	// devices first).
+	Desc bool
+	// Quantum buckets values before comparing, so near-equal devices tie
+	// and the accelerator-compatibility tiebreak can prefer a device that
+	// avoids a reconfiguration. Zero compares exactly.
+	Quantum float64
+}
+
+// Filter drops devices whose metric exceeds Max.
+type Filter struct {
+	Metric string
+	Max    float64
+}
+
+// DefaultPolicy returns the allocation policy used in the paper's
+// experiments: prefer low utilization (5 % buckets), then fewer connected
+// instances, and never allocate onto a device already above 95 %
+// utilization.
+func DefaultPolicy(src MetricsSource) AllocPolicy {
+	return AllocPolicy{
+		Metrics: src,
+		Order: []Criterion{
+			{Metric: MetricUtilization, Quantum: 0.05},
+			{Metric: MetricConnected},
+		},
+		Filters: []Filter{{Metric: MetricUtilization, Max: 0.95}},
+	}
+}
+
+// New creates a Registry with the given allocation policy.
+func New(policy AllocPolicy) *Registry {
+	return &Registry{
+		devices:    make(map[string]*deviceState),
+		functions:  make(map[string]*Function),
+		byInstance: make(map[string]string),
+		byName:     make(map[string]string),
+		source:     policy,
+	}
+}
+
+// RegisterDevice adds (or updates) a Devices Service record.
+func (r *Registry) RegisterDevice(d Device) error {
+	if d.ID == "" || d.Node == "" {
+		return fmt.Errorf("registry: device needs ID and Node")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ds, ok := r.devices[d.ID]; ok {
+		ds.Device = d
+		return nil
+	}
+	r.devices[d.ID] = &deviceState{Device: d, instances: make(map[string]instanceInfo)}
+	return nil
+}
+
+// SetDeviceHealth records a device's scrape health. An unhealthy device
+// is excluded from allocation until it recovers; existing placements are
+// left alone (their clients notice the broken manager themselves).
+func (r *Registry) SetDeviceHealth(id string, scrapeErr error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds, ok := r.devices[id]
+	if !ok {
+		return fmt.Errorf("registry: device %q not found", id)
+	}
+	ds.unhealthy = scrapeErr != nil
+	if scrapeErr != nil {
+		ds.healthErr = scrapeErr.Error()
+	} else {
+		ds.healthErr = ""
+	}
+	return nil
+}
+
+// DeviceHealthy reports whether a device is currently allocatable.
+func (r *Registry) DeviceHealthy(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds, ok := r.devices[id]
+	return ok && !ds.unhealthy
+}
+
+// RemoveDevice deletes a device record. Instances connected to it keep
+// running until their manager disappears; reallocating them is the
+// operator's migration call.
+func (r *Registry) RemoveDevice(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.devices[id]; !ok {
+		return fmt.Errorf("registry: device %q not found", id)
+	}
+	delete(r.devices, id)
+	return nil
+}
+
+// Devices lists device records sorted by ID.
+func (r *Registry) Devices() []Device {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Device, 0, len(r.devices))
+	for _, ds := range r.devices {
+		out = append(out, ds.Device)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RegisterFunction adds (or updates) a Functions Service record.
+func (r *Registry) RegisterFunction(f Function) error {
+	if f.Name == "" {
+		return fmt.Errorf("registry: function needs a name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn := f
+	r.functions[f.Name] = &fn
+	return nil
+}
+
+// Functions lists function records sorted by name.
+func (r *Registry) Functions() []Function {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Function, 0, len(r.functions))
+	for _, f := range r.functions {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// InstancePlacement reports which device an instance is allocated to.
+func (r *Registry) InstancePlacement(uid string) (Device, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	devID, ok := r.byInstance[uid]
+	if !ok {
+		return Device{}, false
+	}
+	ds, ok := r.devices[devID]
+	if !ok {
+		return Device{}, false
+	}
+	return ds.Device, true
+}
+
+// ConnectedInstances returns the UIDs of instances allocated to a device,
+// sorted.
+func (r *Registry) ConnectedInstances(deviceID string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds, ok := r.devices[deviceID]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(ds.instances))
+	for uid := range ds.instances {
+		out = append(out, uid)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Release removes an instance's allocation. The controller calls it on
+// instance deletion events and before migrating a displaced instance; the
+// DES harness uses it to model the same migrations.
+func (r *Registry) Release(uid string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	devID, ok := r.byInstance[uid]
+	if !ok {
+		return
+	}
+	delete(r.byInstance, uid)
+	if ds, ok := r.devices[devID]; ok {
+		if info, ok := ds.instances[uid]; ok {
+			delete(r.byName, info.name)
+			delete(ds.instances, uid)
+		}
+	}
+}

@@ -1,0 +1,517 @@
+package remote
+
+import (
+	"sync"
+
+	"blastfunction/internal/ocl"
+	"blastfunction/internal/wire"
+)
+
+// context implements ocl.Context over one Device Manager session.
+type context struct {
+	mc      *managerConn
+	id      uint64
+	devices []ocl.Device
+
+	mu     sync.Mutex
+	queues []*commandQueue
+}
+
+func (mc *managerConn) createContext(devices []ocl.Device) (ocl.Context, error) {
+	resp, err := mc.rpc.Call(wire.MethodCreateContext, nil)
+	if err != nil {
+		return nil, err
+	}
+	var id wire.IDResponse
+	id.Decode(wire.NewDecoder(resp))
+	return &context{mc: mc, id: id.ID, devices: devices}, nil
+}
+
+// Devices implements ocl.Context.
+func (c *context) Devices() []ocl.Device { return c.devices }
+
+// callID performs a unary call built from an IDRequest.
+func callID(mc *managerConn, m wire.Method, id uint64) ([]byte, error) {
+	e := wire.NewEncoder(8)
+	(&wire.IDRequest{ID: id}).Encode(e)
+	return mc.rpc.Call(m, e.Bytes())
+}
+
+// CreateCommandQueue implements ocl.Context.
+func (c *context) CreateCommandQueue(d ocl.Device, props ocl.QueueProps) (ocl.CommandQueue, error) {
+	if rd, ok := d.(*device); !ok || rd.mc != c.mc {
+		return nil, ocl.Errf(ocl.ErrInvalidDevice, "device does not belong to this context")
+	}
+	resp, err := callID(c.mc, wire.MethodCreateQueue, c.id)
+	if err != nil {
+		return nil, err
+	}
+	var id wire.IDResponse
+	id.Decode(wire.NewDecoder(resp))
+	q := &commandQueue{ctx: c, id: id.ID}
+	c.mu.Lock()
+	c.queues = append(c.queues, q)
+	c.mu.Unlock()
+	return q, nil
+}
+
+// CreateBuffer implements ocl.Context. Buffer creation (with optional
+// initialization data) is a synchronous context/information method.
+func (c *context) CreateBuffer(flags ocl.MemFlags, size int, hostData []byte) (ocl.Buffer, error) {
+	if !flags.Valid() {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "buffer flags %#x", uint32(flags))
+	}
+	if size <= 0 || (hostData != nil && len(hostData) > size) {
+		return nil, ocl.Errf(ocl.ErrInvalidBufferSize, "size %d, init %d", size, len(hostData))
+	}
+	e := wire.NewEncoder(32 + len(hostData))
+	(&wire.CreateBufferRequest{
+		Context:  c.id,
+		Flags:    uint32(flags),
+		Size:     int64(size),
+		InitData: hostData,
+	}).Encode(e)
+	resp, err := c.mc.rpc.Call(wire.MethodCreateBuffer, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var id wire.IDResponse
+	id.Decode(wire.NewDecoder(resp))
+	return &buffer{ctx: c, id: id.ID, size: size, flags: flags}, nil
+}
+
+// CreateProgramWithBinary implements ocl.Context.
+func (c *context) CreateProgramWithBinary(d ocl.Device, binary []byte) (ocl.Program, error) {
+	if rd, ok := d.(*device); !ok || rd.mc != c.mc {
+		return nil, ocl.Errf(ocl.ErrInvalidDevice, "device does not belong to this context")
+	}
+	e := wire.NewEncoder(32 + len(binary))
+	(&wire.CreateProgramRequest{Context: c.id, Binary: binary}).Encode(e)
+	resp, err := c.mc.rpc.Call(wire.MethodCreateProgram, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var pr wire.CreateProgramResponse
+	pr.Decode(wire.NewDecoder(resp))
+	return &program{ctx: c, id: pr.ID, kernels: pr.Kernels}, nil
+}
+
+// Release implements ocl.Context.
+func (c *context) Release() error {
+	c.mu.Lock()
+	queues := append([]*commandQueue(nil), c.queues...)
+	c.queues = nil
+	c.mu.Unlock()
+	for _, q := range queues {
+		q.Release()
+	}
+	_, err := callID(c.mc, wire.MethodReleaseContext, c.id)
+	return err
+}
+
+// flushAll seals the current task on every queue of the context; waits on
+// cross-queue event dependencies rely on it.
+func (c *context) flushAll() {
+	c.mu.Lock()
+	queues := append([]*commandQueue(nil), c.queues...)
+	c.mu.Unlock()
+	for _, q := range queues {
+		q.Flush()
+	}
+}
+
+// buffer implements ocl.Buffer.
+type buffer struct {
+	ctx   *context
+	id    uint64
+	size  int
+	flags ocl.MemFlags
+}
+
+// Size implements ocl.Buffer.
+func (b *buffer) Size() int { return b.size }
+
+// Flags implements ocl.Buffer.
+func (b *buffer) Flags() ocl.MemFlags { return b.flags }
+
+// Release implements ocl.Buffer.
+func (b *buffer) Release() error {
+	_, err := callID(b.ctx.mc, wire.MethodReleaseBuffer, b.id)
+	return err
+}
+
+// program implements ocl.Program.
+type program struct {
+	ctx     *context
+	id      uint64
+	kernels []string
+}
+
+// Build implements ocl.Program: the board reconfiguration request, the one
+// blocking context/information method.
+func (p *program) Build(options string) error {
+	_, err := callID(p.ctx.mc, wire.MethodBuildProgram, p.id)
+	return err
+}
+
+// KernelNames implements ocl.Program.
+func (p *program) KernelNames() []string { return append([]string(nil), p.kernels...) }
+
+// CreateKernel implements ocl.Program.
+func (p *program) CreateKernel(name string) (ocl.Kernel, error) {
+	e := wire.NewEncoder(32)
+	(&wire.CreateKernelRequest{Program: p.id, Name: name}).Encode(e)
+	resp, err := p.ctx.mc.rpc.Call(wire.MethodCreateKernel, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var id wire.IDResponse
+	id.Decode(wire.NewDecoder(resp))
+	return &kernel{ctx: p.ctx, id: id.ID, name: name}, nil
+}
+
+// Release implements ocl.Program.
+func (p *program) Release() error { return nil }
+
+// kernel implements ocl.Kernel.
+type kernel struct {
+	ctx  *context
+	id   uint64
+	name string
+}
+
+// Name implements ocl.Kernel.
+func (k *kernel) Name() string { return k.name }
+
+// SetArg implements ocl.Kernel.
+func (k *kernel) SetArg(i int, value any) error {
+	if i < 0 {
+		return ocl.Errf(ocl.ErrInvalidArgIndex, "index %d", i)
+	}
+	var arg ocl.Arg
+	if b, ok := value.(ocl.Buffer); ok {
+		rb, ok := b.(*buffer)
+		if !ok || rb.ctx != k.ctx {
+			return ocl.Errf(ocl.ErrInvalidMemObject, "buffer from a different context")
+		}
+		arg = ocl.BufferArg(rb.id)
+	} else {
+		var err error
+		arg, err = ocl.PackArg(value)
+		if err != nil {
+			return err
+		}
+	}
+	e := wire.NewEncoder(32)
+	(&wire.SetKernelArgRequest{Kernel: k.id, Index: uint32(i), Arg: arg}).Encode(e)
+	_, err := k.ctx.mc.rpc.Call(wire.MethodSetKernelArg, e.Bytes())
+	return err
+}
+
+// Release implements ocl.Kernel.
+func (k *kernel) Release() error {
+	_, err := callID(k.ctx.mc, wire.MethodReleaseKernel, k.id)
+	return err
+}
+
+// commandQueue implements ocl.CommandQueue. Operations enqueued between
+// flushes form the client's current task on the manager.
+type commandQueue struct {
+	ctx *context
+	id  uint64
+
+	mu        sync.Mutex
+	events    []*remoteEvent // not yet known-complete
+	unflushed []*remoteEvent // members of the current task
+	released  bool
+}
+
+// track registers an event as in-flight and part of the current task.
+func (q *commandQueue) track(ev *remoteEvent) {
+	ev.queue = q
+	q.mu.Lock()
+	q.events = append(q.events, ev)
+	q.unflushed = append(q.unflushed, ev)
+	q.mu.Unlock()
+}
+
+// waitDependencies implements event wait lists. In-order queues already
+// serialize same-queue dependencies; cross-queue dependencies are honored
+// by flushing the context and waiting, which keeps the in-order guarantee
+// of this queue intact at the cost of host-side synchronization.
+func (q *commandQueue) waitDependencies(waitList []ocl.Event) error {
+	if len(waitList) == 0 {
+		return nil
+	}
+	q.ctx.flushAll()
+	return ocl.WaitForEvents(waitList...)
+}
+
+// EnqueueWriteBuffer implements ocl.CommandQueue.
+func (q *commandQueue) EnqueueWriteBuffer(b ocl.Buffer, blocking bool, offset int, data []byte, waitList []ocl.Event) (ocl.Event, error) {
+	rb, ok := b.(*buffer)
+	if !ok || rb.ctx != q.ctx {
+		return nil, ocl.Errf(ocl.ErrInvalidMemObject, "buffer from a different context")
+	}
+	if offset < 0 || offset+len(data) > rb.size {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "write range [%d,%d) on buffer of %d", offset, offset+len(data), rb.size)
+	}
+	if err := q.waitDependencies(waitList); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return ocl.CompletedEvent(ocl.CommandWriteBuffer), nil
+	}
+	mc := q.ctx.mc
+	tag := mc.newTag()
+	ev := mc.register(ocl.CommandWriteBuffer, tag)
+	req := wire.EnqueueWriteRequest{
+		Tag:    tag,
+		Queue:  q.id,
+		Buffer: rb.id,
+		Offset: int64(offset),
+		Via:    wire.ViaInline,
+		Data:   data,
+	}
+	// Prefer the shared-memory path: one staging copy into the segment.
+	if mc.arena != nil {
+		if off, err := mc.arena.Alloc(int64(len(data))); err == nil {
+			dst, rerr := mc.seg.Range(off, int64(len(data)))
+			if rerr == nil {
+				copy(dst, data)
+				req.Via = wire.ViaShm
+				req.ShmOff = off
+				req.ShmLen = int64(len(data))
+				req.Data = nil
+				ev.shmOff, ev.shmLen, ev.freeArena = off, int64(len(data)), true
+			} else {
+				mc.arena.Free(off, int64(len(data)))
+			}
+		}
+	}
+	e := wire.NewEncoder(64 + len(req.Data))
+	req.Encode(e)
+	if err := mc.rpc.Send(wire.MethodEnqueueWrite, e.Bytes()); err != nil {
+		mc.pending.Delete(tag)
+		ev.releaseStaging(mc)
+		return nil, err
+	}
+	q.track(ev)
+	if blocking {
+		q.Flush()
+		if err := ev.Wait(); err != nil {
+			return ev, err
+		}
+	}
+	return ev, nil
+}
+
+// EnqueueReadBuffer implements ocl.CommandQueue.
+func (q *commandQueue) EnqueueReadBuffer(b ocl.Buffer, blocking bool, offset int, dst []byte, waitList []ocl.Event) (ocl.Event, error) {
+	rb, ok := b.(*buffer)
+	if !ok || rb.ctx != q.ctx {
+		return nil, ocl.Errf(ocl.ErrInvalidMemObject, "buffer from a different context")
+	}
+	if offset < 0 || offset+len(dst) > rb.size {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "read range [%d,%d) on buffer of %d", offset, offset+len(dst), rb.size)
+	}
+	if err := q.waitDependencies(waitList); err != nil {
+		return nil, err
+	}
+	if len(dst) == 0 {
+		return ocl.CompletedEvent(ocl.CommandReadBuffer), nil
+	}
+	mc := q.ctx.mc
+	tag := mc.newTag()
+	ev := mc.register(ocl.CommandReadBuffer, tag)
+	ev.dst = dst
+	req := wire.EnqueueReadRequest{
+		Tag:    tag,
+		Queue:  q.id,
+		Buffer: rb.id,
+		Offset: int64(offset),
+		Length: int64(len(dst)),
+		Via:    wire.ViaInline,
+	}
+	if mc.arena != nil {
+		if off, err := mc.arena.Alloc(int64(len(dst))); err == nil {
+			req.Via = wire.ViaShm
+			req.ShmOff = off
+			ev.shmOff, ev.shmLen, ev.freeArena = off, int64(len(dst)), true
+		}
+	}
+	e := wire.NewEncoder(64)
+	req.Encode(e)
+	if err := mc.rpc.Send(wire.MethodEnqueueRead, e.Bytes()); err != nil {
+		mc.pending.Delete(tag)
+		ev.releaseStaging(mc)
+		return nil, err
+	}
+	q.track(ev)
+	if blocking {
+		q.Flush()
+		if err := ev.Wait(); err != nil {
+			return ev, err
+		}
+	}
+	return ev, nil
+}
+
+// EnqueueNDRangeKernel implements ocl.CommandQueue.
+func (q *commandQueue) EnqueueNDRangeKernel(k ocl.Kernel, global, local []int, waitList []ocl.Event) (ocl.Event, error) {
+	rk, ok := k.(*kernel)
+	if !ok || rk.ctx != q.ctx {
+		return nil, ocl.Errf(ocl.ErrInvalidKernel, "kernel from a different context")
+	}
+	if err := q.waitDependencies(waitList); err != nil {
+		return nil, err
+	}
+	toI64 := func(v []int) []int64 {
+		if v == nil {
+			return nil
+		}
+		out := make([]int64, len(v))
+		for i, x := range v {
+			out[i] = int64(x)
+		}
+		return out
+	}
+	mc := q.ctx.mc
+	tag := mc.newTag()
+	ev := mc.register(ocl.CommandNDRangeKernel, tag)
+	e := wire.NewEncoder(64)
+	(&wire.EnqueueKernelRequest{
+		Tag:    tag,
+		Queue:  q.id,
+		Kernel: rk.id,
+		Global: toI64(global),
+		Local:  toI64(local),
+	}).Encode(e)
+	if err := mc.rpc.Send(wire.MethodEnqueueKernel, e.Bytes()); err != nil {
+		mc.pending.Delete(tag)
+		return nil, err
+	}
+	q.track(ev)
+	return ev, nil
+}
+
+// EnqueueTask implements ocl.CommandQueue: a single work-item launch, the
+// usual form for Intel FPGA pipeline kernels.
+func (q *commandQueue) EnqueueTask(k ocl.Kernel, waitList []ocl.Event) (ocl.Event, error) {
+	return q.EnqueueNDRangeKernel(k, []int{1}, nil, waitList)
+}
+
+// EnqueueMarker implements ocl.CommandQueue client-side: the marker
+// completes when every operation currently in flight on the queue has
+// terminated.
+func (q *commandQueue) EnqueueMarker() (ocl.Event, error) {
+	q.mu.Lock()
+	snapshot := append([]*remoteEvent(nil), q.events...)
+	q.mu.Unlock()
+	if len(snapshot) == 0 {
+		return ocl.CompletedEvent(ocl.CommandMarker), nil
+	}
+	marker := ocl.NewEvent(ocl.CommandMarker)
+	go func() {
+		for _, ev := range snapshot {
+			ev.Wait()
+		}
+		marker.Complete()
+	}()
+	return marker, nil
+}
+
+// EnqueueBarrier implements ocl.CommandQueue. Like blocking calls and
+// clFinish/clFlush, a barrier seals the current task (paper Section
+// III-B); in-order task execution then provides the barrier semantics.
+func (q *commandQueue) EnqueueBarrier() error { return q.Flush() }
+
+// ensureFlushed seals the current task if ev belongs to it, so a Wait on
+// the event can terminate.
+func (q *commandQueue) ensureFlushed(ev *remoteEvent) {
+	q.mu.Lock()
+	member := false
+	for _, e := range q.unflushed {
+		if e == ev {
+			member = true
+			break
+		}
+	}
+	q.mu.Unlock()
+	if member {
+		q.Flush()
+	}
+}
+
+// Flush implements ocl.CommandQueue: it seals the current
+// multi-operation task and submits it to the manager's central queue.
+func (q *commandQueue) Flush() error {
+	q.mu.Lock()
+	hadOps := len(q.unflushed) > 0
+	q.unflushed = q.unflushed[:0]
+	q.mu.Unlock()
+	if !hadOps {
+		return nil
+	}
+	e := wire.NewEncoder(16)
+	(&wire.FlushRequest{Queue: q.id}).Encode(e)
+	return q.ctx.mc.rpc.Send(wire.MethodFlush, e.Bytes())
+}
+
+// Finish implements ocl.CommandQueue: flush, then wait for every
+// submitted operation.
+func (q *commandQueue) Finish() error {
+	if err := q.Flush(); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	snapshot := append([]*remoteEvent(nil), q.events...)
+	q.mu.Unlock()
+	var firstErr error
+	for _, ev := range snapshot {
+		if err := ev.BaseEvent.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Prune completed events so long-lived queues do not grow unbounded.
+	q.mu.Lock()
+	kept := q.events[:0]
+	for _, ev := range q.events {
+		if !ev.Status().Done() {
+			kept = append(kept, ev)
+		}
+	}
+	q.events = kept
+	q.mu.Unlock()
+	return firstErr
+}
+
+// Release implements ocl.CommandQueue.
+func (q *commandQueue) Release() error {
+	q.mu.Lock()
+	if q.released {
+		q.mu.Unlock()
+		return nil
+	}
+	q.released = true
+	q.mu.Unlock()
+	if err := q.Finish(); err != nil {
+		return err
+	}
+	_, err := callID(q.ctx.mc, wire.MethodReleaseQueue, q.id)
+	return err
+}
+
+// Compile-time checks: the Remote OpenCL Library implements the full ocl
+// API surface, the transparency contract shared with the native runtime.
+var (
+	_ ocl.Client         = (*Client)(nil)
+	_ ocl.Platform       = (*platform)(nil)
+	_ ocl.Device         = (*device)(nil)
+	_ ocl.Context        = (*context)(nil)
+	_ ocl.Buffer         = (*buffer)(nil)
+	_ ocl.Program        = (*program)(nil)
+	_ ocl.Kernel         = (*kernel)(nil)
+	_ ocl.CommandQueue   = (*commandQueue)(nil)
+	_ ocl.ProfilingEvent = (*remoteEvent)(nil)
+)

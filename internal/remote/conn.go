@@ -1,0 +1,235 @@
+package remote
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blastfunction/internal/model"
+	"blastfunction/internal/ocl"
+	"blastfunction/internal/rpc"
+	"blastfunction/internal/shm"
+	"blastfunction/internal/wire"
+)
+
+// managerConn is the library's connection to one Device Manager: the RPC
+// client, the negotiated data path, the tag table of in-flight events and
+// the connection thread that drains the completion queue.
+type managerConn struct {
+	cfg  *Config
+	addr string
+	rpc  *rpc.Client
+
+	sessionID uint64
+	node      string
+	info      wire.DeviceInfoResponse
+
+	seg   *shm.Segment
+	arena *shm.Arena
+	mode  model.Transport
+
+	tags    atomic.Uint64
+	pending sync.Map // tag uint64 -> *remoteEvent
+
+	closedMu sync.Mutex
+	closed   bool
+}
+
+func dialManager(cfg *Config, addr string) (*managerConn, error) {
+	cl, err := rpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	mc := &managerConn{cfg: cfg, addr: addr, rpc: cl, mode: model.TransportGRPC}
+
+	// Hello: open the session.
+	e := wire.NewEncoder(64)
+	(&wire.HelloRequest{ClientName: cfg.ClientName, ProtoVersion: wire.ProtoVersion}).Encode(e)
+	resp, err := cl.Call(wire.MethodHello, e.Bytes())
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	var hello wire.HelloResponse
+	hello.Decode(wire.NewDecoder(resp))
+	mc.sessionID = hello.SessionID
+	mc.node = hello.Node
+
+	// Device information for the platform list.
+	resp, err = cl.Call(wire.MethodDeviceInfo, nil)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	mc.info.Decode(wire.NewDecoder(resp))
+
+	// Negotiate the data path. Shared memory requires co-location: the
+	// manager must report the client's node (or the check is disabled).
+	wantShm := cfg.Transport != TransportGRPC
+	colocated := cfg.Node == "" || cfg.Node == mc.node
+	if wantShm && colocated {
+		if err := mc.setupShm(); err != nil {
+			if cfg.Transport == TransportShm {
+				cl.Close()
+				return nil, err
+			}
+			// TransportAuto degrades to the RPC data path, like the paper
+			// when "it is not possible to create a shared memory area".
+		}
+	} else if cfg.Transport == TransportShm {
+		cl.Close()
+		return nil, ocl.Errf(ocl.ErrInvalidOperation,
+			"shm transport requires co-location (client node %q, manager node %q)", cfg.Node, mc.node)
+	}
+
+	go mc.connectionThread()
+	return mc, nil
+}
+
+func (mc *managerConn) setupShm() error {
+	seg, err := shm.Create(mc.cfg.ShmDir, mc.cfg.ShmBytes)
+	if err != nil {
+		return err
+	}
+	e := wire.NewEncoder(64)
+	(&wire.SetupShmRequest{Path: seg.Path(), Size: seg.Size()}).Encode(e)
+	if _, err := mc.rpc.Call(wire.MethodSetupShm, e.Bytes()); err != nil {
+		seg.Close()
+		return err
+	}
+	mc.seg = seg
+	mc.arena = shm.NewArena(seg.Size())
+	mc.mode = model.TransportShm
+	return nil
+}
+
+func (mc *managerConn) transport() model.Transport { return mc.mode }
+
+func (mc *managerConn) isClosed() bool {
+	mc.closedMu.Lock()
+	defer mc.closedMu.Unlock()
+	return mc.closed
+}
+
+func (mc *managerConn) close() error {
+	mc.closedMu.Lock()
+	if mc.closed {
+		mc.closedMu.Unlock()
+		return nil
+	}
+	mc.closed = true
+	mc.closedMu.Unlock()
+	err := mc.rpc.Close()
+	if mc.seg != nil {
+		mc.seg.Close()
+	}
+	return err
+}
+
+// connectionThread is the paper's connection thread: it pulls tags from
+// the completion queue, retrieves the corresponding events and calls their
+// state machines (steps 5 and 6 of Figure 2).
+func (mc *managerConn) connectionThread() {
+	for payload := range mc.rpc.Notifications() {
+		var n wire.OpNotification
+		d := wire.NewDecoder(payload)
+		n.Decode(d)
+		if d.Err() != nil {
+			continue // malformed notification; drop rather than crash
+		}
+		v, ok := mc.pending.Load(n.Tag)
+		if !ok {
+			continue // event already failed locally (e.g. connection race)
+		}
+		ev := v.(*remoteEvent)
+		ev.machine(mc, &n)
+		if ev.Status().Done() {
+			mc.pending.Delete(n.Tag)
+		}
+	}
+	// Connection gone: fail everything still in flight.
+	mc.pending.Range(func(k, v any) bool {
+		v.(*remoteEvent).Fail(ocl.Errf(ocl.ErrDeviceNotAvailable, "connection to %s lost", mc.addr))
+		mc.pending.Delete(k)
+		return true
+	})
+}
+
+// newTag allocates a fresh event tag. Tags start at 1; 0 is reserved.
+func (mc *managerConn) newTag() uint64 { return mc.tags.Add(1) }
+
+// register creates and registers an event for an enqueue.
+func (mc *managerConn) register(cmd ocl.CommandType, tag uint64) *remoteEvent {
+	ev := &remoteEvent{BaseEvent: ocl.NewEvent(cmd), tag: tag}
+	mc.pending.Store(tag, ev)
+	return ev
+}
+
+// remoteEvent is an ocl event driven by manager notifications. Its state
+// machine mirrors the paper's: INIT is the freshly created event, the
+// OpAccepted notification is the FIRST step (command enqueued by the
+// manager), OpRunning marks device execution (the BUFFER step carries the
+// payload for reads), and OpComplete/OpFailed terminate it.
+type remoteEvent struct {
+	*ocl.BaseEvent
+	tag uint64
+
+	// queue backlink for implicit flush on Wait (clWaitForEvents flushes).
+	queue *commandQueue
+
+	// Read completion plumbing.
+	dst       []byte // user destination for reads
+	shmOff    int64  // staging range for shm transfers
+	shmLen    int64
+	freeArena bool // release the staging range on completion
+}
+
+// Wait implements ocl.Event with clWaitForEvents semantics: waiting on an
+// event of an unflushed command implicitly flushes its queue, otherwise
+// the wait could never terminate.
+func (ev *remoteEvent) Wait() error {
+	if q := ev.queue; q != nil {
+		q.ensureFlushed(ev)
+	}
+	return ev.BaseEvent.Wait()
+}
+
+// machine advances the event from a manager notification.
+func (ev *remoteEvent) machine(mc *managerConn, n *wire.OpNotification) {
+	switch n.State {
+	case wire.OpAccepted:
+		ev.SetStatus(ocl.Submitted)
+	case wire.OpRunning:
+		ev.SetStatus(ocl.Running)
+	case wire.OpComplete:
+		ev.SetDeviceTime(time.Duration(n.DeviceNanos))
+		ev.finishRead(mc, n)
+		ev.Complete()
+	case wire.OpFailed:
+		ev.releaseStaging(mc)
+		ev.Fail(ocl.Errf(ocl.Status(n.Status), "%s", n.Error))
+	}
+}
+
+// finishRead lands read payloads in the user buffer: the BUFFER step of
+// the paper's state machine. For the shm path this is the data plane's
+// single copy.
+func (ev *remoteEvent) finishRead(mc *managerConn, n *wire.OpNotification) {
+	if ev.dst != nil {
+		if n.Data != nil {
+			copy(ev.dst, n.Data)
+		} else if n.ShmLen > 0 && mc.seg != nil {
+			if src, err := mc.seg.Range(ev.shmOff, n.ShmLen); err == nil {
+				copy(ev.dst, src)
+			}
+		}
+	}
+	ev.releaseStaging(mc)
+}
+
+func (ev *remoteEvent) releaseStaging(mc *managerConn) {
+	if ev.freeArena && mc.arena != nil {
+		mc.arena.Free(ev.shmOff, ev.shmLen)
+		ev.freeArena = false
+	}
+}

@@ -1,0 +1,204 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blastfunction/internal/ocl"
+	"blastfunction/internal/wire"
+)
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("rpc: client closed")
+
+// DefaultCallTimeout bounds unary calls. Board reconfiguration is the
+// slowest legitimate call at a few seconds; anything beyond a minute is a
+// wedged manager.
+const DefaultCallTimeout = time.Minute
+
+// Client is the Remote OpenCL Library's connection to one Device Manager.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	reqID atomic.Uint64
+
+	pendingMu sync.Mutex
+	pending   map[uint64]chan callResult
+	closedErr error
+
+	// notifications is the completion queue of the paper's Figure 2: the
+	// reader goroutine pushes notification payloads, the Remote Library's
+	// connection thread pulls them and advances event state machines.
+	notifications chan []byte
+
+	// CallTimeout bounds unary calls; zero means DefaultCallTimeout.
+	CallTimeout time.Duration
+}
+
+type callResult struct {
+	body []byte
+	err  error
+}
+
+// Dial connects to a Device Manager at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:          conn,
+		pending:       make(map[uint64]chan callResult),
+		notifications: make(chan []byte, 1024),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Notifications returns the completion queue. The channel closes when the
+// connection drops.
+func (c *Client) Notifications() <-chan []byte { return c.notifications }
+
+// Call performs a unary request and waits for the response body.
+func (c *Client) Call(method wire.Method, body []byte) ([]byte, error) {
+	id := c.reqID.Add(1)
+	ch := make(chan callResult, 1)
+	c.pendingMu.Lock()
+	if c.closedErr != nil {
+		err := c.closedErr
+		c.pendingMu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.pendingMu.Unlock()
+
+	if err := c.send(id, method, body); err != nil {
+		c.pendingMu.Lock()
+		delete(c.pending, id)
+		c.pendingMu.Unlock()
+		return nil, err
+	}
+	timeout := c.CallTimeout
+	if timeout == 0 {
+		timeout = DefaultCallTimeout
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.body, res.err
+	case <-timer.C:
+		c.pendingMu.Lock()
+		delete(c.pending, id)
+		c.pendingMu.Unlock()
+		return nil, fmt.Errorf("rpc: call %s timed out after %v", method, timeout)
+	}
+}
+
+// Send performs a fire-and-forget request: no response is expected; the
+// server reports progress through notifications. Used for the
+// command-queue methods.
+func (c *Client) Send(method wire.Method, body []byte) error {
+	return c.send(0, method, body)
+}
+
+func (c *Client) send(reqID uint64, method wire.Method, body []byte) error {
+	hdr := make([]byte, 10, 10+len(body))
+	binary.LittleEndian.PutUint64(hdr[:8], reqID)
+	binary.LittleEndian.PutUint16(hdr[8:10], uint16(method))
+	payload := append(hdr, body...)
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.pendingMu.Lock()
+	closedErr := c.closedErr
+	c.pendingMu.Unlock()
+	if closedErr != nil {
+		return closedErr
+	}
+	if err := writeFrame(c.conn, frameRequest, payload); err != nil {
+		return fmt.Errorf("rpc: send %s: %w", method, err)
+	}
+	return nil
+}
+
+// Close tears the connection down; pending calls fail and the completion
+// queue closes.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(ErrClosed)
+	return err
+}
+
+func (c *Client) readLoop() {
+	for {
+		typ, payload, err := readFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+			return
+		}
+		switch typ {
+		case frameResponse:
+			c.dispatchResponse(payload)
+		case frameNotify:
+			c.notifications <- payload
+		default:
+			c.fail(fmt.Errorf("rpc: unexpected frame type %d", typ))
+			return
+		}
+	}
+}
+
+func (c *Client) dispatchResponse(payload []byte) {
+	d := wire.NewDecoder(payload)
+	reqID := d.U64()
+	status := ocl.Status(d.I32())
+	errMsg := d.String()
+	if d.Err() != nil {
+		c.fail(fmt.Errorf("rpc: malformed response: %w", d.Err()))
+		return
+	}
+	body := payload[len(payload)-d.Remaining():]
+	c.pendingMu.Lock()
+	ch, ok := c.pending[reqID]
+	delete(c.pending, reqID)
+	c.pendingMu.Unlock()
+	if !ok {
+		return // timed-out call; drop the late response
+	}
+	if status != ocl.Success {
+		ch <- callResult{err: ocl.Errf(status, "%s", errMsg)}
+		return
+	}
+	ch <- callResult{body: body}
+}
+
+// fail poisons the client: pending calls receive err, future calls fail,
+// and the completion queue closes.
+func (c *Client) fail(err error) {
+	c.pendingMu.Lock()
+	if c.closedErr != nil {
+		c.pendingMu.Unlock()
+		return
+	}
+	c.closedErr = err
+	pending := c.pending
+	c.pending = make(map[uint64]chan callResult)
+	c.pendingMu.Unlock()
+	for _, ch := range pending {
+		ch <- callResult{err: err}
+	}
+	close(c.notifications)
+	c.conn.Close()
+}

@@ -1,0 +1,77 @@
+// Package rpc is the control/data transport between the Remote OpenCL
+// Library and the Device Managers — the reproduction's stand-in for gRPC.
+//
+// It provides what the paper's flows need and nothing more:
+//
+//   - unary calls (context and information methods), matched to responses
+//     by request ID;
+//   - fire-and-forget requests (command-queue methods), whose progress
+//     comes back as server-pushed notifications keyed by a client-chosen
+//     tag — the paper's "pointer to the newly created event";
+//   - a client-side completion queue: the reader goroutine pushes
+//     notification payloads into a channel the Remote Library's connection
+//     thread drains, exactly the structure of the paper's Figure 2.
+//
+// Requests on one connection are processed strictly in order by the
+// server, which the Device Manager relies on for command-queue
+// consistency ("if any operation is received or executed in the wrong
+// order ... the results of the execution will change").
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types on the wire.
+const (
+	frameRequest  byte = 1
+	frameResponse byte = 2
+	frameNotify   byte = 3
+)
+
+// MaxFrameBytes bounds one frame: large enough for the 2 GB inline
+// transfers of the Figure 4a sweep.
+const MaxFrameBytes = 2<<30 + 1<<20
+
+// ErrFrameTooLarge reports an oversized frame on the wire.
+var ErrFrameTooLarge = errors.New("rpc: frame exceeds size limit")
+
+// header: 4-byte little-endian payload length + 1-byte frame type.
+const headerLen = 5
+
+// writeFrame writes one frame. Callers serialize access to w.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [headerLen]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [headerLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	typ = hdr[4]
+	if n > MaxFrameBytes {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}

@@ -1,0 +1,331 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blastfunction/internal/ocl"
+	"blastfunction/internal/wire"
+)
+
+// echoHandler echoes request bodies; method 99 returns an error; method 98
+// pushes the body back as a notification; method 97 blocks briefly.
+type echoHandler struct {
+	connects    atomic.Int32
+	disconnects atomic.Int32
+	lastOrder   []byte
+	orderMu     sync.Mutex
+}
+
+func (h *echoHandler) HandleConnect(c *Conn)    { h.connects.Add(1) }
+func (h *echoHandler) HandleDisconnect(c *Conn) { h.disconnects.Add(1) }
+
+func (h *echoHandler) HandleRequest(c *Conn, method wire.Method, body []byte) ([]byte, error) {
+	switch method {
+	case 99:
+		return nil, ocl.Errf(ocl.ErrInvalidOperation, "nope: %s", body)
+	case 98:
+		if err := c.Notify(append([]byte("notify:"), body...)); err != nil {
+			return nil, err
+		}
+		return []byte("sent"), nil
+	case 97:
+		time.Sleep(20 * time.Millisecond)
+		return []byte("slow"), nil
+	case 96: // record arrival order of fire-and-forget requests
+		h.orderMu.Lock()
+		h.lastOrder = append(h.lastOrder, body...)
+		h.orderMu.Unlock()
+		return nil, nil
+	}
+	return append([]byte("echo:"), body...), nil
+}
+
+func startServer(t *testing.T) (*Server, *echoHandler, string) {
+	t.Helper()
+	h := &echoHandler{}
+	s := NewServer(h)
+	s.Logf = t.Logf
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, h, addr
+}
+
+func TestUnaryCall(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(1, []byte("hello"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(resp) != "echo:hello" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestErrorResponseCarriesStatus(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	_, err := c.Call(99, []byte("x"))
+	if !errors.Is(err, ocl.ErrInvalidOperation) {
+		t.Fatalf("err = %v, want CL_INVALID_OPERATION", err)
+	}
+	// The connection survives an application error.
+	if _, err := c.Call(1, []byte("again")); err != nil {
+		t.Fatalf("call after error: %v", err)
+	}
+}
+
+func TestNotificationsReachCompletionQueue(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	if _, err := c.Call(98, []byte("evt")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-c.Notifications():
+		if string(n) != "notify:evt" {
+			t.Fatalf("notification = %q", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("notification did not arrive")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := []byte(fmt.Sprintf("msg-%d", i))
+			resp, err := c.Call(1, body)
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if !bytes.Equal(resp, append([]byte("echo:"), body...)) {
+				t.Errorf("call %d: resp %q", i, resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestFireAndForgetOrdering(t *testing.T) {
+	// Command-queue consistency depends on fire-and-forget requests being
+	// processed in send order.
+	_, h, addr := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	for i := byte(0); i < 50; i++ {
+		if err := c.Send(96, []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A unary call after the sends acts as a barrier: it is processed
+	// after them on the same connection.
+	if _, err := c.Call(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	h.orderMu.Lock()
+	defer h.orderMu.Unlock()
+	if len(h.lastOrder) != 50 {
+		t.Fatalf("received %d sends, want 50", len(h.lastOrder))
+	}
+	for i := byte(0); i < 50; i++ {
+		if h.lastOrder[i] != i {
+			t.Fatalf("order[%d] = %d", i, h.lastOrder[i])
+		}
+	}
+}
+
+func TestLargePayloadRoundTrip(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	big := make([]byte, 8<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	resp, err := c.Call(1, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp[5:], big) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestClientCloseFailsPending(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, _ := Dial(addr)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(97, nil) // slow call
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("pending call must fail on close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pending call hung after close")
+	}
+	if _, err := c.Call(1, nil); err == nil {
+		t.Fatal("call on closed client must fail")
+	}
+	// Completion queue closes.
+	select {
+	case _, ok := <-c.Notifications():
+		if ok {
+			t.Fatal("unexpected notification")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("completion queue did not close")
+	}
+}
+
+func TestServerCloseDropsClients(t *testing.T) {
+	s, h, addr := startServer(t)
+	c, _ := Dial(addr)
+	if _, err := c.Call(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	deadline := time.Now().Add(time.Second)
+	for h.disconnects.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if h.disconnects.Load() == 0 {
+		t.Fatal("disconnect hook did not run")
+	}
+	if _, err := c.Call(1, nil); err == nil {
+		t.Fatal("call must fail after server close")
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	c.CallTimeout = 5 * time.Millisecond
+	if _, err := c.Call(97, nil); err == nil {
+		t.Fatal("expected timeout")
+	}
+	// Late response to the timed-out call must not break later calls.
+	c.CallTimeout = time.Second
+	time.Sleep(30 * time.Millisecond)
+	if _, err := c.Call(1, []byte("ok")); err != nil {
+		t.Fatalf("call after timeout: %v", err)
+	}
+}
+
+func TestSessionState(t *testing.T) {
+	var got any
+	h := &sessionHandler{check: func(v any) { got = v }}
+	s := NewServer(h)
+	s.Logf = func(string, ...any) {}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, _ := Dial(addr)
+	defer c.Close()
+	if _, err := c.Call(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got != "state-from-connect" {
+		t.Fatalf("session = %v", got)
+	}
+}
+
+type sessionHandler struct{ check func(any) }
+
+func (h *sessionHandler) HandleConnect(c *Conn)    { c.SetSession("state-from-connect") }
+func (h *sessionHandler) HandleDisconnect(c *Conn) {}
+func (h *sessionHandler) HandleRequest(c *Conn, method wire.Method, body []byte) ([]byte, error) {
+	if method == 2 {
+		h.check(c.Session())
+	}
+	return nil, nil
+}
+
+func TestNotificationBurstDelivery(t *testing.T) {
+	// The server pushes a large burst of notifications; all arrive in
+	// order through the completion queue even while the client is slow to
+	// drain (TCP backpressure, not drops).
+	const burst = 5000
+	h := &burstHandler{n: burst}
+	s := NewServer(h)
+	s.Logf = t.Logf
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, _ := Dial(addr)
+	defer c.Close()
+	if _, err := c.Call(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	var got uint32
+	deadline := time.After(10 * time.Second)
+	for got < burst {
+		select {
+		case payload := <-c.Notifications():
+			seq := binary.LittleEndian.Uint32(payload)
+			if seq != got {
+				t.Fatalf("notification %d arrived out of order (want %d)", seq, got)
+			}
+			got++
+			if got%512 == 0 {
+				time.Sleep(time.Millisecond) // deliberately slow consumer
+			}
+		case <-deadline:
+			t.Fatalf("received %d/%d notifications", got, burst)
+		}
+	}
+}
+
+type burstHandler struct{ n int }
+
+func (h *burstHandler) HandleConnect(c *Conn)    {}
+func (h *burstHandler) HandleDisconnect(c *Conn) {}
+func (h *burstHandler) HandleRequest(c *Conn, method wire.Method, body []byte) ([]byte, error) {
+	go func() {
+		for i := 0; i < h.n; i++ {
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], uint32(i))
+			if err := c.Notify(buf[:]); err != nil {
+				return
+			}
+		}
+	}()
+	return nil, nil
+}

@@ -1,0 +1,224 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"blastfunction/internal/ocl"
+	"blastfunction/internal/wire"
+)
+
+// Handler implements a service exposed through a Server. The Device
+// Manager is the only production implementation; tests provide fakes.
+type Handler interface {
+	// HandleConnect runs when a client connects, before any request.
+	HandleConnect(c *Conn)
+	// HandleRequest processes one request and returns the response body.
+	// Returning an error produces an error response carrying the
+	// ocl.Status extracted from it. Requests on a connection are
+	// dispatched sequentially in arrival order.
+	HandleRequest(c *Conn, method wire.Method, body []byte) ([]byte, error)
+	// HandleDisconnect runs after the connection closed, for cleanup of
+	// per-client resource pools.
+	HandleDisconnect(c *Conn)
+}
+
+// Conn is the server-side view of one client connection.
+type Conn struct {
+	raw net.Conn
+
+	writeMu sync.Mutex
+	closed  bool
+
+	sessionMu sync.Mutex
+	session   any
+}
+
+// SetSession attaches service-private state to the connection.
+func (c *Conn) SetSession(v any) {
+	c.sessionMu.Lock()
+	defer c.sessionMu.Unlock()
+	c.session = v
+}
+
+// Session returns the state attached with SetSession.
+func (c *Conn) Session() any {
+	c.sessionMu.Lock()
+	defer c.sessionMu.Unlock()
+	return c.session
+}
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// Notify pushes a notification frame to the client's completion queue.
+// Safe for concurrent use; the Device Manager's worker calls it from
+// outside the request loop.
+func (c *Conn) Notify(body []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return errors.New("rpc: connection closed")
+	}
+	return writeFrame(c.raw, frameNotify, body)
+}
+
+func (c *Conn) respond(reqID uint64, status ocl.Status, errMsg string, body []byte) error {
+	e := wire.NewEncoder(len(body) + len(errMsg) + 16)
+	e.U64(reqID)
+	e.I32(int32(status))
+	e.String(errMsg)
+	payload := append(e.Bytes(), body...)
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return errors.New("rpc: connection closed")
+	}
+	return writeFrame(c.raw, frameResponse, payload)
+}
+
+// Close terminates the connection.
+func (c *Conn) Close() error {
+	c.writeMu.Lock()
+	c.closed = true
+	c.writeMu.Unlock()
+	return c.raw.Close()
+}
+
+// Server accepts connections and dispatches requests to a Handler.
+type Server struct {
+	handler Handler
+	// Logf logs transport-level failures; defaults to log.Printf.
+	Logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[*Conn]struct{}
+	done  bool
+}
+
+// NewServer creates a server for the handler.
+func NewServer(h Handler) *Server {
+	return &Server{handler: h, Logf: log.Printf, conns: make(map[*Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It always returns a non-nil
+// error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		conn := &Conn{raw: raw}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			raw.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Listen starts serving on a fresh TCP listener bound to addr (use
+// "127.0.0.1:0" for tests) and returns the bound address. Serving proceeds
+// on a background goroutine until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := s.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+			s.Logf("rpc server: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and closes every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.done = true
+	ln := s.ln
+	conns := make([]*Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) serveConn(c *Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.handler.HandleDisconnect(c)
+	}()
+	s.handler.HandleConnect(c)
+	for {
+		typ, payload, err := readFrame(c.raw)
+		if err != nil {
+			return
+		}
+		if typ != frameRequest {
+			s.Logf("rpc server: unexpected frame type %d from %s", typ, c.RemoteAddr())
+			return
+		}
+		if len(payload) < 10 {
+			s.Logf("rpc server: short request from %s", c.RemoteAddr())
+			return
+		}
+		reqID := binary.LittleEndian.Uint64(payload[:8])
+		method := wire.Method(binary.LittleEndian.Uint16(payload[8:10]))
+		body := payload[10:]
+		resp, err := s.handler.HandleRequest(c, method, body)
+		if reqID == 0 {
+			// Fire-and-forget request: any error already travelled to the
+			// client as an OpFailed notification from the handler.
+			continue
+		}
+		var werr error
+		if err != nil {
+			werr = c.respond(reqID, ocl.StatusOf(err), err.Error(), nil)
+		} else {
+			werr = c.respond(reqID, ocl.Success, "", resp)
+		}
+		if werr != nil {
+			return
+		}
+	}
+}
+
+// String describes the server for logs.
+func (s *Server) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return "rpc.Server(idle)"
+	}
+	return fmt.Sprintf("rpc.Server(%s)", s.ln.Addr())
+}

@@ -1,0 +1,99 @@
+package shm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// arenaAlign is the allocation granularity. 64 bytes keeps staging buffers
+// cache-line aligned for the single memcpy the shm path performs.
+const arenaAlign = 64
+
+// Arena hands out transient byte ranges of a segment to in-flight
+// operations: the Remote Library allocates a range per enqueued transfer
+// and frees it when the operation's event completes. It is a first-fit
+// free-list allocator with coalescing — fragmentation stays bounded
+// because allocations are short-lived and similarly sized.
+type Arena struct {
+	mu   sync.Mutex
+	size int64
+	free []span // sorted by offset, non-adjacent
+}
+
+type span struct{ off, len int64 }
+
+// NewArena manages [0, size).
+func NewArena(size int64) *Arena {
+	return &Arena{size: size, free: []span{{0, size}}}
+}
+
+// Size returns the managed capacity.
+func (a *Arena) Size() int64 { return a.size }
+
+// Alloc reserves n bytes and returns the range offset. It fails when no
+// contiguous range fits; callers fall back to the inline (gRPC) data path
+// in that case, like the paper's library degrades when a shared-memory
+// area is unavailable.
+func (a *Arena) Alloc(n int64) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("shm: invalid allocation size %d", n)
+	}
+	need := (n + arenaAlign - 1) / arenaAlign * arenaAlign
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.free {
+		if a.free[i].len >= need {
+			off := a.free[i].off
+			a.free[i].off += need
+			a.free[i].len -= need
+			if a.free[i].len == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			return off, nil
+		}
+	}
+	return 0, fmt.Errorf("shm: arena exhausted: %d bytes requested", n)
+}
+
+// Free returns the range starting at off with the originally requested
+// length n to the allocator.
+func (a *Arena) Free(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	need := (n + arenaAlign - 1) / arenaAlign * arenaAlign
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].off >= off })
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = span{off, need}
+	// Coalesce with the next span, then with the previous one.
+	if i+1 < len(a.free) && a.free[i].off+a.free[i].len == a.free[i+1].off {
+		a.free[i].len += a.free[i+1].len
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].off+a.free[i-1].len == a.free[i].off {
+		a.free[i-1].len += a.free[i].len
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// FreeBytes returns the total unallocated capacity (diagnostics/tests).
+func (a *Arena) FreeBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var total int64
+	for _, s := range a.free {
+		total += s.len
+	}
+	return total
+}
+
+// Fragments returns the number of free spans (diagnostics/tests).
+func (a *Arena) Fragments() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.free)
+}

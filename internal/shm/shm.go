@@ -1,0 +1,130 @@
+// Package shm implements the shared-memory data path between the Remote
+// OpenCL Library and a co-located Device Manager.
+//
+// The paper's shm transport exists because gRPC costs three extra buffer
+// copies plus serialization; with a shared segment the data plane needs
+// exactly one copy (kept to preserve OpenCL buffer semantics). Segments
+// are plain files under /dev/shm mapped with mmap, which matches the
+// paper's deployment: the Registry mounts a shared-memory volume into both
+// the function container and the Device Manager container on the same node.
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+)
+
+// DefaultDir is where segments are created. /dev/shm is a tmpfs on every
+// Linux distribution, giving page-cache-speed access with a filesystem
+// namespace both containers can mount.
+const DefaultDir = "/dev/shm"
+
+var segCounter atomic.Uint64
+
+// Segment is a memory-mapped shared file.
+type Segment struct {
+	path  string
+	data  []byte
+	owner bool
+}
+
+// Create makes a new segment of size bytes in dir (DefaultDir when empty).
+// The creator owns the file and removes it on Close.
+func Create(dir string, size int64) (*Segment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("shm: invalid segment size %d", size)
+	}
+	if dir == "" {
+		dir = DefaultDir
+	}
+	name := fmt.Sprintf("blastfunction-%d-%d", os.Getpid(), segCounter.Add(1))
+	path := filepath.Join(dir, name)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("shm: create %s: %w", path, err)
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("shm: truncate %s: %w", path, err)
+	}
+	data, err := mmap(f, size)
+	f.Close()
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	return &Segment{path: path, data: data, owner: true}, nil
+}
+
+// Open maps an existing segment created by a peer process.
+func Open(path string, size int64) (*Segment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("shm: invalid segment size %d", size)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("shm: open %s: %w", path, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("shm: stat %s: %w", path, err)
+	}
+	if st.Size() < size {
+		return nil, fmt.Errorf("shm: segment %s is %d bytes, need %d", path, st.Size(), size)
+	}
+	data, err := mmap(f, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{path: path, data: data}, nil
+}
+
+func mmap(f *os.File, size int64) ([]byte, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("shm: mmap %s: %w", f.Name(), err)
+	}
+	return data, nil
+}
+
+// Bytes returns the mapped memory. Both sides see each other's writes.
+func (s *Segment) Bytes() []byte { return s.data }
+
+// Path returns the segment's filesystem path, shared with the peer through
+// the SetupShm control message.
+func (s *Segment) Path() string { return s.path }
+
+// Size returns the mapped length.
+func (s *Segment) Size() int64 { return int64(len(s.data)) }
+
+// Range returns the subslice [off, off+n) with bounds checking.
+func (s *Segment) Range(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > int64(len(s.data)) {
+		return nil, fmt.Errorf("shm: range [%d,%d) outside segment of %d bytes", off, off+n, len(s.data))
+	}
+	return s.data[off : off+n], nil
+}
+
+// Close unmaps the segment; the owner also unlinks the file.
+func (s *Segment) Close() error {
+	var errs []error
+	if s.data != nil {
+		if err := syscall.Munmap(s.data); err != nil {
+			errs = append(errs, fmt.Errorf("shm: munmap: %w", err))
+		}
+		s.data = nil
+	}
+	if s.owner {
+		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

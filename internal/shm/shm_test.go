@@ -1,0 +1,211 @@
+package shm
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"testing/quick"
+)
+
+// segDir uses t.TempDir so tests do not depend on /dev/shm permissions;
+// the mapping semantics are identical on any filesystem.
+func segDir(t *testing.T) string {
+	t.Helper()
+	return t.TempDir()
+}
+
+func TestSegmentCreateOpenShareData(t *testing.T) {
+	dir := segDir(t)
+	owner, err := Create(dir, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	peer, err := Open(owner.Path(), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	copy(owner.Bytes()[128:], []byte("written by owner"))
+	if got := peer.Bytes()[128:144]; !bytes.Equal(got, []byte("written by owner")) {
+		t.Fatalf("peer sees %q", got)
+	}
+	copy(peer.Bytes()[4096:], []byte("written by peer"))
+	if got := owner.Bytes()[4096:4111]; !bytes.Equal(got, []byte("written by peer")) {
+		t.Fatalf("owner sees %q", got)
+	}
+}
+
+func TestSegmentCloseRemovesOwnerFile(t *testing.T) {
+	dir := segDir(t)
+	owner, err := Create(dir, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := owner.Path()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("segment file missing before close: %v", err)
+	}
+	if err := owner.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("owner close must unlink the file, stat err = %v", err)
+	}
+}
+
+func TestSegmentOpenValidation(t *testing.T) {
+	dir := segDir(t)
+	if _, err := Open(dir+"/missing", 4096); err == nil {
+		t.Fatal("open of missing segment must fail")
+	}
+	owner, _ := Create(dir, 4096)
+	defer owner.Close()
+	if _, err := Open(owner.Path(), 1<<20); err == nil {
+		t.Fatal("open larger than the file must fail")
+	}
+	if _, err := Create(dir, 0); err == nil {
+		t.Fatal("zero-size create must fail")
+	}
+	if _, err := Open(owner.Path(), -1); err == nil {
+		t.Fatal("negative open must fail")
+	}
+}
+
+func TestSegmentRange(t *testing.T) {
+	dir := segDir(t)
+	s, _ := Create(dir, 1024)
+	defer s.Close()
+	b, err := s.Range(512, 128)
+	if err != nil || len(b) != 128 {
+		t.Fatalf("Range = %d bytes, %v", len(b), err)
+	}
+	for _, bad := range [][2]int64{{-1, 10}, {1000, 100}, {0, -1}, {1025, 0}} {
+		if _, err := s.Range(bad[0], bad[1]); err == nil {
+			t.Fatalf("Range(%d,%d) must fail", bad[0], bad[1])
+		}
+	}
+}
+
+func TestArenaAllocFree(t *testing.T) {
+	a := NewArena(1 << 12)
+	off1, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off1 == off2 {
+		t.Fatal("overlapping allocations")
+	}
+	if off1%arenaAlign != 0 || off2%arenaAlign != 0 {
+		t.Fatal("allocations must be aligned")
+	}
+	a.Free(off1, 100)
+	a.Free(off2, 100)
+	if got := a.FreeBytes(); got != 1<<12 {
+		t.Fatalf("free bytes after release = %d, want %d", got, 1<<12)
+	}
+	if a.Fragments() != 1 {
+		t.Fatalf("spans did not coalesce: %d fragments", a.Fragments())
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	a := NewArena(256)
+	if _, err := a.Alloc(512); err == nil {
+		t.Fatal("oversized alloc must fail")
+	}
+	off, err := a.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1); err == nil {
+		t.Fatal("alloc from empty arena must fail")
+	}
+	a.Free(off, 256)
+	if _, err := a.Alloc(256); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("zero alloc must fail")
+	}
+}
+
+func TestArenaCoalescingMiddleFree(t *testing.T) {
+	a := NewArena(3 * arenaAlign)
+	o1, _ := a.Alloc(arenaAlign)
+	o2, _ := a.Alloc(arenaAlign)
+	o3, _ := a.Alloc(arenaAlign)
+	// Free outer spans first, then the middle: all three must merge.
+	a.Free(o1, arenaAlign)
+	a.Free(o3, arenaAlign)
+	if a.Fragments() != 2 {
+		t.Fatalf("fragments = %d, want 2", a.Fragments())
+	}
+	a.Free(o2, arenaAlign)
+	if a.Fragments() != 1 {
+		t.Fatalf("fragments after middle free = %d, want 1", a.Fragments())
+	}
+	if _, err := a.Alloc(3 * arenaAlign); err != nil {
+		t.Fatalf("full-size alloc after coalesce: %v", err)
+	}
+}
+
+func TestArenaPropertyNoOverlapAndConservation(t *testing.T) {
+	// Random alloc/free sequences: live allocations never overlap and
+	// capacity is conserved.
+	check := func(ops []uint16) bool {
+		const capacity = 1 << 14
+		a := NewArena(capacity)
+		type alloc struct{ off, n int64 }
+		var live []alloc
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 { // two thirds allocs
+				n := int64(op%1024 + 1)
+				off, err := a.Alloc(n)
+				if err != nil {
+					continue
+				}
+				for _, l := range live {
+					lEnd := (l.n + arenaAlign - 1) / arenaAlign * arenaAlign
+					nEnd := (n + arenaAlign - 1) / arenaAlign * arenaAlign
+					if off < l.off+lEnd && l.off < off+nEnd {
+						return false // overlap
+					}
+				}
+				live = append(live, alloc{off, n})
+			} else {
+				i := int(op) % len(live)
+				a.Free(live[i].off, live[i].n)
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		for _, l := range live {
+			a.Free(l.off, l.n)
+		}
+		return a.FreeBytes() == capacity && a.Fragments() == 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDevShmAvailable(t *testing.T) {
+	// The deployment path uses /dev/shm; verify it works where available.
+	if _, err := os.Stat(DefaultDir); err != nil {
+		t.Skipf("%s unavailable: %v", DefaultDir, err)
+	}
+	s, err := Create("", 4096)
+	if err != nil {
+		t.Skipf("cannot create in %s: %v", DefaultDir, err)
+	}
+	defer s.Close()
+	copy(s.Bytes(), []byte("dev-shm"))
+	if !bytes.Equal(s.Bytes()[:7], []byte("dev-shm")) {
+		t.Fatal("mapping not writable")
+	}
+}

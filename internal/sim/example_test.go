@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"blastfunction/internal/sim"
+)
+
+// ExampleEngine models two tenants sharing one FIFO board: requests at
+// fixed intervals with 10ms service, reporting the utilization.
+func ExampleEngine() {
+	engine := sim.NewEngine()
+	board := engine.NewServer()
+	for tenant := 0; tenant < 2; tenant++ {
+		offset := time.Duration(tenant) * 5 * time.Millisecond
+		var issue func()
+		next := offset
+		issue = func() {
+			if engine.Now() >= time.Second {
+				return
+			}
+			board.Enqueue(10*time.Millisecond, func(wait, service time.Duration) {
+				next += 50 * time.Millisecond
+				engine.At(next, issue)
+			})
+		}
+		engine.At(offset, issue)
+	}
+	engine.Run(time.Second)
+	fmt.Printf("served %d tasks, utilization %.0f%%\n",
+		board.Served(), 100*board.BusyTime().Seconds()/engine.Now().Seconds())
+	// Output:
+	// served 40 tasks, utilization 40%
+}

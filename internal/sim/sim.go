@@ -1,0 +1,250 @@
+// Package sim is a small discrete-event simulation kernel.
+//
+// The paper's utilization experiments (Tables II-IV) run three nodes, five
+// functions and hours of HTTP load against real boards. This reproduction
+// regenerates them deterministically in milliseconds by simulating the
+// same queueing structure in virtual time: closed-loop request generators,
+// per-board FIFO servers (the Device Manager's central task queue plus the
+// exclusive device), and the calibrated cost models for service times.
+//
+// The kernel is callback-based: events are (time, func) pairs in a binary
+// heap; a Server models a capacity-1 resource with FIFO admission. Events
+// scheduled at equal times fire in schedule order, which makes runs fully
+// deterministic.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by time, then schedule order.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Engine is the simulation clock and event queue. Not safe for concurrent
+// use: a simulation runs on one goroutine by construction.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+}
+
+// NewEngine creates an engine at virtual time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// At schedules fn at absolute virtual time t; past times fire "now".
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d from now.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step fires the next event; it reports false when none remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run processes events until the queue drains or the clock passes until.
+// The clock is left at min(until, last event time).
+func (e *Engine) Run(until time.Duration) {
+	for len(e.events) > 0 && e.events[0].at <= until {
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending returns the number of scheduled events (diagnostics).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Server is a capacity-1 FIFO resource: the combination of a Device
+// Manager's central task queue and its exclusive board.
+type Server struct {
+	engine *Engine
+	busy   bool
+	queue  []*job
+
+	busyTime  time.Duration
+	served    uint64
+	maxQueue  int
+	waitTotal time.Duration
+}
+
+type job struct {
+	service  time.Duration
+	enqueued time.Duration
+	done     func(wait, service time.Duration)
+}
+
+// NewServer creates a server on the engine.
+func (e *Engine) NewServer() *Server { return &Server{engine: e} }
+
+// Enqueue admits a job with the given service demand. When the job
+// completes, done receives the time it waited in queue and its service
+// time. FIFO order is strict.
+func (s *Server) Enqueue(service time.Duration, done func(wait, service time.Duration)) {
+	j := &job{service: service, enqueued: s.engine.Now(), done: done}
+	s.queue = append(s.queue, j)
+	if len(s.queue) > s.maxQueue {
+		s.maxQueue = len(s.queue)
+	}
+	if !s.busy {
+		s.startNext()
+	}
+}
+
+func (s *Server) startNext() {
+	if len(s.queue) == 0 {
+		s.busy = false
+		return
+	}
+	j := s.queue[0]
+	s.queue = s.queue[1:]
+	s.busy = true
+	wait := s.engine.Now() - j.enqueued
+	s.waitTotal += wait
+	s.engine.After(j.service, func() {
+		s.busyTime += j.service
+		s.served++
+		if j.done != nil {
+			j.done(wait, j.service)
+		}
+		s.startNext()
+	})
+}
+
+// QueueLen returns the number of waiting jobs (excluding the one in
+// service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Busy reports whether a job is in service.
+func (s *Server) Busy() bool { return s.busy }
+
+// BusyTime returns the cumulative service time delivered.
+func (s *Server) BusyTime() time.Duration { return s.busyTime }
+
+// Served returns the number of completed jobs.
+func (s *Server) Served() uint64 { return s.served }
+
+// MaxQueue returns the high-water mark of the queue.
+func (s *Server) MaxQueue() int { return s.maxQueue }
+
+// TotalWait returns the cumulative queueing delay across completed jobs.
+func (s *Server) TotalWait() time.Duration { return s.waitTotal }
+
+// RRServer is a capacity-1 resource with per-key round-robin admission
+// instead of global FIFO: each key (client) has its own queue and the
+// server cycles across non-empty queues. It exists for the scheduling
+// ablation — the paper's Device Manager uses the FIFO Server.
+type RRServer struct {
+	engine *Engine
+	busy   bool
+	queues map[string][]*job
+	ring   []string
+	next   int
+
+	busyTime time.Duration
+	served   uint64
+}
+
+// NewRRServer creates a round-robin server on the engine.
+func (e *Engine) NewRRServer() *RRServer {
+	return &RRServer{engine: e, queues: make(map[string][]*job)}
+}
+
+// Enqueue admits a job under the given client key.
+func (s *RRServer) Enqueue(key string, service time.Duration, done func(wait, service time.Duration)) {
+	j := &job{service: service, enqueued: s.engine.Now(), done: done}
+	if _, ok := s.queues[key]; !ok {
+		s.ring = append(s.ring, key)
+	}
+	s.queues[key] = append(s.queues[key], j)
+	if !s.busy {
+		s.startNext()
+	}
+}
+
+func (s *RRServer) startNext() {
+	// Find the next key with pending work, scanning at most one full ring.
+	for scanned := 0; scanned < len(s.ring); scanned++ {
+		key := s.ring[s.next%len(s.ring)]
+		s.next++
+		q := s.queues[key]
+		if len(q) == 0 {
+			continue
+		}
+		j := q[0]
+		s.queues[key] = q[1:]
+		s.busy = true
+		wait := s.engine.Now() - j.enqueued
+		s.engine.After(j.service, func() {
+			s.busyTime += j.service
+			s.served++
+			if j.done != nil {
+				j.done(wait, j.service)
+			}
+			s.startNext()
+		})
+		return
+	}
+	s.busy = false
+}
+
+// BusyTime returns the cumulative service time delivered.
+func (s *RRServer) BusyTime() time.Duration { return s.busyTime }
+
+// Served returns the number of completed jobs.
+func (s *RRServer) Served() uint64 { return s.served }
+
+// QueueLen returns the number of waiting jobs across all keys.
+func (s *RRServer) QueueLen() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}

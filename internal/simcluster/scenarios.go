@@ -1,0 +1,186 @@
+package simcluster
+
+import (
+	"fmt"
+	"time"
+
+	"blastfunction/internal/accel"
+	"blastfunction/internal/model"
+)
+
+// LoadLevel selects one of Table I's configurations.
+type LoadLevel string
+
+// Table I load levels.
+const (
+	LowLoad    LoadLevel = "Low Load"
+	MediumLoad LoadLevel = "Medium Load"
+	HighLoad   LoadLevel = "High Load"
+)
+
+// UseCase selects one of the paper's three benchmarks.
+type UseCase string
+
+// Use cases of the evaluation.
+const (
+	UseSobel   UseCase = "Sobel"
+	UseMM      UseCase = "MM"
+	UseAlexNet UseCase = "AlexNet"
+)
+
+// TableIRates returns the per-function request rates of Table I for a use
+// case and load level (five functions; the Native scenario uses the first
+// three).
+func TableIRates(uc UseCase, level LoadLevel) ([]float64, error) {
+	rates := map[UseCase]map[LoadLevel][]float64{
+		UseSobel: {
+			LowLoad:    {20, 15, 10, 5, 5},
+			MediumLoad: {35, 30, 25, 20, 15},
+			HighLoad:   {60, 50, 35, 30, 15},
+		},
+		UseMM: {
+			LowLoad:    {28, 21, 14, 7, 7},
+			MediumLoad: {49, 42, 35, 28, 21},
+			HighLoad:   {84, 70, 49, 42, 21},
+		},
+		UseAlexNet: {
+			MediumLoad: {6, 3, 3, 3, 3},
+			HighLoad:   {9, 9, 6, 6, 3},
+		},
+	}
+	byLevel, ok := rates[uc]
+	if !ok {
+		return nil, fmt.Errorf("simcluster: unknown use case %q", uc)
+	}
+	r, ok := byLevel[level]
+	if !ok {
+		return nil, fmt.Errorf("simcluster: use case %s has no %s configuration", uc, level)
+	}
+	return r, nil
+}
+
+// workloadFor returns the request profile of a use case, using the
+// evaluation's operating points: 1920x1080 Sobel frames, 512x512 MM
+// operands, full AlexNet inference.
+func workloadFor(uc UseCase) (Workload, error) {
+	switch uc {
+	case UseSobel:
+		return SobelWorkload(1920, 1080), nil
+	case UseMM:
+		return MMWorkload(512), nil
+	case UseAlexNet:
+		return CNNWorkload(accel.AlexNet()), nil
+	}
+	return Workload{}, fmt.Errorf("simcluster: unknown use case %q", uc)
+}
+
+// funcName builds the paper's function names ("sobel-1" ...).
+func funcName(uc UseCase, i int) string {
+	prefix := map[UseCase]string{UseSobel: "sobel", UseMM: "mm", UseAlexNet: "alexnet"}[uc]
+	return fmt.Sprintf("%s-%d", prefix, i+1)
+}
+
+// BlastFunctionExperiment builds the shared-board scenario: five identical
+// functions, placements by Algorithm 1, shm transport, staggered
+// deployment so the allocator sees live utilization.
+func BlastFunctionExperiment(uc UseCase, level LoadLevel) (Experiment, error) {
+	rates, err := TableIRates(uc, level)
+	if err != nil {
+		return Experiment{}, err
+	}
+	wl, err := workloadFor(uc)
+	if err != nil {
+		return Experiment{}, err
+	}
+	exp := Experiment{
+		Nodes:        Testbed(),
+		Transport:    model.TransportShm,
+		StaggerDelay: 5 * time.Second,
+		Warmup:       10 * time.Second,
+		Measure:      60 * time.Second,
+	}
+	for i, r := range rates {
+		exp.Functions = append(exp.Functions, FunctionSpec{
+			Name:        funcName(uc, i),
+			Workload:    wl,
+			TargetRPS:   r,
+			Connections: 1,
+		})
+	}
+	return exp, nil
+}
+
+// NativeExperiment builds the baseline scenario: three functions (Table
+// I's first three columns), each pinned to its own node/board with direct
+// access.
+func NativeExperiment(uc UseCase, level LoadLevel) (Experiment, error) {
+	rates, err := TableIRates(uc, level)
+	if err != nil {
+		return Experiment{}, err
+	}
+	wl, err := workloadFor(uc)
+	if err != nil {
+		return Experiment{}, err
+	}
+	nodes := Testbed()
+	exp := Experiment{
+		Nodes:        nodes,
+		Transport:    model.TransportNative,
+		StaggerDelay: 5 * time.Second,
+		Warmup:       10 * time.Second,
+		Measure:      60 * time.Second,
+	}
+	for i := 0; i < 3; i++ {
+		exp.Functions = append(exp.Functions, FunctionSpec{
+			Name:        funcName(uc, i),
+			Workload:    wl,
+			TargetRPS:   rates[i],
+			Connections: 1,
+			Node:        nodes[i].Name,
+		})
+	}
+	return exp, nil
+}
+
+// MixedExperiment builds the heterogeneous scenario exercising the
+// space-sharing extension (the paper's future work): three Sobel and three
+// MM functions compete for the three boards. With time-sharing, Algorithm 1
+// must segregate functions by accelerator (a board holds one bitstream);
+// with space-sharing every board hosts both designs concurrently at a
+// per-kernel area penalty, trading kernel speed for placement freedom.
+func MixedExperiment(level LoadLevel, spaceSharing bool) (Experiment, error) {
+	sobelRates, err := TableIRates(UseSobel, level)
+	if err != nil {
+		return Experiment{}, err
+	}
+	mmRates, err := TableIRates(UseMM, level)
+	if err != nil {
+		return Experiment{}, err
+	}
+	exp := Experiment{
+		Nodes:        Testbed(),
+		Transport:    model.TransportShm,
+		StaggerDelay: 5 * time.Second,
+		Warmup:       10 * time.Second,
+		Measure:      60 * time.Second,
+		SpaceSharing: spaceSharing,
+	}
+	sobel := SobelWorkload(1920, 1080)
+	mm := MMWorkload(512)
+	for i := 0; i < 3; i++ {
+		exp.Functions = append(exp.Functions,
+			FunctionSpec{
+				Name:        fmt.Sprintf("sobel-%d", i+1),
+				Workload:    sobel,
+				TargetRPS:   sobelRates[i],
+				Connections: 1,
+			},
+			FunctionSpec{
+				Name:        fmt.Sprintf("mm-%d", i+1),
+				Workload:    mm,
+				TargetRPS:   mmRates[i],
+				Connections: 1,
+			})
+	}
+	return exp, nil
+}

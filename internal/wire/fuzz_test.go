@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// decodeAll runs every message decoder over the same buffer; none may
+// panic regardless of content (a malicious or corrupted peer must not be
+// able to crash a Device Manager or client).
+func decodeAll(buf []byte) {
+	msgs := []codec{
+		&HelloRequest{}, &HelloResponse{}, &DeviceInfoResponse{},
+		&IDRequest{}, &IDResponse{}, &CreateBufferRequest{},
+		&CreateProgramRequest{}, &CreateProgramResponse{},
+		&CreateKernelRequest{}, &SetKernelArgRequest{}, &SetupShmRequest{},
+		&EnqueueWriteRequest{}, &EnqueueReadRequest{}, &EnqueueKernelRequest{},
+		&FlushRequest{}, &OpNotification{},
+	}
+	for _, m := range msgs {
+		m.Decode(NewDecoder(buf))
+	}
+}
+
+func TestDecodersNeverPanicOnRandomBytes(t *testing.T) {
+	if err := quick.Check(func(buf []byte) bool {
+		decodeAll(buf)
+		return true // reaching here without panic is the property
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodersNeverPanicOnTruncatedValidMessages(t *testing.T) {
+	// Encode a representative message and decode every possible prefix.
+	e := NewEncoder(256)
+	(&EnqueueKernelRequest{
+		Tag: 7, Queue: 8, Kernel: 9,
+		Global: []int64{100, 200}, Local: []int64{10},
+	}).Encode(e)
+	full := e.Bytes()
+	for cut := 0; cut <= len(full); cut++ {
+		decodeAll(full[:cut])
+	}
+}
+
+func TestDecodersNeverPanicOnBitFlips(t *testing.T) {
+	e := NewEncoder(256)
+	(&OpNotification{Tag: 1, State: OpComplete, Data: []byte("payload")}).Encode(e)
+	base := e.Bytes()
+	for i := 0; i < len(base); i++ {
+		for _, mask := range []byte{0x01, 0x80, 0xFF} {
+			buf := append([]byte(nil), base...)
+			buf[i] ^= mask
+			decodeAll(buf)
+		}
+	}
+}

@@ -1,0 +1,523 @@
+package wire
+
+import (
+	"fmt"
+
+	"blastfunction/internal/ocl"
+)
+
+// Method identifies a Device Manager service method.
+type Method uint16
+
+// Device Manager service methods. The first group contains the paper's
+// "context and information" methods, executed synchronously; the second
+// group contains the "command-queue" methods, which join the client's
+// current task and complete asynchronously through notifications.
+const (
+	MethodHello Method = iota + 1
+	MethodDeviceInfo
+	MethodCreateContext
+	MethodReleaseContext
+	MethodCreateQueue
+	MethodReleaseQueue
+	MethodCreateBuffer
+	MethodReleaseBuffer
+	MethodCreateProgram
+	MethodBuildProgram // the blocking board-reconfiguration request
+	MethodCreateKernel
+	MethodReleaseKernel
+	MethodSetKernelArg
+	MethodSetupShm
+
+	MethodEnqueueWrite
+	MethodEnqueueRead
+	MethodEnqueueKernel
+	MethodFlush
+)
+
+var methodNames = map[Method]string{
+	MethodHello:          "Hello",
+	MethodDeviceInfo:     "DeviceInfo",
+	MethodCreateContext:  "CreateContext",
+	MethodReleaseContext: "ReleaseContext",
+	MethodCreateQueue:    "CreateQueue",
+	MethodReleaseQueue:   "ReleaseQueue",
+	MethodCreateBuffer:   "CreateBuffer",
+	MethodReleaseBuffer:  "ReleaseBuffer",
+	MethodCreateProgram:  "CreateProgram",
+	MethodBuildProgram:   "BuildProgram",
+	MethodCreateKernel:   "CreateKernel",
+	MethodReleaseKernel:  "ReleaseKernel",
+	MethodSetKernelArg:   "SetKernelArg",
+	MethodSetupShm:       "SetupShm",
+	MethodEnqueueWrite:   "EnqueueWrite",
+	MethodEnqueueRead:    "EnqueueRead",
+	MethodEnqueueKernel:  "EnqueueKernel",
+	MethodFlush:          "Flush",
+}
+
+// String names the method.
+func (m Method) String() string {
+	if n, ok := methodNames[m]; ok {
+		return n
+	}
+	return fmt.Sprintf("Method(%d)", uint16(m))
+}
+
+// CommandQueueMethod reports whether the method belongs to the
+// command-queue group (asynchronous, task-forming).
+func (m Method) CommandQueueMethod() bool {
+	switch m {
+	case MethodEnqueueWrite, MethodEnqueueRead, MethodEnqueueKernel, MethodFlush:
+		return true
+	}
+	return false
+}
+
+// DataVia selects the data path of a buffer transfer.
+type DataVia uint8
+
+// Transfer data paths.
+const (
+	// ViaInline carries the payload inside the RPC message (the gRPC data
+	// path of the paper, with its serialization and copy costs).
+	ViaInline DataVia = 0
+	// ViaShm references a range of the session's shared-memory segment.
+	ViaShm DataVia = 1
+)
+
+// EncodeArg appends a kernel argument.
+func EncodeArg(e *Encoder, a ocl.Arg) {
+	e.U8(uint8(a.Kind))
+	switch a.Kind {
+	case ocl.ArgBuffer:
+		e.U64(a.BufferID)
+	default:
+		e.U8(a.ScalarLen)
+		e.buf = append(e.buf, a.Scalar[:]...)
+	}
+}
+
+// DecodeArg reads a kernel argument.
+func DecodeArg(d *Decoder) ocl.Arg {
+	var a ocl.Arg
+	a.Kind = ocl.ArgKind(d.U8())
+	switch a.Kind {
+	case ocl.ArgBuffer:
+		a.BufferID = d.U64()
+	default:
+		a.ScalarLen = d.U8()
+		copy(a.Scalar[:], d.take(len(a.Scalar)))
+	}
+	return a
+}
+
+// HelloRequest opens a session.
+type HelloRequest struct {
+	// ClientName identifies the function instance (paper: functions are
+	// registered entities; the manager tracks per-client resource pools).
+	ClientName string
+	// ProtoVersion guards against protocol skew.
+	ProtoVersion uint32
+}
+
+// ProtoVersion is the current protocol revision.
+const ProtoVersion = 1
+
+// Encode serializes the message.
+func (m *HelloRequest) Encode(e *Encoder) {
+	e.String(m.ClientName)
+	e.U32(m.ProtoVersion)
+}
+
+// Decode deserializes the message.
+func (m *HelloRequest) Decode(d *Decoder) {
+	m.ClientName = d.String()
+	m.ProtoVersion = d.U32()
+}
+
+// HelloResponse confirms a session.
+type HelloResponse struct {
+	SessionID uint64
+	// Node is the manager's node name, used by the shm transport to check
+	// co-location.
+	Node string
+}
+
+// Encode serializes the message.
+func (m *HelloResponse) Encode(e *Encoder) {
+	e.U64(m.SessionID)
+	e.String(m.Node)
+}
+
+// Decode deserializes the message.
+func (m *HelloResponse) Decode(d *Decoder) {
+	m.SessionID = d.U64()
+	m.Node = d.String()
+}
+
+// DeviceInfoResponse describes the managed board.
+type DeviceInfoResponse struct {
+	Name          string
+	Vendor        string
+	PlatformName  string
+	GlobalMem     int64
+	ConfiguredBit string
+	Accelerator   string
+}
+
+// Encode serializes the message.
+func (m *DeviceInfoResponse) Encode(e *Encoder) {
+	e.String(m.Name)
+	e.String(m.Vendor)
+	e.String(m.PlatformName)
+	e.I64(m.GlobalMem)
+	e.String(m.ConfiguredBit)
+	e.String(m.Accelerator)
+}
+
+// Decode deserializes the message.
+func (m *DeviceInfoResponse) Decode(d *Decoder) {
+	m.Name = d.String()
+	m.Vendor = d.String()
+	m.PlatformName = d.String()
+	m.GlobalMem = d.I64()
+	m.ConfiguredBit = d.String()
+	m.Accelerator = d.String()
+}
+
+// IDRequest addresses an object by server-issued handle. Used by the
+// Release* methods and BuildProgram.
+type IDRequest struct{ ID uint64 }
+
+// Encode serializes the message.
+func (m *IDRequest) Encode(e *Encoder) { e.U64(m.ID) }
+
+// Decode deserializes the message.
+func (m *IDRequest) Decode(d *Decoder) { m.ID = d.U64() }
+
+// IDResponse returns a server-issued handle.
+type IDResponse struct{ ID uint64 }
+
+// Encode serializes the message.
+func (m *IDResponse) Encode(e *Encoder) { e.U64(m.ID) }
+
+// Decode deserializes the message.
+func (m *IDResponse) Decode(d *Decoder) { m.ID = d.U64() }
+
+// CreateBufferRequest allocates a device buffer. Buffer management is a
+// context/information method (synchronous) in the paper's taxonomy, so the
+// optional CL_MEM_COPY_HOST_PTR initialization data travels inline and the
+// call returns only after the transfer.
+type CreateBufferRequest struct {
+	Context  uint64
+	Flags    uint32
+	Size     int64
+	InitData []byte
+}
+
+// Encode serializes the message.
+func (m *CreateBufferRequest) Encode(e *Encoder) {
+	e.U64(m.Context)
+	e.U32(m.Flags)
+	e.I64(m.Size)
+	e.Bytes32(m.InitData)
+}
+
+// Decode deserializes the message.
+func (m *CreateBufferRequest) Decode(d *Decoder) {
+	m.Context = d.U64()
+	m.Flags = d.U32()
+	m.Size = d.I64()
+	if b := d.Bytes32(); len(b) > 0 {
+		m.InitData = append([]byte(nil), b...)
+	}
+}
+
+// CreateProgramRequest loads a bitstream binary.
+type CreateProgramRequest struct {
+	Context uint64
+	Binary  []byte
+}
+
+// Encode serializes the message.
+func (m *CreateProgramRequest) Encode(e *Encoder) {
+	e.U64(m.Context)
+	e.Bytes32(m.Binary)
+}
+
+// Decode deserializes the message.
+func (m *CreateProgramRequest) Decode(d *Decoder) {
+	m.Context = d.U64()
+	m.Binary = append([]byte(nil), d.Bytes32()...)
+}
+
+// CreateProgramResponse returns the program handle and its kernels.
+type CreateProgramResponse struct {
+	ID      uint64
+	Kernels []string
+}
+
+// Encode serializes the message.
+func (m *CreateProgramResponse) Encode(e *Encoder) {
+	e.U64(m.ID)
+	e.StringSlice(m.Kernels)
+}
+
+// Decode deserializes the message.
+func (m *CreateProgramResponse) Decode(d *Decoder) {
+	m.ID = d.U64()
+	m.Kernels = d.StringSlice()
+}
+
+// CreateKernelRequest instantiates a kernel from a program.
+type CreateKernelRequest struct {
+	Program uint64
+	Name    string
+}
+
+// Encode serializes the message.
+func (m *CreateKernelRequest) Encode(e *Encoder) {
+	e.U64(m.Program)
+	e.String(m.Name)
+}
+
+// Decode deserializes the message.
+func (m *CreateKernelRequest) Decode(d *Decoder) {
+	m.Program = d.U64()
+	m.Name = d.String()
+}
+
+// SetKernelArgRequest binds one kernel argument.
+type SetKernelArgRequest struct {
+	Kernel uint64
+	Index  uint32
+	Arg    ocl.Arg
+}
+
+// Encode serializes the message.
+func (m *SetKernelArgRequest) Encode(e *Encoder) {
+	e.U64(m.Kernel)
+	e.U32(m.Index)
+	EncodeArg(e, m.Arg)
+}
+
+// Decode deserializes the message.
+func (m *SetKernelArgRequest) Decode(d *Decoder) {
+	m.Kernel = d.U64()
+	m.Index = d.U32()
+	m.Arg = DecodeArg(d)
+}
+
+// SetupShmRequest asks the manager to open the client's shared-memory
+// segment.
+type SetupShmRequest struct {
+	// Path is the segment's filesystem path (under /dev/shm).
+	Path string
+	// Size is the segment length in bytes.
+	Size int64
+}
+
+// Encode serializes the message.
+func (m *SetupShmRequest) Encode(e *Encoder) {
+	e.String(m.Path)
+	e.I64(m.Size)
+}
+
+// Decode deserializes the message.
+func (m *SetupShmRequest) Decode(d *Decoder) {
+	m.Path = d.String()
+	m.Size = d.I64()
+}
+
+// EnqueueWriteRequest transfers host data into a device buffer.
+type EnqueueWriteRequest struct {
+	// Tag is the client-side event identity echoed in notifications — the
+	// paper's "pointer to the newly created event".
+	Tag    uint64
+	Queue  uint64
+	Buffer uint64
+	Offset int64
+	Via    DataVia
+	// Data carries the payload for ViaInline.
+	Data []byte
+	// ShmOff/ShmLen reference the payload for ViaShm.
+	ShmOff int64
+	ShmLen int64
+}
+
+// Encode serializes the message.
+func (m *EnqueueWriteRequest) Encode(e *Encoder) {
+	e.U64(m.Tag)
+	e.U64(m.Queue)
+	e.U64(m.Buffer)
+	e.I64(m.Offset)
+	e.U8(uint8(m.Via))
+	if m.Via == ViaInline {
+		e.Bytes32(m.Data)
+	} else {
+		e.I64(m.ShmOff)
+		e.I64(m.ShmLen)
+	}
+}
+
+// Decode deserializes the message.
+func (m *EnqueueWriteRequest) Decode(d *Decoder) {
+	m.Tag = d.U64()
+	m.Queue = d.U64()
+	m.Buffer = d.U64()
+	m.Offset = d.I64()
+	m.Via = DataVia(d.U8())
+	if m.Via == ViaInline {
+		m.Data = append([]byte(nil), d.Bytes32()...)
+	} else {
+		m.ShmOff = d.I64()
+		m.ShmLen = d.I64()
+	}
+}
+
+// EnqueueReadRequest transfers device data back to the host.
+type EnqueueReadRequest struct {
+	Tag    uint64
+	Queue  uint64
+	Buffer uint64
+	Offset int64
+	Length int64
+	Via    DataVia
+	// ShmOff is the destination offset inside the segment for ViaShm.
+	ShmOff int64
+}
+
+// Encode serializes the message.
+func (m *EnqueueReadRequest) Encode(e *Encoder) {
+	e.U64(m.Tag)
+	e.U64(m.Queue)
+	e.U64(m.Buffer)
+	e.I64(m.Offset)
+	e.I64(m.Length)
+	e.U8(uint8(m.Via))
+	e.I64(m.ShmOff)
+}
+
+// Decode deserializes the message.
+func (m *EnqueueReadRequest) Decode(d *Decoder) {
+	m.Tag = d.U64()
+	m.Queue = d.U64()
+	m.Buffer = d.U64()
+	m.Offset = d.I64()
+	m.Length = d.I64()
+	m.Via = DataVia(d.U8())
+	m.ShmOff = d.I64()
+}
+
+// EnqueueKernelRequest launches a kernel.
+type EnqueueKernelRequest struct {
+	Tag    uint64
+	Queue  uint64
+	Kernel uint64
+	Global []int64
+	Local  []int64
+}
+
+// Encode serializes the message.
+func (m *EnqueueKernelRequest) Encode(e *Encoder) {
+	e.U64(m.Tag)
+	e.U64(m.Queue)
+	e.U64(m.Kernel)
+	e.I64Slice(m.Global)
+	e.I64Slice(m.Local)
+}
+
+// Decode deserializes the message.
+func (m *EnqueueKernelRequest) Decode(d *Decoder) {
+	m.Tag = d.U64()
+	m.Queue = d.U64()
+	m.Kernel = d.U64()
+	m.Global = d.I64Slice()
+	m.Local = d.I64Slice()
+}
+
+// FlushRequest seals the client's current task on a queue and submits it
+// to the manager's central queue.
+type FlushRequest struct {
+	Queue uint64
+}
+
+// Encode serializes the message.
+func (m *FlushRequest) Encode(e *Encoder) { e.U64(m.Queue) }
+
+// Decode deserializes the message.
+func (m *FlushRequest) Decode(d *Decoder) { m.Queue = d.U64() }
+
+// OpState is the state carried by an operation notification.
+type OpState uint8
+
+// Operation notification states, mirroring the event state machine of the
+// Remote OpenCL Library (INIT is client-local and never crosses the wire).
+const (
+	// OpAccepted confirms the manager appended the operation to the
+	// client's task (the FIRST step of the paper's state machine).
+	OpAccepted OpState = 1
+	// OpRunning signals the task containing the operation started on the
+	// device.
+	OpRunning OpState = 2
+	// OpComplete signals the operation finished; reads carry data.
+	OpComplete OpState = 3
+	// OpFailed signals the operation failed; Status holds the code.
+	OpFailed OpState = 4
+)
+
+// String names the state.
+func (s OpState) String() string {
+	switch s {
+	case OpAccepted:
+		return "accepted"
+	case OpRunning:
+		return "running"
+	case OpComplete:
+		return "complete"
+	case OpFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// OpNotification is pushed from the Device Manager to the client as an
+// operation progresses. Tag identifies the client-side event.
+type OpNotification struct {
+	Tag    uint64
+	State  OpState
+	Status int32
+	Error  string
+	// Data carries read results for ViaInline reads.
+	Data []byte
+	// ShmLen tells a ViaShm read how many bytes landed at its ShmOff.
+	ShmLen int64
+	// DeviceNanos is the modelled device time the operation occupied,
+	// exposed for profiling (CL_PROFILING_COMMAND_* analog) and metrics.
+	DeviceNanos int64
+}
+
+// Encode serializes the message.
+func (m *OpNotification) Encode(e *Encoder) {
+	e.U64(m.Tag)
+	e.U8(uint8(m.State))
+	e.I32(m.Status)
+	e.String(m.Error)
+	e.Bytes32(m.Data)
+	e.I64(m.ShmLen)
+	e.I64(m.DeviceNanos)
+}
+
+// Decode deserializes the message.
+func (m *OpNotification) Decode(d *Decoder) {
+	m.Tag = d.U64()
+	m.State = OpState(d.U8())
+	m.Status = d.I32()
+	m.Error = d.String()
+	if b := d.Bytes32(); len(b) > 0 {
+		m.Data = append([]byte(nil), b...)
+	}
+	m.ShmLen = d.I64()
+	m.DeviceNanos = d.I64()
+}

@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"blastfunction/internal/ocl"
+)
+
+// codec is implemented by every protocol message.
+type codec interface {
+	Encode(*Encoder)
+	Decode(*Decoder)
+}
+
+// roundTrip encodes msg and decodes it into out, failing on any codec error
+// or leftover bytes.
+func roundTrip(t *testing.T, msg, out codec) {
+	t.Helper()
+	e := NewEncoder(64)
+	msg.Encode(e)
+	d := NewDecoder(e.Bytes())
+	out.Decode(d)
+	if d.Err() != nil {
+		t.Fatalf("%T decode: %v", msg, d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%T: %d leftover bytes", msg, d.Remaining())
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	argBuf := ocl.BufferArg(77)
+	argScalar, _ := ocl.PackArg(int32(-5))
+	cases := []struct{ in, out codec }{
+		{&HelloRequest{ClientName: "sobel-1", ProtoVersion: ProtoVersion}, &HelloRequest{}},
+		{&HelloResponse{SessionID: 9, Node: "nodeB"}, &HelloResponse{}},
+		{&DeviceInfoResponse{Name: "de5a_net", Vendor: "Intel", PlatformName: "FPGA SDK",
+			GlobalMem: 8 << 30, ConfiguredBit: "spector-sobel", Accelerator: "sobel"}, &DeviceInfoResponse{}},
+		{&IDRequest{ID: 4}, &IDRequest{}},
+		{&IDResponse{ID: 5}, &IDResponse{}},
+		{&CreateBufferRequest{Context: 1, Flags: 3, Size: 1 << 20}, &CreateBufferRequest{}},
+		{&CreateProgramRequest{Context: 2, Binary: []byte("AOCX0:spector-mm")}, &CreateProgramRequest{}},
+		{&CreateProgramResponse{ID: 8, Kernels: []string{"mm"}}, &CreateProgramResponse{}},
+		{&CreateKernelRequest{Program: 8, Name: "mm"}, &CreateKernelRequest{}},
+		{&SetKernelArgRequest{Kernel: 3, Index: 1, Arg: argBuf}, &SetKernelArgRequest{}},
+		{&SetKernelArgRequest{Kernel: 3, Index: 2, Arg: argScalar}, &SetKernelArgRequest{}},
+		{&SetupShmRequest{Path: "/dev/shm/bf-1", Size: 1 << 24}, &SetupShmRequest{}},
+		{&EnqueueWriteRequest{Tag: 11, Queue: 1, Buffer: 2, Offset: 64,
+			Via: ViaInline, Data: []byte("abcdef")}, &EnqueueWriteRequest{}},
+		{&EnqueueWriteRequest{Tag: 12, Queue: 1, Buffer: 2, Offset: 0,
+			Via: ViaShm, ShmOff: 4096, ShmLen: 512}, &EnqueueWriteRequest{}},
+		{&EnqueueReadRequest{Tag: 13, Queue: 1, Buffer: 2, Offset: 8, Length: 100,
+			Via: ViaShm, ShmOff: 8192}, &EnqueueReadRequest{}},
+		{&EnqueueKernelRequest{Tag: 14, Queue: 1, Kernel: 3,
+			Global: []int64{1024, 8}, Local: []int64{16}}, &EnqueueKernelRequest{}},
+		{&FlushRequest{Queue: 1}, &FlushRequest{}},
+		{&OpNotification{Tag: 14, State: OpComplete, DeviceNanos: 12345,
+			Data: []byte("result")}, &OpNotification{}},
+		{&OpNotification{Tag: 15, State: OpFailed, Status: int32(ocl.ErrInvalidMemObject),
+			Error: "buffer 9"}, &OpNotification{}},
+	}
+	for _, c := range cases {
+		roundTrip(t, c.in, c.out)
+		if !reflect.DeepEqual(c.in, c.out) {
+			t.Errorf("%T round trip:\n in: %+v\nout: %+v", c.in, c.in, c.out)
+		}
+	}
+}
+
+func TestArgEncodeDecode(t *testing.T) {
+	args := []ocl.Arg{ocl.BufferArg(123)}
+	for _, v := range []any{int32(-1), uint32(2), int64(-3), uint64(4), float32(1.5), float64(-2.5)} {
+		a, err := ocl.PackArg(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		args = append(args, a)
+	}
+	for _, a := range args {
+		e := NewEncoder(16)
+		EncodeArg(e, a)
+		d := NewDecoder(e.Bytes())
+		got := DecodeArg(d)
+		if d.Err() != nil {
+			t.Fatalf("decode %v: %v", a.Kind, d.Err())
+		}
+		if got != a {
+			t.Errorf("arg %v round trip: got %+v want %+v", a.Kind, got, a)
+		}
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	if MethodHello.String() != "Hello" || MethodFlush.String() != "Flush" {
+		t.Fatal("method names wrong")
+	}
+	if Method(999).String() != "Method(999)" {
+		t.Fatalf("unknown method = %q", Method(999).String())
+	}
+}
+
+func TestCommandQueueMethodClassification(t *testing.T) {
+	// The split drives the Device Manager's sync-vs-task dispatch, the
+	// paper's Section III-B distinction.
+	cq := []Method{MethodEnqueueWrite, MethodEnqueueRead, MethodEnqueueKernel, MethodFlush}
+	for _, m := range cq {
+		if !m.CommandQueueMethod() {
+			t.Errorf("%v must be a command-queue method", m)
+		}
+	}
+	sync := []Method{MethodHello, MethodDeviceInfo, MethodCreateContext, MethodCreateBuffer,
+		MethodCreateProgram, MethodBuildProgram, MethodCreateKernel, MethodSetKernelArg, MethodSetupShm}
+	for _, m := range sync {
+		if m.CommandQueueMethod() {
+			t.Errorf("%v must be a context/information method", m)
+		}
+	}
+}
+
+func TestOpNotificationEmptyData(t *testing.T) {
+	n := &OpNotification{Tag: 1, State: OpComplete}
+	e := NewEncoder(32)
+	n.Encode(e)
+	var out OpNotification
+	d := NewDecoder(e.Bytes())
+	out.Decode(d)
+	if out.Data != nil {
+		t.Fatalf("empty data decoded as %v", out.Data)
+	}
+}
+
+func TestEnqueueWriteDataIsCopied(t *testing.T) {
+	// Decode must not alias the network buffer: the manager retains the
+	// payload in the task after the frame buffer is reused.
+	src := &EnqueueWriteRequest{Tag: 1, Queue: 1, Buffer: 1, Via: ViaInline, Data: []byte("precious")}
+	e := NewEncoder(64)
+	src.Encode(e)
+	raw := append([]byte(nil), e.Bytes()...)
+	var dst EnqueueWriteRequest
+	dst.Decode(NewDecoder(raw))
+	for i := range raw {
+		raw[i] = 0xFF
+	}
+	if !bytes.Equal(dst.Data, []byte("precious")) {
+		t.Fatal("decoded payload aliases the frame buffer")
+	}
+}
+
+func TestOpStateString(t *testing.T) {
+	for s, want := range map[OpState]string{
+		OpAccepted: "accepted", OpRunning: "running",
+		OpComplete: "complete", OpFailed: "failed", OpState(0): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("OpState(%d) = %q", s, s.String())
+		}
+	}
+}
