@@ -8,11 +8,13 @@ all: build test
 build:
 	$(GO) build ./...
 
-test:
+test: race
 	$(GO) test ./...
 
+# The transport hot path carries explicit buffer-ownership hand-offs and the
+# close/notify teardown races; always run it under the race detector.
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

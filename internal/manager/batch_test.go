@@ -1,0 +1,272 @@
+package manager_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"blastfunction/internal/accel"
+	"blastfunction/internal/manager"
+	"blastfunction/internal/ocl"
+	"blastfunction/internal/rpc"
+	"blastfunction/internal/wire"
+)
+
+// These tests drive the manager with a bare rpc.Client instead of the remote
+// library so notification FRAMES are observable: the coalescing contract is
+// about what crosses the wire, which the library deliberately hides.
+
+// helloNegotiate opens a session at an explicit protocol version and returns
+// the revision the manager negotiated.
+func helloNegotiate(t *testing.T, c *rpc.Client, name string, version uint32) uint32 {
+	t.Helper()
+	resp, err := hello(t, c, name, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h wire.HelloResponse
+	h.Decode(wire.NewDecoder(resp))
+	wire.PutBuf(resp)
+	return h.Proto
+}
+
+// unaryCall encodes a request, performs the call and fails the test on error.
+func unaryCall(t *testing.T, c *rpc.Client, m wire.Method, enc func(*wire.Encoder)) []byte {
+	t.Helper()
+	e := wire.NewEncoder(64)
+	if enc != nil {
+		enc(e)
+	}
+	resp, err := c.Call(m, e.Bytes())
+	if err != nil {
+		t.Fatalf("%v: %v", m, err)
+	}
+	return resp
+}
+
+// unaryID is unaryCall for methods answering with an IDResponse.
+func unaryID(t *testing.T, c *rpc.Client, m wire.Method, enc func(*wire.Encoder)) uint64 {
+	t.Helper()
+	resp := unaryCall(t, c, m, enc)
+	var id wire.IDResponse
+	id.Decode(wire.NewDecoder(resp))
+	wire.PutBuf(resp)
+	return id.ID
+}
+
+// loopbackIDs is the handle set of a ready-to-run copy task.
+type loopbackIDs struct {
+	queue, in, out, kernel uint64
+}
+
+// setupLoopback builds context, queue, two buffers and the configured copy
+// kernel over raw unary calls.
+func setupLoopback(t *testing.T, c *rpc.Client, size int) loopbackIDs {
+	t.Helper()
+	ctx := unaryID(t, c, wire.MethodCreateContext, nil)
+	var ids loopbackIDs
+	ids.queue = unaryID(t, c, wire.MethodCreateQueue, func(e *wire.Encoder) {
+		(&wire.IDRequest{ID: ctx}).Encode(e)
+	})
+	ids.in = unaryID(t, c, wire.MethodCreateBuffer, func(e *wire.Encoder) {
+		(&wire.CreateBufferRequest{Context: ctx, Flags: uint32(ocl.MemReadOnly), Size: int64(size)}).Encode(e)
+	})
+	ids.out = unaryID(t, c, wire.MethodCreateBuffer, func(e *wire.Encoder) {
+		(&wire.CreateBufferRequest{Context: ctx, Flags: uint32(ocl.MemWriteOnly), Size: int64(size)}).Encode(e)
+	})
+	resp := unaryCall(t, c, wire.MethodCreateProgram, func(e *wire.Encoder) {
+		(&wire.CreateProgramRequest{Context: ctx, Binary: accel.LoopbackBitstream().Binary()}).Encode(e)
+	})
+	var prog wire.CreateProgramResponse
+	prog.Decode(wire.NewDecoder(resp))
+	wire.PutBuf(resp)
+	wire.PutBuf(unaryCall(t, c, wire.MethodBuildProgram, func(e *wire.Encoder) {
+		(&wire.IDRequest{ID: prog.ID}).Encode(e)
+	}))
+	ids.kernel = unaryID(t, c, wire.MethodCreateKernel, func(e *wire.Encoder) {
+		(&wire.CreateKernelRequest{Program: prog.ID, Name: "copy"}).Encode(e)
+	})
+	n, err := ocl.PackArg(int32(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, arg := range []ocl.Arg{ocl.BufferArg(ids.in), ocl.BufferArg(ids.out), n} {
+		wire.PutBuf(unaryCall(t, c, wire.MethodSetKernelArg, func(e *wire.Encoder) {
+			(&wire.SetKernelArgRequest{Kernel: ids.kernel, Index: uint32(i), Arg: arg}).Encode(e)
+		}))
+	}
+	return ids
+}
+
+// sendOp fires one command-queue request (fire-and-forget, like the library).
+func sendOp(t *testing.T, c *rpc.Client, m wire.Method, enc func(*wire.Encoder)) {
+	t.Helper()
+	e := wire.NewEncoder(64)
+	enc(e)
+	if err := c.Send(m, e.Bytes()); err != nil {
+		t.Fatalf("%v: %v", m, err)
+	}
+}
+
+// enqueueCopyTask submits the canonical 3-op task — inline write (tag 1),
+// kernel launch (tag 2), inline read (tag 3) — and flushes the queue.
+func enqueueCopyTask(t *testing.T, c *rpc.Client, ids loopbackIDs, payload []byte) {
+	t.Helper()
+	sendOp(t, c, wire.MethodEnqueueWrite, func(e *wire.Encoder) {
+		(&wire.EnqueueWriteRequest{Tag: 1, Queue: ids.queue, Buffer: ids.in,
+			Via: wire.ViaInline, Data: payload}).Encode(e)
+	})
+	sendOp(t, c, wire.MethodEnqueueKernel, func(e *wire.Encoder) {
+		(&wire.EnqueueKernelRequest{Tag: 2, Queue: ids.queue, Kernel: ids.kernel}).Encode(e)
+	})
+	sendOp(t, c, wire.MethodEnqueueRead, func(e *wire.Encoder) {
+		(&wire.EnqueueReadRequest{Tag: 3, Queue: ids.queue, Buffer: ids.out,
+			Length: int64(len(payload)), Via: wire.ViaInline}).Encode(e)
+	})
+	sendOp(t, c, wire.MethodFlush, func(e *wire.Encoder) {
+		(&wire.FlushRequest{Queue: ids.queue}).Encode(e)
+	})
+}
+
+// noteFrame is one decoded notification frame as it crossed the wire.
+type noteFrame struct {
+	batch bool
+	notes []wire.OpNotification
+}
+
+// drainTaskFrames reads notification frames until tags 1..3 all reach a
+// terminal state, returning every frame with payloads copied out of the
+// pooled buffers.
+func drainTaskFrames(t *testing.T, c *rpc.Client) []noteFrame {
+	t.Helper()
+	terminal := map[uint64]bool{1: false, 2: false, 3: false}
+	remaining := len(terminal)
+	var frames []noteFrame
+	deadline := time.After(10 * time.Second)
+	for remaining > 0 {
+		select {
+		case note, ok := <-c.Notifications():
+			if !ok {
+				t.Fatalf("notification channel closed with %d frames seen", len(frames))
+			}
+			d := wire.NewDecoder(note.Payload)
+			count := 1
+			if note.Batch {
+				count = int(d.U32())
+			}
+			f := noteFrame{batch: note.Batch}
+			for i := 0; i < count; i++ {
+				var n wire.OpNotification
+				n.Decode(d)
+				if d.Err() != nil {
+					t.Fatalf("frame %d note %d: %v", len(frames), i, d.Err())
+				}
+				n.Data = append([]byte(nil), n.Data...)
+				if n.State == wire.OpComplete || n.State == wire.OpFailed {
+					if done, tracked := terminal[n.Tag]; tracked && !done {
+						terminal[n.Tag] = true
+						remaining--
+					}
+				}
+				f.notes = append(f.notes, n)
+			}
+			wire.PutBuf(note.Payload)
+			frames = append(frames, f)
+		case <-deadline:
+			t.Fatalf("timed out; %d frames seen, unfinished tags %v", len(frames), terminal)
+		}
+	}
+	return frames
+}
+
+// requireCopyResult checks every op completed and the read (tag 3) carried
+// the payload back.
+func requireCopyResult(t *testing.T, frames []noteFrame, payload []byte) {
+	t.Helper()
+	var readData []byte
+	for _, f := range frames {
+		for _, n := range f.notes {
+			if n.State == wire.OpFailed {
+				t.Fatalf("op %d failed: %s", n.Tag, n.Error)
+			}
+			if n.Tag == 3 && n.State == wire.OpComplete {
+				readData = n.Data
+			}
+		}
+	}
+	if !bytes.Equal(readData, payload) {
+		t.Fatalf("read back %d bytes, want %d matching bytes", len(readData), len(payload))
+	}
+}
+
+func TestTaskNotificationsCoalesced(t *testing.T) {
+	rig := newRig(t, manager.Config{})
+	c := rawClient(t, rig)
+	if proto := helloNegotiate(t, c, "batch-v2", wire.ProtoVersion); proto < wire.ProtoVersionBatch {
+		t.Fatalf("negotiated proto %d, want >= %d", proto, wire.ProtoVersionBatch)
+	}
+	payload := bytes.Repeat([]byte("coalesce"), 512)
+	ids := setupLoopback(t, c, len(payload))
+	enqueueCopyTask(t, c, ids, payload)
+	frames := drainTaskFrames(t, c)
+
+	// The tentpole's headline number: a 3-op task used to cost 9 frames
+	// (Accepted, Running, Complete per op); coalescing folds it into the
+	// Accepted batch at Flush plus one completion batch at task end.
+	if len(frames) > 2 {
+		t.Fatalf("3-op task emitted %d notification frames, want at most 2", len(frames))
+	}
+	total := 0
+	for i, f := range frames {
+		if !f.batch {
+			t.Errorf("frame %d is a single-notification frame; proto v2 must batch", i)
+		}
+		total += len(f.notes)
+	}
+	if total != 9 {
+		t.Errorf("frames carry %d notifications, want all 9", total)
+	}
+	requireCopyResult(t, frames, payload)
+}
+
+func TestPreBatchPeerInterop(t *testing.T) {
+	rig := newRig(t, manager.Config{})
+	c := rawClient(t, rig)
+	if proto := helloNegotiate(t, c, "legacy-v1", 1); proto != 1 {
+		t.Fatalf("negotiated proto %d, want 1", proto)
+	}
+	payload := bytes.Repeat([]byte("legacy!!"), 256)
+	ids := setupLoopback(t, c, len(payload))
+	enqueueCopyTask(t, c, ids, payload)
+	frames := drainTaskFrames(t, c)
+
+	// A pre-batching peer must see the exact v1 wire behaviour: one frame
+	// per notification, never a batch frame.
+	if len(frames) != 9 {
+		t.Fatalf("v1 peer got %d notification frames, want 9", len(frames))
+	}
+	seq := map[uint64][]wire.OpState{}
+	for i, f := range frames {
+		if f.batch {
+			t.Fatalf("frame %d is a batch frame; those are gated on proto >= %d", i, wire.ProtoVersionBatch)
+		}
+		if len(f.notes) != 1 {
+			t.Fatalf("frame %d carries %d notifications", i, len(f.notes))
+		}
+		n := f.notes[0]
+		seq[n.Tag] = append(seq[n.Tag], n.State)
+	}
+	want := []wire.OpState{wire.OpAccepted, wire.OpRunning, wire.OpComplete}
+	for tag := uint64(1); tag <= 3; tag++ {
+		got := seq[tag]
+		if len(got) != len(want) {
+			t.Fatalf("tag %d states = %v, want %v", tag, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("tag %d states = %v, want %v", tag, got, want)
+			}
+		}
+	}
+	requireCopyResult(t, frames, payload)
+}

@@ -248,9 +248,12 @@ func (m *Manager) handleHello(c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
 	if err := d.Err(); err != nil {
 		return nil, ocl.Errf(ocl.ErrInvalidValue, "malformed Hello: %v", err)
 	}
-	if req.ProtoVersion != wire.ProtoVersion {
-		return nil, ocl.Errf(ocl.ErrInvalidValue, "protocol version %d, manager speaks %d",
-			req.ProtoVersion, wire.ProtoVersion)
+	// Accept the whole supported window so older libraries keep working
+	// against a newer manager. The session runs at the client's version;
+	// batch notification frames are gated on it.
+	if req.ProtoVersion < wire.MinProtoVersion || req.ProtoVersion > wire.ProtoVersion {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "protocol version %d, manager speaks %d through %d",
+			req.ProtoVersion, wire.MinProtoVersion, wire.ProtoVersion)
 	}
 	m.mu.Lock()
 	if m.closed {
@@ -259,18 +262,19 @@ func (m *Manager) handleHello(c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
 	}
 	m.nextSess++
 	s := newSession(m.nextSess, req.ClientName)
+	s.proto = req.ProtoVersion
 	m.sessions[s.id] = s
 	m.mu.Unlock()
 	c.SetSession(s)
 
-	e := wire.NewEncoder(32)
-	(&wire.HelloResponse{SessionID: s.id, Node: m.cfg.Node}).Encode(e)
-	return e.Bytes(), nil
+	e := wire.GetEncoder(32)
+	(&wire.HelloResponse{SessionID: s.id, Node: m.cfg.Node, Proto: s.proto}).Encode(e)
+	return e.Detach(), nil
 }
 
 func (m *Manager) handleDeviceInfo() ([]byte, error) {
 	cfg := m.board.Config()
-	e := wire.NewEncoder(128)
+	e := wire.GetEncoder(128)
 	(&wire.DeviceInfoResponse{
 		Name:          cfg.Name,
 		Vendor:        cfg.Vendor,
@@ -279,7 +283,7 @@ func (m *Manager) handleDeviceInfo() ([]byte, error) {
 		ConfiguredBit: m.board.ConfiguredID(),
 		Accelerator:   m.board.ConfiguredAccelerator(),
 	}).Encode(e)
-	return e.Bytes(), nil
+	return e.Detach(), nil
 }
 
 // handleBuildProgram is the blocking board-reconfiguration request: it is

@@ -17,6 +17,9 @@ import (
 type session struct {
 	id         uint64
 	clientName string
+	// proto is the protocol revision negotiated at Hello. Immutable after
+	// the handshake; gates the batch notification path.
+	proto uint32
 
 	mu       sync.Mutex
 	nextID   uint64
@@ -32,6 +35,10 @@ type queueState struct {
 	// cur accumulates command-queue operations until the next flush seals
 	// them into a task.
 	cur []op
+	// accepted holds the tags whose Accepted acknowledgement is deferred
+	// to flush time, where they leave as one batch frame (batch-capable
+	// peers only).
+	accepted []uint64
 }
 
 type bufferInfo struct {
@@ -74,6 +81,10 @@ func (s *session) newID() uint64 {
 func (s *session) release(board *fpga.Board) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for _, q := range s.queues {
+		releaseOps(q.cur) // unflushed inline payloads go back to the pool
+		q.cur = nil
+	}
 	for _, b := range s.buffers {
 		board.Free(b.boardID) // an already-freed buffer is harmless here
 	}
@@ -85,9 +96,9 @@ func (s *session) release(board *fpga.Board) {
 }
 
 func encodeID(id uint64) []byte {
-	e := wire.NewEncoder(8)
+	e := wire.GetEncoder(8)
 	(&wire.IDResponse{ID: id}).Encode(e)
-	return e.Bytes()
+	return e.Detach()
 }
 
 func (s *session) createContext() ([]byte, error) {
@@ -134,6 +145,7 @@ func (s *session) releaseQueue(m *Manager, d *wire.Decoder) ([]byte, error) {
 	}
 	// Unflushed operations die with the queue; clients call Finish first
 	// (the remote library always does).
+	releaseOps(q.cur)
 	q.cur = nil
 	delete(s.queues, req.ID)
 	return nil, nil
@@ -220,9 +232,9 @@ func (s *session) createProgram(board *fpga.Board, d *wire.Decoder) ([]byte, err
 	s.programs[id] = programInfo{binary: req.Binary, bitID: spec.ID, spec: spec}
 	s.mu.Unlock()
 
-	e := wire.NewEncoder(64)
+	e := wire.GetEncoder(64)
 	(&wire.CreateProgramResponse{ID: id, Kernels: spec.KernelNames()}).Encode(e)
-	return e.Bytes(), nil
+	return e.Detach(), nil
 }
 
 // programBinary returns the binary and bitstream ID of a program handle.
@@ -347,13 +359,10 @@ func (s *session) queue(id uint64) (*queueState, error) {
 // unary errors: their failures travel on the event path, as in the
 // paper's asynchronous flow.
 func sendFail(c *rpc.Conn, tag uint64, err error) {
-	n := &wire.OpNotification{
+	notifySingle(c, &wire.OpNotification{
 		Tag:    tag,
 		State:  wire.OpFailed,
 		Status: int32(ocl.StatusOf(err)),
 		Error:  err.Error(),
-	}
-	e := wire.NewEncoder(64)
-	n.Encode(e)
-	c.Notify(e.Bytes()) // best effort: the client may already be gone
+	})
 }

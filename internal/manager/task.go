@@ -29,7 +29,7 @@ type op struct {
 	offset   int64
 	length   int64
 	via      wire.DataVia
-	data     []byte // inline write payload
+	data     []byte // inline write payload; aliases the retained request frame
 	shmOff   int64
 
 	// Kernel launches.
@@ -47,6 +47,19 @@ type task struct {
 	sess *session
 	conn *rpc.Conn
 	ops  []op
+}
+
+// releaseOps returns the pooled inline write payloads of operations that
+// will never reach the board (dropped queues, failed submissions, aborted
+// task tails) back to the buffer pool. Executed writes release their
+// payload inside runOp instead.
+func releaseOps(ops []op) {
+	for i := range ops {
+		if ops[i].kind == opWrite && ops[i].via == wire.ViaInline {
+			wire.PutBuf(ops[i].data)
+			ops[i].data = nil
+		}
+	}
 }
 
 func (s *session) enqueueWrite(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
@@ -74,6 +87,10 @@ func (s *session) enqueueWrite(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte
 	}
 	switch req.Via {
 	case wire.ViaInline:
+		// req.Data aliases the request frame. Keep the frame alive past
+		// this handler — the worker releases it once the bytes reach the
+		// board (runOp) or the operation is dropped (releaseOps).
+		c.RetainRequestPayload()
 		o.data = req.Data
 		o.length = int64(len(req.Data))
 	case wire.ViaShm:
@@ -87,7 +104,7 @@ func (s *session) enqueueWrite(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte
 		sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidValue, "data path %d", req.Via))
 		return nil, nil
 	}
-	s.appendOp(m, c, q, o)
+	s.appendOp(c, q, o)
 	return nil, nil
 }
 
@@ -111,7 +128,7 @@ func (s *session) enqueueRead(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte,
 		sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidOperation, "no shared-memory segment negotiated"))
 		return nil, nil
 	}
-	s.appendOp(m, c, q, op{
+	s.appendOp(c, q, op{
 		kind:     opRead,
 		tag:      req.Tag,
 		boardBuf: buf.boardID,
@@ -164,7 +181,7 @@ func (s *session) enqueueKernel(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byt
 		}
 		return out
 	}
-	s.appendOp(m, c, q, op{
+	s.appendOp(c, q, op{
 		kind:       opKernel,
 		tag:        req.Tag,
 		kernelName: name,
@@ -176,12 +193,19 @@ func (s *session) enqueueKernel(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byt
 }
 
 // appendOp adds the operation to the queue's current task and acknowledges
-// it (the FIRST step of the client's event state machine).
-func (s *session) appendOp(m *Manager, c *rpc.Conn, q *queueState, o op) {
+// it (the FIRST step of the client's event state machine). For batch-capable
+// peers the acknowledgement is deferred: all of a task's Accepted
+// notifications leave as one batch frame at flush time.
+func (s *session) appendOp(c *rpc.Conn, q *queueState, o op) {
 	s.mu.Lock()
 	q.cur = append(q.cur, o)
+	if s.proto >= wire.ProtoVersionBatch {
+		q.accepted = append(q.accepted, o.tag)
+		s.mu.Unlock()
+		return
+	}
 	s.mu.Unlock()
-	m.notifyOp(c, &wire.OpNotification{Tag: o.tag, State: wire.OpAccepted})
+	notifySingle(c, &wire.OpNotification{Tag: o.tag, State: wire.OpAccepted})
 }
 
 // flush seals the queue's current task and submits it to the central FIFO
@@ -199,7 +223,19 @@ func (s *session) flush(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte, error
 	s.mu.Lock()
 	ops := q.cur
 	q.cur = nil
+	accepted := q.accepted
+	q.accepted = nil
 	s.mu.Unlock()
+	if len(accepted) > 0 {
+		// One frame acknowledges every operation of the task.
+		e := wire.GetEncoder(8 + 34*len(accepted))
+		e.U32(uint32(len(accepted)))
+		for _, tag := range accepted {
+			(&wire.OpNotification{Tag: tag, State: wire.OpAccepted}).EncodeHead(e)
+		}
+		c.NotifyBatch(e.Bytes()) // best effort
+		e.Release()
+	}
 	if len(ops) == 0 {
 		return nil, nil
 	}
@@ -207,20 +243,90 @@ func (s *session) flush(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte, error
 		for _, o := range ops {
 			sendFail(c, o.tag, err)
 		}
+		releaseOps(ops)
 	}
 	return nil, nil
 }
 
-// notifyOp pushes an operation notification to the client.
-func (m *Manager) notifyOp(c *rpc.Conn, n *wire.OpNotification) {
-	e := wire.NewEncoder(64 + len(n.Data))
-	n.Encode(e)
-	c.Notify(e.Bytes()) // best effort
+// notifySingle pushes one per-operation notification frame — the pre-batch
+// (proto 1) notification path, also used for failures outside any task.
+func notifySingle(c *rpc.Conn, n *wire.OpNotification) {
+	e := wire.GetEncoder(64 + len(n.Error))
+	n.EncodeHead(e)
+	c.Notify(e.Bytes(), n.Data) // best effort: the client may already be gone
+	e.Release()
+}
+
+// notifyBatcher accumulates the notifications a task emits and sends them
+// as one frameNotifyBatch at the end of the task. Notification heads are
+// encoded into a single pooled buffer as they arrive; Data payloads stay
+// where they are and ride out as their own vectored-write segments, so a
+// read result is never copied between the board and the socket. For
+// pre-batch peers every add degenerates to an immediate single frame.
+type notifyBatcher struct {
+	c     *rpc.Conn
+	batch bool
+
+	e     *wire.Encoder
+	parts []notifyPart
+}
+
+type notifyPart struct {
+	metaEnd int    // end offset of this notification's head in e's buffer
+	data    []byte // payload segment following the head, if any
+	own     bool   // release data to the pool once the frame is written
+}
+
+// add appends one notification. If own is set, the batcher assumes
+// ownership of n.Data and releases it after the wire write.
+func (nb *notifyBatcher) add(n *wire.OpNotification, own bool) {
+	if !nb.batch {
+		notifySingle(nb.c, n)
+		if own {
+			wire.PutBuf(n.Data)
+		}
+		return
+	}
+	if nb.e == nil {
+		nb.e = wire.GetEncoder(256)
+		nb.e.U32(0) // notification count, patched in flush
+	}
+	n.EncodeHead(nb.e)
+	nb.parts = append(nb.parts, notifyPart{metaEnd: nb.e.Len(), data: n.Data, own: own})
+}
+
+// flush seals and writes the batch frame, then releases owned payloads.
+func (nb *notifyBatcher) flush() {
+	if nb.e == nil {
+		return
+	}
+	nb.e.SetU32(0, uint32(len(nb.parts)))
+	buf := nb.e.Bytes()
+	segs := make([][]byte, 0, 2*len(nb.parts))
+	prev := 0
+	for _, p := range nb.parts {
+		segs = append(segs, buf[prev:p.metaEnd])
+		prev = p.metaEnd
+		if len(p.data) > 0 {
+			segs = append(segs, p.data)
+		}
+	}
+	nb.c.NotifyBatch(segs...) // best effort
+	for _, p := range nb.parts {
+		if p.own {
+			wire.PutBuf(p.data)
+		}
+	}
+	nb.parts = nb.parts[:0]
+	nb.e.Release()
+	nb.e = nil
 }
 
 // runTask executes one task's operations back to back on the FPGA.
 // A failing operation aborts the rest of the task: the queue is in-order,
-// so later operations would observe inconsistent state.
+// so later operations would observe inconsistent state. All of the task's
+// progress notifications leave as a single batch frame (for batch-capable
+// peers) once the task finishes.
 func (m *Manager) runTask(t *task) {
 	m.mTasks.Inc()
 	var taskDevice time.Duration
@@ -231,36 +337,47 @@ func (m *Manager) runTask(t *task) {
 	if scale > 0 {
 		time.Sleep(time.Duration(float64(cost.TaskControlOverhead(len(t.ops))) * scale))
 	}
+	nb := notifyBatcher{
+		c:     t.conn,
+		batch: t.sess.proto >= wire.ProtoVersionBatch,
+		parts: make([]notifyPart, 0, 2*len(t.ops)),
+	}
 	failed := false
 	var abortErr error
-	for _, o := range t.ops {
+	for i := range t.ops {
+		o := &t.ops[i]
 		if failed {
-			m.notifyOp(t.conn, &wire.OpNotification{
+			if o.kind == opWrite && o.via == wire.ViaInline {
+				wire.PutBuf(o.data)
+				o.data = nil
+			}
+			nb.add(&wire.OpNotification{
 				Tag:    o.tag,
 				State:  wire.OpFailed,
 				Status: int32(ocl.ErrInvalidOperation),
 				Error:  "aborted: earlier operation in task failed: " + abortErr.Error(),
-			})
+			}, false)
 			continue
 		}
-		m.notifyOp(t.conn, &wire.OpNotification{Tag: o.tag, State: wire.OpRunning})
-		n, err := m.runOp(t, o, cost, scale)
+		nb.add(&wire.OpNotification{Tag: o.tag, State: wire.OpRunning}, false)
+		n, ownData, err := m.runOp(t, o, cost, scale)
 		m.mOps.Inc()
 		if n != nil {
 			taskDevice += time.Duration(n.DeviceNanos)
 		}
 		if err != nil {
 			failed, abortErr = true, err
-			m.notifyOp(t.conn, &wire.OpNotification{
+			nb.add(&wire.OpNotification{
 				Tag:    o.tag,
 				State:  wire.OpFailed,
 				Status: int32(ocl.StatusOf(err)),
 				Error:  err.Error(),
-			})
+			}, false)
 			continue
 		}
-		m.notifyOp(t.conn, n)
+		nb.add(n, ownData)
 	}
+	nb.flush()
 	m.mTaskHist.Observe(taskDevice.Seconds())
 	m.traces.add(TaskTrace{
 		Client:      t.sess.clientName,
@@ -272,8 +389,10 @@ func (m *Manager) runTask(t *task) {
 }
 
 // runOp executes one operation and builds its completion notification.
-func (m *Manager) runOp(t *task, o op, cost *model.CostModel, scale float64) (*wire.OpNotification, error) {
-	n := &wire.OpNotification{Tag: o.tag, State: wire.OpComplete}
+// ownData reports whether n.Data is a pooled buffer the caller must
+// release after the notification is written.
+func (m *Manager) runOp(t *task, o *op, cost *model.CostModel, scale float64) (n *wire.OpNotification, ownData bool, err error) {
+	n = &wire.OpNotification{Tag: o.tag, State: wire.OpComplete}
 	sleepHost := func(d time.Duration) {
 		if scale > 0 && d > 0 {
 			time.Sleep(time.Duration(float64(d) * scale))
@@ -289,61 +408,69 @@ func (m *Manager) runOp(t *task, o op, cost *model.CostModel, scale float64) (*w
 		case wire.ViaShm:
 			seg := t.sess.segment()
 			if seg == nil {
-				return nil, ocl.Errf(ocl.ErrInvalidOperation, "shared-memory segment vanished")
+				return nil, false, ocl.Errf(ocl.ErrInvalidOperation, "shared-memory segment vanished")
 			}
-			rng, err := seg.Range(o.shmOff, o.length)
-			if err != nil {
-				return nil, ocl.Errf(ocl.ErrInvalidValue, "shm write range: %v", err)
+			rng, rerr := seg.Range(o.shmOff, o.length)
+			if rerr != nil {
+				return nil, false, ocl.Errf(ocl.ErrInvalidValue, "shm write range: %v", rerr)
 			}
 			src = rng
 			sleepHost(cost.ShmDataOverhead(o.length))
 		}
-		d, err := m.board.Write(o.boardBuf, o.offset, src)
-		if err != nil {
-			return nil, err
+		d, werr := m.board.Write(o.boardBuf, o.offset, src)
+		if o.via == wire.ViaInline {
+			// The retained request frame is consumed: the bytes are on the
+			// board (or the write failed and they never will be).
+			wire.PutBuf(o.data)
+			o.data = nil
+		}
+		if werr != nil {
+			return nil, false, werr
 		}
 		n.DeviceNanos = int64(d)
 		m.mBytesIn.Add(float64(o.length))
 	case opRead:
 		switch o.via {
 		case wire.ViaInline:
-			dst := make([]byte, o.length)
-			d, err := m.board.Read(o.boardBuf, o.offset, dst)
-			if err != nil {
-				return nil, err
+			dst := wire.GetBuf(int(o.length))
+			d, rerr := m.board.Read(o.boardBuf, o.offset, dst)
+			if rerr != nil {
+				wire.PutBuf(dst)
+				return nil, false, rerr
 			}
 			sleepHost(cost.GRPCDataOverhead(o.length))
 			n.Data = dst
 			n.DeviceNanos = int64(d)
+			ownData = true
 		case wire.ViaShm:
 			seg := t.sess.segment()
 			if seg == nil {
-				return nil, ocl.Errf(ocl.ErrInvalidOperation, "shared-memory segment vanished")
+				return nil, false, ocl.Errf(ocl.ErrInvalidOperation, "shared-memory segment vanished")
 			}
-			dst, err := seg.Range(o.shmOff, o.length)
-			if err != nil {
-				return nil, ocl.Errf(ocl.ErrInvalidValue, "shm read range: %v", err)
+			dst, rerr := seg.Range(o.shmOff, o.length)
+			if rerr != nil {
+				return nil, false, ocl.Errf(ocl.ErrInvalidValue, "shm read range: %v", rerr)
 			}
-			d, err := m.board.Read(o.boardBuf, o.offset, dst)
-			if err != nil {
-				return nil, err
+			d, rerr := m.board.Read(o.boardBuf, o.offset, dst)
+			if rerr != nil {
+				return nil, false, rerr
 			}
 			sleepHost(cost.ShmDataOverhead(o.length))
 			n.ShmLen = o.length
 			n.DeviceNanos = int64(d)
 		default:
-			return nil, ocl.Errf(ocl.ErrInvalidValue, "data path %d", o.via)
+			return nil, false, ocl.Errf(ocl.ErrInvalidValue, "data path %d", o.via)
 		}
 		m.mBytesOut.Add(float64(o.length))
 	case opKernel:
-		d, err := m.board.Run(o.kernelName, o.args, o.global)
-		if err != nil {
-			return nil, err
+		d, kerr := m.board.Run(o.kernelName, o.args, o.global)
+		if kerr != nil {
+			return nil, false, kerr
 		}
 		n.DeviceNanos = int64(d)
 		m.mKernels.Inc()
 	default:
-		return nil, ocl.Errf(ocl.ErrInvalidOperation, "unknown op kind %d", o.kind)
+		return nil, false, ocl.Errf(ocl.ErrInvalidOperation, "unknown op kind %d", o.kind)
 	}
-	return n, nil
+	return n, ownData, nil
 }

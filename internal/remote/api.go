@@ -18,23 +18,36 @@ type context struct {
 }
 
 func (mc *managerConn) createContext(devices []ocl.Device) (ocl.Context, error) {
-	resp, err := mc.rpc.Call(wire.MethodCreateContext, nil)
+	resp, err := mc.rpc.Call(wire.MethodCreateContext)
 	if err != nil {
 		return nil, err
 	}
 	var id wire.IDResponse
 	id.Decode(wire.NewDecoder(resp))
+	wire.PutBuf(resp)
 	return &context{mc: mc, id: id.ID, devices: devices}, nil
 }
 
 // Devices implements ocl.Context.
 func (c *context) Devices() []ocl.Device { return c.devices }
 
-// callID performs a unary call built from an IDRequest.
-func callID(mc *managerConn, m wire.Method, id uint64) ([]byte, error) {
-	e := wire.NewEncoder(8)
+// callID performs a unary call built from an IDRequest and returns the
+// decoded IDResponse (zero for methods without a response body). The
+// response buffer is released here, so callers never touch pooled memory.
+func callID(mc *managerConn, m wire.Method, id uint64) (wire.IDResponse, error) {
+	e := wire.GetEncoder(8)
 	(&wire.IDRequest{ID: id}).Encode(e)
-	return mc.rpc.Call(m, e.Bytes())
+	resp, err := mc.rpc.Call(m, e.Bytes())
+	e.Release()
+	if err != nil {
+		return wire.IDResponse{}, err
+	}
+	var out wire.IDResponse
+	if len(resp) > 0 {
+		out.Decode(wire.NewDecoder(resp))
+	}
+	wire.PutBuf(resp)
+	return out, nil
 }
 
 // CreateCommandQueue implements ocl.Context.
@@ -42,12 +55,10 @@ func (c *context) CreateCommandQueue(d ocl.Device, props ocl.QueueProps) (ocl.Co
 	if rd, ok := d.(*device); !ok || rd.mc != c.mc {
 		return nil, ocl.Errf(ocl.ErrInvalidDevice, "device does not belong to this context")
 	}
-	resp, err := callID(c.mc, wire.MethodCreateQueue, c.id)
+	id, err := callID(c.mc, wire.MethodCreateQueue, c.id)
 	if err != nil {
 		return nil, err
 	}
-	var id wire.IDResponse
-	id.Decode(wire.NewDecoder(resp))
 	q := &commandQueue{ctx: c, id: id.ID}
 	c.mu.Lock()
 	c.queues = append(c.queues, q)
@@ -64,19 +75,23 @@ func (c *context) CreateBuffer(flags ocl.MemFlags, size int, hostData []byte) (o
 	if size <= 0 || (hostData != nil && len(hostData) > size) {
 		return nil, ocl.Errf(ocl.ErrInvalidBufferSize, "size %d, init %d", size, len(hostData))
 	}
-	e := wire.NewEncoder(32 + len(hostData))
+	e := wire.GetEncoder(32)
 	(&wire.CreateBufferRequest{
-		Context:  c.id,
-		Flags:    uint32(flags),
-		Size:     int64(size),
-		InitData: hostData,
+		Context: c.id,
+		Flags:   uint32(flags),
+		Size:    int64(size),
 	}).Encode(e)
-	resp, err := c.mc.rpc.Call(wire.MethodCreateBuffer, e.Bytes())
+	// The init payload rides as its own segment: patch the length the
+	// empty Bytes32 wrote, then let the transport vector hostData in.
+	e.SetU32(e.Len()-4, uint32(len(hostData)))
+	resp, err := c.mc.rpc.Call(wire.MethodCreateBuffer, e.Bytes(), hostData)
+	e.Release()
 	if err != nil {
 		return nil, err
 	}
 	var id wire.IDResponse
 	id.Decode(wire.NewDecoder(resp))
+	wire.PutBuf(resp)
 	return &buffer{ctx: c, id: id.ID, size: size, flags: flags}, nil
 }
 
@@ -85,14 +100,17 @@ func (c *context) CreateProgramWithBinary(d ocl.Device, binary []byte) (ocl.Prog
 	if rd, ok := d.(*device); !ok || rd.mc != c.mc {
 		return nil, ocl.Errf(ocl.ErrInvalidDevice, "device does not belong to this context")
 	}
-	e := wire.NewEncoder(32 + len(binary))
-	(&wire.CreateProgramRequest{Context: c.id, Binary: binary}).Encode(e)
-	resp, err := c.mc.rpc.Call(wire.MethodCreateProgram, e.Bytes())
+	e := wire.GetEncoder(16)
+	e.U64(c.id)
+	e.U32(uint32(len(binary)))
+	resp, err := c.mc.rpc.Call(wire.MethodCreateProgram, e.Bytes(), binary)
+	e.Release()
 	if err != nil {
 		return nil, err
 	}
 	var pr wire.CreateProgramResponse
 	pr.Decode(wire.NewDecoder(resp))
+	wire.PutBuf(resp)
 	return &program{ctx: c, id: pr.ID, kernels: pr.Kernels}, nil
 }
 
@@ -159,14 +177,16 @@ func (p *program) KernelNames() []string { return append([]string(nil), p.kernel
 
 // CreateKernel implements ocl.Program.
 func (p *program) CreateKernel(name string) (ocl.Kernel, error) {
-	e := wire.NewEncoder(32)
+	e := wire.GetEncoder(32)
 	(&wire.CreateKernelRequest{Program: p.id, Name: name}).Encode(e)
 	resp, err := p.ctx.mc.rpc.Call(wire.MethodCreateKernel, e.Bytes())
+	e.Release()
 	if err != nil {
 		return nil, err
 	}
 	var id wire.IDResponse
 	id.Decode(wire.NewDecoder(resp))
+	wire.PutBuf(resp)
 	return &kernel{ctx: p.ctx, id: id.ID, name: name}, nil
 }
 
@@ -202,9 +222,11 @@ func (k *kernel) SetArg(i int, value any) error {
 			return err
 		}
 	}
-	e := wire.NewEncoder(32)
+	e := wire.GetEncoder(32)
 	(&wire.SetKernelArgRequest{Kernel: k.id, Index: uint32(i), Arg: arg}).Encode(e)
-	_, err := k.ctx.mc.rpc.Call(wire.MethodSetKernelArg, e.Bytes())
+	resp, err := k.ctx.mc.rpc.Call(wire.MethodSetKernelArg, e.Bytes())
+	e.Release()
+	wire.PutBuf(resp)
 	return err
 }
 
@@ -289,9 +311,14 @@ func (q *commandQueue) EnqueueWriteBuffer(b ocl.Buffer, blocking bool, offset in
 			}
 		}
 	}
-	e := wire.NewEncoder(64 + len(req.Data))
-	req.Encode(e)
-	if err := mc.rpc.Send(wire.MethodEnqueueWrite, e.Bytes()); err != nil {
+	// EncodeHead + a separate data segment: for the inline path the user's
+	// bytes go from their slice straight into the socket (writev), never
+	// through an intermediate concatenation.
+	e := wire.GetEncoder(64)
+	req.EncodeHead(e)
+	err := mc.rpc.Send(wire.MethodEnqueueWrite, e.Bytes(), req.Data)
+	e.Release()
+	if err != nil {
 		mc.pending.Delete(tag)
 		ev.releaseStaging(mc)
 		return nil, err
@@ -340,9 +367,11 @@ func (q *commandQueue) EnqueueReadBuffer(b ocl.Buffer, blocking bool, offset int
 			ev.shmOff, ev.shmLen, ev.freeArena = off, int64(len(dst)), true
 		}
 	}
-	e := wire.NewEncoder(64)
+	e := wire.GetEncoder(64)
 	req.Encode(e)
-	if err := mc.rpc.Send(wire.MethodEnqueueRead, e.Bytes()); err != nil {
+	err := mc.rpc.Send(wire.MethodEnqueueRead, e.Bytes())
+	e.Release()
+	if err != nil {
 		mc.pending.Delete(tag)
 		ev.releaseStaging(mc)
 		return nil, err
@@ -379,7 +408,7 @@ func (q *commandQueue) EnqueueNDRangeKernel(k ocl.Kernel, global, local []int, w
 	mc := q.ctx.mc
 	tag := mc.newTag()
 	ev := mc.register(ocl.CommandNDRangeKernel, tag)
-	e := wire.NewEncoder(64)
+	e := wire.GetEncoder(64)
 	(&wire.EnqueueKernelRequest{
 		Tag:    tag,
 		Queue:  q.id,
@@ -387,7 +416,9 @@ func (q *commandQueue) EnqueueNDRangeKernel(k ocl.Kernel, global, local []int, w
 		Global: toI64(global),
 		Local:  toI64(local),
 	}).Encode(e)
-	if err := mc.rpc.Send(wire.MethodEnqueueKernel, e.Bytes()); err != nil {
+	err := mc.rpc.Send(wire.MethodEnqueueKernel, e.Bytes())
+	e.Release()
+	if err != nil {
 		mc.pending.Delete(tag)
 		return nil, err
 	}
@@ -453,9 +484,11 @@ func (q *commandQueue) Flush() error {
 	if !hadOps {
 		return nil
 	}
-	e := wire.NewEncoder(16)
+	e := wire.GetEncoder(16)
 	(&wire.FlushRequest{Queue: q.id}).Encode(e)
-	return q.ctx.mc.rpc.Send(wire.MethodFlush, e.Bytes())
+	err := q.ctx.mc.rpc.Send(wire.MethodFlush, e.Bytes())
+	e.Release()
+	return err
 }
 
 // Finish implements ocl.CommandQueue: flush, then wait for every

@@ -22,6 +22,7 @@ type managerConn struct {
 
 	sessionID uint64
 	node      string
+	proto     uint32 // protocol revision negotiated at Hello
 	info      wire.DeviceInfoResponse
 
 	seg   *shm.Segment
@@ -43,9 +44,10 @@ func dialManager(cfg *Config, addr string) (*managerConn, error) {
 	mc := &managerConn{cfg: cfg, addr: addr, rpc: cl, mode: model.TransportGRPC}
 
 	// Hello: open the session.
-	e := wire.NewEncoder(64)
+	e := wire.GetEncoder(64)
 	(&wire.HelloRequest{ClientName: cfg.ClientName, ProtoVersion: wire.ProtoVersion}).Encode(e)
 	resp, err := cl.Call(wire.MethodHello, e.Bytes())
+	e.Release()
 	if err != nil {
 		cl.Close()
 		return nil, err
@@ -54,6 +56,8 @@ func dialManager(cfg *Config, addr string) (*managerConn, error) {
 	hello.Decode(wire.NewDecoder(resp))
 	mc.sessionID = hello.SessionID
 	mc.node = hello.Node
+	mc.proto = hello.Proto
+	wire.PutBuf(resp)
 
 	// Device information for the platform list.
 	resp, err = cl.Call(wire.MethodDeviceInfo, nil)
@@ -62,6 +66,7 @@ func dialManager(cfg *Config, addr string) (*managerConn, error) {
 		return nil, err
 	}
 	mc.info.Decode(wire.NewDecoder(resp))
+	wire.PutBuf(resp)
 
 	// Negotiate the data path. Shared memory requires co-location: the
 	// manager must report the client's node (or the check is disabled).
@@ -91,9 +96,12 @@ func (mc *managerConn) setupShm() error {
 	if err != nil {
 		return err
 	}
-	e := wire.NewEncoder(64)
+	e := wire.GetEncoder(64)
 	(&wire.SetupShmRequest{Path: seg.Path(), Size: seg.Size()}).Encode(e)
-	if _, err := mc.rpc.Call(wire.MethodSetupShm, e.Bytes()); err != nil {
+	resp, err := mc.rpc.Call(wire.MethodSetupShm, e.Bytes())
+	e.Release()
+	wire.PutBuf(resp)
+	if err != nil {
 		seg.Close()
 		return err
 	}
@@ -128,24 +136,28 @@ func (mc *managerConn) close() error {
 
 // connectionThread is the paper's connection thread: it pulls tags from
 // the completion queue, retrieves the corresponding events and calls their
-// state machines (steps 5 and 6 of Figure 2).
+// state machines (steps 5 and 6 of Figure 2). Batch frames (one per task
+// under proto v2) unwind into the same per-notification flow, preserving
+// the state machine unchanged. Frame payloads are pooled: decoded Data
+// aliases them, which is safe because finishRead copies read results into
+// the user buffer synchronously inside machine.
 func (mc *managerConn) connectionThread() {
-	for payload := range mc.rpc.Notifications() {
-		var n wire.OpNotification
-		d := wire.NewDecoder(payload)
-		n.Decode(d)
-		if d.Err() != nil {
-			continue // malformed notification; drop rather than crash
+	var d wire.Decoder
+	var n wire.OpNotification
+	for note := range mc.rpc.Notifications() {
+		d.Reset(note.Payload)
+		count := 1
+		if note.Batch {
+			count = int(d.U32())
 		}
-		v, ok := mc.pending.Load(n.Tag)
-		if !ok {
-			continue // event already failed locally (e.g. connection race)
+		for i := 0; i < count; i++ {
+			n.Decode(&d)
+			if d.Err() != nil {
+				break // malformed notification; drop rather than crash
+			}
+			mc.dispatch(&n)
 		}
-		ev := v.(*remoteEvent)
-		ev.machine(mc, &n)
-		if ev.Status().Done() {
-			mc.pending.Delete(n.Tag)
-		}
+		wire.PutBuf(note.Payload)
 	}
 	// Connection gone: fail everything still in flight.
 	mc.pending.Range(func(k, v any) bool {
@@ -153,6 +165,19 @@ func (mc *managerConn) connectionThread() {
 		mc.pending.Delete(k)
 		return true
 	})
+}
+
+// dispatch routes one notification to its event's state machine.
+func (mc *managerConn) dispatch(n *wire.OpNotification) {
+	v, ok := mc.pending.Load(n.Tag)
+	if !ok {
+		return // event already failed locally (e.g. connection race)
+	}
+	ev := v.(*remoteEvent)
+	ev.machine(mc, n)
+	if ev.Status().Done() {
+		mc.pending.Delete(n.Tag)
+	}
 }
 
 // newTag allocates a fresh event tag. Tags start at 1; 0 is reserved.

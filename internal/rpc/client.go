@@ -21,11 +21,23 @@ var ErrClosed = errors.New("rpc: client closed")
 // wedged manager.
 const DefaultCallTimeout = time.Minute
 
+// Notification is one server push from the completion queue. Payload is a
+// pooled buffer owned by the receiver (release with wire.PutBuf once
+// consumed); Batch marks a frameNotifyBatch payload holding a
+// wire.OpNotificationBatch instead of a single wire.OpNotification.
+type Notification struct {
+	Batch   bool
+	Payload []byte
+}
+
 // Client is the Remote OpenCL Library's connection to one Device Manager.
 type Client struct {
 	conn net.Conn
 
 	writeMu sync.Mutex
+	fw      frameWriter
+	reqHdr  [10]byte // request header scratch, guarded by writeMu
+	segTmp  [][]byte // segment scratch, guarded by writeMu
 
 	reqID atomic.Uint64
 
@@ -33,10 +45,17 @@ type Client struct {
 	pending   map[uint64]chan callResult
 	closedErr error
 
+	// closed is closed by fail. It lets a blocked notification push and an
+	// in-flight send observe teardown without racing the channel close:
+	// readLoop is the only goroutine that closes notifications.
+	closed chan struct{}
+
 	// notifications is the completion queue of the paper's Figure 2: the
 	// reader goroutine pushes notification payloads, the Remote Library's
 	// connection thread pulls them and advances event state machines.
-	notifications chan []byte
+	notifications chan Notification
+
+	dec wire.Decoder // response decoder scratch, used only by readLoop
 
 	// CallTimeout bounds unary calls; zero means DefaultCallTimeout.
 	CallTimeout time.Duration
@@ -61,18 +80,23 @@ func NewClient(conn net.Conn) *Client {
 	c := &Client{
 		conn:          conn,
 		pending:       make(map[uint64]chan callResult),
-		notifications: make(chan []byte, 1024),
+		closed:        make(chan struct{}),
+		notifications: make(chan Notification, 1024),
 	}
+	c.fw.w = conn
 	go c.readLoop()
 	return c
 }
 
 // Notifications returns the completion queue. The channel closes when the
-// connection drops.
-func (c *Client) Notifications() <-chan []byte { return c.notifications }
+// connection drops. Each Payload is pool-owned; see Notification.
+func (c *Client) Notifications() <-chan Notification { return c.notifications }
 
-// Call performs a unary request and waits for the response body.
-func (c *Client) Call(method wire.Method, body []byte) ([]byte, error) {
+// Call performs a unary request and waits for the response body. The body
+// is assembled from segs without copying. The returned body is a pooled
+// buffer: the caller releases it with wire.PutBuf once decoded values
+// aliasing it are dead.
+func (c *Client) Call(method wire.Method, segs ...[]byte) ([]byte, error) {
 	id := c.reqID.Add(1)
 	ch := make(chan callResult, 1)
 	c.pendingMu.Lock()
@@ -84,10 +108,12 @@ func (c *Client) Call(method wire.Method, body []byte) ([]byte, error) {
 	c.pending[id] = ch
 	c.pendingMu.Unlock()
 
-	if err := c.send(id, method, body); err != nil {
+	if err := c.send(id, method, segs...); err != nil {
 		c.pendingMu.Lock()
 		delete(c.pending, id)
 		c.pendingMu.Unlock()
+		// fail may have drained the entry into ch concurrently; a buffered
+		// channel makes that send non-blocking either way.
 		return nil, err
 	}
 	timeout := c.CallTimeout
@@ -109,28 +135,48 @@ func (c *Client) Call(method wire.Method, body []byte) ([]byte, error) {
 
 // Send performs a fire-and-forget request: no response is expected; the
 // server reports progress through notifications. Used for the
-// command-queue methods.
-func (c *Client) Send(method wire.Method, body []byte) error {
-	return c.send(0, method, body)
+// command-queue methods. The request body is the concatenation of segs,
+// written without an intermediate copy. Returns ErrClosed (or the close
+// cause) promptly once the client is closed.
+func (c *Client) Send(method wire.Method, segs ...[]byte) error {
+	return c.send(0, method, segs...)
 }
 
-func (c *Client) send(reqID uint64, method wire.Method, body []byte) error {
-	hdr := make([]byte, 10, 10+len(body))
-	binary.LittleEndian.PutUint64(hdr[:8], reqID)
-	binary.LittleEndian.PutUint16(hdr[8:10], uint16(method))
-	payload := append(hdr, body...)
+func (c *Client) send(reqID uint64, method wire.Method, segs ...[]byte) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	c.pendingMu.Lock()
-	closedErr := c.closedErr
-	c.pendingMu.Unlock()
-	if closedErr != nil {
-		return closedErr
+	// Check-then-write under the same lock teardown synchronizes with:
+	// fail closes c.closed before it returns, so a send racing teardown
+	// either sees the signal here or gets the write error mapped below.
+	select {
+	case <-c.closed:
+		return c.closeCause()
+	default:
 	}
-	if err := writeFrame(c.conn, frameRequest, payload); err != nil {
+	binary.LittleEndian.PutUint64(c.reqHdr[:8], reqID)
+	binary.LittleEndian.PutUint16(c.reqHdr[8:10], uint16(method))
+	tmp := append(c.segTmp[:0], c.reqHdr[:])
+	tmp = append(tmp, segs...)
+	err := c.fw.writeFrame(frameRequest, tmp...)
+	for i := range tmp {
+		tmp[i] = nil // don't pin payloads in the scratch between sends
+	}
+	c.segTmp = tmp[:0]
+	if err != nil {
+		if cause := c.closeCause(); cause != nil {
+			return cause
+		}
 		return fmt.Errorf("rpc: send %s: %w", method, err)
 	}
 	return nil
+}
+
+// closeCause returns the error fail recorded, or nil while the client is
+// live.
+func (c *Client) closeCause() error {
+	c.pendingMu.Lock()
+	defer c.pendingMu.Unlock()
+	return c.closedErr
 }
 
 // Close tears the connection down; pending calls fail and the completion
@@ -142,6 +188,10 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) readLoop() {
+	// readLoop is the sole closer of the completion queue, so a
+	// notification push can never race the close (the seed closed it from
+	// fail, panicking if a frame arrived during teardown).
+	defer close(c.notifications)
 	for {
 		typ, payload, err := readFrame(c.conn)
 		if err != nil {
@@ -151,9 +201,15 @@ func (c *Client) readLoop() {
 		switch typ {
 		case frameResponse:
 			c.dispatchResponse(payload)
-		case frameNotify:
-			c.notifications <- payload
+		case frameNotify, frameNotifyBatch:
+			select {
+			case c.notifications <- Notification{Batch: typ == frameNotifyBatch, Payload: payload}:
+			case <-c.closed:
+				wire.PutBuf(payload)
+				return
+			}
 		default:
+			wire.PutBuf(payload)
 			c.fail(fmt.Errorf("rpc: unexpected frame type %d", typ))
 			return
 		}
@@ -161,11 +217,13 @@ func (c *Client) readLoop() {
 }
 
 func (c *Client) dispatchResponse(payload []byte) {
-	d := wire.NewDecoder(payload)
+	d := &c.dec
+	d.Reset(payload)
 	reqID := d.U64()
 	status := ocl.Status(d.I32())
 	errMsg := d.String()
 	if d.Err() != nil {
+		wire.PutBuf(payload)
 		c.fail(fmt.Errorf("rpc: malformed response: %w", d.Err()))
 		return
 	}
@@ -175,17 +233,22 @@ func (c *Client) dispatchResponse(payload []byte) {
 	delete(c.pending, reqID)
 	c.pendingMu.Unlock()
 	if !ok {
-		return // timed-out call; drop the late response
+		wire.PutBuf(payload) // timed-out call; drop the late response
+		return
 	}
 	if status != ocl.Success {
+		wire.PutBuf(payload)
 		ch <- callResult{err: ocl.Errf(status, "%s", errMsg)}
 		return
 	}
+	// Ownership of the frame buffer passes to the caller through body
+	// (same backing array; PutBuf classifies by capacity).
 	ch <- callResult{body: body}
 }
 
-// fail poisons the client: pending calls receive err, future calls fail,
-// and the completion queue closes.
+// fail poisons the client: pending calls receive err, future sends fail
+// promptly, and readLoop (the queue's sole closer) shuts the completion
+// queue.
 func (c *Client) fail(err error) {
 	c.pendingMu.Lock()
 	if c.closedErr != nil {
@@ -196,9 +259,9 @@ func (c *Client) fail(err error) {
 	pending := c.pending
 	c.pending = make(map[uint64]chan callResult)
 	c.pendingMu.Unlock()
+	close(c.closed) // single close: guarded by the closedErr check above
 	for _, ch := range pending {
 		ch <- callResult{err: err}
 	}
-	close(c.notifications)
 	c.conn.Close()
 }

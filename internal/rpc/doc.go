@@ -1,0 +1,73 @@
+// Package rpc is the control/data transport between the Remote OpenCL
+// Library and the Device Managers — the reproduction's stand-in for gRPC.
+//
+// It provides what the paper's flows need and nothing more:
+//
+//   - unary calls (context and information methods), matched to responses
+//     by request ID;
+//   - fire-and-forget requests (command-queue methods), whose progress
+//     comes back as server-pushed notifications keyed by a client-chosen
+//     tag — the paper's "pointer to the newly created event";
+//   - a client-side completion queue: the reader goroutine pushes
+//     notification payloads into a channel the Remote Library's connection
+//     thread drains, exactly the structure of the paper's Figure 2.
+//
+// Requests on one connection are processed strictly in order by the
+// server, which the Device Manager relies on for command-queue
+// consistency ("if any operation is received or executed in the wrong
+// order ... the results of the execution will change").
+//
+// # Frame format
+//
+// Every frame is a 5-byte header followed by the payload:
+//
+//	offset  size  field
+//	0       4     payload length, little-endian uint32
+//	4       1     frame type
+//	5       n     payload
+//
+// Frame types:
+//
+//	1  request        u64 request ID + u16 method + method-encoded body.
+//	                  Request ID 0 marks a fire-and-forget request (no
+//	                  response frame will be produced).
+//	2  response       u64 request ID + i32 status + string error +
+//	                  method-encoded body.
+//	3  notify         one wire.OpNotification.
+//	4  notify-batch   one wire.OpNotificationBatch: u32 count followed by
+//	                  that many consecutive wire.OpNotification encodings.
+//	                  Sent only to peers whose Hello negotiated
+//	                  wire.ProtoVersionBatch or later; older peers receive
+//	                  per-operation notify frames instead.
+//
+// Frames are written either as one coalesced buffer (payloads up to 4 KiB,
+// one syscall) or as a vectored write (writev) of header and payload
+// segments, so bulk data crosses the transport without an intermediate
+// concatenation copy.
+//
+// # Buffer ownership
+//
+// Frame payloads and encoder buffers come from the tiered pool in package
+// wire (wire.GetBuf / wire.PutBuf). Each buffer has exactly one owner at a
+// time; the hand-off points are:
+//
+//   - Client.Call: the returned body is a pooled slice owned by the
+//     caller, who releases it with wire.PutBuf after decoding (values
+//     decoded by aliasing must be dead or copied first).
+//   - Client.Notifications: each Notification's Payload is a pooled slice
+//     owned by the receiver (the Remote Library's connection thread),
+//     released with wire.PutBuf after the notification — including any
+//     aliased Data — has been consumed.
+//   - Server handlers: the body passed to HandleRequest aliases the
+//     request frame, which the server releases when the handler returns.
+//     A handler that needs the payload to outlive the request (the
+//     manager's inline EnqueueWrite data) calls Conn.RetainRequestPayload
+//     and becomes the owner of the frame buffer, releasing it via
+//     wire.PutBuf once consumed.
+//   - Handler responses: the returned body's ownership transfers to the
+//     server, which releases it after writing the response frame. Return
+//     a buffer owned exclusively by the handler (wire.Encoder.Detach), or
+//     nil — never a slice aliasing the request body or shared storage.
+//   - Conn.Notify / Conn.NotifyBatch: segments are only read during the
+//     call and never retained; the caller keeps ownership.
+package rpc

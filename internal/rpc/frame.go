@@ -1,21 +1,3 @@
-// Package rpc is the control/data transport between the Remote OpenCL
-// Library and the Device Managers — the reproduction's stand-in for gRPC.
-//
-// It provides what the paper's flows need and nothing more:
-//
-//   - unary calls (context and information methods), matched to responses
-//     by request ID;
-//   - fire-and-forget requests (command-queue methods), whose progress
-//     comes back as server-pushed notifications keyed by a client-chosen
-//     tag — the paper's "pointer to the newly created event";
-//   - a client-side completion queue: the reader goroutine pushes
-//     notification payloads into a channel the Remote Library's connection
-//     thread drains, exactly the structure of the paper's Figure 2.
-//
-// Requests on one connection are processed strictly in order by the
-// server, which the Device Manager relies on for command-queue
-// consistency ("if any operation is received or executed in the wrong
-// order ... the results of the execution will change").
 package rpc
 
 import (
@@ -23,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+
+	"blastfunction/internal/wire"
 )
 
 // Frame types on the wire.
@@ -30,6 +15,9 @@ const (
 	frameRequest  byte = 1
 	frameResponse byte = 2
 	frameNotify   byte = 3
+	// frameNotifyBatch carries a wire.OpNotificationBatch payload. Only
+	// sent to peers that negotiated wire.ProtoVersionBatch or later.
+	frameNotifyBatch byte = 4
 )
 
 // MaxFrameBytes bounds one frame: large enough for the 2 GB inline
@@ -42,23 +30,65 @@ var ErrFrameTooLarge = errors.New("rpc: frame exceeds size limit")
 // header: 4-byte little-endian payload length + 1-byte frame type.
 const headerLen = 5
 
-// writeFrame writes one frame. Callers serialize access to w.
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	var hdr [headerLen]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	hdr[4] = typ
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return err
-		}
-	}
-	return nil
+// smallFrameMax is the cut-over between the copy path and the vectored
+// path. Below it, copying the segments into one pooled buffer and issuing
+// a single Write is cheaper than a writev; above it, the copy itself is
+// the cost the vectored path exists to avoid.
+const smallFrameMax = 4 << 10
+
+// frameWriter assembles and writes frames without concatenating payloads.
+// It is not safe for concurrent use; callers serialize through their write
+// lock. The hdr and vec fields are per-writer scratch so steady-state
+// writes allocate nothing.
+type frameWriter struct {
+	w   io.Writer
+	hdr [headerLen]byte
+	vec net.Buffers
 }
 
-// readFrame reads one frame.
+// writeFrame writes one frame whose payload is the concatenation of segs.
+// Small frames are coalesced into a single pooled buffer (one syscall for
+// control traffic); larger frames go out as a vectored write (writev on
+// TCP), so payload bytes are never copied into a combined buffer. Segments
+// are not retained past the call.
+func (fw *frameWriter) writeFrame(typ byte, segs ...[]byte) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	binary.LittleEndian.PutUint32(fw.hdr[:4], uint32(total))
+	fw.hdr[4] = typ
+	if total <= smallFrameMax {
+		buf := wire.GetBuf(headerLen + total)
+		copy(buf, fw.hdr[:])
+		off := headerLen
+		for _, s := range segs {
+			off += copy(buf[off:], s)
+		}
+		_, err := fw.w.Write(buf)
+		wire.PutBuf(buf)
+		return err
+	}
+	vec := append(fw.vec[:0], fw.hdr[:])
+	for _, s := range segs {
+		if len(s) > 0 {
+			vec = append(vec, s)
+		}
+	}
+	// WriteTo advances (and nils out) the entries of the slice it is
+	// invoked on, so hand it a separate header while keeping vec's backing
+	// array as reusable scratch. The nil-out also means no payload slice
+	// stays pinned by the scratch between frames.
+	fw.vec = vec[:0]
+	wr := vec
+	_, err := (&wr).WriteTo(fw.w)
+	return err
+}
+
+// readFrame reads one frame into a pooled buffer. Ownership of payload
+// passes to the caller, who releases it with wire.PutBuf (directly or via
+// the hand-off points described in doc.go) once decoded values that alias
+// it are dead.
 func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	var hdr [headerLen]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
@@ -69,8 +99,9 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	if n > MaxFrameBytes {
 		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	payload = make([]byte, n)
+	payload = wire.GetBuf(int(n))
 	if _, err = io.ReadFull(r, payload); err != nil {
+		wire.PutBuf(payload)
 		return 0, nil, err
 	}
 	return typ, payload, nil

@@ -99,8 +99,11 @@ func TestNotificationsReachCompletionQueue(t *testing.T) {
 	}
 	select {
 	case n := <-c.Notifications():
-		if string(n) != "notify:evt" {
-			t.Fatalf("notification = %q", n)
+		if n.Batch {
+			t.Fatal("single notify arrived marked as batch")
+		}
+		if string(n.Payload) != "notify:evt" {
+			t.Fatalf("notification = %q", n.Payload)
 		}
 	case <-time.After(time.Second):
 		t.Fatal("notification did not arrive")
@@ -298,8 +301,8 @@ func TestNotificationBurstDelivery(t *testing.T) {
 	deadline := time.After(10 * time.Second)
 	for got < burst {
 		select {
-		case payload := <-c.Notifications():
-			seq := binary.LittleEndian.Uint32(payload)
+		case note := <-c.Notifications():
+			seq := binary.LittleEndian.Uint32(note.Payload)
 			if seq != got {
 				t.Fatalf("notification %d arrived out of order (want %d)", seq, got)
 			}
@@ -328,4 +331,119 @@ func (h *burstHandler) HandleRequest(c *Conn, method wire.Method, body []byte) (
 		}
 	}()
 	return nil, nil
+}
+
+func TestNotifyDuringCloseDoesNotPanic(t *testing.T) {
+	// Regression: fail() used to close the completion queue while readLoop
+	// could still be pushing a freshly read notification into it, panicking
+	// with "send on closed channel". Hammer the race: a server that streams
+	// notifications nonstop while the client tears down mid-stream.
+	const rounds = 50
+	h := &burstHandler{n: 100000}
+	s := NewServer(h)
+	s.Logf = func(string, ...any) {}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < rounds; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Call(1, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Drain a few, then close while the server is mid-burst.
+		for j := 0; j < 3; j++ {
+			<-c.Notifications()
+		}
+		c.Close()
+		// The queue must close out even with frames still arriving.
+		deadline := time.After(5 * time.Second)
+		for open := true; open; {
+			select {
+			case _, open = <-c.Notifications():
+			case <-deadline:
+				t.Fatal("completion queue did not close after Close")
+			}
+		}
+	}
+}
+
+func TestSendFailsPromptlyAfterClose(t *testing.T) {
+	// Regression: Send used to race Close — a send slipping past the
+	// closed check could block in the write or surface a bare network
+	// error. After Close it must return the close cause, promptly.
+	_, _, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	start := time.Now()
+	if err := c.Send(96, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after Close = %v, want ErrClosed", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Send took %v after Close", d)
+	}
+	if _, err := c.Call(1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Call after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentSendsRacingClose(t *testing.T) {
+	// Calls and sends racing teardown must all return — with ErrClosed or
+	// a transport error — never hang on a leaked pending entry.
+	for round := 0; round < 20; round++ {
+		_, _, addr := startServer(t)
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		done := make(chan struct{})
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					if _, err := c.Call(1, []byte("ping")); err != nil {
+						return
+					}
+				}
+			}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					if err := c.Send(96, []byte{1}); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Millisecond)
+		c.Close()
+		close(done)
+		finished := make(chan struct{})
+		go func() { wg.Wait(); close(finished) }()
+		select {
+		case <-finished:
+		case <-time.After(10 * time.Second):
+			t.Fatal("calls leaked: goroutines still blocked after Close")
+		}
+	}
 }

@@ -21,6 +21,14 @@ type Handler interface {
 	// Returning an error produces an error response carrying the
 	// ocl.Status extracted from it. Requests on a connection are
 	// dispatched sequentially in arrival order.
+	//
+	// body aliases the request frame's pooled buffer, which the server
+	// releases after the handler returns unless the handler called
+	// c.RetainRequestPayload. The returned response body's ownership
+	// transfers to the server (released after the response is written):
+	// return a buffer the handler owns exclusively — typically
+	// wire.Encoder.Detach — or nil, never a slice aliasing body or shared
+	// storage.
 	HandleRequest(c *Conn, method wire.Method, body []byte) ([]byte, error)
 	// HandleDisconnect runs after the connection closed, for cleanup of
 	// per-client resource pools.
@@ -33,6 +41,12 @@ type Conn struct {
 
 	writeMu sync.Mutex
 	closed  bool
+	fw      frameWriter
+
+	// retained is set by RetainRequestPayload during a HandleRequest and
+	// observed by serveConn; both run on the connection's serve goroutine,
+	// so no lock is needed.
+	retained bool
 
 	sessionMu sync.Mutex
 	session   any
@@ -55,30 +69,52 @@ func (c *Conn) Session() any {
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
 
-// Notify pushes a notification frame to the client's completion queue.
-// Safe for concurrent use; the Device Manager's worker calls it from
-// outside the request loop.
-func (c *Conn) Notify(body []byte) error {
+// RetainRequestPayload transfers ownership of the current request's frame
+// buffer from the server to the handler: the server will not release it
+// when HandleRequest returns, and the handler (or whoever it hands the
+// buffer to) must wire.PutBuf it — through any slice aliasing it — once
+// consumed. Only valid while inside HandleRequest for that request.
+func (c *Conn) RetainRequestPayload() { c.retained = true }
+
+// Notify pushes a notification frame whose payload is the concatenation
+// of segs (written without an intermediate copy). Safe for concurrent
+// use; the Device Manager's worker calls it from outside the request
+// loop. Segments are not retained past the call.
+func (c *Conn) Notify(segs ...[]byte) error {
+	return c.push(frameNotify, segs)
+}
+
+// NotifyBatch pushes a batch notification frame (wire.OpNotificationBatch
+// payload assembled from segs). The caller must have negotiated
+// wire.ProtoVersionBatch with this peer. Safe for concurrent use.
+func (c *Conn) NotifyBatch(segs ...[]byte) error {
+	return c.push(frameNotifyBatch, segs)
+}
+
+func (c *Conn) push(typ byte, segs [][]byte) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	if c.closed {
 		return errors.New("rpc: connection closed")
 	}
-	return writeFrame(c.raw, frameNotify, body)
+	return c.fw.writeFrame(typ, segs...)
 }
 
 func (c *Conn) respond(reqID uint64, status ocl.Status, errMsg string, body []byte) error {
-	e := wire.NewEncoder(len(body) + len(errMsg) + 16)
+	e := wire.GetEncoder(len(errMsg) + 16)
 	e.U64(reqID)
 	e.I32(int32(status))
 	e.String(errMsg)
-	payload := append(e.Bytes(), body...)
 	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
 	if c.closed {
+		c.writeMu.Unlock()
+		e.Release()
 		return errors.New("rpc: connection closed")
 	}
-	return writeFrame(c.raw, frameResponse, payload)
+	err := c.fw.writeFrame(frameResponse, e.Bytes(), body)
+	c.writeMu.Unlock()
+	e.Release()
+	return err
 }
 
 // Close terminates the connection.
@@ -122,6 +158,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		conn := &Conn{raw: raw}
+		conn.fw.w = raw
 		s.mu.Lock()
 		if s.done {
 			s.mu.Unlock()
@@ -185,20 +222,26 @@ func (s *Server) serveConn(c *Conn) {
 			return
 		}
 		if typ != frameRequest {
+			wire.PutBuf(payload)
 			s.Logf("rpc server: unexpected frame type %d from %s", typ, c.RemoteAddr())
 			return
 		}
 		if len(payload) < 10 {
+			wire.PutBuf(payload)
 			s.Logf("rpc server: short request from %s", c.RemoteAddr())
 			return
 		}
 		reqID := binary.LittleEndian.Uint64(payload[:8])
 		method := wire.Method(binary.LittleEndian.Uint16(payload[8:10]))
 		body := payload[10:]
+		c.retained = false
 		resp, err := s.handler.HandleRequest(c, method, body)
 		if reqID == 0 {
 			// Fire-and-forget request: any error already travelled to the
 			// client as an OpFailed notification from the handler.
+			if !c.retained {
+				wire.PutBuf(payload)
+			}
 			continue
 		}
 		var werr error
@@ -207,6 +250,10 @@ func (s *Server) serveConn(c *Conn) {
 		} else {
 			werr = c.respond(reqID, ocl.Success, "", resp)
 		}
+		if !c.retained {
+			wire.PutBuf(payload)
+		}
+		wire.PutBuf(resp) // handler responses are owned buffers; see Handler
 		if werr != nil {
 			return
 		}

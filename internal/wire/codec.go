@@ -85,6 +85,19 @@ func (e *Encoder) Bytes32(v []byte) {
 	e.buf = append(e.buf, v...)
 }
 
+// Raw appends bytes with no length prefix. Used by the vectored-write
+// paths to complete a message whose head was encoded with a bare length.
+func (e *Encoder) Raw(v []byte) {
+	e.buf = append(e.buf, v...)
+}
+
+// SetU32 overwrites a little-endian uint32 previously reserved at off —
+// the batch encoder patches its notification count this way once the batch
+// is sealed.
+func (e *Encoder) SetU32(off int, v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[off:off+4], v)
+}
+
 // String appends a length-prefixed string.
 func (e *Encoder) String(v string) {
 	e.U32(uint32(len(v)))
@@ -117,6 +130,15 @@ type Decoder struct {
 
 // NewDecoder wraps buf for decoding.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Reset rewinds the decoder onto a new buffer, clearing any sticky error.
+// Hot loops (the connection thread draining notification batches) reuse
+// one decoder this way instead of allocating per payload.
+func (d *Decoder) Reset(buf []byte) {
+	d.buf = buf
+	d.off = 0
+	d.err = nil
+}
 
 // Err returns the first decode error, or nil.
 func (d *Decoder) Err() error { return d.err }

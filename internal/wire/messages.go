@@ -121,8 +121,21 @@ type HelloRequest struct {
 	ProtoVersion uint32
 }
 
-// ProtoVersion is the current protocol revision.
-const ProtoVersion = 1
+// Protocol revisions. A Hello carries the client's version; the manager
+// accepts anything in [MinProtoVersion, ProtoVersion] and answers with the
+// negotiated (client's) version, so a newer manager keeps serving older
+// libraries. Capabilities are gated on the negotiated version: batch
+// notification frames (OpNotificationBatch) are only ever sent to peers
+// that negotiated ProtoVersionBatch or later.
+const (
+	// ProtoVersion is the current protocol revision.
+	ProtoVersion = 2
+	// ProtoVersionBatch is the first revision with coalesced notification
+	// batch frames.
+	ProtoVersionBatch = 2
+	// MinProtoVersion is the oldest revision a manager still serves.
+	MinProtoVersion = 1
+)
 
 // Encode serializes the message.
 func (m *HelloRequest) Encode(e *Encoder) {
@@ -142,18 +155,29 @@ type HelloResponse struct {
 	// Node is the manager's node name, used by the shm transport to check
 	// co-location.
 	Node string
+	// Proto is the protocol revision the manager negotiated for this
+	// session (the client's offered version, clamped to what the manager
+	// speaks). It is a trailing field: version-1 managers don't send it and
+	// version-1 decoders ignore it, so Hello itself stays cross-version.
+	Proto uint32
 }
 
 // Encode serializes the message.
 func (m *HelloResponse) Encode(e *Encoder) {
 	e.U64(m.SessionID)
 	e.String(m.Node)
+	e.U32(m.Proto)
 }
 
 // Decode deserializes the message.
 func (m *HelloResponse) Decode(d *Decoder) {
 	m.SessionID = d.U64()
 	m.Node = d.String()
+	if d.Remaining() > 0 {
+		m.Proto = d.U32()
+	} else {
+		m.Proto = 1
+	}
 }
 
 // DeviceInfoResponse describes the managed board.
@@ -229,8 +253,10 @@ func (m *CreateBufferRequest) Decode(d *Decoder) {
 	m.Context = d.U64()
 	m.Flags = d.U32()
 	m.Size = d.I64()
+	// InitData aliases the decode buffer; the handler consumes it before
+	// returning (board.Write during CreateBuffer), so no copy is needed.
 	if b := d.Bytes32(); len(b) > 0 {
-		m.InitData = append([]byte(nil), b...)
+		m.InitData = b
 	}
 }
 
@@ -348,20 +374,33 @@ type EnqueueWriteRequest struct {
 
 // Encode serializes the message.
 func (m *EnqueueWriteRequest) Encode(e *Encoder) {
+	m.EncodeHead(e)
+	if m.Via == ViaInline {
+		e.Raw(m.Data)
+	}
+}
+
+// EncodeHead serializes everything except the inline payload bytes: for
+// ViaInline the head ends with the u32 data length, and the Data slice is
+// expected to follow as its own write segment (vectored write) or Raw
+// append. For ViaShm the head is the whole message.
+func (m *EnqueueWriteRequest) EncodeHead(e *Encoder) {
 	e.U64(m.Tag)
 	e.U64(m.Queue)
 	e.U64(m.Buffer)
 	e.I64(m.Offset)
 	e.U8(uint8(m.Via))
 	if m.Via == ViaInline {
-		e.Bytes32(m.Data)
+		e.U32(uint32(len(m.Data)))
 	} else {
 		e.I64(m.ShmOff)
 		e.I64(m.ShmLen)
 	}
 }
 
-// Decode deserializes the message.
+// Decode deserializes the message. Data aliases the decode buffer: the
+// manager retains the request payload (rpc.Conn.RetainRequestPayload) and
+// releases it once the bytes reach the board.
 func (m *EnqueueWriteRequest) Decode(d *Decoder) {
 	m.Tag = d.U64()
 	m.Queue = d.U64()
@@ -369,7 +408,7 @@ func (m *EnqueueWriteRequest) Decode(d *Decoder) {
 	m.Offset = d.I64()
 	m.Via = DataVia(d.U8())
 	if m.Via == ViaInline {
-		m.Data = append([]byte(nil), d.Bytes32()...)
+		m.Data = d.Bytes32()
 	} else {
 		m.ShmOff = d.I64()
 		m.ShmLen = d.I64()
@@ -484,40 +523,90 @@ func (s OpState) String() string {
 
 // OpNotification is pushed from the Device Manager to the client as an
 // operation progresses. Tag identifies the client-side event.
+//
+// Wire order puts Data LAST (proto v2 reordered it from the middle) so the
+// head — every fixed field plus the u32 data length — can be encoded
+// separately from the payload bytes, which then travel as their own
+// vectored-write segment without ever being copied into the encoder.
 type OpNotification struct {
 	Tag    uint64
 	State  OpState
 	Status int32
 	Error  string
-	// Data carries read results for ViaInline reads.
-	Data []byte
 	// ShmLen tells a ViaShm read how many bytes landed at its ShmOff.
 	ShmLen int64
 	// DeviceNanos is the modelled device time the operation occupied,
 	// exposed for profiling (CL_PROFILING_COMMAND_* analog) and metrics.
 	DeviceNanos int64
+	// Data carries read results for ViaInline reads.
+	Data []byte
 }
 
 // Encode serializes the message.
 func (m *OpNotification) Encode(e *Encoder) {
+	m.EncodeHead(e)
+	e.Raw(m.Data)
+}
+
+// EncodeHead serializes everything up to and including the u32 data
+// length; the Data bytes themselves are expected to follow as a separate
+// write segment (or Raw append).
+func (m *OpNotification) EncodeHead(e *Encoder) {
 	e.U64(m.Tag)
 	e.U8(uint8(m.State))
 	e.I32(m.Status)
 	e.String(m.Error)
-	e.Bytes32(m.Data)
 	e.I64(m.ShmLen)
 	e.I64(m.DeviceNanos)
+	e.U32(uint32(len(m.Data)))
 }
 
-// Decode deserializes the message.
+// Decode deserializes the message. Data aliases the decode buffer; the
+// remote library's connection thread copies read results into their
+// destinations before releasing the frame.
 func (m *OpNotification) Decode(d *Decoder) {
 	m.Tag = d.U64()
 	m.State = OpState(d.U8())
 	m.Status = d.I32()
 	m.Error = d.String()
-	if b := d.Bytes32(); len(b) > 0 {
-		m.Data = append([]byte(nil), b...)
-	}
 	m.ShmLen = d.I64()
 	m.DeviceNanos = d.I64()
+	m.Data = nil
+	if b := d.Bytes32(); len(b) > 0 {
+		m.Data = b
+	}
+}
+
+// OpNotificationBatch coalesces the notifications a task emits into one
+// frame (proto >= ProtoVersionBatch only). Wire layout: u32 count followed
+// by count consecutive OpNotification encodings. The manager's notify
+// batcher assembles the frame incrementally (reserving the count with
+// U32(0) and patching it via SetU32 at flush), so this type exists for
+// whole-batch encodes in tests and for streaming decodes on the client.
+type OpNotificationBatch struct {
+	Notes []OpNotification
+}
+
+// Encode serializes the message.
+func (m *OpNotificationBatch) Encode(e *Encoder) {
+	e.U32(uint32(len(m.Notes)))
+	for i := range m.Notes {
+		m.Notes[i].Encode(e)
+	}
+}
+
+// Decode deserializes the message. Each notification's Data aliases the
+// decode buffer.
+func (m *OpNotificationBatch) Decode(d *Decoder) {
+	n := d.U32()
+	if d.err != nil || uint64(n) > uint64(d.Remaining()) {
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: batch of %d notifications", ErrTruncated, n)
+		}
+		return
+	}
+	m.Notes = make([]OpNotification, n)
+	for i := range m.Notes {
+		m.Notes[i].Decode(d)
+	}
 }

@@ -131,20 +131,91 @@ func TestOpNotificationEmptyData(t *testing.T) {
 	}
 }
 
-func TestEnqueueWriteDataIsCopied(t *testing.T) {
-	// Decode must not alias the network buffer: the manager retains the
-	// payload in the task after the frame buffer is reused.
+func TestEnqueueWriteDataAliasesFrame(t *testing.T) {
+	// Decode aliases the network buffer by contract: instead of copying,
+	// the manager retains the whole request frame
+	// (rpc.Conn.RetainRequestPayload) and releases it after board.Write.
+	// Aliasing is what makes the inline write path zero-copy, so a silent
+	// return to copying would be a performance regression — pin it down.
 	src := &EnqueueWriteRequest{Tag: 1, Queue: 1, Buffer: 1, Via: ViaInline, Data: []byte("precious")}
 	e := NewEncoder(64)
 	src.Encode(e)
 	raw := append([]byte(nil), e.Bytes()...)
 	var dst EnqueueWriteRequest
 	dst.Decode(NewDecoder(raw))
-	for i := range raw {
-		raw[i] = 0xFF
-	}
 	if !bytes.Equal(dst.Data, []byte("precious")) {
-		t.Fatal("decoded payload aliases the frame buffer")
+		t.Fatalf("decoded payload = %q", dst.Data)
+	}
+	raw[len(raw)-len(dst.Data)] = 'X'
+	if dst.Data[0] != 'X' {
+		t.Fatal("decoded payload no longer aliases the frame buffer; the manager's retain/release ownership scheme depends on it")
+	}
+}
+
+func TestEncodeHeadPlusDataMatchesEncode(t *testing.T) {
+	// The vectored write path sends EncodeHead output and the Data slice as
+	// separate segments; together they must be byte-identical to Encode.
+	w := &EnqueueWriteRequest{Tag: 7, Queue: 2, Buffer: 3, Offset: 16, Via: ViaInline, Data: []byte("payload")}
+	whole, head := NewEncoder(64), NewEncoder(64)
+	w.Encode(whole)
+	w.EncodeHead(head)
+	if got := append(append([]byte(nil), head.Bytes()...), w.Data...); !bytes.Equal(got, whole.Bytes()) {
+		t.Errorf("EnqueueWriteRequest head+data != whole:\n%x\n%x", got, whole.Bytes())
+	}
+	n := &OpNotification{Tag: 9, State: OpComplete, DeviceNanos: 5, Data: []byte("result")}
+	whole, head = NewEncoder(64), NewEncoder(64)
+	n.Encode(whole)
+	n.EncodeHead(head)
+	if got := append(append([]byte(nil), head.Bytes()...), n.Data...); !bytes.Equal(got, whole.Bytes()) {
+		t.Errorf("OpNotification head+data != whole:\n%x\n%x", got, whole.Bytes())
+	}
+}
+
+func TestOpNotificationBatchRoundTrip(t *testing.T) {
+	in := &OpNotificationBatch{Notes: []OpNotification{
+		{Tag: 1, State: OpAccepted},
+		{Tag: 1, State: OpRunning},
+		{Tag: 1, State: OpComplete, DeviceNanos: 42, Data: []byte("abc")},
+		{Tag: 2, State: OpFailed, Status: int32(ocl.ErrInvalidMemObject), Error: "buffer 9"},
+	}}
+	e := NewEncoder(128)
+	in.Encode(e)
+	var out OpNotificationBatch
+	d := NewDecoder(e.Bytes())
+	out.Decode(d)
+	if d.Err() != nil {
+		t.Fatalf("decode: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d leftover bytes", d.Remaining())
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Fatalf("batch round trip:\n in: %+v\nout: %+v", in, &out)
+	}
+}
+
+func TestHelloResponseProtoBackCompat(t *testing.T) {
+	// A proto-1 manager encodes no trailing Proto field; a current decoder
+	// must read that as proto 1 rather than failing or reporting 0.
+	e := NewEncoder(32)
+	e.U64(5)
+	e.String("nodeA")
+	var out HelloResponse
+	d := NewDecoder(e.Bytes())
+	out.Decode(d)
+	if d.Err() != nil {
+		t.Fatalf("decode: %v", d.Err())
+	}
+	if out.Proto != 1 {
+		t.Fatalf("missing trailing Proto decoded as %d, want 1", out.Proto)
+	}
+	// And the current encoding round-trips the negotiated version.
+	e = NewEncoder(32)
+	(&HelloResponse{SessionID: 5, Node: "nodeA", Proto: ProtoVersionBatch}).Encode(e)
+	out = HelloResponse{}
+	out.Decode(NewDecoder(e.Bytes()))
+	if out.Proto != ProtoVersionBatch {
+		t.Fatalf("Proto = %d, want %d", out.Proto, ProtoVersionBatch)
 	}
 }
 

@@ -1,0 +1,108 @@
+package wire
+
+import "sync"
+
+// Buffer pooling for the transport hot path. Frame payloads, encoder
+// buffers and read staging buffers cycle through a small tier of size
+// classes instead of being allocated per message — the allocation half of
+// the copy/allocation overhead the paper attributes to the gRPC data path.
+//
+// Ownership is explicit: a buffer obtained from GetBuf (directly or behind
+// readFrame/GetEncoder) has exactly one owner at a time, and the owner
+// either passes it on (documented at each hand-off point) or returns it
+// with PutBuf. PutBuf accepts any slice: it classifies by capacity, so the
+// usual "strip a header, keep the rest" sub-slices stay poolable. Slices
+// too small or too large to be worth retaining are simply dropped.
+
+// Pool size classes. Allocations carry a little slack beyond the class
+// base so a buffer that loses a few header bytes to re-slicing still
+// classifies back into the class it came from.
+const (
+	poolSmallBase  = 4 << 10
+	poolMediumBase = 64 << 10
+	poolLargeBase  = 1 << 20
+	poolSlack      = 512
+	// poolRetainMax bounds what PutBuf keeps: a one-off giant frame must
+	// not pin megabytes inside the large class forever.
+	poolRetainMax = 4 << 20
+)
+
+var poolBases = [...]int{poolSmallBase, poolMediumBase, poolLargeBase}
+
+// bufPools holds *[]byte so steady-state Get/Put stays allocation-free;
+// headerPool recycles the slice headers themselves.
+var bufPools [len(poolBases)]sync.Pool
+
+var headerPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// GetBuf returns a buffer of length n backed by the pool. Buffers larger
+// than the biggest class are plain allocations.
+func GetBuf(n int) []byte {
+	if n <= 0 {
+		return []byte{}
+	}
+	for i, base := range poolBases {
+		if n > base {
+			continue
+		}
+		if h, _ := bufPools[i].Get().(*[]byte); h != nil {
+			b := *h
+			*h = nil
+			headerPool.Put(h)
+			// The class invariant (cap >= base) guarantees the fit.
+			return b[:n]
+		}
+		return make([]byte, n, base+poolSlack)
+	}
+	return make([]byte, n)
+}
+
+// PutBuf returns a buffer to the pool. The caller must not touch b (or any
+// slice aliasing it) afterwards. Classification is by capacity: b lands in
+// the largest class whose base it still covers.
+func PutBuf(b []byte) {
+	c := cap(b)
+	if c < poolSmallBase || c > poolRetainMax {
+		return
+	}
+	for i := len(poolBases) - 1; i >= 0; i-- {
+		if c >= poolBases[i] {
+			h := headerPool.Get().(*[]byte)
+			*h = b[:0:c]
+			bufPools[i].Put(h)
+			return
+		}
+	}
+}
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns a pooled encoder whose buffer comes from the buffer
+// pool. Pair it with Release (buffer returns to the pool) or Detach
+// (buffer ownership transfers to the caller).
+func GetEncoder(sizeHint int) *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	if sizeHint < 64 {
+		sizeHint = 64
+	}
+	e.buf = GetBuf(sizeHint)[:0]
+	return e
+}
+
+// Release recycles the encoder and its buffer. The caller must be done
+// with every slice previously returned by Bytes.
+func (e *Encoder) Release() {
+	PutBuf(e.buf)
+	e.buf = nil
+	encoderPool.Put(e)
+}
+
+// Detach returns the encoded bytes, transferring their ownership to the
+// caller (who should eventually PutBuf them), and recycles the encoder
+// itself.
+func (e *Encoder) Detach() []byte {
+	b := e.buf
+	e.buf = nil
+	encoderPool.Put(e)
+	return b
+}
