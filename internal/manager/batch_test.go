@@ -136,8 +136,10 @@ type noteFrame struct {
 
 // drainTaskFrames reads notification frames until tags 1..3 all reach a
 // terminal state, returning every frame with payloads copied out of the
-// pooled buffers.
-func drainTaskFrames(t *testing.T, c *rpc.Client) []noteFrame {
+// pooled buffers. Frames are decoded at the session's negotiated proto —
+// a v1 session must receive the v1 field order, not merely unbatched
+// frames, so decoding v1 bytes with the v1 layout is part of the check.
+func drainTaskFrames(t *testing.T, c *rpc.Client, proto uint32) []noteFrame {
 	t.Helper()
 	terminal := map[uint64]bool{1: false, 2: false, 3: false}
 	remaining := len(terminal)
@@ -157,7 +159,11 @@ func drainTaskFrames(t *testing.T, c *rpc.Client) []noteFrame {
 			f := noteFrame{batch: note.Batch}
 			for i := 0; i < count; i++ {
 				var n wire.OpNotification
-				n.Decode(d)
+				if proto >= wire.ProtoVersionBatch {
+					n.Decode(d)
+				} else {
+					n.DecodeV1(d)
+				}
 				if d.Err() != nil {
 					t.Fatalf("frame %d note %d: %v", len(frames), i, d.Err())
 				}
@@ -169,6 +175,9 @@ func drainTaskFrames(t *testing.T, c *rpc.Client) []noteFrame {
 					}
 				}
 				f.notes = append(f.notes, n)
+			}
+			if d.Remaining() != 0 {
+				t.Fatalf("frame %d: %d undecoded bytes (layout mismatch?)", len(frames), d.Remaining())
 			}
 			wire.PutBuf(note.Payload)
 			frames = append(frames, f)
@@ -208,7 +217,7 @@ func TestTaskNotificationsCoalesced(t *testing.T) {
 	payload := bytes.Repeat([]byte("coalesce"), 512)
 	ids := setupLoopback(t, c, len(payload))
 	enqueueCopyTask(t, c, ids, payload)
-	frames := drainTaskFrames(t, c)
+	frames := drainTaskFrames(t, c, wire.ProtoVersion)
 
 	// The tentpole's headline number: a 3-op task used to cost 9 frames
 	// (Accepted, Running, Complete per op); coalescing folds it into the
@@ -229,6 +238,62 @@ func TestTaskNotificationsCoalesced(t *testing.T) {
 	requireCopyResult(t, frames, payload)
 }
 
+// TestReleaseQueueFailsUnflushedOps: a batch-capable peer defers Accepted
+// acknowledgements to flush time, so releasing a queue with unflushed
+// operations must terminate those events explicitly — silence would leave
+// the client's tags dangling until connection teardown.
+func TestReleaseQueueFailsUnflushedOps(t *testing.T) {
+	rig := newRig(t, manager.Config{})
+	c := rawClient(t, rig)
+	if proto := helloNegotiate(t, c, "dropped-queue", wire.ProtoVersion); proto < wire.ProtoVersionBatch {
+		t.Fatalf("negotiated proto %d, want >= %d", proto, wire.ProtoVersionBatch)
+	}
+	payload := bytes.Repeat([]byte("drop"), 16)
+	ids := setupLoopback(t, c, len(payload))
+	sendOp(t, c, wire.MethodEnqueueWrite, func(e *wire.Encoder) {
+		(&wire.EnqueueWriteRequest{Tag: 1, Queue: ids.queue, Buffer: ids.in,
+			Via: wire.ViaInline, Data: payload}).Encode(e)
+	})
+	sendOp(t, c, wire.MethodEnqueueKernel, func(e *wire.Encoder) {
+		(&wire.EnqueueKernelRequest{Tag: 2, Queue: ids.queue, Kernel: ids.kernel}).Encode(e)
+	})
+	wire.PutBuf(unaryCall(t, c, wire.MethodReleaseQueue, func(e *wire.Encoder) {
+		(&wire.IDRequest{ID: ids.queue}).Encode(e)
+	}))
+
+	states := map[uint64]wire.OpState{}
+	deadline := time.After(10 * time.Second)
+	for len(states) < 2 {
+		select {
+		case note, ok := <-c.Notifications():
+			if !ok {
+				t.Fatalf("notification channel closed with states %v", states)
+			}
+			d := wire.NewDecoder(note.Payload)
+			count := 1
+			if note.Batch {
+				count = int(d.U32())
+			}
+			for i := 0; i < count; i++ {
+				var n wire.OpNotification
+				n.Decode(d)
+				if d.Err() != nil {
+					t.Fatalf("note %d: %v", i, d.Err())
+				}
+				states[n.Tag] = n.State
+			}
+			wire.PutBuf(note.Payload)
+		case <-deadline:
+			t.Fatalf("timed out waiting for dropped-op notifications; states %v", states)
+		}
+	}
+	for tag := uint64(1); tag <= 2; tag++ {
+		if states[tag] != wire.OpFailed {
+			t.Errorf("tag %d state = %v, want %v", tag, states[tag], wire.OpFailed)
+		}
+	}
+}
+
 func TestPreBatchPeerInterop(t *testing.T) {
 	rig := newRig(t, manager.Config{})
 	c := rawClient(t, rig)
@@ -238,7 +303,7 @@ func TestPreBatchPeerInterop(t *testing.T) {
 	payload := bytes.Repeat([]byte("legacy!!"), 256)
 	ids := setupLoopback(t, c, len(payload))
 	enqueueCopyTask(t, c, ids, payload)
-	frames := drainTaskFrames(t, c)
+	frames := drainTaskFrames(t, c, 1)
 
 	// A pre-batching peer must see the exact v1 wire behaviour: one frame
 	// per notification, never a batch frame.

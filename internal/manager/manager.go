@@ -213,7 +213,7 @@ func (m *Manager) HandleRequest(c *rpc.Conn, method wire.Method, body []byte) ([
 	case wire.MethodCreateQueue:
 		return s.createQueue(d)
 	case wire.MethodReleaseQueue:
-		return s.releaseQueue(m, d)
+		return s.releaseQueue(m, c, d)
 	case wire.MethodCreateBuffer:
 		return s.createBuffer(m.board, d)
 	case wire.MethodReleaseBuffer:

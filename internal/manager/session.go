@@ -84,6 +84,7 @@ func (s *session) release(board *fpga.Board) {
 	for _, q := range s.queues {
 		releaseOps(q.cur) // unflushed inline payloads go back to the pool
 		q.cur = nil
+		q.accepted = nil // connection gone: nobody left to notify
 	}
 	for _, b := range s.buffers {
 		board.Free(b.boardID) // an already-freed buffer is harmless here
@@ -134,20 +135,30 @@ func (s *session) createQueue(d *wire.Decoder) ([]byte, error) {
 	return encodeID(id), nil
 }
 
-func (s *session) releaseQueue(m *Manager, d *wire.Decoder) ([]byte, error) {
+func (s *session) releaseQueue(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
 	var req wire.IDRequest
 	req.Decode(d)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	q, ok := s.queues[req.ID]
 	if !ok {
+		s.mu.Unlock()
 		return nil, ocl.Errf(ocl.ErrInvalidCommandQueue, "queue %d", req.ID)
 	}
 	// Unflushed operations die with the queue; clients call Finish first
 	// (the remote library always does).
-	releaseOps(q.cur)
+	ops := q.cur
 	q.cur = nil
+	accepted := q.accepted
+	q.accepted = nil
 	delete(s.queues, req.ID)
+	s.mu.Unlock()
+	releaseOps(ops)
+	// Batch-capable peers never got an acknowledgement for these tags (it
+	// was deferred to flush); terminate their events instead of leaving
+	// them dangling until connection teardown.
+	for _, tag := range accepted {
+		s.sendFail(c, tag, ocl.Errf(ocl.ErrInvalidOperation, "queue released before flush"))
+	}
 	return nil, nil
 }
 
@@ -358,8 +369,8 @@ func (s *session) queue(id uint64) (*queueState, error) {
 // that could not even join a task. Command-queue methods never produce
 // unary errors: their failures travel on the event path, as in the
 // paper's asynchronous flow.
-func sendFail(c *rpc.Conn, tag uint64, err error) {
-	notifySingle(c, &wire.OpNotification{
+func (s *session) sendFail(c *rpc.Conn, tag uint64, err error) {
+	notifySingle(c, s.proto, &wire.OpNotification{
 		Tag:    tag,
 		State:  wire.OpFailed,
 		Status: int32(ocl.StatusOf(err)),

@@ -70,12 +70,12 @@ func (s *session) enqueueWrite(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte
 	}
 	q, err := s.queue(req.Queue)
 	if err != nil {
-		sendFail(c, req.Tag, err)
+		s.sendFail(c, req.Tag, err)
 		return nil, nil
 	}
 	buf, err := s.lookupBuffer(req.Buffer)
 	if err != nil {
-		sendFail(c, req.Tag, err)
+		s.sendFail(c, req.Tag, err)
 		return nil, nil
 	}
 	o := op{
@@ -95,13 +95,13 @@ func (s *session) enqueueWrite(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte
 		o.length = int64(len(req.Data))
 	case wire.ViaShm:
 		if s.segment() == nil {
-			sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidOperation, "no shared-memory segment negotiated"))
+			s.sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidOperation, "no shared-memory segment negotiated"))
 			return nil, nil
 		}
 		o.shmOff = req.ShmOff
 		o.length = req.ShmLen
 	default:
-		sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidValue, "data path %d", req.Via))
+		s.sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidValue, "data path %d", req.Via))
 		return nil, nil
 	}
 	s.appendOp(c, q, o)
@@ -116,16 +116,16 @@ func (s *session) enqueueRead(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte,
 	}
 	q, err := s.queue(req.Queue)
 	if err != nil {
-		sendFail(c, req.Tag, err)
+		s.sendFail(c, req.Tag, err)
 		return nil, nil
 	}
 	buf, err := s.lookupBuffer(req.Buffer)
 	if err != nil {
-		sendFail(c, req.Tag, err)
+		s.sendFail(c, req.Tag, err)
 		return nil, nil
 	}
 	if req.Via == wire.ViaShm && s.segment() == nil {
-		sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidOperation, "no shared-memory segment negotiated"))
+		s.sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidOperation, "no shared-memory segment negotiated"))
 		return nil, nil
 	}
 	s.appendOp(c, q, op{
@@ -148,21 +148,21 @@ func (s *session) enqueueKernel(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byt
 	}
 	q, err := s.queue(req.Queue)
 	if err != nil {
-		sendFail(c, req.Tag, err)
+		s.sendFail(c, req.Tag, err)
 		return nil, nil
 	}
 	s.mu.Lock()
 	k, ok := s.kernels[req.Kernel]
 	if !ok {
 		s.mu.Unlock()
-		sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidKernel, "kernel %d", req.Kernel))
+		s.sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidKernel, "kernel %d", req.Kernel))
 		return nil, nil
 	}
 	for i, set := range k.set {
 		if !set {
 			name := k.name
 			s.mu.Unlock()
-			sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidKernelArgs,
+			s.sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidKernelArgs,
 				"kernel %q: argument %d not set", name, i))
 			return nil, nil
 		}
@@ -205,7 +205,7 @@ func (s *session) appendOp(c *rpc.Conn, q *queueState, o op) {
 		return
 	}
 	s.mu.Unlock()
-	notifySingle(c, &wire.OpNotification{Tag: o.tag, State: wire.OpAccepted})
+	notifySingle(c, s.proto, &wire.OpNotification{Tag: o.tag, State: wire.OpAccepted})
 }
 
 // flush seals the queue's current task and submits it to the central FIFO
@@ -241,7 +241,7 @@ func (s *session) flush(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte, error
 	}
 	if err := m.submit(&task{sess: s, conn: c, ops: ops}); err != nil {
 		for _, o := range ops {
-			sendFail(c, o.tag, err)
+			s.sendFail(c, o.tag, err)
 		}
 		releaseOps(ops)
 	}
@@ -250,10 +250,20 @@ func (s *session) flush(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte, error
 
 // notifySingle pushes one per-operation notification frame — the pre-batch
 // (proto 1) notification path, also used for failures outside any task.
-func notifySingle(c *rpc.Conn, n *wire.OpNotification) {
+// The encoding follows the session's negotiated revision: pre-batch peers
+// decode the original v1 field order (Data mid-message), so they must
+// receive exactly that layout, not just unbatched frames.
+func notifySingle(c *rpc.Conn, proto uint32, n *wire.OpNotification) {
+	if proto < wire.ProtoVersionBatch {
+		e := wire.GetEncoder(64 + len(n.Error) + len(n.Data))
+		n.EncodeV1(e)
+		c.Notify(e.Bytes()) // best effort: the client may already be gone
+		e.Release()
+		return
+	}
 	e := wire.GetEncoder(64 + len(n.Error))
 	n.EncodeHead(e)
-	c.Notify(e.Bytes(), n.Data) // best effort: the client may already be gone
+	c.Notify(e.Bytes(), n.Data) // best effort
 	e.Release()
 }
 
@@ -265,7 +275,7 @@ func notifySingle(c *rpc.Conn, n *wire.OpNotification) {
 // pre-batch peers every add degenerates to an immediate single frame.
 type notifyBatcher struct {
 	c     *rpc.Conn
-	batch bool
+	proto uint32 // negotiated session revision; batching requires ProtoVersionBatch
 
 	e     *wire.Encoder
 	parts []notifyPart
@@ -280,8 +290,8 @@ type notifyPart struct {
 // add appends one notification. If own is set, the batcher assumes
 // ownership of n.Data and releases it after the wire write.
 func (nb *notifyBatcher) add(n *wire.OpNotification, own bool) {
-	if !nb.batch {
-		notifySingle(nb.c, n)
+	if nb.proto < wire.ProtoVersionBatch {
+		notifySingle(nb.c, nb.proto, n)
 		if own {
 			wire.PutBuf(n.Data)
 		}
@@ -339,7 +349,7 @@ func (m *Manager) runTask(t *task) {
 	}
 	nb := notifyBatcher{
 		c:     t.conn,
-		batch: t.sess.proto >= wire.ProtoVersionBatch,
+		proto: t.sess.proto,
 		parts: make([]notifyPart, 0, 2*len(t.ops)),
 	}
 	failed := false

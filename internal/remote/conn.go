@@ -144,6 +144,7 @@ func (mc *managerConn) close() error {
 func (mc *managerConn) connectionThread() {
 	var d wire.Decoder
 	var n wire.OpNotification
+	legacy := mc.proto < wire.ProtoVersionBatch // v1 managers send the old field order
 	for note := range mc.rpc.Notifications() {
 		d.Reset(note.Payload)
 		count := 1
@@ -151,7 +152,11 @@ func (mc *managerConn) connectionThread() {
 			count = int(d.U32())
 		}
 		for i := 0; i < count; i++ {
-			n.Decode(&d)
+			if legacy {
+				n.DecodeV1(&d)
+			} else {
+				n.Decode(&d)
+			}
 			if d.Err() != nil {
 				break // malformed notification; drop rather than crash
 			}

@@ -127,8 +127,18 @@ func (c *Client) Call(method wire.Method, segs ...[]byte) ([]byte, error) {
 		return res.body, res.err
 	case <-timer.C:
 		c.pendingMu.Lock()
+		_, present := c.pending[id]
 		delete(c.pending, id)
 		c.pendingMu.Unlock()
+		if !present {
+			// dispatchResponse (or fail) already claimed the entry and is
+			// committed to depositing exactly one result into the buffered
+			// channel; reclaim its pooled body so the race doesn't bleed
+			// pool capacity.
+			if res := <-ch; res.body != nil {
+				wire.PutBuf(res.body)
+			}
+		}
 		return nil, fmt.Errorf("rpc: call %s timed out after %v", method, timeout)
 	}
 }

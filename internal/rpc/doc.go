@@ -33,7 +33,11 @@
 //	                  response frame will be produced).
 //	2  response       u64 request ID + i32 status + string error +
 //	                  method-encoded body.
-//	3  notify         one wire.OpNotification.
+//	3  notify         one wire.OpNotification. The field order follows the
+//	                  session's negotiated revision: peers below
+//	                  wire.ProtoVersionBatch receive the proto-1 layout
+//	                  (Data mid-message), newer peers the head+trailing-data
+//	                  layout.
 //	4  notify-batch   one wire.OpNotificationBatch: u32 count followed by
 //	                  that many consecutive wire.OpNotification encodings.
 //	                  Sent only to peers whose Hello negotiated

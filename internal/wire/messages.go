@@ -528,6 +528,8 @@ func (s OpState) String() string {
 // head — every fixed field plus the u32 data length — can be encoded
 // separately from the payload bytes, which then travel as their own
 // vectored-write segment without ever being copied into the encoder.
+// Sessions negotiated below ProtoVersionBatch still speak the original
+// field order: use EncodeV1/DecodeV1 for those peers.
 type OpNotification struct {
 	Tag    uint64
 	State  OpState
@@ -577,6 +579,41 @@ func (m *OpNotification) Decode(d *Decoder) {
 	}
 }
 
+// EncodeV1 serializes the proto-1 field order, where Data sits mid-message
+// as a length-prefixed field instead of trailing the fixed head. Pre-batch
+// peers decode exactly this layout, so the manager must emit it verbatim to
+// any session negotiated below ProtoVersionBatch.
+func (m *OpNotification) EncodeV1(e *Encoder) {
+	e.U64(m.Tag)
+	e.U8(uint8(m.State))
+	e.I32(m.Status)
+	e.String(m.Error)
+	e.Bytes32(m.Data)
+	e.I64(m.ShmLen)
+	e.I64(m.DeviceNanos)
+}
+
+// DecodeV1 deserializes the proto-1 field order. Data aliases the decode
+// buffer, as in Decode.
+func (m *OpNotification) DecodeV1(d *Decoder) {
+	m.Tag = d.U64()
+	m.State = OpState(d.U8())
+	m.Status = d.I32()
+	m.Error = d.String()
+	m.Data = nil
+	if b := d.Bytes32(); len(b) > 0 {
+		m.Data = b
+	}
+	m.ShmLen = d.I64()
+	m.DeviceNanos = d.I64()
+}
+
+// minEncodedNotificationSize is the smallest possible OpNotification
+// encoding — all fixed fields plus empty Error and Data length prefixes
+// (8+1+4+4+8+8+4 bytes). Bounds the batch count a frame can plausibly
+// claim.
+const minEncodedNotificationSize = 37
+
 // OpNotificationBatch coalesces the notifications a task emits into one
 // frame (proto >= ProtoVersionBatch only). Wire layout: u32 count followed
 // by count consecutive OpNotification encodings. The manager's notify
@@ -599,7 +636,9 @@ func (m *OpNotificationBatch) Encode(e *Encoder) {
 // decode buffer.
 func (m *OpNotificationBatch) Decode(d *Decoder) {
 	n := d.U32()
-	if d.err != nil || uint64(n) > uint64(d.Remaining()) {
+	// Bounding by the minimum encoding size keeps a hostile count from
+	// forcing a huge slice allocation before the first element decode fails.
+	if d.err != nil || uint64(n) > uint64(d.Remaining())/minEncodedNotificationSize {
 		if d.err == nil {
 			d.err = fmt.Errorf("%w: batch of %d notifications", ErrTruncated, n)
 		}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -171,6 +172,39 @@ func TestEncodeHeadPlusDataMatchesEncode(t *testing.T) {
 	}
 }
 
+func TestOpNotificationV1GoldenLayout(t *testing.T) {
+	// EncodeV1 must emit the seed's exact byte layout (Data mid-message as a
+	// length-prefixed field): a proto-1 peer decodes with that layout, so
+	// any drift silently corrupts every field after the divergence point.
+	n := &OpNotification{Tag: 7, State: OpComplete, Status: -30, Error: "eh",
+		ShmLen: 9, DeviceNanos: 11, Data: []byte{0xAA, 0xBB, 0xCC}}
+	want := NewEncoder(64)
+	want.U64(7)
+	want.U8(uint8(OpComplete))
+	want.I32(-30)
+	want.String("eh")
+	want.Bytes32([]byte{0xAA, 0xBB, 0xCC})
+	want.I64(9)
+	want.I64(11)
+	e := NewEncoder(64)
+	n.EncodeV1(e)
+	if !bytes.Equal(e.Bytes(), want.Bytes()) {
+		t.Fatalf("EncodeV1 drifted from the seed layout:\ngot  %x\nwant %x", e.Bytes(), want.Bytes())
+	}
+	var out OpNotification
+	d := NewDecoder(e.Bytes())
+	out.DecodeV1(d)
+	if d.Err() != nil {
+		t.Fatalf("decode: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d leftover bytes", d.Remaining())
+	}
+	if !reflect.DeepEqual(n, &out) {
+		t.Fatalf("v1 round trip:\n in: %+v\nout: %+v", n, &out)
+	}
+}
+
 func TestOpNotificationBatchRoundTrip(t *testing.T) {
 	in := &OpNotificationBatch{Notes: []OpNotification{
 		{Tag: 1, State: OpAccepted},
@@ -191,6 +225,24 @@ func TestOpNotificationBatchRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(in, &out) {
 		t.Fatalf("batch round trip:\n in: %+v\nout: %+v", in, &out)
+	}
+}
+
+func TestOpNotificationBatchHostileCount(t *testing.T) {
+	// A frame claiming far more notifications than its bytes could encode
+	// must fail before the slice allocation, not after a ~100x amplified
+	// make([]OpNotification, n).
+	e := NewEncoder(64)
+	e.U32(1 << 30)
+	e.Raw(make([]byte, 40)) // room for barely one notification
+	var out OpNotificationBatch
+	d := NewDecoder(e.Bytes())
+	out.Decode(d)
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("hostile count decoded with err = %v, want ErrTruncated", d.Err())
+	}
+	if out.Notes != nil {
+		t.Fatalf("hostile count still allocated %d notes", len(out.Notes))
 	}
 }
 
