@@ -1,20 +1,24 @@
 # BlastFunction reproduction build targets.
 GO ?= go
 
-.PHONY: all build test race bench check experiments examples clean
+.PHONY: all build test vet race bench check experiments examples clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test: race
+test: vet race
 	$(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
 # The transport hot path carries explicit buffer-ownership hand-offs and the
-# close/notify teardown races; always run it under the race detector.
+# close/notify teardown races, and simcluster hosts the chaos tests (fault
+# injection, lease expiry); always run them under the race detector.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/...
+	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/simcluster/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -292,7 +292,10 @@ func BenchmarkMMKernelCompute(b *testing.B) {
 
 func BenchmarkAllocationAlgorithm(b *testing.B) {
 	src := registry.StaticMetrics{}
-	reg := registry.New(registry.DefaultPolicy(src))
+	reg, err := registry.New(registry.DefaultPolicy(src))
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < 16; i++ {
 		reg.RegisterDevice(registry.Device{
 			ID: fmt.Sprintf("fpga-%02d", i), Node: fmt.Sprintf("n%02d", i),

@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"blastfunction/internal/accel"
 	"blastfunction/internal/fpga"
@@ -35,6 +36,7 @@ func main() {
 		master    = flag.Bool("master", false, "use the master-node cost model (PCIe Gen2, slower host)")
 		timescale = flag.Float64("timescale", 0.01, "wall seconds per modelled second (0 disables sleeping)")
 		register  = flag.String("register", "", "registry base URL for self-registration (optional)")
+		lease     = flag.Duration("lease", 30*time.Second, "session lease duration; silent clients are reclaimed after this (0 disables)")
 	)
 	flag.Parse()
 
@@ -45,7 +47,7 @@ func main() {
 	cfg := fpga.DE5aNet(cost)
 	cfg.TimeScale = *timescale
 	board := fpga.NewBoard(cfg, accel.Catalog())
-	mgr := manager.New(manager.Config{Node: *node, DeviceID: *device}, board)
+	mgr := manager.New(manager.Config{Node: *node, DeviceID: *device, LeaseDuration: *lease}, board)
 	defer mgr.Close()
 
 	srv := rpc.NewServer(mgr)

@@ -76,6 +76,7 @@ func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:8081", "gateway HTTP listen address")
 		scrape   = flag.Duration("scrape", 2*time.Second, "metrics scrape interval")
+		grace    = flag.Duration("grace", 30*time.Second, "unhealthy-device grace window before instances are migrated (0 disables)")
 		managers listFlag
 		deploys  listFlag
 	)
@@ -90,7 +91,10 @@ func main() {
 	db := metrics.NewTSDB(15 * time.Minute)
 	scraper := metrics.NewScraper(db, *scrape)
 	gatherer := registry.NewGatherer(db)
-	reg := registry.New(registry.DefaultPolicy(gatherer))
+	reg, err := registry.New(registry.DefaultPolicy(gatherer))
+	if err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
 
 	for _, raw := range managers {
 		m, err := parseManager(raw)
@@ -134,6 +138,7 @@ func main() {
 		}
 	}()
 	ctrl := registry.NewController(reg, cl)
+	ctrl.Grace = *grace
 	go ctrl.Run(ctx)
 	gw := gateway.New(cl)
 	go gw.Run(ctx)

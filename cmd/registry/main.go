@@ -33,7 +33,10 @@ func main() {
 	scraper := metrics.NewScraper(db, *interval)
 	gatherer := registry.NewGatherer(db)
 	gatherer.Window = *window
-	reg := registry.New(registry.DefaultPolicy(gatherer))
+	reg, err := registry.New(registry.DefaultPolicy(gatherer))
+	if err != nil {
+		log.Fatalf("registry: %v", err)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

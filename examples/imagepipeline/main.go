@@ -52,7 +52,10 @@ func main() {
 	// The default policy orders by utilization then connected instances;
 	// with no scraper attached the Registry still spreads functions using
 	// its own connected-instance counts.
-	reg := registry.New(registry.DefaultPolicy(nil))
+	reg, err := registry.New(registry.DefaultPolicy(nil))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, n := range tb.Nodes {
 		if err := cl.AddNode(cluster.Node{Name: n.Name}); err != nil {
 			log.Fatal(err)

@@ -52,7 +52,10 @@ func newStack(t *testing.T) *stack {
 	scraper := metrics.NewScraper(db, 50*time.Millisecond)
 	gatherer := registry.NewGatherer(db)
 	gatherer.Window = 2 * time.Second
-	reg := registry.New(registry.DefaultPolicy(gatherer))
+	reg, err := registry.New(registry.DefaultPolicy(gatherer))
+	if err != nil {
+		t.Fatal(err)
+	}
 	cl := cluster.New()
 
 	for _, n := range tb.Nodes {

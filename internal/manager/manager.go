@@ -49,6 +49,15 @@ type Config struct {
 	// they reach the board. The Accelerators Registry installs a gate that
 	// enforces its allocation decisions.
 	ReconfigGate func(clientName, bitstreamID string) error
+	// LeaseDuration bounds how long a session survives without traffic.
+	// The manager advertises it at Hello; clients heartbeat at a third of
+	// it, and any request renews the lease. A session silent past the
+	// duration is expired: its queues, buffers and in-flight task slots are
+	// reclaimed exactly as on disconnect, and deferred acknowledgements
+	// fail with OpFailed before the connection is closed. Zero disables
+	// leases. Sessions negotiated below wire.ProtoVersionLease are never
+	// expired — they predate heartbeats.
+	LeaseDuration time.Duration
 }
 
 // Manager serves one board. It implements rpc.Handler.
@@ -64,7 +73,8 @@ type Manager struct {
 	nextSess uint64
 	closed   bool
 
-	wg sync.WaitGroup
+	wg        sync.WaitGroup
+	stopSweep chan struct{}
 
 	// Counters behind the exported metrics.
 	mConnected  metrics.Gauge
@@ -77,6 +87,7 @@ type Manager struct {
 	mBytesIn    metrics.Counter
 	mBytesOut   metrics.Counter
 	mKernels    metrics.Counter
+	mLeaseExp   metrics.Counter
 	mTaskHist   metrics.Histogram
 
 	traces *traceRing
@@ -111,6 +122,7 @@ func New(cfg Config, board *fpga.Board) *Manager {
 		mBytesIn:    reg.Counter("bf_bytes_in_total", "Bytes written to the device.", lbl),
 		mBytesOut:   reg.Counter("bf_bytes_out_total", "Bytes read from the device.", lbl),
 		mKernels:    reg.Counter("bf_kernel_runs_total", "Kernel launches executed.", lbl),
+		mLeaseExp:   reg.Counter("bf_lease_expiries_total", "Sessions reclaimed after their lease expired.", lbl),
 		mTaskHist: reg.Histogram("bf_task_device_seconds",
 			"Modelled device occupancy per executed task.", lbl, nil),
 		traces: newTraceRing(512),
@@ -118,6 +130,11 @@ func New(cfg Config, board *fpga.Board) *Manager {
 	m.mScale.Set(board.Config().TimeScale)
 	m.wg.Add(1)
 	go m.worker()
+	if cfg.LeaseDuration > 0 {
+		m.stopSweep = make(chan struct{})
+		m.wg.Add(1)
+		go m.leaseSweeper()
+	}
 	return m
 }
 
@@ -147,8 +164,62 @@ func (m *Manager) Close() {
 	}
 	m.closed = true
 	m.mu.Unlock()
+	if m.stopSweep != nil {
+		close(m.stopSweep)
+	}
 	close(m.tasks)
 	m.wg.Wait()
+}
+
+// leaseSweeper periodically expires sessions whose lease ran out. Checking
+// at a quarter of the lease keeps the detection latency well under half a
+// lease period.
+func (m *Manager) leaseSweeper() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.cfg.LeaseDuration / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stopSweep:
+			return
+		case <-tick.C:
+			m.sweepLeases(time.Now())
+		}
+	}
+}
+
+// sweepLeases expires every lease-bearing session silent past the lease
+// duration.
+func (m *Manager) sweepLeases(now time.Time) {
+	deadline := now.Add(-m.cfg.LeaseDuration).UnixNano()
+	m.mu.Lock()
+	var dead []*session
+	for _, s := range m.sessions {
+		// Pre-lease protocols have no heartbeat to send; never expire them.
+		if s.proto >= wire.ProtoVersionLease && s.lastBeat.Load() < deadline {
+			dead = append(dead, s)
+		}
+	}
+	for _, s := range dead {
+		delete(m.sessions, s.id)
+	}
+	m.mu.Unlock()
+	for _, s := range dead {
+		m.expireSession(s)
+	}
+}
+
+// expireSession reclaims an expired session: in-flight task slots fail
+// fast, deferred acknowledgements are terminated with OpFailed while the
+// connection can still carry them, board resources are freed, and finally
+// the connection is closed (a wedged client that recovers must re-Hello).
+func (m *Manager) expireSession(s *session) {
+	s.expired.Store(true)
+	s.expire(m.board)
+	m.mLeaseExp.Inc()
+	if s.conn != nil {
+		s.conn.Close()
+	}
 }
 
 // worker is the single executor pulling tasks from the central queue in
@@ -203,7 +274,12 @@ func (m *Manager) HandleRequest(c *rpc.Conn, method wire.Method, body []byte) ([
 	if s == nil {
 		return nil, ocl.Errf(ocl.ErrInvalidOperation, "no session: Hello required first")
 	}
+	// Any request proves the client is alive; dedicated heartbeats only
+	// matter on otherwise idle sessions.
+	s.lastBeat.Store(time.Now().UnixNano())
 	switch method {
+	case wire.MethodHeartbeat:
+		return nil, nil // the renewal above is the whole effect
 	case wire.MethodDeviceInfo:
 		return m.handleDeviceInfo()
 	case wire.MethodCreateContext:
@@ -263,12 +339,18 @@ func (m *Manager) handleHello(c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
 	m.nextSess++
 	s := newSession(m.nextSess, req.ClientName)
 	s.proto = req.ProtoVersion
+	s.conn = c
+	s.lastBeat.Store(time.Now().UnixNano())
 	m.sessions[s.id] = s
 	m.mu.Unlock()
 	c.SetSession(s)
 
+	var leaseMillis uint32
+	if s.proto >= wire.ProtoVersionLease && m.cfg.LeaseDuration > 0 {
+		leaseMillis = uint32(m.cfg.LeaseDuration / time.Millisecond)
+	}
 	e := wire.GetEncoder(32)
-	(&wire.HelloResponse{SessionID: s.id, Node: m.cfg.Node, Proto: s.proto}).Encode(e)
+	(&wire.HelloResponse{SessionID: s.id, Node: m.cfg.Node, Proto: s.proto, LeaseMillis: leaseMillis}).Encode(e)
 	return e.Detach(), nil
 }
 

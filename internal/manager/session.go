@@ -2,6 +2,7 @@ package manager
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"blastfunction/internal/fpga"
 	"blastfunction/internal/ocl"
@@ -20,6 +21,17 @@ type session struct {
 	// proto is the protocol revision negotiated at Hello. Immutable after
 	// the handshake; gates the batch notification path.
 	proto uint32
+	// conn is the session's connection, set at Hello. The lease sweeper
+	// uses it to deliver OpFailed notifications and close an expired
+	// session from outside the request path.
+	conn *rpc.Conn
+	// lastBeat is the unix-nano timestamp of the last request (any method
+	// renews the lease, Heartbeat exists for idle sessions).
+	lastBeat atomic.Int64
+	// expired flips once the lease sweeper reclaims the session; the
+	// worker fast-fails queued tasks of expired sessions instead of
+	// running them against freed resources.
+	expired atomic.Bool
 
 	mu       sync.Mutex
 	nextID   uint64
@@ -94,6 +106,25 @@ func (s *session) release(board *fpga.Board) {
 		s.seg.Close()
 		s.seg = nil
 	}
+}
+
+// expire reclaims the session after its lease ran out. Unlike release
+// (where the connection is already gone), the connection is usually still
+// alive here — the client is wedged or partitioned, not disconnected — so
+// deferred Accepted acknowledgements are terminated with OpFailed, the way
+// releaseQueue does, before the resources go away.
+func (s *session) expire(board *fpga.Board) {
+	s.mu.Lock()
+	var accepted []uint64
+	for _, q := range s.queues {
+		accepted = append(accepted, q.accepted...)
+		q.accepted = nil
+	}
+	s.mu.Unlock()
+	for _, tag := range accepted {
+		s.sendFail(s.conn, tag, ocl.Errf(ocl.ErrDeviceNotAvailable, "session lease expired"))
+	}
+	s.release(board)
 }
 
 func encodeID(id uint64) []byte {

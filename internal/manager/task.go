@@ -338,6 +338,18 @@ func (nb *notifyBatcher) flush() {
 // progress notifications leave as a single batch frame (for batch-capable
 // peers) once the task finishes.
 func (m *Manager) runTask(t *task) {
+	if t.sess.expired.Load() {
+		// The lease sweeper reclaimed this session between submit and
+		// execution: its buffers are freed, so running would fault.
+		// Fail the whole task without occupying the board — this is how
+		// expiry reclaims in-flight task slots from the central queue.
+		err := ocl.Errf(ocl.ErrDeviceNotAvailable, "session lease expired")
+		for i := range t.ops {
+			t.sess.sendFail(t.conn, t.ops[i].tag, err) // best effort: conn is likely closed
+		}
+		releaseOps(t.ops)
+		return
+	}
 	m.mTasks.Inc()
 	var taskDevice time.Duration
 	cost := m.board.Cost()

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -222,6 +223,47 @@ func TestScraperRecordsErrors(t *testing.T) {
 	sc.ScrapeOnce()
 	if err := sc.LastError("dead"); err == nil {
 		t.Fatal("expected scrape error for dead target")
+	}
+}
+
+// TestScraperHungTargetDoesNotBlockOthers covers the head-of-line fix: a
+// target that accepts the connection but never answers must cost only its
+// own deadline, while healthy targets scraped in the same pass still land
+// fresh samples.
+func TestScraperHungTargetDoesNotBlockOthers(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("bf_live", "Liveness.", Labels{"device": "ok0"})
+	g.Set(42)
+	healthy := httptest.NewServer(reg.Handler())
+	defer healthy.Close()
+
+	release := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hold the scrape open until the test ends
+	}))
+	defer func() { close(release); hung.Close() }()
+
+	db := NewTSDB(time.Minute)
+	sc := NewScraper(db, time.Second)
+	sc.Timeout = 50 * time.Millisecond
+	now := time.Unix(7000, 0)
+	sc.Now = func() time.Time { return now }
+	sc.AddTarget("ok0", healthy.URL)
+	sc.AddTarget("hung0", hung.URL)
+
+	start := time.Now()
+	sc.ScrapeOnce()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("ScrapeOnce took %v; hung target must only cost its own deadline", elapsed)
+	}
+	if v, ok := db.Latest("bf_live", Labels{"device": "ok0"}); !ok || v != 42 {
+		t.Fatalf("healthy target sample = %v/%v, want 42", v, ok)
+	}
+	if err := sc.LastError("hung0"); err == nil {
+		t.Fatal("hung target must record a deadline error")
+	}
+	if err := sc.LastError("ok0"); err != nil {
+		t.Fatalf("healthy target errored: %v", err)
 	}
 }
 

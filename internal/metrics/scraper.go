@@ -17,6 +17,8 @@ type Scraper struct {
 	client   *http.Client
 	// Now is injectable for deterministic tests.
 	Now func() time.Time
+	// Timeout bounds each individual target's scrape. Default 5s.
+	Timeout time.Duration
 
 	mu      sync.Mutex
 	targets map[string]string // target name -> URL
@@ -31,8 +33,9 @@ func NewScraper(db *TSDB, interval time.Duration) *Scraper {
 	return &Scraper{
 		db:       db,
 		interval: interval,
-		client:   &http.Client{Timeout: 5 * time.Second},
+		client:   &http.Client{},
 		Now:      time.Now,
+		Timeout:  5 * time.Second,
 		targets:  make(map[string]string),
 		errs:     make(map[string]error),
 	}
@@ -73,8 +76,12 @@ func (s *Scraper) LastError(name string) error {
 	return s.errs[name]
 }
 
-// ScrapeOnce polls every target once at the current time. Tests and the
-// DES experiments call it directly for determinism.
+// ScrapeOnce polls every target once at the current time. Targets are
+// scraped concurrently, each under its own deadline: a hung Device Manager
+// costs one timeout, not a serial stall that starves every target behind
+// it of fresh samples (and would delay the Registry's health verdicts on
+// all of them). Tests and the DES experiments call it directly for
+// determinism; all samples share one timestamp.
 func (s *Scraper) ScrapeOnce() {
 	s.mu.Lock()
 	targets := make(map[string]string, len(s.targets))
@@ -83,20 +90,36 @@ func (s *Scraper) ScrapeOnce() {
 	}
 	s.mu.Unlock()
 	now := s.Now()
+	var wg sync.WaitGroup
 	for name, url := range targets {
-		samples, err := s.fetch(url)
-		s.mu.Lock()
-		s.errs[name] = err
-		s.mu.Unlock()
-		if err != nil {
-			continue
-		}
-		s.db.Append(now, samples)
+		wg.Add(1)
+		go func(name, url string) {
+			defer wg.Done()
+			samples, err := s.fetch(url)
+			s.mu.Lock()
+			s.errs[name] = err
+			s.mu.Unlock()
+			if err != nil {
+				return
+			}
+			s.db.Append(now, samples) // TSDB appends are lock-protected
+		}(name, url)
 	}
+	wg.Wait()
 }
 
 func (s *Scraper) fetch(url string) ([]Sample, error) {
-	resp, err := s.client.Get(url)
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.client.Do(req)
 	if err != nil {
 		return nil, err
 	}

@@ -111,10 +111,21 @@ func Errf(s Status, format string, args ...any) error {
 	return &StatusError{Status: s, Context: fmt.Sprintf(format, args...)}
 }
 
+// ErrfCause is Errf with an underlying cause attached: the returned error
+// matches both the status and the cause under errors.Is. The transport
+// layer uses it so callers can test for sentinels like rpc.ErrManagerDown
+// while the error still carries an OpenCL status.
+func ErrfCause(s Status, cause error, format string, args ...any) error {
+	return &StatusError{Status: s, Context: fmt.Sprintf(format, args...), Cause: cause}
+}
+
 // StatusError is a Status with human-readable context attached.
 type StatusError struct {
 	Status  Status
 	Context string
+	// Cause, when non-nil, is an underlying error (typically a transport
+	// sentinel) also exposed through Unwrap.
+	Cause error
 }
 
 // Error implements the error interface.
@@ -125,9 +136,14 @@ func (e *StatusError) Error() string {
 	return e.Status.String() + ": " + e.Context
 }
 
-// Unwrap exposes the underlying Status so errors.Is(err, ocl.ErrInvalidValue)
-// works on wrapped errors.
-func (e *StatusError) Unwrap() error { return e.Status }
+// Unwrap exposes the underlying Status (and the Cause, when present) so
+// errors.Is works against both on wrapped errors.
+func (e *StatusError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{e.Status, e.Cause}
+	}
+	return []error{e.Status}
+}
 
 // StatusOf extracts the Status from an error produced by this package. It
 // returns Success for nil and ErrInvalidValue for foreign errors.

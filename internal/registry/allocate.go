@@ -128,7 +128,7 @@ func (r *Registry) Allocate(req AllocRequest) (*Allocation, error) {
 	if alloc.Node == "" {
 		alloc.Node = chosen.ds.Node
 	}
-	r.byInstance[req.InstanceUID] = chosen.ds.ID
+	r.byInstance[req.InstanceUID] = placement{device: chosen.ds.ID, name: req.InstanceName}
 	r.byName[req.InstanceName] = req.InstanceUID
 	chosen.ds.instances[req.InstanceUID] = instanceInfo{
 		uid:      req.InstanceUID,
@@ -275,7 +275,7 @@ func (r *Registry) ValidateReconfiguration(deviceID, clientName, bitID string) e
 	if !ok {
 		return fmt.Errorf("registry: client %q has no allocation", clientName)
 	}
-	if r.byInstance[uid] != deviceID {
+	if r.byInstance[uid].device != deviceID {
 		return fmt.Errorf("registry: client %q is not allocated to device %q", clientName, deviceID)
 	}
 	if ds.Bitstream != "" && ds.Bitstream != bitID {

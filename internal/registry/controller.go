@@ -4,6 +4,7 @@ import (
 	"context"
 	"log"
 	"sync"
+	"time"
 
 	"blastfunction/internal/cluster"
 )
@@ -32,9 +33,18 @@ type Controller struct {
 	cl  *cluster.Cluster
 	// Logf logs allocation failures; defaults to log.Printf.
 	Logf func(format string, args ...any)
+	// Grace is how long a device may stay unhealthy before its connected
+	// instances are migrated to other boards. Zero disables the sweep:
+	// transient scrape hiccups then only exclude the device from new
+	// allocations. Set before Run.
+	Grace time.Duration
 
 	mu       sync.Mutex
 	failures map[string]error // instance UID -> last allocation error
+
+	// sweepMu serializes sweeps so overlapping ticks cannot migrate the
+	// same instance twice.
+	sweepMu sync.Mutex
 }
 
 // NewController creates a controller for the registry and cluster.
@@ -53,15 +63,53 @@ func NewController(reg *Registry, cl *cluster.Cluster) *Controller {
 func (c *Controller) Run(ctx context.Context) {
 	events, cancel := c.cl.Watch(64)
 	defer cancel()
+	var sweep <-chan time.Time
+	if c.Grace > 0 {
+		// A quarter of the grace window bounds the detection latency well
+		// below the window itself.
+		tick := time.NewTicker(c.Grace / 4)
+		defer tick.Stop()
+		sweep = tick.C
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return
+		case <-sweep:
+			// Off the event loop: migrations emit Added/Deleted events back
+			// into our own watch channel, and a sweep blocking on a full
+			// channel it is supposed to drain would deadlock.
+			go c.SweepUnhealthy()
 		case ev, ok := <-events:
 			if !ok {
 				return
 			}
 			c.handle(ev)
+		}
+	}
+}
+
+// SweepUnhealthy migrates every instance connected to a device that has
+// been unhealthy past the grace window. Migration is create-before-delete:
+// the orchestrator spawns the replacement (which re-enters the allocation
+// path as a fresh Pending instance and lands on a healthy board — the
+// candidate filter skips unhealthy devices) before the stranded instance
+// is deleted, so capacity never dips during recovery. Safe to call
+// directly from tests and operator endpoints.
+func (c *Controller) SweepUnhealthy() {
+	c.sweepMu.Lock()
+	defer c.sweepMu.Unlock()
+	for _, devID := range c.reg.UnhealthyPastGrace(c.Grace) {
+		for _, uid := range c.reg.ConnectedInstances(devID) {
+			if _, err := c.cl.ReplaceInstance(uid); err != nil {
+				c.Logf("registry: migration of %s off unhealthy %s failed: %v", uid, devID, err)
+				continue
+			}
+			// Drop the placement now instead of waiting for the Deleted
+			// event, so a sweep racing the watch loop cannot migrate the
+			// instance a second time.
+			c.reg.Release(uid)
+			c.Logf("registry: migrated %s off unhealthy device %s", uid, devID)
 		}
 	}
 }

@@ -14,7 +14,7 @@ func ExampleRegistry_Allocate() {
 		"fpga-B": {Utilization: 0.15},
 		"fpga-C": {Utilization: 0.40},
 	}
-	reg := registry.New(registry.DefaultPolicy(src))
+	reg, _ := registry.New(registry.DefaultPolicy(src))
 	for _, n := range []string{"A", "B", "C"} {
 		reg.RegisterDevice(registry.Device{
 			ID: "fpga-" + n, Node: n,

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // DeviceQuery is a function's device requirements — the paper's
@@ -74,15 +75,31 @@ type deviceState struct {
 	// metric scrapes; allocation skips them until they recover.
 	unhealthy bool
 	healthErr string
+	// unhealthySince is when the device transitioned to unhealthy; once it
+	// stays unhealthy past the controller's grace window, connected
+	// instances are migrated off it.
+	unhealthySince time.Time
+}
+
+// placement records where an allocated instance lives and under which
+// name it authenticates; keeping the name here lets Release clean the name
+// index even after the device record itself was removed.
+type placement struct {
+	device string
+	name   string
 }
 
 // Registry is the Accelerators Registry.
 type Registry struct {
+	// Now supplies the clock for health-transition timestamps; tests
+	// inject a fake. Defaults to time.Now.
+	Now func() time.Time
+
 	mu        sync.Mutex
 	devices   map[string]*deviceState
 	functions map[string]*Function
-	// byInstance maps an allocated instance UID to its device ID.
-	byInstance map[string]string
+	// byInstance maps an allocated instance UID to its placement.
+	byInstance map[string]placement
 	// byName maps instance names to UIDs (Device Managers authenticate
 	// clients by instance name).
 	byName map[string]string
@@ -174,18 +191,56 @@ func DefaultPolicy(src MetricsSource) AllocPolicy {
 	}
 }
 
-// New creates a Registry with the given allocation policy.
-func New(policy AllocPolicy) *Registry {
+// validMetric reports whether a metric name is one Algorithm 1 can read.
+func validMetric(name string) bool {
+	switch name {
+	case MetricUtilization, MetricConnected, MetricQueueDepth:
+		return true
+	}
+	return false
+}
+
+// Validate rejects policies referencing unknown metric names. A typo in a
+// criterion or filter would otherwise read as a silent constant zero,
+// turning the ordering (or a filter) into a no-op that only shows up as
+// skewed placements under load.
+func (p AllocPolicy) Validate() error {
+	for _, c := range p.Order {
+		if !validMetric(c.Metric) {
+			return fmt.Errorf("registry: unknown metric %q in ordering criterion (known: %s, %s, %s)",
+				c.Metric, MetricUtilization, MetricConnected, MetricQueueDepth)
+		}
+	}
+	for _, f := range p.Filters {
+		if !validMetric(f.Metric) {
+			return fmt.Errorf("registry: unknown metric %q in filter (known: %s, %s, %s)",
+				f.Metric, MetricUtilization, MetricConnected, MetricQueueDepth)
+		}
+	}
+	return nil
+}
+
+// New creates a Registry with the given allocation policy. It fails on
+// policies naming unknown metrics; see AllocPolicy.Validate.
+func New(policy AllocPolicy) (*Registry, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
 	return &Registry{
+		Now:        time.Now,
 		devices:    make(map[string]*deviceState),
 		functions:  make(map[string]*Function),
-		byInstance: make(map[string]string),
+		byInstance: make(map[string]placement),
 		byName:     make(map[string]string),
 		source:     policy,
-	}
+	}, nil
 }
 
 // RegisterDevice adds (or updates) a Devices Service record.
+// Re-registration resets the device's health: a manager announcing itself
+// is a fresh incarnation, so the record is allocatable immediately rather
+// than carrying its dead predecessor's unhealthy verdict until the next
+// successful scrape. Connected instances are preserved across updates.
 func (r *Registry) RegisterDevice(d Device) error {
 	if d.ID == "" || d.Node == "" {
 		return fmt.Errorf("registry: device needs ID and Node")
@@ -194,6 +249,9 @@ func (r *Registry) RegisterDevice(d Device) error {
 	defer r.mu.Unlock()
 	if ds, ok := r.devices[d.ID]; ok {
 		ds.Device = d
+		ds.unhealthy = false
+		ds.healthErr = ""
+		ds.unhealthySince = time.Time{}
 		return nil
 	}
 	r.devices[d.ID] = &deviceState{Device: d, instances: make(map[string]instanceInfo)}
@@ -210,13 +268,35 @@ func (r *Registry) SetDeviceHealth(id string, scrapeErr error) error {
 	if !ok {
 		return fmt.Errorf("registry: device %q not found", id)
 	}
-	ds.unhealthy = scrapeErr != nil
 	if scrapeErr != nil {
+		if !ds.unhealthy {
+			ds.unhealthySince = r.Now() // transition: start the grace clock
+		}
+		ds.unhealthy = true
 		ds.healthErr = scrapeErr.Error()
 	} else {
+		ds.unhealthy = false
 		ds.healthErr = ""
+		ds.unhealthySince = time.Time{}
 	}
 	return nil
+}
+
+// UnhealthyPastGrace returns the IDs of devices that have been unhealthy
+// for longer than the grace window, sorted. These are the boards whose
+// connected instances the controller migrates.
+func (r *Registry) UnhealthyPastGrace(grace time.Duration) []string {
+	cutoff := r.Now().Add(-grace)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for id, ds := range r.devices {
+		if ds.unhealthy && !ds.unhealthySince.After(cutoff) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // DeviceHealthy reports whether a device is currently allocatable.
@@ -280,11 +360,11 @@ func (r *Registry) Functions() []Function {
 func (r *Registry) InstancePlacement(uid string) (Device, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	devID, ok := r.byInstance[uid]
+	p, ok := r.byInstance[uid]
 	if !ok {
 		return Device{}, false
 	}
-	ds, ok := r.devices[devID]
+	ds, ok := r.devices[p.device]
 	if !ok {
 		return Device{}, false
 	}
@@ -314,15 +394,20 @@ func (r *Registry) ConnectedInstances(deviceID string) []string {
 func (r *Registry) Release(uid string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	devID, ok := r.byInstance[uid]
+	p, ok := r.byInstance[uid]
 	if !ok {
 		return
 	}
 	delete(r.byInstance, uid)
-	if ds, ok := r.devices[devID]; ok {
-		if info, ok := ds.instances[uid]; ok {
-			delete(r.byName, info.name)
-			delete(ds.instances, uid)
-		}
+	// The name index is cleaned even when the device record is already
+	// gone (RemoveDevice before Release): a leftover entry would shadow a
+	// later instance reusing the name and break its reconfiguration
+	// validation. Guarded so a newer allocation that took over the name is
+	// left alone.
+	if r.byName[p.name] == uid {
+		delete(r.byName, p.name)
+	}
+	if ds, ok := r.devices[p.device]; ok {
+		delete(ds.instances, uid)
 	}
 }

@@ -42,7 +42,7 @@ func TestAllocatePrefersLowUtilization(t *testing.T) {
 		"fpga-B": {Utilization: 0.10},
 		"fpga-C": {Utilization: 0.40},
 	}
-	r := New(DefaultPolicy(src))
+	r := mustNew(t, DefaultPolicy(src))
 	threeDevices(r)
 	r.RegisterFunction(sobelFn())
 	alloc, err := r.Allocate(AllocRequest{InstanceUID: "u1", InstanceName: "sobel-1-a", Function: "sobel-1"})
@@ -63,7 +63,7 @@ func TestAllocateFiltersOverloadedDevices(t *testing.T) {
 		"fpga-B": {Utilization: 0.97},
 		"fpga-C": {Utilization: 0.50},
 	}
-	r := New(DefaultPolicy(src))
+	r := mustNew(t, DefaultPolicy(src))
 	threeDevices(r)
 	r.RegisterFunction(sobelFn())
 	alloc, err := r.Allocate(AllocRequest{InstanceUID: "u1", InstanceName: "i1", Function: "sobel-1"})
@@ -83,7 +83,7 @@ func TestAllocateCompatibilityTiebreak(t *testing.T) {
 		"fpga-B": {Utilization: 0.44},
 		"fpga-C": {Utilization: 0.48},
 	}
-	r := New(DefaultPolicy(src))
+	r := mustNew(t, DefaultPolicy(src))
 	threeDevices(r)
 	r.RegisterDevice(Device{
 		ID: "fpga-B", Node: "B",
@@ -108,7 +108,7 @@ func TestAllocateCompatibilityTiebreak(t *testing.T) {
 }
 
 func TestAllocateVendorFilter(t *testing.T) {
-	r := New(AllocPolicy{})
+	r := mustNew(t, AllocPolicy{})
 	threeDevices(r)
 	r.RegisterDevice(Device{ID: "gpu-X", Node: "A", Vendor: "Other Corp", Platform: "OtherCL"})
 	r.RegisterFunction(Function{
@@ -125,7 +125,7 @@ func TestAllocateVendorFilter(t *testing.T) {
 }
 
 func TestAllocateDeviceNotFound(t *testing.T) {
-	r := New(AllocPolicy{})
+	r := mustNew(t, AllocPolicy{})
 	r.RegisterFunction(sobelFn())
 	_, err := r.Allocate(AllocRequest{InstanceUID: "u1", InstanceName: "i1", Function: "sobel-1"})
 	if !errors.Is(err, ErrDeviceNotFound) {
@@ -137,7 +137,7 @@ func TestAllocateDeviceNotFound(t *testing.T) {
 }
 
 func TestAllocateNodePinned(t *testing.T) {
-	r := New(AllocPolicy{})
+	r := mustNew(t, AllocPolicy{})
 	threeDevices(r)
 	r.RegisterFunction(sobelFn())
 	alloc, err := r.Allocate(AllocRequest{InstanceUID: "u1", InstanceName: "i1", Function: "sobel-1", Node: "C"})
@@ -153,7 +153,7 @@ func TestAllocateReconfigurationWithRedistribution(t *testing.T) {
 	// All devices run sobel; an MM function arrives. The chosen device's
 	// sobel instances must be redistributable to the other sobel boards,
 	// and the allocation must flag reconfiguration + displacements.
-	r := New(AllocPolicy{})
+	r := mustNew(t, AllocPolicy{})
 	for _, n := range []string{"A", "B", "C"} {
 		r.RegisterDevice(Device{
 			ID: "fpga-" + n, Node: n,
@@ -202,7 +202,7 @@ func TestAllocateSkipsNonRedistributableDevice(t *testing.T) {
 	// Only one sobel board exists: its sobel instance cannot move, so an
 	// MM request must NOT displace it; with a second (idle, unconfigured)
 	// board the MM lands there instead.
-	r := New(AllocPolicy{})
+	r := mustNew(t, AllocPolicy{})
 	r.RegisterDevice(Device{
 		ID: "fpga-A", Node: "A", Vendor: "V", Platform: "P",
 		Bitstream: "spector-sobel", Accelerator: "sobel",
@@ -226,7 +226,7 @@ func TestAllocateSkipsNonRedistributableDevice(t *testing.T) {
 }
 
 func TestValidateReconfiguration(t *testing.T) {
-	r := New(AllocPolicy{})
+	r := mustNew(t, AllocPolicy{})
 	threeDevices(r)
 	r.RegisterFunction(sobelFn())
 	alloc, err := r.Allocate(AllocRequest{InstanceUID: "u1", InstanceName: "sobel-1-x", Function: "sobel-1"})
@@ -265,7 +265,7 @@ func TestControllerAllocatesOnInstanceCreation(t *testing.T) {
 	for _, n := range []string{"A", "B", "C"} {
 		cl.AddNode(cluster.Node{Name: n})
 	}
-	r := New(AllocPolicy{})
+	r := mustNew(t, AllocPolicy{})
 	threeDevices(r)
 	r.RegisterFunction(sobelFn())
 	ctrl := NewController(r, cl)
@@ -318,7 +318,7 @@ func TestControllerMigratesOnReconfiguration(t *testing.T) {
 	for _, n := range []string{"A", "B"} {
 		cl.AddNode(cluster.Node{Name: n})
 	}
-	r := New(AllocPolicy{})
+	r := mustNew(t, AllocPolicy{})
 	r.RegisterDevice(Device{ID: "fpga-A", Node: "A", Vendor: "V", Platform: "P",
 		Bitstream: "spector-sobel", Accelerator: "sobel"})
 	r.RegisterDevice(Device{ID: "fpga-B", Node: "B", Vendor: "V", Platform: "P",
@@ -419,7 +419,7 @@ func TestGathererComputesUtilization(t *testing.T) {
 }
 
 func TestRegistryHTTPAPI(t *testing.T) {
-	r := New(AllocPolicy{Metrics: StaticMetrics{"fpga-A": {Utilization: 0.5}}})
+	r := mustNew(t, AllocPolicy{Metrics: StaticMetrics{"fpga-A": {Utilization: 0.5}}})
 	srv := httptest.NewServer(r.Handler())
 	defer srv.Close()
 
@@ -470,7 +470,7 @@ func TestRegistryHTTPAPI(t *testing.T) {
 }
 
 func TestRemoveDevice(t *testing.T) {
-	r := New(AllocPolicy{})
+	r := mustNew(t, AllocPolicy{})
 	threeDevices(r)
 	if err := r.RemoveDevice("fpga-A"); err != nil {
 		t.Fatal(err)
@@ -484,7 +484,7 @@ func TestRemoveDevice(t *testing.T) {
 }
 
 func TestUnhealthyDeviceSkippedByAllocation(t *testing.T) {
-	r := New(AllocPolicy{})
+	r := mustNew(t, AllocPolicy{})
 	threeDevices(r)
 	r.RegisterFunction(sobelFn())
 	if err := r.SetDeviceHealth("fpga-A", errors.New("scrape timeout")); err != nil {
@@ -515,7 +515,7 @@ func TestUnhealthyDeviceSkippedByAllocation(t *testing.T) {
 }
 
 func TestAllUnhealthyMeansDeviceNotFound(t *testing.T) {
-	r := New(AllocPolicy{})
+	r := mustNew(t, AllocPolicy{})
 	threeDevices(r)
 	r.RegisterFunction(sobelFn())
 	for _, id := range []string{"fpga-A", "fpga-B", "fpga-C"} {

@@ -20,8 +20,10 @@ package remote
 import (
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"sync"
+	"time"
 
 	"blastfunction/internal/model"
 	"blastfunction/internal/ocl"
@@ -62,6 +64,13 @@ type Config struct {
 	ShmDir string
 	// ShmBytes sizes each manager's segment; default 64 MiB.
 	ShmBytes int64
+	// CallTimeout bounds each unary control call; zero selects
+	// rpc.DefaultCallTimeout. Command-queue traffic is asynchronous and
+	// unaffected.
+	CallTimeout time.Duration
+	// DialConn, when set, replaces net.Dial for manager connections. Chaos
+	// tests wrap the returned connection in an rpc.FaultConn.
+	DialConn func(addr string) (net.Conn, error)
 }
 
 // Client is the Remote OpenCL Library entry point; it implements

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,18 +33,35 @@ type managerConn struct {
 	tags    atomic.Uint64
 	pending sync.Map // tag uint64 -> *remoteEvent
 
+	// lease is the session lease the manager advertised at Hello (zero:
+	// leases disabled); stopBeat stops the heartbeat goroutine renewing it.
+	lease    time.Duration
+	stopBeat chan struct{}
+
 	closedMu sync.Mutex
 	closed   bool
 }
 
 func dialManager(cfg *Config, addr string) (*managerConn, error) {
-	cl, err := rpc.Dial(addr)
-	if err != nil {
-		return nil, err
+	var cl *rpc.Client
+	if cfg.DialConn != nil {
+		conn, err := cfg.DialConn(addr)
+		if err != nil {
+			return nil, err
+		}
+		cl = rpc.NewClient(conn)
+	} else {
+		var err error
+		cl, err = rpc.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
 	}
+	cl.CallTimeout = cfg.CallTimeout
 	mc := &managerConn{cfg: cfg, addr: addr, rpc: cl, mode: model.TransportGRPC}
 
-	// Hello: open the session.
+	// Hello: open the session. Not retried — a timed-out Hello may still
+	// have created a session on the manager, and retrying would leak it.
 	e := wire.GetEncoder(64)
 	(&wire.HelloRequest{ClientName: cfg.ClientName, ProtoVersion: wire.ProtoVersion}).Encode(e)
 	resp, err := cl.Call(wire.MethodHello, e.Bytes())
@@ -57,10 +75,13 @@ func dialManager(cfg *Config, addr string) (*managerConn, error) {
 	mc.sessionID = hello.SessionID
 	mc.node = hello.Node
 	mc.proto = hello.Proto
+	mc.lease = time.Duration(hello.LeaseMillis) * time.Millisecond
 	wire.PutBuf(resp)
 
-	// Device information for the platform list.
-	resp, err = cl.Call(wire.MethodDeviceInfo, nil)
+	// Device information for the platform list. Idempotent, so a slow
+	// manager gets retried with jittered backoff; the session ID makes the
+	// schedule deterministic per session.
+	resp, err = cl.CallRetry(rpc.DefaultBackoff(mc.sessionID), 0, wire.MethodDeviceInfo, nil)
 	if err != nil {
 		cl.Close()
 		return nil, err
@@ -88,7 +109,33 @@ func dialManager(cfg *Config, addr string) (*managerConn, error) {
 	}
 
 	go mc.connectionThread()
+	if mc.lease > 0 {
+		mc.stopBeat = make(chan struct{})
+		go mc.heartbeatLoop()
+	}
 	return mc, nil
+}
+
+// heartbeatLoop renews the session lease. A third of the lease gives the
+// manager two missed beats of slack before expiry, mirroring common lease
+// protocols. A deadline-expired beat is retried at the next tick (the lease
+// has slack for that); a dead connection ends the loop — reconnection is a
+// new session.
+func (mc *managerConn) heartbeatLoop() {
+	t := time.NewTicker(mc.lease / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-mc.stopBeat:
+			return
+		case <-t.C:
+			body, err := mc.rpc.CallWithTimeout(wire.MethodHeartbeat, mc.lease/3)
+			wire.PutBuf(body)
+			if err != nil && (errors.Is(err, rpc.ErrManagerDown) || errors.Is(err, rpc.ErrClosed)) {
+				return
+			}
+		}
+	}
 }
 
 func (mc *managerConn) setupShm() error {
@@ -127,6 +174,9 @@ func (mc *managerConn) close() error {
 	}
 	mc.closed = true
 	mc.closedMu.Unlock()
+	if mc.stopBeat != nil {
+		close(mc.stopBeat)
+	}
 	err := mc.rpc.Close()
 	if mc.seg != nil {
 		mc.seg.Close()
@@ -164,9 +214,13 @@ func (mc *managerConn) connectionThread() {
 		}
 		wire.PutBuf(note.Payload)
 	}
-	// Connection gone: fail everything still in flight.
+	// Connection gone: fail everything still in flight, promptly and with
+	// the transport sentinel attached so callers can errors.Is the failure
+	// against rpc.ErrManagerDown and trigger fail-over instead of treating
+	// it like an application error.
 	mc.pending.Range(func(k, v any) bool {
-		v.(*remoteEvent).Fail(ocl.Errf(ocl.ErrDeviceNotAvailable, "connection to %s lost", mc.addr))
+		v.(*remoteEvent).Fail(ocl.ErrfCause(ocl.ErrDeviceNotAvailable, rpc.ErrManagerDown,
+			"connection to %s lost", mc.addr))
 		mc.pending.Delete(k)
 		return true
 	})

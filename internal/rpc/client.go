@@ -16,6 +16,20 @@ import (
 // ErrClosed reports use of a closed client.
 var ErrClosed = errors.New("rpc: client closed")
 
+// ErrManagerDown marks errors caused by a lost or poisoned Device Manager
+// connection: the transport failed underneath the caller, as opposed to
+// the manager answering with an application error. Every error the client
+// returns after its connection drops matches this sentinel under
+// errors.Is, so callers can distinguish "the board's manager died" (fail
+// over, migrate) from "my request was bad" (don't retry).
+var ErrManagerDown = errors.New("rpc: manager down")
+
+// ErrDeadlineExceeded marks a unary call that hit its per-call deadline
+// while the connection itself stayed up — the manager is wedged or slow.
+// Idempotent calls may be retried (see CallRetry); the late response, if
+// it ever arrives, is discarded.
+var ErrDeadlineExceeded = errors.New("rpc: call deadline exceeded")
+
 // DefaultCallTimeout bounds unary calls. Board reconfiguration is the
 // slowest legitimate call at a few seconds; anything beyond a minute is a
 // wedged manager.
@@ -97,6 +111,13 @@ func (c *Client) Notifications() <-chan Notification { return c.notifications }
 // buffer: the caller releases it with wire.PutBuf once decoded values
 // aliasing it are dead.
 func (c *Client) Call(method wire.Method, segs ...[]byte) ([]byte, error) {
+	return c.CallWithTimeout(method, 0, segs...)
+}
+
+// CallWithTimeout is Call with an explicit per-call deadline; zero selects
+// the client's CallTimeout (then DefaultCallTimeout). On expiry it returns
+// an error matching ErrDeadlineExceeded.
+func (c *Client) CallWithTimeout(method wire.Method, timeout time.Duration, segs ...[]byte) ([]byte, error) {
 	id := c.reqID.Add(1)
 	ch := make(chan callResult, 1)
 	c.pendingMu.Lock()
@@ -116,7 +137,9 @@ func (c *Client) Call(method wire.Method, segs ...[]byte) ([]byte, error) {
 		// channel makes that send non-blocking either way.
 		return nil, err
 	}
-	timeout := c.CallTimeout
+	if timeout == 0 {
+		timeout = c.CallTimeout
+	}
 	if timeout == 0 {
 		timeout = DefaultCallTimeout
 	}
@@ -139,7 +162,7 @@ func (c *Client) Call(method wire.Method, segs ...[]byte) ([]byte, error) {
 				wire.PutBuf(res.body)
 			}
 		}
-		return nil, fmt.Errorf("rpc: call %s timed out after %v", method, timeout)
+		return nil, fmt.Errorf("%w: %s after %v", ErrDeadlineExceeded, method, timeout)
 	}
 }
 
@@ -176,7 +199,9 @@ func (c *Client) send(reqID uint64, method wire.Method, segs ...[]byte) error {
 		if cause := c.closeCause(); cause != nil {
 			return cause
 		}
-		return fmt.Errorf("rpc: send %s: %w", method, err)
+		// A failed write means the transport is gone even if readLoop has
+		// not observed it yet; report the loss with its typed sentinel.
+		return fmt.Errorf("%w: send %s: %v", ErrManagerDown, method, err)
 	}
 	return nil
 }
@@ -205,7 +230,7 @@ func (c *Client) readLoop() {
 	for {
 		typ, payload, err := readFrame(c.conn)
 		if err != nil {
-			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+			c.fail(fmt.Errorf("%w: connection lost: %v", ErrManagerDown, err))
 			return
 		}
 		switch typ {
@@ -220,7 +245,7 @@ func (c *Client) readLoop() {
 			}
 		default:
 			wire.PutBuf(payload)
-			c.fail(fmt.Errorf("rpc: unexpected frame type %d", typ))
+			c.fail(fmt.Errorf("%w: unexpected frame type %d", ErrManagerDown, typ))
 			return
 		}
 	}
@@ -234,7 +259,7 @@ func (c *Client) dispatchResponse(payload []byte) {
 	errMsg := d.String()
 	if d.Err() != nil {
 		wire.PutBuf(payload)
-		c.fail(fmt.Errorf("rpc: malformed response: %w", d.Err()))
+		c.fail(fmt.Errorf("%w: malformed response: %v", ErrManagerDown, d.Err()))
 		return
 	}
 	body := payload[len(payload)-d.Remaining():]

@@ -1,0 +1,88 @@
+package rpc
+
+import (
+	"errors"
+	"time"
+
+	"blastfunction/internal/wire"
+)
+
+// Backoff is the retry policy of CallRetry: full-jitter exponential
+// backoff, deterministic for a given Seed so tests and the DES harness can
+// replay schedules.
+type Backoff struct {
+	// Attempts is the total number of tries (first call included). Zero or
+	// one means no retry.
+	Attempts int
+	// Base is the backoff before the first retry; it doubles per attempt.
+	// Zero selects 50ms.
+	Base time.Duration
+	// Max caps the (pre-jitter) backoff. Zero selects 2s.
+	Max time.Duration
+	// Seed drives the jitter; the zero seed is replaced by 1.
+	Seed uint64
+}
+
+// DefaultBackoff is the policy the Remote Library applies to idempotent
+// context/information calls: three tries, 50ms doubling to 2s, full
+// jitter.
+func DefaultBackoff(seed uint64) Backoff {
+	return Backoff{Attempts: 3, Base: 50 * time.Millisecond, Max: 2 * time.Second, Seed: seed}
+}
+
+// next returns the jittered backoff for retry i (0-based) and advances the
+// jitter state.
+func (b *Backoff) next(i int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << uint(i)
+	if d > max || d <= 0 {
+		d = max
+	}
+	// splitmix64 step; full jitter in (0, d].
+	b.Seed += 0x9e3779b97f4a7c15
+	z := b.Seed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return 1 + time.Duration(z%uint64(d))
+}
+
+// CallRetry performs a unary call, retrying with jittered backoff when the
+// per-call deadline expires while the connection stays healthy. Only pass
+// idempotent methods (the context/information calls whose repetition is
+// harmless — DeviceInfo, Heartbeat): a timed-out call may still execute on
+// the manager, so re-sending a non-idempotent method would double-apply
+// it. Connection loss (ErrManagerDown, ErrClosed) and application errors
+// fail fast: neither a dead manager nor an invalid request gets better
+// with repetition.
+func (c *Client) CallRetry(b Backoff, timeout time.Duration, method wire.Method, segs ...[]byte) ([]byte, error) {
+	if b.Seed == 0 {
+		b.Seed = 1
+	}
+	attempts := b.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(b.next(i - 1))
+		}
+		var body []byte
+		body, err = c.CallWithTimeout(method, timeout, segs...)
+		if err == nil {
+			return body, nil
+		}
+		if !errors.Is(err, ErrDeadlineExceeded) {
+			return nil, err
+		}
+	}
+	return nil, err
+}

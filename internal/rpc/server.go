@@ -130,6 +130,10 @@ type Server struct {
 	handler Handler
 	// Logf logs transport-level failures; defaults to log.Printf.
 	Logf func(format string, args ...any)
+	// WrapConn, when set, wraps every accepted connection before it is
+	// served. Chaos tests install a FaultConn here to inject transport
+	// failures on the manager side. Set before Serve/Listen.
+	WrapConn func(net.Conn) net.Conn
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -156,6 +160,9 @@ func (s *Server) Serve(ln net.Listener) error {
 		raw, err := ln.Accept()
 		if err != nil {
 			return err
+		}
+		if s.WrapConn != nil {
+			raw = s.WrapConn(raw)
 		}
 		conn := &Conn{raw: raw}
 		conn.fw.w = raw

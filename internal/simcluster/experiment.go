@@ -330,7 +330,10 @@ func Run(exp Experiment) (*Result, error) {
 	if exp.Filters != nil {
 		policy.Filters = exp.Filters
 	}
-	reg := registry.New(policy)
+	reg, err := registry.New(policy)
+	if err != nil {
+		return nil, err
+	}
 	for _, b := range boardList {
 		if err := reg.RegisterDevice(registry.Device{
 			ID: b.id, Node: b.node,

@@ -33,6 +33,11 @@ const (
 	MethodEnqueueRead
 	MethodEnqueueKernel
 	MethodFlush
+
+	// MethodHeartbeat renews the client's session lease (proto >=
+	// ProtoVersionLease). It carries no body and returns no body; its only
+	// effect is refreshing the manager-side lease deadline.
+	MethodHeartbeat
 )
 
 var methodNames = map[Method]string{
@@ -54,6 +59,7 @@ var methodNames = map[Method]string{
 	MethodEnqueueRead:    "EnqueueRead",
 	MethodEnqueueKernel:  "EnqueueKernel",
 	MethodFlush:          "Flush",
+	MethodHeartbeat:      "Heartbeat",
 }
 
 // String names the method.
@@ -129,10 +135,15 @@ type HelloRequest struct {
 // that negotiated ProtoVersionBatch or later.
 const (
 	// ProtoVersion is the current protocol revision.
-	ProtoVersion = 2
+	ProtoVersion = 3
 	// ProtoVersionBatch is the first revision with coalesced notification
 	// batch frames.
 	ProtoVersionBatch = 2
+	// ProtoVersionLease is the first revision with session leases: the
+	// manager advertises a lease duration in HelloResponse and the client
+	// renews it with MethodHeartbeat. Sessions negotiated below this
+	// revision are never lease-expired (old clients do not heartbeat).
+	ProtoVersionLease = 3
 	// MinProtoVersion is the oldest revision a manager still serves.
 	MinProtoVersion = 1
 )
@@ -160,6 +171,11 @@ type HelloResponse struct {
 	// speaks). It is a trailing field: version-1 managers don't send it and
 	// version-1 decoders ignore it, so Hello itself stays cross-version.
 	Proto uint32
+	// LeaseMillis is the session lease duration in milliseconds; the
+	// client must send a MethodHeartbeat at least that often or the
+	// manager reclaims the session. Zero disables leasing. Trailing field,
+	// only sent to sessions negotiated at ProtoVersionLease or later.
+	LeaseMillis uint32
 }
 
 // Encode serializes the message.
@@ -167,6 +183,9 @@ func (m *HelloResponse) Encode(e *Encoder) {
 	e.U64(m.SessionID)
 	e.String(m.Node)
 	e.U32(m.Proto)
+	if m.Proto >= ProtoVersionLease {
+		e.U32(m.LeaseMillis)
+	}
 }
 
 // Decode deserializes the message.
@@ -177,6 +196,10 @@ func (m *HelloResponse) Decode(d *Decoder) {
 		m.Proto = d.U32()
 	} else {
 		m.Proto = 1
+	}
+	m.LeaseMillis = 0
+	if m.Proto >= ProtoVersionLease && d.Remaining() > 0 {
+		m.LeaseMillis = d.U32()
 	}
 }
 
