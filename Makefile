@@ -1,7 +1,7 @@
 # BlastFunction reproduction build targets.
 GO ?= go
 
-.PHONY: all build test vet race bench check experiments examples clean
+.PHONY: all build test vet race bench check experiments examples sched-ablation clean
 
 all: build test
 
@@ -15,10 +15,18 @@ vet:
 	$(GO) vet ./...
 
 # The transport hot path carries explicit buffer-ownership hand-offs and the
-# close/notify teardown races, and simcluster hosts the chaos tests (fault
-# injection, lease expiry); always run them under the race detector.
+# close/notify teardown races, simcluster hosts the chaos tests (fault
+# injection, lease expiry), and sched is the manager's concurrent central
+# queue; always run them under the race detector.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/simcluster/...
+	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/...
+
+# Run the scheduling fairness experiment: the two-tenant skew workload on
+# the real Device Manager under fifo vs drr, checked against the
+# discrete-event ablation's prediction, plus the queue microbenchmarks.
+sched-ablation:
+	$(GO) test -race -v ./internal/simcluster/ -run Fairness
+	$(GO) test -bench BenchmarkPushPop -benchmem ./internal/sched/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

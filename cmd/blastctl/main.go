@@ -3,6 +3,7 @@
 //	blastctl -registry http://localhost:8080 devices
 //	blastctl -registry http://localhost:8080 functions
 //	blastctl -manager http://localhost:5101 traces
+//	blastctl -manager http://localhost:5101 tenants
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"text/tabwriter"
 )
 
@@ -31,9 +33,57 @@ func main() {
 		showFunctions(*registryURL)
 	case "traces":
 		showTraces(*managerURL)
+	case "tenants":
+		showTenants(*managerURL)
 	default:
-		log.Fatalf("blastctl: unknown command %q (want devices|functions|traces)", cmd)
+		log.Fatalf("blastctl: unknown command %q (want devices|functions|traces|tenants)", cmd)
 	}
+}
+
+// showTenants joins the manager's scheduling snapshot with its trace ring
+// into a per-tenant fairness view: occupancy share, queue depth, and p95
+// queue wait over the recently executed tasks.
+func showTenants(base string) {
+	var stats struct {
+		Discipline string `json:"discipline"`
+		Depth      int    `json:"depth"`
+		Tenants    []struct {
+			Tenant         string  `json:"tenant"`
+			Weight         int     `json:"weight"`
+			Depth          int     `json:"depth"`
+			Popped         uint64  `json:"popped"`
+			MaxWaitNanos   int64   `json:"max_wait_ns"`
+			DeviceNanos    int64   `json:"device_ns"`
+			OccupancyShare float64 `json:"occupancy_share"`
+		}
+	}
+	fetch(base+"/debug/sched", &stats)
+	var traces []struct {
+		Client         string `json:"client"`
+		QueueWaitNanos int64  `json:"queue_wait_ns"`
+	}
+	fetch(base+"/debug/tasks", &traces)
+	// p95 queue wait per tenant over the trace ring's window.
+	waits := make(map[string][]int64)
+	for _, tr := range traces {
+		waits[tr.Client] = append(waits[tr.Client], tr.QueueWaitNanos)
+	}
+	p95 := func(v []int64) float64 {
+		if len(v) == 0 {
+			return 0
+		}
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+		return float64(v[(len(v)-1)*95/100]) / 1e6
+	}
+	fmt.Printf("discipline: %s, queued: %d\n", stats.Discipline, stats.Depth)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "TENANT\tWEIGHT\tQUEUED\tTASKS\tSHARE\tP95_WAIT_MS\tMAX_WAIT_MS\tDEVICE_MS")
+	for _, ts := range stats.Tenants {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f%%\t%.3f\t%.3f\t%.3f\n",
+			ts.Tenant, ts.Weight, ts.Depth, ts.Popped, ts.OccupancyShare*100,
+			p95(waits[ts.Tenant]), float64(ts.MaxWaitNanos)/1e6, float64(ts.DeviceNanos)/1e6)
+	}
+	w.Flush()
 }
 
 func showTraces(base string) {

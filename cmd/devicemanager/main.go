@@ -17,6 +17,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"blastfunction/internal/manager"
 	"blastfunction/internal/model"
 	"blastfunction/internal/rpc"
+	"blastfunction/internal/sched"
 )
 
 func main() {
@@ -37,8 +40,19 @@ func main() {
 		timescale = flag.Float64("timescale", 0.01, "wall seconds per modelled second (0 disables sleeping)")
 		register  = flag.String("register", "", "registry base URL for self-registration (optional)")
 		lease     = flag.Duration("lease", 30*time.Second, "session lease duration; silent clients are reclaimed after this (0 disables)")
+		schedFlag = flag.String("sched", "fifo", "central-queue discipline: fifo, drr or deadline")
+		weights   = flag.String("weights", "", "per-tenant drr weights as name=w,name=w (overrides Hello-declared weights)")
+		guard     = flag.Duration("starvation-guard", 0, "drr starvation guard: max queue wait before a tenant is served out of turn (0 = default 2s, negative disables)")
 	)
 	flag.Parse()
+
+	weightTable, err := parseWeights(*weights)
+	if err != nil {
+		log.Fatalf("devicemanager: -weights: %v", err)
+	}
+	if _, err := sched.ParseDiscipline(*schedFlag); err != nil {
+		log.Fatalf("devicemanager: -sched: %v", err)
+	}
 
 	cost := model.WorkerNode()
 	if *master {
@@ -47,7 +61,14 @@ func main() {
 	cfg := fpga.DE5aNet(cost)
 	cfg.TimeScale = *timescale
 	board := fpga.NewBoard(cfg, accel.Catalog())
-	mgr := manager.New(manager.Config{Node: *node, DeviceID: *device, LeaseDuration: *lease}, board)
+	mgr := manager.New(manager.Config{
+		Node:            *node,
+		DeviceID:        *device,
+		LeaseDuration:   *lease,
+		Scheduler:       *schedFlag,
+		TenantWeights:   weightTable,
+		StarvationGuard: *guard,
+	}, board)
 	defer mgr.Close()
 
 	srv := rpc.NewServer(mgr)
@@ -61,6 +82,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", mgr.MetricsHandler())
 	mux.Handle("/debug/tasks", mgr.TraceHandler())
+	mux.Handle("/debug/sched", mgr.SchedStatsHandler())
 	metricsSrv := &http.Server{Addr: *metricsAt, Handler: mux}
 	go func() {
 		if err := metricsSrv.ListenAndServe(); err != http.ErrServerClosed {
@@ -81,6 +103,27 @@ func main() {
 	<-sig
 	log.Print("devicemanager: shutting down")
 	metricsSrv.Close()
+}
+
+// parseWeights parses the -weights table: "tenant=w,tenant=w" with
+// positive integer weights.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	table := make(map[string]int)
+	for _, entry := range strings.Split(s, ",") {
+		kv := strings.SplitN(entry, "=", 2)
+		if len(kv) != 2 || kv[0] == "" {
+			return nil, fmt.Errorf("malformed entry %q (want name=weight)", entry)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("weight %q of %q: want a positive integer", kv[1], kv[0])
+		}
+		table[kv[0]] = w
+	}
+	return table, nil
 }
 
 func selfRegister(base, device, node, rpcAddr, metricsURL string, board *fpga.Board) error {

@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -149,10 +150,21 @@ func main() {
 			log.Fatalf("gateway: malformed -deploy %q", d)
 		}
 		name, usecase := kv[0], kv[1]
+		// An optional "@N" suffix sets the function's fair-share weight,
+		// e.g. -deploy sobel-1=sobel@3.
+		weight := 0
+		if at := strings.LastIndex(usecase, "@"); at >= 0 {
+			w, err := strconv.Atoi(usecase[at+1:])
+			if err != nil || w < 1 {
+				log.Fatalf("gateway: malformed weight in -deploy %q", d)
+			}
+			usecase, weight = usecase[:at], w
+		}
 		if err := reg.RegisterFunction(registry.Function{
 			Name:      name,
 			Query:     registry.DeviceQuery{Vendor: "Intel(R) Corporation", Accelerator: accelerator(usecase)},
 			Bitstream: bitstream(usecase),
+			Weight:    weight,
 		}); err != nil {
 			log.Fatalf("gateway: %v", err)
 		}
@@ -206,10 +218,14 @@ func factory(name, usecase string) gateway.Factory {
 		if addr == "" {
 			return nil, fmt.Errorf("instance %s has no %s", in.Name, registry.EnvManagerAddr)
 		}
+		// The Registry-propagated fair-share weight rides the binding; a
+		// missing or malformed value means unweighted.
+		weight, _ := strconv.Atoi(in.Env[registry.EnvWeight])
 		client, err := remote.Dial(remote.Config{
 			ClientName: in.Name,
 			Managers:   []string{addr},
 			Transport:  remote.TransportAuto,
+			Weight:     weight,
 		})
 		if err != nil {
 			return nil, err

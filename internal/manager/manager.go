@@ -22,6 +22,7 @@
 package manager
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sync"
@@ -32,6 +33,7 @@ import (
 	"blastfunction/internal/metrics"
 	"blastfunction/internal/ocl"
 	"blastfunction/internal/rpc"
+	"blastfunction/internal/sched"
 	"blastfunction/internal/wire"
 )
 
@@ -58,6 +60,20 @@ type Config struct {
 	// leases. Sessions negotiated below wire.ProtoVersionLease are never
 	// expired — they predate heartbeats.
 	LeaseDuration time.Duration
+	// Scheduler selects the central-queue discipline: "fifo" (default,
+	// the paper's strict arrival order), "drr" (deficit round-robin
+	// weighted fair queuing across tenants) or "deadline" (EDF on
+	// client-supplied soft deadline hints). An unknown name falls back to
+	// fifo so a misconfigured manager still serves paper-faithfully.
+	Scheduler string
+	// TenantWeights assigns drr fair-share weights by client name; the
+	// operator table overrides weights carried in Hello (the Registry
+	// binding), and tenants with neither get weight 1.
+	TenantWeights map[string]int
+	// StarvationGuard bounds any tenant's queue wait under drr: an item
+	// older than the guard is served next regardless of deficits. Zero
+	// selects the sched default (2s); negative disables the guard.
+	StarvationGuard time.Duration
 }
 
 // Manager serves one board. It implements rpc.Handler.
@@ -66,7 +82,8 @@ type Manager struct {
 	board *fpga.Board
 	reg   *metrics.Registry
 
-	tasks chan *task
+	disc  sched.Discipline
+	queue sched.Queue
 
 	mu       sync.Mutex
 	sessions map[uint64]*session
@@ -90,9 +107,42 @@ type Manager struct {
 	mLeaseExp   metrics.Counter
 	mTaskHist   metrics.Histogram
 
+	// Per-tenant series (device/node/tenant labels), created on a
+	// tenant's first contact with the queue.
+	tmu     sync.Mutex
+	tenants map[string]*tenantMetrics
+
 	traces *traceRing
 
 	lastBusy atomic.Int64 // last board busy reading pushed to mBusy
+}
+
+// tenantMetrics is one tenant's exported series plus the raw cumulative
+// device time backing the occupancy-share computation.
+type tenantMetrics struct {
+	depth     metrics.Gauge   // bf_tenant_queue_depth
+	waitTotal metrics.Counter // bf_tenant_queue_wait_seconds_total
+	deviceSec metrics.Counter // bf_tenant_device_seconds_total
+	tasks     metrics.Counter // bf_tenant_tasks_total
+	deviceNS  atomic.Int64
+}
+
+// tenantMetric returns (creating on first use) the tenant's series.
+func (m *Manager) tenantMetric(tenant string) *tenantMetrics {
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	tm, ok := m.tenants[tenant]
+	if !ok {
+		lbl := metrics.Labels{"device": m.cfg.DeviceID, "node": m.cfg.Node, "tenant": tenant}
+		tm = &tenantMetrics{
+			depth:     m.reg.Gauge("bf_tenant_queue_depth", "Tasks a tenant has waiting in the central queue.", lbl),
+			waitTotal: m.reg.Counter("bf_tenant_queue_wait_seconds_total", "Cumulative queue wait of the tenant's executed tasks.", lbl),
+			deviceSec: m.reg.Counter("bf_tenant_device_seconds_total", "Modelled device time consumed by the tenant.", lbl),
+			tasks:     m.reg.Counter("bf_tenant_tasks_total", "Tasks the tenant executed on the device.", lbl),
+		}
+		m.tenants[tenant] = tm
+	}
+	return tm
 }
 
 // New creates a Device Manager for the board and starts its worker.
@@ -103,14 +153,30 @@ func New(cfg Config, board *fpga.Board) *Manager {
 	if cfg.DeviceID == "" {
 		cfg.DeviceID = "fpga0"
 	}
+	// An unknown discipline name falls back to fifo: a misconfigured
+	// manager still serves tasks in the paper's arrival order.
+	disc, err := sched.ParseDiscipline(cfg.Scheduler)
+	if err != nil {
+		disc = sched.FIFO
+	}
+	q, err := sched.New(disc, sched.Config{
+		Capacity:        cfg.QueueCapacity,
+		Weights:         cfg.TenantWeights,
+		StarvationGuard: cfg.StarvationGuard,
+	})
+	if err != nil { // unreachable: disc is one of the known values
+		q, _ = sched.New(sched.FIFO, sched.Config{Capacity: cfg.QueueCapacity})
+	}
 	reg := metrics.NewRegistry()
 	lbl := metrics.Labels{"device": cfg.DeviceID, "node": cfg.Node}
 	m := &Manager{
 		cfg:      cfg,
 		board:    board,
 		reg:      reg,
-		tasks:    make(chan *task, cfg.QueueCapacity),
+		disc:     disc,
+		queue:    q,
 		sessions: make(map[uint64]*session),
+		tenants:  make(map[string]*tenantMetrics),
 
 		mConnected:  reg.Gauge("bf_connected_clients", "Function instances connected to this Device Manager.", lbl),
 		mTasks:      reg.Counter("bf_tasks_total", "Tasks executed on the device.", lbl),
@@ -167,9 +233,12 @@ func (m *Manager) Close() {
 	if m.stopSweep != nil {
 		close(m.stopSweep)
 	}
-	close(m.tasks)
+	m.queue.Close() // the worker drains what is queued, then exits
 	m.wg.Wait()
 }
+
+// Discipline reports the scheduling discipline the central queue runs.
+func (m *Manager) Discipline() sched.Discipline { return m.disc }
 
 // leaseSweeper periodically expires sessions whose lease ran out. Checking
 // at a quarter of the lease keeps the detection latency well under half a
@@ -215,6 +284,19 @@ func (m *Manager) sweepLeases(now time.Time) {
 // the connection is closed (a wedged client that recovers must re-Hello).
 func (m *Manager) expireSession(s *session) {
 	s.expired.Store(true)
+	// Pull the session's queued tasks out of whichever structure the
+	// discipline holds them in: they fail here without ever occupying the
+	// board, instead of waiting for the worker's expired-session check.
+	err := ocl.Errf(ocl.ErrDeviceNotAvailable, "session lease expired")
+	for _, it := range m.queue.Remove(s.id) {
+		t := it.Payload.(*task)
+		m.tenantMetric(t.sess.clientName).depth.Add(-1)
+		for i := range t.ops {
+			t.sess.sendFail(t.conn, t.ops[i].tag, err) // best effort
+		}
+		releaseOps(t.ops)
+	}
+	m.mQueueDepth.Set(float64(m.queue.Len()))
 	s.expire(m.board)
 	m.mLeaseExp.Inc()
 	if s.conn != nil {
@@ -222,12 +304,23 @@ func (m *Manager) expireSession(s *session) {
 	}
 }
 
-// worker is the single executor pulling tasks from the central queue in
-// FIFO order — one task occupies the FPGA at a time.
+// worker is the single executor pulling tasks from the central queue
+// under the configured discipline — one task occupies the FPGA at a
+// time. The queue's close-drain semantics keep shutdown identical to the
+// old channel ranging: everything submitted before Close still runs.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for t := range m.tasks {
-		m.mQueueDepth.Set(float64(len(m.tasks)))
+	for {
+		it, ok := m.queue.Pop(context.Background())
+		if !ok {
+			return
+		}
+		t := it.Payload.(*task)
+		t.queueWait = time.Since(it.Submitted)
+		m.mQueueDepth.Set(float64(m.queue.Len()))
+		tm := m.tenantMetric(t.sess.clientName)
+		tm.depth.Add(-1)
+		tm.waitTotal.Add(t.queueWait.Seconds())
 		m.runTask(t)
 		m.syncBoardCounters()
 	}
@@ -340,6 +433,10 @@ func (m *Manager) handleHello(c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
 	s := newSession(m.nextSess, req.ClientName)
 	s.proto = req.ProtoVersion
 	s.conn = c
+	// The fair-share weight travels with the instance binding (Registry →
+	// gateway → Hello); the manager's static table, when set, wins inside
+	// the queue's weight resolution.
+	s.weight = int(req.Weight)
 	s.lastBeat.Store(time.Now().UnixNano())
 	m.sessions[s.id] = s
 	m.mu.Unlock()
@@ -397,16 +494,24 @@ func (m *Manager) handleBuildProgram(s *session, d *wire.Decoder) ([]byte, error
 	return nil, nil
 }
 
-// submit places a sealed task on the central queue.
+// submit places a sealed task on the central queue. The item's cost is
+// the task's operation count: a multi-op task charges its tenant
+// proportionally under drr, matching the paper's observation that task
+// length drives board occupancy.
 func (m *Manager) submit(t *task) error {
-	m.mu.Lock()
-	closed := m.closed
-	m.mu.Unlock()
-	if closed {
+	it := &sched.Item{
+		Session:  t.sess.id,
+		Tenant:   t.sess.clientName,
+		Weight:   t.sess.weight,
+		Cost:     int64(len(t.ops)),
+		Deadline: t.deadline,
+		Payload:  t,
+	}
+	if err := m.queue.Push(it); err != nil {
 		return ocl.Errf(ocl.ErrDeviceNotAvailable, "manager shutting down")
 	}
-	m.tasks <- t
-	m.mQueueDepth.Set(float64(len(m.tasks)))
+	m.mQueueDepth.Set(float64(m.queue.Len()))
+	m.tenantMetric(t.sess.clientName).depth.Add(1)
 	return nil
 }
 

@@ -32,6 +32,10 @@ type session struct {
 	// worker fast-fails queued tasks of expired sessions instead of
 	// running them against freed resources.
 	expired atomic.Bool
+	// weight is the fair-share weight the client declared at Hello (the
+	// Registry-propagated binding); zero means unweighted. Immutable after
+	// the handshake.
+	weight int
 
 	mu       sync.Mutex
 	nextID   uint64

@@ -47,6 +47,12 @@ type task struct {
 	sess *session
 	conn *rpc.Conn
 	ops  []op
+	// deadline is the client's soft completion hint (zero when unhinted);
+	// only the deadline discipline orders by it.
+	deadline time.Time
+	// queueWait is the time the task spent in the central queue, stamped
+	// by the worker at pop.
+	queueWait time.Duration
 }
 
 // releaseOps returns the pooled inline write payloads of operations that
@@ -239,7 +245,13 @@ func (s *session) flush(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte, error
 	if len(ops) == 0 {
 		return nil, nil
 	}
-	if err := m.submit(&task{sess: s, conn: c, ops: ops}); err != nil {
+	// A trailing deadline hint becomes absolute here: the hint is relative
+	// to submission, and the central queue compares absolute deadlines.
+	var deadline time.Time
+	if req.DeadlineMillis > 0 {
+		deadline = time.Now().Add(time.Duration(req.DeadlineMillis) * time.Millisecond)
+	}
+	if err := m.submit(&task{sess: s, conn: c, ops: ops, deadline: deadline}); err != nil {
 		for _, o := range ops {
 			s.sendFail(c, o.tag, err)
 		}
@@ -401,10 +413,15 @@ func (m *Manager) runTask(t *task) {
 	}
 	nb.flush()
 	m.mTaskHist.Observe(taskDevice.Seconds())
+	tm := m.tenantMetric(t.sess.clientName)
+	tm.tasks.Inc()
+	tm.deviceSec.Add(taskDevice.Seconds())
+	tm.deviceNS.Add(int64(taskDevice))
 	m.traces.add(TaskTrace{
 		Client:      t.sess.clientName,
 		Ops:         len(t.ops),
 		DeviceTime:  taskDevice,
+		QueueWait:   t.queueWait,
 		Failed:      failed,
 		CompletedAt: time.Now(),
 	})

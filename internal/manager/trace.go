@@ -19,6 +19,9 @@ type TaskTrace struct {
 	Ops int `json:"ops"`
 	// DeviceTime is the modelled board occupancy of the task.
 	DeviceTime time.Duration `json:"device_ns"`
+	// QueueWait is the time the task spent in the central queue before
+	// the worker picked it — the per-task view of scheduling delay.
+	QueueWait time.Duration `json:"queue_wait_ns"`
 	// Failed marks tasks aborted by a failing operation.
 	Failed bool `json:"failed,omitempty"`
 	// CompletedAt is the wall-clock completion time.

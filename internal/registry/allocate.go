@@ -37,6 +37,9 @@ type Allocation struct {
 	// Displaced lists instance UIDs that must migrate off the chosen
 	// device before it is reconfigured.
 	Displaced []string
+	// Weight is the function's fair-share weight, forwarded into the
+	// instance environment so the Remote Library declares it at Hello.
+	Weight int
 }
 
 // candidate is a device under evaluation, with its metrics snapshot.
@@ -124,6 +127,7 @@ func (r *Registry) Allocate(req AllocRequest) (*Allocation, error) {
 		Node:             req.Node,
 		NeedsReconfigure: !chosen.compatible,
 		Displaced:        displaced,
+		Weight:           fn.Weight,
 	}
 	if alloc.Node == "" {
 		alloc.Node = chosen.ds.Node

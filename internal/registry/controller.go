@@ -3,6 +3,7 @@ package registry
 import (
 	"context"
 	"log"
+	"strconv"
 	"sync"
 	"time"
 
@@ -20,6 +21,10 @@ const (
 	EnvDeviceID = "BF_DEVICE_ID"
 	// EnvNode is the node the instance was placed on.
 	EnvNode = "BF_NODE"
+	// EnvWeight is the function's fair-share weight; the instance's Remote
+	// OpenCL Library declares it to Device Managers at Hello, where
+	// weighted scheduling disciplines use it. Absent when unweighted.
+	EnvWeight = "BF_TENANT_WEIGHT"
 )
 
 // ShmVolume is the shared-memory volume mounted into allocated instances.
@@ -156,12 +161,16 @@ func (c *Controller) allocate(in cluster.Instance) {
 	}
 
 	node := alloc.Node
+	env := map[string]string{
+		EnvManagerAddr: alloc.Device.ManagerAddr,
+		EnvDeviceID:    alloc.Device.ID,
+		EnvNode:        node,
+	}
+	if alloc.Weight > 0 {
+		env[EnvWeight] = strconv.Itoa(alloc.Weight)
+	}
 	_, err = c.cl.PatchInstance(in.UID, cluster.Patch{
-		Env: map[string]string{
-			EnvManagerAddr: alloc.Device.ManagerAddr,
-			EnvDeviceID:    alloc.Device.ID,
-			EnvNode:        node,
-		},
+		Env:        env,
 		AddVolumes: []string{ShmVolume},
 		Node:       &node,
 	})

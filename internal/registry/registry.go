@@ -57,6 +57,10 @@ type Function struct {
 	Query DeviceQuery
 	// Bitstream is the bitstream ID the function programs.
 	Bitstream string
+	// Weight is the function's fair-share weight under weighted Device
+	// Manager scheduling; it travels with every instance binding
+	// (BF_TENANT_WEIGHT). Zero means unweighted (managers treat it as 1).
+	Weight int
 }
 
 // instanceInfo tracks one allocated function instance.

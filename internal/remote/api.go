@@ -2,6 +2,7 @@ package remote
 
 import (
 	"sync"
+	"time"
 
 	"blastfunction/internal/ocl"
 	"blastfunction/internal/wire"
@@ -245,7 +246,29 @@ type commandQueue struct {
 	mu        sync.Mutex
 	events    []*remoteEvent // not yet known-complete
 	unflushed []*remoteEvent // members of the current task
+	deadline  time.Duration  // soft completion hint attached to flushed tasks
 	released  bool
+}
+
+// DeadlineHinter is the optional command-queue extension for attaching a
+// soft completion deadline to flushed tasks. Managers running the
+// deadline discipline order tasks by the hint (earliest first); other
+// disciplines — and managers predating the field — ignore it, so hinting
+// is always safe.
+type DeadlineHinter interface {
+	// SetDeadlineHint attaches d (relative to submission) to every task
+	// this queue flushes from now on; zero clears the hint.
+	SetDeadlineHint(d time.Duration)
+}
+
+// SetDeadlineHint implements DeadlineHinter.
+func (q *commandQueue) SetDeadlineHint(d time.Duration) {
+	q.mu.Lock()
+	if d < 0 {
+		d = 0
+	}
+	q.deadline = d
+	q.mu.Unlock()
 }
 
 // track registers an event as in-flight and part of the current task.
@@ -480,12 +503,13 @@ func (q *commandQueue) Flush() error {
 	q.mu.Lock()
 	hadOps := len(q.unflushed) > 0
 	q.unflushed = q.unflushed[:0]
+	deadline := q.deadline
 	q.mu.Unlock()
 	if !hadOps {
 		return nil
 	}
 	e := wire.GetEncoder(16)
-	(&wire.FlushRequest{Queue: q.id}).Encode(e)
+	(&wire.FlushRequest{Queue: q.id, DeadlineMillis: uint32(deadline / time.Millisecond)}).Encode(e)
 	err := q.ctx.mc.rpc.Send(wire.MethodFlush, e.Bytes())
 	e.Release()
 	return err

@@ -71,6 +71,11 @@ type Config struct {
 	// DialConn, when set, replaces net.Dial for manager connections. Chaos
 	// tests wrap the returned connection in an rpc.FaultConn.
 	DialConn func(addr string) (net.Conn, error)
+	// Weight is the instance's fair-share weight, declared to managers at
+	// Hello; weighted disciplines serve tenants proportionally to it. Zero
+	// means unweighted (managers treat it as 1). Deployed instances
+	// receive it from the Registry binding via BF_TENANT_WEIGHT.
+	Weight int
 }
 
 // Client is the Remote OpenCL Library entry point; it implements

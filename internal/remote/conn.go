@@ -63,7 +63,7 @@ func dialManager(cfg *Config, addr string) (*managerConn, error) {
 	// Hello: open the session. Not retried — a timed-out Hello may still
 	// have created a session on the manager, and retrying would leak it.
 	e := wire.GetEncoder(64)
-	(&wire.HelloRequest{ClientName: cfg.ClientName, ProtoVersion: wire.ProtoVersion}).Encode(e)
+	(&wire.HelloRequest{ClientName: cfg.ClientName, ProtoVersion: wire.ProtoVersion, Weight: uint32(max(cfg.Weight, 0))}).Encode(e)
 	resp, err := cl.Call(wire.MethodHello, e.Bytes())
 	e.Release()
 	if err != nil {

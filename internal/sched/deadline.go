@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"container/heap"
+	"time"
+)
+
+// edfPolicy is earliest-deadline-first on the items' soft deadlines.
+// Unhinted items use their submission time as the effective deadline, so
+// they are served in FIFO order relative to each other and are never
+// parked behind hinted work with slack — a queue where nobody hints
+// degenerates to exactly FIFO. Deadline ties break by arrival order.
+type edfPolicy struct {
+	h edfHeap
+}
+
+func newEDFPolicy() *edfPolicy { return &edfPolicy{} }
+
+// effDeadline is the EDF sort key.
+func effDeadline(it *Item) time.Time {
+	if it.Deadline.IsZero() {
+		return it.Submitted
+	}
+	return it.Deadline
+}
+
+type edfHeap []*Item
+
+func (h edfHeap) Len() int { return len(h) }
+func (h edfHeap) Less(i, j int) bool {
+	di, dj := effDeadline(h[i]), effDeadline(h[j])
+	if !di.Equal(dj) {
+		return di.Before(dj)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h edfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *edfHeap) Push(x any)   { *h = append(*h, x.(*Item)) }
+func (h *edfHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+func (p *edfPolicy) push(it *Item) { heap.Push(&p.h, it) }
+
+func (p *edfPolicy) pop(time.Time) *Item {
+	if len(p.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&p.h).(*Item)
+}
+
+func (p *edfPolicy) remove(session uint64) []*Item {
+	var out []*Item
+	kept := p.h[:0]
+	for _, it := range p.h {
+		if it.Session == session {
+			out = append(out, it)
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	for i := len(kept); i < len(p.h); i++ {
+		p.h[i] = nil
+	}
+	p.h = kept
+	heap.Init(&p.h)
+	sortItemsBySeq(out)
+	return out
+}
+
+func (p *edfPolicy) len() int { return len(p.h) }

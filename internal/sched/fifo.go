@@ -1,0 +1,56 @@
+package sched
+
+import "time"
+
+// fifoPolicy is strict arrival order — the paper's central queue. The
+// backing ring reuses its array across pops so the hot path allocates
+// only on growth.
+type fifoPolicy struct {
+	items []*Item
+	head  int
+}
+
+func newFIFOPolicy() *fifoPolicy { return &fifoPolicy{} }
+
+func (p *fifoPolicy) push(it *Item) {
+	p.items = append(p.items, it)
+}
+
+func (p *fifoPolicy) pop(time.Time) *Item {
+	if p.head >= len(p.items) {
+		return nil
+	}
+	it := p.items[p.head]
+	p.items[p.head] = nil // release for GC
+	p.head++
+	// Reclaim the drained prefix once it dominates the slice, so a
+	// long-lived queue does not leak its own history.
+	if p.head > 64 && p.head*2 >= len(p.items) {
+		n := copy(p.items, p.items[p.head:])
+		for i := n; i < len(p.items); i++ {
+			p.items[i] = nil
+		}
+		p.items = p.items[:n]
+		p.head = 0
+	}
+	return it
+}
+
+func (p *fifoPolicy) remove(session uint64) []*Item {
+	var out []*Item
+	kept := p.items[:p.head]
+	for _, it := range p.items[p.head:] {
+		if it.Session == session {
+			out = append(out, it)
+			continue
+		}
+		kept = append(kept, it)
+	}
+	for i := len(kept); i < len(p.items); i++ {
+		p.items[i] = nil
+	}
+	p.items = kept
+	return out
+}
+
+func (p *fifoPolicy) len() int { return len(p.items) - p.head }

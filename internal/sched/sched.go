@@ -1,0 +1,193 @@
+// Package sched is the Device Manager's pluggable central-queue
+// scheduling subsystem.
+//
+// The paper's Device Manager serializes every client through one strict
+// FIFO queue; one greedy tenant submitting large tasks starves everyone
+// else sharing the board. This package factors the queue behind a small
+// Queue interface and ships three disciplines:
+//
+//   - fifo: strict arrival order, the paper-faithful default;
+//   - drr: deficit round-robin weighted fair queuing keyed by tenant,
+//     with configurable per-tenant weights and a starvation guard that
+//     bounds any tenant's wait;
+//   - deadline: earliest-deadline-first on a client-supplied soft
+//     deadline hint, degrading to FIFO among unhinted tasks.
+//
+// All disciplines share the same blocking envelope: Push applies
+// backpressure at capacity, Pop blocks until an item is schedulable (or
+// the context is cancelled), Close drains like a closed channel, and
+// Remove extracts a dead session's queued work from whichever structure
+// holds it.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Discipline names a scheduling discipline.
+type Discipline string
+
+// The shipped disciplines.
+const (
+	// FIFO serves tasks strictly in arrival order (the paper's design).
+	FIFO Discipline = "fifo"
+	// DRR is deficit round-robin weighted fair queuing across tenants.
+	DRR Discipline = "drr"
+	// Deadline is earliest-deadline-first on soft deadline hints, FIFO
+	// among unhinted tasks.
+	Deadline Discipline = "deadline"
+)
+
+// ParseDiscipline validates a discipline name; the empty string selects
+// FIFO, the paper's default.
+func ParseDiscipline(s string) (Discipline, error) {
+	switch Discipline(s) {
+	case "":
+		return FIFO, nil
+	case FIFO, DRR, Deadline:
+		return Discipline(s), nil
+	}
+	return "", fmt.Errorf("sched: unknown discipline %q (want %s, %s or %s)", s, FIFO, DRR, Deadline)
+}
+
+// Item is one schedulable unit: a sealed multi-operation task.
+type Item struct {
+	// Session identifies the submitting session; Remove reclaims by it.
+	Session uint64
+	// Tenant is the fair-queuing key (the client/function instance name).
+	Tenant string
+	// Weight is the tenant's fair-share weight under drr; values below 1
+	// are lifted to 1 at Push.
+	Weight int
+	// Cost is the item's service-demand estimate in abstract units (the
+	// manager uses the operation count); drr charges it against the
+	// tenant's deficit. Values below 1 are lifted to 1 at Push.
+	Cost int64
+	// Deadline is the soft completion deadline under the deadline
+	// discipline; the zero value marks an unhinted item, which is served
+	// in FIFO position (effective deadline = submission time).
+	Deadline time.Time
+	// Submitted is stamped at Push (unless preset by a test) and is the
+	// reference point for queue-wait accounting and the starvation guard.
+	Submitted time.Time
+	// Payload is the opaque task.
+	Payload any
+
+	// seq is the queue-assigned arrival number breaking all ties
+	// deterministically in submission order.
+	seq uint64
+}
+
+// Config parameterizes a queue.
+type Config struct {
+	// Capacity bounds queued items; Push blocks when full (backpressure,
+	// matching the channel the fifo discipline replaces). Zero selects
+	// 1024.
+	Capacity int
+	// Weights assigns drr weights by tenant name; tenants not listed use
+	// the weight carried by their items (propagated from the Registry
+	// binding), and failing that DefaultWeight.
+	Weights map[string]int
+	// DefaultWeight is the weight of tenants with no other source; zero
+	// selects 1.
+	DefaultWeight int
+	// Quantum is the drr per-round credit granted per weight unit; zero
+	// selects 4 (a typical small task's operation count, so weight-1
+	// tenants still drain multi-op tasks in a bounded number of rounds).
+	Quantum int64
+	// StarvationGuard bounds any tenant's wait under drr: an item queued
+	// longer than the guard is served next regardless of deficits. Zero
+	// selects 2s; negative disables the guard.
+	StarvationGuard time.Duration
+	// Now supplies the clock; tests inject a fake. Nil selects time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 1024
+	}
+	if c.DefaultWeight <= 0 {
+		c.DefaultWeight = 1
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 4
+	}
+	if c.StarvationGuard == 0 {
+		c.StarvationGuard = 2 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Stats is a queue snapshot.
+type Stats struct {
+	// Discipline is the queue's discipline name.
+	Discipline Discipline `json:"discipline"`
+	// Depth is the number of queued items.
+	Depth int `json:"depth"`
+	// Pushed, Popped and Removed are lifetime item counters.
+	Pushed  uint64 `json:"pushed"`
+	Popped  uint64 `json:"popped"`
+	Removed uint64 `json:"removed"`
+	// Tenants lists per-tenant statistics sorted by tenant name.
+	Tenants []TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one tenant's view of the queue.
+type TenantStats struct {
+	Tenant string `json:"tenant"`
+	// Weight is the tenant's effective drr weight (informational under
+	// other disciplines).
+	Weight int `json:"weight"`
+	// Depth is the tenant's currently queued item count.
+	Depth int `json:"depth"`
+	// Popped counts items served; Removed counts items reclaimed.
+	Popped  uint64 `json:"popped"`
+	Removed uint64 `json:"removed"`
+	// WaitTotal is the cumulative queue wait of served items; MaxWait the
+	// largest single wait observed.
+	WaitTotal time.Duration `json:"wait_total_ns"`
+	MaxWait   time.Duration `json:"max_wait_ns"`
+}
+
+// policy is a discipline's data structure. Implementations are not
+// goroutine-safe; the queue wrapper serializes access.
+type policy interface {
+	// push admits an item (seq, Cost, Weight, Submitted already set).
+	push(it *Item)
+	// pop selects and removes the next item to serve; nil when empty.
+	pop(now time.Time) *Item
+	// remove extracts every queued item of the session, submit order.
+	remove(session uint64) []*Item
+	// len is the queued item count.
+	len() int
+}
+
+// New creates a queue of the given discipline.
+func New(d Discipline, cfg Config) (Queue, error) {
+	cfg = cfg.withDefaults()
+	var pol policy
+	switch d {
+	case "", FIFO:
+		d = FIFO
+		pol = newFIFOPolicy()
+	case DRR:
+		pol = newDRRPolicy(cfg.Quantum, cfg.StarvationGuard)
+	case Deadline:
+		pol = newEDFPolicy()
+	default:
+		return nil, fmt.Errorf("sched: unknown discipline %q", d)
+	}
+	return newQueue(d, cfg, pol), nil
+}
+
+// sortItemsBySeq orders removed items in submission order; helper shared
+// by the policies' remove implementations.
+func sortItemsBySeq(items []*Item) {
+	sort.Slice(items, func(i, j int) bool { return items[i].seq < items[j].seq })
+}

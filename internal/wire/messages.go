@@ -125,6 +125,11 @@ type HelloRequest struct {
 	ClientName string
 	// ProtoVersion guards against protocol skew.
 	ProtoVersion uint32
+	// Weight is the client's fair-share weight under weighted scheduling
+	// disciplines, propagated from the Registry binding. Trailing field:
+	// zero means unweighted and is not encoded, so pre-scheduler frames
+	// stay byte-identical.
+	Weight uint32
 }
 
 // Protocol revisions. A Hello carries the client's version; the manager
@@ -152,12 +157,19 @@ const (
 func (m *HelloRequest) Encode(e *Encoder) {
 	e.String(m.ClientName)
 	e.U32(m.ProtoVersion)
+	if m.Weight > 0 {
+		e.U32(m.Weight)
+	}
 }
 
 // Decode deserializes the message.
 func (m *HelloRequest) Decode(d *Decoder) {
 	m.ClientName = d.String()
 	m.ProtoVersion = d.U32()
+	m.Weight = 0
+	if d.Remaining() > 0 {
+		m.Weight = d.U32()
+	}
 }
 
 // HelloResponse confirms a session.
@@ -503,13 +515,29 @@ func (m *EnqueueKernelRequest) Decode(d *Decoder) {
 // to the manager's central queue.
 type FlushRequest struct {
 	Queue uint64
+	// DeadlineMillis is the client's soft completion hint, relative to
+	// submission; the deadline discipline orders tasks by it. Trailing
+	// field: zero (no hint) is not encoded, keeping unhinted frames
+	// byte-identical to pre-scheduler ones.
+	DeadlineMillis uint32
 }
 
 // Encode serializes the message.
-func (m *FlushRequest) Encode(e *Encoder) { e.U64(m.Queue) }
+func (m *FlushRequest) Encode(e *Encoder) {
+	e.U64(m.Queue)
+	if m.DeadlineMillis > 0 {
+		e.U32(m.DeadlineMillis)
+	}
+}
 
 // Decode deserializes the message.
-func (m *FlushRequest) Decode(d *Decoder) { m.Queue = d.U64() }
+func (m *FlushRequest) Decode(d *Decoder) {
+	m.Queue = d.U64()
+	m.DeadlineMillis = 0
+	if d.Remaining() > 0 {
+		m.DeadlineMillis = d.U32()
+	}
+}
 
 // OpState is the state carried by an operation notification.
 type OpState uint8

@@ -36,6 +36,7 @@ func TestMessageRoundTrips(t *testing.T) {
 	argScalar, _ := ocl.PackArg(int32(-5))
 	cases := []struct{ in, out codec }{
 		{&HelloRequest{ClientName: "sobel-1", ProtoVersion: ProtoVersion}, &HelloRequest{}},
+		{&HelloRequest{ClientName: "sobel-2", ProtoVersion: ProtoVersion, Weight: 4}, &HelloRequest{}},
 		{&HelloResponse{SessionID: 9, Node: "nodeB"}, &HelloResponse{}},
 		{&DeviceInfoResponse{Name: "de5a_net", Vendor: "Intel", PlatformName: "FPGA SDK",
 			GlobalMem: 8 << 30, ConfiguredBit: "spector-sobel", Accelerator: "sobel"}, &DeviceInfoResponse{}},
@@ -57,6 +58,7 @@ func TestMessageRoundTrips(t *testing.T) {
 		{&EnqueueKernelRequest{Tag: 14, Queue: 1, Kernel: 3,
 			Global: []int64{1024, 8}, Local: []int64{16}}, &EnqueueKernelRequest{}},
 		{&FlushRequest{Queue: 1}, &FlushRequest{}},
+		{&FlushRequest{Queue: 2, DeadlineMillis: 250}, &FlushRequest{}},
 		{&OpNotification{Tag: 14, State: OpComplete, DeviceNanos: 12345,
 			Data: []byte("result")}, &OpNotification{}},
 		{&OpNotification{Tag: 15, State: OpFailed, Status: int32(ocl.ErrInvalidMemObject),
@@ -67,6 +69,43 @@ func TestMessageRoundTrips(t *testing.T) {
 		if !reflect.DeepEqual(c.in, c.out) {
 			t.Errorf("%T round trip:\n in: %+v\nout: %+v", c.in, c.in, c.out)
 		}
+	}
+}
+
+// TestSchedulerFieldsTrailing pins the compatibility contract of the
+// scheduler's trailing fields: unweighted Hellos and unhinted Flushes
+// encode byte-identically to the pre-scheduler layout, and pre-scheduler
+// frames decode with the fields zeroed.
+func TestSchedulerFieldsTrailing(t *testing.T) {
+	// Pre-scheduler HelloRequest layout: string name, u32 proto.
+	old := NewEncoder(32)
+	old.String("fn-1")
+	old.U32(ProtoVersion)
+	now := NewEncoder(32)
+	(&HelloRequest{ClientName: "fn-1", ProtoVersion: ProtoVersion}).Encode(now)
+	if !bytes.Equal(old.Bytes(), now.Bytes()) {
+		t.Fatalf("unweighted Hello changed on the wire:\nold %x\nnew %x", old.Bytes(), now.Bytes())
+	}
+	var h HelloRequest
+	d := NewDecoder(old.Bytes())
+	h.Decode(d)
+	if d.Err() != nil || h.Weight != 0 {
+		t.Fatalf("pre-scheduler Hello decode: weight=%d err=%v", h.Weight, d.Err())
+	}
+
+	// Pre-scheduler FlushRequest layout: u64 queue.
+	old = NewEncoder(16)
+	old.U64(7)
+	now = NewEncoder(16)
+	(&FlushRequest{Queue: 7}).Encode(now)
+	if !bytes.Equal(old.Bytes(), now.Bytes()) {
+		t.Fatalf("unhinted Flush changed on the wire:\nold %x\nnew %x", old.Bytes(), now.Bytes())
+	}
+	var f FlushRequest
+	d = NewDecoder(old.Bytes())
+	f.Decode(d)
+	if d.Err() != nil || f.DeadlineMillis != 0 {
+		t.Fatalf("pre-scheduler Flush decode: deadline=%d err=%v", f.DeadlineMillis, d.Err())
 	}
 }
 
