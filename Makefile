@@ -1,7 +1,7 @@
 # BlastFunction reproduction build targets.
 GO ?= go
 
-.PHONY: all build test vet race bench check experiments examples sched-ablation clean
+.PHONY: all build test vet race bench trace-overhead check experiments examples sched-ablation clean
 
 all: build test
 
@@ -16,10 +16,11 @@ vet:
 
 # The transport hot path carries explicit buffer-ownership hand-offs and the
 # close/notify teardown races, simcluster hosts the chaos tests (fault
-# injection, lease expiry), and sched is the manager's concurrent central
-# queue; always run them under the race detector.
+# injection, lease expiry), sched is the manager's concurrent central
+# queue, and obs records spans from every hot-path goroutine at once;
+# always run them under the race detector.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/...
+	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/... ./internal/obs/...
 
 # Run the scheduling fairness experiment: the two-tenant skew workload on
 # the real Device Manager under fifo vs drr, checked against the
@@ -28,8 +29,14 @@ sched-ablation:
 	$(GO) test -race -v ./internal/simcluster/ -run Fairness
 	$(GO) test -bench BenchmarkPushPop -benchmem ./internal/sched/
 
-bench:
+bench: trace-overhead
 	$(GO) test -bench=. -benchmem ./...
+
+# Measure the distributed-tracing tax on the hot RPC path: the 4K gRPC
+# round trip with tracing off, sampling 1% and sampling 100%, next to the
+# untouched baseline benchmark. The sampling-off budget is <2%.
+trace-overhead:
+	$(GO) test -run '^$$' -bench 'BenchmarkTraceOverhead|BenchmarkLiveRoundTripGRPC4K$$' -benchmem .
 
 # Verify the paper's qualitative claims hold.
 check:

@@ -21,6 +21,7 @@ import (
 	"blastfunction/internal/fpga"
 	"blastfunction/internal/model"
 	"blastfunction/internal/native"
+	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
 	"blastfunction/internal/registry"
 	"blastfunction/internal/remote"
@@ -83,6 +84,12 @@ func BenchmarkTable4AlexNet(b *testing.B) { benchStudy(b, simcluster.UseAlexNet)
 // liveRig starts a single-board testbed (no modelled sleeping) and a
 // client with the requested transport.
 func liveRig(b *testing.B, mode remote.TransportMode) (*Testbed, *remote.Client) {
+	return liveRigWith(b, mode, nil)
+}
+
+// liveRigWith is liveRig with a distributed-tracing tracer attached to
+// the client (nil disables tracing, the default path).
+func liveRigWith(b *testing.B, mode remote.TransportMode, tracer *obs.Tracer) (*Testbed, *remote.Client) {
 	b.Helper()
 	tb, err := NewTestbed(NodeConfig{Name: "bench"})
 	if err != nil {
@@ -93,6 +100,7 @@ func liveRig(b *testing.B, mode remote.TransportMode) (*Testbed, *remote.Client)
 		Managers:   []string{tb.Nodes[0].Addr},
 		Transport:  mode,
 		ShmDir:     b.TempDir(),
+		Tracer:     tracer,
 	})
 	if err != nil {
 		tb.Close()
@@ -148,7 +156,11 @@ func setupCopy(b *testing.B, client ocl.Client, size int) (ocl.Context, ocl.Comm
 // benchWriteRead measures the live write->kernel->read round trip through
 // the full RPC + manager + board stack.
 func benchWriteRead(b *testing.B, mode remote.TransportMode, size int) {
-	_, client := liveRig(b, mode)
+	benchWriteReadTraced(b, mode, size, nil)
+}
+
+func benchWriteReadTraced(b *testing.B, mode remote.TransportMode, size int, tracer *obs.Tracer) {
+	_, client := liveRigWith(b, mode, tracer)
 	_, q, k, in, out := setupCopy(b, client, size)
 	if err := k.SetArg(0, in); err != nil {
 		b.Fatal(err)
@@ -183,6 +195,29 @@ func BenchmarkLiveRoundTripGRPC4K(b *testing.B) { benchWriteRead(b, remote.Trans
 func BenchmarkLiveRoundTripGRPC1M(b *testing.B) { benchWriteRead(b, remote.TransportGRPC, 1<<20) }
 func BenchmarkLiveRoundTripShm4K(b *testing.B)  { benchWriteRead(b, remote.TransportShm, 4<<10) }
 func BenchmarkLiveRoundTripShm1M(b *testing.B)  { benchWriteRead(b, remote.TransportShm, 1<<20) }
+
+// BenchmarkTraceOverhead measures the tracing tax on the hot RPC path:
+// the 4K gRPC round trip with tracing disabled entirely (the nil-tracer
+// baseline, comparable to BenchmarkLiveRoundTripGRPC4K), with a tracer
+// attached but sampling at 1% (production setting), and sampling every
+// task (worst case). The acceptance budget is <2% for the off case.
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		benchWriteReadTraced(b, remote.TransportGRPC, 4<<10, nil)
+	})
+	b.Run("sampled-0pct", func(b *testing.B) {
+		benchWriteReadTraced(b, remote.TransportGRPC, 4<<10,
+			obs.New(obs.Config{Component: "library", SampleRate: 0}))
+	})
+	b.Run("sampled-1pct", func(b *testing.B) {
+		benchWriteReadTraced(b, remote.TransportGRPC, 4<<10,
+			obs.New(obs.Config{Component: "library", SampleRate: 0.01}))
+	})
+	b.Run("sampled-100pct", func(b *testing.B) {
+		benchWriteReadTraced(b, remote.TransportGRPC, 4<<10,
+			obs.New(obs.Config{Component: "library", SampleRate: 1}))
+	})
+}
 
 // BenchmarkNativeRoundTrip1M is the no-manager baseline for the live
 // round-trip benches.

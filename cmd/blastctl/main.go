@@ -4,6 +4,7 @@
 //	blastctl -registry http://localhost:8080 functions
 //	blastctl -manager http://localhost:5101 traces
 //	blastctl -manager http://localhost:5101 tenants
+//	blastctl -gateway http://localhost:8081 -manager http://localhost:5101 trace <trace-id>
 package main
 
 import (
@@ -15,12 +16,16 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"text/tabwriter"
+	"time"
 )
 
 func main() {
 	registryURL := flag.String("registry", "http://127.0.0.1:8080", "registry base URL")
 	managerURL := flag.String("manager", "http://127.0.0.1:5101", "Device Manager HTTP base URL (for traces)")
+	gatewayURL := flag.String("gateway", "http://127.0.0.1:8081", "gateway HTTP base URL (for trace)")
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
@@ -35,9 +40,89 @@ func main() {
 		showTraces(*managerURL)
 	case "tenants":
 		showTenants(*managerURL)
+	case "trace":
+		id := flag.Arg(1)
+		if id == "" {
+			log.Fatal("blastctl: trace needs a trace id (the hex form printed in span dumps)")
+		}
+		showTrace(*gatewayURL, *managerURL, id)
 	default:
-		log.Fatalf("blastctl: unknown command %q (want devices|functions|traces|tenants)", cmd)
+		log.Fatalf("blastctl: unknown command %q (want devices|functions|traces|tenants|trace)", cmd)
 	}
+}
+
+// span mirrors obs.Span's JSON form.
+type span struct {
+	Trace      string    `json:"trace"`
+	ID         string    `json:"id"`
+	Parent     string    `json:"parent"`
+	Component  string    `json:"component"`
+	Stage      string    `json:"stage"`
+	Note       string    `json:"note"`
+	Start      time.Time `json:"start"`
+	DurationNS int64     `json:"duration_ns"`
+}
+
+// showTrace fetches one trace's spans from the gateway's and the
+// manager's span rings and renders the merged timeline: the latency
+// decomposition of a single accelerated call across the Remote Library
+// and the Device Manager.
+func showTrace(gatewayBase, managerBase, id string) {
+	if _, err := strconv.ParseUint(id, 16, 64); err != nil {
+		log.Fatalf("blastctl: trace id %q: want the hex form printed in span dumps", id)
+	}
+	var spans []span
+	sources := 0
+	for _, base := range []string{gatewayBase, managerBase} {
+		var part []span
+		if err := fetch(base+"/debug/spans?trace="+id, &part); err != nil {
+			fmt.Fprintf(os.Stderr, "blastctl: warning: %v (timeline may be partial)\n", err)
+			continue
+		}
+		sources++
+		spans = append(spans, part...)
+	}
+	if sources == 0 {
+		log.Fatal("blastctl: no span source reachable (tried the gateway's and the manager's /debug/spans)")
+	}
+	if len(spans) == 0 {
+		log.Fatalf("blastctl: no spans recorded for trace %s (sampling on, and recent enough for the span rings?)", id)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	t0 := spans[0].Start
+	t1 := t0
+	for _, s := range spans {
+		if end := s.Start.Add(time.Duration(s.DurationNS)); end.After(t1) {
+			t1 = end
+		}
+	}
+	total := t1.Sub(t0)
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	fmt.Printf("trace %s: %d spans, %.3f ms end to end\n", id, len(spans), float64(total)/1e6)
+	const width = 40
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "COMPONENT\tSTAGE\tNOTE\tSTART_MS\tDUR_MS\tTIMELINE")
+	for _, s := range spans {
+		off := s.Start.Sub(t0)
+		dur := time.Duration(s.DurationNS)
+		lead := int(float64(off) / float64(total) * width)
+		if lead > width-1 {
+			lead = width - 1
+		}
+		bar := int(float64(dur) / float64(total) * width)
+		if bar < 1 {
+			bar = 1
+		}
+		if lead+bar > width {
+			bar = width - lead
+		}
+		line := strings.Repeat(".", lead) + strings.Repeat("#", bar) + strings.Repeat(".", width-lead-bar)
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.3f\t%.3f\t%s\n",
+			s.Component, s.Stage, s.Note, float64(off)/1e6, float64(dur)/1e6, line)
+	}
+	w.Flush()
 }
 
 // showTenants joins the manager's scheduling snapshot with its trace ring
@@ -57,12 +142,12 @@ func showTenants(base string) {
 			OccupancyShare float64 `json:"occupancy_share"`
 		}
 	}
-	fetch(base+"/debug/sched", &stats)
+	mustFetch(base+"/debug/sched", &stats)
 	var traces []struct {
 		Client         string `json:"client"`
 		QueueWaitNanos int64  `json:"queue_wait_ns"`
 	}
-	fetch(base+"/debug/tasks", &traces)
+	mustFetch(base+"/debug/tasks", &traces)
 	// p95 queue wait per tenant over the trace ring's window.
 	waits := make(map[string][]int64)
 	for _, tr := range traces {
@@ -95,7 +180,7 @@ func showTraces(base string) {
 		Failed      bool   `json:"failed"`
 		CompletedAt string `json:"completed_at"`
 	}
-	fetch(base+"/debug/tasks", &traces)
+	mustFetch(base+"/debug/tasks", &traces)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "SEQ\tCLIENT\tOPS\tDEVICE_MS\tSTATUS\tCOMPLETED")
 	for _, tr := range traces {
@@ -109,18 +194,30 @@ func showTraces(base string) {
 	w.Flush()
 }
 
-func fetch(url string, v any) {
+// fetch GETs url and decodes the JSON response into v. Connection
+// failures, non-200 answers and malformed bodies are all errors — the
+// response is never decoded blindly.
+func fetch(url string, v any) error {
 	resp, err := http.Get(url)
 	if err != nil {
-		log.Fatalf("blastctl: %v", err)
+		return fmt.Errorf("fetching %s: %w", url, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		log.Fatalf("blastctl: %s answered %s: %s", url, resp.Status, body)
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s answered %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
 	}
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		log.Fatalf("blastctl: decoding %s: %v", url, err)
+		return fmt.Errorf("decoding %s: %v", url, err)
+	}
+	return nil
+}
+
+// mustFetch is fetch for the single-source commands: any failure is
+// fatal with a non-zero exit.
+func mustFetch(url string, v any) {
+	if err := fetch(url, v); err != nil {
+		log.Fatalf("blastctl: %v", err)
 	}
 }
 
@@ -133,7 +230,7 @@ func showDevices(base string) {
 		}
 		Connected []string
 	}
-	fetch(base+"/devices", &devices)
+	mustFetch(base+"/devices", &devices)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "DEVICE\tNODE\tHEALTHY\tMANAGER\tBITSTREAM\tUTIL\tCLIENTS\tINSTANCES")
 	for _, d := range devices {
@@ -158,7 +255,7 @@ func showFunctions(base string) {
 		Bitstream string
 		Query     struct{ Vendor, Platform, Accelerator string }
 	}
-	fetch(base+"/functions", &functions)
+	mustFetch(base+"/functions", &functions)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "FUNCTION\tACCELERATOR\tBITSTREAM\tVENDOR")
 	for _, f := range functions {

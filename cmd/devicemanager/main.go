@@ -43,6 +43,7 @@ func main() {
 		schedFlag = flag.String("sched", "fifo", "central-queue discipline: fifo, drr or deadline")
 		weights   = flag.String("weights", "", "per-tenant drr weights as name=w,name=w (overrides Hello-declared weights)")
 		guard     = flag.Duration("starvation-guard", 0, "drr starvation guard: max queue wait before a tenant is served out of turn (0 = default 2s, negative disables)")
+		traceRing = flag.Int("trace-ring", 0, "distributed-tracing span ring size served at /debug/spans (0 = default 4096)")
 	)
 	flag.Parse()
 
@@ -68,6 +69,7 @@ func main() {
 		Scheduler:       *schedFlag,
 		TenantWeights:   weightTable,
 		StarvationGuard: *guard,
+		TraceRing:       *traceRing,
 	}, board)
 	defer mgr.Close()
 
@@ -82,6 +84,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", mgr.MetricsHandler())
 	mux.Handle("/debug/tasks", mgr.TraceHandler())
+	mux.Handle("/debug/spans", mgr.SpanHandler())
 	mux.Handle("/debug/sched", mgr.SchedStatsHandler())
 	metricsSrv := &http.Server{Addr: *metricsAt, Handler: mux}
 	go func() {

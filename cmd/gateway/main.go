@@ -32,6 +32,7 @@ import (
 	"blastfunction/internal/cluster"
 	"blastfunction/internal/gateway"
 	"blastfunction/internal/metrics"
+	"blastfunction/internal/obs"
 	"blastfunction/internal/registry"
 	"blastfunction/internal/remote"
 )
@@ -75,11 +76,12 @@ func parseManager(v string) (managerSpec, error) {
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:8081", "gateway HTTP listen address")
-		scrape   = flag.Duration("scrape", 2*time.Second, "metrics scrape interval")
-		grace    = flag.Duration("grace", 30*time.Second, "unhealthy-device grace window before instances are migrated (0 disables)")
-		managers listFlag
-		deploys  listFlag
+		listen      = flag.String("listen", "127.0.0.1:8081", "gateway HTTP listen address")
+		scrape      = flag.Duration("scrape", 2*time.Second, "metrics scrape interval")
+		grace       = flag.Duration("grace", 30*time.Second, "unhealthy-device grace window before instances are migrated (0 disables)")
+		traceSample = flag.Float64("trace-sample", 0, "distributed-tracing sample rate 0..1 (0 disables; spans served at /debug/spans)")
+		managers    listFlag
+		deploys     listFlag
 	)
 	flag.Var(&managers, "manager", "Device Manager spec: node=N,id=I,addr=H:P[,metrics=URL] (repeatable)")
 	flag.Var(&deploys, "deploy", "function deployment: name=usecase (usecase: sobel|mm|cnn; repeatable)")
@@ -142,6 +144,14 @@ func main() {
 	ctrl.Grace = *grace
 	go ctrl.Run(ctx)
 	gw := gateway.New(cl)
+	// One shared tracer for every function instance in this process: the
+	// Remote Library samples traces at the configured rate and the spans
+	// are served from the gateway's /debug/spans.
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		tracer = obs.New(obs.Config{Component: "library", SampleRate: *traceSample})
+		gw.Tracer = tracer
+	}
 	go gw.Run(ctx)
 
 	for _, d := range deploys {
@@ -168,7 +178,7 @@ func main() {
 		}); err != nil {
 			log.Fatalf("gateway: %v", err)
 		}
-		if err := gw.Deploy(name, 1, factory(name, usecase)); err != nil {
+		if err := gw.Deploy(name, 1, factory(name, usecase, tracer)); err != nil {
 			log.Fatalf("gateway: deploy %s: %v", name, err)
 		}
 		log.Printf("gateway: deployed %s (%s)", name, usecase)
@@ -212,7 +222,9 @@ func bitstream(usecase string) string {
 
 // factory materializes a function instance: it dials the Device Manager
 // the Registry injected into the environment and builds the matching app.
-func factory(name, usecase string) gateway.Factory {
+// A non-nil tracer enables distributed tracing in the instance's Remote
+// Library.
+func factory(name, usecase string, tracer *obs.Tracer) gateway.Factory {
 	return func(in cluster.Instance) (gateway.Endpoint, error) {
 		addr := in.Env[registry.EnvManagerAddr]
 		if addr == "" {
@@ -226,6 +238,7 @@ func factory(name, usecase string) gateway.Factory {
 			Managers:   []string{addr},
 			Transport:  remote.TransportAuto,
 			Weight:     weight,
+			Tracer:     tracer,
 		})
 		if err != nil {
 			return nil, err

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"blastfunction/internal/cluster"
+	"blastfunction/internal/obs"
 )
 
 // Endpoint is a materialized function instance: an HTTP handler plus its
@@ -86,6 +87,11 @@ type Gateway struct {
 	Logf func(format string, args ...any)
 	// RetryDelay is the initial factory retry backoff; tests shorten it.
 	RetryDelay time.Duration
+	// Tracer, when set, is the distributed-tracing span recorder the
+	// gateway's function instances share (factories thread it into their
+	// remote.Config); Handler serves its ring at /debug/spans. Nil serves
+	// an empty span list.
+	Tracer *obs.Tracer
 
 	mu      sync.Mutex
 	funcs   map[string]*funcState
@@ -288,6 +294,7 @@ func (fs *funcState) next() Endpoint {
 //
 //	ANY /function/<name>   invoke the function
 //	GET /system/functions  list deployments and statistics
+//	GET /debug/spans       client-side distributed-tracing spans
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/function/", func(w http.ResponseWriter, r *http.Request) {
@@ -318,6 +325,7 @@ func (g *Gateway) Handler() http.Handler {
 			fs.errors.Add(1)
 		}
 	})
+	mux.Handle("/debug/spans", g.Tracer.Handler())
 	mux.HandleFunc("/system/functions", func(w http.ResponseWriter, _ *http.Request) {
 		g.mu.Lock()
 		names := make([]string, 0, len(g.funcs))

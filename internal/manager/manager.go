@@ -31,6 +31,7 @@ import (
 
 	"blastfunction/internal/fpga"
 	"blastfunction/internal/metrics"
+	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
 	"blastfunction/internal/rpc"
 	"blastfunction/internal/sched"
@@ -74,6 +75,11 @@ type Config struct {
 	// older than the guard is served next regardless of deficits. Zero
 	// selects the sched default (2s); negative disables the guard.
 	StarvationGuard time.Duration
+	// TraceRing bounds the manager's distributed-tracing span ring (served
+	// at /debug/spans). Zero selects the obs default (4096). The manager
+	// never initiates traces — it records spans only for tasks whose client
+	// sampled them and put the IDs on the wire.
+	TraceRing int
 }
 
 // Manager serves one board. It implements rpc.Handler.
@@ -113,6 +119,11 @@ type Manager struct {
 	tenants map[string]*tenantMetrics
 
 	traces *traceRing
+
+	// tracer records the manager's stages (queue-wait, execute, op, notify)
+	// of client-sampled traces; SampleRate stays zero — sampling decisions
+	// belong to the library.
+	tracer *obs.Tracer
 
 	lastBusy atomic.Int64 // last board busy reading pushed to mBusy
 }
@@ -192,6 +203,12 @@ func New(cfg Config, board *fpga.Board) *Manager {
 		mTaskHist: reg.Histogram("bf_task_device_seconds",
 			"Modelled device occupancy per executed task.", lbl, nil),
 		traces: newTraceRing(512),
+		tracer: obs.New(obs.Config{
+			Component: "manager",
+			RingSize:  cfg.TraceRing,
+			Registry:  reg,
+			Labels:    lbl,
+		}),
 	}
 	m.mScale.Set(board.Config().TimeScale)
 	m.wg.Add(1)
@@ -317,6 +334,12 @@ func (m *Manager) worker() {
 		}
 		t := it.Payload.(*task)
 		t.queueWait = time.Since(it.Submitted)
+		if t.trace != 0 {
+			// The central-queue wait: flush arrival until the worker popped
+			// the task, parented under the client's task root span.
+			m.tracer.End(obs.TraceID(t.trace), m.tracer.NewSpan(), obs.SpanID(t.span),
+				"queue-wait", "", it.Submitted)
+		}
 		m.mQueueDepth.Set(float64(m.queue.Len()))
 		tm := m.tenantMetric(t.sess.clientName)
 		tm.depth.Add(-1)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"blastfunction/internal/model"
+	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
 	"blastfunction/internal/rpc"
 	"blastfunction/internal/wire"
@@ -17,6 +18,19 @@ const (
 	opRead
 	opKernel
 )
+
+// String names the kind for span notes and logs.
+func (k opKind) String() string {
+	switch k {
+	case opWrite:
+		return "write"
+	case opRead:
+		return "read"
+	case opKernel:
+		return "kernel"
+	}
+	return "unknown"
+}
 
 // op is one operation inside a task. Kernel arguments are snapshotted at
 // enqueue time, as clEnqueueNDRangeKernel semantics require.
@@ -37,6 +51,12 @@ type op struct {
 	args       []ocl.Arg
 	global     []int
 	local      []int
+
+	// Tracing identity carried from the client's enqueue (zero when
+	// untraced): span is the client-side "call" span of this operation, so
+	// the manager's per-op execution span parents under it.
+	trace uint64
+	span  uint64
 }
 
 // task is the atomic unit of execution: the operations a client enqueued
@@ -53,6 +73,10 @@ type task struct {
 	// queueWait is the time the task spent in the central queue, stamped
 	// by the worker at pop.
 	queueWait time.Duration
+	// trace/span carry the client's sampled trace identity from the Flush
+	// frame (zero when untraced); span is the task's root span.
+	trace uint64
+	span  uint64
 }
 
 // releaseOps returns the pooled inline write payloads of operations that
@@ -90,6 +114,8 @@ func (s *session) enqueueWrite(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte
 		boardBuf: buf.boardID,
 		offset:   req.Offset,
 		via:      req.Via,
+		trace:    req.TraceID,
+		span:     req.SpanID,
 	}
 	switch req.Via {
 	case wire.ViaInline:
@@ -142,6 +168,8 @@ func (s *session) enqueueRead(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte,
 		length:   req.Length,
 		via:      req.Via,
 		shmOff:   req.ShmOff,
+		trace:    req.TraceID,
+		span:     req.SpanID,
 	})
 	return nil, nil
 }
@@ -194,6 +222,8 @@ func (s *session) enqueueKernel(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byt
 		args:       args,
 		global:     toInts(req.Global),
 		local:      toInts(req.Local),
+		trace:      req.TraceID,
+		span:       req.SpanID,
 	})
 	return nil, nil
 }
@@ -251,7 +281,8 @@ func (s *session) flush(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte, error
 	if req.DeadlineMillis > 0 {
 		deadline = time.Now().Add(time.Duration(req.DeadlineMillis) * time.Millisecond)
 	}
-	if err := m.submit(&task{sess: s, conn: c, ops: ops, deadline: deadline}); err != nil {
+	if err := m.submit(&task{sess: s, conn: c, ops: ops, deadline: deadline,
+		trace: req.TraceID, span: req.SpanID}); err != nil {
 		for _, o := range ops {
 			s.sendFail(c, o.tag, err)
 		}
@@ -378,6 +409,10 @@ func (m *Manager) runTask(t *task) {
 	}
 	failed := false
 	var abortErr error
+	var execStart time.Time
+	if t.trace != 0 {
+		execStart = time.Now()
+	}
 	for i := range t.ops {
 		o := &t.ops[i]
 		if failed {
@@ -394,7 +429,17 @@ func (m *Manager) runTask(t *task) {
 			continue
 		}
 		nb.add(&wire.OpNotification{Tag: o.tag, State: wire.OpRunning}, false)
+		var opStart time.Time
+		if o.trace != 0 {
+			opStart = time.Now()
+		}
 		n, ownData, err := m.runOp(t, o, cost, scale)
+		if o.trace != 0 {
+			// Per-op board execution, parented under the client's "call"
+			// span so the timeline nests device time inside the call.
+			m.tracer.End(obs.TraceID(o.trace), m.tracer.NewSpan(), obs.SpanID(o.span),
+				"op", o.kind.String(), opStart)
+		}
 		m.mOps.Inc()
 		if n != nil {
 			taskDevice += time.Duration(n.DeviceNanos)
@@ -411,7 +456,19 @@ func (m *Manager) runTask(t *task) {
 		}
 		nb.add(n, ownData)
 	}
+	if t.trace != 0 {
+		m.tracer.End(obs.TraceID(t.trace), m.tracer.NewSpan(), obs.SpanID(t.span),
+			"execute", "", execStart)
+	}
+	var notifyStart time.Time
+	if t.trace != 0 {
+		notifyStart = time.Now()
+	}
 	nb.flush()
+	if t.trace != 0 {
+		m.tracer.End(obs.TraceID(t.trace), m.tracer.NewSpan(), obs.SpanID(t.span),
+			"notify", "", notifyStart)
+	}
 	m.mTaskHist.Observe(taskDevice.Seconds())
 	tm := m.tenantMetric(t.sess.clientName)
 	tm.tasks.Inc()

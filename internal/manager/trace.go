@@ -1,10 +1,11 @@
 package manager
 
 import (
-	"encoding/json"
 	"net/http"
 	"sync"
 	"time"
+
+	"blastfunction/internal/obs"
 )
 
 // TaskTrace is one completed task's execution record, kept in the
@@ -73,12 +74,19 @@ func (r *traceRing) snapshot() []TaskTrace {
 func (m *Manager) Traces() []TaskTrace { return m.traces.snapshot() }
 
 // TraceHandler serves the trace ring as JSON, for blastctl-style
-// inspection of what recently ran on the board.
+// inspection of what recently ran on the board. ?n=K keeps the most
+// recent K entries.
 func (m *Manager) TraceHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(m.Traces())
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		obs.ServeTail(w, r, m.Traces())
 	})
 }
+
+// Tracer exposes the manager's span recorder: the RPC layer and embedded
+// deployments record manager-side stages of client-sampled traces into it.
+func (m *Manager) Tracer() *obs.Tracer { return m.tracer }
+
+// SpanHandler serves the manager's distributed-tracing span ring
+// (/debug/spans). ?trace=<hex id> filters to one trace, ?n=K keeps the
+// most recent K spans.
+func (m *Manager) SpanHandler() http.Handler { return m.tracer.Handler() }

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_empty", "", nil, nil)
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("Quantile on empty histogram = %v, want NaN", v)
+	}
+	// Out-of-range quantiles are NaN even with observations.
+	h.Observe(0.01)
+	if v := h.Quantile(-0.1); !math.IsNaN(v) {
+		t.Fatalf("Quantile(-0.1) = %v, want NaN", v)
+	}
+	if v := h.Quantile(1.5); !math.IsNaN(v) {
+		t.Fatalf("Quantile(1.5) = %v, want NaN", v)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_single", "", nil, []float64{1, 2, 4})
+	h.Observe(1.5) // lands in the (1,2] bucket
+	for _, q := range []float64{0, 0.5, 1} {
+		v := h.Quantile(q)
+		if v < 1 || v > 2 {
+			t.Fatalf("Quantile(%v) = %v, want within the (1,2] bucket", q, v)
+		}
+	}
+}
+
+func TestQuantileAllInOneBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_one_bucket", "", nil, []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(3) // all observations in (2,4]
+	}
+	if v := h.Quantile(0.5); v < 2 || v > 4 {
+		t.Fatalf("median = %v, want within the (2,4] bucket", v)
+	}
+	// Interpolation is linear from the bucket's lower bound.
+	if lo, hi := h.Quantile(0.1), h.Quantile(0.9); !(lo < hi) {
+		t.Fatalf("quantiles not monotonic within the bucket: q10=%v q90=%v", lo, hi)
+	}
+	// Above the last finite bucket: the estimate clamps to that bound.
+	h2 := r.Histogram("h_overflow", "", nil, []float64{1, 2, 4})
+	h2.Observe(100)
+	if v := h2.Quantile(0.99); v != 4 {
+		t.Fatalf("overflow quantile = %v, want 4 (last finite bound)", v)
+	}
+}
+
+// TestConcurrentObserveAndRender scrapes the registry while writers
+// observe, the Metrics Gatherer's steady state; run under -race.
+func TestConcurrentObserveAndRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_race", "", Labels{"device": "fpga0"}, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(seed+1+i%10) / 1000)
+				h.Quantile(0.5)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		out := r.Render()
+		if !strings.Contains(out, "h_race_bucket") {
+			t.Fatalf("render missing histogram series:\n%s", out)
+		}
+	}
+	wg.Wait()
+	if h.Count() == 0 || h.Sum() <= 0 {
+		t.Fatalf("no observations recorded: count=%d sum=%v", h.Count(), h.Sum())
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the tracer's span ring as JSON at /debug/spans.
+// Query parameters: ?trace=<hex id> filters to one trace, ?n=<count>
+// keeps only the most recent n spans.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		spans := t.Spans()
+		if s := r.URL.Query().Get("trace"); s != "" {
+			id, err := ParseTraceID(s)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			kept := spans[:0]
+			for _, sp := range spans {
+				if sp.Trace == id {
+					kept = append(kept, sp)
+				}
+			}
+			spans = kept
+		}
+		ServeTail(w, r, spans)
+	})
+}
+
+// ServeTail writes a ring snapshot (oldest first) as indented JSON,
+// honouring an optional ?n= limit — keep the n most recent entries — and
+// reporting encode failures as an HTTP error status instead of a
+// truncated 200. Shared by /debug/spans and the manager's /debug/tasks.
+func ServeTail[T any](w http.ResponseWriter, r *http.Request, snapshot []T) {
+	if s := r.URL.Query().Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n parameter: want a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		if n < len(snapshot) {
+			snapshot = snapshot[len(snapshot)-n:]
+		}
+	}
+	// Encode into memory first: once body bytes are on the wire the
+	// status line is fixed, and a mid-stream encode error would leave the
+	// client with garbage under a 200.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snapshot); err != nil {
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}

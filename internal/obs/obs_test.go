@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blastfunction/internal/metrics"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if id := tr.Sample(); id != 0 {
+		t.Fatalf("nil tracer sampled trace %v", id)
+	}
+	if id := tr.NewSpan(); id != 0 {
+		t.Fatalf("nil tracer allocated span %v", id)
+	}
+	tr.Record(Span{Trace: 1})
+	tr.End(1, 2, 0, "call", "", time.Now())
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer holds spans: %v", got)
+	}
+}
+
+func TestSampleRates(t *testing.T) {
+	never := New(Config{Component: "c", SampleRate: 0})
+	always := New(Config{Component: "c", SampleRate: 1})
+	for i := 0; i < 1000; i++ {
+		if id := never.Sample(); id != 0 {
+			t.Fatalf("rate-0 tracer sampled %v", id)
+		}
+		if id := always.Sample(); id == 0 {
+			t.Fatal("rate-1 tracer skipped a trace")
+		}
+	}
+	// A fractional rate should land near its expectation over many draws.
+	half := New(Config{Component: "c", SampleRate: 0.5})
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if half.Sample() != 0 {
+			hits++
+		}
+	}
+	if hits < 4000 || hits > 6000 {
+		t.Fatalf("rate-0.5 sampled %d/10000", hits)
+	}
+}
+
+func TestRingBoundsAndOrder(t *testing.T) {
+	tr := New(Config{Component: "c", RingSize: 4})
+	for i := 1; i <= 6; i++ {
+		tr.Record(Span{Trace: TraceID(i), ID: SpanID(i), Stage: "call"})
+	}
+	got := tr.Spans()
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(got))
+	}
+	for i, sp := range got {
+		if want := TraceID(i + 3); sp.Trace != want {
+			t.Fatalf("span %d: trace %v, want %v (oldest-first eviction)", i, sp.Trace, want)
+		}
+	}
+	// Untraced spans never land in the ring.
+	tr.Record(Span{Trace: 0, Stage: "call"})
+	if len(tr.Spans()) != 4 || tr.Spans()[3].Trace != 6 {
+		t.Fatal("untraced span entered the ring")
+	}
+}
+
+func TestSpanJSONHexIDs(t *testing.T) {
+	sp := Span{Trace: 0xabc, ID: 0x1, Parent: 0x2, Component: "library", Stage: "call",
+		Start: time.Unix(10, 0).UTC(), Duration: 1500 * time.Nanosecond}
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"trace":"0000000000000abc"`) {
+		t.Fatalf("trace id not hex-encoded: %s", b)
+	}
+	var back Span
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Trace != sp.Trace || back.ID != sp.ID || back.Parent != sp.Parent || back.Duration != sp.Duration {
+		t.Fatalf("round trip mismatch: %+v != %+v", back, sp)
+	}
+}
+
+func TestStageHistogramsExported(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Config{Component: "manager", Registry: reg,
+		Labels: metrics.Labels{"device": "fpga0"}})
+	tr.Record(Span{Trace: 1, ID: 2, Stage: "queue-wait", Duration: 2 * time.Millisecond})
+	tr.Record(Span{Trace: 1, ID: 3, Stage: "execute", Duration: 5 * time.Millisecond})
+	text := reg.Render()
+	for _, want := range []string{
+		"bf_stage_seconds_bucket",
+		`stage="queue-wait"`,
+		`stage="execute"`,
+		`component="manager"`,
+		`device="fpga0"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHandlerFilters(t *testing.T) {
+	tr := New(Config{Component: "c", RingSize: 16})
+	for i := 1; i <= 5; i++ {
+		tr.Record(Span{Trace: TraceID(i%2 + 1), ID: SpanID(i), Stage: "call"})
+	}
+	get := func(url string) (int, []Span) {
+		rec := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var spans []Span
+		if rec.Code == 200 {
+			if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil {
+				t.Fatalf("%s: %v", url, err)
+			}
+		}
+		return rec.Code, spans
+	}
+	if code, spans := get("/debug/spans"); code != 200 || len(spans) != 5 {
+		t.Fatalf("unfiltered: code %d, %d spans", code, len(spans))
+	}
+	if code, spans := get("/debug/spans?n=2"); code != 200 || len(spans) != 2 || spans[1].ID != 5 {
+		t.Fatalf("?n=2: code %d, spans %v", code, spans)
+	}
+	if code, spans := get("/debug/spans?trace=0000000000000002"); code != 200 || len(spans) != 3 {
+		t.Fatalf("?trace=2: code %d, %d spans", code, len(spans))
+	}
+	if code, _ := get("/debug/spans?n=bogus"); code != 400 {
+		t.Fatalf("bad n: code %d, want 400", code)
+	}
+	if code, _ := get("/debug/spans?trace=zz"); code != 400 {
+		t.Fatalf("bad trace: code %d, want 400", code)
+	}
+}
+
+func TestServeTailEncodeFailure(t *testing.T) {
+	// +Inf is not representable in JSON: the encoder must fail and the
+	// handler must answer with an error status, not a truncated 200.
+	rec := httptest.NewRecorder()
+	ServeTail(rec, httptest.NewRequest("GET", "/debug/tasks", nil), []float64{1, math.Inf(1)})
+	if rec.Code != 500 {
+		t.Fatalf("encode failure answered %d, want 500", rec.Code)
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Config{Component: "c", RingSize: 64, SampleRate: 1, Registry: reg})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					trace := tr.Sample()
+					tr.End(trace, tr.NewSpan(), 0, "call", "", time.Now())
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		tr.Spans()
+		reg.Render()
+	}
+	close(stop)
+	wg.Wait()
+}

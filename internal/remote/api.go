@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
 	"blastfunction/internal/wire"
 )
@@ -248,6 +249,40 @@ type commandQueue struct {
 	unflushed []*remoteEvent // members of the current task
 	deadline  time.Duration  // soft completion hint attached to flushed tasks
 	released  bool
+
+	// Tracing state of the current (unflushed) task. Sampling is decided
+	// once per task, at its first operation; every operation then shares
+	// the trace with the task's root span as parent. Flush resets it.
+	traceLive bool        // sampling decided for the current task
+	trace     obs.TraceID // zero: task unsampled
+	taskSpan  obs.SpanID  // the task's root span
+	taskStart time.Time
+}
+
+// beginOp joins an operation to the current task's trace, deciding
+// sampling at the task's first operation. It returns the operation's
+// trace/span identity and issue time — all zero when tracing is off or
+// the task is unsampled.
+func (q *commandQueue) beginOp() (trace obs.TraceID, span, parent obs.SpanID, issued time.Time) {
+	tr := q.ctx.mc.tracer
+	if tr == nil {
+		return 0, 0, 0, time.Time{}
+	}
+	q.mu.Lock()
+	if !q.traceLive {
+		q.traceLive = true
+		q.trace = tr.Sample()
+		if q.trace != 0 {
+			q.taskSpan = tr.NewSpan()
+			q.taskStart = time.Now()
+		}
+	}
+	trace, parent = q.trace, q.taskSpan
+	q.mu.Unlock()
+	if trace == 0 {
+		return 0, 0, 0, time.Time{}
+	}
+	return trace, tr.NewSpan(), parent, time.Now()
 }
 
 // DeadlineHinter is the optional command-queue extension for attaching a
@@ -334,12 +369,28 @@ func (q *commandQueue) EnqueueWriteBuffer(b ocl.Buffer, blocking bool, offset in
 			}
 		}
 	}
+	trace, span, parent, issued := q.beginOp()
+	ev.trace, ev.span, ev.parent, ev.issued = trace, span, parent, issued
+	if trace != 0 && mc.traceWire() {
+		req.TraceID, req.SpanID = uint64(trace), uint64(span)
+	}
 	// EncodeHead + a separate data segment: for the inline path the user's
 	// bytes go from their slice straight into the socket (writev), never
-	// through an intermediate concatenation.
+	// through an intermediate concatenation. The trace tail lands in the
+	// same pooled buffer, after the head, and rides as a third segment.
 	e := wire.GetEncoder(64)
 	req.EncodeHead(e)
-	err := mc.rpc.Send(wire.MethodEnqueueWrite, e.Bytes(), req.Data)
+	head := e.Len()
+	req.EncodeTail(e)
+	buf := e.Bytes()
+	var sendStart time.Time
+	if trace != 0 {
+		sendStart = time.Now()
+	}
+	err := mc.rpc.Send(wire.MethodEnqueueWrite, buf[:head], req.Data, buf[head:])
+	if err == nil && trace != 0 {
+		mc.tracer.End(trace, mc.tracer.NewSpan(), span, "send", "", sendStart)
+	}
 	e.Release()
 	if err != nil {
 		mc.pending.Delete(tag)
@@ -390,9 +441,21 @@ func (q *commandQueue) EnqueueReadBuffer(b ocl.Buffer, blocking bool, offset int
 			ev.shmOff, ev.shmLen, ev.freeArena = off, int64(len(dst)), true
 		}
 	}
+	trace, span, parent, issued := q.beginOp()
+	ev.trace, ev.span, ev.parent, ev.issued = trace, span, parent, issued
+	if trace != 0 && mc.traceWire() {
+		req.TraceID, req.SpanID = uint64(trace), uint64(span)
+	}
 	e := wire.GetEncoder(64)
 	req.Encode(e)
+	var sendStart time.Time
+	if trace != 0 {
+		sendStart = time.Now()
+	}
 	err := mc.rpc.Send(wire.MethodEnqueueRead, e.Bytes())
+	if err == nil && trace != 0 {
+		mc.tracer.End(trace, mc.tracer.NewSpan(), span, "send", "", sendStart)
+	}
 	e.Release()
 	if err != nil {
 		mc.pending.Delete(tag)
@@ -431,15 +494,28 @@ func (q *commandQueue) EnqueueNDRangeKernel(k ocl.Kernel, global, local []int, w
 	mc := q.ctx.mc
 	tag := mc.newTag()
 	ev := mc.register(ocl.CommandNDRangeKernel, tag)
-	e := wire.GetEncoder(64)
-	(&wire.EnqueueKernelRequest{
+	req := wire.EnqueueKernelRequest{
 		Tag:    tag,
 		Queue:  q.id,
 		Kernel: rk.id,
 		Global: toI64(global),
 		Local:  toI64(local),
-	}).Encode(e)
+	}
+	trace, span, parent, issued := q.beginOp()
+	ev.trace, ev.span, ev.parent, ev.issued = trace, span, parent, issued
+	if trace != 0 && mc.traceWire() {
+		req.TraceID, req.SpanID = uint64(trace), uint64(span)
+	}
+	e := wire.GetEncoder(64)
+	req.Encode(e)
+	var sendStart time.Time
+	if trace != 0 {
+		sendStart = time.Now()
+	}
 	err := mc.rpc.Send(wire.MethodEnqueueKernel, e.Bytes())
+	if err == nil && trace != 0 {
+		mc.tracer.End(trace, mc.tracer.NewSpan(), span, "send", "", sendStart)
+	}
 	e.Release()
 	if err != nil {
 		mc.pending.Delete(tag)
@@ -499,19 +575,32 @@ func (q *commandQueue) ensureFlushed(ev *remoteEvent) {
 
 // Flush implements ocl.CommandQueue: it seals the current
 // multi-operation task and submits it to the manager's central queue.
+// Sealing also ends the task's trace: the Flush frame carries the trace
+// identity (so the manager parents its spans under the task root) and the
+// root "task" span — first enqueue through flush — is recorded here.
 func (q *commandQueue) Flush() error {
 	q.mu.Lock()
 	hadOps := len(q.unflushed) > 0
 	q.unflushed = q.unflushed[:0]
 	deadline := q.deadline
+	trace, taskSpan, taskStart := q.trace, q.taskSpan, q.taskStart
+	q.traceLive, q.trace, q.taskSpan = false, 0, 0
 	q.mu.Unlock()
 	if !hadOps {
 		return nil
 	}
-	e := wire.GetEncoder(16)
-	(&wire.FlushRequest{Queue: q.id, DeadlineMillis: uint32(deadline / time.Millisecond)}).Encode(e)
-	err := q.ctx.mc.rpc.Send(wire.MethodFlush, e.Bytes())
+	mc := q.ctx.mc
+	req := wire.FlushRequest{Queue: q.id, DeadlineMillis: uint32(deadline / time.Millisecond)}
+	if trace != 0 && mc.traceWire() {
+		req.TraceID, req.SpanID = uint64(trace), uint64(taskSpan)
+	}
+	e := wire.GetEncoder(32)
+	req.Encode(e)
+	err := mc.rpc.Send(wire.MethodFlush, e.Bytes())
 	e.Release()
+	if trace != 0 {
+		mc.tracer.End(trace, taskSpan, 0, "task", "", taskStart)
+	}
 	return err
 }
 

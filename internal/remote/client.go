@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"blastfunction/internal/model"
+	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
 )
 
@@ -76,6 +77,12 @@ type Config struct {
 	// means unweighted (managers treat it as 1). Deployed instances
 	// receive it from the Registry binding via BF_TENANT_WEIGHT.
 	Weight int
+	// Tracer enables distributed tracing: the library samples a trace at
+	// the first operation of each flush-formed task, records client-side
+	// spans (call, send, ack-wait, task) into it, and propagates the IDs
+	// to managers that negotiated wire.ProtoVersionTrace. Nil disables
+	// tracing entirely — the hot path then pays one nil check.
+	Tracer *obs.Tracer
 }
 
 // Client is the Remote OpenCL Library entry point; it implements

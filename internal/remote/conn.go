@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"blastfunction/internal/model"
+	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
 	"blastfunction/internal/rpc"
 	"blastfunction/internal/shm"
@@ -33,6 +34,9 @@ type managerConn struct {
 	tags    atomic.Uint64
 	pending sync.Map // tag uint64 -> *remoteEvent
 
+	// tracer records client-side spans; nil when tracing is disabled.
+	tracer *obs.Tracer
+
 	// lease is the session lease the manager advertised at Hello (zero:
 	// leases disabled); stopBeat stops the heartbeat goroutine renewing it.
 	lease    time.Duration
@@ -58,7 +62,7 @@ func dialManager(cfg *Config, addr string) (*managerConn, error) {
 		}
 	}
 	cl.CallTimeout = cfg.CallTimeout
-	mc := &managerConn{cfg: cfg, addr: addr, rpc: cl, mode: model.TransportGRPC}
+	mc := &managerConn{cfg: cfg, addr: addr, rpc: cl, mode: model.TransportGRPC, tracer: cfg.Tracer}
 
 	// Hello: open the session. Not retried — a timed-out Hello may still
 	// have created a session on the manager, and retrying would leak it.
@@ -159,6 +163,12 @@ func (mc *managerConn) setupShm() error {
 }
 
 func (mc *managerConn) transport() model.Transport { return mc.mode }
+
+// traceWire reports whether trace IDs may be put on the wire: the
+// session must have negotiated the trace-capable protocol revision.
+// Client-side spans are recorded regardless — against an old manager the
+// timeline simply lacks the manager stages.
+func (mc *managerConn) traceWire() bool { return mc.proto >= wire.ProtoVersionTrace }
 
 func (mc *managerConn) isClosed() bool {
 	mc.closedMu.Lock()
@@ -261,6 +271,14 @@ type remoteEvent struct {
 	// queue backlink for implicit flush on Wait (clWaitForEvents flushes).
 	queue *commandQueue
 
+	// Tracing identity of the operation (zero when untraced): span is the
+	// op's "call" span, parent the task's root span, issued the enqueue
+	// time the call span starts at.
+	trace  obs.TraceID
+	span   obs.SpanID
+	parent obs.SpanID
+	issued time.Time
+
 	// Read completion plumbing.
 	dst       []byte // user destination for reads
 	shmOff    int64  // staging range for shm transfers
@@ -282,17 +300,37 @@ func (ev *remoteEvent) Wait() error {
 func (ev *remoteEvent) machine(mc *managerConn, n *wire.OpNotification) {
 	switch n.State {
 	case wire.OpAccepted:
+		// The deferred-ack wait: enqueue issue until the manager's
+		// (possibly flush-batched) Accepted confirmation arrived.
+		if ev.trace != 0 {
+			mc.tracer.End(ev.trace, mc.tracer.NewSpan(), ev.span, "ack-wait", "", ev.issued)
+		}
 		ev.SetStatus(ocl.Submitted)
 	case wire.OpRunning:
 		ev.SetStatus(ocl.Running)
 	case wire.OpComplete:
 		ev.SetDeviceTime(time.Duration(n.DeviceNanos))
 		ev.finishRead(mc, n)
+		ev.endCallSpan(mc, "")
 		ev.Complete()
 	case wire.OpFailed:
 		ev.releaseStaging(mc)
+		ev.endCallSpan(mc, "failed")
 		ev.Fail(ocl.Errf(ocl.Status(n.Status), "%s", n.Error))
 	}
+}
+
+// endCallSpan closes the operation's end-to-end "call" span: enqueue
+// issue through terminal notification, the client's view of the whole
+// operation.
+func (ev *remoteEvent) endCallSpan(mc *managerConn, note string) {
+	if ev.trace == 0 {
+		return
+	}
+	if note == "" {
+		note = ev.CommandType().String()
+	}
+	mc.tracer.End(ev.trace, ev.span, ev.parent, "call", note, ev.issued)
 }
 
 // finishRead lands read payloads in the user buffer: the BUFFER step of

@@ -49,6 +49,18 @@
 // segments, so bulk data crosses the transport without an intermediate
 // concatenation copy.
 //
+// # Trace propagation (proto 4)
+//
+// Sessions negotiating wire.ProtoVersionTrace may carry distributed-
+// tracing identity on the command-queue requests: EnqueueWrite,
+// EnqueueRead, EnqueueKernel and Flush each gain two trailing u64 fields
+// (TraceID then SpanID), encoded only when the operation is part of a
+// sampled trace. Untraced requests omit the fields entirely, so their
+// frames stay byte-identical to proto 3 — decoders probe the remaining
+// length, the same trailing-field convention every prior revision used.
+// The transport itself is trace-agnostic: the fields live in the method
+// bodies, and the rpc layer moves them like any other payload bytes.
+//
 // # Buffer ownership
 //
 // Frame payloads and encoder buffers come from the tiered pool in package

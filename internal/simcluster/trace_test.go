@@ -1,0 +1,148 @@
+package simcluster
+
+// End-to-end distributed-tracing test: a write -> copy-kernel -> read task
+// runs through a real Remote Library <-> Device Manager pair, and the
+// spans recorded on both sides must share one trace ID and decompose the
+// call end to end — client call issue, RPC send, deferred-ack wait,
+// central-queue wait, device execution, notification delivery.
+
+import (
+	"testing"
+	"time"
+
+	"blastfunction/internal/manager"
+	"blastfunction/internal/obs"
+	"blastfunction/internal/ocl"
+	"blastfunction/internal/remote"
+)
+
+func TestTraceEndToEnd(t *testing.T) {
+	rig := newChaosRig(t, manager.Config{DeviceID: "trace-A"})
+	defer rig.close()
+
+	tracer := obs.New(obs.Config{Component: "library", SampleRate: 1})
+	client, err := remote.Dial(remote.Config{
+		ClientName: "trace-client",
+		Managers:   []string{rig.addr},
+		Transport:  remote.TransportGRPC,
+		Tracer:     tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx, q, k := openLoopback(t, client)
+
+	payload := []byte("trace me end to end")
+	in, err := ctx.CreateBuffer(ocl.MemReadOnly, len(payload), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.CreateBuffer(ocl.MemWriteOnly, len(payload), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, arg := range []any{in, out, int32(len(payload))} {
+		if err := k.SetArg(i, arg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One flush-formed task: write -> kernel -> read, sealed by Finish.
+	if _, err := q.EnqueueWriteBuffer(in, false, 0, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueTask(k, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(payload))
+	if _, err := q.EnqueueReadBuffer(out, false, 0, dst, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != string(payload) {
+		t.Fatalf("loopback corrupted payload: %q", dst)
+	}
+
+	clientSpans := tracer.Spans()
+	if len(clientSpans) == 0 {
+		t.Fatal("no client spans recorded at sample rate 1")
+	}
+	trace := clientSpans[0].Trace
+	if trace == 0 {
+		t.Fatal("client span with zero trace id")
+	}
+	for _, sp := range clientSpans {
+		if sp.Trace != trace {
+			t.Fatalf("client spans span multiple traces: %s and %s", trace, sp.Trace)
+		}
+	}
+
+	// The manager's spans arrive asynchronously (its notify span is
+	// recorded after the batch frame is on the wire); poll briefly.
+	var mgrSpans []obs.Span
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mgrSpans = rig.mgr.Tracer().SpansFor(trace)
+		if countStage(mgrSpans, "notify") > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Client-side decomposition: per-op call/send/ack-wait plus the task
+	// root span.
+	for stage, want := range map[string]int{"call": 3, "send": 3, "ack-wait": 3, "task": 1} {
+		if got := countStage(clientSpans, stage); got != want {
+			t.Errorf("client %q spans = %d, want %d\n%v", stage, got, want, clientSpans)
+		}
+	}
+	// Manager-side decomposition, continuing the same trace.
+	for stage, want := range map[string]int{"queue-wait": 1, "execute": 1, "op": 3, "notify": 1} {
+		if got := countStage(mgrSpans, stage); got != want {
+			t.Errorf("manager %q spans = %d, want %d\n%v", stage, got, want, mgrSpans)
+		}
+	}
+	for _, sp := range mgrSpans {
+		if sp.Component != "manager" {
+			t.Errorf("manager span has component %q", sp.Component)
+		}
+	}
+
+	// The merged timeline covers the call end to end: the client's call
+	// spans open before anything else and close after the board is done,
+	// so queue wait and device execution nest inside the client window.
+	var start, callEnd time.Time
+	for _, sp := range clientSpans {
+		if start.IsZero() || sp.Start.Before(start) {
+			start = sp.Start
+		}
+		if sp.Stage == "call" && sp.End().After(callEnd) {
+			callEnd = sp.End()
+		}
+	}
+	if !callEnd.After(start) {
+		t.Fatalf("degenerate client window [%v, %v]", start, callEnd)
+	}
+	for _, sp := range mgrSpans {
+		if sp.Stage == "notify" {
+			continue // delivery races the client's terminal processing
+		}
+		if sp.Start.Before(start) || sp.End().After(callEnd) {
+			t.Errorf("manager %q span [%v, %v] outside client window [%v, %v]",
+				sp.Stage, sp.Start, sp.End(), start, callEnd)
+		}
+	}
+}
+
+func countStage(spans []obs.Span, stage string) int {
+	n := 0
+	for _, sp := range spans {
+		if sp.Stage == stage {
+			n++
+		}
+	}
+	return n
+}

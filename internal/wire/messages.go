@@ -140,7 +140,7 @@ type HelloRequest struct {
 // that negotiated ProtoVersionBatch or later.
 const (
 	// ProtoVersion is the current protocol revision.
-	ProtoVersion = 3
+	ProtoVersion = 4
 	// ProtoVersionBatch is the first revision with coalesced notification
 	// batch frames.
 	ProtoVersionBatch = 2
@@ -149,9 +149,33 @@ const (
 	// renews it with MethodHeartbeat. Sessions negotiated below this
 	// revision are never lease-expired (old clients do not heartbeat).
 	ProtoVersionLease = 3
+	// ProtoVersionTrace is the first revision whose command-queue
+	// requests may carry trailing distributed-tracing IDs. Untraced
+	// frames omit them and stay byte-identical to earlier revisions; the
+	// client only emits them to managers that negotiated this version.
+	ProtoVersionTrace = 4
 	// MinProtoVersion is the oldest revision a manager still serves.
 	MinProtoVersion = 1
 )
+
+// encodeTraceTail appends the trailing trace IDs of a command-queue
+// request. An untraced request (TraceID zero) appends nothing, keeping
+// the frame byte-identical to the pre-trace layout.
+func encodeTraceTail(e *Encoder, traceID, spanID uint64) {
+	if traceID != 0 {
+		e.U64(traceID)
+		e.U64(spanID)
+	}
+}
+
+// decodeTraceTail reads the trailing trace IDs if present. Both IDs
+// travel together, so anything shorter than the pair is not a trace tail.
+func decodeTraceTail(d *Decoder) (traceID, spanID uint64) {
+	if d.Remaining() >= 16 {
+		return d.U64(), d.U64()
+	}
+	return 0, 0
+}
 
 // Encode serializes the message.
 func (m *HelloRequest) Encode(e *Encoder) {
@@ -405,6 +429,12 @@ type EnqueueWriteRequest struct {
 	// ShmOff/ShmLen reference the payload for ViaShm.
 	ShmOff int64
 	ShmLen int64
+	// TraceID/SpanID are the operation's distributed-tracing identity
+	// (proto >= ProtoVersionTrace). Trailing fields after the payload:
+	// untraced requests omit them and stay byte-identical to the
+	// pre-trace layout.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Encode serializes the message.
@@ -413,6 +443,7 @@ func (m *EnqueueWriteRequest) Encode(e *Encoder) {
 	if m.Via == ViaInline {
 		e.Raw(m.Data)
 	}
+	m.EncodeTail(e)
 }
 
 // EncodeHead serializes everything except the inline payload bytes: for
@@ -433,6 +464,13 @@ func (m *EnqueueWriteRequest) EncodeHead(e *Encoder) {
 	}
 }
 
+// EncodeTail serializes the trailing trace IDs (nothing when untraced).
+// It follows the inline payload on the wire, so a vectored sender encodes
+// head and tail into one buffer and slots the Data segment between them.
+func (m *EnqueueWriteRequest) EncodeTail(e *Encoder) {
+	encodeTraceTail(e, m.TraceID, m.SpanID)
+}
+
 // Decode deserializes the message. Data aliases the decode buffer: the
 // manager retains the request payload (rpc.Conn.RetainRequestPayload) and
 // releases it once the bytes reach the board.
@@ -448,6 +486,7 @@ func (m *EnqueueWriteRequest) Decode(d *Decoder) {
 		m.ShmOff = d.I64()
 		m.ShmLen = d.I64()
 	}
+	m.TraceID, m.SpanID = decodeTraceTail(d)
 }
 
 // EnqueueReadRequest transfers device data back to the host.
@@ -460,6 +499,9 @@ type EnqueueReadRequest struct {
 	Via    DataVia
 	// ShmOff is the destination offset inside the segment for ViaShm.
 	ShmOff int64
+	// TraceID/SpanID: trailing trace identity, as on EnqueueWriteRequest.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Encode serializes the message.
@@ -471,6 +513,7 @@ func (m *EnqueueReadRequest) Encode(e *Encoder) {
 	e.I64(m.Length)
 	e.U8(uint8(m.Via))
 	e.I64(m.ShmOff)
+	encodeTraceTail(e, m.TraceID, m.SpanID)
 }
 
 // Decode deserializes the message.
@@ -482,6 +525,7 @@ func (m *EnqueueReadRequest) Decode(d *Decoder) {
 	m.Length = d.I64()
 	m.Via = DataVia(d.U8())
 	m.ShmOff = d.I64()
+	m.TraceID, m.SpanID = decodeTraceTail(d)
 }
 
 // EnqueueKernelRequest launches a kernel.
@@ -491,6 +535,9 @@ type EnqueueKernelRequest struct {
 	Kernel uint64
 	Global []int64
 	Local  []int64
+	// TraceID/SpanID: trailing trace identity, as on EnqueueWriteRequest.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Encode serializes the message.
@@ -500,6 +547,7 @@ func (m *EnqueueKernelRequest) Encode(e *Encoder) {
 	e.U64(m.Kernel)
 	e.I64Slice(m.Global)
 	e.I64Slice(m.Local)
+	encodeTraceTail(e, m.TraceID, m.SpanID)
 }
 
 // Decode deserializes the message.
@@ -509,6 +557,7 @@ func (m *EnqueueKernelRequest) Decode(d *Decoder) {
 	m.Kernel = d.U64()
 	m.Global = d.I64Slice()
 	m.Local = d.I64Slice()
+	m.TraceID, m.SpanID = decodeTraceTail(d)
 }
 
 // FlushRequest seals the client's current task on a queue and submits it
@@ -520,14 +569,23 @@ type FlushRequest struct {
 	// field: zero (no hint) is not encoded, keeping unhinted frames
 	// byte-identical to pre-scheduler ones.
 	DeadlineMillis uint32
+	// TraceID/SpanID carry the flush-formed task's trace identity (the
+	// task's root span). Trailing after DeadlineMillis; a traced flush
+	// always encodes DeadlineMillis — even a zero one — so the decoder
+	// can tell a bare deadline (4 trailing bytes) from a trace tail
+	// (4+16) without ambiguity. Untraced unhinted flushes stay
+	// byte-identical to the proto-1 layout.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Encode serializes the message.
 func (m *FlushRequest) Encode(e *Encoder) {
 	e.U64(m.Queue)
-	if m.DeadlineMillis > 0 {
+	if m.DeadlineMillis > 0 || m.TraceID != 0 {
 		e.U32(m.DeadlineMillis)
 	}
+	encodeTraceTail(e, m.TraceID, m.SpanID)
 }
 
 // Decode deserializes the message.
@@ -537,6 +595,7 @@ func (m *FlushRequest) Decode(d *Decoder) {
 	if d.Remaining() > 0 {
 		m.DeadlineMillis = d.U32()
 	}
+	m.TraceID, m.SpanID = decodeTraceTail(d)
 }
 
 // OpState is the state carried by an operation notification.

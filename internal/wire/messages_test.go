@@ -57,8 +57,18 @@ func TestMessageRoundTrips(t *testing.T) {
 			Via: ViaShm, ShmOff: 8192}, &EnqueueReadRequest{}},
 		{&EnqueueKernelRequest{Tag: 14, Queue: 1, Kernel: 3,
 			Global: []int64{1024, 8}, Local: []int64{16}}, &EnqueueKernelRequest{}},
+		{&EnqueueWriteRequest{Tag: 16, Queue: 1, Buffer: 2, Offset: 64,
+			Via: ViaInline, Data: []byte("abcdef"), TraceID: 0xdead, SpanID: 0xbeef}, &EnqueueWriteRequest{}},
+		{&EnqueueWriteRequest{Tag: 17, Queue: 1, Buffer: 2,
+			Via: ViaShm, ShmOff: 4096, ShmLen: 512, TraceID: 0xdead, SpanID: 0xbeef}, &EnqueueWriteRequest{}},
+		{&EnqueueReadRequest{Tag: 18, Queue: 1, Buffer: 2, Offset: 8, Length: 100,
+			Via: ViaShm, ShmOff: 8192, TraceID: 0xdead, SpanID: 0xbeef}, &EnqueueReadRequest{}},
+		{&EnqueueKernelRequest{Tag: 19, Queue: 1, Kernel: 3,
+			Global: []int64{1024, 8}, Local: []int64{16}, TraceID: 0xdead, SpanID: 0xbeef}, &EnqueueKernelRequest{}},
 		{&FlushRequest{Queue: 1}, &FlushRequest{}},
 		{&FlushRequest{Queue: 2, DeadlineMillis: 250}, &FlushRequest{}},
+		{&FlushRequest{Queue: 3, TraceID: 0xdead, SpanID: 0xbeef}, &FlushRequest{}},
+		{&FlushRequest{Queue: 4, DeadlineMillis: 250, TraceID: 0xdead, SpanID: 0xbeef}, &FlushRequest{}},
 		{&OpNotification{Tag: 14, State: OpComplete, DeviceNanos: 12345,
 			Data: []byte("result")}, &OpNotification{}},
 		{&OpNotification{Tag: 15, State: OpFailed, Status: int32(ocl.ErrInvalidMemObject),
@@ -106,6 +116,90 @@ func TestSchedulerFieldsTrailing(t *testing.T) {
 	f.Decode(d)
 	if d.Err() != nil || f.DeadlineMillis != 0 {
 		t.Fatalf("pre-scheduler Flush decode: deadline=%d err=%v", f.DeadlineMillis, d.Err())
+	}
+}
+
+// TestTraceFieldsTrailing pins the compatibility contract of the tracing
+// tail: untraced command-queue requests encode byte-identically to the
+// pre-trace (proto <= 3) layout, pre-trace frames decode with the trace
+// IDs zeroed, and the Flush tail stays unambiguous against the deadline
+// hint that precedes it.
+func TestTraceFieldsTrailing(t *testing.T) {
+	// Pre-trace EnqueueWrite (inline): tag, queue, buffer, offset, via,
+	// length-prefixed data.
+	old := NewEncoder(64)
+	old.U64(11)
+	old.U64(1)
+	old.U64(2)
+	old.I64(64)
+	old.U8(uint8(ViaInline))
+	old.Bytes32([]byte("abcdef"))
+	now := NewEncoder(64)
+	(&EnqueueWriteRequest{Tag: 11, Queue: 1, Buffer: 2, Offset: 64,
+		Via: ViaInline, Data: []byte("abcdef")}).Encode(now)
+	if !bytes.Equal(old.Bytes(), now.Bytes()) {
+		t.Fatalf("untraced EnqueueWrite changed on the wire:\nold %x\nnew %x", old.Bytes(), now.Bytes())
+	}
+	var w EnqueueWriteRequest
+	d := NewDecoder(old.Bytes())
+	w.Decode(d)
+	if d.Err() != nil || w.TraceID != 0 || w.SpanID != 0 {
+		t.Fatalf("pre-trace EnqueueWrite decode: trace=%d span=%d err=%v", w.TraceID, w.SpanID, d.Err())
+	}
+
+	// Pre-trace EnqueueRead.
+	old = NewEncoder(64)
+	old.U64(13)
+	old.U64(1)
+	old.U64(2)
+	old.I64(8)
+	old.I64(100)
+	old.U8(uint8(ViaShm))
+	old.I64(8192)
+	now = NewEncoder(64)
+	(&EnqueueReadRequest{Tag: 13, Queue: 1, Buffer: 2, Offset: 8, Length: 100,
+		Via: ViaShm, ShmOff: 8192}).Encode(now)
+	if !bytes.Equal(old.Bytes(), now.Bytes()) {
+		t.Fatalf("untraced EnqueueRead changed on the wire:\nold %x\nnew %x", old.Bytes(), now.Bytes())
+	}
+
+	// Pre-trace EnqueueKernel.
+	old = NewEncoder(64)
+	old.U64(14)
+	old.U64(1)
+	old.U64(3)
+	old.I64Slice([]int64{1024, 8})
+	old.I64Slice([]int64{16})
+	now = NewEncoder(64)
+	(&EnqueueKernelRequest{Tag: 14, Queue: 1, Kernel: 3,
+		Global: []int64{1024, 8}, Local: []int64{16}}).Encode(now)
+	if !bytes.Equal(old.Bytes(), now.Bytes()) {
+		t.Fatalf("untraced EnqueueKernel changed on the wire:\nold %x\nnew %x", old.Bytes(), now.Bytes())
+	}
+
+	// Untraced hinted Flush keeps the scheduler-era layout: u64 queue,
+	// u32 deadline.
+	old = NewEncoder(16)
+	old.U64(7)
+	old.U32(250)
+	now = NewEncoder(16)
+	(&FlushRequest{Queue: 7, DeadlineMillis: 250}).Encode(now)
+	if !bytes.Equal(old.Bytes(), now.Bytes()) {
+		t.Fatalf("untraced hinted Flush changed on the wire:\nold %x\nnew %x", old.Bytes(), now.Bytes())
+	}
+
+	// A traced unhinted Flush must encode the zero deadline so the tail
+	// cannot be misread as a bare hint: u64 + u32 + u64 + u64 = 28 bytes.
+	now = NewEncoder(32)
+	(&FlushRequest{Queue: 7, TraceID: 0xdead, SpanID: 0xbeef}).Encode(now)
+	if got := len(now.Bytes()); got != 28 {
+		t.Fatalf("traced unhinted Flush is %d bytes, want 28", got)
+	}
+	var f FlushRequest
+	d = NewDecoder(now.Bytes())
+	f.Decode(d)
+	if d.Err() != nil || f.DeadlineMillis != 0 || f.TraceID != 0xdead || f.SpanID != 0xbeef {
+		t.Fatalf("traced unhinted Flush decode: %+v err=%v", f, d.Err())
 	}
 }
 
