@@ -1,7 +1,7 @@
 # BlastFunction reproduction build targets.
 GO ?= go
 
-.PHONY: all build test vet race bench trace-overhead check experiments examples sched-ablation clean
+.PHONY: all build test vet race bench trace-overhead log-overhead check experiments examples sched-ablation clean
 
 all: build test
 
@@ -17,10 +17,12 @@ vet:
 # The transport hot path carries explicit buffer-ownership hand-offs and the
 # close/notify teardown races, simcluster hosts the chaos tests (fault
 # injection, lease expiry), sched is the manager's concurrent central
-# queue, and obs records spans from every hot-path goroutine at once;
-# always run them under the race detector.
+# queue, obs records spans from every hot-path goroutine at once, logx
+# rings are written from every component concurrently, and the alert
+# engine evaluates while scrape goroutines append; always run them under
+# the race detector.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/... ./internal/obs/...
+	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/... ./internal/obs/... ./internal/logx/... ./internal/alert/...
 
 # Run the scheduling fairness experiment: the two-tenant skew workload on
 # the real Device Manager under fifo vs drr, checked against the
@@ -29,7 +31,7 @@ sched-ablation:
 	$(GO) test -race -v ./internal/simcluster/ -run Fairness
 	$(GO) test -bench BenchmarkPushPop -benchmem ./internal/sched/
 
-bench: trace-overhead
+bench: trace-overhead log-overhead
 	$(GO) test -bench=. -benchmem ./...
 
 # Measure the distributed-tracing tax on the hot RPC path: the 4K gRPC
@@ -37,6 +39,12 @@ bench: trace-overhead
 # untouched baseline benchmark. The sampling-off budget is <2%.
 trace-overhead:
 	$(GO) test -run '^$$' -bench 'BenchmarkTraceOverhead|BenchmarkLiveRoundTripGRPC4K$$' -benchmem .
+
+# Measure the structured-logging tax on the same round trip: nil loggers
+# (budget <1% against the untouched baseline), loggers at Info (per-task
+# debug events gated out), and ring-recording every task at Debug.
+log-overhead:
+	$(GO) test -run '^$$' -bench 'BenchmarkLogOverhead|BenchmarkLiveRoundTripGRPC4K$$' -benchmem .
 
 # Verify the paper's qualitative claims hold.
 check:

@@ -17,6 +17,7 @@ import (
 
 	"blastfunction/internal/accel"
 	"blastfunction/internal/fpga"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/manager"
 	"blastfunction/internal/model"
 	"blastfunction/internal/remote"
@@ -33,6 +34,9 @@ type NodeConfig struct {
 	// TimeScale converts modelled hardware time into real sleeps; 0
 	// disables sleeping (fast functional runs), 1.0 is faithful.
 	TimeScale float64
+	// Log, when non-nil, receives the node's Device Manager structured
+	// events (nil keeps the manager silent at zero cost).
+	Log *logx.Logger
 }
 
 // Node is one running node of a Testbed: a simulated DE5a-Net board, its
@@ -72,6 +76,7 @@ func NewTestbed(nodes ...NodeConfig) (*Testbed, error) {
 		mgr := manager.New(manager.Config{
 			Node:     nc.Name,
 			DeviceID: "fpga-" + nc.Name,
+			Log:      nc.Log,
 		}, board)
 		srv := rpc.NewServer(mgr)
 		addr, err := srv.Listen("127.0.0.1:0")

@@ -5,6 +5,9 @@
 //	blastctl -manager http://localhost:5101 traces
 //	blastctl -manager http://localhost:5101 tenants
 //	blastctl -gateway http://localhost:8081 -manager http://localhost:5101 trace <trace-id>
+//	blastctl logs -level warn -trace <trace-id>
+//	blastctl alerts
+//	blastctl top
 package main
 
 import (
@@ -20,6 +23,10 @@ import (
 	"strings"
 	"text/tabwriter"
 	"time"
+
+	"blastfunction/internal/alert"
+	"blastfunction/internal/logx"
+	"blastfunction/internal/obs"
 )
 
 func main() {
@@ -31,6 +38,10 @@ func main() {
 	if cmd == "" {
 		cmd = "devices"
 	}
+	// The ops commands merge views across every process that answers; a
+	// single blastctl works against both the split (registry + managers)
+	// and the all-in-one gateway deployments.
+	bases := dedup(*registryURL, *gatewayURL, *managerURL)
 	switch cmd {
 	case "devices":
 		showDevices(*registryURL)
@@ -46,9 +57,256 @@ func main() {
 			log.Fatal("blastctl: trace needs a trace id (the hex form printed in span dumps)")
 		}
 		showTrace(*gatewayURL, *managerURL, id)
+	case "logs":
+		showLogs(bases, flag.Args()[1:])
+	case "alerts":
+		showAlerts(dedup(*registryURL, *gatewayURL))
+	case "top":
+		showTop(*registryURL, *gatewayURL, *managerURL, flag.Args()[1:])
 	default:
-		log.Fatalf("blastctl: unknown command %q (want devices|functions|traces|tenants|trace)", cmd)
+		log.Fatalf("blastctl: unknown command %q (want devices|functions|traces|tenants|trace|logs|alerts|top)", cmd)
 	}
+}
+
+// dedup drops duplicate base URLs while preserving order, so pointing
+// two flags at the same process doesn't fetch (or print) twice.
+func dedup(bases ...string) []string {
+	seen := make(map[string]bool, len(bases))
+	var out []string
+	for _, b := range bases {
+		b = strings.TrimSuffix(b, "/")
+		if b == "" || seen[b] {
+			continue
+		}
+		seen[b] = true
+		out = append(out, b)
+	}
+	return out
+}
+
+// showLogs fetches the /debug/logs rings of every reachable process and
+// prints the merged timeline — the cluster-wide `kubectl logs` with
+// level, component and trace filters pushed down to each ring.
+func showLogs(bases []string, args []string) {
+	fs := flag.NewFlagSet("logs", flag.ExitOnError)
+	level := fs.String("level", "", "minimum severity (debug|info|warn|error)")
+	component := fs.String("component", "", "only this component's events")
+	trace := fs.String("trace", "", "only events correlated to this trace id (hex)")
+	n := fs.Int("n", 0, "only the most recent N events per process (0 = all)")
+	fs.Parse(args)
+
+	var q logx.Query
+	if *level != "" {
+		lv, err := logx.ParseLevel(*level)
+		if err != nil {
+			log.Fatalf("blastctl: %v", err)
+		}
+		q.MinLevel = lv
+	}
+	q.Component = *component
+	if *trace != "" {
+		id, err := obs.ParseTraceID(*trace)
+		if err != nil {
+			log.Fatalf("blastctl: trace id %q: %v", *trace, err)
+		}
+		q.Trace = id
+	}
+	q.N = *n
+
+	var rings [][]logx.Event
+	for _, base := range bases {
+		ring, err := logx.FetchRing(base, q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blastctl: warning: %v (timeline may be partial)\n", err)
+			continue
+		}
+		rings = append(rings, ring)
+	}
+	if len(rings) == 0 {
+		log.Fatal("blastctl: no log source reachable (tried the registry's, gateway's and manager's /debug/logs)")
+	}
+	for _, ev := range logx.Merge(rings...) {
+		fmt.Println(ev.Format())
+	}
+}
+
+// showAlerts renders the merged /debug/alerts view: every rule series
+// that has left inactive, firing first, with how long it has been there.
+func showAlerts(bases []string) {
+	var statuses []alert.Status
+	sources := 0
+	for _, base := range bases {
+		var part []alert.Status
+		if err := fetch(base+"/debug/alerts", &part); err != nil {
+			fmt.Fprintf(os.Stderr, "blastctl: warning: %v\n", err)
+			continue
+		}
+		sources++
+		statuses = append(statuses, part...)
+	}
+	if sources == 0 {
+		log.Fatal("blastctl: no alert source reachable (tried the registry's and gateway's /debug/alerts)")
+	}
+	if len(statuses) == 0 {
+		fmt.Println("no alerts: every rule series is inactive")
+		return
+	}
+	now := time.Now()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "RULE\tSTATE\tLABELS\tVALUE\tCONDITION\tAGE")
+	for _, st := range statuses {
+		age := "-"
+		if !st.Since.IsZero() {
+			age = now.Sub(st.Since).Round(time.Second).String()
+		}
+		labels := st.Labels.String()
+		if labels == "" {
+			labels = "-"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.3g\t%s %g\t%s\n",
+			st.Rule, st.State, labels, st.Value, st.Op, st.Threshold, age)
+	}
+	w.Flush()
+}
+
+// topDevice mirrors the registry's /devices JSON for the fields top needs.
+type topDevice struct {
+	ID, Node, Bitstream string
+	Healthy             bool
+	Metrics             *struct {
+		Utilization, Connected, QueueDepth float64
+	}
+	Connected []string
+}
+
+// showTop renders a one-screen live cluster view — devices with
+// utilization bars, queue depth, firing alerts, and the manager's tenant
+// shares — refreshed every -interval until interrupted. -once prints a
+// single frame (scripting and tests).
+func showTop(registryBase, gatewayBase, managerBase string, args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print one frame and exit")
+	fs.Parse(args)
+	for {
+		frame := topFrame(dedup(registryBase, gatewayBase), dedup(registryBase, gatewayBase), managerBase)
+		if *once {
+			fmt.Print(frame)
+			return
+		}
+		// ANSI home+clear keeps the view flicker-free in place.
+		fmt.Print("\033[H\033[2J" + frame)
+		time.Sleep(*interval)
+	}
+}
+
+// topFrame builds one rendering of the cluster view. Every section is
+// best-effort: an unreachable process leaves a note, not a dead screen.
+func topFrame(deviceBases, alertBases []string, managerBase string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BlastFunction cluster — %s\n\n", time.Now().Format("15:04:05"))
+
+	var devices []topDevice
+	var devErr error
+	for _, base := range deviceBases {
+		if devErr = fetch(base+"/devices", &devices); devErr == nil {
+			break
+		}
+	}
+	if devErr != nil {
+		fmt.Fprintf(&b, "devices: unreachable: %v\n", devErr)
+	} else {
+		w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "DEVICE\tNODE\tHEALTHY\tBITSTREAM\tUTIL\tQUEUE\tCLIENTS\tINSTANCES")
+		for _, d := range devices {
+			util, queue, clients := "-", "-", "-"
+			bar := ""
+			if d.Metrics != nil {
+				util = fmt.Sprintf("%5.1f%%", d.Metrics.Utilization*100)
+				queue = fmt.Sprintf("%.0f", d.Metrics.QueueDepth)
+				clients = fmt.Sprintf("%.0f", d.Metrics.Connected)
+				bar = " " + utilBar(d.Metrics.Utilization, 10)
+			}
+			bit := d.Bitstream
+			if bit == "" {
+				bit = "(unconfigured)"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%t\t%s\t%s%s\t%s\t%s\t%d\n",
+				d.ID, d.Node, d.Healthy, bit, util, bar, queue, clients, len(d.Connected))
+		}
+		w.Flush()
+	}
+
+	var statuses []alert.Status
+	alertsOK := false
+	for _, base := range alertBases {
+		var part []alert.Status
+		if err := fetch(base+"/debug/alerts", &part); err == nil {
+			alertsOK = true
+			statuses = append(statuses, part...)
+		}
+	}
+	firing := 0
+	for _, st := range statuses {
+		if st.State == alert.StateFiring {
+			firing++
+		}
+	}
+	b.WriteByte('\n')
+	switch {
+	case !alertsOK:
+		b.WriteString("alerts: unreachable\n")
+	case firing == 0:
+		b.WriteString("alerts: none firing\n")
+	default:
+		fmt.Fprintf(&b, "alerts: %d firing\n", firing)
+		now := time.Now()
+		for _, st := range statuses {
+			if st.State != alert.StateFiring {
+				continue
+			}
+			fmt.Fprintf(&b, "  %s %s value=%.3g (%s %g) for %s\n",
+				st.Rule, st.Labels.String(), st.Value, st.Op, st.Threshold,
+				now.Sub(st.Since).Round(time.Second))
+		}
+	}
+
+	var sched struct {
+		Discipline string `json:"discipline"`
+		Depth      int    `json:"depth"`
+		Tenants    []struct {
+			Tenant         string  `json:"tenant"`
+			Weight         int     `json:"weight"`
+			Depth          int     `json:"depth"`
+			OccupancyShare float64 `json:"occupancy_share"`
+		}
+	}
+	b.WriteByte('\n')
+	if err := fetch(strings.TrimSuffix(managerBase, "/")+"/debug/sched", &sched); err != nil {
+		fmt.Fprintf(&b, "scheduler: unreachable (-manager not pointed at a Device Manager?)\n")
+	} else {
+		fmt.Fprintf(&b, "scheduler: %s, %d queued\n", sched.Discipline, sched.Depth)
+		w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "  TENANT\tWEIGHT\tQUEUED\tSHARE")
+		for _, ts := range sched.Tenants {
+			fmt.Fprintf(w, "  %s\t%d\t%d\t%.1f%% %s\n",
+				ts.Tenant, ts.Weight, ts.Depth, ts.OccupancyShare*100, utilBar(ts.OccupancyShare, 10))
+		}
+		w.Flush()
+	}
+	return b.String()
+}
+
+// utilBar renders a fraction as a fixed-width block bar.
+func utilBar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	full := int(frac*float64(width) + 0.5)
+	return "[" + strings.Repeat("|", full) + strings.Repeat(" ", width-full) + "]"
 }
 
 // span mirrors obs.Span's JSON form.

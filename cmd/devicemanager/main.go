@@ -24,6 +24,7 @@ import (
 
 	"blastfunction/internal/accel"
 	"blastfunction/internal/fpga"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/manager"
 	"blastfunction/internal/model"
 	"blastfunction/internal/rpc"
@@ -44,8 +45,21 @@ func main() {
 		weights   = flag.String("weights", "", "per-tenant drr weights as name=w,name=w (overrides Hello-declared weights)")
 		guard     = flag.Duration("starvation-guard", 0, "drr starvation guard: max queue wait before a tenant is served out of turn (0 = default 2s, negative disables)")
 		traceRing = flag.Int("trace-ring", 0, "distributed-tracing span ring size served at /debug/spans (0 = default 4096)")
+		logLevel  = flag.String("log-level", "info", "minimum level mirrored to stderr (debug|info|warn|error)")
+		logRing   = flag.Int("log-ring", 4096, "events kept in the /debug/logs ring")
 	)
 	flag.Parse()
+
+	sinkLevel, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("devicemanager: -log-level: %v", err)
+	}
+	rootLog := logx.New(logx.Config{
+		Component: "manager",
+		RingSize:  *logRing,
+		Sink:      logx.TextSink(os.Stderr),
+		SinkLevel: sinkLevel,
+	})
 
 	weightTable, err := parseWeights(*weights)
 	if err != nil {
@@ -70,41 +84,44 @@ func main() {
 		TenantWeights:   weightTable,
 		StarvationGuard: *guard,
 		TraceRing:       *traceRing,
+		Log:             rootLog,
 	}, board)
 	defer mgr.Close()
 
 	srv := rpc.NewServer(mgr)
+	srv.Log = rootLog.Named("rpc")
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("devicemanager: listen: %v", err)
 	}
 	defer srv.Close()
-	log.Printf("devicemanager: %s on node %s serving RPC at %s", *device, *node, addr)
+	rootLog.Info("serving RPC", "device", *device, "node", *node, "addr", addr)
 
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", mgr.MetricsHandler())
 	mux.Handle("/debug/tasks", mgr.TraceHandler())
 	mux.Handle("/debug/spans", mgr.SpanHandler())
 	mux.Handle("/debug/sched", mgr.SchedStatsHandler())
+	mux.Handle("/debug/logs", rootLog.Handler())
 	metricsSrv := &http.Server{Addr: *metricsAt, Handler: mux}
 	go func() {
 		if err := metricsSrv.ListenAndServe(); err != http.ErrServerClosed {
 			log.Fatalf("devicemanager: metrics server: %v", err)
 		}
 	}()
-	log.Printf("devicemanager: metrics at http://%s/metrics", *metricsAt)
+	rootLog.Info("metrics endpoint up", "url", "http://"+*metricsAt+"/metrics")
 
 	if *register != "" {
 		if err := selfRegister(*register, *device, *node, addr, "http://"+*metricsAt+"/metrics", board); err != nil {
 			log.Fatalf("devicemanager: registration: %v", err)
 		}
-		log.Printf("devicemanager: registered with %s", *register)
+		rootLog.Info("registered with registry", "registry", *register)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Print("devicemanager: shutting down")
+	rootLog.Info("shutting down")
 	metricsSrv.Close()
 }
 

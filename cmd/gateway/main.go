@@ -28,9 +28,11 @@ import (
 	"time"
 
 	"blastfunction/internal/accel"
+	"blastfunction/internal/alert"
 	"blastfunction/internal/apps"
 	"blastfunction/internal/cluster"
 	"blastfunction/internal/gateway"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/metrics"
 	"blastfunction/internal/obs"
 	"blastfunction/internal/registry"
@@ -76,12 +78,15 @@ func parseManager(v string) (managerSpec, error) {
 
 func main() {
 	var (
-		listen      = flag.String("listen", "127.0.0.1:8081", "gateway HTTP listen address")
-		scrape      = flag.Duration("scrape", 2*time.Second, "metrics scrape interval")
-		grace       = flag.Duration("grace", 30*time.Second, "unhealthy-device grace window before instances are migrated (0 disables)")
-		traceSample = flag.Float64("trace-sample", 0, "distributed-tracing sample rate 0..1 (0 disables; spans served at /debug/spans)")
-		managers    listFlag
-		deploys     listFlag
+		listen        = flag.String("listen", "127.0.0.1:8081", "gateway HTTP listen address")
+		scrape        = flag.Duration("scrape", 2*time.Second, "metrics scrape interval")
+		grace         = flag.Duration("grace", 30*time.Second, "unhealthy-device grace window before instances are migrated (0 disables)")
+		traceSample   = flag.Float64("trace-sample", 0, "distributed-tracing sample rate 0..1 (0 disables; spans served at /debug/spans)")
+		alertInterval = flag.Duration("alert-interval", 5*time.Second, "alert rule evaluation interval")
+		logLevel      = flag.String("log-level", "info", "minimum level mirrored to stderr (debug|info|warn|error)")
+		logRing       = flag.Int("log-ring", 4096, "events kept in the /debug/logs ring")
+		managers      listFlag
+		deploys       listFlag
 	)
 	flag.Var(&managers, "manager", "Device Manager spec: node=N,id=I,addr=H:P[,metrics=URL] (repeatable)")
 	flag.Var(&deploys, "deploy", "function deployment: name=usecase (usecase: sobel|mm|cnn; repeatable)")
@@ -90,9 +95,27 @@ func main() {
 		log.Fatal("gateway: at least one -manager is required")
 	}
 
+	sinkLevel, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+	rootLog := logx.New(logx.Config{
+		Component: "gateway",
+		RingSize:  *logRing,
+		Sink:      logx.TextSink(os.Stderr),
+		SinkLevel: sinkLevel,
+	})
+
 	cl := cluster.New()
 	db := metrics.NewTSDB(15 * time.Minute)
 	scraper := metrics.NewScraper(db, *scrape)
+	scraper.OnHealth = func(target string, up bool, err error) {
+		if up {
+			rootLog.Info("scrape target recovered", "target", target)
+		} else {
+			rootLog.Warn("scrape target down", "target", target, "err", err)
+		}
+	}
 	gatherer := registry.NewGatherer(db)
 	reg, err := registry.New(registry.DefaultPolicy(gatherer))
 	if err != nil {
@@ -120,9 +143,29 @@ func main() {
 		}
 	}
 
+	// The gateway process owns the TSDB here, so it also runs the alert
+	// engine over it; the firing gauge rides a local metrics registry.
+	alertReg := metrics.NewRegistry()
+	engine := alert.NewEngine(alert.Config{Log: rootLog.Named("alert"), Registry: alertReg})
+	engine.Add(alert.DefaultRules(db)...)
+	engine.Add(alert.Rule{
+		Name: "DeviceUnhealthy",
+		Help: "device unreachable past the migration grace period",
+		Source: alert.Func(func(now time.Time) []alert.Observation {
+			var out []alert.Observation
+			for _, id := range reg.UnhealthyPastGrace(*grace) {
+				out = append(out, alert.Observation{Labels: metrics.Labels{"device": id}, Value: 1})
+			}
+			return out
+		}),
+		Op:        alert.OpGreater,
+		Threshold: 0,
+	})
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go scraper.Run(ctx)
+	go engine.Run(ctx, *alertInterval)
 	// Propagate scrape health into allocation decisions.
 	go func() {
 		ticker := time.NewTicker(*scrape)
@@ -142,8 +185,10 @@ func main() {
 	}()
 	ctrl := registry.NewController(reg, cl)
 	ctrl.Grace = *grace
+	ctrl.Log = rootLog.Named("registry")
 	go ctrl.Run(ctx)
 	gw := gateway.New(cl)
+	gw.Log = rootLog
 	// One shared tracer for every function instance in this process: the
 	// Remote Library samples traces at the configured rate and the spans
 	// are served from the gateway's /debug/spans.
@@ -178,15 +223,26 @@ func main() {
 		}); err != nil {
 			log.Fatalf("gateway: %v", err)
 		}
-		if err := gw.Deploy(name, 1, factory(name, usecase, tracer)); err != nil {
+		if err := gw.Deploy(name, 1, factory(name, usecase, tracer, rootLog.Named("library"))); err != nil {
 			log.Fatalf("gateway: deploy %s: %v", name, err)
 		}
-		log.Printf("gateway: deployed %s (%s)", name, usecase)
+		rootLog.Info("deployed function", "function", name, "usecase", usecase)
 	}
 
-	srv := &http.Server{Addr: *listen, Handler: gw.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", gw.Handler())
+	// The in-process registry's API rides the same port, so blastctl
+	// devices/top work against the all-in-one deployment too.
+	regAPI := reg.Handler()
+	mux.Handle("/devices", regAPI)
+	mux.Handle("/functions", regAPI)
+	mux.Handle("/healthz", regAPI)
+	mux.Handle("/debug/logs", rootLog.Handler())
+	mux.Handle("/debug/alerts", engine.Handler())
+	mux.Handle("/metrics", alertReg.Handler())
+	srv := &http.Server{Addr: *listen, Handler: mux}
 	go func() {
-		log.Printf("gateway: serving at http://%s/function/<name>", *listen)
+		rootLog.Info("serving", "addr", "http://"+*listen+"/function/<name>")
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 			log.Fatalf("gateway: %v", err)
 		}
@@ -195,7 +251,7 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Print("gateway: shutting down")
+	rootLog.Info("shutting down")
 	srv.Close()
 }
 
@@ -223,8 +279,8 @@ func bitstream(usecase string) string {
 // factory materializes a function instance: it dials the Device Manager
 // the Registry injected into the environment and builds the matching app.
 // A non-nil tracer enables distributed tracing in the instance's Remote
-// Library.
-func factory(name, usecase string, tracer *obs.Tracer) gateway.Factory {
+// Library; lg carries its structured events into the process log ring.
+func factory(name, usecase string, tracer *obs.Tracer, lg *logx.Logger) gateway.Factory {
 	return func(in cluster.Instance) (gateway.Endpoint, error) {
 		addr := in.Env[registry.EnvManagerAddr]
 		if addr == "" {
@@ -239,6 +295,7 @@ func factory(name, usecase string, tracer *obs.Tracer) gateway.Factory {
 			Transport:  remote.TransportAuto,
 			Weight:     weight,
 			Tracer:     tracer,
+			Log:        lg,
 		})
 		if err != nil {
 			return nil, err

@@ -1,10 +1,11 @@
 // Command registry serves the Accelerators Registry API: device and
 // function registration plus live metrics, backed by a scraper that polls
-// every registered Device Manager's metrics endpoint.
+// every registered Device Manager's metrics endpoint, an alert engine
+// evaluating the gathered series, and a structured log ring.
 //
 // Example:
 //
-//	registry -listen :8080 -scrape 2s
+//	registry -listen :8080 -scrape 2s -alert-interval 5s
 package main
 
 import (
@@ -17,20 +18,44 @@ import (
 	"syscall"
 	"time"
 
+	"blastfunction/internal/alert"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/metrics"
 	"blastfunction/internal/registry"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
-		interval = flag.Duration("scrape", 2*time.Second, "metrics scrape interval")
-		window   = flag.Duration("window", 30*time.Second, "utilization rate window")
+		listen        = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		interval      = flag.Duration("scrape", 2*time.Second, "metrics scrape interval")
+		window        = flag.Duration("window", 30*time.Second, "utilization rate window")
+		alertInterval = flag.Duration("alert-interval", 5*time.Second, "alert rule evaluation interval")
+		grace         = flag.Duration("grace", 30*time.Second, "unhealthy grace before the DeviceUnhealthy alert fires")
+		logLevel      = flag.String("log-level", "info", "minimum level mirrored to stderr (debug|info|warn|error)")
+		logRing       = flag.Int("log-ring", 4096, "events kept in the /debug/logs ring")
 	)
 	flag.Parse()
 
+	sinkLevel, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("registry: %v", err)
+	}
+	rootLog := logx.New(logx.Config{
+		Component: "registry",
+		RingSize:  *logRing,
+		Sink:      logx.TextSink(os.Stderr),
+		SinkLevel: sinkLevel,
+	})
+
 	db := metrics.NewTSDB(15 * time.Minute)
 	scraper := metrics.NewScraper(db, *interval)
+	scraper.OnHealth = func(target string, up bool, err error) {
+		if up {
+			rootLog.Info("scrape target recovered", "target", target)
+		} else {
+			rootLog.Warn("scrape target down", "target", target, "err", err)
+		}
+	}
 	gatherer := registry.NewGatherer(db)
 	gatherer.Window = *window
 	reg, err := registry.New(registry.DefaultPolicy(gatherer))
@@ -38,9 +63,30 @@ func main() {
 		log.Fatalf("registry: %v", err)
 	}
 
+	// The alert engine evaluates the same series Algorithm 1 reads, plus
+	// the registry's own health verdicts; its firing gauge is exported
+	// through a local metrics registry at /metrics.
+	alertReg := metrics.NewRegistry()
+	engine := alert.NewEngine(alert.Config{Log: rootLog.Named("alert"), Registry: alertReg})
+	engine.Add(alert.DefaultRules(db)...)
+	engine.Add(alert.Rule{
+		Name: "DeviceUnhealthy",
+		Help: "device unreachable past the migration grace period",
+		Source: alert.Func(func(now time.Time) []alert.Observation {
+			var out []alert.Observation
+			for _, id := range reg.UnhealthyPastGrace(*grace) {
+				out = append(out, alert.Observation{Labels: metrics.Labels{"device": id}, Value: 1})
+			}
+			return out
+		}),
+		Op:        alert.OpGreater,
+		Threshold: 0,
+	})
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go scraper.Run(ctx)
+	go engine.Run(ctx, *alertInterval)
 
 	// Keep scrape targets synced with registered devices.
 	go func() {
@@ -64,9 +110,14 @@ func main() {
 		}
 	}()
 
-	srv := &http.Server{Addr: *listen, Handler: reg.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", reg.Handler())
+	mux.Handle("/debug/logs", rootLog.Handler())
+	mux.Handle("/debug/alerts", engine.Handler())
+	mux.Handle("/metrics", alertReg.Handler())
+	srv := &http.Server{Addr: *listen, Handler: mux}
 	go func() {
-		log.Printf("registry: serving at http://%s", *listen)
+		rootLog.Info("serving", "addr", "http://"+*listen)
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 			log.Fatalf("registry: %v", err)
 		}
@@ -75,6 +126,6 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Print("registry: shutting down")
+	rootLog.Info("shutting down")
 	srv.Close()
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"blastfunction/internal/fpga"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/manager"
 	"blastfunction/internal/model"
 	"blastfunction/internal/ocl"
@@ -51,7 +52,7 @@ func runLive(t *testing.T) float64 {
 	board := fpga.NewBoard(cfg, tickCatalog())
 	mgr := manager.New(manager.Config{Node: "live", DeviceID: "tick0"}, board)
 	srv := rpc.NewServer(mgr)
-	srv.Logf = t.Logf
+	srv.Log = logx.NewLogf("rpc", t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -19,6 +19,7 @@ import (
 	"blastfunction/internal/cluster"
 	"blastfunction/internal/gateway"
 	"blastfunction/internal/loadgen"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/metrics"
 	"blastfunction/internal/registry"
 	"blastfunction/internal/remote"
@@ -81,10 +82,10 @@ func newStack(t *testing.T) *stack {
 	t.Cleanup(cancel)
 	go scraper.Run(ctx)
 	ctrl := registry.NewController(reg, cl)
-	ctrl.Logf = t.Logf
+	ctrl.Log = logx.NewLogf("registry", t.Logf)
 	go ctrl.Run(ctx)
 	gw := gateway.New(cl)
-	gw.Logf = t.Logf
+	gw.Log = logx.NewLogf("gateway", t.Logf)
 	go gw.Run(ctx)
 	gwSrv := httptest.NewServer(gw.Handler())
 	t.Cleanup(gwSrv.Close)

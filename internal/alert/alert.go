@@ -1,0 +1,397 @@
+// Package alert evaluates threshold and burn-rate rules over the
+// Accelerators Registry's TSDB — the layer that turns the series
+// Algorithm 1 already reads (device busy-time, queue depth, tenant
+// queue wait, scrape health) into firing/resolved operator signals.
+// Rules carry a `for`-duration: a breach must persist that long before
+// the alert fires (pending state), and a firing alert resolves on the
+// first clean evaluation, Prometheus-style hysteresis without flapping
+// on a single noisy scrape. Transitions are logged through logx and the
+// current firing set is exported as bf_alerts_firing{rule,...} so the
+// alerting layer is itself observable.
+package alert
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"blastfunction/internal/logx"
+	"blastfunction/internal/metrics"
+	"blastfunction/internal/obs"
+)
+
+// State is one alert series' position in the
+// inactive→pending→firing→resolved machine.
+type State int8
+
+const (
+	StateInactive State = iota
+	StatePending
+	StateFiring
+	StateResolved
+)
+
+// String names the state as rendered by blastctl and /debug/alerts.
+func (s State) String() string {
+	switch s {
+	case StateInactive:
+		return "inactive"
+	case StatePending:
+		return "pending"
+	case StateFiring:
+		return "firing"
+	case StateResolved:
+		return "resolved"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON renders the state name.
+func (s State) MarshalJSON() ([]byte, error) { return []byte(`"` + s.String() + `"`), nil }
+
+// UnmarshalJSON accepts the name form.
+func (s *State) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"inactive"`:
+		*s = StateInactive
+	case `"pending"`:
+		*s = StatePending
+	case `"firing"`:
+		*s = StateFiring
+	case `"resolved"`:
+		*s = StateResolved
+	}
+	return nil
+}
+
+// Op is the comparison a rule applies to each observation.
+type Op int8
+
+const (
+	// OpGreater breaches when value > threshold.
+	OpGreater Op = iota
+	// OpLess breaches when value < threshold.
+	OpLess
+)
+
+func (o Op) String() string {
+	if o == OpLess {
+		return "<"
+	}
+	return ">"
+}
+
+// Rule is one alerting condition evaluated against every observation
+// its source produces.
+type Rule struct {
+	// Name identifies the rule in bf_alerts_firing{rule=...} and blastctl.
+	Name string
+	// Help is the operator-facing one-liner.
+	Help string
+	// Source produces the observations to compare.
+	Source Source
+	// Op and Threshold define the breach condition.
+	Op        Op
+	Threshold float64
+	// For is the hysteresis: the condition must hold this long before
+	// the alert transitions pending→firing. Zero fires immediately.
+	For time.Duration
+}
+
+func (r Rule) breached(v float64) bool {
+	if r.Op == OpLess {
+		return v < r.Threshold
+	}
+	return v > r.Threshold
+}
+
+// Status is one alert series' externally visible state, served at
+// /debug/alerts and rendered by `blastctl alerts`.
+type Status struct {
+	Rule      string         `json:"rule"`
+	Help      string         `json:"help,omitempty"`
+	Labels    metrics.Labels `json:"labels,omitempty"`
+	State     State          `json:"state"`
+	Value     float64        `json:"value"`
+	Threshold float64        `json:"threshold"`
+	Op        string         `json:"op"`
+	// Since is the time of the last state transition.
+	Since      time.Time `json:"since"`
+	FiredAt    time.Time `json:"fired_at,omitempty"`
+	ResolvedAt time.Time `json:"resolved_at,omitempty"`
+}
+
+// Config wires the engine's collaborators.
+type Config struct {
+	// Log receives a structured event per firing/resolved transition
+	// (nil logs nothing).
+	Log *logx.Logger
+	// Registry, when non-nil, exports bf_alerts_firing{rule,...} gauges.
+	Registry *metrics.Registry
+	// Now is the injectable clock (default time.Now).
+	Now func() time.Time
+}
+
+// seriesState is the per-(rule, label set) state machine.
+type seriesState struct {
+	labels       metrics.Labels
+	state        State
+	value        float64
+	since        time.Time
+	pendingSince time.Time
+	firedAt      time.Time
+	resolvedAt   time.Time
+	gauge        metrics.Gauge
+	hasGauge     bool
+}
+
+// Engine evaluates a rule set periodically and tracks per-series alert
+// state across evaluations.
+type Engine struct {
+	log *logx.Logger
+	reg *metrics.Registry
+	now func() time.Time
+
+	mu     sync.Mutex
+	rules  []Rule
+	states []map[string]*seriesState // parallel to rules, keyed by Labels.String()
+}
+
+// NewEngine creates an empty engine; add rules with Add.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Engine{log: cfg.Log, reg: cfg.Registry, now: cfg.Now}
+}
+
+// Add registers rules. Not safe to call concurrently with EvalOnce/Run.
+func (e *Engine) Add(rules ...Rule) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range rules {
+		e.rules = append(e.rules, r)
+		e.states = append(e.states, make(map[string]*seriesState))
+	}
+}
+
+// Run evaluates the rule set every interval until ctx is cancelled.
+func (e *Engine) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			e.EvalOnce(e.now())
+		}
+	}
+}
+
+// EvalOnce runs one evaluation pass at the given instant. Exposed (with
+// an explicit clock) so tests and the registry loop can drive it
+// deterministically.
+func (e *Engine) EvalOnce(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, rule := range e.rules {
+		states := e.states[i]
+		seen := make(map[string]bool, len(states))
+		for _, o := range rule.Source.Observations(now) {
+			key := o.Labels.String()
+			seen[key] = true
+			st := states[key]
+			if st == nil {
+				st = &seriesState{labels: o.Labels, since: now}
+				if e.reg != nil {
+					lbl := metrics.Labels{"rule": rule.Name}
+					for k, v := range o.Labels {
+						if k != "rule" {
+							lbl[k] = v
+						}
+					}
+					st.gauge = e.reg.Gauge("bf_alerts_firing",
+						"Alert rules currently firing (1) per rule and series.", lbl)
+					st.hasGauge = true
+				}
+				states[key] = st
+			}
+			st.value = o.Value
+			e.step(rule, st, rule.breached(o.Value), now)
+		}
+		// Series the source no longer produces (device gone, no traffic
+		// in the window) count as not breaching, so firing alerts on
+		// them resolve instead of wedging.
+		for key, st := range states {
+			if !seen[key] {
+				e.step(rule, st, false, now)
+			}
+		}
+	}
+}
+
+// step advances one series' state machine for a breached/clean tick.
+func (e *Engine) step(rule Rule, st *seriesState, breached bool, now time.Time) {
+	if breached {
+		switch st.state {
+		case StateInactive, StateResolved:
+			st.state = StatePending
+			st.pendingSince = now
+			st.since = now
+			if rule.For <= 0 {
+				e.fire(rule, st, now)
+			}
+		case StatePending:
+			if now.Sub(st.pendingSince) >= rule.For {
+				e.fire(rule, st, now)
+			}
+		case StateFiring:
+			// still firing
+		}
+		return
+	}
+	switch st.state {
+	case StatePending:
+		st.state = StateInactive
+		st.since = now
+	case StateFiring:
+		st.state = StateResolved
+		st.since = now
+		st.resolvedAt = now
+		if st.hasGauge {
+			st.gauge.Set(0)
+		}
+		e.log.Info("alert resolved",
+			"rule", rule.Name, "labels", st.labels.String(),
+			"value", st.value, "firing_for", now.Sub(st.firedAt))
+	}
+}
+
+func (e *Engine) fire(rule Rule, st *seriesState, now time.Time) {
+	st.state = StateFiring
+	st.since = now
+	st.firedAt = now
+	if st.hasGauge {
+		st.gauge.Set(1)
+	}
+	e.log.Warn("alert firing",
+		"rule", rule.Name, "labels", st.labels.String(),
+		"value", st.value, "threshold", rule.Threshold, "op", rule.Op.String())
+}
+
+// Statuses snapshots every series that has ever left inactive, plus
+// currently inactive series that exist (so operators see rules are being
+// evaluated). Sorted by state severity (firing first), then rule name.
+func (e *Engine) Statuses() []Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []Status
+	for i, rule := range e.rules {
+		for _, st := range e.states[i] {
+			out = append(out, Status{
+				Rule:       rule.Name,
+				Help:       rule.Help,
+				Labels:     st.labels,
+				State:      st.state,
+				Value:      st.value,
+				Threshold:  rule.Threshold,
+				Op:         rule.Op.String(),
+				Since:      st.since,
+				FiredAt:    st.firedAt,
+				ResolvedAt: st.resolvedAt,
+			})
+		}
+	}
+	rank := map[State]int{StateFiring: 0, StatePending: 1, StateResolved: 2, StateInactive: 3}
+	sort.Slice(out, func(i, j int) bool {
+		if rank[out[i].State] != rank[out[j].State] {
+			return rank[out[i].State] < rank[out[j].State]
+		}
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Labels.String() < out[j].Labels.String()
+	})
+	return out
+}
+
+// FiringCount reports how many series are currently firing.
+func (e *Engine) FiringCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, states := range e.states {
+		for _, st := range states {
+			if st.state == StateFiring {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Handler serves the alert statuses as JSON at /debug/alerts.
+// ?state=<firing|pending|resolved|inactive> filters; ?n= tails.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		statuses := e.Statuses()
+		if s := r.URL.Query().Get("state"); s != "" {
+			kept := statuses[:0]
+			for _, st := range statuses {
+				if st.State.String() == s {
+					kept = append(kept, st)
+				}
+			}
+			statuses = kept
+		}
+		obs.ServeTail(w, r, statuses)
+	})
+}
+
+// DefaultRules is the stock rule set over the series the registry
+// already gathers for Algorithm 1, thresholds chosen for the simulated
+// testbed: device saturation (busy-seconds burn rate ≈ utilization),
+// central-queue backlog, tenant p95 queue wait, and scrape failure.
+func DefaultRules(db *metrics.TSDB) []Rule {
+	return []Rule{
+		{
+			Name:      "DeviceSaturated",
+			Help:      "device busy-time rate above 90% of wall time",
+			Source:    Rate(db, "bf_device_busy_seconds_total", 30*time.Second),
+			Op:        OpGreater,
+			Threshold: 0.9,
+			For:       30 * time.Second,
+		},
+		{
+			Name:      "QueueBacklog",
+			Help:      "central queue depth sustained above 64 tasks",
+			Source:    Latest(db, "bf_queue_depth"),
+			Op:        OpGreater,
+			Threshold: 64,
+			For:       15 * time.Second,
+		},
+		{
+			Name:      "TenantStarving",
+			Help:      "tenant p95 queue wait above 1s",
+			Source:    Quantile(db, "bf_tenant_queue_wait_seconds", 0.95, time.Minute),
+			Op:        OpGreater,
+			Threshold: 1,
+			For:       15 * time.Second,
+		},
+		{
+			Name:      "ScrapeDown",
+			Help:      "metrics endpoint unreachable",
+			Source:    Latest(db, "bf_scrape_up"),
+			Op:        OpLess,
+			Threshold: 1,
+			For:       10 * time.Second,
+		},
+	}
+}

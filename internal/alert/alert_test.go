@@ -1,0 +1,243 @@
+package alert
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"blastfunction/internal/logx"
+	"blastfunction/internal/metrics"
+)
+
+var t0 = time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+func appendGauge(db *metrics.TSDB, t time.Time, name string, labels metrics.Labels, v float64) {
+	db.Append(t, []metrics.Sample{{Name: name, Labels: labels, Value: v}})
+}
+
+func stateOf(e *Engine, rule string, labels metrics.Labels) (Status, bool) {
+	for _, st := range e.Statuses() {
+		if st.Rule == rule && st.Labels.String() == labels.String() {
+			return st, true
+		}
+	}
+	return Status{}, false
+}
+
+func TestForHysteresisAndTransitions(t *testing.T) {
+	db := metrics.NewTSDB(time.Minute)
+	reg := metrics.NewRegistry()
+	log := logx.New(logx.Config{Component: "alert"})
+	e := NewEngine(Config{Log: log, Registry: reg})
+	e.Add(Rule{
+		Name: "QueueBacklog", Source: Latest(db, "bf_queue_depth"),
+		Op: OpGreater, Threshold: 10, For: 10 * time.Second,
+	})
+	lbl := metrics.Labels{"device": "fpga-A"}
+
+	// Below threshold: inactive.
+	appendGauge(db, t0, "bf_queue_depth", lbl, 5)
+	e.EvalOnce(t0)
+	if st, _ := stateOf(e, "QueueBacklog", lbl); st.State != StateInactive {
+		t.Fatalf("state = %v, want inactive", st.State)
+	}
+
+	// Breach: pending, not yet firing.
+	appendGauge(db, t0.Add(5*time.Second), "bf_queue_depth", lbl, 20)
+	e.EvalOnce(t0.Add(5 * time.Second))
+	if st, _ := stateOf(e, "QueueBacklog", lbl); st.State != StatePending {
+		t.Fatalf("state = %v, want pending", st.State)
+	}
+	if e.FiringCount() != 0 {
+		t.Fatal("fired before For elapsed")
+	}
+
+	// Breach clears before For: back to inactive (hysteresis reset).
+	appendGauge(db, t0.Add(10*time.Second), "bf_queue_depth", lbl, 3)
+	e.EvalOnce(t0.Add(10 * time.Second))
+	if st, _ := stateOf(e, "QueueBacklog", lbl); st.State != StateInactive {
+		t.Fatalf("state = %v, want inactive after short breach", st.State)
+	}
+
+	// Sustained breach: pending, then firing once For has elapsed.
+	appendGauge(db, t0.Add(20*time.Second), "bf_queue_depth", lbl, 30)
+	e.EvalOnce(t0.Add(20 * time.Second))
+	e.EvalOnce(t0.Add(25 * time.Second)) // 5s < For
+	if st, _ := stateOf(e, "QueueBacklog", lbl); st.State != StatePending {
+		t.Fatalf("state = %v, want still pending", st.State)
+	}
+	e.EvalOnce(t0.Add(31 * time.Second))
+	st, _ := stateOf(e, "QueueBacklog", lbl)
+	if st.State != StateFiring {
+		t.Fatalf("state = %v, want firing after For", st.State)
+	}
+	if st.FiredAt.IsZero() || e.FiringCount() != 1 {
+		t.Error("firing bookkeeping missing")
+	}
+	if !strings.Contains(reg.Render(), `bf_alerts_firing{device="fpga-A",rule="QueueBacklog"} 1`) {
+		t.Errorf("gauge not exported:\n%s", reg.Render())
+	}
+
+	// Recovery: resolved on the first clean pass.
+	appendGauge(db, t0.Add(40*time.Second), "bf_queue_depth", lbl, 1)
+	e.EvalOnce(t0.Add(40 * time.Second))
+	st, _ = stateOf(e, "QueueBacklog", lbl)
+	if st.State != StateResolved || st.ResolvedAt.IsZero() {
+		t.Fatalf("state = %+v, want resolved", st)
+	}
+	if !strings.Contains(reg.Render(), `bf_alerts_firing{device="fpga-A",rule="QueueBacklog"} 0`) {
+		t.Errorf("gauge not cleared:\n%s", reg.Render())
+	}
+
+	// Both transitions logged.
+	var fired, resolved bool
+	for _, ev := range log.Tail() {
+		switch ev.Msg {
+		case "alert firing":
+			fired = true
+		case "alert resolved":
+			resolved = true
+		}
+	}
+	if !fired || !resolved {
+		t.Errorf("transitions not logged: fired=%v resolved=%v", fired, resolved)
+	}
+}
+
+func TestZeroForFiresImmediately(t *testing.T) {
+	db := metrics.NewTSDB(time.Minute)
+	e := NewEngine(Config{})
+	e.Add(Rule{Name: "Down", Source: Latest(db, "bf_scrape_up"), Op: OpLess, Threshold: 1})
+	appendGauge(db, t0, "bf_scrape_up", metrics.Labels{"target": "fpga-A"}, 0)
+	e.EvalOnce(t0)
+	if e.FiringCount() != 1 {
+		t.Fatal("zero-For rule did not fire on first breach")
+	}
+}
+
+func TestDisappearedSeriesResolves(t *testing.T) {
+	obsns := []Observation{{Labels: metrics.Labels{"device": "x"}, Value: 1}}
+	src := Func(func(time.Time) []Observation { return obsns })
+	e := NewEngine(Config{})
+	e.Add(Rule{Name: "Unhealthy", Source: src, Op: OpGreater, Threshold: 0})
+	e.EvalOnce(t0)
+	if e.FiringCount() != 1 {
+		t.Fatal("did not fire")
+	}
+	obsns = nil // device recovered: source stops producing the series
+	e.EvalOnce(t0.Add(time.Second))
+	st, ok := stateOf(e, "Unhealthy", metrics.Labels{"device": "x"})
+	if !ok || st.State != StateResolved {
+		t.Fatalf("state = %+v, want resolved when series disappears", st)
+	}
+}
+
+func TestRateSourceUtilization(t *testing.T) {
+	db := metrics.NewTSDB(time.Minute)
+	lbl := metrics.Labels{"device": "fpga-A"}
+	// Busy-seconds counter growing 0.95s per wall second: 95% utilization.
+	appendGauge(db, t0, "bf_device_busy_seconds_total", lbl, 100)
+	appendGauge(db, t0.Add(10*time.Second), "bf_device_busy_seconds_total", lbl, 109.5)
+	src := Rate(db, "bf_device_busy_seconds_total", 30*time.Second)
+	obsns := src.Observations(t0.Add(10 * time.Second))
+	if len(obsns) != 1 {
+		t.Fatalf("observations = %v", obsns)
+	}
+	if v := obsns[0].Value; v < 0.94 || v > 0.96 {
+		t.Errorf("utilization = %v, want ~0.95", v)
+	}
+}
+
+func TestQuantileSourceFromScrapedBuckets(t *testing.T) {
+	db := metrics.NewTSDB(time.Minute)
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("bf_tenant_queue_wait_seconds", "wait", metrics.Labels{"tenant": "mm"},
+		[]float64{0.1, 0.5, 1, 5})
+
+	scrape := func(at time.Time) {
+		samples, err := metrics.Parse(reg.Render())
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Append(at, samples)
+	}
+	scrape(t0)
+	// 10 observations in (0.5, 1]: p95 lands in that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.75)
+	}
+	scrape(t0.Add(10 * time.Second))
+
+	src := Quantile(db, "bf_tenant_queue_wait_seconds", 0.95, 30*time.Second)
+	obsns := src.Observations(t0.Add(10 * time.Second))
+	if len(obsns) != 1 {
+		t.Fatalf("observations = %v", obsns)
+	}
+	if obsns[0].Labels["tenant"] != "mm" {
+		t.Errorf("labels = %v", obsns[0].Labels)
+	}
+	if v := obsns[0].Value; v <= 0.5 || v > 1 {
+		t.Errorf("p95 = %v, want in (0.5, 1]", v)
+	}
+
+	// No traffic since the last scrape pair: windowed increase is zero,
+	// the group yields no observation.
+	scrape(t0.Add(50 * time.Second))
+	if obsns := src.Observations(t0.Add(50*time.Second + time.Nanosecond)); len(obsns) != 0 {
+		// window covers only the last scrape (single point) -> no obs
+		t.Errorf("idle window produced observations: %v", obsns)
+	}
+}
+
+func TestHandlerAndStateFilter(t *testing.T) {
+	db := metrics.NewTSDB(time.Minute)
+	e := NewEngine(Config{})
+	e.Add(Rule{Name: "Down", Help: "endpoint dead", Source: Latest(db, "bf_scrape_up"), Op: OpLess, Threshold: 1})
+	appendGauge(db, t0, "bf_scrape_up", metrics.Labels{"target": "a"}, 0)
+	appendGauge(db, t0, "bf_scrape_up", metrics.Labels{"target": "b"}, 1)
+	e.EvalOnce(t0)
+
+	req := httptest.NewRequest("GET", "/debug/alerts", nil)
+	w := httptest.NewRecorder()
+	e.Handler().ServeHTTP(w, req)
+	var all []Status
+	if err := json.Unmarshal(w.Body.Bytes(), &all); err != nil {
+		t.Fatalf("decoding %s: %v", w.Body, err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("statuses = %v", all)
+	}
+	if all[0].State != StateFiring {
+		t.Errorf("firing not sorted first: %v", all)
+	}
+
+	req = httptest.NewRequest("GET", "/debug/alerts?state=firing", nil)
+	w = httptest.NewRecorder()
+	e.Handler().ServeHTTP(w, req)
+	var firing []Status
+	if err := json.Unmarshal(w.Body.Bytes(), &firing); err != nil {
+		t.Fatal(err)
+	}
+	if len(firing) != 1 || firing[0].Labels["target"] != "a" {
+		t.Errorf("state filter = %v", firing)
+	}
+}
+
+func TestDefaultRulesCoverExpectedSeries(t *testing.T) {
+	db := metrics.NewTSDB(time.Minute)
+	rules := DefaultRules(db)
+	names := map[string]bool{}
+	for _, r := range rules {
+		names[r.Name] = true
+		if r.Source == nil {
+			t.Errorf("rule %s has no source", r.Name)
+		}
+	}
+	for _, want := range []string{"DeviceSaturated", "QueueBacklog", "TenantStarving", "ScrapeDown"} {
+		if !names[want] {
+			t.Errorf("default rules missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package alert
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"blastfunction/internal/metrics"
+)
+
+// Observation is one evaluated sample: a label set and its current
+// value. Rules compare the value against their threshold.
+type Observation struct {
+	Labels metrics.Labels
+	Value  float64
+}
+
+// Source produces the observations a rule evaluates each tick. Sources
+// enumerate every label set of their metric, so one rule covers every
+// device/tenant/target without per-series configuration. A series that
+// yields no observation is treated as not breaching.
+type Source interface {
+	Observations(now time.Time) []Observation
+}
+
+// Latest observes the most recent value of every series of a gauge
+// metric — queue depths, bf_scrape_up, anything where the instantaneous
+// value is the signal.
+func Latest(db *metrics.TSDB, metric string) Source {
+	return sourceFunc(func(now time.Time) []Observation {
+		var out []Observation
+		for _, lbl := range db.Series(metric) {
+			if v, ok := db.Latest(metric, lbl); ok {
+				out = append(out, Observation{Labels: lbl, Value: v})
+			}
+		}
+		return out
+	})
+}
+
+// Rate observes the per-second increase of every series of a counter
+// metric over the trailing window — the burn-rate form used for
+// bf_device_busy_seconds_total saturation (busy-seconds per wall second
+// is utilization).
+func Rate(db *metrics.TSDB, metric string, window time.Duration) Source {
+	return sourceFunc(func(now time.Time) []Observation {
+		var out []Observation
+		for _, lbl := range db.Series(metric) {
+			if v, ok := db.Rate(metric, lbl, now, window); ok {
+				out = append(out, Observation{Labels: lbl, Value: v})
+			}
+		}
+		return out
+	})
+}
+
+// Avg observes the windowed mean of every series of a gauge metric.
+func Avg(db *metrics.TSDB, metric string, window time.Duration) Source {
+	return sourceFunc(func(now time.Time) []Observation {
+		var out []Observation
+		for _, lbl := range db.Series(metric) {
+			if v, ok := db.Avg(metric, lbl, now, window); ok {
+				out = append(out, Observation{Labels: lbl, Value: v})
+			}
+		}
+		return out
+	})
+}
+
+// Quantile observes the q-quantile of a scraped histogram metric over
+// the trailing window, reconstructed from its <metric>_bucket series
+// (grouped by their non-le labels) with the same linear interpolation
+// metrics.Histogram.Quantile uses. Groups with no traffic in the window
+// yield no observation.
+func Quantile(db *metrics.TSDB, metric string, q float64, window time.Duration) Source {
+	bucketMetric := metric + "_bucket"
+	return sourceFunc(func(now time.Time) []Observation {
+		type bkt struct {
+			ub  float64
+			cum float64
+		}
+		groups := map[string]*struct {
+			labels  metrics.Labels
+			buckets []bkt
+		}{}
+		for _, lbl := range db.Series(bucketMetric) {
+			le, ok := lbl["le"]
+			if !ok {
+				continue
+			}
+			ub := math.Inf(1)
+			if le != "+Inf" {
+				v, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					continue
+				}
+				ub = v
+			}
+			inc, ok := db.Increase(bucketMetric, lbl, now, window)
+			if !ok {
+				continue
+			}
+			base := make(metrics.Labels, len(lbl)-1)
+			for k, v := range lbl {
+				if k != "le" {
+					base[k] = v
+				}
+			}
+			key := base.String()
+			g := groups[key]
+			if g == nil {
+				g = &struct {
+					labels  metrics.Labels
+					buckets []bkt
+				}{labels: base}
+				groups[key] = g
+			}
+			g.buckets = append(g.buckets, bkt{ub: ub, cum: inc})
+		}
+		var out []Observation
+		for _, g := range groups {
+			sort.Slice(g.buckets, func(i, j int) bool { return g.buckets[i].ub < g.buckets[j].ub })
+			total := g.buckets[len(g.buckets)-1].cum
+			if total <= 0 {
+				continue
+			}
+			rank := q * total
+			value := 0.0
+			prevUB, prevCum := 0.0, 0.0
+			for _, b := range g.buckets {
+				if b.cum >= rank {
+					if math.IsInf(b.ub, 1) {
+						value = prevUB
+						break
+					}
+					if b.cum > prevCum {
+						value = prevUB + (b.ub-prevUB)*(rank-prevCum)/(b.cum-prevCum)
+					} else {
+						value = b.ub
+					}
+					break
+				}
+				prevUB, prevCum = b.ub, b.cum
+			}
+			out = append(out, Observation{Labels: g.labels, Value: value})
+		}
+		return out
+	})
+}
+
+// Func adapts a plain function into a Source — used to alert on
+// non-TSDB state such as Registry.UnhealthyPastGrace.
+func Func(f func(now time.Time) []Observation) Source { return sourceFunc(f) }
+
+type sourceFunc func(now time.Time) []Observation
+
+func (f sourceFunc) Observations(now time.Time) []Observation { return f(now) }

@@ -9,6 +9,7 @@ import (
 
 	"blastfunction/internal/accel"
 	"blastfunction/internal/fpga"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/manager"
 	"blastfunction/internal/model"
 	"blastfunction/internal/native"
@@ -26,7 +27,7 @@ func remoteClient(t *testing.T) *remote.Client {
 	board := fpga.NewBoard(fpga.DE5aNet(model.WorkerNode()), accel.Catalog())
 	mgr := manager.New(manager.Config{Node: "n1", DeviceID: "fpga0"}, board)
 	srv := rpc.NewServer(mgr)
-	srv.Logf = t.Logf
+	srv.Log = logx.NewLogf("rpc", t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

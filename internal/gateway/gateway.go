@@ -15,7 +15,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"strings"
 	"sync"
@@ -23,6 +22,7 @@ import (
 	"time"
 
 	"blastfunction/internal/cluster"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/obs"
 )
 
@@ -83,8 +83,9 @@ const (
 // Gateway routes requests to deployed functions.
 type Gateway struct {
 	cl *cluster.Cluster
-	// Logf logs deployment issues; defaults to log.Printf.
-	Logf func(format string, args ...any)
+	// Log receives deployment issues as structured events; defaults to
+	// logx.Default("gateway").
+	Log *logx.Logger
 	// RetryDelay is the initial factory retry backoff; tests shorten it.
 	RetryDelay time.Duration
 	// Tracer, when set, is the distributed-tracing span recorder the
@@ -103,7 +104,7 @@ type Gateway struct {
 func New(cl *cluster.Cluster) *Gateway {
 	return &Gateway{
 		cl:         cl,
-		Logf:       log.Printf,
+		Log:        logx.Default("gateway"),
 		RetryDelay: factoryRetryDelay,
 		funcs:      make(map[string]*funcState),
 	}
@@ -258,12 +259,13 @@ func (g *Gateway) materialize(fs *funcState, in cluster.Instance, attempt int) {
 	ep, err := fs.factory(in)
 	if err != nil {
 		if attempt+1 >= factoryRetries {
-			g.Logf("gateway: starting %s (%s): %v (giving up after %d attempts)",
-				in.Name, in.Function, err, attempt+1)
+			g.Log.Error("gateway: starting instance failed, giving up",
+				"instance", in.Name, "function", in.Function, "err", err, "attempts", attempt+1)
 			return
 		}
 		delay := g.RetryDelay << attempt
-		g.Logf("gateway: starting %s (%s): %v (retry in %v)", in.Name, in.Function, err, delay)
+		g.Log.Warn("gateway: starting instance failed, will retry",
+			"instance", in.Name, "function", in.Function, "err", err, "retry_in", delay)
 		time.AfterFunc(delay, func() { g.materialize(fs, in, attempt+1) })
 		return
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"blastfunction/internal/cluster"
+	"blastfunction/internal/logx"
 )
 
 // echoFactory builds endpoints that answer with the instance name; closed
@@ -42,7 +43,7 @@ func startGateway(t *testing.T) (*Gateway, *cluster.Cluster) {
 		t.Fatal(err)
 	}
 	g := New(cl)
-	g.Logf = t.Logf
+	g.Log = logx.NewLogf("gateway", t.Logf)
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
 	go g.Run(ctx)
@@ -177,7 +178,7 @@ func TestDeployPinned(t *testing.T) {
 		cl.AddNode(cluster.Node{Name: n})
 	}
 	g := New(cl)
-	g.Logf = t.Logf
+	g.Log = logx.NewLogf("gateway", t.Logf)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go g.Run(ctx)

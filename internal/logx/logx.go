@@ -1,0 +1,415 @@
+// Package logx is BlastFunction's structured, leveled logger — the third
+// observability pillar next to internal/metrics (series) and internal/obs
+// (spans). It is dependency-free by design: events are plain structs with
+// a component, a message, key/value string fields and optional
+// trace/span IDs borrowed from internal/obs, recorded into a bounded
+// in-memory ring that each process serves at /debug/logs. A nil *Logger
+// is valid everywhere and reduces every call to one nil check, the same
+// contract obs.Tracer gives the RPC hot path.
+package logx
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"blastfunction/internal/obs"
+)
+
+// Level orders event severities. The zero value is LevelDebug, so a
+// zero Config records everything into the ring; sinks usually gate at
+// LevelInfo.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String renders the level in the fixed-width upper-case form used by
+// the text format.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return "LEVEL(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel accepts the String form, case-insensitively.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// MarshalJSON renders the level as its lower-case name.
+func (l Level) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + strings.ToLower(l.String()) + `"`), nil
+}
+
+// UnmarshalJSON accepts the name form.
+func (l *Level) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	v, err := ParseLevel(s)
+	if err != nil {
+		return err
+	}
+	*l = v
+	return nil
+}
+
+// Field is one key/value pair attached to an event. Values are
+// stringified at log time so the ring holds no live references.
+type Field struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Event is one structured log record. Trace and Span, when set, tie the
+// event to the distributed trace of the task that caused it, so
+// `blastctl logs -trace <id>` and `blastctl trace <id>` describe the
+// same incident from two angles.
+type Event struct {
+	Time      time.Time   `json:"time"`
+	Level     Level       `json:"level"`
+	Component string      `json:"component"`
+	Msg       string      `json:"msg"`
+	Trace     obs.TraceID `json:"trace,omitempty"`
+	Span      obs.SpanID  `json:"span,omitempty"`
+	Fields    []Field     `json:"fields,omitempty"`
+}
+
+// Format renders the event as one grep-friendly text line:
+//
+//	2006-01-02T15:04:05.000Z INFO  manager: board reconfigured bitstream=copy trace=4bf9…
+func (e Event) Format() string {
+	var b strings.Builder
+	b.WriteString(e.Time.Format("2006-01-02T15:04:05.000Z07:00"))
+	b.WriteByte(' ')
+	lv := e.Level.String()
+	b.WriteString(lv)
+	for i := len(lv); i < 5; i++ {
+		b.WriteByte(' ')
+	}
+	b.WriteByte(' ')
+	if e.Component != "" {
+		b.WriteString(e.Component)
+		b.WriteString(": ")
+	}
+	b.WriteString(e.Msg)
+	for _, f := range e.Fields {
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		b.WriteString(quoteIfNeeded(f.Value))
+	}
+	if e.Trace != 0 {
+		b.WriteString(" trace=")
+		b.WriteString(e.Trace.String())
+	}
+	if e.Span != 0 {
+		b.WriteString(" span=")
+		b.WriteString(e.Span.String())
+	}
+	return b.String()
+}
+
+func quoteIfNeeded(v string) string {
+	if strings.ContainsAny(v, " \t\n\"") || v == "" {
+		return strconv.Quote(v)
+	}
+	return v
+}
+
+// Config configures a logger root. The zero value records every level
+// into a default-sized ring with no sink.
+type Config struct {
+	// Component names the subsystem; Named derives children.
+	Component string
+	// Level is the minimum severity recorded at all (ring and sink).
+	// Defaults to LevelDebug so /debug/logs retains debug events for
+	// trace correlation even when the sink stays quiet.
+	Level Level
+	// RingSize bounds the in-memory ring (default 4096 events).
+	RingSize int
+	// Sink, when non-nil, receives a copy of every recorded event at or
+	// above SinkLevel — typically TextSink(os.Stderr) in binaries or a
+	// t.Logf adapter in tests.
+	Sink func(Event)
+	// SinkLevel gates the sink only; the ring still keeps everything
+	// down to Level.
+	SinkLevel Level
+	// Now is the injectable clock (default time.Now).
+	Now func() time.Time
+}
+
+// core is the shared state behind a family of derived loggers: one ring,
+// one sink, one clock per process, so /debug/logs serves the merged view
+// of every component in the binary.
+type core struct {
+	min     Level
+	sinkMin Level
+	sink    func(Event)
+	now     func() time.Time
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+}
+
+// Logger records structured events. Methods on a nil *Logger are no-ops,
+// so call sites never guard except to skip expensive argument
+// construction (use Enabled for that).
+type Logger struct {
+	core      *core
+	component string
+	trace     obs.TraceID
+	span      obs.SpanID
+	fields    []Field
+}
+
+// New builds a root logger from cfg.
+func New(cfg Config) *Logger {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 4096
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Logger{
+		core: &core{
+			min:     cfg.Level,
+			sinkMin: cfg.SinkLevel,
+			sink:    cfg.Sink,
+			now:     cfg.Now,
+			buf:     make([]Event, cfg.RingSize),
+		},
+		component: cfg.Component,
+	}
+}
+
+// Default returns the production logger used when a component is given
+// none: full ring, Info-and-above mirrored to stderr.
+func Default(component string) *Logger {
+	return New(Config{
+		Component: component,
+		Sink:      TextSink(os.Stderr),
+		SinkLevel: LevelInfo,
+	})
+}
+
+// NewLogf adapts a printf-style function (typically testing.T.Logf) into
+// a logger: every event is rendered through Format and forwarded.
+func NewLogf(component string, f func(format string, args ...any)) *Logger {
+	return New(Config{
+		Component: component,
+		Sink:      func(ev Event) { f("%s", ev.Format()) },
+	})
+}
+
+// TextSink returns a sink that writes one Format line per event to w,
+// serialized by an internal mutex.
+func TextSink(w io.Writer) func(Event) {
+	var mu sync.Mutex
+	return func(ev Event) {
+		line := ev.Format() + "\n"
+		mu.Lock()
+		io.WriteString(w, line)
+		mu.Unlock()
+	}
+}
+
+// Named derives a logger for a sub-component sharing this logger's ring,
+// sink and clock.
+func (l *Logger) Named(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	d.component = component
+	return &d
+}
+
+// Component reports the logger's component name.
+func (l *Logger) Component() string {
+	if l == nil {
+		return ""
+	}
+	return l.component
+}
+
+// With derives a logger whose events always carry the given key/value
+// pairs (same kv convention as the log methods).
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || len(kv) == 0 {
+		return l
+	}
+	d := *l
+	d.fields = append([]Field(nil), l.fields...)
+	d.trace, d.span, d.fields = appendKV(d.trace, d.span, d.fields, kv)
+	return &d
+}
+
+// WithTrace derives a logger whose events carry the given trace/span
+// correlation IDs.
+func (l *Logger) WithTrace(trace obs.TraceID, span obs.SpanID) *Logger {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	d.trace = trace
+	d.span = span
+	return &d
+}
+
+// Enabled reports whether an event at lv would be recorded — the guard
+// hot paths use before building expensive arguments.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && l.core != nil && lv >= l.core.min
+}
+
+// Debug records a debug event. kv alternates keys (string) and values
+// (any); values of type obs.TraceID / obs.SpanID set the event's
+// correlation IDs instead of becoming fields.
+func (l *Logger) Debug(msg string, kv ...any) { l.Log(LevelDebug, msg, kv...) }
+
+// Info records an informational event.
+func (l *Logger) Info(msg string, kv ...any) { l.Log(LevelInfo, msg, kv...) }
+
+// Warn records a warning event.
+func (l *Logger) Warn(msg string, kv ...any) { l.Log(LevelWarn, msg, kv...) }
+
+// Error records an error event.
+func (l *Logger) Error(msg string, kv ...any) { l.Log(LevelError, msg, kv...) }
+
+// Log records an event at an explicit level.
+func (l *Logger) Log(lv Level, msg string, kv ...any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	c := l.core
+	ev := Event{
+		Time:      c.now(),
+		Level:     lv,
+		Component: l.component,
+		Msg:       msg,
+		Trace:     l.trace,
+		Span:      l.span,
+	}
+	fields := l.fields
+	if len(kv) > 0 {
+		fields = append([]Field(nil), fields...)
+		ev.Trace, ev.Span, fields = appendKV(ev.Trace, ev.Span, fields, kv)
+	}
+	ev.Fields = fields
+
+	c.mu.Lock()
+	c.buf[c.next] = ev
+	c.next = (c.next + 1) % len(c.buf)
+	if c.next == 0 {
+		c.full = true
+	}
+	c.mu.Unlock()
+
+	if c.sink != nil && lv >= c.sinkMin {
+		c.sink(ev)
+	}
+}
+
+// appendKV folds alternating key/value arguments into fields, diverting
+// obs IDs to the correlation slots. A trailing key without a value (or a
+// non-string key) is recorded as a malformed field rather than dropped.
+func appendKV(trace obs.TraceID, span obs.SpanID, fields []Field, kv []any) (obs.TraceID, obs.SpanID, []Field) {
+	for i := 0; i < len(kv); i += 2 {
+		if i+1 >= len(kv) {
+			fields = append(fields, Field{Key: "!MISSING-VALUE", Value: formatValue(kv[i])})
+			break
+		}
+		key, ok := kv[i].(string)
+		if !ok {
+			fields = append(fields, Field{Key: "!BAD-KEY", Value: formatValue(kv[i])})
+			continue
+		}
+		switch v := kv[i+1].(type) {
+		case obs.TraceID:
+			if v != 0 {
+				trace = v
+			}
+		case obs.SpanID:
+			if v != 0 {
+				span = v
+			}
+		default:
+			fields = append(fields, Field{Key: key, Value: formatValue(v)})
+		}
+	}
+	return trace, span, fields
+}
+
+func formatValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case error:
+		if x == nil {
+			return "<nil>"
+		}
+		return x.Error()
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case uint64:
+		return strconv.FormatUint(x, 10)
+	case uint32:
+		return strconv.FormatUint(uint64(x), 10)
+	case bool:
+		return strconv.FormatBool(x)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case time.Duration:
+		return x.String()
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Tail returns the retained events, oldest first.
+func (l *Logger) Tail() []Event {
+	if l == nil || l.core == nil {
+		return nil
+	}
+	c := l.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Event
+	if c.full {
+		out = append(out, c.buf[c.next:]...)
+	}
+	out = append(out, c.buf[:c.next]...)
+	return out
+}

@@ -1,0 +1,282 @@
+package logx
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blastfunction/internal/obs"
+)
+
+func fixedClock(start time.Time) func() time.Time {
+	var mu sync.Mutex
+	t := start
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func testLogger(ring int) *Logger {
+	return New(Config{
+		Component: "test",
+		RingSize:  ring,
+		Now:       fixedClock(time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)),
+	})
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("nothing", "k", "v")
+	l.Info("nothing")
+	l.Warn("nothing")
+	l.Error("nothing", "err", errors.New("x"))
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports Enabled")
+	}
+	if got := l.Tail(); got != nil {
+		t.Errorf("nil logger Tail = %v", got)
+	}
+	if l.Named("sub") != nil || l.WithTrace(1, 2) != nil || l.With("a", "b") != nil {
+		t.Error("derivations of a nil logger must stay nil")
+	}
+}
+
+func TestLevelsAndFields(t *testing.T) {
+	l := testLogger(16)
+	l.Debug("started", "port", 8080)
+	l.Warn("lease expired", "client", "sobel-1", "wait", 250*time.Millisecond)
+	evs := l.Tail()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Level != LevelDebug || evs[1].Level != LevelWarn {
+		t.Errorf("levels = %v, %v", evs[0].Level, evs[1].Level)
+	}
+	if evs[0].Fields[0] != (Field{Key: "port", Value: "8080"}) {
+		t.Errorf("int field = %+v", evs[0].Fields[0])
+	}
+	if evs[1].Fields[1] != (Field{Key: "wait", Value: "250ms"}) {
+		t.Errorf("duration field = %+v", evs[1].Fields[1])
+	}
+	line := evs[1].Format()
+	for _, want := range []string{"WARN", "test:", "lease expired", "client=sobel-1", "wait=250ms"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("Format %q missing %q", line, want)
+		}
+	}
+}
+
+func TestMinLevelGate(t *testing.T) {
+	var sunk []Event
+	l := New(Config{
+		Component: "gate",
+		Level:     LevelInfo,
+		Sink:      func(ev Event) { sunk = append(sunk, ev) },
+		SinkLevel: LevelWarn,
+	})
+	l.Debug("dropped entirely")
+	l.Info("ring only")
+	l.Warn("ring and sink")
+	if evs := l.Tail(); len(evs) != 2 {
+		t.Fatalf("ring kept %d events, want 2 (debug gated)", len(evs))
+	}
+	if len(sunk) != 1 || sunk[0].Msg != "ring and sink" {
+		t.Fatalf("sink got %v, want only the warn", sunk)
+	}
+	if l.Enabled(LevelDebug) || !l.Enabled(LevelInfo) {
+		t.Error("Enabled disagrees with Level gate")
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	l := testLogger(4)
+	for i := 0; i < 10; i++ {
+		l.Info("event", "i", i)
+	}
+	evs := l.Tail()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	if evs[0].Fields[0].Value != "6" || evs[3].Fields[0].Value != "9" {
+		t.Errorf("ring kept wrong window: %v .. %v", evs[0].Fields, evs[3].Fields)
+	}
+}
+
+func TestTraceCorrelation(t *testing.T) {
+	l := testLogger(16)
+	l.Warn("task failed", "client", "mm-1", "trace", obs.TraceID(0xdead), "span", obs.SpanID(0xbeef))
+	l.WithTrace(0xf00d, 0).Info("derived")
+	evs := l.Tail()
+	if evs[0].Trace != 0xdead || evs[0].Span != 0xbeef {
+		t.Errorf("kv trace/span not diverted: %+v", evs[0])
+	}
+	for _, f := range evs[0].Fields {
+		if f.Key == "trace" || f.Key == "span" {
+			t.Errorf("trace/span leaked into fields: %+v", evs[0].Fields)
+		}
+	}
+	if evs[1].Trace != 0xf00d {
+		t.Errorf("WithTrace not carried: %+v", evs[1])
+	}
+	if !strings.Contains(evs[0].Format(), "trace=000000000000dead") {
+		t.Errorf("Format lacks trace: %q", evs[0].Format())
+	}
+}
+
+func TestNamedSharesRing(t *testing.T) {
+	root := testLogger(16)
+	sub := root.Named("sub")
+	root.Info("from root")
+	sub.Info("from sub")
+	evs := root.Tail()
+	if len(evs) != 2 {
+		t.Fatalf("ring has %d events, want 2 (Named must share the ring)", len(evs))
+	}
+	if evs[0].Component != "test" || evs[1].Component != "sub" {
+		t.Errorf("components = %q, %q", evs[0].Component, evs[1].Component)
+	}
+}
+
+func TestWithFields(t *testing.T) {
+	l := testLogger(16).With("device", "fpga-A")
+	l.Info("first")
+	l.Info("second", "extra", 1)
+	evs := l.Tail()
+	for _, ev := range evs {
+		if len(ev.Fields) == 0 || ev.Fields[0] != (Field{Key: "device", Value: "fpga-A"}) {
+			t.Errorf("With field missing on %+v", ev)
+		}
+	}
+	if len(evs[1].Fields) != 2 {
+		t.Errorf("per-call fields lost: %+v", evs[1].Fields)
+	}
+	if len(evs[0].Fields) != 1 {
+		t.Errorf("per-call fields leaked across events: %+v", evs[0].Fields)
+	}
+}
+
+func TestHandlerFilters(t *testing.T) {
+	l := testLogger(32)
+	l.Named("alpha").Info("a info")
+	l.Named("alpha").Warn("a warn", "trace", obs.TraceID(0xabc))
+	l.Named("beta").Error("b error")
+
+	fetch := func(query string) []Event {
+		t.Helper()
+		req := httptest.NewRequest("GET", "/debug/logs"+query, nil)
+		w := httptest.NewRecorder()
+		l.Handler().ServeHTTP(w, req)
+		if w.Code != 200 {
+			t.Fatalf("GET %s: %d %s", query, w.Code, w.Body)
+		}
+		var evs []Event
+		if err := json.Unmarshal(w.Body.Bytes(), &evs); err != nil {
+			t.Fatalf("decoding: %v", err)
+		}
+		return evs
+	}
+
+	if evs := fetch(""); len(evs) != 3 {
+		t.Errorf("unfiltered = %d events, want 3", len(evs))
+	}
+	if evs := fetch("?level=warn"); len(evs) != 2 {
+		t.Errorf("level=warn = %d events, want 2", len(evs))
+	}
+	if evs := fetch("?component=beta"); len(evs) != 1 || evs[0].Msg != "b error" {
+		t.Errorf("component=beta = %v", evs)
+	}
+	if evs := fetch("?trace=0000000000000abc"); len(evs) != 1 || evs[0].Msg != "a warn" {
+		t.Errorf("trace filter = %v", evs)
+	}
+	if evs := fetch("?n=1"); len(evs) != 1 || evs[0].Msg != "b error" {
+		t.Errorf("n=1 = %v", evs)
+	}
+
+	req := httptest.NewRequest("GET", "/debug/logs?level=bogus", nil)
+	w := httptest.NewRecorder()
+	l.Handler().ServeHTTP(w, req)
+	if w.Code != 400 {
+		t.Errorf("bad level returned %d, want 400", w.Code)
+	}
+}
+
+func TestFetchRingAndMerge(t *testing.T) {
+	a := testLogger(16)
+	b := New(Config{
+		Component: "b",
+		RingSize:  16,
+		Now:       fixedClock(time.Date(2026, 8, 5, 12, 0, 0, 500_000_000, time.UTC)),
+	})
+	a.Info("a one", "trace", obs.TraceID(7))
+	b.Info("b one", "trace", obs.TraceID(7))
+	a.Info("a untraced")
+
+	srvA := httptest.NewServer(a.Handler())
+	defer srvA.Close()
+	srvB := httptest.NewServer(b.Handler())
+	defer srvB.Close()
+
+	ringA, err := FetchRing(srvA.URL, Query{Trace: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringB, err := FetchRing(srvB.URL, Query{Trace: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := Merge(ringA, ringB)
+	if len(merged) != 2 {
+		t.Fatalf("merged %d events, want 2: %v", len(merged), merged)
+	}
+	if !merged[0].Time.Before(merged[1].Time) {
+		t.Errorf("merge not time-ordered: %v", merged)
+	}
+	comps := map[string]bool{}
+	for _, ev := range merged {
+		comps[ev.Component] = true
+	}
+	if !comps["test"] || !comps["b"] {
+		t.Errorf("merged events missing a component: %v", comps)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := testLogger(4)
+	l.Warn("round trip", "k", "v w", "trace", obs.TraceID(0x1234))
+	data, err := json.Marshal(l.Tail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"level":"warn"`) {
+		t.Errorf("level not marshalled as name: %s", data)
+	}
+	if !strings.Contains(string(data), `"trace":"0000000000001234"`) {
+		t.Errorf("trace not hex: %s", data)
+	}
+	var back []Event
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Level != LevelWarn || back[0].Trace != 0x1234 || back[0].Fields[0].Value != "v w" {
+		t.Errorf("round trip mangled event: %+v", back[0])
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn, "warning": LevelWarn, "error": LevelError} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("fatal"); err == nil {
+		t.Error("ParseLevel accepted unknown level")
+	}
+}

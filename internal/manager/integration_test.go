@@ -11,6 +11,7 @@ import (
 
 	"blastfunction/internal/accel"
 	"blastfunction/internal/fpga"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/manager"
 	"blastfunction/internal/model"
 	"blastfunction/internal/native"
@@ -35,7 +36,7 @@ func newRig(t *testing.T, cfg manager.Config) *testRig {
 	}
 	mgr := manager.New(cfg, board)
 	srv := rpc.NewServer(mgr)
-	srv.Logf = t.Logf
+	srv.Log = logx.NewLogf("rpc", t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"blastfunction/internal/fpga"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/metrics"
 	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
@@ -75,6 +76,11 @@ type Config struct {
 	// older than the guard is served next regardless of deficits. Zero
 	// selects the sched default (2s); negative disables the guard.
 	StarvationGuard time.Duration
+	// Log receives the manager's structured events (lease expiries, task
+	// failures, reconfigurations), trace-correlated where a task caused
+	// them. A nil logger logs nothing — the zero-cost production default
+	// for the hot path.
+	Log *logx.Logger
 	// TraceRing bounds the manager's distributed-tracing span ring (served
 	// at /debug/spans). Zero selects the obs default (4096). The manager
 	// never initiates traces — it records spans only for tasks whose client
@@ -125,16 +131,20 @@ type Manager struct {
 	// belong to the library.
 	tracer *obs.Tracer
 
+	// log receives structured events; nil-safe (see Config.Log).
+	log *logx.Logger
+
 	lastBusy atomic.Int64 // last board busy reading pushed to mBusy
 }
 
 // tenantMetrics is one tenant's exported series plus the raw cumulative
 // device time backing the occupancy-share computation.
 type tenantMetrics struct {
-	depth     metrics.Gauge   // bf_tenant_queue_depth
-	waitTotal metrics.Counter // bf_tenant_queue_wait_seconds_total
-	deviceSec metrics.Counter // bf_tenant_device_seconds_total
-	tasks     metrics.Counter // bf_tenant_tasks_total
+	depth     metrics.Gauge     // bf_tenant_queue_depth
+	waitTotal metrics.Counter   // bf_tenant_queue_wait_seconds_total
+	waitHist  metrics.Histogram // bf_tenant_queue_wait_seconds (alerting reads its p95)
+	deviceSec metrics.Counter   // bf_tenant_device_seconds_total
+	tasks     metrics.Counter   // bf_tenant_tasks_total
 	deviceNS  atomic.Int64
 }
 
@@ -148,6 +158,7 @@ func (m *Manager) tenantMetric(tenant string) *tenantMetrics {
 		tm = &tenantMetrics{
 			depth:     m.reg.Gauge("bf_tenant_queue_depth", "Tasks a tenant has waiting in the central queue.", lbl),
 			waitTotal: m.reg.Counter("bf_tenant_queue_wait_seconds_total", "Cumulative queue wait of the tenant's executed tasks.", lbl),
+			waitHist:  m.reg.Histogram("bf_tenant_queue_wait_seconds", "Queue-wait distribution of the tenant's executed tasks.", lbl, nil),
 			deviceSec: m.reg.Counter("bf_tenant_device_seconds_total", "Modelled device time consumed by the tenant.", lbl),
 			tasks:     m.reg.Counter("bf_tenant_tasks_total", "Tasks the tenant executed on the device.", lbl),
 		}
@@ -202,6 +213,7 @@ func New(cfg Config, board *fpga.Board) *Manager {
 		mLeaseExp:   reg.Counter("bf_lease_expiries_total", "Sessions reclaimed after their lease expired.", lbl),
 		mTaskHist: reg.Histogram("bf_task_device_seconds",
 			"Modelled device occupancy per executed task.", lbl, nil),
+		log:    cfg.Log,
 		traces: newTraceRing(512),
 		tracer: obs.New(obs.Config{
 			Component: "manager",
@@ -305,8 +317,15 @@ func (m *Manager) expireSession(s *session) {
 	// discipline holds them in: they fail here without ever occupying the
 	// board, instead of waiting for the worker's expired-session check.
 	err := ocl.Errf(ocl.ErrDeviceNotAvailable, "session lease expired")
+	m.log.Warn("session lease expired", "client", s.clientName, "session", s.id)
 	for _, it := range m.queue.Remove(s.id) {
 		t := it.Payload.(*task)
+		if t.trace != 0 {
+			// Correlate the expiry with the trace of each queued task it
+			// kills, so `blastctl logs -trace` explains the OpFailed.
+			m.log.Warn("queued task failed: session lease expired",
+				"client", s.clientName, "ops", len(t.ops), "trace", obs.TraceID(t.trace))
+		}
 		m.tenantMetric(t.sess.clientName).depth.Add(-1)
 		for i := range t.ops {
 			t.sess.sendFail(t.conn, t.ops[i].tag, err) // best effort
@@ -344,6 +363,7 @@ func (m *Manager) worker() {
 		tm := m.tenantMetric(t.sess.clientName)
 		tm.depth.Add(-1)
 		tm.waitTotal.Add(t.queueWait.Seconds())
+		tm.waitHist.Observe(t.queueWait.Seconds())
 		m.runTask(t)
 		m.syncBoardCounters()
 	}
@@ -376,6 +396,7 @@ func (m *Manager) HandleDisconnect(c *rpc.Conn) {
 	m.mu.Lock()
 	delete(m.sessions, s.id)
 	m.mu.Unlock()
+	m.log.Debug("session closed", "client", s.clientName, "session", s.id)
 	s.release(m.board)
 }
 
@@ -464,6 +485,7 @@ func (m *Manager) handleHello(c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
 	m.sessions[s.id] = s
 	m.mu.Unlock()
 	c.SetSession(s)
+	m.log.Debug("session opened", "client", s.clientName, "session", s.id, "proto", int(s.proto))
 
 	var leaseMillis uint32
 	if s.proto >= wire.ProtoVersionLease && m.cfg.LeaseDuration > 0 {
@@ -506,13 +528,16 @@ func (m *Manager) handleBuildProgram(s *session, d *wire.Decoder) ([]byte, error
 	}
 	if gate := m.cfg.ReconfigGate; gate != nil {
 		if err := gate(s.clientName, bitID); err != nil {
+			m.log.Warn("reconfiguration rejected", "client", s.clientName, "bitstream", bitID, "err", err)
 			return nil, ocl.Errf(ocl.ErrInvalidOperation, "reconfiguration rejected: %v", err)
 		}
 	}
 	if _, err := m.board.Configure(binary); err != nil {
+		m.log.Error("board reconfiguration failed", "client", s.clientName, "bitstream", bitID, "err", err)
 		return nil, err
 	}
 	m.mReconfigs.Inc()
+	m.log.Info("board reconfigured", "client", s.clientName, "bitstream", bitID)
 	m.syncBoardCounters()
 	return nil, nil
 }

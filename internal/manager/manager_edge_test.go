@@ -10,6 +10,7 @@ import (
 
 	"blastfunction/internal/accel"
 	"blastfunction/internal/fpga"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/manager"
 	"blastfunction/internal/model"
 	"blastfunction/internal/ocl"
@@ -132,7 +133,7 @@ func TestSmallQueueCapacityBackpressure(t *testing.T) {
 	}, accel.Catalog())
 	mgr := manager.New(manager.Config{Node: "n", DeviceID: "d", QueueCapacity: 2}, board)
 	srv := rpc.NewServer(mgr)
-	srv.Logf = t.Logf
+	srv.Log = logx.NewLogf("rpc", t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,7 @@ package manager
 import (
 	"time"
 
+	"blastfunction/internal/logx"
 	"blastfunction/internal/model"
 	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
@@ -446,6 +447,9 @@ func (m *Manager) runTask(t *task) {
 		}
 		if err != nil {
 			failed, abortErr = true, err
+			m.log.Warn("task operation failed",
+				"client", t.sess.clientName, "op", o.kind.String(), "err", err,
+				"trace", obs.TraceID(t.trace))
 			nb.add(&wire.OpNotification{
 				Tag:    o.tag,
 				State:  wire.OpFailed,
@@ -482,6 +486,13 @@ func (m *Manager) runTask(t *task) {
 		Failed:      failed,
 		CompletedAt: time.Now(),
 	})
+	// Hot path: one nil/level check when logging is off or above debug.
+	if m.log.Enabled(logx.LevelDebug) {
+		m.log.Debug("task executed",
+			"client", t.sess.clientName, "ops", len(t.ops),
+			"device_time", taskDevice, "queue_wait", t.queueWait,
+			"failed", failed, "trace", obs.TraceID(t.trace))
+	}
 }
 
 // runOp executes one operation and builds its completion notification.

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -346,5 +347,144 @@ func TestHistogramSeriesSharing(t *testing.T) {
 	c := r.Histogram("shared", "S.", Labels{"x": "2"}, nil)
 	if c.Count() != 0 {
 		t.Fatal("different labels must get a fresh series")
+	}
+}
+
+// --- TSDB retention/rate edge cases the alert engine depends on ---
+
+// A window that covers only one point of a series must not produce a
+// rate: the alert engine treats a single-sample window as "no
+// observation", not a zero or infinite burn rate.
+func TestTSDBRateSinglePointInWindow(t *testing.T) {
+	db := NewTSDB(time.Minute)
+	base := time.Unix(9000, 0)
+	lbl := Labels{"d": "x"}
+	db.Append(base, []Sample{{Name: "c_total", Labels: lbl, Value: 1}})
+	db.Append(base.Add(30*time.Second), []Sample{{Name: "c_total", Labels: lbl, Value: 2}})
+	// 5s window ending now: only the second point qualifies.
+	if _, ok := db.Rate("c_total", lbl, base.Add(30*time.Second), 5*time.Second); ok {
+		t.Fatal("rate over a single-point window must report not-ok")
+	}
+	// A series with one point total behaves the same under any window.
+	db.Append(base.Add(31*time.Second), []Sample{{Name: "lone_total", Labels: lbl, Value: 7}})
+	if _, ok := db.Rate("lone_total", lbl, base.Add(31*time.Second), time.Hour); ok {
+		t.Fatal("rate of a one-point series must report not-ok")
+	}
+	// Increase shares the two-point requirement.
+	if _, ok := db.Increase("lone_total", lbl, base.Add(31*time.Second), time.Hour); ok {
+		t.Fatal("increase of a one-point series must report not-ok")
+	}
+}
+
+// A point exactly at the retention cutoff is kept: eviction drops points
+// strictly before cutoff, so a scrape landing precisely retention-ago
+// still anchors rate windows.
+func TestTSDBRetentionCutoffBoundary(t *testing.T) {
+	retention := 10 * time.Second
+	db := NewTSDB(retention)
+	base := time.Unix(9500, 0)
+	lbl := Labels{"d": "x"}
+	db.Append(base, []Sample{{Name: "c_total", Labels: lbl, Value: 1}})
+	// Append exactly retention later: cutoff == base, first point survives.
+	db.Append(base.Add(retention), []Sample{{Name: "c_total", Labels: lbl, Value: 3}})
+	if rate, ok := db.Rate("c_total", lbl, base.Add(retention), time.Hour); !ok || rate != 0.2 {
+		t.Fatalf("rate = %v ok=%v, want 0.2 (boundary point must be retained)", rate, ok)
+	}
+	// One nanosecond past retention: the first point is evicted and the
+	// series collapses to a single sample.
+	db2 := NewTSDB(retention)
+	db2.Append(base, []Sample{{Name: "c_total", Labels: lbl, Value: 1}})
+	db2.Append(base.Add(retention+time.Nanosecond), []Sample{{Name: "c_total", Labels: lbl, Value: 3}})
+	if _, ok := db2.Rate("c_total", lbl, base.Add(retention+time.Nanosecond), time.Hour); ok {
+		t.Fatal("point past retention must be evicted")
+	}
+}
+
+// Latest on an expired series: eviction happens at append time, per
+// series, so a series that simply stopped being scraped keeps serving
+// its stale last value. Alert rules on gauges therefore pair with
+// bf_scrape_up (which keeps being appended by the scraper) rather than
+// trusting Latest freshness — this test pins the staleness contract.
+func TestTSDBLatestOnExpiredSeries(t *testing.T) {
+	retention := 10 * time.Second
+	db := NewTSDB(retention)
+	base := time.Unix(9900, 0)
+	stale := Labels{"d": "gone"}
+	live := Labels{"d": "alive"}
+	db.Append(base, []Sample{{Name: "g", Labels: stale, Value: 42}})
+	// Long after retention, only the live series receives appends.
+	db.Append(base.Add(5*time.Minute), []Sample{{Name: "g", Labels: live, Value: 1}})
+	if v, ok := db.Latest("g", stale); !ok || v != 42 {
+		t.Fatalf("Latest(stale) = %v ok=%v; append-time eviction must not touch other series", v, ok)
+	}
+	// But any windowed query on the stale series reports not-ok...
+	if _, ok := db.Avg("g", stale, base.Add(5*time.Minute), 30*time.Second); ok {
+		t.Fatal("windowed query on expired series must report not-ok")
+	}
+	// ...and the next append to the stale series evicts its old points.
+	db.Append(base.Add(5*time.Minute), []Sample{{Name: "g", Labels: stale, Value: 7}})
+	if v, ok := db.Latest("g", stale); !ok || v != 7 {
+		t.Fatalf("Latest after re-append = %v ok=%v, want 7", v, ok)
+	}
+	if _, ok := db.Rate("g", stale, base.Add(5*time.Minute), time.Hour); ok {
+		t.Fatal("expired point must not survive the re-append")
+	}
+}
+
+// --- scrape-health series ---
+
+// A healthy target exports bf_scrape_up = 1 and a scrape duration; when
+// it dies the next pass flips bf_scrape_up to 0 and reports the
+// transition through OnHealth.
+func TestScraperExportsScrapeHealth(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("bf_live", "Liveness.", Labels{"device": "fpga0"}).Set(1)
+	srv := httptest.NewServer(reg.Handler())
+
+	db := NewTSDB(time.Minute)
+	sc := NewScraper(db, time.Second)
+	sc.Timeout = time.Second
+	now := time.Unix(8000, 0)
+	sc.Now = func() time.Time { return now }
+
+	type transition struct {
+		target string
+		up     bool
+	}
+	var mu sync.Mutex
+	var transitions []transition
+	sc.OnHealth = func(target string, up bool, err error) {
+		mu.Lock()
+		transitions = append(transitions, transition{target, up})
+		mu.Unlock()
+	}
+	sc.AddTarget("fpga0", srv.URL)
+
+	sc.ScrapeOnce()
+	tgt := Labels{"target": "fpga0"}
+	if v, ok := db.Latest("bf_scrape_up", tgt); !ok || v != 1 {
+		t.Fatalf("bf_scrape_up = %v ok=%v, want 1", v, ok)
+	}
+	if d, ok := db.Latest("bf_scrape_duration_seconds", tgt); !ok || d < 0 {
+		t.Fatalf("bf_scrape_duration_seconds = %v ok=%v", d, ok)
+	}
+	if len(transitions) != 0 {
+		t.Fatalf("healthy first scrape must not report a transition: %v", transitions)
+	}
+
+	// Kill the target: bf_scrape_up flips to 0 even though the payload
+	// scrape failed, and OnHealth reports exactly one down transition.
+	srv.Close()
+	now = now.Add(time.Second)
+	sc.ScrapeOnce()
+	now = now.Add(time.Second)
+	sc.ScrapeOnce() // still down: no duplicate transition
+	if v, ok := db.Latest("bf_scrape_up", tgt); !ok || v != 0 {
+		t.Fatalf("bf_scrape_up after death = %v ok=%v, want 0", v, ok)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(transitions) != 1 || transitions[0] != (transition{"fpga0", false}) {
+		t.Fatalf("transitions = %v, want one down transition", transitions)
 	}
 }

@@ -19,6 +19,10 @@ type Scraper struct {
 	Now func() time.Time
 	// Timeout bounds each individual target's scrape. Default 5s.
 	Timeout time.Duration
+	// OnHealth, when set, is called whenever a target transitions
+	// between healthy and failing (including a first scrape that fails).
+	// Callbacks run from scrape goroutines; keep them cheap.
+	OnHealth func(target string, up bool, err error)
 
 	mu      sync.Mutex
 	targets map[string]string // target name -> URL
@@ -95,12 +99,38 @@ func (s *Scraper) ScrapeOnce() {
 		wg.Add(1)
 		go func(name, url string) {
 			defer wg.Done()
+			start := time.Now()
 			samples, err := s.fetch(url)
+			elapsed := time.Since(start)
 			s.mu.Lock()
+			prev, known := s.errs[name]
 			s.errs[name] = err
 			s.mu.Unlock()
+			if s.OnHealth != nil {
+				// A never-scraped target is presumed healthy, so the
+				// first failure reports a transition but the first
+				// success stays quiet.
+				healthyBefore := !known || prev == nil
+				healthyNow := err == nil
+				if healthyBefore != healthyNow {
+					s.OnHealth(name, healthyNow, err)
+				}
+			}
+			// Scrape health is itself a pair of series, so alert rules
+			// can fire on a dead target without reaching into the
+			// scraper's private error map.
+			up := 1.0
 			if err != nil {
-				return
+				up = 0
+			}
+			health := []Sample{
+				{Name: "bf_scrape_up", Labels: Labels{"target": name}, Value: up},
+				{Name: "bf_scrape_duration_seconds", Labels: Labels{"target": name}, Value: elapsed.Seconds()},
+			}
+			if err == nil {
+				samples = append(samples, health...)
+			} else {
+				samples = health
 			}
 			s.db.Append(now, samples) // TSDB appends are lock-protected
 		}(name, url)

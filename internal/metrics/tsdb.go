@@ -97,6 +97,24 @@ func (db *TSDB) Rate(name string, labels Labels, now time.Time, window time.Dura
 	return dv / dt, true
 }
 
+// Increase computes the total growth of a counter series over the
+// window ending at now — PromQL's increase() without extrapolation. Like
+// Rate it needs at least two points in the window and falls back to the
+// last value on a counter reset.
+func (db *TSDB) Increase(name string, labels Labels, now time.Time, window time.Duration) (float64, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pts := db.window(Sample{Name: name, Labels: labels}.SeriesKey(), now, window)
+	if len(pts) < 2 {
+		return 0, false
+	}
+	dv := pts[len(pts)-1].V - pts[0].V
+	if dv < 0 {
+		dv = pts[len(pts)-1].V
+	}
+	return dv, true
+}
+
 // Avg computes the mean of a gauge series over the window ending at now.
 func (db *TSDB) Avg(name string, labels Labels, now time.Time, window time.Duration) (float64, bool) {
 	db.mu.Lock()

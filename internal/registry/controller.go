@@ -2,12 +2,12 @@ package registry
 
 import (
 	"context"
-	"log"
 	"strconv"
 	"sync"
 	"time"
 
 	"blastfunction/internal/cluster"
+	"blastfunction/internal/logx"
 )
 
 // Environment variables the Registry injects into allocated instances —
@@ -36,8 +36,9 @@ const ShmVolume = "/dev/shm"
 type Controller struct {
 	reg *Registry
 	cl  *cluster.Cluster
-	// Logf logs allocation failures; defaults to log.Printf.
-	Logf func(format string, args ...any)
+	// Log receives allocation and migration events as structured events;
+	// defaults to logx.Default("registry").
+	Log *logx.Logger
 	// Grace is how long a device may stay unhealthy before its connected
 	// instances are migrated to other boards. Zero disables the sweep:
 	// transient scrape hiccups then only exclude the device from new
@@ -57,7 +58,7 @@ func NewController(reg *Registry, cl *cluster.Cluster) *Controller {
 	return &Controller{
 		reg:      reg,
 		cl:       cl,
-		Logf:     log.Printf,
+		Log:      logx.Default("registry"),
 		failures: make(map[string]error),
 	}
 }
@@ -107,14 +108,16 @@ func (c *Controller) SweepUnhealthy() {
 	for _, devID := range c.reg.UnhealthyPastGrace(c.Grace) {
 		for _, uid := range c.reg.ConnectedInstances(devID) {
 			if _, err := c.cl.ReplaceInstance(uid); err != nil {
-				c.Logf("registry: migration of %s off unhealthy %s failed: %v", uid, devID, err)
+				c.Log.Error("registry: migration off unhealthy device failed",
+					"instance", uid, "device", devID, "err", err)
 				continue
 			}
 			// Drop the placement now instead of waiting for the Deleted
 			// event, so a sweep racing the watch loop cannot migrate the
 			// instance a second time.
 			c.reg.Release(uid)
-			c.Logf("registry: migrated %s off unhealthy device %s", uid, devID)
+			c.Log.Info("registry: migrated instance off unhealthy device",
+				"instance", uid, "device", devID)
 		}
 	}
 }
@@ -143,7 +146,8 @@ func (c *Controller) allocate(in cluster.Instance) {
 		c.mu.Lock()
 		c.failures[in.UID] = err
 		c.mu.Unlock()
-		c.Logf("registry: allocation of %s (%s) failed: %v", in.Name, in.Function, err)
+		c.Log.Warn("registry: allocation failed",
+			"instance", in.Name, "function", in.Function, "err", err)
 		return
 	}
 	c.mu.Lock()
@@ -156,7 +160,8 @@ func (c *Controller) allocate(in cluster.Instance) {
 	for _, uid := range alloc.Displaced {
 		c.reg.Release(uid)
 		if _, err := c.cl.ReplaceInstance(uid); err != nil {
-			c.Logf("registry: migration of %s off %s failed: %v", uid, alloc.Device.ID, err)
+			c.Log.Error("registry: migration off device failed",
+				"instance", uid, "device", alloc.Device.ID, "err", err)
 		}
 	}
 
@@ -175,7 +180,7 @@ func (c *Controller) allocate(in cluster.Instance) {
 		Node:       &node,
 	})
 	if err != nil {
-		c.Logf("registry: patch of %s failed: %v", in.Name, err)
+		c.Log.Error("registry: instance patch failed", "instance", in.Name, "err", err)
 		c.reg.Release(in.UID)
 	}
 }

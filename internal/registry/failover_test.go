@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"blastfunction/internal/cluster"
+	"blastfunction/internal/logx"
 )
 
 func mustNew(t *testing.T, policy AllocPolicy) *Registry {
@@ -152,7 +153,7 @@ func TestSweepMigratesOffDeadBoard(t *testing.T) {
 		ManagerAddr: "10.0.0.2:5000", Bitstream: "spector-sobel", Accelerator: "sobel"})
 	r.RegisterFunction(sobelFn())
 	ctrl := NewController(r, cl)
-	ctrl.Logf = t.Logf
+	ctrl.Log = logx.NewLogf("registry", t.Logf)
 	ctrl.Grace = time.Minute
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"blastfunction/internal/cluster"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/metrics"
 )
 
@@ -269,7 +270,7 @@ func TestControllerAllocatesOnInstanceCreation(t *testing.T) {
 	threeDevices(r)
 	r.RegisterFunction(sobelFn())
 	ctrl := NewController(r, cl)
-	ctrl.Logf = t.Logf
+	ctrl.Log = logx.NewLogf("registry", t.Logf)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go ctrl.Run(ctx)
@@ -326,7 +327,7 @@ func TestControllerMigratesOnReconfiguration(t *testing.T) {
 	r.RegisterFunction(Function{Name: "sobel-1", Query: DeviceQuery{Accelerator: "sobel"}, Bitstream: "spector-sobel"})
 	r.RegisterFunction(Function{Name: "mm-1", Query: DeviceQuery{Accelerator: "mm"}, Bitstream: "spector-mm"})
 	ctrl := NewController(r, cl)
-	ctrl.Logf = t.Logf
+	ctrl.Log = logx.NewLogf("registry", t.Logf)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go ctrl.Run(ctx)

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"blastfunction/internal/logx"
 	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
 	"blastfunction/internal/wire"
@@ -374,6 +375,7 @@ func (q *commandQueue) EnqueueWriteBuffer(b ocl.Buffer, blocking bool, offset in
 	if trace != 0 && mc.traceWire() {
 		req.TraceID, req.SpanID = uint64(trace), uint64(span)
 	}
+	mc.enroll(ev)
 	// EncodeHead + a separate data segment: for the inline path the user's
 	// bytes go from their slice straight into the socket (writev), never
 	// through an intermediate concatenation. The trace tail lands in the
@@ -446,6 +448,7 @@ func (q *commandQueue) EnqueueReadBuffer(b ocl.Buffer, blocking bool, offset int
 	if trace != 0 && mc.traceWire() {
 		req.TraceID, req.SpanID = uint64(trace), uint64(span)
 	}
+	mc.enroll(ev)
 	e := wire.GetEncoder(64)
 	req.Encode(e)
 	var sendStart time.Time
@@ -506,6 +509,7 @@ func (q *commandQueue) EnqueueNDRangeKernel(k ocl.Kernel, global, local []int, w
 	if trace != 0 && mc.traceWire() {
 		req.TraceID, req.SpanID = uint64(trace), uint64(span)
 	}
+	mc.enroll(ev)
 	e := wire.GetEncoder(64)
 	req.Encode(e)
 	var sendStart time.Time
@@ -600,6 +604,11 @@ func (q *commandQueue) Flush() error {
 	e.Release()
 	if trace != 0 {
 		mc.tracer.End(trace, taskSpan, 0, "task", "", taskStart)
+	}
+	// Hot path: one nil/level check per flushed task when logging is off.
+	if mc.log.Enabled(logx.LevelDebug) {
+		mc.log.Debug("task flushed", "queue", q.id, "manager", mc.addr,
+			"err", err, "trace", trace)
 	}
 	return err
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"blastfunction/internal/logx"
 	"blastfunction/internal/model"
 	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
@@ -77,6 +78,10 @@ type Config struct {
 	// means unweighted (managers treat it as 1). Deployed instances
 	// receive it from the Registry binding via BF_TENANT_WEIGHT.
 	Weight int
+	// Log receives the library's structured events (connection loss,
+	// operation failures, transport fallbacks), trace-correlated where a
+	// task caused them. A nil logger logs nothing at zero hot-path cost.
+	Log *logx.Logger
 	// Tracer enables distributed tracing: the library samples a trace at
 	// the first operation of each flush-formed task, records client-side
 	// spans (call, send, ack-wait, task) into it, and propagates the IDs

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blastfunction/internal/logx"
 	"blastfunction/internal/model"
 	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
@@ -36,6 +37,8 @@ type managerConn struct {
 
 	// tracer records client-side spans; nil when tracing is disabled.
 	tracer *obs.Tracer
+	// log records structured events; nil-safe.
+	log *logx.Logger
 
 	// lease is the session lease the manager advertised at Hello (zero:
 	// leases disabled); stopBeat stops the heartbeat goroutine renewing it.
@@ -62,7 +65,7 @@ func dialManager(cfg *Config, addr string) (*managerConn, error) {
 		}
 	}
 	cl.CallTimeout = cfg.CallTimeout
-	mc := &managerConn{cfg: cfg, addr: addr, rpc: cl, mode: model.TransportGRPC, tracer: cfg.Tracer}
+	mc := &managerConn{cfg: cfg, addr: addr, rpc: cl, mode: model.TransportGRPC, tracer: cfg.Tracer, log: cfg.Log}
 
 	// Hello: open the session. Not retried — a timed-out Hello may still
 	// have created a session on the manager, and retrying would leak it.
@@ -105,6 +108,8 @@ func dialManager(cfg *Config, addr string) (*managerConn, error) {
 			}
 			// TransportAuto degrades to the RPC data path, like the paper
 			// when "it is not possible to create a shared memory area".
+			mc.log.Info("shared memory unavailable, using rpc data path",
+				"manager", addr, "err", err)
 		}
 	} else if cfg.Transport == TransportShm {
 		cl.Close()
@@ -112,6 +117,9 @@ func dialManager(cfg *Config, addr string) (*managerConn, error) {
 			"shm transport requires co-location (client node %q, manager node %q)", cfg.Node, mc.node)
 	}
 
+	mc.log.Debug("connected to manager",
+		"manager", addr, "node", mc.node, "session", mc.sessionID,
+		"proto", int(mc.proto), "transport", mc.mode.String())
 	go mc.connectionThread()
 	if mc.lease > 0 {
 		mc.stopBeat = make(chan struct{})
@@ -136,6 +144,7 @@ func (mc *managerConn) heartbeatLoop() {
 			body, err := mc.rpc.CallWithTimeout(wire.MethodHeartbeat, mc.lease/3)
 			wire.PutBuf(body)
 			if err != nil && (errors.Is(err, rpc.ErrManagerDown) || errors.Is(err, rpc.ErrClosed)) {
+				mc.log.Warn("heartbeat stopped: manager connection down", "manager", mc.addr)
 				return
 			}
 		}
@@ -228,12 +237,24 @@ func (mc *managerConn) connectionThread() {
 	// the transport sentinel attached so callers can errors.Is the failure
 	// against rpc.ErrManagerDown and trigger fail-over instead of treating
 	// it like an application error.
+	lost := 0
 	mc.pending.Range(func(k, v any) bool {
-		v.(*remoteEvent).Fail(ocl.ErrfCause(ocl.ErrDeviceNotAvailable, rpc.ErrManagerDown,
+		ev := v.(*remoteEvent)
+		lost++
+		if ev.trace != 0 {
+			// Correlate the connection loss with every traced in-flight
+			// operation it kills.
+			mc.log.Warn("in-flight operation failed: connection lost",
+				"manager", mc.addr, "trace", ev.trace)
+		}
+		ev.Fail(ocl.ErrfCause(ocl.ErrDeviceNotAvailable, rpc.ErrManagerDown,
 			"connection to %s lost", mc.addr))
 		mc.pending.Delete(k)
 		return true
 	})
+	if lost > 0 {
+		mc.log.Warn("connection to manager lost", "manager", mc.addr, "in_flight", lost)
+	}
 }
 
 // dispatch routes one notification to its event's state machine.
@@ -252,11 +273,19 @@ func (mc *managerConn) dispatch(n *wire.OpNotification) {
 // newTag allocates a fresh event tag. Tags start at 1; 0 is reserved.
 func (mc *managerConn) newTag() uint64 { return mc.tags.Add(1) }
 
-// register creates and registers an event for an enqueue.
+// register creates an event for an enqueue. The caller publishes it with
+// enroll once every field is set — publishing here would let concurrent
+// readers of mc.pending (the connection thread's teardown sweep) observe
+// a half-initialized event.
 func (mc *managerConn) register(cmd ocl.CommandType, tag uint64) *remoteEvent {
-	ev := &remoteEvent{BaseEvent: ocl.NewEvent(cmd), tag: tag}
-	mc.pending.Store(tag, ev)
-	return ev
+	return &remoteEvent{BaseEvent: ocl.NewEvent(cmd), tag: tag}
+}
+
+// enroll publishes a fully initialized event into the pending map. Must
+// happen before the request frame is sent, so the notification path can
+// always find its event.
+func (mc *managerConn) enroll(ev *remoteEvent) {
+	mc.pending.Store(ev.tag, ev)
 }
 
 // remoteEvent is an ocl event driven by manager notifications. Its state
@@ -316,6 +345,7 @@ func (ev *remoteEvent) machine(mc *managerConn, n *wire.OpNotification) {
 	case wire.OpFailed:
 		ev.releaseStaging(mc)
 		ev.endCallSpan(mc, "failed")
+		mc.log.Warn("operation failed", "manager", mc.addr, "error", n.Error, "trace", ev.trace)
 		ev.Fail(ocl.Errf(ocl.Status(n.Status), "%s", n.Error))
 	}
 }

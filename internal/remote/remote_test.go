@@ -8,6 +8,7 @@ import (
 
 	"blastfunction/internal/accel"
 	"blastfunction/internal/fpga"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/manager"
 	"blastfunction/internal/model"
 	"blastfunction/internal/ocl"
@@ -28,7 +29,7 @@ func newRig(t *testing.T) *rig {
 	board := fpga.NewBoard(fpga.DE5aNet(model.WorkerNode()), accel.Catalog())
 	mgr := manager.New(manager.Config{Node: "rignode", DeviceID: "rig0"}, board)
 	srv := rpc.NewServer(mgr)
-	srv.Logf = t.Logf
+	srv.Log = logx.NewLogf("rpc", t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

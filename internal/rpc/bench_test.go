@@ -39,7 +39,7 @@ func (benchHandler) HandleRequest(c *Conn, method wire.Method, body []byte) ([]b
 func benchClient(b *testing.B) *Client {
 	b.Helper()
 	s := NewServer(benchHandler{})
-	s.Logf = func(string, ...any) {}
+	s.Log = nil
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"blastfunction/internal/logx"
 	"blastfunction/internal/wire"
 )
 
@@ -115,7 +116,7 @@ func (h *flakyHandler) HandleRequest(c *Conn, method wire.Method, body []byte) (
 func TestCallRetryRecoversFromDeadline(t *testing.T) {
 	h := &flakyHandler{slow: 80 * time.Millisecond}
 	s := NewServer(h)
-	s.Logf = t.Logf
+	s.Log = logx.NewLogf("rpc", t.Logf)
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -182,7 +183,7 @@ func TestBackoffDeterministic(t *testing.T) {
 func TestServerWrapConnInjectsFaults(t *testing.T) {
 	h := &echoHandler{}
 	s := NewServer(h)
-	s.Logf = t.Logf
+	s.Log = logx.NewLogf("rpc", t.Logf)
 	var mu sync.Mutex
 	var faulty []*FaultConn
 	s.WrapConn = func(raw net.Conn) net.Conn {

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"blastfunction/internal/logx"
 	"blastfunction/internal/ocl"
 	"blastfunction/internal/wire"
 )
@@ -51,7 +52,7 @@ func startServer(t *testing.T) (*Server, *echoHandler, string) {
 	t.Helper()
 	h := &echoHandler{}
 	s := NewServer(h)
-	s.Logf = t.Logf
+	s.Log = logx.NewLogf("rpc", t.Logf)
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -249,7 +250,7 @@ func TestSessionState(t *testing.T) {
 	var got any
 	h := &sessionHandler{check: func(v any) { got = v }}
 	s := NewServer(h)
-	s.Logf = func(string, ...any) {}
+	s.Log = nil // silence expected transport errors
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -286,7 +287,7 @@ func TestNotificationBurstDelivery(t *testing.T) {
 	const burst = 5000
 	h := &burstHandler{n: burst}
 	s := NewServer(h)
-	s.Logf = t.Logf
+	s.Log = logx.NewLogf("rpc", t.Logf)
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -341,7 +342,7 @@ func TestNotifyDuringCloseDoesNotPanic(t *testing.T) {
 	const rounds = 50
 	h := &burstHandler{n: 100000}
 	s := NewServer(h)
-	s.Logf = func(string, ...any) {}
+	s.Log = nil // silence expected transport errors
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

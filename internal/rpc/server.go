@@ -4,10 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"sync"
 
+	"blastfunction/internal/logx"
 	"blastfunction/internal/ocl"
 	"blastfunction/internal/wire"
 )
@@ -128,8 +128,9 @@ func (c *Conn) Close() error {
 // Server accepts connections and dispatches requests to a Handler.
 type Server struct {
 	handler Handler
-	// Logf logs transport-level failures; defaults to log.Printf.
-	Logf func(format string, args ...any)
+	// Log receives transport-level failures as structured events;
+	// defaults to logx.Default("rpc"). Set before Serve/Listen.
+	Log *logx.Logger
 	// WrapConn, when set, wraps every accepted connection before it is
 	// served. Chaos tests install a FaultConn here to inject transport
 	// failures on the manager side. Set before Serve/Listen.
@@ -143,7 +144,7 @@ type Server struct {
 
 // NewServer creates a server for the handler.
 func NewServer(h Handler) *Server {
-	return &Server{handler: h, Logf: log.Printf, conns: make(map[*Conn]struct{})}
+	return &Server{handler: h, Log: logx.Default("rpc"), conns: make(map[*Conn]struct{})}
 }
 
 // Serve accepts connections on ln until Close. It always returns a non-nil
@@ -188,7 +189,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	}
 	go func() {
 		if err := s.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
-			s.Logf("rpc server: %v", err)
+			s.Log.Error("rpc server: serve failed", "err", err)
 		}
 	}()
 	return ln.Addr().String(), nil
@@ -230,12 +231,12 @@ func (s *Server) serveConn(c *Conn) {
 		}
 		if typ != frameRequest {
 			wire.PutBuf(payload)
-			s.Logf("rpc server: unexpected frame type %d from %s", typ, c.RemoteAddr())
+			s.Log.Warn("rpc server: unexpected frame type", "type", int(typ), "peer", c.RemoteAddr().String())
 			return
 		}
 		if len(payload) < 10 {
 			wire.PutBuf(payload)
-			s.Logf("rpc server: short request from %s", c.RemoteAddr())
+			s.Log.Warn("rpc server: short request", "peer", c.RemoteAddr().String())
 			return
 		}
 		reqID := binary.LittleEndian.Uint64(payload[:8])

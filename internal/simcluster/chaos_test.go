@@ -17,6 +17,7 @@ import (
 
 	"blastfunction/internal/accel"
 	"blastfunction/internal/fpga"
+	"blastfunction/internal/logx"
 	"blastfunction/internal/manager"
 	"blastfunction/internal/model"
 	"blastfunction/internal/ocl"
@@ -41,7 +42,7 @@ func newChaosRig(t *testing.T, cfg manager.Config) *chaosRig {
 	}
 	mgr := manager.New(cfg, board)
 	srv := rpc.NewServer(mgr)
-	srv.Logf = t.Logf
+	srv.Log = logx.NewLogf("rpc", t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
