@@ -1,7 +1,7 @@
 # BlastFunction reproduction build targets.
 GO ?= go
 
-.PHONY: all build test vet race bench trace-overhead log-overhead check experiments examples sched-ablation clean
+.PHONY: all build test vet race bench bench-dataplane trace-overhead log-overhead check experiments examples sched-ablation clean
 
 all: build test
 
@@ -20,9 +20,11 @@ vet:
 # queue, obs records spans from every hot-path goroutine at once, logx
 # rings are written from every component concurrently, and the alert
 # engine evaluates while scrape goroutines append; always run them under
-# the race detector.
+# the race detector. datacache is the shared buffer/memo cache hit from
+# every session's RPC goroutine, and fpga carries the board counters and
+# device-to-device copy path those caches drive.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/... ./internal/obs/... ./internal/logx/... ./internal/alert/...
+	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/... ./internal/obs/... ./internal/logx/... ./internal/alert/... ./internal/datacache/... ./internal/fpga/...
 
 # Run the scheduling fairness experiment: the two-tenant skew workload on
 # the real Device Manager under fifo vs drr, checked against the
@@ -33,6 +35,13 @@ sched-ablation:
 
 bench: trace-overhead log-overhead
 	$(GO) test -bench=. -benchmem ./...
+
+# Record the data-plane reuse trajectory into BENCH_dataplane.json:
+# bytes-moved/op and us/op for the repeated-input (CNN weights) and
+# chained-pipeline workloads, content cache on vs off, next to the
+# transport round-trip baselines.
+bench-dataplane:
+	BF_BENCH_DATAPLANE=1 $(GO) test -run TestBenchDataplaneArtifact -count=1 -v .
 
 # Measure the distributed-tracing tax on the hot RPC path: the 4K gRPC
 # round trip with tracing off, sampling 1% and sampling 100%, next to the

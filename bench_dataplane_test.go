@@ -1,0 +1,385 @@
+package blastfunction
+
+// Data-plane reuse trajectory: bytes-moved/op and us/op for the
+// repeated-input (CNN weights) and chained-pipeline workloads, cache on
+// vs off, next to the transport round-trip baselines. `make
+// bench-dataplane` runs this and writes BENCH_dataplane.json at the repo
+// root so the numbers accumulate across revisions.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"blastfunction/internal/accel"
+	"blastfunction/internal/ocl"
+	"blastfunction/internal/remote"
+)
+
+// dataplaneSample is one measured workload variant.
+type dataplaneSample struct {
+	BytesMovedPerOp int64   `json:"bytes_moved_per_op"`
+	UsPerOp         float64 `json:"us_per_op"`
+	Invocations     int     `json:"invocations"`
+}
+
+// dataplaneReport is the BENCH_dataplane.json schema.
+type dataplaneReport struct {
+	GeneratedBy string `json:"generated_by"`
+
+	RepeatedInput struct {
+		PayloadBytes      int64           `json:"payload_bytes"`
+		CacheOff          dataplaneSample `json:"cache_off"`
+		CacheOn           dataplaneSample `json:"cache_on"`
+		FirstUploadBytes  int64           `json:"cache_on_first_upload_bytes"`
+		BytesReductionPct float64         `json:"bytes_reduction_pct"`
+		CacheHits         uint64          `json:"cache_hits"`
+		CacheMisses       uint64          `json:"cache_misses"`
+	} `json:"repeated_input_weights"`
+
+	ChainedPipeline struct {
+		PayloadBytes            int64           `json:"payload_bytes"`
+		Stages                  int             `json:"stages"`
+		ClientHop               dataplaneSample `json:"client_hop"`
+		DeviceCopy              dataplaneSample `json:"device_copy"`
+		IntermediateClientBytes int64           `json:"device_copy_intermediate_client_bytes"`
+		DeviceCopyOps           int64           `json:"device_copy_ops"`
+	} `json:"chained_pipeline"`
+
+	TransportBaselines map[string]dataplaneSample `json:"transport_baselines"`
+}
+
+// dialNode connects a client to the testbed node with the content cache
+// on or off.
+func dialNode(t *testing.T, tb *Testbed, name string, disableCache bool) *remote.Client {
+	t.Helper()
+	c, err := remote.Dial(remote.Config{
+		ClientName:          name,
+		Managers:            []string{tb.Nodes[0].Addr},
+		Transport:           remote.TransportGRPC,
+		DisableContentCache: disableCache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func openQueue(t *testing.T, c ocl.Client) (ocl.Context, ocl.Device, ocl.CommandQueue) {
+	t.Helper()
+	ps, err := c.Platforms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs, err := ps[0].Devices(ocl.DeviceTypeAccelerator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := c.CreateContext(devs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ctx.CreateCommandQueue(devs[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, devs[0], q
+}
+
+func buildKernel(t *testing.T, ctx ocl.Context, dev ocl.Device, binary []byte, name string) ocl.Kernel {
+	t.Helper()
+	prog, err := ctx.CreateProgramWithBinary(dev, binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// cnnWeights builds a deterministic model-weights payload.
+func cnnWeights(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*2654435761 + 0x9e)
+	}
+	return p
+}
+
+// repeatedInputWorkload runs invocations of a CNN-style inference: create
+// the (identical) weights buffer, run the kernel against a fresh output,
+// read the result, release. Returns bytes moved client->board per steady
+// invocation (2nd and later) and us per invocation.
+func repeatedInputWorkload(t *testing.T, tb *Testbed, k ocl.Kernel, ctx ocl.Context, q ocl.CommandQueue, payload []byte, invocations int) (sample dataplaneSample, firstBytes int64) {
+	t.Helper()
+	board := tb.Nodes[0].Board
+	size := len(payload)
+	var steadyBytes int64
+	start := time.Now()
+	for i := 0; i < invocations; i++ {
+		before := board.Stats().BytesIn
+		in, err := ctx.CreateBuffer(ocl.MemReadOnly, size, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ctx.CreateBuffer(ocl.MemWriteOnly, size, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.SetArg(0, in)
+		k.SetArg(1, out)
+		k.SetArg(2, int32(size))
+		if _, err := q.EnqueueTask(k, nil); err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]byte, size)
+		if _, err := q.EnqueueReadBuffer(out, true, 0, dst, nil); err != nil {
+			t.Fatal(err)
+		}
+		in.Release()
+		out.Release()
+		moved := board.Stats().BytesIn - before
+		if i == 0 {
+			firstBytes = moved
+		} else {
+			steadyBytes += moved
+		}
+	}
+	elapsed := time.Since(start)
+	sample = dataplaneSample{
+		BytesMovedPerOp: steadyBytes / int64(invocations-1),
+		UsPerOp:         float64(elapsed.Microseconds()) / float64(invocations),
+		Invocations:     invocations,
+	}
+	return sample, firstBytes
+}
+
+// chainedPipelineWorkload runs a two-stage kernel pipeline with the
+// intermediate moved either through the client (read + rewrite) or by a
+// device-to-device copy. Returns the client bytes moved for the
+// intermediate hop and us per pipeline run.
+func chainedPipelineWorkload(t *testing.T, tb *Testbed, k ocl.Kernel, ctx ocl.Context, q ocl.CommandQueue, payload []byte, runs int, deviceCopy bool) (dataplaneSample, int64) {
+	t.Helper()
+	board := tb.Nodes[0].Board
+	size := len(payload)
+	in, _ := ctx.CreateBuffer(ocl.MemReadWrite, size, nil)
+	mid, _ := ctx.CreateBuffer(ocl.MemReadWrite, size, nil)
+	mid2, _ := ctx.CreateBuffer(ocl.MemReadWrite, size, nil)
+	out, _ := ctx.CreateBuffer(ocl.MemWriteOnly, size, nil)
+	defer in.Release()
+	defer mid.Release()
+	defer mid2.Release()
+	defer out.Release()
+
+	var interBytes int64
+	dst := make([]byte, size)
+	hop := make([]byte, size)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		beforeIn, beforeOut := board.Stats().BytesIn, board.Stats().BytesOut
+		if _, err := q.EnqueueWriteBuffer(in, false, 0, payload, nil); err != nil {
+			t.Fatal(err)
+		}
+		k.SetArg(0, in)
+		k.SetArg(1, mid)
+		k.SetArg(2, int32(size))
+		if _, err := q.EnqueueTask(k, nil); err != nil {
+			t.Fatal(err)
+		}
+		if deviceCopy {
+			if _, err := q.EnqueueCopyBuffer(mid, mid2, 0, 0, size, nil); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := q.EnqueueReadBuffer(mid, true, 0, hop, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := q.EnqueueWriteBuffer(mid2, false, 0, hop, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.SetArg(0, mid2)
+		k.SetArg(1, out)
+		k.SetArg(2, int32(size))
+		if _, err := q.EnqueueTask(k, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.EnqueueReadBuffer(out, false, 0, dst, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		st := board.Stats()
+		// Subtract the pipeline's own input write and output read; what
+		// remains crossing the client boundary is the intermediate hop.
+		interBytes += (st.BytesIn - beforeIn - int64(size)) + (st.BytesOut - beforeOut - int64(size))
+	}
+	elapsed := time.Since(start)
+	return dataplaneSample{
+		BytesMovedPerOp: interBytes / int64(runs),
+		UsPerOp:         float64(elapsed.Microseconds()) / float64(runs),
+		Invocations:     runs,
+	}, interBytes / int64(runs)
+}
+
+// transportBaseline is the PR-1 style write -> kernel -> read round trip,
+// measured with a plain loop so it lands in the same artifact.
+func transportBaseline(t *testing.T, tb *Testbed, mode remote.TransportMode, size, runs int) dataplaneSample {
+	t.Helper()
+	c, err := remote.Dial(remote.Config{
+		ClientName: "dp-baseline",
+		Managers:   []string{tb.Nodes[0].Addr},
+		Transport:  mode,
+		ShmDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, dev, q := openQueue(t, c)
+	k := buildKernel(t, ctx, dev, accel.LoopbackBitstream().Binary(), "copy")
+	in, _ := ctx.CreateBuffer(ocl.MemReadOnly, size, nil)
+	out, _ := ctx.CreateBuffer(ocl.MemWriteOnly, size, nil)
+	k.SetArg(0, in)
+	k.SetArg(1, out)
+	k.SetArg(2, int32(size))
+	payload := cnnWeights(size)
+	dst := make([]byte, size)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		if _, err := q.EnqueueWriteBuffer(in, false, 0, payload, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.EnqueueTask(k, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.EnqueueReadBuffer(out, false, 0, dst, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	return dataplaneSample{
+		BytesMovedPerOp: int64(2 * size),
+		UsPerOp:         float64(elapsed.Microseconds()) / float64(runs),
+		Invocations:     runs,
+	}
+}
+
+// TestBenchDataplaneArtifact measures the reuse layer and writes
+// BENCH_dataplane.json. Gated behind BF_BENCH_DATAPLANE so `go test ./...`
+// stays fast; `make bench-dataplane` sets the variable.
+func TestBenchDataplaneArtifact(t *testing.T) {
+	if os.Getenv("BF_BENCH_DATAPLANE") == "" {
+		t.Skip("set BF_BENCH_DATAPLANE=1 (or run `make bench-dataplane`) to record the artifact")
+	}
+	var rep dataplaneReport
+	rep.GeneratedBy = "make bench-dataplane"
+
+	const weightBytes = 4 << 20 // AlexNet-scale conv layer weights
+	const invocations = 10
+	payload := cnnWeights(weightBytes)
+
+	// Repeated-input workload, cache off: every invocation re-uploads the
+	// weights.
+	{
+		tb, err := NewTestbed(NodeConfig{Name: "dp-off"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := dialNode(t, tb, "dp-off", true)
+		ctx, dev, q := openQueue(t, c)
+		k := buildKernel(t, ctx, dev, accel.LoopbackBitstream().Binary(), "copy")
+		sample, _ := repeatedInputWorkload(t, tb, k, ctx, q, payload, invocations)
+		rep.RepeatedInput.CacheOff = sample
+		tb.Close()
+	}
+	// Cache on: the first invocation uploads, steady state is
+	// metadata-only.
+	{
+		tb, err := NewTestbed(NodeConfig{Name: "dp-on"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := dialNode(t, tb, "dp-on", false)
+		ctx, dev, q := openQueue(t, c)
+		k := buildKernel(t, ctx, dev, accel.LoopbackBitstream().Binary(), "copy")
+		sample, first := repeatedInputWorkload(t, tb, k, ctx, q, payload, invocations)
+		rep.RepeatedInput.PayloadBytes = weightBytes
+		rep.RepeatedInput.CacheOn = sample
+		rep.RepeatedInput.FirstUploadBytes = first
+		st := tb.Nodes[0].Manager.CacheStats().BufferCache
+		rep.RepeatedInput.CacheHits = st.Hits
+		rep.RepeatedInput.CacheMisses = st.Misses
+		tb.Close()
+	}
+	off, on := rep.RepeatedInput.CacheOff.BytesMovedPerOp, rep.RepeatedInput.CacheOn.BytesMovedPerOp
+	rep.RepeatedInput.BytesReductionPct = 100 * float64(off-on) / float64(off)
+	if rep.RepeatedInput.BytesReductionPct < 90 {
+		t.Errorf("repeated-input bytes reduction = %.1f%%, want >= 90%%",
+			rep.RepeatedInput.BytesReductionPct)
+	}
+
+	// Chained pipeline: intermediate through the client vs on-device copy.
+	const chainBytes = 1 << 20
+	const chainRuns = 10
+	chainPayload := cnnWeights(chainBytes)
+	{
+		tb, err := NewTestbed(NodeConfig{Name: "dp-chain"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := dialNode(t, tb, "dp-chain", true)
+		ctx, dev, q := openQueue(t, c)
+		k := buildKernel(t, ctx, dev, accel.LoopbackBitstream().Binary(), "copy")
+		hop, _ := chainedPipelineWorkload(t, tb, k, ctx, q, chainPayload, chainRuns, false)
+		dev2, inter := chainedPipelineWorkload(t, tb, k, ctx, q, chainPayload, chainRuns, true)
+		rep.ChainedPipeline.PayloadBytes = chainBytes
+		rep.ChainedPipeline.Stages = 2
+		rep.ChainedPipeline.ClientHop = hop
+		rep.ChainedPipeline.DeviceCopy = dev2
+		rep.ChainedPipeline.IntermediateClientBytes = inter
+		rep.ChainedPipeline.DeviceCopyOps = tb.Nodes[0].Board.Stats().CopyOps
+		tb.Close()
+	}
+	if rep.ChainedPipeline.IntermediateClientBytes != 0 {
+		t.Errorf("device-copy pipeline moved %d intermediate bytes through the client, want 0",
+			rep.ChainedPipeline.IntermediateClientBytes)
+	}
+	if rep.ChainedPipeline.DeviceCopyOps == 0 {
+		t.Error("device-copy pipeline recorded no on-device copies")
+	}
+
+	// Transport baselines for context (the PR-1 trajectory).
+	rep.TransportBaselines = map[string]dataplaneSample{}
+	{
+		tb, err := NewTestbed(NodeConfig{Name: "dp-base"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.TransportBaselines["grpc_roundtrip_4k"] = transportBaseline(t, tb, remote.TransportGRPC, 4<<10, 50)
+		rep.TransportBaselines["grpc_roundtrip_1m"] = transportBaseline(t, tb, remote.TransportGRPC, 1<<20, 20)
+		rep.TransportBaselines["shm_roundtrip_1m"] = transportBaseline(t, tb, remote.TransportShm, 1<<20, 20)
+		tb.Close()
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile("BENCH_dataplane.json", out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_dataplane.json:\n%s", out)
+}

@@ -37,6 +37,9 @@ type NodeConfig struct {
 	// Log, when non-nil, receives the node's Device Manager structured
 	// events (nil keeps the manager silent at zero cost).
 	Log *logx.Logger
+	// Memoize enables kernel-result memoization on the node's Device
+	// Manager (the content-addressed buffer cache is on regardless).
+	Memoize bool
 }
 
 // Node is one running node of a Testbed: a simulated DE5a-Net board, its
@@ -74,9 +77,10 @@ func NewTestbed(nodes ...NodeConfig) (*Testbed, error) {
 		cfg.TimeScale = nc.TimeScale
 		board := fpga.NewBoard(cfg, accel.Catalog())
 		mgr := manager.New(manager.Config{
-			Node:     nc.Name,
-			DeviceID: "fpga-" + nc.Name,
-			Log:      nc.Log,
+			Node:           nc.Name,
+			DeviceID:       "fpga-" + nc.Name,
+			Log:            nc.Log,
+			MemoizeKernels: nc.Memoize,
 		}, board)
 		srv := rpc.NewServer(mgr)
 		addr, err := srv.Listen("127.0.0.1:0")

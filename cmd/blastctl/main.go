@@ -294,7 +294,59 @@ func topFrame(deviceBases, alertBases []string, managerBase string) string {
 		}
 		w.Flush()
 	}
+
+	var cache struct {
+		BufferCache struct {
+			Entries       int    `json:"entries"`
+			ResidentBytes int64  `json:"resident_bytes"`
+			Hits          uint64 `json:"hits"`
+			Misses        uint64 `json:"misses"`
+			BytesSaved    int64  `json:"bytes_saved"`
+			Evictions     uint64 `json:"evictions"`
+		} `json:"buffer_cache"`
+		MemoEnabled bool `json:"memo_enabled"`
+		MemoCache   struct {
+			Entries       int    `json:"entries"`
+			ResidentBytes int64  `json:"resident_bytes"`
+			Hits          uint64 `json:"hits"`
+			Misses        uint64 `json:"misses"`
+			Invalidations uint64 `json:"invalidations"`
+		} `json:"memo_cache"`
+		CopyOps   int64 `json:"copy_ops"`
+		CopyBytes int64 `json:"copy_bytes"`
+	}
+	b.WriteByte('\n')
+	if err := fetch(strings.TrimSuffix(managerBase, "/")+"/debug/cache", &cache); err != nil {
+		fmt.Fprintf(&b, "data-plane reuse: unreachable\n")
+	} else {
+		bc := cache.BufferCache
+		fmt.Fprintf(&b, "data-plane reuse: buffer cache %d entries / %s resident, %d hits / %d misses, %s upload saved, %d evicted\n",
+			bc.Entries, fmtBytes(bc.ResidentBytes), bc.Hits, bc.Misses, fmtBytes(bc.BytesSaved), bc.Evictions)
+		if cache.MemoEnabled {
+			mc := cache.MemoCache
+			fmt.Fprintf(&b, "  kernel memo: %d entries / %s resident, %d hits / %d misses, %d invalidated\n",
+				mc.Entries, fmtBytes(mc.ResidentBytes), mc.Hits, mc.Misses, mc.Invalidations)
+		} else {
+			b.WriteString("  kernel memo: disabled\n")
+		}
+		fmt.Fprintf(&b, "  device copies: %d ops / %s chained without a client hop\n",
+			cache.CopyOps, fmtBytes(cache.CopyBytes))
+	}
 	return b.String()
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // utilBar renders a fraction as a fixed-width block bar.

@@ -47,6 +47,9 @@ func main() {
 		traceRing = flag.Int("trace-ring", 0, "distributed-tracing span ring size served at /debug/spans (0 = default 4096)")
 		logLevel  = flag.String("log-level", "info", "minimum level mirrored to stderr (debug|info|warn|error)")
 		logRing   = flag.Int("log-ring", 4096, "events kept in the /debug/logs ring")
+		bufCache  = flag.Int64("buffer-cache-bytes", 0, "content-addressed buffer cache capacity (0 = default 256 MiB, negative disables)")
+		memoize   = flag.Bool("memoize", false, "memoize idempotent kernel results keyed by bitstream/kernel/argument content")
+		memoCache = flag.Int64("memo-cache-bytes", 0, "memoized-result cache capacity (0 = default 64 MiB)")
 	)
 	flag.Parse()
 
@@ -77,14 +80,17 @@ func main() {
 	cfg.TimeScale = *timescale
 	board := fpga.NewBoard(cfg, accel.Catalog())
 	mgr := manager.New(manager.Config{
-		Node:            *node,
-		DeviceID:        *device,
-		LeaseDuration:   *lease,
-		Scheduler:       *schedFlag,
-		TenantWeights:   weightTable,
-		StarvationGuard: *guard,
-		TraceRing:       *traceRing,
-		Log:             rootLog,
+		Node:             *node,
+		DeviceID:         *device,
+		LeaseDuration:    *lease,
+		Scheduler:        *schedFlag,
+		TenantWeights:    weightTable,
+		StarvationGuard:  *guard,
+		TraceRing:        *traceRing,
+		Log:              rootLog,
+		BufferCacheBytes: *bufCache,
+		MemoizeKernels:   *memoize,
+		MemoCacheBytes:   *memoCache,
 	}, board)
 	defer mgr.Close()
 
@@ -102,6 +108,7 @@ func main() {
 	mux.Handle("/debug/tasks", mgr.TraceHandler())
 	mux.Handle("/debug/spans", mgr.SpanHandler())
 	mux.Handle("/debug/sched", mgr.SchedStatsHandler())
+	mux.Handle("/debug/cache", mgr.CacheStatsHandler())
 	mux.Handle("/debug/logs", rootLog.Handler())
 	metricsSrv := &http.Server{Addr: *metricsAt, Handler: mux}
 	go func() {

@@ -99,4 +99,13 @@ func main() {
 	fmt.Printf("  kernel launches      : %d\n", st.KernelRuns)
 	fmt.Printf("  modelled AlexNet cost: %v board time per inference at paper scale\n",
 		accel.AlexNet().BoardTime().Round(time.Millisecond))
+
+	// Both tenants uploaded identical model weights; the Device Manager's
+	// content-addressed buffer cache deduplicated them, so the second
+	// tenant's creates were metadata-only RPCs.
+	bc := tb.Nodes[0].Manager.CacheStats().BufferCache
+	fmt.Printf("\nweight cache (content-addressed buffer cache):\n")
+	fmt.Printf("  resident             : %d entries, %d bytes on the board\n", bc.Entries, bc.ResidentBytes)
+	fmt.Printf("  hits / misses        : %d / %d\n", bc.Hits, bc.Misses)
+	fmt.Printf("  upload bytes saved   : %d (the second tenant's weights never crossed the wire)\n", bc.BytesSaved)
 }

@@ -1,0 +1,233 @@
+package datacache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestContentHash64(t *testing.T) {
+	a := ContentHash64([]byte("weights-v1"))
+	b := ContentHash64([]byte("weights-v2"))
+	if a == b {
+		t.Fatal("distinct payloads hashed equal")
+	}
+	if a != ContentHash64([]byte("weights-v1")) {
+		t.Fatal("hash not deterministic")
+	}
+	if ContentHash64(nil) == 0 || ContentHash64([]byte{}) == 0 {
+		t.Fatal("zero hash leaked; 0 is the no-hash wire sentinel")
+	}
+}
+
+func TestHasherPartsDoNotConcatenate(t *testing.T) {
+	h1 := NewHasher()
+	h1.String("ab")
+	h1.String("c")
+	h2 := NewHasher()
+	h2.String("a")
+	h2.String("bc")
+	if h1.Sum() == h2.Sum() {
+		t.Fatal("length prefixing failed: split points collide")
+	}
+}
+
+func TestBufferCacheHitMissRelease(t *testing.T) {
+	var freed []uint64
+	c := NewBufferCache(1<<20, func(id uint64) { freed = append(freed, id) })
+	k := BufferKey{Hash: 42, Size: 1024}
+
+	if _, ok := c.Acquire(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if id, inserted := c.Insert(k, 7); !inserted || id != 7 {
+		t.Fatalf("Insert = (%d, %v), want (7, true)", id, inserted)
+	}
+	if id, ok := c.Acquire(k); !ok || id != 7 {
+		t.Fatalf("Acquire = (%d, %v), want (7, true)", id, ok)
+	}
+	// Two holders now; release both — the entry must stay resident.
+	c.Release(k)
+	c.Release(k)
+	if id, ok := c.Acquire(k); !ok || id != 7 {
+		t.Fatal("idle entry must stay resident for reuse")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.BytesSaved != 2048 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(freed) != 0 {
+		t.Fatalf("freed %v without eviction", freed)
+	}
+}
+
+func TestBufferCacheInsertRace(t *testing.T) {
+	c := NewBufferCache(1<<20, func(uint64) {})
+	k := BufferKey{Hash: 9, Size: 64}
+	c.Insert(k, 1)
+	// A second uploader lost the race: the canonical entry wins and the
+	// caller learns to free its duplicate.
+	id, inserted := c.Insert(k, 2)
+	if inserted || id != 1 {
+		t.Fatalf("racing Insert = (%d, %v), want (1, false)", id, inserted)
+	}
+}
+
+func TestBufferCacheEvictsIdleLRUOnly(t *testing.T) {
+	var freed []uint64
+	c := NewBufferCache(256, func(id uint64) { freed = append(freed, id) })
+	kPinned := BufferKey{Hash: 1, Size: 128}
+	kIdle := BufferKey{Hash: 2, Size: 128}
+	c.Insert(kPinned, 10) // stays referenced
+	c.Insert(kIdle, 11)
+	c.Release(kIdle) // idle, LRU victim candidate
+
+	// 128 more bytes exceed the 256 cap: the idle entry must go, the
+	// pinned one must survive.
+	kNew := BufferKey{Hash: 3, Size: 128}
+	c.Insert(kNew, 12)
+	if len(freed) != 1 || freed[0] != 11 {
+		t.Fatalf("freed %v, want [11]", freed)
+	}
+	if _, ok := c.Acquire(kPinned); !ok {
+		t.Fatal("pinned entry evicted")
+	}
+	if _, ok := c.Acquire(kIdle); ok {
+		t.Fatal("evicted entry still resident")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestBufferCachePurgeSkipsPinned(t *testing.T) {
+	var freed int
+	c := NewBufferCache(1<<20, func(uint64) { freed++ })
+	kPinned := BufferKey{Hash: 1, Size: 64}
+	kIdle := BufferKey{Hash: 2, Size: 64}
+	c.Insert(kPinned, 1)
+	c.Insert(kIdle, 2)
+	c.Release(kIdle)
+	if n := c.Purge(); n != 1 || freed != 1 {
+		t.Fatalf("Purge = %d (freed %d), want 1", n, freed)
+	}
+	if _, ok := c.Acquire(kPinned); !ok {
+		t.Fatal("Purge dropped a pinned entry")
+	}
+}
+
+func TestBufferCacheConcurrent(t *testing.T) {
+	c := NewBufferCache(4096, func(uint64) {})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := BufferKey{Hash: uint64(i%16 + 1), Size: 256}
+				if _, ok := c.Acquire(k); !ok {
+					c.Insert(k, uint64(g*1000+i))
+				}
+				c.Release(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.ResidentBytes > 4096 {
+		t.Fatalf("resident %d over cap with nothing pinned", st.ResidentBytes)
+	}
+}
+
+func TestMemoLookupStoreEvict(t *testing.T) {
+	c := NewMemoCache(256)
+	if _, ok := c.Lookup(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	entry := func(owner uint64, n int) *MemoEntry {
+		return &MemoEntry{Owner: owner, Bitstream: "bs", DeviceNanos: 5, Outputs: []MemoOutput{{BoardArg: 2, Data: make([]byte, n)}}}
+	}
+	if !c.Store(1, entry(100, 128)) {
+		t.Fatal("store rejected")
+	}
+	if got, ok := c.Lookup(1); !ok || got.DeviceNanos != 5 || got.Outputs[0].BoardArg != 2 {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+	// Oversized entries are rejected, not admitted by flushing the cache.
+	if c.Store(2, entry(100, 512)) {
+		t.Fatal("oversized entry admitted")
+	}
+	// Filling past the cap evicts the LRU entry (key 1).
+	c.Store(3, entry(100, 128))
+	c.Store(4, entry(100, 128))
+	if _, ok := c.Lookup(1); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	st := c.Stats()
+	if st.Evictions == 0 || st.ResidentBytes > 256 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMemoInvalidateOwnerAndClear(t *testing.T) {
+	c := NewMemoCache(1 << 20)
+	e := func(owner uint64) *MemoEntry {
+		return &MemoEntry{Owner: owner, Outputs: []MemoOutput{{Data: []byte{1}}}}
+	}
+	c.Store(1, e(100))
+	c.Store(2, e(100))
+	c.Store(3, e(200))
+	if n := c.InvalidateOwner(100); n != 2 {
+		t.Fatalf("InvalidateOwner = %d, want 2", n)
+	}
+	if _, ok := c.Lookup(3); !ok {
+		t.Fatal("other owner's entry dropped")
+	}
+	if n := c.Clear(); n != 1 {
+		t.Fatalf("Clear = %d, want 1", n)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.ResidentBytes != 0 || st.Invalidations != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMemoConcurrent(t *testing.T) {
+	c := NewMemoCache(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := uint64(i % 32)
+				if _, ok := c.Lookup(key); !ok {
+					c.Store(key, &MemoEntry{Owner: uint64(g), Outputs: []MemoOutput{{Data: make([]byte, 64)}}})
+				}
+				if i%10 == 0 {
+					c.InvalidateOwner(uint64(g))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Clear()
+	if st := c.Stats(); st.ResidentBytes != 0 {
+		t.Fatalf("resident %d after Clear", st.ResidentBytes)
+	}
+}
+
+func BenchmarkContentHash64(b *testing.B) {
+	for _, size := range []int{4 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			buf := make([]byte, size)
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ContentHash64(buf)
+			}
+		})
+	}
+}

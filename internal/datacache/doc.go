@@ -1,0 +1,11 @@
+// Package datacache holds the data-plane reuse caches of the Device
+// Manager: a content-addressed cache of resident device buffers (repeated
+// inputs such as CNN weights upload once per board) and an opt-in
+// memoization cache of idempotent kernel results. Both are bytes-bounded
+// LRU structures with explicit invalidation hooks; the manager wires their
+// counters into /metrics and /debug/cache.
+//
+// The package is dependency-free (standard library only) so every layer —
+// wire-adjacent client code, the manager, and the simulated board — can
+// share the same content hash without import cycles.
+package datacache

@@ -1,0 +1,170 @@
+package datacache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// MemoOutput is one buffer the memoized kernel run modified: the snapshot
+// restores BoardArg's buffer on a hit. BoardArg is the kernel argument
+// index, not a buffer handle — the hit may bind different (same-content)
+// buffers than the run that populated the entry.
+type MemoOutput struct {
+	BoardArg int
+	Data     []byte
+}
+
+// MemoEntry is a memoized kernel result: the modified-buffer snapshots
+// plus the modelled device time the original run took, replayed into the
+// hit's profiling notification.
+type MemoEntry struct {
+	Owner       uint64 // session that produced it; invalidated on expiry
+	Bitstream   string
+	DeviceNanos int64
+	Outputs     []MemoOutput
+
+	bytes int64
+	elem  *list.Element
+	key   uint64
+}
+
+// MemoCache memoizes idempotent kernel results keyed by a content-
+// canonical digest of (owner, bitstream, kernel, geometry, argument
+// contents). Bounded by total snapshot bytes with LRU eviction; explicit
+// invalidation on reconfiguration (Clear) and session expiry
+// (InvalidateOwner). All methods are safe for concurrent use.
+type MemoCache struct {
+	capBytes int64
+
+	mu       sync.Mutex
+	entries  map[uint64]*MemoEntry
+	lru      *list.List
+	resident int64
+
+	hits, misses, evictions, invalidations uint64
+	bytesSaved                             int64
+}
+
+// NewMemoCache returns a memo cache bounded to capBytes of snapshots.
+func NewMemoCache(capBytes int64) *MemoCache {
+	return &MemoCache{
+		capBytes: capBytes,
+		entries:  make(map[uint64]*MemoEntry),
+		lru:      list.New(),
+	}
+}
+
+// Lookup returns the entry for key, counting a hit or miss. The returned
+// entry's snapshots are shared — callers must not mutate them.
+func (c *MemoCache) Lookup(key uint64) (*MemoEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(ent.elem)
+	c.hits++
+	c.bytesSaved += ent.bytes
+	return ent, true
+}
+
+// Store inserts a result under key, evicting LRU entries to fit. An entry
+// larger than the whole bound is rejected (returns false) rather than
+// flushing everything else for one oversized result.
+func (c *MemoCache) Store(key uint64, ent *MemoEntry) bool {
+	var size int64
+	for _, o := range ent.Outputs {
+		size += int64(len(o.Data))
+	}
+	if size > c.capBytes {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		c.removeLocked(old)
+	}
+	ent.bytes = size
+	ent.key = key
+	ent.elem = c.lru.PushFront(ent)
+	c.entries[key] = ent
+	c.resident += size
+	for c.resident > c.capBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back.Value.(*MemoEntry))
+		c.evictions++
+	}
+	return true
+}
+
+func (c *MemoCache) removeLocked(ent *MemoEntry) {
+	c.lru.Remove(ent.elem)
+	delete(c.entries, ent.key)
+	c.resident -= ent.bytes
+}
+
+// InvalidateOwner drops every entry produced by the given session. Called
+// on session expiry and disconnect: memoized results are scoped to the
+// tenant that computed them.
+func (c *MemoCache) InvalidateOwner(owner uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for e := c.lru.Front(); e != nil; {
+		next := e.Next()
+		if ent := e.Value.(*MemoEntry); ent.Owner == owner {
+			c.removeLocked(ent)
+			n++
+		}
+		e = next
+	}
+	c.invalidations += uint64(n)
+	return n
+}
+
+// Clear drops every entry. Called on board reconfiguration: the key
+// already pins the bitstream, but reconfiguration is the explicit
+// invalidation barrier the semantics promise.
+func (c *MemoCache) Clear() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = make(map[uint64]*MemoEntry)
+	c.lru.Init()
+	c.resident = 0
+	c.invalidations += uint64(n)
+	return n
+}
+
+// MemoStats is a point-in-time snapshot of the memo cache counters.
+type MemoStats struct {
+	Entries       int    `json:"entries"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	CapBytes      int64  `json:"cap_bytes"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+	BytesSaved    int64  `json:"bytes_saved"`
+}
+
+// Stats snapshots the cache.
+func (c *MemoCache) Stats() MemoStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return MemoStats{
+		Entries:       len(c.entries),
+		ResidentBytes: c.resident,
+		CapBytes:      c.capBytes,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		BytesSaved:    c.bytesSaved,
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blastfunction/internal/datacache"
 	"blastfunction/internal/model"
 	"blastfunction/internal/ocl"
 )
@@ -58,6 +59,8 @@ type Board struct {
 	kernelRuns  atomic.Int64
 	reconfigs   atomic.Int64
 	transferOps atomic.Int64
+	copyOps     atomic.Int64
+	copyBytes   atomic.Int64
 }
 
 // NewBoard creates a board resolving binaries against catalog.
@@ -217,6 +220,94 @@ func (b *Board) Read(id uint64, offset int64, dst []byte) (time.Duration, error)
 	return d, nil
 }
 
+// Copy moves n bytes from buffer src at srcOff to buffer dst at dstOff
+// on the board (DDR to DDR, never crossing the host link) and returns the
+// modelled copy time. It is the execution primitive of zero-copy task
+// chaining: the intermediate of a multi-stage pipeline moves at DDR
+// bandwidth instead of round-tripping through the client. src == dst is
+// allowed for non-overlapping ranges.
+func (b *Board) Copy(src, dst uint64, srcOff, dstOff, n int64) (time.Duration, error) {
+	if n < 0 {
+		return 0, ocl.Errf(ocl.ErrInvalidValue, "copy: negative length %d", n)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sbuf, ok := b.buffers[src]
+	if !ok {
+		return 0, ocl.Errf(ocl.ErrInvalidMemObject, "copy: src buffer %d", src)
+	}
+	dbuf, ok := b.buffers[dst]
+	if !ok {
+		return 0, ocl.Errf(ocl.ErrInvalidMemObject, "copy: dst buffer %d", dst)
+	}
+	if srcOff < 0 || srcOff+n > int64(len(sbuf)) {
+		return 0, ocl.Errf(ocl.ErrInvalidValue,
+			"copy src out of range: off=%d len=%d buf=%d", srcOff, n, len(sbuf))
+	}
+	if dstOff < 0 || dstOff+n > int64(len(dbuf)) {
+		return 0, ocl.Errf(ocl.ErrInvalidValue,
+			"copy dst out of range: off=%d len=%d buf=%d", dstOff, n, len(dbuf))
+	}
+	if src == dst && srcOff < dstOff+n && dstOff < srcOff+n {
+		return 0, ocl.Errf(ocl.ErrInvalidValue,
+			"copy ranges overlap: src=[%d,%d) dst=[%d,%d)", srcOff, srcOff+n, dstOff, dstOff+n)
+	}
+	copy(dbuf[dstOff:dstOff+n], sbuf[srcOff:srcOff+n])
+	d := b.cfg.Cost.DDRCopy(n)
+	b.copyOps.Add(1)
+	b.copyBytes.Add(n)
+	b.occupy(d)
+	return d, nil
+}
+
+// ContentHash returns the content digest of buffer id. Host-side
+// bookkeeping for the memoization cache — it models no device time (the
+// real system would track content identity on the host as buffers are
+// written, not re-scan DDR).
+func (b *Board) ContentHash(id uint64) (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	buf, ok := b.buffers[id]
+	if !ok {
+		return 0, ocl.Errf(ocl.ErrInvalidMemObject, "hash: buffer %d", id)
+	}
+	return datacache.ContentHash64(buf), nil
+}
+
+// SnapshotBuffer returns a copy of buffer id's contents. Host-side
+// bookkeeping for the memoization cache (no device time modelled).
+func (b *Board) SnapshotBuffer(id uint64) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	buf, ok := b.buffers[id]
+	if !ok {
+		return nil, ocl.Errf(ocl.ErrInvalidMemObject, "snapshot: buffer %d", id)
+	}
+	return append([]byte(nil), buf...), nil
+}
+
+// RestoreBuffer overwrites buffer id with a memoized snapshot, modelled as
+// an on-device DDR move (the snapshot conceptually lives in spare board
+// memory; the paper's boards have 8 GB). Returns the modelled time.
+func (b *Board) RestoreBuffer(id uint64, data []byte) (time.Duration, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	buf, ok := b.buffers[id]
+	if !ok {
+		return 0, ocl.Errf(ocl.ErrInvalidMemObject, "restore: buffer %d", id)
+	}
+	if len(data) > len(buf) {
+		return 0, ocl.Errf(ocl.ErrInvalidValue,
+			"restore out of range: snapshot=%d buf=%d", len(data), len(buf))
+	}
+	copy(buf, data)
+	d := b.cfg.Cost.DDRCopy(int64(len(data)))
+	b.copyOps.Add(1)
+	b.copyBytes.Add(int64(len(data)))
+	b.occupy(d)
+	return d, nil
+}
+
 // boardMem adapts the board's buffer table to MemAccess for kernel runs.
 // It is only valid while the board mutex is held.
 type boardMem struct{ b *Board }
@@ -282,6 +373,8 @@ type Stats struct {
 	KernelRuns  int64
 	Reconfigs   int64
 	TransferOps int64
+	CopyOps     int64
+	CopyBytes   int64
 	Allocated   int64
 }
 
@@ -294,6 +387,8 @@ func (b *Board) Stats() Stats {
 		KernelRuns:  b.kernelRuns.Load(),
 		Reconfigs:   b.reconfigs.Load(),
 		TransferOps: b.transferOps.Load(),
+		CopyOps:     b.copyOps.Load(),
+		CopyBytes:   b.copyBytes.Load(),
 		Allocated:   b.Allocated(),
 	}
 }

@@ -166,6 +166,98 @@ func TestBoardTransferBounds(t *testing.T) {
 	}
 }
 
+func TestBoardCopyMovesDataOnDevice(t *testing.T) {
+	b := testBoard(t)
+	src, _ := b.Alloc(64)
+	dst, _ := b.Alloc(64)
+	data := []byte("intermediate result")
+	b.Write(src, 4, data)
+	d, err := b.Copy(src, dst, 4, 16, int64(len(data)))
+	if err != nil {
+		t.Fatalf("Copy: %v", err)
+	}
+	if d <= 0 {
+		t.Fatal("copy must cost modelled DDR time")
+	}
+	got := make([]byte, len(data))
+	b.Read(dst, 16, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("copied bytes = %q, want %q", got, data)
+	}
+	st := b.Stats()
+	if st.CopyOps != 1 || st.CopyBytes != int64(len(data)) {
+		t.Fatalf("copy counters = %d ops / %d bytes", st.CopyOps, st.CopyBytes)
+	}
+	// Same-buffer copies are fine while the ranges are disjoint.
+	if _, err := b.Copy(src, src, 0, 32, 16); err != nil {
+		t.Fatalf("disjoint same-buffer copy: %v", err)
+	}
+}
+
+func TestBoardCopyValidation(t *testing.T) {
+	b := testBoard(t)
+	src, _ := b.Alloc(32)
+	dst, _ := b.Alloc(16)
+	if _, err := b.Copy(999, dst, 0, 0, 8); !errors.Is(err, ocl.ErrInvalidMemObject) {
+		t.Fatalf("unknown src err = %v", err)
+	}
+	if _, err := b.Copy(src, 999, 0, 0, 8); !errors.Is(err, ocl.ErrInvalidMemObject) {
+		t.Fatalf("unknown dst err = %v", err)
+	}
+	if _, err := b.Copy(src, dst, 0, 0, -1); !errors.Is(err, ocl.ErrInvalidValue) {
+		t.Fatalf("negative length err = %v", err)
+	}
+	if _, err := b.Copy(src, dst, 28, 0, 8); !errors.Is(err, ocl.ErrInvalidValue) {
+		t.Fatalf("src overflow err = %v", err)
+	}
+	if _, err := b.Copy(src, dst, 0, 12, 8); !errors.Is(err, ocl.ErrInvalidValue) {
+		t.Fatalf("dst overflow err = %v", err)
+	}
+	if _, err := b.Copy(src, src, 0, 4, 8); !errors.Is(err, ocl.ErrInvalidValue) {
+		t.Fatalf("overlapping same-buffer copy err = %v", err)
+	}
+}
+
+func TestBoardSnapshotRestoreHash(t *testing.T) {
+	b := testBoard(t)
+	id, _ := b.Alloc(32)
+	b.Write(id, 0, []byte("snapshot me"))
+	h1, err := b.ContentHash(id)
+	if err != nil || h1 == 0 {
+		t.Fatalf("ContentHash: %#x, %v", h1, err)
+	}
+	snap, err := b.SnapshotBuffer(id)
+	if err != nil {
+		t.Fatalf("SnapshotBuffer: %v", err)
+	}
+	b.Write(id, 0, []byte("overwritten"))
+	if h2, _ := b.ContentHash(id); h2 == h1 {
+		t.Fatal("hash must change when content changes")
+	}
+	d, err := b.RestoreBuffer(id, snap)
+	if err != nil {
+		t.Fatalf("RestoreBuffer: %v", err)
+	}
+	if d <= 0 {
+		t.Fatal("restore must cost modelled DDR time")
+	}
+	if h3, _ := b.ContentHash(id); h3 != h1 {
+		t.Fatal("hash must return to the snapshotted value after restore")
+	}
+	if _, err := b.RestoreBuffer(id, make([]byte, 64)); !errors.Is(err, ocl.ErrInvalidValue) {
+		t.Fatalf("oversized restore err = %v", err)
+	}
+	if _, err := b.ContentHash(999); !errors.Is(err, ocl.ErrInvalidMemObject) {
+		t.Fatalf("unknown buffer hash err = %v", err)
+	}
+	if _, err := b.SnapshotBuffer(999); !errors.Is(err, ocl.ErrInvalidMemObject) {
+		t.Fatalf("unknown buffer snapshot err = %v", err)
+	}
+	if _, err := b.RestoreBuffer(999, snap); !errors.Is(err, ocl.ErrInvalidMemObject) {
+		t.Fatalf("unknown buffer restore err = %v", err)
+	}
+}
+
 func TestBoardRunKernel(t *testing.T) {
 	b := testBoard(t)
 	configure(t, b)

@@ -1,0 +1,241 @@
+package manager
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"blastfunction/internal/datacache"
+	"blastfunction/internal/ocl"
+	"blastfunction/internal/wire"
+)
+
+// This file is the manager side of the data-plane reuse layer: the
+// content-addressed device buffer cache behind CreateBuffer, the kernel
+// memoization hook of the worker, and the /debug/cache stats view.
+
+// createCachedBuffer serves a CreateBuffer carrying a content hash
+// (proto >= wire.ProtoVersionReuse). Protocol:
+//
+//   - probe (hash, no payload): a resident entry with the same (hash,
+//     size) yields a shared handle — the metadata-only RPC that makes
+//     repeated inputs upload once per board. A miss answers ID 0 (session
+//     handles start at 1) and the client re-sends with the payload.
+//   - upload (hash + payload): the manager re-hashes the payload before
+//     inserting, so a client cannot poison the shared cache with a false
+//     hash claim and read another tenant's bytes back through it.
+//
+// Only full-size MemReadOnly payloads are cacheable: contents must be
+// completely determined by (hash, size), and no one may write the shared
+// bytes afterwards.
+func (s *session) createCachedBuffer(m *Manager, req *wire.CreateBufferRequest) ([]byte, error) {
+	if ocl.MemFlags(req.Flags) != ocl.MemReadOnly {
+		return nil, ocl.Errf(ocl.ErrInvalidValue,
+			"content hash on non-read-only buffer (flags %#x)", req.Flags)
+	}
+	key := datacache.BufferKey{Hash: req.ContentHash, Size: req.Size}
+	if boardID, ok := m.bufcache.Acquire(key); ok {
+		m.mBufHits.Inc()
+		m.mBufSaved.Add(float64(req.Size))
+		id := s.insertBuffer(bufferInfo{
+			boardID: boardID, size: req.Size, flags: ocl.MemFlags(req.Flags),
+			hash: req.ContentHash, shared: true,
+		})
+		m.syncCacheGauges()
+		return encodeID(id), nil
+	}
+	if len(req.InitData) == 0 {
+		return encodeID(0), nil // probe miss: client re-sends with payload
+	}
+	if int64(len(req.InitData)) != req.Size {
+		return nil, ocl.Errf(ocl.ErrInvalidValue,
+			"content-hashed init data of %d bytes must fill the %d-byte buffer",
+			len(req.InitData), req.Size)
+	}
+	if datacache.ContentHash64(req.InitData) != req.ContentHash {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "content hash does not match payload")
+	}
+	boardID, err := m.board.Alloc(req.Size)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.board.Write(boardID, 0, req.InitData); err != nil {
+		m.board.Free(boardID)
+		return nil, err
+	}
+	canonical, inserted := m.bufcache.Insert(key, boardID)
+	if !inserted {
+		// A racing session uploaded the same content first; its entry is
+		// canonical and ours is a duplicate.
+		m.board.Free(boardID)
+	}
+	m.mBufMisses.Inc()
+	id := s.insertBuffer(bufferInfo{
+		boardID: canonical, size: req.Size, flags: ocl.MemFlags(req.Flags),
+		hash: req.ContentHash, shared: true,
+	})
+	m.syncCacheGauges()
+	return encodeID(id), nil
+}
+
+// dropBuffer returns one session buffer: shared handles decrement the
+// cache reference (the bytes stay resident for future hits), private ones
+// free board memory.
+func (m *Manager) dropBuffer(b bufferInfo) error {
+	if b.shared {
+		m.bufcache.Release(datacache.BufferKey{Hash: b.hash, Size: b.size})
+		return nil
+	}
+	return m.board.Free(b.boardID)
+}
+
+// runKernelMemo executes one kernel operation through the memoization
+// cache. The key is content-canonical: owner session (results are
+// tenant-scoped), configured bitstream, kernel name, launch geometry, and
+// the content of every argument — scalars by value, buffers by digest.
+// Identical state always produces the same key, so re-invocations hit
+// regardless of which buffers carry the content. On a hit the modified
+// buffers are restored from snapshots at on-board DDR speed instead of
+// re-running the kernel; the returned DeviceNanos is the board time the
+// restore actually occupied.
+func (m *Manager) runKernelMemo(t *task, o *op) (int64, error) {
+	bitID := m.board.ConfiguredID()
+	h := datacache.NewHasher()
+	h.U64(t.sess.id)
+	h.String(bitID)
+	h.String(o.kernelName)
+	h.U64(uint64(len(o.global)))
+	for _, g := range o.global {
+		h.I64(int64(g))
+	}
+	h.U64(uint64(len(o.local)))
+	for _, l := range o.local {
+		h.I64(int64(l))
+	}
+	h.U64(uint64(len(o.args)))
+	preHash := make(map[int]uint64, len(o.args))
+	for i, a := range o.args {
+		if a.Kind == ocl.ArgBuffer {
+			bh, err := m.board.ContentHash(a.BufferID)
+			if err != nil {
+				return 0, err // dangling buffer: same failure Run would report
+			}
+			h.U64(1)
+			h.U64(bh)
+			preHash[i] = bh
+		} else {
+			h.U64(2)
+			h.Bytes(a.Scalar[:a.ScalarLen])
+		}
+	}
+	key := h.Sum()
+
+	if ent, ok := m.memo.Lookup(key); ok {
+		var restore time.Duration
+		for _, out := range ent.Outputs {
+			d, err := m.board.RestoreBuffer(o.args[out.BoardArg].BufferID, out.Data)
+			if err != nil {
+				return 0, err
+			}
+			restore += d
+		}
+		m.mMemoHits.Inc()
+		m.syncCacheGauges()
+		return int64(restore), nil
+	}
+
+	d, err := m.board.Run(o.kernelName, o.args, o.global)
+	if err != nil {
+		return 0, err
+	}
+	ent := &datacache.MemoEntry{Owner: t.sess.id, Bitstream: bitID, DeviceNanos: int64(d)}
+	store := true
+	for i, a := range o.args {
+		if a.Kind != ocl.ArgBuffer {
+			continue
+		}
+		post, herr := m.board.ContentHash(a.BufferID)
+		if herr != nil {
+			store = false // buffer vanished mid-task: result not replayable
+			break
+		}
+		if post != preHash[i] {
+			snap, serr := m.board.SnapshotBuffer(a.BufferID)
+			if serr != nil {
+				store = false
+				break
+			}
+			ent.Outputs = append(ent.Outputs, datacache.MemoOutput{BoardArg: i, Data: snap})
+		}
+	}
+	if store {
+		m.memo.Store(key, ent)
+	}
+	m.mMemoMisses.Inc()
+	m.syncCacheGauges()
+	return int64(d), nil
+}
+
+// invalidateMemoOwner drops a departing session's memoized results.
+func (m *Manager) invalidateMemoOwner(sessionID uint64) {
+	if m.memo == nil {
+		return
+	}
+	if n := m.memo.InvalidateOwner(sessionID); n > 0 {
+		m.mMemoInval.Add(float64(n))
+		m.syncCacheGauges()
+	}
+}
+
+// syncCacheGauges pushes the caches' resident sizes into the exported
+// gauges.
+func (m *Manager) syncCacheGauges() {
+	if m.bufcache != nil {
+		st := m.bufcache.Stats()
+		m.gBufResident.Set(float64(st.ResidentBytes))
+		m.gBufEntries.Set(float64(st.Entries))
+	}
+	if m.memo != nil {
+		m.gMemoResident.Set(float64(m.memo.Stats().ResidentBytes))
+	}
+}
+
+// CacheStats is the /debug/cache snapshot: both reuse caches plus the
+// board's device-to-device copy counters, which together describe how much
+// data the reuse layer kept off the client path.
+type CacheStats struct {
+	Device      string                `json:"device"`
+	Node        string                `json:"node"`
+	BufferCache datacache.BufferStats `json:"buffer_cache"`
+	MemoEnabled bool                  `json:"memo_enabled"`
+	MemoCache   datacache.MemoStats   `json:"memo_cache"`
+	CopyOps     int64                 `json:"copy_ops"`
+	CopyBytes   int64                 `json:"copy_bytes"`
+}
+
+// CacheStats snapshots the reuse layer.
+func (m *Manager) CacheStats() CacheStats {
+	st := CacheStats{Device: m.cfg.DeviceID, Node: m.cfg.Node}
+	if m.bufcache != nil {
+		st.BufferCache = m.bufcache.Stats()
+	}
+	if m.memo != nil {
+		st.MemoEnabled = true
+		st.MemoCache = m.memo.Stats()
+	}
+	bs := m.board.Stats()
+	st.CopyOps = bs.CopyOps
+	st.CopyBytes = bs.CopyBytes
+	return st
+}
+
+// CacheStatsHandler serves CacheStats as JSON (the /debug/cache endpoint,
+// consumed by blastctl top).
+func (m *Manager) CacheStatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.CacheStats())
+	})
+}

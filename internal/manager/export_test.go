@@ -1,0 +1,7 @@
+package manager
+
+import "time"
+
+// SweepLeases exposes lease sweeping so integration tests can force a
+// session expiry at a chosen instant instead of waiting out real leases.
+func (m *Manager) SweepLeases(now time.Time) { m.sweepLeases(now) }

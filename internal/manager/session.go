@@ -61,6 +61,12 @@ type bufferInfo struct {
 	boardID uint64
 	size    int64
 	flags   ocl.MemFlags
+	// hash/shared mark a handle backed by the content-addressed cache:
+	// the board buffer is shared across sessions, immutable (writes and
+	// copy destinations are rejected), and released by reference count
+	// instead of board.Free.
+	hash   uint64
+	shared bool
 }
 
 type programInfo struct {
@@ -94,7 +100,9 @@ func (s *session) newID() uint64 {
 }
 
 // release frees everything the client still holds. Called on disconnect.
-func (s *session) release(board *fpga.Board) {
+func (s *session) release(m *Manager) {
+	// The departing tenant's memoized results go with it.
+	m.invalidateMemoOwner(s.id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, q := range s.queues {
@@ -103,7 +111,7 @@ func (s *session) release(board *fpga.Board) {
 		q.accepted = nil // connection gone: nobody left to notify
 	}
 	for _, b := range s.buffers {
-		board.Free(b.boardID) // an already-freed buffer is harmless here
+		m.dropBuffer(b) // an already-freed buffer is harmless here
 	}
 	s.buffers = map[uint64]bufferInfo{}
 	if s.seg != nil {
@@ -117,7 +125,7 @@ func (s *session) release(board *fpga.Board) {
 // alive here — the client is wedged or partitioned, not disconnected — so
 // deferred Accepted acknowledgements are terminated with OpFailed, the way
 // releaseQueue does, before the resources go away.
-func (s *session) expire(board *fpga.Board) {
+func (s *session) expire(m *Manager) {
 	s.mu.Lock()
 	var accepted []uint64
 	for _, q := range s.queues {
@@ -128,7 +136,7 @@ func (s *session) expire(board *fpga.Board) {
 	for _, tag := range accepted {
 		s.sendFail(s.conn, tag, ocl.Errf(ocl.ErrDeviceNotAvailable, "session lease expired"))
 	}
-	s.release(board)
+	s.release(m)
 }
 
 func encodeID(id uint64) []byte {
@@ -197,7 +205,7 @@ func (s *session) releaseQueue(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte
 	return nil, nil
 }
 
-func (s *session) createBuffer(board *fpga.Board, d *wire.Decoder) ([]byte, error) {
+func (s *session) createBuffer(m *Manager, d *wire.Decoder) ([]byte, error) {
 	var req wire.CreateBufferRequest
 	req.Decode(d)
 	if err := d.Err(); err != nil {
@@ -216,24 +224,44 @@ func (s *session) createBuffer(board *fpga.Board, d *wire.Decoder) ([]byte, erro
 		return nil, ocl.Errf(ocl.ErrInvalidContext, "buffer: context %d", req.Context)
 	}
 	s.mu.Unlock()
-	boardID, err := board.Alloc(req.Size)
+	if req.ContentHash != 0 {
+		if m.bufcache == nil {
+			if len(req.InitData) == 0 {
+				// Probe against a disabled cache: always a miss. Answering
+				// with a fresh uninitialized buffer here would hand the
+				// client garbage it believes is its content.
+				return encodeID(0), nil
+			}
+			// Upload frames just fall through to a plain private create.
+		} else {
+			return s.createCachedBuffer(m, &req)
+		}
+	}
+	boardID, err := m.board.Alloc(req.Size)
 	if err != nil {
 		return nil, err
 	}
 	if len(req.InitData) > 0 {
-		if _, err := board.Write(boardID, 0, req.InitData); err != nil {
-			board.Free(boardID)
+		if _, err := m.board.Write(boardID, 0, req.InitData); err != nil {
+			m.board.Free(boardID)
 			return nil, err
 		}
 	}
-	s.mu.Lock()
-	id := s.newID()
-	s.buffers[id] = bufferInfo{boardID: boardID, size: req.Size, flags: ocl.MemFlags(req.Flags)}
-	s.mu.Unlock()
+	id := s.insertBuffer(bufferInfo{boardID: boardID, size: req.Size, flags: ocl.MemFlags(req.Flags)})
 	return encodeID(id), nil
 }
 
-func (s *session) releaseBuffer(board *fpga.Board, d *wire.Decoder) ([]byte, error) {
+// insertBuffer registers a buffer in the session's pool under a fresh
+// session-scoped handle.
+func (s *session) insertBuffer(info bufferInfo) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.newID()
+	s.buffers[id] = info
+	return id
+}
+
+func (s *session) releaseBuffer(m *Manager, d *wire.Decoder) ([]byte, error) {
 	var req wire.IDRequest
 	req.Decode(d)
 	s.mu.Lock()
@@ -245,7 +273,7 @@ func (s *session) releaseBuffer(board *fpga.Board, d *wire.Decoder) ([]byte, err
 	if !ok {
 		return nil, ocl.Errf(ocl.ErrInvalidMemObject, "buffer %d", req.ID)
 	}
-	return nil, board.Free(info.boardID)
+	return nil, m.dropBuffer(info)
 }
 
 // lookupBuffer resolves a session-scoped buffer handle.

@@ -18,6 +18,7 @@ const (
 	opWrite opKind = iota + 1
 	opRead
 	opKernel
+	opCopy
 )
 
 // String names the kind for span notes and logs.
@@ -29,6 +30,8 @@ func (k opKind) String() string {
 		return "read"
 	case opKernel:
 		return "kernel"
+	case opCopy:
+		return "copy"
 	}
 	return "unknown"
 }
@@ -39,13 +42,16 @@ type op struct {
 	kind opKind
 	tag  uint64
 
-	// Transfers.
+	// Transfers. Copies use boardBuf/offset as their source and
+	// copyDst/dstOff as their destination.
 	boardBuf uint64
 	offset   int64
 	length   int64
 	via      wire.DataVia
 	data     []byte // inline write payload; aliases the retained request frame
 	shmOff   int64
+	copyDst  uint64
+	dstOff   int64
 
 	// Kernel launches.
 	kernelName string
@@ -107,6 +113,11 @@ func (s *session) enqueueWrite(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte
 	buf, err := s.lookupBuffer(req.Buffer)
 	if err != nil {
 		s.sendFail(c, req.Tag, err)
+		return nil, nil
+	}
+	if buf.shared {
+		s.sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidOperation,
+			"buffer %d is shared through the content cache and immutable", req.Buffer))
 		return nil, nil
 	}
 	o := op{
@@ -225,6 +236,58 @@ func (s *session) enqueueKernel(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byt
 		local:      toInts(req.Local),
 		trace:      req.TraceID,
 		span:       req.SpanID,
+	})
+	return nil, nil
+}
+
+// enqueueCopy joins a device-to-device buffer copy to the client's current
+// task (proto >= wire.ProtoVersionReuse). Ranges are validated here against
+// the session's buffer sizes so a bad chain fails at enqueue, not on the
+// board.
+func (s *session) enqueueCopy(m *Manager, c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
+	var req wire.EnqueueCopyRequest
+	req.Decode(d)
+	if err := d.Err(); err != nil {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "malformed EnqueueCopy: %v", err)
+	}
+	q, err := s.queue(req.Queue)
+	if err != nil {
+		s.sendFail(c, req.Tag, err)
+		return nil, nil
+	}
+	src, err := s.lookupBuffer(req.SrcBuffer)
+	if err != nil {
+		s.sendFail(c, req.Tag, err)
+		return nil, nil
+	}
+	dst, err := s.lookupBuffer(req.DstBuffer)
+	if err != nil {
+		s.sendFail(c, req.Tag, err)
+		return nil, nil
+	}
+	if dst.shared {
+		s.sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidOperation,
+			"buffer %d is shared through the content cache and immutable", req.DstBuffer))
+		return nil, nil
+	}
+	if req.Length < 0 ||
+		req.SrcOffset < 0 || req.SrcOffset+req.Length > src.size ||
+		req.DstOffset < 0 || req.DstOffset+req.Length > dst.size {
+		s.sendFail(c, req.Tag, ocl.Errf(ocl.ErrInvalidValue,
+			"copy range: src off=%d dst off=%d len=%d (src %d, dst %d bytes)",
+			req.SrcOffset, req.DstOffset, req.Length, src.size, dst.size))
+		return nil, nil
+	}
+	s.appendOp(c, q, op{
+		kind:     opCopy,
+		tag:      req.Tag,
+		boardBuf: src.boardID,
+		offset:   req.SrcOffset,
+		copyDst:  dst.boardID,
+		dstOff:   req.DstOffset,
+		length:   req.Length,
+		trace:    req.TraceID,
+		span:     req.SpanID,
 	})
 	return nil, nil
 }
@@ -570,12 +633,31 @@ func (m *Manager) runOp(t *task, o *op, cost *model.CostModel, scale float64) (n
 		}
 		m.mBytesOut.Add(float64(o.length))
 	case opKernel:
-		d, kerr := m.board.Run(o.kernelName, o.args, o.global)
-		if kerr != nil {
-			return nil, false, kerr
+		if m.memo != nil {
+			dn, merr := m.runKernelMemo(t, o)
+			if merr != nil {
+				return nil, false, merr
+			}
+			n.DeviceNanos = dn
+		} else {
+			d, kerr := m.board.Run(o.kernelName, o.args, o.global)
+			if kerr != nil {
+				return nil, false, kerr
+			}
+			n.DeviceNanos = int64(d)
+		}
+		m.mKernels.Inc()
+	case opCopy:
+		// Device-to-device: the bytes stay on the board, so neither the
+		// bytes-in nor bytes-out series moves — that absence is the
+		// zero-copy property the chaining benchmark pins.
+		d, cerr := m.board.Copy(o.boardBuf, o.copyDst, o.offset, o.dstOff, o.length)
+		if cerr != nil {
+			return nil, false, cerr
 		}
 		n.DeviceNanos = int64(d)
-		m.mKernels.Inc()
+		m.mCopies.Inc()
+		m.mCopyBytes.Add(float64(o.length))
 	default:
 		return nil, false, ocl.Errf(ocl.ErrInvalidOperation, "unknown op kind %d", o.kind)
 	}

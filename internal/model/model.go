@@ -62,6 +62,11 @@ type CostModel struct {
 	// ReconfigureTime is the board reprogramming latency for a full
 	// bitstream (Arria 10 via CvP takes on the order of seconds).
 	ReconfigureTime time.Duration
+	// DDRGBps is the effective on-board DDR4 copy bandwidth, paid by
+	// device-to-device buffer copies (task chaining) and memoized-result
+	// restores. Roughly 2x the PCIe link: the DE5a-Net's two DDR4-2133
+	// banks sustain ~12 GB/s for a read+write stream.
+	DDRGBps float64
 }
 
 // WorkerNode returns the cost model of the testbed worker nodes
@@ -77,6 +82,7 @@ func WorkerNode() *CostModel {
 		PerOpControl:    150 * time.Microsecond,
 		HostFactor:      1.0,
 		ReconfigureTime: 2 * time.Second,
+		DDRGBps:         12.0,
 	}
 }
 
@@ -95,6 +101,7 @@ func MasterNode() *CostModel {
 		PerOpControl:    220 * time.Microsecond,
 		HostFactor:      1.45,
 		ReconfigureTime: 2 * time.Second,
+		DDRGBps:         12.0,
 	}
 }
 
@@ -139,6 +146,21 @@ func (m *CostModel) GRPCDataOverhead(n int64) time.Duration {
 // keeps one copy so clEnqueueRead/WriteBuffer semantics hold).
 func (m *CostModel) ShmDataOverhead(n int64) time.Duration {
 	return m.HostCopy(n)
+}
+
+// DDRCopy returns the on-board time to move n bytes between two device
+// buffers (the zero-copy chaining path: a read and a write stream through
+// the board's DDR banks, never crossing PCIe). A zero DDRGBps falls back
+// to 12 GB/s so hand-built cost models keep working.
+func (m *CostModel) DDRCopy(n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	gbps := m.DDRGBps
+	if gbps <= 0 {
+		gbps = 12.0
+	}
+	return m.PCIeBaseLatency + bw(n, gbps)
 }
 
 // TaskControlOverhead returns the control-plane cost of one flushed task

@@ -375,6 +375,34 @@ func (q *commandQueue) EnqueueReadBuffer(b ocl.Buffer, blocking bool, offset int
 	return ev, nil
 }
 
+// EnqueueCopyBuffer implements ocl.CommandQueue: a device-to-device move
+// through the board's DDR, never touching host memory.
+func (q *commandQueue) EnqueueCopyBuffer(src, dst ocl.Buffer, srcOffset, dstOffset, n int, waitList []ocl.Event) (ocl.Event, error) {
+	ns, ok := src.(*buffer)
+	if !ok || ns.ctx != q.ctx {
+		return nil, ocl.Errf(ocl.ErrInvalidMemObject, "src buffer from a different context")
+	}
+	nd, ok := dst.(*buffer)
+	if !ok || nd.ctx != q.ctx {
+		return nil, ocl.Errf(ocl.ErrInvalidMemObject, "dst buffer from a different context")
+	}
+	if n < 0 || srcOffset < 0 || srcOffset+n > ns.size || dstOffset < 0 || dstOffset+n > nd.size {
+		return nil, ocl.Errf(ocl.ErrInvalidValue, "copy range")
+	}
+	if err := ocl.WaitForEvents(waitList...); err != nil {
+		return nil, err
+	}
+	return q.dispatch(ocl.CommandCopyBuffer, func(ev *ocl.BaseEvent) {
+		d, err := q.ctx.board.Copy(ns.boardID, nd.boardID, int64(srcOffset), int64(dstOffset), int64(n))
+		if err != nil {
+			ev.Fail(err)
+			return
+		}
+		ev.SetDeviceTime(d)
+		ev.Complete()
+	})
+}
+
 // EnqueueNDRangeKernel implements ocl.CommandQueue.
 func (q *commandQueue) EnqueueNDRangeKernel(k ocl.Kernel, global, local []int, waitList []ocl.Event) (ocl.Event, error) {
 	nk, ok := k.(*kernel)

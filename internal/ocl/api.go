@@ -109,6 +109,12 @@ type CommandQueue interface {
 	// EnqueueReadBuffer copies device data into host memory, as in
 	// clEnqueueReadBuffer. dst must be sized to the transfer length.
 	EnqueueReadBuffer(b Buffer, blocking bool, offset int, dst []byte, waitList []Event) (Event, error)
+	// EnqueueCopyBuffer copies n bytes between two device buffers, as in
+	// clEnqueueCopyBuffer. The bytes move on the device and never reach
+	// the host — chaining one task's output into the next task's input
+	// this way is what keeps multi-stage pipelines zero-copy under the
+	// remote runtime.
+	EnqueueCopyBuffer(src, dst Buffer, srcOffset, dstOffset, n int, waitList []Event) (Event, error)
 	// EnqueueNDRangeKernel launches a kernel over the global range, as in
 	// clEnqueueNDRangeKernel. local may be nil to let the runtime choose.
 	EnqueueNDRangeKernel(k Kernel, global, local []int, waitList []Event) (Event, error)

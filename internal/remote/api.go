@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"blastfunction/internal/datacache"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
@@ -71,6 +72,12 @@ func (c *context) CreateCommandQueue(d ocl.Device, props ocl.QueueProps) (ocl.Co
 
 // CreateBuffer implements ocl.Context. Buffer creation (with optional
 // initialization data) is a synchronous context/information method.
+//
+// Full-size read-only payloads go through the manager's content-addressed
+// buffer cache when the session speaks wire.ProtoVersionReuse: a hash-only
+// probe first (a resident hit makes the create a metadata-only RPC — the
+// paper's repeated CNN weights upload once per board), then the payload
+// with its hash on a miss so the next create hits.
 func (c *context) CreateBuffer(flags ocl.MemFlags, size int, hostData []byte) (ocl.Buffer, error) {
 	if !flags.Valid() {
 		return nil, ocl.Errf(ocl.ErrInvalidValue, "buffer flags %#x", uint32(flags))
@@ -78,16 +85,42 @@ func (c *context) CreateBuffer(flags ocl.MemFlags, size int, hostData []byte) (o
 	if size <= 0 || (hostData != nil && len(hostData) > size) {
 		return nil, ocl.Errf(ocl.ErrInvalidBufferSize, "size %d, init %d", size, len(hostData))
 	}
-	e := wire.GetEncoder(32)
-	(&wire.CreateBufferRequest{
-		Context: c.id,
-		Flags:   uint32(flags),
-		Size:    int64(size),
-	}).Encode(e)
-	// The init payload rides as its own segment: patch the length the
-	// empty Bytes32 wrote, then let the transport vector hostData in.
-	e.SetU32(e.Len()-4, uint32(len(hostData)))
-	resp, err := c.mc.rpc.Call(wire.MethodCreateBuffer, e.Bytes(), hostData)
+	mc := c.mc
+	var hash uint64
+	if mc.reuseWire() && !mc.cfg.DisableContentCache &&
+		flags == ocl.MemReadOnly && len(hostData) == size {
+		// Cacheable: contents fully determined by (hash, size) and nobody
+		// may write the buffer afterwards.
+		hash = datacache.ContentHash64(hostData)
+		e := wire.GetEncoder(40)
+		(&wire.CreateBufferRequest{
+			Context: c.id, Flags: uint32(flags), Size: int64(size), ContentHash: hash,
+		}).Encode(e)
+		resp, err := mc.rpc.Call(wire.MethodCreateBuffer, e.Bytes())
+		e.Release()
+		if err != nil {
+			return nil, err
+		}
+		var id wire.IDResponse
+		id.Decode(wire.NewDecoder(resp))
+		wire.PutBuf(resp)
+		if id.ID != 0 { // cache hit: the payload never moved
+			return &buffer{ctx: c, id: id.ID, size: size, flags: flags, shared: true}, nil
+		}
+	}
+	req := wire.CreateBufferRequest{
+		Context: c.id, Flags: uint32(flags), Size: int64(size),
+		InitData: hostData, ContentHash: hash,
+	}
+	// The init payload rides as its own segment between the encoded head
+	// (which ends with the payload length) and the content-hash tail, so
+	// the transport vectors the user's bytes straight into the socket.
+	e := wire.GetEncoder(48)
+	req.EncodeHead(e)
+	head := e.Len()
+	req.EncodeTail(e)
+	buf := e.Bytes()
+	resp, err := mc.rpc.Call(wire.MethodCreateBuffer, buf[:head], hostData, buf[head:])
 	e.Release()
 	if err != nil {
 		return nil, err
@@ -95,7 +128,7 @@ func (c *context) CreateBuffer(flags ocl.MemFlags, size int, hostData []byte) (o
 	var id wire.IDResponse
 	id.Decode(wire.NewDecoder(resp))
 	wire.PutBuf(resp)
-	return &buffer{ctx: c, id: id.ID, size: size, flags: flags}, nil
+	return &buffer{ctx: c, id: id.ID, size: size, flags: flags, shared: hash != 0}, nil
 }
 
 // CreateProgramWithBinary implements ocl.Context.
@@ -147,6 +180,10 @@ type buffer struct {
 	id    uint64
 	size  int
 	flags ocl.MemFlags
+	// shared marks a handle backed by the manager's content-addressed
+	// cache: the device bytes may be shared with other sessions, so
+	// writes and copy destinations are rejected client-side.
+	shared bool
 }
 
 // Size implements ocl.Buffer.
@@ -337,6 +374,10 @@ func (q *commandQueue) EnqueueWriteBuffer(b ocl.Buffer, blocking bool, offset in
 	if offset < 0 || offset+len(data) > rb.size {
 		return nil, ocl.Errf(ocl.ErrInvalidValue, "write range [%d,%d) on buffer of %d", offset, offset+len(data), rb.size)
 	}
+	if rb.shared {
+		return nil, ocl.Errf(ocl.ErrInvalidOperation,
+			"buffer is shared through the manager's content cache and immutable")
+	}
 	if err := q.waitDependencies(waitList); err != nil {
 		return nil, err
 	}
@@ -472,6 +513,81 @@ func (q *commandQueue) EnqueueReadBuffer(b ocl.Buffer, blocking bool, offset int
 			return ev, err
 		}
 	}
+	return ev, nil
+}
+
+// EnqueueCopyBuffer implements ocl.CommandQueue: a device-to-device move
+// that joins the current task without routing the bytes through the
+// client. Against managers predating wire.ProtoVersionReuse it degrades to
+// a read+write through host memory — transparent, just not zero-copy.
+func (q *commandQueue) EnqueueCopyBuffer(src, dst ocl.Buffer, srcOffset, dstOffset, n int, waitList []ocl.Event) (ocl.Event, error) {
+	rs, ok := src.(*buffer)
+	if !ok || rs.ctx != q.ctx {
+		return nil, ocl.Errf(ocl.ErrInvalidMemObject, "src buffer from a different context")
+	}
+	rd, ok := dst.(*buffer)
+	if !ok || rd.ctx != q.ctx {
+		return nil, ocl.Errf(ocl.ErrInvalidMemObject, "dst buffer from a different context")
+	}
+	if n < 0 || srcOffset < 0 || srcOffset+n > rs.size || dstOffset < 0 || dstOffset+n > rd.size {
+		return nil, ocl.Errf(ocl.ErrInvalidValue,
+			"copy range: src [%d,%d) of %d, dst [%d,%d) of %d",
+			srcOffset, srcOffset+n, rs.size, dstOffset, dstOffset+n, rd.size)
+	}
+	if rd.shared {
+		return nil, ocl.Errf(ocl.ErrInvalidOperation,
+			"buffer is shared through the manager's content cache and immutable")
+	}
+	if err := q.waitDependencies(waitList); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return ocl.CompletedEvent(ocl.CommandCopyBuffer), nil
+	}
+	mc := q.ctx.mc
+	if !mc.reuseWire() {
+		// Pre-reuse manager: emulate through the client. A blocking read
+		// into a temp keeps the in-order semantics; the write joins the
+		// current task like the wire copy would.
+		tmp := make([]byte, n)
+		if _, err := q.EnqueueReadBuffer(rs, true, srcOffset, tmp, nil); err != nil {
+			return nil, err
+		}
+		return q.EnqueueWriteBuffer(rd, false, dstOffset, tmp, nil)
+	}
+	tag := mc.newTag()
+	ev := mc.register(ocl.CommandCopyBuffer, tag)
+	req := wire.EnqueueCopyRequest{
+		Tag:       tag,
+		Queue:     q.id,
+		SrcBuffer: rs.id,
+		DstBuffer: rd.id,
+		SrcOffset: int64(srcOffset),
+		DstOffset: int64(dstOffset),
+		Length:    int64(n),
+	}
+	trace, span, parent, issued := q.beginOp()
+	ev.trace, ev.span, ev.parent, ev.issued = trace, span, parent, issued
+	if trace != 0 && mc.traceWire() {
+		req.TraceID, req.SpanID = uint64(trace), uint64(span)
+	}
+	mc.enroll(ev)
+	e := wire.GetEncoder(64)
+	req.Encode(e)
+	var sendStart time.Time
+	if trace != 0 {
+		sendStart = time.Now()
+	}
+	err := mc.rpc.Send(wire.MethodEnqueueCopy, e.Bytes())
+	if err == nil && trace != 0 {
+		mc.tracer.End(trace, mc.tracer.NewSpan(), span, "send", "", sendStart)
+	}
+	e.Release()
+	if err != nil {
+		mc.pending.Delete(tag)
+		return nil, err
+	}
+	q.track(ev)
 	return ev, nil
 }
 

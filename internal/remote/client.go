@@ -82,6 +82,12 @@ type Config struct {
 	// operation failures, transport fallbacks), trace-correlated where a
 	// task caused them. A nil logger logs nothing at zero hot-path cost.
 	Log *logx.Logger
+	// DisableContentCache stops the library from content-hashing full-size
+	// read-only buffer payloads, so every CreateBuffer uploads its bytes
+	// even when the manager's content-addressed cache holds them. Used by
+	// benchmarks to measure the cache-off baseline and by tenants whose
+	// handles must never alias shared device memory.
+	DisableContentCache bool
 	// Tracer enables distributed tracing: the library samples a trace at
 	// the first operation of each flush-formed task, records client-side
 	// spans (call, send, ack-wait, task) into it, and propagates the IDs

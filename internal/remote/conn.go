@@ -179,6 +179,11 @@ func (mc *managerConn) transport() model.Transport { return mc.mode }
 // timeline simply lacks the manager stages.
 func (mc *managerConn) traceWire() bool { return mc.proto >= wire.ProtoVersionTrace }
 
+// reuseWire reports whether the session may use the data-plane reuse
+// features (content-hashed creates, device-to-device copies): the manager
+// must have negotiated the reuse-capable protocol revision.
+func (mc *managerConn) reuseWire() bool { return mc.proto >= wire.ProtoVersionReuse }
+
 func (mc *managerConn) isClosed() bool {
 	mc.closedMu.Lock()
 	defer mc.closedMu.Unlock()

@@ -240,6 +240,104 @@ func TestArenaStagingIsReleased(t *testing.T) {
 	}
 }
 
+// openRig dials the rig and opens context + queue — boilerplate for the
+// buffer-lifecycle edge tests.
+func openRig(t *testing.T, r *rig, name string) (*Client, ocl.Context, ocl.CommandQueue) {
+	t.Helper()
+	c, err := Dial(Config{ClientName: name, Managers: []string{r.addr}, Transport: TransportGRPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	ps, _ := c.Platforms()
+	devs, _ := ps[0].Devices(ocl.DeviceTypeAll)
+	ctx, err := c.CreateContext(devs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ctx.CreateCommandQueue(devs[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ctx, q
+}
+
+func TestDoubleReleaseBufferReturnsTypedError(t *testing.T) {
+	r := newRig(t)
+	_, ctx, _ := openRig(t, r, "dbl-release")
+	buf, err := ctx.CreateBuffer(ocl.MemReadWrite, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Release(); err != nil {
+		t.Fatalf("first release: %v", err)
+	}
+	err = buf.Release()
+	if !errors.Is(err, ocl.ErrInvalidMemObject) {
+		t.Fatalf("second release err = %v, want ErrInvalidMemObject", err)
+	}
+}
+
+func TestReleaseWithInFlightEnqueueFailsEventNotClient(t *testing.T) {
+	r := newRig(t)
+	_, ctx, q := openRig(t, r, "rel-inflight")
+	buf, err := ctx.CreateBuffer(ocl.MemReadWrite, 64<<10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue into the unflushed task, release the buffer underneath it,
+	// then flush: the op must fail on its event with a typed error — no
+	// panic, no hang, and the queue stays usable.
+	ev, err := q.EnqueueWriteBuffer(buf, false, 0, make([]byte, 64<<10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Release(); err != nil {
+		t.Fatalf("release with in-flight enqueue: %v", err)
+	}
+	if err := q.Flush(); err != nil {
+		t.Fatalf("flush after release: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ev.Wait() }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ocl.ErrInvalidMemObject) {
+			t.Fatalf("in-flight op err = %v, want ErrInvalidMemObject", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event hung after buffer release")
+	}
+	// The session survived: a fresh buffer round-trips.
+	buf2, err := ctx.CreateBuffer(ocl.MemReadWrite, 4096, nil)
+	if err != nil {
+		t.Fatalf("create after failed op: %v", err)
+	}
+	if _, err := q.EnqueueWriteBuffer(buf2, true, 0, make([]byte, 4096), nil); err != nil {
+		t.Fatalf("write after failed op: %v", err)
+	}
+}
+
+func TestCreateBufferAfterConnectionLossReturnsTypedError(t *testing.T) {
+	r := newRig(t)
+	_, ctx, _ := openRig(t, r, "create-loss")
+	if _, err := ctx.CreateBuffer(ocl.MemReadWrite, 4096, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.srv.Close()
+	// Both the plain and the content-hashed create paths must surface the
+	// transport failure as the typed manager-down error, not a panic or a
+	// leaked handle.
+	_, err := ctx.CreateBuffer(ocl.MemReadWrite, 4096, nil)
+	if !errors.Is(err, rpc.ErrManagerDown) {
+		t.Fatalf("plain create after loss err = %v, want ErrManagerDown", err)
+	}
+	_, err = ctx.CreateBuffer(ocl.MemReadOnly, 4096, make([]byte, 4096))
+	if !errors.Is(err, rpc.ErrManagerDown) {
+		t.Fatalf("hashed create after loss err = %v, want ErrManagerDown", err)
+	}
+}
+
 func TestMarkersAndBarriers(t *testing.T) {
 	r := newRig(t)
 	c, err := Dial(Config{ClientName: "marker", Managers: []string{r.addr}, Transport: TransportGRPC})

@@ -53,7 +53,20 @@ func (a *Arena) Alloc(n int64) (int64, error) {
 			return off, nil
 		}
 	}
-	return 0, fmt.Errorf("shm: arena exhausted: %d bytes requested", n)
+	// Diagnose the failure in the error itself: distinguishing "truly
+	// full" from "fragmented" (free bytes exist but no fragment fits)
+	// matters when sizing segments. Computed inline — FreeBytes and
+	// Fragments take the lock this path already holds.
+	var freeBytes, largest int64
+	for _, s := range a.free {
+		freeBytes += s.len
+		if s.len > largest {
+			largest = s.len
+		}
+	}
+	return 0, fmt.Errorf(
+		"shm: arena exhausted: %d bytes requested, %d live, %d free in %d fragments (largest %d)",
+		n, a.size-freeBytes, freeBytes, len(a.free), largest)
 }
 
 // Free returns the range starting at off with the originally requested

@@ -2,7 +2,9 @@ package shm
 
 import (
 	"bytes"
+	"fmt"
 	"os"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -152,6 +154,60 @@ func TestArenaCoalescingMiddleFree(t *testing.T) {
 	}
 	if _, err := a.Alloc(3 * arenaAlign); err != nil {
 		t.Fatalf("full-size alloc after coalesce: %v", err)
+	}
+}
+
+func TestArenaExhaustionErrorReportsOccupancy(t *testing.T) {
+	a := NewArena(4 * arenaAlign)
+	o1, _ := a.Alloc(arenaAlign)
+	o2, _ := a.Alloc(arenaAlign)
+	a.Alloc(arenaAlign)
+	a.Alloc(arenaAlign)
+	a.Free(o1, arenaAlign)
+	// Live 2 spans, free 2*arenaAlign in 2 fragments after freeing o2 as
+	// well — but ask for more than the largest fragment so Alloc fails on
+	// fragmentation, not raw capacity.
+	a.Free(o2, arenaAlign)
+	_, err := a.Alloc(3 * arenaAlign)
+	if err == nil {
+		t.Fatal("fragmented alloc must fail")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		fmt.Sprintf("%d bytes requested", 3*arenaAlign),
+		fmt.Sprintf("%d live", 2*arenaAlign),
+		fmt.Sprintf("%d free", 2*arenaAlign),
+		"fragments",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("exhaustion error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestArenaCoalescingReuseAfterInterleavedFrees(t *testing.T) {
+	// Alternating allocations are released in an interleaved order; once
+	// every span is back the arena must serve one allocation spanning the
+	// whole capacity — pinning that coalescing actually restores
+	// contiguity, not just the free-byte count.
+	const n = 8
+	a := NewArena(n * arenaAlign)
+	offs := make([]int64, n)
+	for i := range offs {
+		o, err := a.Alloc(arenaAlign)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		offs[i] = o
+	}
+	for _, i := range []int{1, 5, 3, 7, 0, 4, 6, 2} {
+		a.Free(offs[i], arenaAlign)
+	}
+	if got := a.Fragments(); got != 1 {
+		t.Fatalf("fragments after interleaved frees = %d, want 1", got)
+	}
+	if _, err := a.Alloc(n * arenaAlign); err != nil {
+		t.Fatalf("full-capacity alloc after interleaved frees: %v", err)
 	}
 }
 

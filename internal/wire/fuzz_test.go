@@ -15,7 +15,7 @@ func decodeAll(buf []byte) {
 		&CreateProgramRequest{}, &CreateProgramResponse{},
 		&CreateKernelRequest{}, &SetKernelArgRequest{}, &SetupShmRequest{},
 		&EnqueueWriteRequest{}, &EnqueueReadRequest{}, &EnqueueKernelRequest{},
-		&FlushRequest{}, &OpNotification{},
+		&EnqueueCopyRequest{}, &FlushRequest{}, &OpNotification{},
 	}
 	for _, m := range msgs {
 		m.Decode(NewDecoder(buf))

@@ -38,6 +38,12 @@ const (
 	// ProtoVersionLease). It carries no body and returns no body; its only
 	// effect is refreshing the manager-side lease deadline.
 	MethodHeartbeat
+
+	// MethodEnqueueCopy moves bytes between two device buffers without
+	// routing them through the client (proto >= ProtoVersionReuse). It is
+	// the chaining primitive: a pipeline stage's output buffer becomes the
+	// next stage's input with a device-local copy.
+	MethodEnqueueCopy
 )
 
 var methodNames = map[Method]string{
@@ -60,6 +66,7 @@ var methodNames = map[Method]string{
 	MethodEnqueueKernel:  "EnqueueKernel",
 	MethodFlush:          "Flush",
 	MethodHeartbeat:      "Heartbeat",
+	MethodEnqueueCopy:    "EnqueueCopy",
 }
 
 // String names the method.
@@ -74,7 +81,7 @@ func (m Method) String() string {
 // command-queue group (asynchronous, task-forming).
 func (m Method) CommandQueueMethod() bool {
 	switch m {
-	case MethodEnqueueWrite, MethodEnqueueRead, MethodEnqueueKernel, MethodFlush:
+	case MethodEnqueueWrite, MethodEnqueueRead, MethodEnqueueKernel, MethodEnqueueCopy, MethodFlush:
 		return true
 	}
 	return false
@@ -140,7 +147,7 @@ type HelloRequest struct {
 // that negotiated ProtoVersionBatch or later.
 const (
 	// ProtoVersion is the current protocol revision.
-	ProtoVersion = 4
+	ProtoVersion = 5
 	// ProtoVersionBatch is the first revision with coalesced notification
 	// batch frames.
 	ProtoVersionBatch = 2
@@ -154,6 +161,13 @@ const (
 	// frames omit them and stay byte-identical to earlier revisions; the
 	// client only emits them to managers that negotiated this version.
 	ProtoVersionTrace = 4
+	// ProtoVersionReuse is the first revision with the data-plane reuse
+	// features: CreateBuffer may carry a trailing content hash addressing
+	// the manager's device buffer cache, and MethodEnqueueCopy chains one
+	// task's output buffer into the next task's input without moving the
+	// bytes through the client. Unhashed frames omit the tail and stay
+	// byte-identical to earlier revisions.
+	ProtoVersionReuse = 5
 	// MinProtoVersion is the oldest revision a manager still serves.
 	MinProtoVersion = 1
 )
@@ -297,14 +311,37 @@ type CreateBufferRequest struct {
 	Flags    uint32
 	Size     int64
 	InitData []byte
+	// ContentHash addresses the manager's content-keyed device buffer
+	// cache (proto >= ProtoVersionReuse). With InitData it labels the
+	// upload for later reuse; without InitData it is a cache probe — the
+	// manager answers with a shared buffer handle on a hit or ID 0 on a
+	// miss. Trailing field after the payload: unhashed frames omit it and
+	// stay byte-identical to earlier revisions.
+	ContentHash uint64
 }
 
 // Encode serializes the message.
 func (m *CreateBufferRequest) Encode(e *Encoder) {
+	m.EncodeHead(e)
+	e.Raw(m.InitData)
+	m.EncodeTail(e)
+}
+
+// EncodeHead serializes everything up to and including the u32 init-data
+// length; the InitData bytes are expected to follow as their own write
+// segment (vectored write) or Raw append, then EncodeTail.
+func (m *CreateBufferRequest) EncodeHead(e *Encoder) {
 	e.U64(m.Context)
 	e.U32(m.Flags)
 	e.I64(m.Size)
-	e.Bytes32(m.InitData)
+	e.U32(uint32(len(m.InitData)))
+}
+
+// EncodeTail serializes the trailing content hash (nothing when zero).
+func (m *CreateBufferRequest) EncodeTail(e *Encoder) {
+	if m.ContentHash != 0 {
+		e.U64(m.ContentHash)
+	}
 }
 
 // Decode deserializes the message.
@@ -314,8 +351,13 @@ func (m *CreateBufferRequest) Decode(d *Decoder) {
 	m.Size = d.I64()
 	// InitData aliases the decode buffer; the handler consumes it before
 	// returning (board.Write during CreateBuffer), so no copy is needed.
+	m.InitData = nil
 	if b := d.Bytes32(); len(b) > 0 {
 		m.InitData = b
+	}
+	m.ContentHash = 0
+	if d.Remaining() >= 8 {
+		m.ContentHash = d.U64()
 	}
 }
 
@@ -557,6 +599,47 @@ func (m *EnqueueKernelRequest) Decode(d *Decoder) {
 	m.Kernel = d.U64()
 	m.Global = d.I64Slice()
 	m.Local = d.I64Slice()
+	m.TraceID, m.SpanID = decodeTraceTail(d)
+}
+
+// EnqueueCopyRequest moves Length bytes from one device buffer to another
+// on the board, joining the client's current task like the other enqueues
+// (proto >= ProtoVersionReuse). The bytes never leave the device, which is
+// what makes multi-stage pipelines zero-copy from the client's viewpoint.
+type EnqueueCopyRequest struct {
+	Tag       uint64
+	Queue     uint64
+	SrcBuffer uint64
+	DstBuffer uint64
+	SrcOffset int64
+	DstOffset int64
+	Length    int64
+	// TraceID/SpanID: trailing trace identity, as on EnqueueWriteRequest.
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Encode serializes the message.
+func (m *EnqueueCopyRequest) Encode(e *Encoder) {
+	e.U64(m.Tag)
+	e.U64(m.Queue)
+	e.U64(m.SrcBuffer)
+	e.U64(m.DstBuffer)
+	e.I64(m.SrcOffset)
+	e.I64(m.DstOffset)
+	e.I64(m.Length)
+	encodeTraceTail(e, m.TraceID, m.SpanID)
+}
+
+// Decode deserializes the message.
+func (m *EnqueueCopyRequest) Decode(d *Decoder) {
+	m.Tag = d.U64()
+	m.Queue = d.U64()
+	m.SrcBuffer = d.U64()
+	m.DstBuffer = d.U64()
+	m.SrcOffset = d.I64()
+	m.DstOffset = d.I64()
+	m.Length = d.I64()
 	m.TraceID, m.SpanID = decodeTraceTail(d)
 }
 

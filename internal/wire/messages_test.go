@@ -43,6 +43,14 @@ func TestMessageRoundTrips(t *testing.T) {
 		{&IDRequest{ID: 4}, &IDRequest{}},
 		{&IDResponse{ID: 5}, &IDResponse{}},
 		{&CreateBufferRequest{Context: 1, Flags: 3, Size: 1 << 20}, &CreateBufferRequest{}},
+		{&CreateBufferRequest{Context: 1, Flags: 1, Size: 4,
+			InitData: []byte("abcd"), ContentHash: 0xfeedface}, &CreateBufferRequest{}},
+		{&CreateBufferRequest{Context: 1, Flags: 1, Size: 1 << 20,
+			ContentHash: 0xfeedface}, &CreateBufferRequest{}},
+		{&EnqueueCopyRequest{Tag: 21, Queue: 1, SrcBuffer: 2, DstBuffer: 3,
+			SrcOffset: 64, DstOffset: 128, Length: 4096}, &EnqueueCopyRequest{}},
+		{&EnqueueCopyRequest{Tag: 22, Queue: 1, SrcBuffer: 2, DstBuffer: 3,
+			Length: 4096, TraceID: 0xdead, SpanID: 0xbeef}, &EnqueueCopyRequest{}},
 		{&CreateProgramRequest{Context: 2, Binary: []byte("AOCX0:spector-mm")}, &CreateProgramRequest{}},
 		{&CreateProgramResponse{ID: 8, Kernels: []string{"mm"}}, &CreateProgramResponse{}},
 		{&CreateKernelRequest{Program: 8, Name: "mm"}, &CreateKernelRequest{}},
@@ -200,6 +208,55 @@ func TestTraceFieldsTrailing(t *testing.T) {
 	f.Decode(d)
 	if d.Err() != nil || f.DeadlineMillis != 0 || f.TraceID != 0xdead || f.SpanID != 0xbeef {
 		t.Fatalf("traced unhinted Flush decode: %+v err=%v", f, d.Err())
+	}
+}
+
+// TestReuseFieldsTrailing pins the compatibility contract of the
+// data-plane reuse tail: unhashed CreateBuffers encode byte-identically
+// to the pre-reuse (proto <= 4) layout, and pre-reuse frames decode with
+// the content hash zeroed — so v4 peers interoperate unchanged.
+func TestReuseFieldsTrailing(t *testing.T) {
+	// Pre-reuse CreateBuffer layout: context, flags, size, length-prefixed
+	// init data.
+	old := NewEncoder(64)
+	old.U64(3)
+	old.U32(1)
+	old.I64(6)
+	old.Bytes32([]byte("abcdef"))
+	now := NewEncoder(64)
+	(&CreateBufferRequest{Context: 3, Flags: 1, Size: 6, InitData: []byte("abcdef")}).Encode(now)
+	if !bytes.Equal(old.Bytes(), now.Bytes()) {
+		t.Fatalf("unhashed CreateBuffer changed on the wire:\nold %x\nnew %x", old.Bytes(), now.Bytes())
+	}
+	var c CreateBufferRequest
+	d := NewDecoder(old.Bytes())
+	c.Decode(d)
+	if d.Err() != nil || c.ContentHash != 0 {
+		t.Fatalf("pre-reuse CreateBuffer decode: hash=%#x err=%v", c.ContentHash, d.Err())
+	}
+	if !bytes.Equal(c.InitData, []byte("abcdef")) {
+		t.Fatalf("pre-reuse CreateBuffer init data: %q", c.InitData)
+	}
+}
+
+// TestCreateBufferHeadTailMatchesEncode pins the vectored-write split:
+// EncodeHead + payload segment + EncodeTail must equal Encode, with and
+// without the content-hash tail.
+func TestCreateBufferHeadTailMatchesEncode(t *testing.T) {
+	for _, hash := range []uint64{0, 0xfeedface} {
+		msg := CreateBufferRequest{Context: 3, Flags: 1, Size: 6,
+			InitData: []byte("abcdef"), ContentHash: hash}
+		whole := NewEncoder(64)
+		msg.Encode(whole)
+		split := NewEncoder(64)
+		msg.EncodeHead(split)
+		head := split.Len()
+		msg.EncodeTail(split)
+		got := append(append([]byte(nil), split.Bytes()[:head]...), msg.InitData...)
+		got = append(got, split.Bytes()[head:]...)
+		if !bytes.Equal(got, whole.Bytes()) {
+			t.Fatalf("hash %#x: head+data+tail != Encode:\nsplit %x\nwhole %x", hash, got, whole.Bytes())
+		}
 	}
 }
 
