@@ -1,7 +1,7 @@
 # BlastFunction reproduction build targets.
 GO ?= go
 
-.PHONY: all build test vet race bench bench-dataplane trace-overhead log-overhead check experiments examples sched-ablation clean
+.PHONY: all build test vet race bench bench-dataplane bench-scale trace-overhead log-overhead check experiments examples sched-ablation clean
 
 all: build test
 
@@ -22,9 +22,11 @@ vet:
 # engine evaluates while scrape goroutines append; always run them under
 # the race detector. datacache is the shared buffer/memo cache hit from
 # every session's RPC goroutine, and fpga carries the board counters and
-# device-to-device copy path those caches drive.
+# device-to-device copy path those caches drive. gateway serves requests,
+# scales replicas and autoscales concurrently over shared per-endpoint
+# counters and the round-robin cursor.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/... ./internal/obs/... ./internal/logx/... ./internal/alert/... ./internal/datacache/... ./internal/fpga/...
+	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/... ./internal/obs/... ./internal/logx/... ./internal/alert/... ./internal/datacache/... ./internal/fpga/... ./internal/gateway/...
 
 # Run the scheduling fairness experiment: the two-tenant skew workload on
 # the real Device Manager under fifo vs drr, checked against the
@@ -42,6 +44,13 @@ bench: trace-overhead log-overhead
 # transport round-trip baselines.
 bench-dataplane:
 	BF_BENCH_DATAPLANE=1 $(GO) test -run TestBenchDataplaneArtifact -count=1 -v .
+
+# Record the cluster-scale front-door trajectory into BENCH_scale.json:
+# p50/p99 and rejection rate at 100 boards / 500 tenants past saturation,
+# bare round-robin vs admission + least-inflight, plus the placement
+# pass's Gatherer query cost.
+bench-scale:
+	BF_BENCH_SCALE=1 $(GO) test -run TestBenchScaleArtifact -count=1 -v .
 
 # Measure the distributed-tracing tax on the hot RPC path: the 4K gRPC
 # round trip with tracing off, sampling 1% and sampling 100%, next to the

@@ -1,0 +1,90 @@
+package blastfunction
+
+// Cluster-scale front-door trajectory: tail latency and rejection rate at
+// 100 boards / 500 tenants past saturation, bare round-robin vs
+// admission + least-inflight, plus the placement pass's metric-query
+// cost. `make bench-scale` runs this and writes BENCH_scale.json at the
+// repo root so the numbers accumulate across revisions.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"blastfunction/internal/simcluster"
+)
+
+// scaleReport is the BENCH_scale.json schema.
+type scaleReport struct {
+	GeneratedBy string `json:"generated_by"`
+
+	Baseline  *simcluster.ScaleResult `json:"baseline_roundrobin"`
+	Treatment *simcluster.ScaleResult `json:"admission_least_inflight"`
+
+	// P99ImprovementX is baseline p99 / treatment p99 — the headline the
+	// admission/routing exemplar reports near saturation.
+	P99ImprovementX float64 `json:"p99_improvement_x"`
+}
+
+// TestBenchScaleArtifact runs the cluster-scale DES and records
+// BENCH_scale.json. Gated behind BF_BENCH_SCALE so `go test ./...`
+// stays fast.
+func TestBenchScaleArtifact(t *testing.T) {
+	if os.Getenv("BF_BENCH_SCALE") == "" {
+		t.Skip("set BF_BENCH_SCALE=1 (or run `make bench-scale`) to record the artifact")
+	}
+
+	base := simcluster.ScaleConfig{Boards: 100, Tenants: 500}
+	baseline, err := simcluster.RunScale(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treated := base
+	treated.Admission = true
+	treated.Router = "least-inflight"
+	treatment, err := simcluster.RunScale(treated)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report := scaleReport{
+		GeneratedBy: "make bench-scale",
+		Baseline:    baseline,
+		Treatment:   treatment,
+	}
+	if treatment.P99Ms > 0 {
+		report.P99ImprovementX = baseline.P99Ms / treatment.P99Ms
+	}
+
+	t.Logf("baseline:  p50=%.2fms p99=%.2fms rejected=%.1f%%",
+		baseline.P50Ms, baseline.P99Ms, 100*baseline.RejectionRate)
+	t.Logf("treatment: p50=%.2fms p99=%.2fms rejected=%.1f%%",
+		treatment.P50Ms, treatment.P99Ms, 100*treatment.RejectionRate)
+	t.Logf("p99 improvement: %.1fx; placement: %d allocations, %d gatherer computes, %d cache hits, %.1fms",
+		report.P99ImprovementX, baseline.Allocations,
+		baseline.GathererComputes, baseline.GathererCacheHits, baseline.AllocWallMs)
+
+	// Quality bars: the front door must beat the baseline tail at least
+	// 2x past saturation, and the placement pass must not recompute TSDB
+	// rates per candidate (one compute per board per scrape generation).
+	if report.P99ImprovementX < 2 {
+		t.Fatalf("p99 improvement %.2fx under the 2x bar", report.P99ImprovementX)
+	}
+	if treatment.Rejected == 0 {
+		t.Fatal("admission past saturation must reject something")
+	}
+	for _, r := range []*simcluster.ScaleResult{baseline, treatment} {
+		if r.GathererComputes > uint64(base.Boards) {
+			t.Fatalf("gatherer computed %d device views for %d boards", r.GathererComputes, base.Boards)
+		}
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_scale.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_scale.json")
+}

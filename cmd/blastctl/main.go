@@ -189,7 +189,7 @@ func showTop(registryBase, gatewayBase, managerBase string, args []string) {
 	once := fs.Bool("once", false, "print one frame and exit")
 	fs.Parse(args)
 	for {
-		frame := topFrame(dedup(registryBase, gatewayBase), dedup(registryBase, gatewayBase), managerBase)
+		frame := topFrame(dedup(registryBase, gatewayBase), dedup(registryBase, gatewayBase), gatewayBase, managerBase)
 		if *once {
 			fmt.Print(frame)
 			return
@@ -202,7 +202,7 @@ func showTop(registryBase, gatewayBase, managerBase string, args []string) {
 
 // topFrame builds one rendering of the cluster view. Every section is
 // best-effort: an unreachable process leaves a note, not a dead screen.
-func topFrame(deviceBases, alertBases []string, managerBase string) string {
+func topFrame(deviceBases, alertBases []string, gatewayBase, managerBase string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "BlastFunction cluster — %s\n\n", time.Now().Format("15:04:05"))
 
@@ -268,6 +268,62 @@ func topFrame(deviceBases, alertBases []string, managerBase string) string {
 			fmt.Fprintf(&b, "  %s %s value=%.3g (%s %g) for %s\n",
 				st.Rule, st.Labels.String(), st.Value, st.Op, st.Threshold,
 				now.Sub(st.Since).Round(time.Second))
+		}
+	}
+
+	var front struct {
+		Router    string `json:"router"`
+		Admission bool   `json:"admission"`
+		Functions []struct {
+			Function  string  `json:"function"`
+			Requests  int64   `json:"requests"`
+			Errors    int64   `json:"errors"`
+			InFlight  int64   `json:"inflight"`
+			Replicas  int     `json:"replicas"`
+			Admitted  int64   `json:"admitted"`
+			Rejected  int64   `json:"rejected"`
+			AvgMillis float64 `json:"avg_ms"`
+		} `json:"functions"`
+		Tenants []struct {
+			Tenant   string  `json:"tenant"`
+			Rate     float64 `json:"rate"`
+			Priority int     `json:"priority"`
+			Admitted uint64  `json:"admitted"`
+			Rejected uint64  `json:"rejected"`
+		} `json:"tenants"`
+	}
+	b.WriteByte('\n')
+	if err := fetch(strings.TrimSuffix(gatewayBase, "/")+"/debug/gateway", &front); err != nil {
+		fmt.Fprintf(&b, "front door: unreachable\n")
+	} else {
+		admission := "admission off"
+		if front.Admission {
+			admission = "admission on"
+		}
+		fmt.Fprintf(&b, "front door: router %s, %s\n", front.Router, admission)
+		w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "  FUNCTION\tREPLICAS\tREQS\tERRS\tINFLIGHT\tADMITTED\tREJECTED\tAVG")
+		for _, f := range front.Functions {
+			fmt.Fprintf(w, "  %s\t%d\t%d\t%d\t%d\t%d\t%d\t%.1fms\n",
+				f.Function, f.Replicas, f.Requests, f.Errors, f.InFlight,
+				f.Admitted, f.Rejected, f.AvgMillis)
+		}
+		w.Flush()
+		throttled := 0
+		for _, tn := range front.Tenants {
+			if tn.Rejected > 0 {
+				throttled++
+			}
+		}
+		if throttled > 0 {
+			fmt.Fprintf(&b, "  throttled tenants (%d):\n", throttled)
+			for _, tn := range front.Tenants {
+				if tn.Rejected == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "    %s rate=%.1f/s prio=%d admitted=%d rejected=%d\n",
+					tn.Tenant, tn.Rate, tn.Priority, tn.Admitted, tn.Rejected)
+			}
 		}
 	}
 

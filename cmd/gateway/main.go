@@ -85,11 +85,14 @@ func main() {
 		alertInterval = flag.Duration("alert-interval", 5*time.Second, "alert rule evaluation interval")
 		logLevel      = flag.String("log-level", "info", "minimum level mirrored to stderr (debug|info|warn|error)")
 		logRing       = flag.Int("log-ring", 4096, "events kept in the /debug/logs ring")
+		routerName    = flag.String("router", "roundrobin", "routing policy: roundrobin|least-inflight|locality|weighted")
 		managers      listFlag
 		deploys       listFlag
+		admissions    listFlag
 	)
 	flag.Var(&managers, "manager", "Device Manager spec: node=N,id=I,addr=H:P[,metrics=URL] (repeatable)")
 	flag.Var(&deploys, "deploy", "function deployment: name=usecase (usecase: sobel|mm|cnn; repeatable)")
+	flag.Var(&admissions, "admission", "per-tenant admission budget: rate:burst[:priority] default, tenant=rate:burst[:priority] override (repeatable; absent disables admission control)")
 	flag.Parse()
 	if len(managers) == 0 {
 		log.Fatal("gateway: at least one -manager is required")
@@ -189,6 +192,20 @@ func main() {
 	go ctrl.Run(ctx)
 	gw := gateway.New(cl)
 	gw.Log = rootLog
+	gw.Metrics = alertReg
+	router, err := gateway.NewRouter(*routerName)
+	if err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+	gw.Router = router
+	if len(admissions) > 0 {
+		adm, err := gateway.ParseAdmission(admissions)
+		if err != nil {
+			log.Fatalf("gateway: %v", err)
+		}
+		gw.Admission = adm
+		rootLog.Info("admission control enabled", "specs", strings.Join(admissions, " "))
+	}
 	// One shared tracer for every function instance in this process: the
 	// Remote Library samples traces at the configured rate and the spans
 	// are served from the gateway's /debug/spans.

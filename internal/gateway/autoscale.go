@@ -16,6 +16,10 @@ type AutoscaleConfig struct {
 	TargetInFlight float64
 	// Interval is the evaluation period; default one second.
 	Interval time.Duration
+	// ScaleOutCooldown suppresses further scale-outs for this long after
+	// one fires, giving the new instance time to materialize before its
+	// load contribution is judged; default 3×Interval.
+	ScaleOutCooldown time.Duration
 }
 
 // Autoscale runs an OpenFaaS-style autoscaler until ctx is cancelled: it
@@ -23,6 +27,12 @@ type AutoscaleConfig struct {
 // adjusts replicas within [Min, Max]. This is the paper's "Gateway ...
 // handles autoscaling" integration point; the Registry then places every
 // new replica through the allocation algorithm like any other instance.
+//
+// The replica count it divides by and scales from is the cluster's live
+// instance count — the same ground truth Scale reconciles against — not
+// the materialized-endpoint count, which lags while factories start and
+// would otherwise make the scaler keep creating instances it has already
+// created.
 func (g *Gateway) Autoscale(ctx context.Context, cfg AutoscaleConfig) error {
 	if cfg.Min < 1 {
 		cfg.Min = 1
@@ -36,12 +46,16 @@ func (g *Gateway) Autoscale(ctx context.Context, cfg AutoscaleConfig) error {
 	if cfg.Interval <= 0 {
 		cfg.Interval = time.Second
 	}
+	if cfg.ScaleOutCooldown <= 0 {
+		cfg.ScaleOutCooldown = 3 * cfg.Interval
+	}
 	// Enforce the floor immediately.
-	if st := g.Stats(cfg.Function); st.Replicas < cfg.Min {
+	if n := g.ClusterReplicas(cfg.Function); n < cfg.Min {
 		if err := g.Scale(cfg.Function, cfg.Min); err != nil {
 			return err
 		}
 	}
+	var lastScaleOut time.Time
 	ticker := time.NewTicker(cfg.Interval)
 	defer ticker.Stop()
 	for {
@@ -49,17 +63,21 @@ func (g *Gateway) Autoscale(ctx context.Context, cfg AutoscaleConfig) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-ticker.C:
-			st := g.Stats(cfg.Function)
-			if st.Replicas == 0 {
-				continue // not materialized yet
+			n := g.ClusterReplicas(cfg.Function)
+			if n == 0 {
+				continue // not deployed yet
 			}
-			perReplica := float64(st.InFlight) / float64(st.Replicas)
-			want := st.Replicas
+			st := g.Stats(cfg.Function)
+			perReplica := float64(st.InFlight) / float64(n)
+			want := n
 			switch {
 			case perReplica > cfg.TargetInFlight:
-				want = st.Replicas + 1
+				if time.Since(lastScaleOut) < cfg.ScaleOutCooldown {
+					continue // let the previous scale-out materialize first
+				}
+				want = n + 1
 			case perReplica < cfg.TargetInFlight/2:
-				want = st.Replicas - 1
+				want = n - 1
 			}
 			if want < cfg.Min {
 				want = cfg.Min
@@ -67,9 +85,12 @@ func (g *Gateway) Autoscale(ctx context.Context, cfg AutoscaleConfig) error {
 			if want > cfg.Max {
 				want = cfg.Max
 			}
-			if want != st.Replicas {
+			if want != n {
 				if err := g.Scale(cfg.Function, want); err != nil {
 					return err
+				}
+				if want > n {
+					lastScaleOut = time.Now()
 				}
 			}
 		}

@@ -1,0 +1,228 @@
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"blastfunction/internal/cluster"
+)
+
+// TestPanicDoesNotLeakInflight is the panic-leak regression: a panicking
+// endpoint must answer 500, count as an error, and return the in-flight
+// counters to zero — a leaked count would permanently inflate the
+// autoscaler signal and poison least-inflight routing.
+func TestPanicDoesNotLeakInflight(t *testing.T) {
+	g, _ := startGateway(t)
+	g.Deploy("bomb", 1, func(in cluster.Instance) (Endpoint, error) {
+		return HandlerEndpoint{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			panic("kernel exploded")
+		})}, nil
+	})
+	waitReplicas(t, g, "bomb", 1)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := srv.Client().Get(srv.URL + "/function/bomb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panicking endpoint = %v, want 500", resp.Status)
+		}
+	}
+	st := g.Stats("bomb")
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight leaked: %+v", st)
+	}
+	if st.Requests != 3 || st.Errors != 3 {
+		t.Fatalf("panic not counted as error: %+v", st)
+	}
+	for _, es := range g.Debug().Functions[0].Endpoints {
+		if es.InFlight != 0 {
+			t.Fatalf("endpoint in-flight leaked: %+v", es)
+		}
+	}
+}
+
+// TestPanicAfterHeadersSent: when the endpoint panics after writing, the
+// handler must not try to write a second status line.
+func TestPanicAfterHeadersSent(t *testing.T) {
+	g, _ := startGateway(t)
+	g.Deploy("half", 1, func(in cluster.Instance) (Endpoint, error) {
+		return HandlerEndpoint{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusAccepted)
+			panic("after headers")
+		})}, nil
+	})
+	waitReplicas(t, g, "half", 1)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/function/half")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %v, want the already-sent 202", resp.Status)
+	}
+	if st := g.Stats("half"); st.InFlight != 0 || st.Errors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestConcurrentScaleConverges is the Scale-race regression: concurrent
+// Scale calls used to race on cl.Instances and pad with empty
+// placeholders, over- or under-shooting the replica count.
+func TestConcurrentScaleConverges(t *testing.T) {
+	g, cl := startGateway(t)
+	if err := g.Deploy("svc", 1, echoFactory(nil)); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicas(t, g, "svc", 1)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		n := 1 + i%5
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Scale("svc", n); err != nil {
+				t.Errorf("scale(%d): %v", n, err)
+			}
+		}()
+	}
+	wg.Wait()
+	// Serialized scaling means the last completed call fully reconciled;
+	// a final call must land exactly on its target.
+	if err := g.Scale("svc", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cl.Instances("svc")); got != 2 {
+		t.Fatalf("cluster instances = %d, want exactly 2", got)
+	}
+	waitReplicas(t, g, "svc", 2)
+}
+
+// TestConcurrentScaleAndAutoscale runs admin Scale calls against a live
+// autoscaler under the race detector.
+func TestConcurrentScaleAndAutoscale(t *testing.T) {
+	g, cl := startGateway(t)
+	if err := g.Deploy("svc", 1, echoFactory(nil)); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicas(t, g, "svc", 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		g.Autoscale(ctx, AutoscaleConfig{Function: "svc", Min: 1, Max: 4,
+			TargetInFlight: 1, Interval: 5 * time.Millisecond})
+		close(done)
+	}()
+	for i := 0; i < 30; i++ {
+		if err := g.Scale("svc", 1+i%4); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+	if got := len(cl.Instances("svc")); got < 1 || got > 4 {
+		t.Fatalf("cluster instances = %d, want within [1,4]", got)
+	}
+}
+
+// TestAutoscalerUsesClusterCount is the signal-mismatch regression: with 3
+// cluster instances but only 1 materialized endpoint, the old scaler
+// divided in-flight by the materialized count and kept issuing Scale
+// calls computed from the wrong base, shrinking the cluster under load.
+func TestAutoscalerUsesClusterCount(t *testing.T) {
+	g, cl := startGateway(t)
+	block := make(chan struct{})
+	var mu sync.Mutex
+	materialized := 0
+	g.Deploy("slow", 1, func(in cluster.Instance) (Endpoint, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if materialized >= 1 {
+			// Later instances never materialize (a Device Manager that is
+			// slow to come up); retries are pushed past the test horizon.
+			return nil, context.DeadlineExceeded
+		}
+		materialized++
+		return HandlerEndpoint{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			<-block
+		})}, nil
+	})
+	g.RetryDelay = time.Hour
+	waitReplicas(t, g, "slow", 1)
+	if err := g.Scale("slow", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	defer close(block) // unpark requests before srv.Close waits on them
+	for i := 0; i < 6; i++ {
+		go srv.Client().Get(srv.URL + "/function/slow")
+	}
+	deadline := time.Now().Add(time.Second)
+	for g.Stats("slow").InFlight < 6 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go g.Autoscale(ctx, AutoscaleConfig{Function: "slow", Min: 1, Max: 3,
+		TargetInFlight: 1, Interval: 5 * time.Millisecond})
+
+	// The cluster already holds Max instances; a scaler reading the
+	// cluster count holds steady. The old one read Replicas=1, decided
+	// want=2, and deleted an instance.
+	time.Sleep(150 * time.Millisecond)
+	if got := len(cl.Instances("slow")); got != 3 {
+		t.Fatalf("cluster instances = %d, want 3 held under load", got)
+	}
+}
+
+// TestScaleOutCooldown: consecutive scale-outs must be spaced by the
+// cooldown even when the pressure persists.
+func TestScaleOutCooldown(t *testing.T) {
+	g, cl := startGateway(t)
+	block := make(chan struct{})
+	g.Deploy("burst", 1, func(in cluster.Instance) (Endpoint, error) {
+		return HandlerEndpoint{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			<-block
+		})}, nil
+	})
+	waitReplicas(t, g, "burst", 1)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	defer close(block) // unpark requests before srv.Close waits on them
+	for i := 0; i < 8; i++ {
+		go srv.Client().Get(srv.URL + "/function/burst")
+	}
+	deadline := time.Now().Add(time.Second)
+	for g.Stats("burst").InFlight < 8 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go g.Autoscale(ctx, AutoscaleConfig{Function: "burst", Min: 1, Max: 8,
+		TargetInFlight: 1, Interval: 5 * time.Millisecond,
+		ScaleOutCooldown: 300 * time.Millisecond})
+
+	// Within one cooldown window only a single scale-out may fire, even
+	// though 8 parked requests scream for more.
+	time.Sleep(150 * time.Millisecond)
+	if got := len(cl.Instances("burst")); got > 2 {
+		t.Fatalf("cluster instances = %d within cooldown, want <= 2", got)
+	}
+}

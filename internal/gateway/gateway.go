@@ -8,14 +8,18 @@
 // each Running instance with the function's Factory (the function runtime:
 // in a real deployment this is the container starting; here it builds the
 // HTTP handler backed by an ocl client), and routes /function/<name>
-// requests round-robin across ready instances.
+// requests across ready instances through a pluggable Router (round-robin
+// by default), behind optional per-tenant token-bucket admission control.
 package gateway
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -23,6 +27,7 @@ import (
 
 	"blastfunction/internal/cluster"
 	"blastfunction/internal/logx"
+	"blastfunction/internal/metrics"
 	"blastfunction/internal/obs"
 )
 
@@ -52,25 +57,81 @@ func (h HandlerEndpoint) Close() error {
 // (Device Manager address, device ID, node).
 type Factory func(in cluster.Instance) (Endpoint, error)
 
+// envWeight mirrors registry.EnvWeight: the fair-share weight the
+// Registry injects into allocated instances. Read here so the weighted
+// router can score endpoints without importing the registry.
+const envWeight = "BF_TENANT_WEIGHT"
+
 // FuncStats aggregates per-function gateway statistics.
 type FuncStats struct {
 	Requests  int64
 	Errors    int64
 	InFlight  int64
 	Replicas  int
+	Admitted  int64
+	Rejected  int64
 	AvgMillis float64
 }
 
+// epState is one materialized endpoint with its live routing signals.
+type epState struct {
+	uid    string
+	node   string
+	weight int
+	ep     Endpoint
+
+	inflight atomic.Int64
+	requests atomic.Int64
+}
+
 type funcState struct {
-	factory  Factory
-	mu       sync.Mutex
-	eps      map[string]Endpoint // by instance UID
-	order    []string
-	rr       int
+	factory Factory
+	mu      sync.Mutex
+	eps     map[string]*epState // by instance UID
+	order   []string
+	// rr is the round-robin cursor: an index into order (not a modulo
+	// counter), adjusted on removals so a shrinking rotation neither
+	// skips nor double-serves the surviving endpoints.
+	rr int
+	// tie rotates the scan offset of load-based routers so equally
+	// loaded endpoints share work instead of the first always winning.
+	tie atomic.Int64
+	// scaleMu serializes Scale per function: concurrent autoscaler and
+	// admin calls otherwise interleave their create/delete batches and
+	// over- or under-shoot the replica count.
+	scaleMu  sync.Mutex
 	requests atomic.Int64
 	errors   atomic.Int64
 	inflight atomic.Int64
+	admitted atomic.Int64
+	rejected atomic.Int64
 	latSumUs atomic.Int64
+}
+
+// nextRR picks the next endpoint in rotation.
+func (fs *funcState) nextRR() *epState {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if len(fs.order) == 0 {
+		return nil
+	}
+	if fs.rr >= len(fs.order) {
+		fs.rr = 0
+	}
+	es := fs.eps[fs.order[fs.rr]]
+	fs.rr++
+	return es
+}
+
+// endpoints snapshots the ready endpoints in rotation order.
+func (fs *funcState) endpoints() []*epState {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]*epState, 0, len(fs.order))
+	for _, uid := range fs.order {
+		out = append(out, fs.eps[uid])
+	}
+	return out
 }
 
 // factoryRetries bounds materialization attempts per instance; the delay
@@ -93,6 +154,17 @@ type Gateway struct {
 	// remote.Config); Handler serves its ring at /debug/spans. Nil serves
 	// an empty span list.
 	Tracer *obs.Tracer
+	// Router picks the endpoint serving each request; nil falls back to
+	// round-robin (the paper's behavior). Set before serving.
+	Router Router
+	// Admission, when set, gates every /function/ request through the
+	// per-tenant token buckets; over-budget requests get 429 with a
+	// Retry-After. Nil admits everything.
+	Admission *Admission
+	// Metrics, when set, receives the front-door counters
+	// (bf_gateway_admitted_total / bf_gateway_rejected_total per
+	// function). Nil skips them.
+	Metrics *metrics.Registry
 
 	mu      sync.Mutex
 	funcs   map[string]*funcState
@@ -106,8 +178,17 @@ func New(cl *cluster.Cluster) *Gateway {
 		cl:         cl,
 		Log:        logx.Default("gateway"),
 		RetryDelay: factoryRetryDelay,
+		Router:     roundRobinRouter{},
 		funcs:      make(map[string]*funcState),
 	}
+}
+
+// router returns the configured routing policy (round-robin when unset).
+func (g *Gateway) router() Router {
+	if g.Router == nil {
+		return roundRobinRouter{}
+	}
+	return g.Router
 }
 
 // Deploy registers a function and creates replicas instances. Instances
@@ -132,7 +213,7 @@ func (g *Gateway) deploy(name string, factory Factory, replicas int, nodes []str
 		g.mu.Unlock()
 		return fmt.Errorf("gateway: function %q already deployed", name)
 	}
-	g.funcs[name] = &funcState{factory: factory, eps: make(map[string]Endpoint)}
+	g.funcs[name] = &funcState{factory: factory, eps: make(map[string]*epState)}
 	g.mu.Unlock()
 	for i := 0; i < replicas; i++ {
 		spec := cluster.Instance{Function: name}
@@ -148,32 +229,40 @@ func (g *Gateway) deploy(name string, factory Factory, replicas int, nodes []str
 
 // Scale adjusts a function's replica count — the autoscaling hook. It
 // creates or deletes instances; the registry reallocates accordingly.
+// Calls are serialized per function and reconcile against the cluster's
+// live instance list, so concurrent Autoscale and admin calls cannot
+// interleave their create/delete batches.
 func (g *Gateway) Scale(name string, replicas int) error {
 	if replicas < 0 {
 		return fmt.Errorf("gateway: negative replica count")
 	}
 	g.mu.Lock()
-	_, ok := g.funcs[name]
+	fs := g.funcs[name]
 	g.mu.Unlock()
-	if !ok {
+	if fs == nil {
 		return fmt.Errorf("gateway: function %q not deployed", name)
 	}
+	fs.scaleMu.Lock()
+	defer fs.scaleMu.Unlock()
 	current := g.cl.Instances(name)
-	for len(current) < replicas {
+	for i := len(current); i < replicas; i++ {
 		if _, err := g.cl.CreateInstance(cluster.Instance{Function: name}); err != nil {
 			return err
 		}
-		current = append(current, cluster.Instance{})
 	}
 	for i := len(current) - 1; i >= replicas; i-- {
-		if current[i].UID == "" {
-			continue
-		}
 		if err := g.cl.DeleteInstance(current[i].UID); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// ClusterReplicas reports the function's instance count in the cluster —
+// the ground truth Scale reconciles against, which leads ReadyReplicas
+// while factories are still materializing.
+func (g *Gateway) ClusterReplicas(name string) int {
+	return len(g.cl.Instances(name))
 }
 
 // Run materializes instances from cluster events until ctx is cancelled.
@@ -219,19 +308,24 @@ func (g *Gateway) handle(ev cluster.Event) {
 		g.materialize(fs, ev.Instance, 0)
 	case cluster.Deleted:
 		fs.mu.Lock()
-		ep, ok := fs.eps[ev.Instance.UID]
+		es, ok := fs.eps[ev.Instance.UID]
 		if ok {
 			delete(fs.eps, ev.Instance.UID)
 			for i, uid := range fs.order {
 				if uid == ev.Instance.UID {
 					fs.order = append(fs.order[:i], fs.order[i+1:]...)
+					// Keep the rotation aligned: everything before the
+					// cursor shifted left by one, so the cursor follows.
+					if i < fs.rr {
+						fs.rr--
+					}
 					break
 				}
 			}
 		}
 		fs.mu.Unlock()
 		if ok {
-			ep.Close()
+			es.ep.Close()
 		}
 	}
 }
@@ -269,65 +363,30 @@ func (g *Gateway) materialize(fs *funcState, in cluster.Instance, attempt int) {
 		time.AfterFunc(delay, func() { g.materialize(fs, in, attempt+1) })
 		return
 	}
+	weight, _ := strconv.Atoi(in.Env[envWeight])
+	es := &epState{uid: in.UID, node: in.Node, weight: weight, ep: ep}
 	fs.mu.Lock()
 	if _, exists := fs.eps[in.UID]; exists {
 		fs.mu.Unlock()
 		ep.Close()
 		return
 	}
-	fs.eps[in.UID] = ep
+	fs.eps[in.UID] = es
 	fs.order = append(fs.order, in.UID)
 	fs.mu.Unlock()
-}
-
-// next picks an endpoint round-robin.
-func (fs *funcState) next() Endpoint {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if len(fs.order) == 0 {
-		return nil
-	}
-	uid := fs.order[fs.rr%len(fs.order)]
-	fs.rr++
-	return fs.eps[uid]
 }
 
 // Handler serves the gateway API:
 //
 //	ANY /function/<name>   invoke the function
 //	GET /system/functions  list deployments and statistics
+//	GET /debug/gateway     admission + routing state (JSON)
 //	GET /debug/spans       client-side distributed-tracing spans
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/function/", func(w http.ResponseWriter, r *http.Request) {
-		name := strings.TrimPrefix(r.URL.Path, "/function/")
-		if i := strings.IndexByte(name, '/'); i >= 0 {
-			name = name[:i]
-		}
-		g.mu.Lock()
-		fs := g.funcs[name]
-		g.mu.Unlock()
-		if fs == nil {
-			http.Error(w, fmt.Sprintf("function %q not found", name), http.StatusNotFound)
-			return
-		}
-		ep := fs.next()
-		if ep == nil {
-			http.Error(w, fmt.Sprintf("function %q has no ready instances", name), http.StatusServiceUnavailable)
-			return
-		}
-		fs.requests.Add(1)
-		fs.inflight.Add(1)
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		ep.ServeHTTP(sw, r)
-		fs.inflight.Add(-1)
-		fs.latSumUs.Add(time.Since(start).Microseconds())
-		if sw.status >= 400 {
-			fs.errors.Add(1)
-		}
-	})
+	mux.HandleFunc("/function/", g.serveFunction)
 	mux.Handle("/debug/spans", g.Tracer.Handler())
+	mux.HandleFunc("/debug/gateway", g.serveDebug)
 	mux.HandleFunc("/system/functions", func(w http.ResponseWriter, _ *http.Request) {
 		g.mu.Lock()
 		names := make([]string, 0, len(g.funcs))
@@ -345,14 +404,178 @@ func (g *Gateway) Handler() http.Handler {
 	return mux
 }
 
+// serveFunction is the front door: admission, routing, then the endpoint.
+func (g *Gateway) serveFunction(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/function/")
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	g.mu.Lock()
+	fs := g.funcs[name]
+	g.mu.Unlock()
+	if fs == nil {
+		http.Error(w, fmt.Sprintf("function %q not found", name), http.StatusNotFound)
+		return
+	}
+	if g.Admission != nil {
+		tenant := r.Header.Get(TenantHeader)
+		if tenant == "" {
+			tenant = name
+		}
+		ok, retryAfter := g.Admission.Admit(tenant)
+		if !ok {
+			fs.rejected.Add(1)
+			g.countAdmission("bf_gateway_rejected_total", name)
+			secs := int(retryAfter/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			http.Error(w, fmt.Sprintf("tenant %q over admission budget", tenant),
+				http.StatusTooManyRequests)
+			return
+		}
+		fs.admitted.Add(1)
+		g.countAdmission("bf_gateway_admitted_total", name)
+	}
+	es := g.router().Pick(fs, RouteHint{Node: r.Header.Get(AffinityHeader)})
+	if es == nil {
+		http.Error(w, fmt.Sprintf("function %q has no ready instances", name), http.StatusServiceUnavailable)
+		return
+	}
+	fs.requests.Add(1)
+	es.requests.Add(1)
+	fs.inflight.Add(1)
+	es.inflight.Add(1)
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	// The decrements and accounting are deferred so a panicking endpoint
+	// cannot leak the in-flight counts: a leak would permanently inflate
+	// the autoscaler's signal and poison least-inflight routing.
+	defer func() {
+		es.inflight.Add(-1)
+		fs.inflight.Add(-1)
+		fs.latSumUs.Add(time.Since(start).Microseconds())
+		if rec := recover(); rec != nil {
+			fs.errors.Add(1)
+			g.Log.Error("gateway: endpoint panicked",
+				"function", name, "instance", es.uid, "panic", fmt.Sprint(rec))
+			if !sw.wrote {
+				http.Error(sw.ResponseWriter, "internal function error", http.StatusInternalServerError)
+			}
+			return
+		}
+		if sw.status >= 400 {
+			fs.errors.Add(1)
+		}
+	}()
+	es.ep.ServeHTTP(sw, r)
+}
+
+// countAdmission bumps a front-door counter when a metrics registry is
+// attached.
+func (g *Gateway) countAdmission(series, function string) {
+	if g.Metrics == nil {
+		return
+	}
+	g.Metrics.Counter(series, "gateway admission decisions",
+		metrics.Labels{"function": function}).Inc()
+}
+
+// DebugEndpoint is one endpoint's routing view in /debug/gateway.
+type DebugEndpoint struct {
+	UID      string `json:"uid"`
+	Node     string `json:"node"`
+	Weight   int    `json:"weight"`
+	InFlight int64  `json:"inflight"`
+	Requests int64  `json:"requests"`
+}
+
+// DebugFunction is one function's front-door view in /debug/gateway.
+type DebugFunction struct {
+	Function  string          `json:"function"`
+	Requests  int64           `json:"requests"`
+	Errors    int64           `json:"errors"`
+	InFlight  int64           `json:"inflight"`
+	Replicas  int             `json:"replicas"`
+	Admitted  int64           `json:"admitted"`
+	Rejected  int64           `json:"rejected"`
+	AvgMillis float64         `json:"avg_ms"`
+	Endpoints []DebugEndpoint `json:"endpoints"`
+}
+
+// DebugState is the /debug/gateway document: the routing policy, whether
+// admission is on, per-function stats with per-endpoint load, and the
+// admission tenants.
+type DebugState struct {
+	Router    string            `json:"router"`
+	Admission bool              `json:"admission"`
+	Functions []DebugFunction   `json:"functions"`
+	Tenants   []TenantAdmission `json:"tenants,omitempty"`
+}
+
+// Debug assembles the front-door state served at /debug/gateway.
+func (g *Gateway) Debug() DebugState {
+	st := DebugState{Router: g.router().Name(), Admission: g.Admission != nil}
+	g.mu.Lock()
+	names := make([]string, 0, len(g.funcs))
+	for n := range g.funcs {
+		names = append(names, n)
+	}
+	g.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		g.mu.Lock()
+		fs := g.funcs[n]
+		g.mu.Unlock()
+		if fs == nil {
+			continue
+		}
+		df := DebugFunction{
+			Function: n,
+			Requests: fs.requests.Load(),
+			Errors:   fs.errors.Load(),
+			InFlight: fs.inflight.Load(),
+			Admitted: fs.admitted.Load(),
+			Rejected: fs.rejected.Load(),
+		}
+		if df.Requests > 0 {
+			df.AvgMillis = float64(fs.latSumUs.Load()) / float64(df.Requests) / 1000
+		}
+		for _, es := range fs.endpoints() {
+			df.Endpoints = append(df.Endpoints, DebugEndpoint{
+				UID: es.uid, Node: es.node, Weight: es.weight,
+				InFlight: es.inflight.Load(), Requests: es.requests.Load(),
+			})
+		}
+		df.Replicas = len(df.Endpoints)
+		st.Functions = append(st.Functions, df)
+	}
+	if g.Admission != nil {
+		st.Tenants = g.Admission.Snapshot()
+	}
+	return st
+}
+
+func (g *Gateway) serveDebug(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(g.Debug())
+}
+
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
 	sw.status = code
+	sw.wrote = true
 	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(p)
 }
 
 // Stats returns a function's gateway statistics.
@@ -370,6 +593,8 @@ func (g *Gateway) Stats(name string) FuncStats {
 		Requests: fs.requests.Load(),
 		Errors:   fs.errors.Load(),
 		InFlight: fs.inflight.Load(),
+		Admitted: fs.admitted.Load(),
+		Rejected: fs.rejected.Load(),
 		Replicas: replicas,
 	}
 	if st.Requests > 0 {

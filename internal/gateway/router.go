@@ -1,0 +1,150 @@
+package gateway
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RouteHint carries the per-request inputs a routing policy may consult.
+type RouteHint struct {
+	// Node is the shm-affinity hint (the X-BF-Node header): the caller
+	// runs on (or its data lives on) this node, so an endpoint whose
+	// instance shares the node can use the shared-memory transport
+	// instead of crossing the network.
+	Node string
+}
+
+// Router picks the endpoint that serves a request. Policies are selected
+// by name (NewRouter) and must be safe for concurrent use; per-endpoint
+// load is read from the gateway's live per-instance counters.
+type Router interface {
+	// Name identifies the policy ("roundrobin", "least-inflight", ...).
+	Name() string
+	// Pick returns the chosen endpoint, or nil when none is ready.
+	Pick(fs *funcState, hint RouteHint) *epState
+}
+
+// Router policy names accepted by NewRouter.
+const (
+	RouterRoundRobin    = "roundrobin"
+	RouterLeastInflight = "least-inflight"
+	RouterLocality      = "locality"
+	RouterWeighted      = "weighted"
+)
+
+// NewRouter builds a routing policy by name. The empty name selects
+// round-robin, the paper-faithful default.
+func NewRouter(name string) (Router, error) {
+	switch name {
+	case "", RouterRoundRobin:
+		return roundRobinRouter{}, nil
+	case RouterLeastInflight:
+		return leastInflightRouter{}, nil
+	case RouterLocality:
+		return localityRouter{}, nil
+	case RouterWeighted:
+		return weightedRouter{}, nil
+	}
+	return nil, fmt.Errorf("gateway: unknown router %q (want %s)", name,
+		strings.Join([]string{RouterRoundRobin, RouterLeastInflight, RouterLocality, RouterWeighted}, "|"))
+}
+
+// roundRobinRouter cycles through ready endpoints in materialization
+// order — the paper's gateway behavior and the default policy.
+type roundRobinRouter struct{}
+
+func (roundRobinRouter) Name() string                             { return RouterRoundRobin }
+func (roundRobinRouter) Pick(fs *funcState, _ RouteHint) *epState { return fs.nextRR() }
+
+// leastInflightRouter picks the endpoint with the fewest requests in
+// flight — the live load signal the admission/routing exemplar routes on.
+// Ties rotate so idle endpoints still share work evenly.
+type leastInflightRouter struct{}
+
+func (leastInflightRouter) Name() string { return RouterLeastInflight }
+
+func (leastInflightRouter) Pick(fs *funcState, _ RouteHint) *epState {
+	return pickLeastInflight(fs, fs.endpoints())
+}
+
+// pickLeastInflight scans eps starting at a rotating offset and returns
+// the lowest-inflight endpoint (the offset spreads ties).
+func pickLeastInflight(fs *funcState, eps []*epState) *epState {
+	if len(eps) == 0 {
+		return nil
+	}
+	start := int(fs.tie.Add(1)-1) % len(eps)
+	if start < 0 {
+		start = 0
+	}
+	best := eps[start]
+	bestLoad := best.inflight.Load()
+	for k := 1; k < len(eps); k++ {
+		es := eps[(start+k)%len(eps)]
+		if l := es.inflight.Load(); l < bestLoad {
+			best, bestLoad = es, l
+		}
+	}
+	return best
+}
+
+// localityRouter prefers endpoints whose instance node matches the
+// request's shm-affinity hint (co-located instances reach the board over
+// /dev/shm with one copy instead of the network). Among the co-located
+// endpoints — or all of them when no hint matches — it falls back to
+// least-inflight, so locality never funnels everything onto one hot
+// instance.
+type localityRouter struct{}
+
+func (localityRouter) Name() string { return RouterLocality }
+
+func (localityRouter) Pick(fs *funcState, hint RouteHint) *epState {
+	eps := fs.endpoints()
+	if hint.Node != "" {
+		local := make([]*epState, 0, len(eps))
+		for _, es := range eps {
+			if es.node == hint.Node {
+				local = append(local, es)
+			}
+		}
+		if len(local) > 0 {
+			eps = local
+		}
+	}
+	return pickLeastInflight(fs, eps)
+}
+
+// weightedRouter scores endpoints by in-flight load normalized by the
+// registry-propagated fair-share weight (BF_TENANT_WEIGHT): an endpoint
+// with weight 3 absorbs three times the concurrency of a weight-1 one
+// before looking equally loaded. Unweighted endpoints count as weight 1.
+type weightedRouter struct{}
+
+func (weightedRouter) Name() string { return RouterWeighted }
+
+func (weightedRouter) Pick(fs *funcState, _ RouteHint) *epState {
+	eps := fs.endpoints()
+	if len(eps) == 0 {
+		return nil
+	}
+	start := int(fs.tie.Add(1)-1) % len(eps)
+	if start < 0 {
+		start = 0
+	}
+	score := func(es *epState) float64 {
+		w := es.weight
+		if w < 1 {
+			w = 1
+		}
+		return float64(es.inflight.Load()+1) / float64(w)
+	}
+	best := eps[start]
+	bestScore := score(best)
+	for k := 1; k < len(eps); k++ {
+		es := eps[(start+k)%len(eps)]
+		if s := score(es); s < bestScore {
+			best, bestScore = es, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,198 @@
+package gateway
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// makeFuncState builds a funcState with synthetic endpoints for direct
+// router tests: specs are (uid, node, weight, inflight).
+func makeFuncState(specs ...[4]interface{}) *funcState {
+	fs := &funcState{eps: make(map[string]*epState)}
+	for _, s := range specs {
+		es := &epState{uid: s[0].(string), node: s[1].(string), weight: s[2].(int)}
+		es.inflight.Store(int64(s[3].(int)))
+		fs.eps[es.uid] = es
+		fs.order = append(fs.order, es.uid)
+	}
+	return fs
+}
+
+func TestNewRouterNames(t *testing.T) {
+	for _, name := range []string{"", RouterRoundRobin, RouterLeastInflight, RouterLocality, RouterWeighted} {
+		r, err := NewRouter(name)
+		if err != nil {
+			t.Fatalf("NewRouter(%q): %v", name, err)
+		}
+		if name != "" && r.Name() != name {
+			t.Fatalf("NewRouter(%q).Name() = %q", name, r.Name())
+		}
+	}
+	if _, err := NewRouter("bogus"); err == nil {
+		t.Fatal("unknown router must fail")
+	}
+}
+
+func TestLeastInflightPicksIdlest(t *testing.T) {
+	fs := makeFuncState(
+		[4]interface{}{"a", "n1", 0, 5},
+		[4]interface{}{"b", "n1", 0, 1},
+		[4]interface{}{"c", "n2", 0, 3},
+	)
+	r, _ := NewRouter(RouterLeastInflight)
+	for i := 0; i < 4; i++ {
+		if es := r.Pick(fs, RouteHint{}); es.uid != "b" {
+			t.Fatalf("pick %d = %q, want b (lowest inflight)", i, es.uid)
+		}
+	}
+	// Ties rotate: with everyone equal, repeated picks spread.
+	for _, es := range fs.endpoints() {
+		es.inflight.Store(0)
+	}
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		seen[r.Pick(fs, RouteHint{}).uid]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("tied endpoints not rotated: %v", seen)
+	}
+}
+
+func TestLocalityPrefersHintedNode(t *testing.T) {
+	fs := makeFuncState(
+		[4]interface{}{"a", "n1", 0, 0},
+		[4]interface{}{"b", "n2", 0, 9},
+		[4]interface{}{"c", "n2", 0, 2},
+	)
+	r, _ := NewRouter(RouterLocality)
+	// Hinted node wins even when busier overall; among co-located
+	// endpoints the idler one is picked.
+	if es := r.Pick(fs, RouteHint{Node: "n2"}); es.uid != "c" {
+		t.Fatalf("locality pick = %q, want c", es.uid)
+	}
+	// No matching node: falls back to global least-inflight.
+	if es := r.Pick(fs, RouteHint{Node: "n9"}); es.uid != "a" {
+		t.Fatalf("fallback pick = %q, want a", es.uid)
+	}
+	if es := r.Pick(fs, RouteHint{}); es.uid != "a" {
+		t.Fatalf("unhinted pick = %q, want a", es.uid)
+	}
+}
+
+func TestWeightedAbsorbsProportionalLoad(t *testing.T) {
+	fs := makeFuncState(
+		[4]interface{}{"light", "n1", 1, 1},
+		[4]interface{}{"heavy", "n1", 3, 2},
+	)
+	r, _ := NewRouter(RouterWeighted)
+	// (2+1)/3 = 1.0 < (1+1)/1 = 2.0: the weight-3 endpoint still looks
+	// less loaded despite more in-flight requests.
+	if es := r.Pick(fs, RouteHint{}); es.uid != "heavy" {
+		t.Fatalf("weighted pick = %q, want heavy", es.uid)
+	}
+	fs.eps["heavy"].inflight.Store(8)
+	// (8+1)/3 = 3.0 > 2.0: now the light endpoint wins.
+	if es := r.Pick(fs, RouteHint{}); es.uid != "light" {
+		t.Fatalf("weighted pick = %q, want light", es.uid)
+	}
+}
+
+// TestRoundRobinCursorSurvivesRemoval is the rotation regression: with the
+// old modulo counter, removing an endpoint behind the cursor skipped the
+// next endpoint and re-served an already-served one before the cycle
+// completed.
+func TestRoundRobinCursorSurvivesRemoval(t *testing.T) {
+	g, cl := startGateway(t)
+	if err := g.Deploy("rr", 4, echoFactory(nil)); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicas(t, g, "rr", 4)
+
+	g.mu.Lock()
+	fs := g.funcs["rr"]
+	g.mu.Unlock()
+	fs.mu.Lock()
+	order := append([]string(nil), fs.order...)
+	fs.mu.Unlock()
+
+	// Serve the first two endpoints of the cycle.
+	if got := fs.nextRR().uid; got != order[0] {
+		t.Fatalf("pick 1 = %s, want %s", got, order[0])
+	}
+	if got := fs.nextRR().uid; got != order[1] {
+		t.Fatalf("pick 2 = %s, want %s", got, order[1])
+	}
+
+	// Remove the already-served head mid-cycle.
+	if err := cl.DeleteInstance(order[0]); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicas(t, g, "rr", 3)
+
+	// The not-yet-served endpoints must complete the cycle before anyone
+	// repeats: order[2], order[3], and only then back to order[1].
+	for i, want := range []string{order[2], order[3], order[1]} {
+		if got := fs.nextRR().uid; got != want {
+			t.Fatalf("post-removal pick %d = %s, want %s", i, got, want)
+		}
+	}
+}
+
+// TestRoundRobinUnderChurn hammers the rotation while replicas come and
+// go; every request must land on some live endpoint (no nil picks, no
+// errors) with the race detector watching the cursor.
+func TestRoundRobinUnderChurn(t *testing.T) {
+	g, _ := startGateway(t)
+	if err := g.Deploy("churn", 2, echoFactory(nil)); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicas(t, g, "churn", 2)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sizes := []int{4, 1, 3, 2, 5, 1, 2}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := g.Scale("churn", sizes[i%len(sizes)]); err != nil {
+				t.Errorf("scale: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				resp, err := srv.Client().Get(srv.URL + "/function/churn")
+				if err != nil {
+					t.Errorf("request: %v", err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("status %d during churn", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if st := g.Stats("churn"); st.Errors != 0 {
+		t.Fatalf("errors under churn: %+v", st)
+	}
+}

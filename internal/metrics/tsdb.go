@@ -19,6 +19,7 @@ type TSDB struct {
 	retention time.Duration
 	series    map[string][]Point // keyed by Sample.SeriesKey()
 	meta      map[string]Sample  // name+labels of each key
+	gen       uint64             // bumped once per Append (scrape generation)
 }
 
 // NewTSDB creates a store keeping points for the given retention window.
@@ -33,10 +34,12 @@ func NewTSDB(retention time.Duration) *TSDB {
 	}
 }
 
-// Append stores samples observed at time t.
+// Append stores samples observed at time t. Each call advances the
+// store's generation (see Generation), even when samples is empty.
 func (db *TSDB) Append(t time.Time, samples []Sample) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.gen++
 	cutoff := t.Add(-db.retention)
 	for _, s := range samples {
 		k := s.SeriesKey()
@@ -51,6 +54,16 @@ func (db *TSDB) Append(t time.Time, samples []Sample) {
 			db.meta[k] = Sample{Name: s.Name, Labels: s.Labels}
 		}
 	}
+}
+
+// Generation reports how many Append batches the store has absorbed.
+// Between two identical generations no series changed, so derived values
+// (rates, windows) computed from the store are still valid — the Metrics
+// Gatherer keys its per-scrape DeviceMetrics cache on this.
+func (db *TSDB) Generation() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen
 }
 
 // Latest returns the most recent value of the series, if any.

@@ -63,61 +63,44 @@ func (r *Registry) Allocate(req AllocRequest) (*Allocation, error) {
 		return nil, fmt.Errorf("registry: function %q not registered", req.Function)
 	}
 
-	// Line 2: filterby_compatibility — vendor/platform/node constraints,
-	// plus operational health (a dead manager serves nobody).
-	var cands []*candidate
-	for _, ds := range r.devices {
-		if ds.unhealthy || !queryCompatible(ds.Device, fn.Query) {
-			continue
-		}
-		if req.Node != "" && ds.Node != req.Node {
-			continue
-		}
-		c := &candidate{ds: ds, compatible: acceleratorCompatible(ds.Device, fn.Query)}
-		if r.source.Metrics != nil {
-			c.metrics, c.hasMetrics = r.source.Metrics.DeviceMetrics(ds.ID, ds.Node)
-		}
-		// The connected-instance count is Devices Service state, not a
-		// scraped metric: the Registry itself records every allocation, so
-		// placement decisions see their own effects immediately instead of
-		// racing the next metrics scrape.
-		if own := float64(len(ds.instances)); own > c.metrics.Connected {
-			c.metrics.Connected = own
-		}
-		cands = append(cands, c)
-	}
-
-	// Line 3: filterby_metrics — drop overloaded devices.
+	// Lines 2-4: filterby_compatibility, filterby_metrics,
+	// orderby_metrics_and_acc — but built from the accelerator/node index
+	// instead of a full r.devices scan. The primary pool holds only
+	// accelerator-compatible devices (the requested family's bucket plus
+	// blank boards, or the pinned node's bucket), so at hundreds of
+	// boards an allocation touches the handful that can actually serve
+	// the function.
+	cands := r.candidates(r.compatiblePool(fn.Query, req.Node), fn.Query)
 	cands = filterByMetrics(cands, r.source.Filters)
-
-	// Line 4: orderby_metrics_and_acc.
 	orderCandidates(cands, r.source.Order)
 
-	// Lines 5-12: pick the best-ordered compatible device. Only "when
-	// compatible accelerators are missing" (the paper's wording) does the
-	// algorithm fall back to scanning for a device whose current
-	// workloads can be redistributed to other boards; eager displacement
-	// would let two accelerator families evict each other indefinitely.
+	// Lines 5-12: pick the best-ordered compatible device. Every
+	// primary-pool candidate is compatible, so the head of the ordered
+	// list wins. Only "when compatible accelerators are missing" (the
+	// paper's wording) does the algorithm fall back to the full candidate
+	// set, scanning for a device whose current workloads can be
+	// redistributed to other boards; eager displacement would let two
+	// accelerator families evict each other indefinitely.
 	var chosen *candidate
 	var displaced []string
-	for _, c := range cands {
-		if c.compatible {
-			chosen = c
-			break
-		}
+	if len(cands) > 0 {
+		chosen = cands[0]
 	}
 	if chosen == nil {
-		for _, c := range cands {
+		all := r.candidates(r.fullPool(fn.Query, req.Node), fn.Query)
+		all = filterByMetrics(all, r.source.Filters)
+		orderCandidates(all, r.source.Order)
+		for _, c := range all {
 			if moved, ok := r.redistributable(c.ds); ok {
 				chosen = c
 				displaced = moved
 				break
 			}
 		}
-	}
-	if chosen == nil {
-		return nil, fmt.Errorf("%w: function %q needs accelerator %q (%d candidates)",
-			ErrDeviceNotFound, fn.Name, fn.Query.Accelerator, len(cands))
+		if chosen == nil {
+			return nil, fmt.Errorf("%w: function %q needs accelerator %q (%d candidates)",
+				ErrDeviceNotFound, fn.Name, fn.Query.Accelerator, len(all))
+		}
 	}
 
 	// Lines 13-15: bind instance to the chosen device (and its node when
@@ -146,11 +129,97 @@ func (r *Registry) Allocate(req AllocRequest) (*Allocation, error) {
 		// client is about to program. Later allocations then see the
 		// device's future configuration instead of treating it as a blank
 		// board, and the reconfiguration gate can validate the client's
-		// Build call.
+		// Build call. The device moves to its new accelerator bucket so
+		// the index keeps matching the record.
+		old := chosen.ds.Accelerator
 		chosen.ds.Bitstream = fn.Bitstream
 		chosen.ds.Accelerator = fn.Query.Accelerator
+		if old != chosen.ds.Accelerator {
+			if b := r.byAccel[old]; b != nil {
+				delete(b, chosen.ds.ID)
+				if len(b) == 0 {
+					delete(r.byAccel, old)
+				}
+			}
+			if r.byAccel[chosen.ds.Accelerator] == nil {
+				r.byAccel[chosen.ds.Accelerator] = make(map[string]*deviceState)
+			}
+			r.byAccel[chosen.ds.Accelerator][chosen.ds.ID] = chosen.ds
+		}
 	}
 	return alloc, nil
+}
+
+// compatiblePool collects the healthy devices that can serve the query
+// without reconfiguration, drawn from the index buckets: a pinned node's
+// bucket, or the query's accelerator family plus blank boards. An empty
+// query accelerator matches every configured board, so that case walks
+// all devices (it cannot narrow by family). Called with r.mu held.
+func (r *Registry) compatiblePool(q DeviceQuery, node string) []*deviceState {
+	var pool []*deviceState
+	keep := func(ds *deviceState) {
+		if !ds.unhealthy && queryCompatible(ds.Device, q) && acceleratorCompatible(ds.Device, q) {
+			pool = append(pool, ds)
+		}
+	}
+	switch {
+	case node != "":
+		for _, ds := range r.byNode[node] {
+			keep(ds)
+		}
+	case q.Accelerator == "":
+		for _, ds := range r.devices {
+			keep(ds)
+		}
+	default:
+		for _, ds := range r.byAccel[q.Accelerator] {
+			keep(ds)
+		}
+		for _, ds := range r.byAccel[""] {
+			keep(ds)
+		}
+	}
+	return pool
+}
+
+// fullPool collects every healthy vendor/platform/node-compatible device
+// regardless of its configured accelerator — the reconfiguration
+// fallback's candidate set. Called with r.mu held.
+func (r *Registry) fullPool(q DeviceQuery, node string) []*deviceState {
+	var pool []*deviceState
+	for _, ds := range r.devices {
+		if ds.unhealthy || !queryCompatible(ds.Device, q) {
+			continue
+		}
+		if node != "" && ds.Node != node {
+			continue
+		}
+		pool = append(pool, ds)
+	}
+	return pool
+}
+
+// candidates wraps a device pool with its metrics snapshots and
+// accelerator-compatibility flags. Called with r.mu held; note the
+// MetricsSource call happens under the lock, which is why the Gatherer
+// memoizes per scrape generation.
+func (r *Registry) candidates(pool []*deviceState, q DeviceQuery) []*candidate {
+	cands := make([]*candidate, 0, len(pool))
+	for _, ds := range pool {
+		c := &candidate{ds: ds, compatible: acceleratorCompatible(ds.Device, q)}
+		if r.source.Metrics != nil {
+			c.metrics, c.hasMetrics = r.source.Metrics.DeviceMetrics(ds.ID, ds.Node)
+		}
+		// The connected-instance count is Devices Service state, not a
+		// scraped metric: the Registry itself records every allocation, so
+		// placement decisions see their own effects immediately instead of
+		// racing the next metrics scrape.
+		if own := float64(len(ds.instances)); own > c.metrics.Connected {
+			c.metrics.Connected = own
+		}
+		cands = append(cands, c)
+	}
+	return cands
 }
 
 // queryCompatible implements the vendor/platform part of

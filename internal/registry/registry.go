@@ -102,6 +102,13 @@ type Registry struct {
 	mu        sync.Mutex
 	devices   map[string]*deviceState
 	functions map[string]*Function
+	// byAccel and byNode index device records by their configured logical
+	// accelerator ("" = blank board) and hosting node, so Allocate builds
+	// its candidate pool from the relevant buckets instead of scanning
+	// every device in the cluster. Maintained by RegisterDevice /
+	// RemoveDevice and by Allocate when it claims a board's accelerator.
+	byAccel map[string]map[string]*deviceState
+	byNode  map[string]map[string]*deviceState
 	// byInstance maps an allocated instance UID to its placement.
 	byInstance map[string]placement
 	// byName maps instance names to UIDs (Device Managers authenticate
@@ -109,6 +116,36 @@ type Registry struct {
 	byName map[string]string
 
 	source AllocPolicy
+}
+
+// indexDevice adds a device to the accelerator and node buckets. Called
+// with r.mu held.
+func (r *Registry) indexDevice(ds *deviceState) {
+	if r.byAccel[ds.Accelerator] == nil {
+		r.byAccel[ds.Accelerator] = make(map[string]*deviceState)
+	}
+	r.byAccel[ds.Accelerator][ds.ID] = ds
+	if r.byNode[ds.Node] == nil {
+		r.byNode[ds.Node] = make(map[string]*deviceState)
+	}
+	r.byNode[ds.Node][ds.ID] = ds
+}
+
+// unindexDevice removes a device from the buckets matching the given
+// (possibly stale) accelerator and node. Called with r.mu held.
+func (r *Registry) unindexDevice(id, accel, node string) {
+	if b := r.byAccel[accel]; b != nil {
+		delete(b, id)
+		if len(b) == 0 {
+			delete(r.byAccel, accel)
+		}
+	}
+	if b := r.byNode[node]; b != nil {
+		delete(b, id)
+		if len(b) == 0 {
+			delete(r.byNode, node)
+		}
+	}
 }
 
 // AllocPolicy supplies the metrics view and the ordering/filtering
@@ -234,6 +271,8 @@ func New(policy AllocPolicy) (*Registry, error) {
 		Now:        time.Now,
 		devices:    make(map[string]*deviceState),
 		functions:  make(map[string]*Function),
+		byAccel:    make(map[string]map[string]*deviceState),
+		byNode:     make(map[string]map[string]*deviceState),
 		byInstance: make(map[string]placement),
 		byName:     make(map[string]string),
 		source:     policy,
@@ -252,13 +291,17 @@ func (r *Registry) RegisterDevice(d Device) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if ds, ok := r.devices[d.ID]; ok {
+		r.unindexDevice(ds.ID, ds.Accelerator, ds.Node)
 		ds.Device = d
 		ds.unhealthy = false
 		ds.healthErr = ""
 		ds.unhealthySince = time.Time{}
+		r.indexDevice(ds)
 		return nil
 	}
-	r.devices[d.ID] = &deviceState{Device: d, instances: make(map[string]instanceInfo)}
+	ds := &deviceState{Device: d, instances: make(map[string]instanceInfo)}
+	r.devices[d.ID] = ds
+	r.indexDevice(ds)
 	return nil
 }
 
@@ -317,9 +360,11 @@ func (r *Registry) DeviceHealthy(id string) bool {
 func (r *Registry) RemoveDevice(id string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.devices[id]; !ok {
+	ds, ok := r.devices[id]
+	if !ok {
 		return fmt.Errorf("registry: device %q not found", id)
 	}
+	r.unindexDevice(id, ds.Accelerator, ds.Node)
 	delete(r.devices, id)
 	return nil
 }

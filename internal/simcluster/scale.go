@@ -1,0 +1,322 @@
+package simcluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"blastfunction/internal/metrics"
+	"blastfunction/internal/registry"
+	"blastfunction/internal/sim"
+)
+
+// ScaleConfig parameterizes the cluster-scale front-door experiment: a
+// DES of hundreds of boards and hundreds of tenants driving the gateway's
+// admission + routing plane near saturation, with the placement pass run
+// through the real Registry/Gatherer/TSDB stack so the experiment also
+// measures Algorithm 1's cost at scale.
+type ScaleConfig struct {
+	// Boards is the cluster size (simulated FPGA boards, one per node);
+	// default 100.
+	Boards int
+	// Tenants is the number of independent request sources; default 500.
+	Tenants int
+	// ReplicasPerTenant is each tenant's function replica count; every
+	// replica is placed on a board by the real Allocate. Default 2.
+	ReplicasPerTenant int
+	// ServiceTime is the per-request board service demand; default 8ms.
+	ServiceTime time.Duration
+	// Load is the offered load as a fraction of aggregate cluster
+	// capacity; default 1.05 (5 % past saturation — the regime where the
+	// front door earns its keep).
+	Load float64
+	// Admission enables per-tenant token buckets at the front door.
+	Admission bool
+	// AdmitRate is the per-tenant admitted rate (requests/second); zero
+	// derives 90 % of the tenant's fair capacity share.
+	AdmitRate float64
+	// AdmitBurst is the bucket capacity; default 5.
+	AdmitBurst float64
+	// Router selects the routing policy over each tenant's replicas:
+	// "roundrobin" (default) or "least-inflight".
+	Router string
+	// Warmup is discarded before measurement; default 2s.
+	Warmup time.Duration
+	// Measure is the measured window; default 10s.
+	Measure time.Duration
+	// Seed perturbs the arrival jitter streams; default 1.
+	Seed uint64
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if c.Boards <= 0 {
+		c.Boards = 100
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 500
+	}
+	if c.ReplicasPerTenant <= 0 {
+		c.ReplicasPerTenant = 2
+	}
+	if c.ServiceTime <= 0 {
+		c.ServiceTime = 8 * time.Millisecond
+	}
+	if c.Load <= 0 {
+		c.Load = 1.05
+	}
+	if c.AdmitBurst <= 0 {
+		c.AdmitBurst = 5
+	}
+	if c.Router == "" {
+		c.Router = "roundrobin"
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 2 * time.Second
+	}
+	if c.Measure <= 0 {
+		c.Measure = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.AdmitRate <= 0 {
+		capacity := float64(c.Boards) / c.ServiceTime.Seconds()
+		c.AdmitRate = 0.9 * capacity / float64(c.Tenants)
+	}
+	return c
+}
+
+// ScaleResult is the experiment outcome.
+type ScaleResult struct {
+	Boards   int     `json:"boards"`
+	Tenants  int     `json:"tenants"`
+	Replicas int     `json:"replicas_per_tenant"`
+	Router   string  `json:"router"`
+	Admitted bool    `json:"admission"`
+	Load     float64 `json:"offered_load"`
+
+	Arrivals      int     `json:"arrivals"`
+	Completed     int     `json:"completed"`
+	Rejected      int     `json:"rejected"`
+	RejectionRate float64 `json:"rejection_rate"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MeanUtil      float64 `json:"mean_utilization"`
+
+	// Placement-pass cost: the real Allocate run once per replica over
+	// the real Gatherer/TSDB.
+	Allocations       int     `json:"allocations"`
+	GathererComputes  uint64  `json:"gatherer_computes"`
+	GathererCacheHits uint64  `json:"gatherer_cache_hits"`
+	AllocWallMs       float64 `json:"alloc_wall_ms"`
+}
+
+// scaleRng is the deterministic LCG jitter stream used across the DES
+// harness (same constants as experiment.go's generators).
+func scaleRng(state *uint64) float64 {
+	*state = *state*6364136223846793005 + 1442695040888963407
+	return float64(*state>>11) / float64(1<<53)
+}
+
+// RunScale places Tenants×Replicas function instances on Boards simulated
+// boards through the real Registry (Algorithm 1 over a Gatherer-backed
+// TSDB), then drives open-loop arrivals through a front-door model —
+// optional per-tenant token buckets plus a routing policy over each
+// tenant's replicas — into per-board FIFO servers, and reports tail
+// latency, rejection rate and the placement pass's metric-query cost.
+func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
+	cfg = cfg.withDefaults()
+
+	// Placement: real TSDB + Gatherer + Registry. Two scrape generations
+	// seed every board's busy-seconds series so Rate() has a window.
+	db := metrics.NewTSDB(15 * time.Minute)
+	gatherer := registry.NewGatherer(db)
+	base := time.Unix(0, 0)
+	gatherer.Now = func() time.Time { return base.Add(20 * time.Second) }
+	reg, err := registry.New(registry.DefaultPolicy(gatherer))
+	if err != nil {
+		return nil, err
+	}
+	var samples0, samples1 []metrics.Sample
+	for i := 0; i < cfg.Boards; i++ {
+		id := fmt.Sprintf("board-%03d", i)
+		node := fmt.Sprintf("node-%03d", i)
+		if err := reg.RegisterDevice(registry.Device{ID: id, Node: node}); err != nil {
+			return nil, err
+		}
+		lbl := metrics.Labels{"device": id, "node": node}
+		samples0 = append(samples0, metrics.Sample{Name: "bf_device_busy_seconds_total", Labels: lbl, Value: 0})
+		samples1 = append(samples1, metrics.Sample{Name: "bf_device_busy_seconds_total", Labels: lbl, Value: 0.1})
+	}
+	db.Append(base, samples0)
+	db.Append(base.Add(10*time.Second), samples1)
+
+	// One accelerator family: every tenant's function claims blank boards
+	// on first touch and shares them afterwards.
+	boardIdx := make(map[string]int, cfg.Boards)
+	for i := 0; i < cfg.Boards; i++ {
+		boardIdx[fmt.Sprintf("board-%03d", i)] = i
+	}
+	endpoints := make([][]int, cfg.Tenants) // tenant -> board index per replica
+	allocStart := time.Now()
+	allocations := 0
+	for t := 0; t < cfg.Tenants; t++ {
+		fn := fmt.Sprintf("tenant-%04d", t)
+		if err := reg.RegisterFunction(registry.Function{
+			Name:      fn,
+			Query:     registry.DeviceQuery{Accelerator: "bench"},
+			Bitstream: "bench-bits",
+		}); err != nil {
+			return nil, err
+		}
+		for rep := 0; rep < cfg.ReplicasPerTenant; rep++ {
+			uid := fmt.Sprintf("%s-r%d", fn, rep)
+			alloc, err := reg.Allocate(registry.AllocRequest{
+				InstanceUID: uid, InstanceName: uid, Function: fn,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("placing %s: %w", uid, err)
+			}
+			endpoints[t] = append(endpoints[t], boardIdx[alloc.Device.ID])
+			allocations++
+		}
+	}
+	allocWall := time.Since(allocStart)
+	gstats := gatherer.Stats()
+
+	// DES: per-board FIFO servers with live in-flight counters.
+	engine := sim.NewEngine()
+	servers := make([]*sim.Server, cfg.Boards)
+	inflight := make([]int, cfg.Boards)
+	for i := range servers {
+		servers[i] = engine.NewServer()
+	}
+
+	end := cfg.Warmup + cfg.Measure
+	perTenantRate := cfg.Load * (float64(cfg.Boards) / cfg.ServiceTime.Seconds()) / float64(cfg.Tenants)
+	meanGap := time.Duration(float64(time.Second) / perTenantRate)
+
+	var arrivals, completed, rejected int
+	var latencies []time.Duration
+
+	type tenantState struct {
+		rng    uint64
+		rr     int
+		tokens float64
+		lastT  time.Duration
+	}
+	tenants := make([]*tenantState, cfg.Tenants)
+	for t := range tenants {
+		tenants[t] = &tenantState{rng: cfg.Seed + uint64(t)*0x9E3779B97F4A7C15, tokens: cfg.AdmitBurst}
+	}
+
+	route := func(ts *tenantState, eps []int) int {
+		switch cfg.Router {
+		case "least-inflight":
+			start := ts.rr % len(eps)
+			ts.rr++
+			best := eps[start]
+			for k := 1; k < len(eps); k++ {
+				if b := eps[(start+k)%len(eps)]; inflight[b] < inflight[best] {
+					best = b
+				}
+			}
+			return best
+		default: // roundrobin
+			b := eps[ts.rr%len(eps)]
+			ts.rr++
+			return b
+		}
+	}
+
+	var arrive func(t int)
+	arrive = func(t int) {
+		ts := tenants[t]
+		now := engine.Now()
+		measured := now >= cfg.Warmup && now < end
+
+		admitted := true
+		if cfg.Admission {
+			// Virtual-time token bucket.
+			dt := (now - ts.lastT).Seconds()
+			ts.lastT = now
+			ts.tokens += cfg.AdmitRate * dt
+			if ts.tokens > cfg.AdmitBurst {
+				ts.tokens = cfg.AdmitBurst
+			}
+			if ts.tokens >= 1 {
+				ts.tokens--
+			} else {
+				admitted = false
+			}
+		}
+		if measured {
+			arrivals++
+			if !admitted {
+				rejected++
+			}
+		}
+		if admitted {
+			b := route(ts, endpoints[t])
+			inflight[b]++
+			servers[b].Enqueue(cfg.ServiceTime, func(wait, service time.Duration) {
+				inflight[b]--
+				if measured {
+					completed++
+					latencies = append(latencies, wait+service)
+				}
+			})
+		}
+		// Jittered open-loop arrivals, mean gap preserved.
+		gap := time.Duration((0.5 + scaleRng(&ts.rng)) * float64(meanGap))
+		if next := now + gap; next < end {
+			engine.After(gap, func() { arrive(t) })
+		}
+	}
+
+	for t := 0; t < cfg.Tenants; t++ {
+		// Deterministic phase offsets spread the tenants over the first gap.
+		ts := tenants[t]
+		engine.At(time.Duration(scaleRng(&ts.rng)*float64(meanGap)), func(t int) func() {
+			return func() { arrive(t) }
+		}(t))
+	}
+	// Drain completely so every measured arrival's completion is counted
+	// (arrivals stop scheduling at end, so the queue empties).
+	for engine.Step() {
+	}
+
+	res := &ScaleResult{
+		Boards:   cfg.Boards,
+		Tenants:  cfg.Tenants,
+		Replicas: cfg.ReplicasPerTenant,
+		Router:   cfg.Router,
+		Admitted: cfg.Admission,
+		Load:     cfg.Load,
+
+		Arrivals:  arrivals,
+		Completed: completed,
+		Rejected:  rejected,
+
+		Allocations:       allocations,
+		GathererComputes:  gstats.Computes,
+		GathererCacheHits: gstats.CacheHits,
+		AllocWallMs:       float64(allocWall.Microseconds()) / 1000,
+	}
+	if arrivals > 0 {
+		res.RejectionRate = float64(rejected) / float64(arrivals)
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50Ms = float64(latencies[(len(latencies)-1)*50/100].Microseconds()) / 1000
+		res.P99Ms = float64(latencies[(len(latencies)-1)*99/100].Microseconds()) / 1000
+	}
+	var busy time.Duration
+	for _, s := range servers {
+		busy += s.BusyTime()
+	}
+	if elapsed := engine.Now(); elapsed > 0 {
+		res.MeanUtil = busy.Seconds() / (float64(cfg.Boards) * elapsed.Seconds())
+	}
+	return res, nil
+}
