@@ -1,7 +1,7 @@
 # BlastFunction reproduction build targets.
 GO ?= go
 
-.PHONY: all build test vet race bench bench-dataplane bench-scale trace-overhead log-overhead check experiments examples sched-ablation clean
+.PHONY: all build test vet race bench bench-dataplane bench-scale bench-reconfig trace-overhead log-overhead check experiments examples sched-ablation clean
 
 all: build test
 
@@ -24,9 +24,12 @@ vet:
 # every session's RPC goroutine, and fpga carries the board counters and
 # device-to-device copy path those caches drive. gateway serves requests,
 # scales replicas and autoscales concurrently over shared per-endpoint
-# counters and the round-robin cursor.
+# counters and the round-robin cursor. flash serializes reprogram jobs
+# through per-board workers while Submit coalesces followers onto open
+# windows, and registry's allocator races the reconfiguration fallback
+# against concurrent Allocates on the same blank boards.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/... ./internal/obs/... ./internal/logx/... ./internal/alert/... ./internal/datacache/... ./internal/fpga/... ./internal/gateway/...
+	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/... ./internal/obs/... ./internal/logx/... ./internal/alert/... ./internal/datacache/... ./internal/fpga/... ./internal/gateway/... ./internal/flash/... ./internal/registry/...
 
 # Run the scheduling fairness experiment: the two-tenant skew workload on
 # the real Device Manager under fifo vs drr, checked against the
@@ -35,7 +38,7 @@ sched-ablation:
 	$(GO) test -race -v ./internal/simcluster/ -run Fairness
 	$(GO) test -bench BenchmarkPushPop -benchmem ./internal/sched/
 
-bench: trace-overhead log-overhead
+bench: trace-overhead log-overhead bench-reconfig
 	$(GO) test -bench=. -benchmem ./...
 
 # Record the data-plane reuse trajectory into BENCH_dataplane.json:
@@ -51,6 +54,13 @@ bench-dataplane:
 # pass's Gatherer query cost.
 bench-scale:
 	BF_BENCH_SCALE=1 $(GO) test -run TestBenchScaleArtifact -count=1 -v .
+
+# Record the reconfiguration-storm trajectory into BENCH_reconfig.json:
+# p50/p99 and total reconfiguration seconds under serverless churn, naive
+# per-allocation flipping vs the lifecycle service's batched flash
+# windows.
+bench-reconfig:
+	BF_BENCH_RECONFIG=1 $(GO) test -run TestBenchReconfigArtifact -count=1 -v .
 
 # Measure the distributed-tracing tax on the hot RPC path: the 4K gRPC
 # round trip with tracing off, sampling 1% and sampling 100%, next to the

@@ -8,6 +8,9 @@
 //	blastctl logs -level warn -trace <trace-id>
 //	blastctl alerts
 //	blastctl top
+//	blastctl flash list
+//	blastctl flash status <board>
+//	blastctl flash history <board> -n 20
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"time"
 
 	"blastfunction/internal/alert"
+	"blastfunction/internal/flash"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/obs"
 )
@@ -63,8 +67,10 @@ func main() {
 		showAlerts(dedup(*registryURL, *gatewayURL))
 	case "top":
 		showTop(*registryURL, *gatewayURL, *managerURL, flag.Args()[1:])
+	case "flash":
+		showFlash(bases, flag.Args()[1:])
 	default:
-		log.Fatalf("blastctl: unknown command %q (want devices|functions|traces|tenants|trace|logs|alerts|top)", cmd)
+		log.Fatalf("blastctl: unknown command %q (want devices|functions|traces|tenants|trace|logs|alerts|top|flash)", cmd)
 	}
 }
 
@@ -628,4 +634,131 @@ func showFunctions(base string) {
 		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", f.Name, f.Query.Accelerator, f.Bitstream, f.Query.Vendor)
 	}
 	w.Flush()
+}
+
+// showFlash inspects the bitstream lifecycle service of every reachable
+// process (Device Managers flash locally; the registry/gateway plans
+// windows). Subcommands: "list" (live jobs + queue depths), "status"
+// (one board's pipeline), "history" (the durable reflash ledger).
+func showFlash(bases []string, args []string) {
+	sub := "list"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub = args[0]
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet("flash", flag.ExitOnError)
+	board := fs.String("board", "", "only this board")
+	n := fs.Int("n", 0, "history entries per board (0 = all kept)")
+	fs.Parse(args)
+	if *board == "" && fs.NArg() > 0 {
+		*board = fs.Arg(0)
+	}
+	if sub != "list" && sub != "status" && sub != "history" {
+		log.Fatalf("blastctl: unknown flash subcommand %q (want list|status|history)", sub)
+	}
+
+	type payload struct {
+		Jobs    []flash.Job            `json:"jobs"`
+		Queues  map[string]int         `json:"queue_depths"`
+		History map[string][]flash.Job `json:"history"`
+	}
+	merged := payload{Queues: make(map[string]int), History: make(map[string][]flash.Job)}
+	reachable := 0
+	for _, base := range bases {
+		url := base + "/debug/flash"
+		sep := "?"
+		if *board != "" {
+			url += sep + "board=" + *board
+			sep = "&"
+		}
+		if *n > 0 {
+			url += sep + "limit=" + strconv.Itoa(*n)
+		}
+		var p payload
+		if err := fetch(url, &p); err != nil {
+			continue
+		}
+		reachable++
+		merged.Jobs = append(merged.Jobs, p.Jobs...)
+		for b, d := range p.Queues {
+			merged.Queues[b] += d
+		}
+		for b, h := range p.History {
+			merged.History[b] = append(merged.History[b], h...)
+		}
+	}
+	if reachable == 0 {
+		log.Fatalf("blastctl: no /debug/flash endpoint reachable (tried %s)", strings.Join(bases, ", "))
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	printJob := func(j flash.Job) {
+		riders := ""
+		if len(j.BatchedRequesters) > 0 {
+			riders = fmt.Sprintf("+%d", len(j.BatchedRequesters))
+		}
+		detail := ""
+		switch j.State {
+		case flash.StateDone:
+			detail = fmt.Sprintf("wait=%.2fs flash=%.2fs", j.WaitSeconds, j.FlashSeconds)
+			if j.DrainedSessions > 0 {
+				detail += fmt.Sprintf(" drained=%d", j.DrainedSessions)
+			}
+		case flash.StateFailed:
+			detail = j.Error
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s%s\t%s\t%s\n",
+			j.ID, j.Board, j.Bitstream, j.State, j.Requester, riders,
+			j.Queued.Format(time.TimeOnly), detail)
+	}
+
+	switch sub {
+	case "list":
+		fmt.Fprintln(w, "ID\tBOARD\tBITSTREAM\tSTATE\tREQUESTER\tQUEUED\t")
+		sort.Slice(merged.Jobs, func(i, j int) bool { return merged.Jobs[i].ID < merged.Jobs[j].ID })
+		for _, j := range merged.Jobs {
+			printJob(j)
+		}
+		if len(merged.Jobs) == 0 {
+			fmt.Fprintln(w, "(no live flash jobs)\t")
+		}
+	case "status":
+		boards := make([]string, 0, len(merged.Queues))
+		for b := range merged.Queues {
+			boards = append(boards, b)
+		}
+		sort.Strings(boards)
+		fmt.Fprintln(w, "BOARD\tDEPTH\tACTIVE\t")
+		for _, b := range boards {
+			active := "-"
+			for _, j := range merged.Jobs {
+				if j.Board == b && j.State == flash.StateFlashing {
+					active = fmt.Sprintf("#%d %s (%s)", j.ID, j.Bitstream, j.Requester)
+				}
+			}
+			fmt.Fprintf(w, "%s\t%d\t%s\n", b, merged.Queues[b], active)
+		}
+		if len(boards) == 0 {
+			fmt.Fprintln(w, "(no boards with flash activity)\t")
+		}
+	case "history":
+		var all []flash.Job
+		for _, h := range merged.History {
+			all = append(all, h...)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Board != all[j].Board {
+				return all[i].Board < all[j].Board
+			}
+			return all[i].ID < all[j].ID
+		})
+		fmt.Fprintln(w, "ID\tBOARD\tBITSTREAM\tOUTCOME\tREQUESTER\tQUEUED\tDETAIL\t")
+		for _, j := range all {
+			printJob(j)
+		}
+		if len(all) == 0 {
+			fmt.Fprintln(w, "(no flash history)\t")
+		}
+	}
 }

@@ -50,6 +50,8 @@ func main() {
 		bufCache  = flag.Int64("buffer-cache-bytes", 0, "content-addressed buffer cache capacity (0 = default 256 MiB, negative disables)")
 		memoize   = flag.Bool("memoize", false, "memoize idempotent kernel results keyed by bitstream/kernel/argument content")
 		memoCache = flag.Int64("memo-cache-bytes", 0, "memoized-result cache capacity (0 = default 64 MiB)")
+		flashHist = flag.String("flash-history", "", "append-only JSONL file persisting the bitstream flash history across restarts")
+		flashKeep = flag.Int("flash-history-limit", 0, "flash history entries kept per board (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -80,17 +82,19 @@ func main() {
 	cfg.TimeScale = *timescale
 	board := fpga.NewBoard(cfg, accel.Catalog())
 	mgr := manager.New(manager.Config{
-		Node:             *node,
-		DeviceID:         *device,
-		LeaseDuration:    *lease,
-		Scheduler:        *schedFlag,
-		TenantWeights:    weightTable,
-		StarvationGuard:  *guard,
-		TraceRing:        *traceRing,
-		Log:              rootLog,
-		BufferCacheBytes: *bufCache,
-		MemoizeKernels:   *memoize,
-		MemoCacheBytes:   *memoCache,
+		Node:              *node,
+		DeviceID:          *device,
+		LeaseDuration:     *lease,
+		Scheduler:         *schedFlag,
+		TenantWeights:     weightTable,
+		StarvationGuard:   *guard,
+		TraceRing:         *traceRing,
+		Log:               rootLog,
+		BufferCacheBytes:  *bufCache,
+		MemoizeKernels:    *memoize,
+		MemoCacheBytes:    *memoCache,
+		FlashHistoryPath:  *flashHist,
+		FlashHistoryLimit: *flashKeep,
 	}, board)
 	defer mgr.Close()
 
@@ -109,6 +113,7 @@ func main() {
 	mux.Handle("/debug/spans", mgr.SpanHandler())
 	mux.Handle("/debug/sched", mgr.SchedStatsHandler())
 	mux.Handle("/debug/cache", mgr.CacheStatsHandler())
+	mux.Handle("/debug/flash", mgr.Flash().Handler())
 	mux.Handle("/debug/logs", rootLog.Handler())
 	metricsSrv := &http.Server{Addr: *metricsAt, Handler: mux}
 	go func() {

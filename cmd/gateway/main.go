@@ -31,6 +31,7 @@ import (
 	"blastfunction/internal/alert"
 	"blastfunction/internal/apps"
 	"blastfunction/internal/cluster"
+	"blastfunction/internal/flash"
 	"blastfunction/internal/gateway"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/metrics"
@@ -124,6 +125,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("gateway: %v", err)
 	}
+	// Planning-mode lifecycle service: the Registry opens a flash window
+	// per board reprogram it commits to, the controller attributes drained
+	// sessions, and the managers' Build calls close the windows through
+	// the reconfiguration gate. Served at /debug/flash for blastctl.
+	flashSvc, err := flash.New(flash.Config{Log: rootLog.Named("flash")})
+	if err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+	defer flashSvc.Close()
+	reg.SetFlash(flashSvc)
 
 	for _, raw := range managers {
 		m, err := parseManager(raw)
@@ -193,6 +204,10 @@ func main() {
 	gw := gateway.New(cl)
 	gw.Log = rootLog
 	gw.Metrics = alertReg
+	// A factory returning a live endpoint means the instance's program
+	// build landed on its board: close the flash window the allocation
+	// opened so /debug/flash shows only genuinely pending reprograms.
+	gw.OnReady = func(in cluster.Instance) { reg.BuildLanded(in.Name) }
 	router, err := gateway.NewRouter(*routerName)
 	if err != nil {
 		log.Fatalf("gateway: %v", err)
@@ -256,6 +271,7 @@ func main() {
 	mux.Handle("/healthz", regAPI)
 	mux.Handle("/debug/logs", rootLog.Handler())
 	mux.Handle("/debug/alerts", engine.Handler())
+	mux.Handle("/debug/flash", flashSvc.Handler())
 	mux.Handle("/metrics", alertReg.Handler())
 	srv := &http.Server{Addr: *listen, Handler: mux}
 	go func() {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"blastfunction/internal/alert"
+	"blastfunction/internal/flash"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/metrics"
 	"blastfunction/internal/registry"
@@ -33,6 +34,7 @@ func main() {
 		grace         = flag.Duration("grace", 30*time.Second, "unhealthy grace before the DeviceUnhealthy alert fires")
 		logLevel      = flag.String("log-level", "info", "minimum level mirrored to stderr (debug|info|warn|error)")
 		logRing       = flag.Int("log-ring", 4096, "events kept in the /debug/logs ring")
+		flashHist     = flag.String("flash-history", "", "append-only JSONL file persisting the flash-window history across restarts")
 	)
 	flag.Parse()
 
@@ -62,6 +64,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("registry: %v", err)
 	}
+	// Planning-mode lifecycle service: Allocate opens a flash window per
+	// committed reprogram, the Build call closes it through the
+	// reconfiguration gate, and -flash-history makes the ledger survive
+	// registry restarts. Served at /debug/flash for blastctl.
+	flashSvc, err := flash.New(flash.Config{
+		HistoryPath: *flashHist,
+		Log:         rootLog.Named("flash"),
+	})
+	if err != nil {
+		log.Fatalf("registry: flash history: %v", err)
+	}
+	defer flashSvc.Close()
+	reg.SetFlash(flashSvc)
 
 	// The alert engine evaluates the same series Algorithm 1 reads, plus
 	// the registry's own health verdicts; its firing gauge is exported
@@ -112,6 +127,7 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", reg.Handler())
+	mux.Handle("/debug/flash", flashSvc.Handler())
 	mux.Handle("/debug/logs", rootLog.Handler())
 	mux.Handle("/debug/alerts", engine.Handler())
 	mux.Handle("/metrics", alertReg.Handler())

@@ -282,6 +282,10 @@ func PipeCNNBitstream() *fpga.Bitstream {
 		ID:          PipeCNNBitstreamID,
 		Accelerator: "pipecnn",
 		Vendor:      "Intel(R) Corporation",
+		// PipeCNN stripes its feature maps across all four DDR banks; the
+		// other designs use the platform's default single-bank layout, so
+		// flashing to or from PipeCNN relocates resident device buffers.
+		MemGeometry: "banked4",
 		Kernels: []fpga.KernelSpec{
 			{Name: "memRead", NumArgs: 1, Model: moverModel},
 			{Name: "coreConv", NumArgs: convArgCount, Model: convModelArgs, Run: convRun},

@@ -393,5 +393,17 @@ func DefaultRules(db *metrics.TSDB) []Rule {
 			Threshold: 1,
 			For:       10 * time.Second,
 		},
+		{
+			// A board reflashing more than ~6 times a minute is thrashing
+			// between accelerator families — each 2 s reprogram is pure
+			// dead time, so sustained churn means the allocator is flipping
+			// boards instead of batching onto flash windows.
+			Name:      "ReconfigStorm",
+			Help:      "board reconfiguration rate above 0.1/s sustained",
+			Source:    Rate(db, "bf_reconfigurations_total", time.Minute),
+			Op:        OpGreater,
+			Threshold: 0.1,
+			For:       30 * time.Second,
+		},
 	}
 }

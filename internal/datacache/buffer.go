@@ -38,8 +38,14 @@ type BufferCache struct {
 	lru      *list.List // front = most recently used; refs==0 entries only are evictable
 	resident int64
 
-	hits, misses, evictions uint64
-	bytesSaved              int64
+	// orphans tracks invalidated-but-pinned buffers by board ID: the entry
+	// left the key map (a reflash made its contents stale, so no future
+	// Acquire may hit it) but sessions still hold handles; the board memory
+	// is freed when the last holder releases.
+	orphans map[uint64]int
+
+	hits, misses, evictions, invalidations uint64
+	bytesSaved                             int64
 }
 
 // NewBufferCache returns a cache bounded to capBytes of resident board
@@ -51,6 +57,7 @@ func NewBufferCache(capBytes int64, free func(boardID uint64)) *BufferCache {
 		free:     free,
 		entries:  make(map[BufferKey]*bufEntry),
 		lru:      list.New(),
+		orphans:  make(map[uint64]int),
 	}
 }
 
@@ -100,14 +107,35 @@ func (c *BufferCache) Insert(k BufferKey, boardID uint64) (uint64, bool) {
 	return boardID, true
 }
 
-// Release drops one reference on k. The entry stays resident for future
-// hits; it only becomes evictable once every holder has released it.
-func (c *BufferCache) Release(k BufferKey) {
+// Release drops one reference on the buffer a session acquired under k.
+// The entry stays resident for future hits; it only becomes evictable once
+// every holder has released it. boardID disambiguates: if the entry was
+// invalidated while the caller held it (and possibly replaced under the
+// same key by a fresh upload), the release lands on the orphan, and the
+// orphan's board memory is freed with the last holder.
+func (c *BufferCache) Release(k BufferKey, boardID uint64) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if ent, ok := c.entries[k]; ok && ent.refs > 0 {
-		ent.refs--
+	if ent, ok := c.entries[k]; ok && ent.boardID == boardID {
+		if ent.refs > 0 {
+			ent.refs--
+		}
+		c.mu.Unlock()
+		return
 	}
+	refs, ok := c.orphans[boardID]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	refs--
+	if refs > 0 {
+		c.orphans[boardID] = refs
+		c.mu.Unlock()
+		return
+	}
+	delete(c.orphans, boardID)
+	c.mu.Unlock()
+	c.free(boardID)
 }
 
 // evictLocked drops idle (refs==0) entries from the LRU tail until the
@@ -134,9 +162,11 @@ func (c *BufferCache) evictLocked() []uint64 {
 	return ids
 }
 
-// Purge drops every idle entry (reconfiguration does not invalidate buffer
-// contents — DDR survives — but tests and shutdown paths use this to
-// return board memory). Pinned entries stay. Returns freed board IDs count.
+// Purge drops every idle entry (a reconfiguration that keeps the memory
+// geometry does not invalidate buffer contents — DDR survives — but tests
+// and shutdown paths use this to return board memory). Pinned entries
+// stay. For bitstreams that change the memory geometry, use Invalidate.
+// Returns freed board IDs count.
 func (c *BufferCache) Purge() int {
 	c.mu.Lock()
 	var ids []uint64
@@ -157,15 +187,46 @@ func (c *BufferCache) Purge() int {
 	return len(ids)
 }
 
+// Invalidate drops every entry, pinned or not: a reconfiguration changed
+// the board's memory geometry, so no cached buffer's contents can be
+// trusted. Idle entries free their board memory immediately; pinned
+// entries are orphaned — no future Acquire can hit them, and their memory
+// is freed when the last holding session releases. Returns the number of
+// entries dropped.
+func (c *BufferCache) Invalidate() int {
+	c.mu.Lock()
+	var ids []uint64
+	dropped := 0
+	for _, ent := range c.entries {
+		dropped++
+		c.lru.Remove(ent.elem)
+		delete(c.entries, ent.key)
+		c.resident -= ent.key.Size
+		if ent.refs == 0 {
+			ids = append(ids, ent.boardID)
+		} else {
+			c.orphans[ent.boardID] = ent.refs
+		}
+	}
+	c.invalidations += uint64(dropped)
+	c.mu.Unlock()
+	for _, id := range ids {
+		c.free(id)
+	}
+	return dropped
+}
+
 // BufferStats is a point-in-time snapshot of the cache counters.
 type BufferStats struct {
 	Entries       int    `json:"entries"`
 	ResidentBytes int64  `json:"resident_bytes"`
 	PinnedEntries int    `json:"pinned_entries"`
+	OrphanedBufs  int    `json:"orphaned_buffers"`
 	CapBytes      int64  `json:"cap_bytes"`
 	Hits          uint64 `json:"hits"`
 	Misses        uint64 `json:"misses"`
 	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
 	BytesSaved    int64  `json:"bytes_saved"`
 }
 
@@ -183,10 +244,12 @@ func (c *BufferCache) Stats() BufferStats {
 		Entries:       len(c.entries),
 		ResidentBytes: c.resident,
 		PinnedEntries: pinned,
+		OrphanedBufs:  len(c.orphans),
 		CapBytes:      c.capBytes,
 		Hits:          c.hits,
 		Misses:        c.misses,
 		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
 		BytesSaved:    c.bytesSaved,
 	}
 }

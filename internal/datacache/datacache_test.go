@@ -47,8 +47,8 @@ func TestBufferCacheHitMissRelease(t *testing.T) {
 		t.Fatalf("Acquire = (%d, %v), want (7, true)", id, ok)
 	}
 	// Two holders now; release both — the entry must stay resident.
-	c.Release(k)
-	c.Release(k)
+	c.Release(k, 7)
+	c.Release(k, 7)
 	if id, ok := c.Acquire(k); !ok || id != 7 {
 		t.Fatal("idle entry must stay resident for reuse")
 	}
@@ -80,7 +80,7 @@ func TestBufferCacheEvictsIdleLRUOnly(t *testing.T) {
 	kIdle := BufferKey{Hash: 2, Size: 128}
 	c.Insert(kPinned, 10) // stays referenced
 	c.Insert(kIdle, 11)
-	c.Release(kIdle) // idle, LRU victim candidate
+	c.Release(kIdle, 11) // idle, LRU victim candidate
 
 	// 128 more bytes exceed the 256 cap: the idle entry must go, the
 	// pinned one must survive.
@@ -107,12 +107,51 @@ func TestBufferCachePurgeSkipsPinned(t *testing.T) {
 	kIdle := BufferKey{Hash: 2, Size: 64}
 	c.Insert(kPinned, 1)
 	c.Insert(kIdle, 2)
-	c.Release(kIdle)
+	c.Release(kIdle, 2)
 	if n := c.Purge(); n != 1 || freed != 1 {
 		t.Fatalf("Purge = %d (freed %d), want 1", n, freed)
 	}
 	if _, ok := c.Acquire(kPinned); !ok {
 		t.Fatal("Purge dropped a pinned entry")
+	}
+}
+
+func TestBufferCacheInvalidateOrphansPinned(t *testing.T) {
+	var freed []uint64
+	c := NewBufferCache(1<<20, func(id uint64) { freed = append(freed, id) })
+	kPinned := BufferKey{Hash: 1, Size: 64}
+	kIdle := BufferKey{Hash: 2, Size: 64}
+	c.Insert(kPinned, 1) // still held
+	c.Insert(kIdle, 2)
+	c.Release(kIdle, 2)
+
+	// Geometry changed: everything goes. The idle buffer frees now, the
+	// pinned one is orphaned until its holder releases.
+	if n := c.Invalidate(); n != 2 {
+		t.Fatalf("Invalidate = %d, want 2", n)
+	}
+	if len(freed) != 1 || freed[0] != 2 {
+		t.Fatalf("freed %v, want [2]", freed)
+	}
+	if _, ok := c.Acquire(kPinned); ok {
+		t.Fatal("invalidated entry still acquirable")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.OrphanedBufs != 1 || st.Invalidations != 2 {
+		t.Fatalf("stats after invalidate = %+v", st)
+	}
+
+	// A fresh upload reuses the old key with a new board buffer: the
+	// holder's eventual release must land on the orphan, not the new entry.
+	c.Insert(kPinned, 9)
+	c.Release(kPinned, 1)
+	if len(freed) != 2 || freed[1] != 1 {
+		t.Fatalf("freed %v, want [2 1]", freed)
+	}
+	if id, ok := c.Acquire(kPinned); !ok || id != 9 {
+		t.Fatalf("new entry disturbed by orphan release: (%d, %v)", id, ok)
+	}
+	if st := c.Stats(); st.OrphanedBufs != 0 {
+		t.Fatalf("orphan not cleared: %+v", st)
 	}
 }
 
@@ -125,10 +164,11 @@ func TestBufferCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				k := BufferKey{Hash: uint64(i%16 + 1), Size: 256}
-				if _, ok := c.Acquire(k); !ok {
-					c.Insert(k, uint64(g*1000+i))
+				id, ok := c.Acquire(k)
+				if !ok {
+					id, _ = c.Insert(k, uint64(g*1000+i))
 				}
-				c.Release(k)
+				c.Release(k, id)
 			}
 		}(g)
 	}

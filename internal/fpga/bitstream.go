@@ -72,6 +72,12 @@ type Bitstream struct {
 	Accelerator string
 	// Vendor is the platform vendor the design was synthesized for.
 	Vendor string
+	// MemGeometry names the design's DDR bank/interleaving layout. Two
+	// bitstreams with the same geometry address board memory identically,
+	// so buffer contents survive swapping between them; a geometry change
+	// invalidates every resident buffer. Empty means the platform default
+	// (single interleaved bank), which most designs use.
+	MemGeometry string
 	// Kernels lists the kernels the design contains.
 	Kernels []KernelSpec
 }

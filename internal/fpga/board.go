@@ -139,6 +139,19 @@ func (b *Board) ConfiguredAccelerator() string {
 	return b.bs.Accelerator
 }
 
+// MemGeometry returns the configured bitstream's DDR layout name ("" for
+// the platform default or a blank board). The Device Manager compares it
+// across a reconfiguration to decide whether resident cached buffers are
+// still addressable.
+func (b *Board) MemGeometry() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.bs == nil {
+		return ""
+	}
+	return b.bs.MemGeometry
+}
+
 // Alloc reserves a DDR buffer and returns its board-local ID.
 func (b *Board) Alloc(size int64) (uint64, error) {
 	if size <= 0 {

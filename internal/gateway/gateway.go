@@ -165,6 +165,11 @@ type Gateway struct {
 	// (bf_gateway_admitted_total / bf_gateway_rejected_total per
 	// function). Nil skips them.
 	Metrics *metrics.Registry
+	// OnReady, when set, is called after an instance's factory returns a
+	// live endpoint — the moment the function's program build has landed
+	// on its board. Registry-backed deployments use it to close the flash
+	// window the allocation opened (Registry.BuildLanded).
+	OnReady func(in cluster.Instance)
 
 	mu      sync.Mutex
 	funcs   map[string]*funcState
@@ -374,6 +379,9 @@ func (g *Gateway) materialize(fs *funcState, in cluster.Instance, attempt int) {
 	fs.eps[in.UID] = es
 	fs.order = append(fs.order, in.UID)
 	fs.mu.Unlock()
+	if g.OnReady != nil {
+		g.OnReady(in)
+	}
 }
 
 // Handler serves the gateway API:

@@ -83,7 +83,7 @@ func (s *session) createCachedBuffer(m *Manager, req *wire.CreateBufferRequest) 
 // free board memory.
 func (m *Manager) dropBuffer(b bufferInfo) error {
 	if b.shared {
-		m.bufcache.Release(datacache.BufferKey{Hash: b.hash, Size: b.size})
+		m.bufcache.Release(datacache.BufferKey{Hash: b.hash, Size: b.size}, b.boardID)
 		return nil
 	}
 	return m.board.Free(b.boardID)

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"blastfunction/internal/datacache"
+	"blastfunction/internal/flash"
 	"blastfunction/internal/fpga"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/metrics"
@@ -99,6 +100,13 @@ type Config struct {
 	// MemoCacheBytes bounds the memoized result snapshots. Zero selects
 	// 64 MiB.
 	MemoCacheBytes int64
+	// FlashHistoryPath is the flash service's durable JSONL ledger of
+	// board reprogrammings, reloaded on restart; empty keeps the history
+	// in memory only.
+	FlashHistoryPath string
+	// FlashHistoryLimit bounds the per-board history served at
+	// /debug/flash. Zero selects the flash package default.
+	FlashHistoryLimit int
 }
 
 // Manager serves one board. It implements rpc.Handler.
@@ -131,6 +139,15 @@ type Manager struct {
 	mKernels    metrics.Counter
 	mLeaseExp   metrics.Counter
 	mTaskHist   metrics.Histogram
+	// mReconfigHist distributes per-flash reprogramming time next to the
+	// bf_reconfigurations_total counter (alerting reads the rate of the
+	// counter, capacity planning the histogram).
+	mReconfigHist metrics.Histogram
+	mBufInval     metrics.Counter
+
+	// flash serializes board reprogramming: every BuildProgram becomes a
+	// job, concurrent demand for one bitstream coalesces onto one flash.
+	flash *flash.Service
 
 	// Data-plane reuse layer (ISSUE 6): content-addressed buffer cache,
 	// kernel memoization, device-to-device copy accounting.
@@ -243,6 +260,10 @@ func New(cfg Config, board *fpga.Board) *Manager {
 		mLeaseExp:   reg.Counter("bf_lease_expiries_total", "Sessions reclaimed after their lease expired.", lbl),
 		mTaskHist: reg.Histogram("bf_task_device_seconds",
 			"Modelled device occupancy per executed task.", lbl, nil),
+		mReconfigHist: reg.Histogram("bf_reconfig_seconds",
+			"Modelled board reprogramming time per reconfiguration.", lbl, nil),
+		mBufInval: reg.Counter("bf_bufcache_invalidations_total",
+			"Cached buffers dropped because a reconfiguration changed the memory geometry.", lbl),
 		mBufHits:      reg.Counter("bf_bufcache_hits_total", "Content-hashed buffer creates served from resident device buffers.", lbl),
 		mBufMisses:    reg.Counter("bf_bufcache_misses_total", "Content-hashed buffer creates that uploaded a new payload.", lbl),
 		mBufSaved:     reg.Counter("bf_bufcache_bytes_saved_total", "Payload bytes the buffer cache kept off the wire and the PCIe link.", lbl),
@@ -284,6 +305,26 @@ func New(cfg Config, board *fpga.Board) *Manager {
 		}
 		m.memo = datacache.NewMemoCache(capBytes)
 	}
+	// The flash service owns every board reprogramming: one active flash,
+	// FIFO within priority, durable history, coalesced concurrent demand.
+	// An unopenable history file degrades to in-memory history rather
+	// than refusing to serve the board.
+	fl, err := flash.New(flash.Config{
+		Flasher:      m.flashBoard,
+		HistoryPath:  cfg.FlashHistoryPath,
+		HistoryLimit: cfg.FlashHistoryLimit,
+		Metrics:      reg,
+		Labels:       lbl,
+		Log:          cfg.Log,
+	})
+	if err != nil {
+		cfg.Log.Warn("flash history unavailable, keeping history in memory",
+			"path", cfg.FlashHistoryPath, "err", err)
+		fl, _ = flash.New(flash.Config{
+			Flasher: m.flashBoard, Metrics: reg, Labels: lbl, Log: cfg.Log,
+		})
+	}
+	m.flash = fl
 	m.wg.Add(1)
 	go m.worker()
 	if cfg.LeaseDuration > 0 {
@@ -325,6 +366,7 @@ func (m *Manager) Close() {
 	}
 	m.queue.Close() // the worker drains what is queued, then exits
 	m.wg.Wait()
+	m.flash.Close() // fails queued flashes, finishes the in-flight one
 }
 
 // Discipline reports the scheduling discipline the central queue runs.
@@ -561,21 +603,34 @@ func (m *Manager) handleHello(c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
 
 func (m *Manager) handleDeviceInfo() ([]byte, error) {
 	cfg := m.board.Config()
+	// Advertise the wall-clock reprogramming cost so clients size their
+	// BuildProgram deadline to outlive a flash: modelled reconfiguration
+	// time scaled into real time, rounded up to a whole millisecond. A
+	// zero TimeScale flashes in no wall time, so nothing is advertised.
+	var reconfigMillis uint32
+	if ts := cfg.TimeScale; ts > 0 && cfg.Cost != nil {
+		wall := time.Duration(float64(cfg.Cost.ReconfigureTime) * ts)
+		reconfigMillis = uint32((wall + time.Millisecond - 1) / time.Millisecond)
+	}
 	e := wire.GetEncoder(128)
 	(&wire.DeviceInfoResponse{
-		Name:          cfg.Name,
-		Vendor:        cfg.Vendor,
-		PlatformName:  "Intel(R) FPGA SDK for OpenCL(TM) (BlastFunction remote)",
-		GlobalMem:     cfg.MemBytes,
-		ConfiguredBit: m.board.ConfiguredID(),
-		Accelerator:   m.board.ConfiguredAccelerator(),
+		Name:           cfg.Name,
+		Vendor:         cfg.Vendor,
+		PlatformName:   "Intel(R) FPGA SDK for OpenCL(TM) (BlastFunction remote)",
+		GlobalMem:      cfg.MemBytes,
+		ConfiguredBit:  m.board.ConfiguredID(),
+		Accelerator:    m.board.ConfiguredAccelerator(),
+		ReconfigMillis: reconfigMillis,
 	}).Encode(e)
 	return e.Detach(), nil
 }
 
 // handleBuildProgram is the blocking board-reconfiguration request: it is
-// the only context/information method that stalls the device (the board
-// mutex holds off the worker while reprogramming).
+// the only context/information method that stalls the device. The actual
+// reprogramming goes through the flash service — this handler submits a
+// job and blocks on its outcome, so concurrent Builds for the same
+// bitstream coalesce onto one flash instead of serializing on the board
+// mutex one no-op at a time.
 func (m *Manager) handleBuildProgram(s *session, d *wire.Decoder) ([]byte, error) {
 	var req wire.IDRequest
 	req.Decode(d)
@@ -595,24 +650,66 @@ func (m *Manager) handleBuildProgram(s *session, d *wire.Decoder) ([]byte, error
 			return nil, ocl.Errf(ocl.ErrInvalidOperation, "reconfiguration rejected: %v", err)
 		}
 	}
-	if _, err := m.board.Configure(binary); err != nil {
+	var accel string
+	if bs, lerr := m.board.Catalog().Lookup(bitID); lerr == nil {
+		accel = bs.Accelerator
+	}
+	ticket := m.flash.Submit(flash.Request{
+		Board:       m.cfg.DeviceID,
+		Bitstream:   bitID,
+		Accelerator: accel,
+		Requester:   s.clientName,
+		Binary:      binary,
+	})
+	if err := ticket.Wait(context.Background()); err != nil {
 		m.log.Error("board reconfiguration failed", "client", s.clientName, "bitstream", bitID, "err", err)
 		return nil, err
 	}
+	m.log.Info("board reconfigured", "client", s.clientName, "bitstream", bitID)
+	return nil, nil
+}
+
+// flashBoard is the flash service's executor: the one place a bitstream
+// reaches the board. It runs on the flash worker goroutine, so post-flash
+// bookkeeping (metrics, cache invalidation) happens exactly once per
+// flash no matter how many requesters coalesced onto the job.
+func (m *Manager) flashBoard(job flash.Job, binary []byte) (time.Duration, error) {
+	oldGeom := m.board.MemGeometry()
+	d, err := m.board.Configure(binary)
+	if err != nil {
+		return 0, err
+	}
+	if d == 0 {
+		return 0, nil // raced an identical configure: no-op
+	}
 	m.mReconfigs.Inc()
+	m.mReconfigHist.Observe(d.Seconds())
 	// Reconfiguration is the memoization invalidation barrier: every
 	// cached result was computed under the previous bitstream.
 	if m.memo != nil {
 		if n := m.memo.Clear(); n > 0 {
 			m.mMemoInval.Add(float64(n))
-			m.log.Debug("memo cache cleared on reconfiguration", "entries", n, "bitstream", bitID)
+			m.log.Debug("memo cache cleared on reconfiguration", "entries", n, "bitstream", job.Bitstream)
 		}
-		m.syncCacheGauges()
 	}
-	m.log.Info("board reconfigured", "client", s.clientName, "bitstream", bitID)
+	// Cached device buffers survive a reflash only while the new design
+	// addresses DDR the same way; a geometry change makes every resident
+	// buffer unreachable garbage.
+	if m.bufcache != nil && m.board.MemGeometry() != oldGeom {
+		if n := m.bufcache.Invalidate(); n > 0 {
+			m.mBufInval.Add(float64(n))
+			m.log.Info("buffer cache invalidated: memory geometry changed",
+				"entries", n, "bitstream", job.Bitstream)
+		}
+	}
+	m.syncCacheGauges()
 	m.syncBoardCounters()
-	return nil, nil
+	return d, nil
 }
+
+// Flash exposes the board's flash service (history, queue state, the
+// /debug/flash handler).
+func (m *Manager) Flash() *flash.Service { return m.flash }
 
 // submit places a sealed task on the central queue. The item's cost is
 // the task's operation count: a multi-op task charges its tenant

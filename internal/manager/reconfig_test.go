@@ -1,0 +1,77 @@
+package manager_test
+
+import (
+	"strings"
+	"testing"
+
+	"blastfunction/internal/accel"
+	"blastfunction/internal/manager"
+	"blastfunction/internal/ocl"
+)
+
+// TestReflashBufferCacheGeometry pins the buffer cache's behaviour across
+// reconfigurations: a reflash that keeps the DDR geometry (loopback →
+// sobel, both the platform-default layout) leaves resident cached buffers
+// valid, while one that changes it (→ pipecnn's banked4 striping)
+// invalidates every entry, orphaning still-pinned buffers until their
+// sessions release them.
+func TestReflashBufferCacheGeometry(t *testing.T) {
+	rig := newRig(t, manager.Config{})
+	c := dialReuse(t, rig, "reflash", false)
+	ctx, dev, _ := openDevice(t, c)
+	buildLoopback(t, ctx, dev)
+
+	const size = 32 << 10
+	buf, err := ctx.CreateBuffer(ocl.MemReadOnly, size, weights(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rig.mgr.CacheStats().BufferCache; st.Entries != 1 {
+		t.Fatalf("cache entries = %d after content-hashed create, want 1", st.Entries)
+	}
+
+	// Same-geometry reflash: DDR contents survive, the cache keeps serving.
+	sobel, err := ctx.CreateProgramWithBinary(dev, accel.SobelBitstream().Binary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sobel.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	if got := rig.board.ConfiguredID(); got != accel.SobelBitstreamID {
+		t.Fatalf("configured bitstream = %q, want sobel", got)
+	}
+	st := rig.mgr.CacheStats().BufferCache
+	if st.Entries != 1 || st.Invalidations != 0 {
+		t.Fatalf("same-geometry reflash: entries=%d invalidations=%d, want 1/0", st.Entries, st.Invalidations)
+	}
+
+	// Geometry-changing reflash: every cached buffer is invalidated; the
+	// one pinned by this session is orphaned, not freed under it.
+	cnn, err := ctx.CreateProgramWithBinary(dev, accel.PipeCNNBitstream().Binary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cnn.Build(""); err != nil {
+		t.Fatal(err)
+	}
+	st = rig.mgr.CacheStats().BufferCache
+	if st.Entries != 0 || st.Invalidations != 1 || st.OrphanedBufs != 1 {
+		t.Fatalf("geometry change: entries=%d invalidations=%d orphans=%d, want 0/1/1",
+			st.Entries, st.Invalidations, st.OrphanedBufs)
+	}
+	text := rig.mgr.Metrics().Render()
+	for _, want := range []string{"bf_bufcache_invalidations_total", "bf_reconfig_seconds"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Releasing the session's handle frees the orphaned device memory.
+	if err := buf.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if st := rig.mgr.CacheStats().BufferCache; st.OrphanedBufs != 0 {
+		t.Fatalf("orphans = %d after release, want 0", st.OrphanedBufs)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"blastfunction/internal/flash"
 )
 
 // ErrDeviceNotFound is raised when Algorithm 1 exhausts the candidate list
@@ -48,6 +50,11 @@ type candidate struct {
 	metrics    DeviceMetrics
 	hasMetrics bool
 	compatible bool // accelerator-compatible: no reconfiguration needed
+	// flashed means the board already carries (or is promised to, by a
+	// pending flash window — Allocate records the expected bitstream
+	// eagerly) a bitstream serving the query's accelerator: allocating here
+	// costs no reprogram. A blank board is compatible but not flashed.
+	flashed bool
 }
 
 // Allocate runs the paper's Algorithm 1 and records the resulting
@@ -72,7 +79,7 @@ func (r *Registry) Allocate(req AllocRequest) (*Allocation, error) {
 	// the function.
 	cands := r.candidates(r.compatiblePool(fn.Query, req.Node), fn.Query)
 	cands = filterByMetrics(cands, r.source.Filters)
-	orderCandidates(cands, r.source.Order)
+	orderCandidates(cands, r.source.Order, r.source.ReconfigPenalty)
 
 	// Lines 5-12: pick the best-ordered compatible device. Every
 	// primary-pool candidate is compatible, so the head of the ordered
@@ -89,7 +96,7 @@ func (r *Registry) Allocate(req AllocRequest) (*Allocation, error) {
 	if chosen == nil {
 		all := r.candidates(r.fullPool(fn.Query, req.Node), fn.Query)
 		all = filterByMetrics(all, r.source.Filters)
-		orderCandidates(all, r.source.Order)
+		orderCandidates(all, r.source.Order, r.source.ReconfigPenalty)
 		for _, c := range all {
 			if moved, ok := r.redistributable(c.ds); ok {
 				chosen = c
@@ -145,6 +152,21 @@ func (r *Registry) Allocate(req AllocRequest) (*Allocation, error) {
 				r.byAccel[chosen.ds.Accelerator] = make(map[string]*deviceState)
 			}
 			r.byAccel[chosen.ds.Accelerator][chosen.ds.ID] = chosen.ds
+		}
+		if r.flash != nil && fn.Bitstream != "" {
+			// Open a planning-mode flash window for the board's reprogram.
+			// Later allocations wanting the same accelerator land on this
+			// board through the eager record above and ride the same window;
+			// the Device Manager's Build call closes it via
+			// ValidateReconfiguration. Submit never calls back into the
+			// Registry, so taking the flash lock under r.mu is safe.
+			r.flash.Submit(flash.Request{
+				Board:       chosen.ds.ID,
+				Bitstream:   fn.Bitstream,
+				Accelerator: fn.Query.Accelerator,
+				Requester:   req.InstanceName,
+				Priority:    fn.Weight,
+			})
 		}
 	}
 	return alloc, nil
@@ -207,6 +229,7 @@ func (r *Registry) candidates(pool []*deviceState, q DeviceQuery) []*candidate {
 	cands := make([]*candidate, 0, len(pool))
 	for _, ds := range pool {
 		c := &candidate{ds: ds, compatible: acceleratorCompatible(ds.Device, q)}
+		c.flashed = c.compatible && ds.Accelerator != ""
 		if r.source.Metrics != nil {
 			c.metrics, c.hasMetrics = r.source.Metrics.DeviceMetrics(ds.ID, ds.Node)
 		}
@@ -269,21 +292,41 @@ func filterByMetrics(cands []*candidate, filters []Filter) []*candidate {
 }
 
 // orderCandidates implements orderby_metrics_and_acc: criteria in
-// priority order, with accelerator compatibility as the tiebreak so that
-// among equally loaded devices the one avoiding a reconfiguration wins;
-// device ID breaks the final tie for determinism.
-func orderCandidates(cands []*candidate, order []Criterion) {
+// priority order, with flashedness (already carrying — or promised to —
+// the right bitstream) and then accelerator compatibility as tiebreaks so
+// that among equally loaded devices the one avoiding a reconfiguration
+// wins; device ID breaks the final tie for determinism.
+//
+// penalty is the reconfiguration bias: a candidate that would need a
+// reprogram has its first criterion's value worsened by this amount
+// (raised for ascending criteria, lowered for descending) before
+// quantization, steering allocations toward already-flashed boards and
+// open flash windows unless a to-be-flashed board is more than the
+// penalty better on the primary metric.
+func orderCandidates(cands []*candidate, order []Criterion, penalty float64) {
+	bias := func(c *candidate, crit Criterion, first bool) float64 {
+		if !first || c.flashed || penalty == 0 {
+			return 0
+		}
+		if crit.Desc {
+			return -penalty
+		}
+		return penalty
+	}
 	sort.SliceStable(cands, func(i, j int) bool {
 		a, b := cands[i], cands[j]
-		for _, crit := range order {
-			av := quantize(a.metrics.value(crit.Metric), crit.Quantum)
-			bv := quantize(b.metrics.value(crit.Metric), crit.Quantum)
+		for k, crit := range order {
+			av := quantize(a.metrics.value(crit.Metric)+bias(a, crit, k == 0), crit.Quantum)
+			bv := quantize(b.metrics.value(crit.Metric)+bias(b, crit, k == 0), crit.Quantum)
 			if av != bv {
 				if crit.Desc {
 					return av > bv
 				}
 				return av < bv
 			}
+		}
+		if a.flashed != b.flashed {
+			return a.flashed
 		}
 		if a.compatible != b.compatible {
 			return a.compatible
@@ -356,5 +399,39 @@ func (r *Registry) ValidateReconfiguration(deviceID, clientName, bitID string) e
 			deviceID, ds.Bitstream, bitID)
 	}
 	ds.Bitstream = bitID
+	if r.flash != nil {
+		// The client's Build call is going through: the board's flash window
+		// is now being served by the Device Manager. Close it so the history
+		// records the queue-to-validate latency and any drained sessions.
+		r.flash.Complete(deviceID, bitID, 0, nil)
+	}
 	return nil
+}
+
+// BuildLanded closes the flash window an instance's allocation opened, if
+// any. It is the in-process counterpart of ValidateReconfiguration for
+// deployments where the gateway — not a Device Manager calling the
+// reconfiguration gate — observes the build completing: the gateway's
+// OnReady hook calls it once the function's factory returns a live
+// endpoint, which implies the program was built on the placed board.
+// Unknown instances and boards without a recorded bitstream are ignored.
+func (r *Registry) BuildLanded(instanceName string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.flash == nil {
+		return
+	}
+	uid, ok := r.byName[instanceName]
+	if !ok {
+		return
+	}
+	p, ok := r.byInstance[uid]
+	if !ok {
+		return
+	}
+	ds, ok := r.devices[p.device]
+	if !ok || ds.Bitstream == "" {
+		return
+	}
+	r.flash.Complete(p.device, ds.Bitstream, 0, nil)
 }

@@ -164,6 +164,11 @@ func (c *Controller) allocate(in cluster.Instance) {
 				"instance", uid, "device", alloc.Device.ID, "err", err)
 		}
 	}
+	if f := c.reg.FlashService(); f != nil && len(alloc.Displaced) > 0 {
+		// Attribute the drained sessions to the board's open flash window so
+		// the lifecycle history shows what each reprogram cost the cluster.
+		f.RecordDrain(alloc.Device.ID, len(alloc.Displaced))
+	}
 
 	node := alloc.Node
 	env := map[string]string{

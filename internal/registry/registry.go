@@ -14,6 +14,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"blastfunction/internal/flash"
 )
 
 // DeviceQuery is a function's device requirements — the paper's
@@ -116,6 +118,13 @@ type Registry struct {
 	byName map[string]string
 
 	source AllocPolicy
+
+	// flash, when set, is the planning-mode bitstream lifecycle service:
+	// Allocate opens a reprogram window on it whenever a placement commits
+	// a board to a new bitstream, the controller records drained sessions,
+	// and ValidateReconfiguration closes the window when the client's Build
+	// call finally lands. Nil disables lifecycle tracking.
+	flash *flash.Service
 }
 
 // indexDevice adds a device to the accelerator and node buckets. Called
@@ -158,6 +167,18 @@ type AllocPolicy struct {
 	Order []Criterion
 	// Filters drop overloaded devices before ordering.
 	Filters []Filter
+	// ReconfigPenalty biases the first ordering criterion against devices
+	// that would need a reprogram (neither serving the requested
+	// accelerator nor promised to it by a pending flash window). A
+	// to-be-flashed board's primary score is inflated by this amount before
+	// quantization, so a blank board near a quantum boundary loses to an
+	// already-flashed one, while a sufficiently idle blank board still
+	// takes the allocation. Zero keeps pure load ordering (flashedness
+	// then only breaks exact ties). The default is half a utilization
+	// quantum (0.025): enough to tip near-boundary allocations onto open
+	// flash windows, never enough to override the connected-count spread
+	// between idle boards that the paper's experiments pin.
+	ReconfigPenalty float64
 }
 
 // MetricsSource yields per-device runtime metrics.
@@ -219,8 +240,10 @@ type Filter struct {
 
 // DefaultPolicy returns the allocation policy used in the paper's
 // experiments: prefer low utilization (5 % buckets), then fewer connected
-// instances, and never allocate onto a device already above 95 %
-// utilization.
+// instances, never allocate onto a device already above 95 % utilization,
+// and charge half a utilization quantum against boards that would need a
+// reprogram so near-boundary allocations pile onto open flash windows
+// instead of flipping additional boards.
 func DefaultPolicy(src MetricsSource) AllocPolicy {
 	return AllocPolicy{
 		Metrics: src,
@@ -228,7 +251,8 @@ func DefaultPolicy(src MetricsSource) AllocPolicy {
 			{Metric: MetricUtilization, Quantum: 0.05},
 			{Metric: MetricConnected},
 		},
-		Filters: []Filter{{Metric: MetricUtilization, Max: 0.95}},
+		Filters:         []Filter{{Metric: MetricUtilization, Max: 0.95}},
+		ReconfigPenalty: 0.025,
 	}
 }
 
@@ -277,6 +301,24 @@ func New(policy AllocPolicy) (*Registry, error) {
 		byName:     make(map[string]string),
 		source:     policy,
 	}, nil
+}
+
+// SetFlash attaches a planning-mode bitstream lifecycle service. Call it
+// before the Registry starts serving allocations; the service receives a
+// flash-window job for every placement that commits a board to a new
+// bitstream and is completed from ValidateReconfiguration.
+func (r *Registry) SetFlash(s *flash.Service) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flash = s
+}
+
+// FlashService returns the attached bitstream lifecycle service (nil when
+// lifecycle tracking is disabled).
+func (r *Registry) FlashService() *flash.Service {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flash
 }
 
 // RegisterDevice adds (or updates) a Devices Service record.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"blastfunction/internal/flash"
 	"blastfunction/internal/metrics"
 )
 
@@ -182,5 +183,91 @@ func TestGathererCachesPerGeneration(t *testing.T) {
 	}
 	if st := g.Stats(); st.Computes != 3 {
 		t.Fatalf("append did not invalidate the cache: %+v", st)
+	}
+}
+
+// TestConcurrentAllocateFallbackRace drives the reconfiguration fallback
+// against concurrent Allocate calls claiming the same blank boards, with
+// a planning-mode flash service attached and each winner immediately
+// validating its reconfiguration (the Build call racing later
+// allocations). Run under -race, it pins the locking around the eager
+// bitstream record, the index moves, and the flash window open/close.
+func TestConcurrentAllocateFallbackRace(t *testing.T) {
+	fl, err := flash.New(flash.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	r, err := New(AllocPolicy{ReconfigPenalty: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetFlash(fl)
+
+	const boards = 3
+	for i := 0; i < boards; i++ {
+		if err := r.RegisterDevice(Device{ID: fmt.Sprintf("b%d", i), Node: "n0"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const fams = 6
+	for i := 0; i < fams; i++ {
+		if err := r.RegisterFunction(Function{
+			Name:      fmt.Sprintf("fn-%d", i),
+			Query:     DeviceQuery{Accelerator: fmt.Sprintf("acc-%d", i)},
+			Bitstream: fmt.Sprintf("bit-%d", i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 24
+	var wg sync.WaitGroup
+	okCh := make(chan string, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			uid := fmt.Sprintf("uid-%d", i)
+			name := fmt.Sprintf("inst-%d", i)
+			fn := fmt.Sprintf("fn-%d", i%fams)
+			alloc, err := r.Allocate(AllocRequest{
+				InstanceUID:  uid,
+				InstanceName: name,
+				Function:     fn,
+			})
+			if err != nil {
+				return // fallback legitimately exhausted (not redistributable)
+			}
+			// The winner's Build call: closes the board's flash window while
+			// other goroutines are still allocating.
+			_ = r.ValidateReconfiguration(alloc.Device.ID, name, fmt.Sprintf("bit-%d", i%fams))
+			okCh <- uid
+		}(i)
+	}
+	wg.Wait()
+	close(okCh)
+
+	placed := 0
+	for uid := range okCh {
+		if _, ok := r.InstancePlacement(uid); !ok {
+			t.Fatalf("successful allocation %s has no placement", uid)
+		}
+		placed++
+	}
+	if placed == 0 {
+		t.Fatal("no allocation succeeded")
+	}
+	// Every board flip opened a flash window; validated ones were closed
+	// into history. Between live jobs and history at least one window must
+	// exist and all must be well-formed.
+	jobs := append(fl.Jobs(), fl.History("")...)
+	if len(jobs) == 0 {
+		t.Fatal("no flash window opened despite successful allocations")
+	}
+	for _, j := range jobs {
+		if j.Board == "" || j.Bitstream == "" {
+			t.Fatalf("malformed flash job %+v", j)
+		}
 	}
 }

@@ -206,10 +206,21 @@ type program struct {
 }
 
 // Build implements ocl.Program: the board reconfiguration request, the one
-// blocking context/information method.
+// blocking context/information method. Its deadline is derived from the
+// manager's advertised reprogramming cost — the generic call timeout can
+// fire mid-flash on slow boards, leaving the library believing a build
+// failed that the board completed.
 func (p *program) Build(options string) error {
-	_, err := callID(p.ctx.mc, wire.MethodBuildProgram, p.id)
-	return err
+	mc := p.ctx.mc
+	e := wire.GetEncoder(8)
+	(&wire.IDRequest{ID: p.id}).Encode(e)
+	resp, err := mc.rpc.CallWithTimeout(wire.MethodBuildProgram, mc.buildTimeout(), e.Bytes())
+	e.Release()
+	if err != nil {
+		return err
+	}
+	wire.PutBuf(resp)
+	return nil
 }
 
 // KernelNames implements ocl.Program.

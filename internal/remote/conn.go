@@ -173,6 +173,21 @@ func (mc *managerConn) setupShm() error {
 
 func (mc *managerConn) transport() model.Transport { return mc.mode }
 
+// buildTimeout sizes the BuildProgram deadline: the configured call
+// timeout plus twice the manager's advertised reprogramming cost (queue
+// wait behind another flash plus the flash itself). Managers that do not
+// advertise fall back to the plain call timeout.
+func (mc *managerConn) buildTimeout() time.Duration {
+	base := mc.cfg.CallTimeout
+	if base <= 0 {
+		base = rpc.DefaultCallTimeout
+	}
+	if ms := mc.info.ReconfigMillis; ms > 0 {
+		return base + 2*time.Duration(ms)*time.Millisecond
+	}
+	return base
+}
+
 // traceWire reports whether trace IDs may be put on the wire: the
 // session must have negotiated the trace-capable protocol revision.
 // Client-side spans are recorded regardless — against an old manager the

@@ -464,3 +464,57 @@ func TestKernelArgValidation(t *testing.T) {
 		t.Fatalf("missing kernel err = %v", err)
 	}
 }
+
+// TestBuildTimeoutCoversAdvertisedReconfigureTime is the regression test
+// for the reconfiguration RPC timeout: the Build deadline must be derived
+// from the manager's advertised reconfiguration time (DeviceInfo's
+// ReconfigMillis) plus margin, not the flat per-call timeout. The cost
+// model is inflated to a 30 s modelled reprogram at TimeScale 0.01 — a
+// 300 ms wall flash — while the client's CallTimeout is 50 ms; with the
+// old flat deadline the Build call expired mid-flash.
+func TestBuildTimeoutCoversAdvertisedReconfigureTime(t *testing.T) {
+	cost := *model.WorkerNode()
+	cost.ReconfigureTime = 30 * time.Second
+	cfg := fpga.DE5aNet(&cost)
+	cfg.TimeScale = 0.01
+	board := fpga.NewBoard(cfg, accel.Catalog())
+	mgr := manager.New(manager.Config{Node: "slownode", DeviceID: "slow0"}, board)
+	srv := rpc.NewServer(mgr)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); mgr.Close() }()
+
+	c, err := Dial(Config{
+		ClientName:  "slowbuild",
+		Managers:    []string{addr},
+		Transport:   TransportGRPC,
+		CallTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if ms := c.conns[0].info.ReconfigMillis; ms != 300 {
+		t.Fatalf("advertised ReconfigMillis = %d, want 300 (30s modelled at 0.01 scale)", ms)
+	}
+
+	ps, _ := c.Platforms()
+	devs, _ := ps[0].Devices(ocl.DeviceTypeAll)
+	ctx, _ := c.CreateContext(devs[:1])
+	prog, err := ctx.CreateProgramWithBinary(devs[0], accel.LoopbackBitstream().Binary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := prog.Build(""); err != nil {
+		t.Fatalf("Build with advertised reconfigure time failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("build returned after %v — flash did not actually sleep", elapsed)
+	}
+	if names := prog.KernelNames(); len(names) == 0 {
+		t.Fatal("built program reports no kernels")
+	}
+}

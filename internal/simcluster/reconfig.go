@@ -1,0 +1,286 @@
+package simcluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"blastfunction/internal/sim"
+)
+
+// ReconfigConfig parameterizes the reconfiguration-storm experiment: a
+// DES of serverless churn across more accelerator families than the
+// allocator can keep resident, contrasting a lifecycle-unaware placement
+// pass (spread by load, flash whatever board you land on) with the
+// bitstream lifecycle service's batched flash windows (pile a phase's
+// same-family allocations onto one reprogram).
+type ReconfigConfig struct {
+	// Boards is the cluster size; default 8.
+	Boards int
+	// Accels is the number of accelerator families tenants draw from;
+	// default equals Boards (every family can stay resident — the regime
+	// where batching converges to zero reprograms).
+	Accels int
+	// Tenants is the number of function instances re-placed each phase;
+	// default 32.
+	Tenants int
+	// ServiceTime is the per-request board service demand; default 8ms.
+	ServiceTime time.Duration
+	// ReconfigTime is the modelled board reprogramming latency; default 2s
+	// (the paper's full-region reconfiguration).
+	ReconfigTime time.Duration
+	// PhaseEvery is the churn period: at each phase boundary every tenant
+	// is torn down and re-placed (a new serverless incarnation); default 5s.
+	PhaseEvery time.Duration
+	// Phases is the number of churn phases; default 6.
+	Phases int
+	// Load is the offered request load as a fraction of aggregate cluster
+	// capacity; default 0.4 (reconfiguration stalls, not queueing, should
+	// dominate the naive arm's tail).
+	Load float64
+	// Batched selects the lifecycle-aware placement pass; false is the
+	// naive per-allocation-flipping baseline.
+	Batched bool
+	// Seed perturbs the arrival jitter and family-choice streams; default 1.
+	Seed uint64
+}
+
+func (c ReconfigConfig) withDefaults() ReconfigConfig {
+	if c.Boards <= 0 {
+		c.Boards = 8
+	}
+	if c.Accels <= 0 {
+		c.Accels = c.Boards
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 32
+	}
+	if c.ServiceTime <= 0 {
+		c.ServiceTime = 8 * time.Millisecond
+	}
+	if c.ReconfigTime <= 0 {
+		c.ReconfigTime = 2 * time.Second
+	}
+	if c.PhaseEvery <= 0 {
+		c.PhaseEvery = 5 * time.Second
+	}
+	if c.Phases <= 0 {
+		c.Phases = 6
+	}
+	if c.Load <= 0 {
+		c.Load = 0.4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ReconfigResult is the experiment outcome.
+type ReconfigResult struct {
+	Boards  int  `json:"boards"`
+	Accels  int  `json:"accels"`
+	Tenants int  `json:"tenants"`
+	Phases  int  `json:"phases"`
+	Batched bool `json:"batched"`
+
+	Arrivals  int     `json:"arrivals"`
+	Completed int     `json:"completed"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanUtil  float64 `json:"mean_utilization"`
+
+	// Reconfigs counts board reprograms; ReconfigSeconds is the total
+	// board time they consumed. In batched mode each reprogram is one
+	// flash window shared by every same-family allocation of the phase, so
+	// TenantsPerWindow reports the amortization factor.
+	Reconfigs        int     `json:"reconfigs"`
+	ReconfigSeconds  float64 `json:"reconfig_seconds"`
+	TenantsPerWindow float64 `json:"tenants_per_window"`
+}
+
+// RunReconfigStorm drives Phases churn rounds: at each phase boundary
+// every tenant picks an accelerator family (deterministic per seed) and is
+// re-placed. The naive arm spreads placements by load and reprograms
+// whichever board each allocation lands on when the bitstream mismatches —
+// per-allocation flipping. The batched arm groups the phase's allocations
+// by family, reuses boards already flashed with that family, and opens at
+// most one reprogram window per family, onto which the whole group rides.
+// Requests flow open-loop throughout, queueing behind reprograms on the
+// same board FIFO, so the arms' p99 difference is the storm's cost.
+func RunReconfigStorm(cfg ReconfigConfig) (*ReconfigResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Accels > cfg.Boards {
+		// More families than boards would force batched-mode groups to
+		// steal each other's freshly flashed boards within one phase; the
+		// experiment keeps the regimes comparable instead.
+		return nil, fmt.Errorf("simcluster: Accels (%d) must not exceed Boards (%d)", cfg.Accels, cfg.Boards)
+	}
+
+	engine := sim.NewEngine()
+	servers := make([]*sim.Server, cfg.Boards)
+	for i := range servers {
+		servers[i] = engine.NewServer()
+	}
+
+	boardAccel := make([]int, cfg.Boards) // -1 = blank
+	for i := range boardAccel {
+		boardAccel[i] = -1
+	}
+	tenantBoard := make([]int, cfg.Tenants)
+	tenantAccel := make([]int, cfg.Tenants)
+	for i := range tenantBoard {
+		tenantBoard[i] = -1
+	}
+
+	var reconfigs, ridingTenants int
+	flashBoard := func(b, accel int) {
+		boardAccel[b] = accel
+		reconfigs++
+		servers[b].Enqueue(cfg.ReconfigTime, nil)
+	}
+
+	famRng := cfg.Seed ^ 0xA5A5A5A5A5A5A5A5
+	rePlace := func() {
+		// New incarnation: every tenant draws a family for this phase.
+		for t := range tenantAccel {
+			tenantAccel[t] = int(scaleRng(&famRng) * float64(cfg.Accels))
+			if tenantAccel[t] >= cfg.Accels {
+				tenantAccel[t] = cfg.Accels - 1
+			}
+		}
+		assigned := make([]int, cfg.Boards) // placements made this phase
+
+		if !cfg.Batched {
+			// Naive: least-assigned board wins regardless of its bitstream;
+			// a mismatch reprograms it on the spot.
+			for t := 0; t < cfg.Tenants; t++ {
+				b := 0
+				for i := 1; i < cfg.Boards; i++ {
+					if assigned[i] < assigned[b] {
+						b = i
+					}
+				}
+				if boardAccel[b] != tenantAccel[t] {
+					flashBoard(b, tenantAccel[t])
+				}
+				tenantBoard[t] = b
+				assigned[b]++
+			}
+			return
+		}
+
+		// Batched: group the phase's tenants by family, then give each
+		// group one board — an already-flashed one when available,
+		// otherwise the least-loaded unclaimed victim, reprogrammed once
+		// for the whole group.
+		groups := make([][]int, cfg.Accels)
+		for t := 0; t < cfg.Tenants; t++ {
+			groups[tenantAccel[t]] = append(groups[tenantAccel[t]], t)
+		}
+		claimed := make([]bool, cfg.Boards)
+		for accel, group := range groups {
+			if len(group) == 0 {
+				continue
+			}
+			b := -1
+			for i := 0; i < cfg.Boards; i++ {
+				if !claimed[i] && boardAccel[i] == accel {
+					b = i
+					break
+				}
+			}
+			if b == -1 {
+				for i := 0; i < cfg.Boards; i++ {
+					if claimed[i] {
+						continue
+					}
+					if b == -1 || assigned[i] < assigned[b] {
+						b = i
+					}
+				}
+				flashBoard(b, accel)
+				ridingTenants += len(group)
+			}
+			claimed[b] = true
+			for _, t := range group {
+				tenantBoard[t] = b
+				assigned[b]++
+			}
+		}
+	}
+
+	end := time.Duration(cfg.Phases) * cfg.PhaseEvery
+	warmup := cfg.PhaseEvery // the cold first phase flashes in both arms
+	for p := 0; p < cfg.Phases; p++ {
+		engine.At(time.Duration(p)*cfg.PhaseEvery, rePlace)
+	}
+
+	perTenantRate := cfg.Load * (float64(cfg.Boards) / cfg.ServiceTime.Seconds()) / float64(cfg.Tenants)
+	meanGap := time.Duration(float64(time.Second) / perTenantRate)
+
+	var arrivals, completed int
+	var latencies []time.Duration
+	rngs := make([]uint64, cfg.Tenants)
+	for t := range rngs {
+		rngs[t] = cfg.Seed + uint64(t)*0x9E3779B97F4A7C15
+	}
+	var arrive func(t int)
+	arrive = func(t int) {
+		now := engine.Now()
+		measured := now >= warmup && now < end
+		if b := tenantBoard[t]; b >= 0 {
+			if measured {
+				arrivals++
+			}
+			servers[b].Enqueue(cfg.ServiceTime, func(wait, service time.Duration) {
+				if measured {
+					completed++
+					latencies = append(latencies, wait+service)
+				}
+			})
+		}
+		gap := time.Duration((0.5 + scaleRng(&rngs[t])) * float64(meanGap))
+		if next := now + gap; next < end {
+			engine.After(gap, func() { arrive(t) })
+		}
+	}
+	for t := 0; t < cfg.Tenants; t++ {
+		// Offset past the phase-0 placement so every arrival has a board.
+		engine.At(time.Duration(1+scaleRng(&rngs[t])*float64(meanGap-1)), func(t int) func() {
+			return func() { arrive(t) }
+		}(t))
+	}
+	for engine.Step() {
+	}
+
+	res := &ReconfigResult{
+		Boards:  cfg.Boards,
+		Accels:  cfg.Accels,
+		Tenants: cfg.Tenants,
+		Phases:  cfg.Phases,
+		Batched: cfg.Batched,
+
+		Arrivals:  arrivals,
+		Completed: completed,
+
+		Reconfigs:       reconfigs,
+		ReconfigSeconds: float64(reconfigs) * cfg.ReconfigTime.Seconds(),
+	}
+	if cfg.Batched && reconfigs > 0 {
+		res.TenantsPerWindow = float64(ridingTenants) / float64(reconfigs)
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50Ms = float64(latencies[(len(latencies)-1)*50/100].Microseconds()) / 1000
+		res.P99Ms = float64(latencies[(len(latencies)-1)*99/100].Microseconds()) / 1000
+	}
+	var busy time.Duration
+	for _, s := range servers {
+		busy += s.BusyTime()
+	}
+	if elapsed := engine.Now(); elapsed > 0 {
+		res.MeanUtil = busy.Seconds() / (float64(cfg.Boards) * elapsed.Seconds())
+	}
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package simcluster
+
+import "testing"
+
+// TestReconfigStormExperiment runs the churn DES at the default scale and
+// checks the tentpole's headline claim both ways: batched flash windows
+// beat naive per-allocation flipping on tail latency AND on total
+// reconfiguration time, with each batched window amortized over several
+// same-family tenants.
+func TestReconfigStormExperiment(t *testing.T) {
+	naive, err := RunReconfigStorm(ReconfigConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := RunReconfigStorm(ReconfigConfig{Batched: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("naive:   p50=%.2fms p99=%.2fms reconfigs=%d (%.0fs) util=%.2f",
+		naive.P50Ms, naive.P99Ms, naive.Reconfigs, naive.ReconfigSeconds, naive.MeanUtil)
+	t.Logf("batched: p50=%.2fms p99=%.2fms reconfigs=%d (%.0fs) riding=%.1f/window util=%.2f",
+		batched.P50Ms, batched.P99Ms, batched.Reconfigs, batched.ReconfigSeconds,
+		batched.TenantsPerWindow, batched.MeanUtil)
+
+	if batched.P99Ms >= naive.P99Ms {
+		t.Fatalf("batched p99 %.2fms did not beat naive %.2fms", batched.P99Ms, naive.P99Ms)
+	}
+	if batched.ReconfigSeconds >= naive.ReconfigSeconds {
+		t.Fatalf("batched reconfig time %.0fs did not beat naive %.0fs",
+			batched.ReconfigSeconds, naive.ReconfigSeconds)
+	}
+	if batched.Reconfigs == 0 {
+		t.Fatal("batched arm never flashed — cold boards must be programmed")
+	}
+	if batched.TenantsPerWindow < 2 {
+		t.Fatalf("tenants per window = %.1f — windows are not amortizing", batched.TenantsPerWindow)
+	}
+	// Both arms see the same arrival stream; only placement differs.
+	if naive.Arrivals != batched.Arrivals {
+		t.Fatalf("arrival streams diverged: %d vs %d", naive.Arrivals, batched.Arrivals)
+	}
+	if naive.Completed == 0 || batched.Completed == 0 {
+		t.Fatal("no completed requests measured")
+	}
+
+	// Determinism: the same config reproduces the same outcome.
+	again, err := RunReconfigStorm(ReconfigConfig{Batched: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.P99Ms != batched.P99Ms || again.Reconfigs != batched.Reconfigs {
+		t.Fatalf("experiment not deterministic: %+v vs %+v", again, batched)
+	}
+
+	// Accels > Boards is rejected, not silently mis-simulated.
+	if _, err := RunReconfigStorm(ReconfigConfig{Boards: 4, Accels: 8}); err == nil {
+		t.Fatal("Accels > Boards must be rejected")
+	}
+}

@@ -133,7 +133,14 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 	gatherer := registry.NewGatherer(db)
 	base := time.Unix(0, 0)
 	gatherer.Now = func() time.Time { return base.Add(20 * time.Second) }
-	reg, err := registry.New(registry.DefaultPolicy(gatherer))
+	// The scale experiment isolates the front door (admission + routing):
+	// the reconfiguration penalty is zeroed so placements spread by load
+	// exactly as in the paper's Algorithm 1, instead of piling onto
+	// already-flashed boards. The reconfig-storm experiment studies that
+	// tradeoff separately.
+	policy := registry.DefaultPolicy(gatherer)
+	policy.ReconfigPenalty = 0
+	reg, err := registry.New(policy)
 	if err != nil {
 		return nil, err
 	}

@@ -261,6 +261,12 @@ type DeviceInfoResponse struct {
 	GlobalMem     int64
 	ConfiguredBit string
 	Accelerator   string
+	// ReconfigMillis advertises the board's wall-clock reprogramming cost
+	// so clients can derive a BuildProgram deadline that outlives the
+	// flash instead of tripping the generic call timeout mid-reconfigure.
+	// Trailing field: zero (unknown) is not encoded, so frames from
+	// managers without the advertisement stay byte-identical.
+	ReconfigMillis uint32
 }
 
 // Encode serializes the message.
@@ -271,6 +277,9 @@ func (m *DeviceInfoResponse) Encode(e *Encoder) {
 	e.I64(m.GlobalMem)
 	e.String(m.ConfiguredBit)
 	e.String(m.Accelerator)
+	if m.ReconfigMillis > 0 {
+		e.U32(m.ReconfigMillis)
+	}
 }
 
 // Decode deserializes the message.
@@ -281,6 +290,10 @@ func (m *DeviceInfoResponse) Decode(d *Decoder) {
 	m.GlobalMem = d.I64()
 	m.ConfiguredBit = d.String()
 	m.Accelerator = d.String()
+	m.ReconfigMillis = 0
+	if d.Remaining() >= 4 {
+		m.ReconfigMillis = d.U32()
+	}
 }
 
 // IDRequest addresses an object by server-issued handle. Used by the
