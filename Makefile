@@ -1,7 +1,7 @@
 # BlastFunction reproduction build targets.
 GO ?= go
 
-.PHONY: all build test vet race bench bench-dataplane bench-scale bench-reconfig trace-overhead log-overhead check experiments examples sched-ablation clean
+.PHONY: all build test vet race bench bench-dataplane bench-scale bench-reconfig bench-obs trace-overhead log-overhead check experiments examples sched-ablation clean
 
 all: build test
 
@@ -27,9 +27,10 @@ vet:
 # counters and the round-robin cursor. flash serializes reprogram jobs
 # through per-board workers while Submit coalesces followers onto open
 # windows, and registry's allocator races the reconfiguration fallback
-# against concurrent Allocates on the same blank boards.
+# against concurrent Allocates on the same blank boards. slo computes
+# burn rates from a TSDB that scrape goroutines append to concurrently.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/... ./internal/obs/... ./internal/logx/... ./internal/alert/... ./internal/datacache/... ./internal/fpga/... ./internal/gateway/... ./internal/flash/... ./internal/registry/...
+	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/... ./internal/obs/... ./internal/logx/... ./internal/alert/... ./internal/datacache/... ./internal/fpga/... ./internal/gateway/... ./internal/flash/... ./internal/registry/... ./internal/slo/...
 
 # Run the scheduling fairness experiment: the two-tenant skew workload on
 # the real Device Manager under fifo vs drr, checked against the
@@ -61,6 +62,14 @@ bench-scale:
 # windows.
 bench-reconfig:
 	BF_BENCH_RECONFIG=1 $(GO) test -run TestBenchReconfigArtifact -count=1 -v .
+
+# Record the observability tax into BENCH_obs.json: the three histogram
+# observation paths (plain, unsampled exemplar, sampled exemplar), the
+# runtime collector's sampling cost, and the scrape render with exemplars
+# on vs off. The unsampled-path budget — what every request pays at
+# default sampling — is <2% over a plain Observe.
+bench-obs:
+	BF_BENCH_OBS=1 $(GO) test -run TestBenchObsArtifact -count=1 -v .
 
 # Measure the distributed-tracing tax on the hot RPC path: the 4K gRPC
 # round trip with tracing off, sampling 1% and sampling 100%, next to the

@@ -1,0 +1,151 @@
+package blastfunction
+
+// Observability-tax trajectory: what the SLO/exemplar/profiling plane
+// costs on the metrics hot path. `make bench-obs` runs this and writes
+// BENCH_obs.json at the repo root so the numbers accumulate across
+// revisions. The budget that matters: at default sampling almost every
+// observation arrives with an empty trace ID, and that path must cost
+// within 2% of a plain Observe.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"blastfunction/internal/metrics"
+	"blastfunction/internal/obs"
+)
+
+// obsReport is the BENCH_obs.json schema.
+type obsReport struct {
+	GeneratedBy string `json:"generated_by"`
+
+	// Per-observation cost of the three histogram paths, ns (best of 5
+	// runs over 1000-observation batches).
+	ObservePlainNs            float64 `json:"observe_plain_ns"`
+	ObserveUnsampledNs        float64 `json:"observe_unsampled_exemplar_ns"`
+	ObserveSampledNs          float64 `json:"observe_sampled_exemplar_ns"`
+	UnsampledOverheadPct      float64 `json:"unsampled_overhead_pct"`
+	RuntimeSampleNs           float64 `json:"runtime_collector_sample_ns"`
+	RenderPlainNs             float64 `json:"render_50_histograms_plain_ns"`
+	RenderWithExemplarsNs     float64 `json:"render_50_histograms_exemplars_ns"`
+	RenderExemplarOverheadPct float64 `json:"render_exemplar_overhead_pct"`
+}
+
+// minBench runs a benchmark five times and keeps the fastest ns/op —
+// minimums are far more stable than means for sub-microsecond paths.
+func minBench(f func(b *testing.B)) float64 {
+	best := math.MaxFloat64
+	for i := 0; i < 5; i++ {
+		if v := float64(testing.Benchmark(f).NsPerOp()); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+const obsBatch = 1000
+
+// TestBenchObsArtifact measures the observability plane's tax and records
+// BENCH_obs.json. Gated behind BF_BENCH_OBS so `go test ./...` stays fast.
+func TestBenchObsArtifact(t *testing.T) {
+	if os.Getenv("BF_BENCH_OBS") == "" {
+		t.Skip("set BF_BENCH_OBS=1 (or run `make bench-obs`) to record the artifact")
+	}
+
+	newHist := func() metrics.Histogram {
+		return metrics.NewRegistry().Histogram("bf_bench_latency_seconds", "bench",
+			metrics.Labels{"tenant": "bench"}, nil)
+	}
+	// Values sweep the bucket range so every branch of the bucket walk runs.
+	vals := make([]float64, obsBatch)
+	for i := range vals {
+		vals[i] = 0.0001 * float64(1+i%50)
+	}
+
+	report := obsReport{GeneratedBy: "make bench-obs"}
+	report.ObservePlainNs = minBench(func(b *testing.B) {
+		h := newHist()
+		for i := 0; i < b.N; i++ {
+			for _, v := range vals {
+				h.Observe(v)
+			}
+		}
+	}) / obsBatch
+	report.ObserveUnsampledNs = minBench(func(b *testing.B) {
+		h := newHist()
+		for i := 0; i < b.N; i++ {
+			for _, v := range vals {
+				h.ObserveExemplar(v, "") // the default-sampling path: no trace attached
+			}
+		}
+	}) / obsBatch
+	report.ObserveSampledNs = minBench(func(b *testing.B) {
+		h := newHist()
+		for i := 0; i < b.N; i++ {
+			for _, v := range vals {
+				h.ObserveExemplar(v, "00000000deadbeef")
+			}
+		}
+	}) / obsBatch
+	report.UnsampledOverheadPct = 100 * (report.ObserveUnsampledNs - report.ObservePlainNs) / report.ObservePlainNs
+
+	report.RuntimeSampleNs = minBench(func(b *testing.B) {
+		col := obs.NewRuntimeCollector(metrics.NewRegistry(), metrics.Labels{"component": "bench"})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			col.SampleOnce()
+		}
+	})
+
+	// Scrape-path cost: rendering 50 histogram series, with and without
+	// an exemplar pinned in every bucket.
+	renderCost := func(exemplars bool) float64 {
+		reg := metrics.NewRegistry()
+		for i := 0; i < 50; i++ {
+			h := reg.Histogram("bf_bench_latency_seconds", "bench",
+				metrics.Labels{"tenant": fmt.Sprintf("t%02d", i)}, nil)
+			for _, v := range vals[:100] {
+				if exemplars {
+					h.ObserveExemplar(v, "00000000deadbeef")
+				} else {
+					h.Observe(v)
+				}
+			}
+		}
+		return minBench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if len(reg.Render()) == 0 {
+					b.Fatal("empty render")
+				}
+			}
+		})
+	}
+	report.RenderPlainNs = renderCost(false)
+	report.RenderWithExemplarsNs = renderCost(true)
+	report.RenderExemplarOverheadPct = 100 * (report.RenderWithExemplarsNs - report.RenderPlainNs) / report.RenderPlainNs
+
+	t.Logf("observe: plain=%.1fns unsampled-exemplar=%.1fns (%.2f%%) sampled=%.1fns",
+		report.ObservePlainNs, report.ObserveUnsampledNs, report.UnsampledOverheadPct, report.ObserveSampledNs)
+	t.Logf("runtime collector sample: %.0fns", report.RuntimeSampleNs)
+	t.Logf("render 50 histograms: plain=%.0fns exemplars=%.0fns (%.1f%%)",
+		report.RenderPlainNs, report.RenderWithExemplarsNs, report.RenderExemplarOverheadPct)
+
+	// Quality bar: the unsampled observation path — what every request
+	// pays at default sampling — must stay within 2% of a plain Observe.
+	if report.UnsampledOverheadPct > 2 {
+		t.Fatalf("unsampled exemplar path costs %.2f%% over plain Observe, budget 2%%",
+			report.UnsampledOverheadPct)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_obs.json")
+}

@@ -7,6 +7,7 @@
 //	blastctl -gateway http://localhost:8081 -manager http://localhost:5101 trace <trace-id>
 //	blastctl logs -level warn -trace <trace-id>
 //	blastctl alerts
+//	blastctl slo
 //	blastctl top
 //	blastctl flash list
 //	blastctl flash status <board>
@@ -24,6 +25,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -31,13 +33,16 @@ import (
 	"blastfunction/internal/flash"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/obs"
+	"blastfunction/internal/slo"
 )
 
 func main() {
 	registryURL := flag.String("registry", "http://127.0.0.1:8080", "registry base URL")
 	managerURL := flag.String("manager", "http://127.0.0.1:5101", "Device Manager HTTP base URL (for traces)")
 	gatewayURL := flag.String("gateway", "http://127.0.0.1:8081", "gateway HTTP base URL (for trace)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request HTTP timeout; a hung process can no longer wedge blastctl")
 	flag.Parse()
+	httpClient.Timeout = *timeout
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		cmd = "devices"
@@ -65,12 +70,14 @@ func main() {
 		showLogs(bases, flag.Args()[1:])
 	case "alerts":
 		showAlerts(dedup(*registryURL, *gatewayURL))
+	case "slo":
+		showSLO(dedup(*registryURL, *gatewayURL), flag.Args()[1:])
 	case "top":
 		showTop(*registryURL, *gatewayURL, *managerURL, flag.Args()[1:])
 	case "flash":
 		showFlash(bases, flag.Args()[1:])
 	default:
-		log.Fatalf("blastctl: unknown command %q (want devices|functions|traces|tenants|trace|logs|alerts|top|flash)", cmd)
+		log.Fatalf("blastctl: unknown command %q (want devices|functions|traces|tenants|trace|logs|alerts|slo|top|flash)", cmd)
 	}
 }
 
@@ -119,14 +126,18 @@ func showLogs(bases []string, args []string) {
 	}
 	q.N = *n
 
+	fetched := make([][]logx.Event, len(bases))
+	errs := make([]error, len(bases))
+	forEachBase(bases, func(i int, base string) {
+		fetched[i], errs[i] = logx.FetchRing(base, q)
+	})
 	var rings [][]logx.Event
-	for _, base := range bases {
-		ring, err := logx.FetchRing(base, q)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "blastctl: warning: %v (timeline may be partial)\n", err)
+	for i := range bases {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "blastctl: warning: %v (timeline may be partial)\n", errs[i])
 			continue
 		}
-		rings = append(rings, ring)
+		rings = append(rings, fetched[i])
 	}
 	if len(rings) == 0 {
 		log.Fatal("blastctl: no log source reachable (tried the registry's, gateway's and manager's /debug/logs)")
@@ -139,16 +150,20 @@ func showLogs(bases []string, args []string) {
 // showAlerts renders the merged /debug/alerts view: every rule series
 // that has left inactive, firing first, with how long it has been there.
 func showAlerts(bases []string) {
+	parts := make([][]alert.Status, len(bases))
+	errs := make([]error, len(bases))
+	forEachBase(bases, func(i int, base string) {
+		errs[i] = fetch(base+"/debug/alerts", &parts[i])
+	})
 	var statuses []alert.Status
 	sources := 0
-	for _, base := range bases {
-		var part []alert.Status
-		if err := fetch(base+"/debug/alerts", &part); err != nil {
-			fmt.Fprintf(os.Stderr, "blastctl: warning: %v\n", err)
+	for i := range bases {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "blastctl: warning: %v\n", errs[i])
 			continue
 		}
 		sources++
-		statuses = append(statuses, part...)
+		statuses = append(statuses, parts[i]...)
 	}
 	if sources == 0 {
 		log.Fatal("blastctl: no alert source reachable (tried the registry's and gateway's /debug/alerts)")
@@ -157,9 +172,23 @@ func showAlerts(bases []string) {
 		fmt.Println("no alerts: every rule series is inactive")
 		return
 	}
+	// SLO burn alerts carry a culprit: join /debug/slo so the firing line
+	// ends in a trace id `blastctl trace` can decompose.
+	exemplars := make(map[string]string)
+	for _, st := range statuses {
+		if strings.HasPrefix(st.Rule, "SLO") {
+			reports, _ := sloReports(bases)
+			for _, r := range reports {
+				if r.Latency.ExemplarTrace != "" {
+					exemplars[r.Name] = r.Latency.ExemplarTrace
+				}
+			}
+			break
+		}
+	}
 	now := time.Now()
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "RULE\tSTATE\tLABELS\tVALUE\tCONDITION\tAGE")
+	fmt.Fprintln(w, "RULE\tSTATE\tLABELS\tVALUE\tCONDITION\tAGE\tEXEMPLAR")
 	for _, st := range statuses {
 		age := "-"
 		if !st.Since.IsZero() {
@@ -169,10 +198,132 @@ func showAlerts(bases []string) {
 		if labels == "" {
 			labels = "-"
 		}
-		fmt.Fprintf(w, "%s\t%s\t%s\t%.3g\t%s %g\t%s\n",
-			st.Rule, st.State, labels, st.Value, st.Op, st.Threshold, age)
+		exemplar := "-"
+		if tr := exemplars[st.Labels["slo"]]; tr != "" {
+			exemplar = tr
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.3g\t%s %g\t%s\t%s\n",
+			st.Rule, st.State, labels, st.Value, st.Op, st.Threshold, age, exemplar)
 	}
 	w.Flush()
+}
+
+// sloReports fetches /debug/slo from every base concurrently and merges
+// the answers, deduping by objective name (the registry and the gateway
+// may be started with the same -slo flags). errs is aligned to bases so
+// callers can decide between warning and ignoring.
+func sloReports(bases []string) (reports []slo.Report, errs []error) {
+	parts := make([][]slo.Report, len(bases))
+	errs = make([]error, len(bases))
+	forEachBase(bases, func(i int, base string) {
+		errs[i] = fetch(base+"/debug/slo", &parts[i])
+	})
+	seen := make(map[string]bool)
+	for _, part := range parts {
+		for _, r := range part {
+			if seen[r.Name] {
+				continue
+			}
+			seen[r.Name] = true
+			reports = append(reports, r)
+		}
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Name < reports[j].Name })
+	return reports, errs
+}
+
+// sliState summarises one SLI's burn conditions: the severest breached
+// window wins, an untouched budget reads ok.
+func sliState(s slo.SLIReport) string {
+	state := "ok"
+	for _, bs := range s.Burns {
+		if !bs.Breached {
+			continue
+		}
+		if bs.Window.Severity == "page" {
+			return "PAGE"
+		}
+		state = "WARN"
+	}
+	return state
+}
+
+// showSLO renders each declared objective's error-budget accounting:
+// budget remaining per SLI, current burn rates, and — when the budget is
+// burning — the exemplar trace id to feed straight into `blastctl trace`.
+func showSLO(bases []string, args []string) {
+	fs := flag.NewFlagSet("slo", flag.ExitOnError)
+	name := fs.String("name", "", "only this objective")
+	fs.Parse(args)
+	reports, errs := sloReports(bases)
+	sources := 0
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blastctl: warning: %v\n", err)
+		} else {
+			sources++
+		}
+	}
+	if sources == 0 {
+		log.Fatal("blastctl: no SLO source reachable (tried the registry's and gateway's /debug/slo)")
+	}
+	if *name != "" {
+		kept := reports[:0]
+		for _, r := range reports {
+			if r.Name == *name {
+				kept = append(kept, r)
+			}
+		}
+		reports = kept
+	}
+	if len(reports) == 0 {
+		fmt.Println("no objectives declared (start the registry or gateway with -slo name:p99<50ms:99.9%)")
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "SLO\tSPEC\tSLI\tWINDOW\tBUDGET_LEFT\tBURN\tSTATE\tEXEMPLAR")
+	for _, r := range reports {
+		for _, s := range []slo.SLIReport{r.Latency, r.Availability} {
+			sli := s.Kind
+			if s.Kind == "latency" && s.HasData {
+				sli = fmt.Sprintf("latency (p%g=%.3gms)", s.Goal*100, s.ActualQuantile*1e3)
+			}
+			if !s.HasData {
+				fmt.Fprintf(w, "%s\t%s\t%s\t%s\t-\t-\tno data\t-\n",
+					r.Name, r.Spec, sli, r.Window)
+				continue
+			}
+			// The worst burn across windows is the one the alert rules act on.
+			burn := 0.0
+			for _, bs := range s.Burns {
+				if v := minf(bs.LongBurn, bs.ShortBurn); v > burn {
+					burn = v
+				}
+			}
+			exemplar := s.ExemplarTrace
+			if exemplar == "" {
+				exemplar = "-"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%5.1f%% %s\t%.2fx\t%s\t%s\n",
+				r.Name, r.Spec, sli, r.Window,
+				s.BudgetRemaining*100, utilBar(s.BudgetRemaining, 10),
+				burn, sliState(s), exemplar)
+		}
+	}
+	w.Flush()
+	for _, r := range reports {
+		if r.Latency.ExemplarTrace != "" && sliState(r.Latency) != "ok" {
+			fmt.Printf("hint: `blastctl trace %s` decomposes a request behind %s's burning p%g\n",
+				r.Latency.ExemplarTrace, r.Name, r.Latency.Goal*100)
+		}
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // topDevice mirrors the registry's /devices JSON for the fields top needs.
@@ -183,6 +334,63 @@ type topDevice struct {
 		Utilization, Connected, QueueDepth float64
 	}
 	Connected []string
+}
+
+// topFront mirrors the gateway's /debug/gateway JSON for top.
+type topFront struct {
+	Router    string `json:"router"`
+	Admission bool   `json:"admission"`
+	Functions []struct {
+		Function  string  `json:"function"`
+		Requests  int64   `json:"requests"`
+		Errors    int64   `json:"errors"`
+		InFlight  int64   `json:"inflight"`
+		Replicas  int     `json:"replicas"`
+		Admitted  int64   `json:"admitted"`
+		Rejected  int64   `json:"rejected"`
+		AvgMillis float64 `json:"avg_ms"`
+	} `json:"functions"`
+	Tenants []struct {
+		Tenant   string  `json:"tenant"`
+		Rate     float64 `json:"rate"`
+		Priority int     `json:"priority"`
+		Admitted uint64  `json:"admitted"`
+		Rejected uint64  `json:"rejected"`
+	} `json:"tenants"`
+}
+
+// topSched mirrors the manager's /debug/sched JSON for top.
+type topSched struct {
+	Discipline string `json:"discipline"`
+	Depth      int    `json:"depth"`
+	Tenants    []struct {
+		Tenant         string  `json:"tenant"`
+		Weight         int     `json:"weight"`
+		Depth          int     `json:"depth"`
+		OccupancyShare float64 `json:"occupancy_share"`
+	}
+}
+
+// topCache mirrors the manager's /debug/cache JSON for top.
+type topCache struct {
+	BufferCache struct {
+		Entries       int    `json:"entries"`
+		ResidentBytes int64  `json:"resident_bytes"`
+		Hits          uint64 `json:"hits"`
+		Misses        uint64 `json:"misses"`
+		BytesSaved    int64  `json:"bytes_saved"`
+		Evictions     uint64 `json:"evictions"`
+	} `json:"buffer_cache"`
+	MemoEnabled bool `json:"memo_enabled"`
+	MemoCache   struct {
+		Entries       int    `json:"entries"`
+		ResidentBytes int64  `json:"resident_bytes"`
+		Hits          uint64 `json:"hits"`
+		Misses        uint64 `json:"misses"`
+		Invalidations uint64 `json:"invalidations"`
+	} `json:"memo_cache"`
+	CopyOps   int64 `json:"copy_ops"`
+	CopyBytes int64 `json:"copy_bytes"`
 }
 
 // showTop renders a one-screen live cluster view — devices with
@@ -206,19 +414,76 @@ func showTop(registryBase, gatewayBase, managerBase string, args []string) {
 	}
 }
 
+// parallel runs every fn concurrently and waits for all of them.
+func parallel(fns ...func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}
+
 // topFrame builds one rendering of the cluster view. Every section is
 // best-effort: an unreachable process leaves a note, not a dead screen.
+// All sections are gathered concurrently before rendering, so a dead
+// process costs the frame one -timeout, not one per section.
 func topFrame(deviceBases, alertBases []string, gatewayBase, managerBase string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "BlastFunction cluster — %s\n\n", time.Now().Format("15:04:05"))
 
-	var devices []topDevice
-	var devErr error
-	for _, base := range deviceBases {
-		if devErr = fetch(base+"/devices", &devices); devErr == nil {
-			break
-		}
-	}
+	var (
+		devices  []topDevice
+		devErr   error
+		statuses []alert.Status
+		alertsOK bool
+		reports  []slo.Report
+		sloOK    bool
+		front    topFront
+		frontErr error
+		sched    topSched
+		schedErr error
+		cache    topCache
+		cacheErr error
+	)
+	parallel(
+		func() {
+			for _, base := range deviceBases {
+				if devErr = fetch(base+"/devices", &devices); devErr == nil {
+					break
+				}
+			}
+		},
+		func() {
+			parts := make([][]alert.Status, len(alertBases))
+			errs := make([]error, len(alertBases))
+			forEachBase(alertBases, func(i int, base string) {
+				errs[i] = fetch(base+"/debug/alerts", &parts[i])
+			})
+			for i := range alertBases {
+				if errs[i] == nil {
+					alertsOK = true
+					statuses = append(statuses, parts[i]...)
+				}
+			}
+		},
+		func() {
+			var errs []error
+			reports, errs = sloReports(alertBases)
+			for _, err := range errs {
+				if err == nil {
+					sloOK = true
+				}
+			}
+		},
+		func() { frontErr = fetch(strings.TrimSuffix(gatewayBase, "/")+"/debug/gateway", &front) },
+		func() { schedErr = fetch(strings.TrimSuffix(managerBase, "/")+"/debug/sched", &sched) },
+		func() { cacheErr = fetch(strings.TrimSuffix(managerBase, "/")+"/debug/cache", &cache) },
+	)
+
 	if devErr != nil {
 		fmt.Fprintf(&b, "devices: unreachable: %v\n", devErr)
 	} else {
@@ -243,15 +508,6 @@ func topFrame(deviceBases, alertBases []string, gatewayBase, managerBase string)
 		w.Flush()
 	}
 
-	var statuses []alert.Status
-	alertsOK := false
-	for _, base := range alertBases {
-		var part []alert.Status
-		if err := fetch(base+"/debug/alerts", &part); err == nil {
-			alertsOK = true
-			statuses = append(statuses, part...)
-		}
-	}
 	firing := 0
 	for _, st := range statuses {
 		if st.State == alert.StateFiring {
@@ -277,29 +533,39 @@ func topFrame(deviceBases, alertBases []string, gatewayBase, managerBase string)
 		}
 	}
 
-	var front struct {
-		Router    string `json:"router"`
-		Admission bool   `json:"admission"`
-		Functions []struct {
-			Function  string  `json:"function"`
-			Requests  int64   `json:"requests"`
-			Errors    int64   `json:"errors"`
-			InFlight  int64   `json:"inflight"`
-			Replicas  int     `json:"replicas"`
-			Admitted  int64   `json:"admitted"`
-			Rejected  int64   `json:"rejected"`
-			AvgMillis float64 `json:"avg_ms"`
-		} `json:"functions"`
-		Tenants []struct {
-			Tenant   string  `json:"tenant"`
-			Rate     float64 `json:"rate"`
-			Priority int     `json:"priority"`
-			Admitted uint64  `json:"admitted"`
-			Rejected uint64  `json:"rejected"`
-		} `json:"tenants"`
-	}
 	b.WriteByte('\n')
-	if err := fetch(strings.TrimSuffix(gatewayBase, "/")+"/debug/gateway", &front); err != nil {
+	switch {
+	case !sloOK:
+		b.WriteString("slo: unreachable\n")
+	case len(reports) == 0:
+		b.WriteString("slo: no objectives declared\n")
+	default:
+		burning := 0
+		for _, r := range reports {
+			if sliState(r.Latency) != "ok" || sliState(r.Availability) != "ok" {
+				burning++
+			}
+		}
+		if burning == 0 {
+			fmt.Fprintf(&b, "slo: %d objectives, budgets healthy\n", len(reports))
+		} else {
+			fmt.Fprintf(&b, "slo: %d of %d objectives burning\n", burning, len(reports))
+			for _, r := range reports {
+				for _, s := range []slo.SLIReport{r.Latency, r.Availability} {
+					if st := sliState(s); st != "ok" {
+						line := fmt.Sprintf("  %s %s %s: budget %.1f%% left", r.Name, s.Kind, st, s.BudgetRemaining*100)
+						if s.ExemplarTrace != "" {
+							line += " exemplar " + s.ExemplarTrace
+						}
+						b.WriteString(line + "\n")
+					}
+				}
+			}
+		}
+	}
+
+	b.WriteByte('\n')
+	if frontErr != nil {
 		fmt.Fprintf(&b, "front door: unreachable\n")
 	} else {
 		admission := "admission off"
@@ -333,18 +599,8 @@ func topFrame(deviceBases, alertBases []string, gatewayBase, managerBase string)
 		}
 	}
 
-	var sched struct {
-		Discipline string `json:"discipline"`
-		Depth      int    `json:"depth"`
-		Tenants    []struct {
-			Tenant         string  `json:"tenant"`
-			Weight         int     `json:"weight"`
-			Depth          int     `json:"depth"`
-			OccupancyShare float64 `json:"occupancy_share"`
-		}
-	}
 	b.WriteByte('\n')
-	if err := fetch(strings.TrimSuffix(managerBase, "/")+"/debug/sched", &sched); err != nil {
+	if schedErr != nil {
 		fmt.Fprintf(&b, "scheduler: unreachable (-manager not pointed at a Device Manager?)\n")
 	} else {
 		fmt.Fprintf(&b, "scheduler: %s, %d queued\n", sched.Discipline, sched.Depth)
@@ -357,28 +613,8 @@ func topFrame(deviceBases, alertBases []string, gatewayBase, managerBase string)
 		w.Flush()
 	}
 
-	var cache struct {
-		BufferCache struct {
-			Entries       int    `json:"entries"`
-			ResidentBytes int64  `json:"resident_bytes"`
-			Hits          uint64 `json:"hits"`
-			Misses        uint64 `json:"misses"`
-			BytesSaved    int64  `json:"bytes_saved"`
-			Evictions     uint64 `json:"evictions"`
-		} `json:"buffer_cache"`
-		MemoEnabled bool `json:"memo_enabled"`
-		MemoCache   struct {
-			Entries       int    `json:"entries"`
-			ResidentBytes int64  `json:"resident_bytes"`
-			Hits          uint64 `json:"hits"`
-			Misses        uint64 `json:"misses"`
-			Invalidations uint64 `json:"invalidations"`
-		} `json:"memo_cache"`
-		CopyOps   int64 `json:"copy_ops"`
-		CopyBytes int64 `json:"copy_bytes"`
-	}
 	b.WriteByte('\n')
-	if err := fetch(strings.TrimSuffix(managerBase, "/")+"/debug/cache", &cache); err != nil {
+	if cacheErr != nil {
 		fmt.Fprintf(&b, "data-plane reuse: unreachable\n")
 	} else {
 		bc := cache.BufferCache
@@ -443,16 +679,21 @@ func showTrace(gatewayBase, managerBase, id string) {
 	if _, err := strconv.ParseUint(id, 16, 64); err != nil {
 		log.Fatalf("blastctl: trace id %q: want the hex form printed in span dumps", id)
 	}
+	spanBases := dedup(gatewayBase, managerBase)
+	parts := make([][]span, len(spanBases))
+	errs := make([]error, len(spanBases))
+	forEachBase(spanBases, func(i int, base string) {
+		errs[i] = fetch(base+"/debug/spans?trace="+id, &parts[i])
+	})
 	var spans []span
 	sources := 0
-	for _, base := range []string{gatewayBase, managerBase} {
-		var part []span
-		if err := fetch(base+"/debug/spans?trace="+id, &part); err != nil {
-			fmt.Fprintf(os.Stderr, "blastctl: warning: %v (timeline may be partial)\n", err)
+	for i := range spanBases {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "blastctl: warning: %v (timeline may be partial)\n", errs[i])
 			continue
 		}
 		sources++
-		spans = append(spans, part...)
+		spans = append(spans, parts[i]...)
 	}
 	if sources == 0 {
 		log.Fatal("blastctl: no span source reachable (tried the gateway's and the manager's /debug/spans)")
@@ -566,11 +807,16 @@ func showTraces(base string) {
 	w.Flush()
 }
 
+// httpClient is the shared client behind every fetch; main overwrites
+// its Timeout from -timeout so one hung process fails the request
+// instead of wedging the whole command.
+var httpClient = &http.Client{Timeout: 5 * time.Second}
+
 // fetch GETs url and decodes the JSON response into v. Connection
 // failures, non-200 answers and malformed bodies are all errors — the
 // response is never decoded blindly.
 func fetch(url string, v any) error {
-	resp, err := http.Get(url)
+	resp, err := httpClient.Get(url)
 	if err != nil {
 		return fmt.Errorf("fetching %s: %w", url, err)
 	}
@@ -591,6 +837,22 @@ func mustFetch(url string, v any) {
 	if err := fetch(url, v); err != nil {
 		log.Fatalf("blastctl: %v", err)
 	}
+}
+
+// forEachBase runs fn for every base concurrently and waits. The ops
+// commands hit several processes per invocation; with -timeout bounding
+// each request, the slowest (or deadest) target costs one timeout
+// total instead of one per process.
+func forEachBase(bases []string, fn func(i int, base string)) {
+	var wg sync.WaitGroup
+	for i, base := range bases {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			fn(i, base)
+		}(i, base)
+	}
+	wg.Wait()
 }
 
 func showDevices(base string) {

@@ -10,11 +10,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -26,7 +28,9 @@ import (
 	"blastfunction/internal/fpga"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/manager"
+	"blastfunction/internal/metrics"
 	"blastfunction/internal/model"
+	"blastfunction/internal/obs"
 	"blastfunction/internal/rpc"
 	"blastfunction/internal/sched"
 )
@@ -98,6 +102,14 @@ func main() {
 	}, board)
 	defer mgr.Close()
 
+	// Runtime health rides the manager's own /metrics: the registry
+	// scrapes it into the TSDB where GoroutineLeak/HeapGrowth watch it.
+	runtimeCol := obs.NewRuntimeCollector(mgr.Metrics(),
+		metrics.Labels{"component": "manager", "device": *device, "node": *node})
+	ctx, cancelCol := context.WithCancel(context.Background())
+	defer cancelCol()
+	go runtimeCol.Run(ctx, 5*time.Second)
+
 	srv := rpc.NewServer(mgr)
 	srv.Log = rootLog.Named("rpc")
 	addr, err := srv.Listen(*listen)
@@ -115,6 +127,11 @@ func main() {
 	mux.Handle("/debug/cache", mgr.CacheStatsHandler())
 	mux.Handle("/debug/flash", mgr.Flash().Handler())
 	mux.Handle("/debug/logs", rootLog.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	metricsSrv := &http.Server{Addr: *metricsAt, Handler: mux}
 	go func() {
 		if err := metricsSrv.ListenAndServe(); err != http.ErrServerClosed {

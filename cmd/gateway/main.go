@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -38,6 +39,7 @@ import (
 	"blastfunction/internal/obs"
 	"blastfunction/internal/registry"
 	"blastfunction/internal/remote"
+	"blastfunction/internal/slo"
 )
 
 // listFlag collects repeated string flags.
@@ -87,10 +89,13 @@ func main() {
 		logLevel      = flag.String("log-level", "info", "minimum level mirrored to stderr (debug|info|warn|error)")
 		logRing       = flag.Int("log-ring", 4096, "events kept in the /debug/logs ring")
 		routerName    = flag.String("router", "roundrobin", "routing policy: roundrobin|least-inflight|locality|weighted")
+		profileDir    = flag.String("profile-dir", "", "directory receiving alert-triggered pprof snapshots (empty disables)")
 		managers      listFlag
 		deploys       listFlag
 		admissions    listFlag
+		sloFlag       slo.Flag
 	)
+	flag.Var(&sloFlag, "slo", "service-level objective as name:p99<50ms:99.9%[:window] (repeatable)")
 	flag.Var(&managers, "manager", "Device Manager spec: node=N,id=I,addr=H:P[,metrics=URL] (repeatable)")
 	flag.Var(&deploys, "deploy", "function deployment: name=usecase (usecase: sobel|mm|cnn; repeatable)")
 	flag.Var(&admissions, "admission", "per-tenant admission budget: rate:burst[:priority] default, tenant=rate:burst[:priority] override (repeatable; absent disables admission control)")
@@ -159,9 +164,38 @@ func main() {
 
 	// The gateway process owns the TSDB here, so it also runs the alert
 	// engine over it; the firing gauge rides a local metrics registry.
+	// That registry is itself a local scrape target: the gateway's
+	// per-function SLI counters and bf_runtime_* series land in the TSDB
+	// next to the managers' series, so SLO and leak rules see them.
 	alertReg := metrics.NewRegistry()
-	engine := alert.NewEngine(alert.Config{Log: rootLog.Named("alert"), Registry: alertReg})
+	runtimeCol := obs.NewRuntimeCollector(alertReg, metrics.Labels{"component": "gateway"})
+	scraper.AddLocalTarget("gateway", alertReg)
+	capture := &obs.ProfileCapture{Dir: *profileDir}
+	sloEngine := slo.NewEngine(db)
+	// Gateway objectives name functions, and the series that carry a
+	// function label are the gateway's own front-door SLIs — the
+	// manager-side bf_task_latency_seconds is labelled per replica
+	// (tenant="sobel-1-1") and would never match. Point unset latency
+	// SLIs at the front-door histogram scraped just above.
+	for i := range sloFlag.Objectives {
+		if sloFlag.Objectives[i].LatencyMetric == "" {
+			sloFlag.Objectives[i].LatencyMetric = "bf_function_latency_seconds"
+		}
+	}
+	sloEngine.Add(sloFlag.Objectives...)
+	engine := alert.NewEngine(alert.Config{
+		Log:      rootLog.Named("alert"),
+		Registry: alertReg,
+		OnFire: func(rule alert.Rule, st alert.Status) {
+			if paths, err := capture.Capture(rule.Name); err != nil {
+				rootLog.Warn("profile capture failed", "rule", rule.Name, "err", err)
+			} else if paths != nil {
+				rootLog.Info("profile captured", "rule", rule.Name, "files", len(paths))
+			}
+		},
+	})
 	engine.Add(alert.DefaultRules(db)...)
+	engine.Add(sloEngine.Rules()...)
 	engine.Add(alert.Rule{
 		Name: "DeviceUnhealthy",
 		Help: "device unreachable past the migration grace period",
@@ -180,6 +214,7 @@ func main() {
 	defer cancel()
 	go scraper.Run(ctx)
 	go engine.Run(ctx, *alertInterval)
+	go runtimeCol.Run(ctx, *scrape)
 	// Propagate scrape health into allocation decisions.
 	go func() {
 		ticker := time.NewTicker(*scrape)
@@ -272,7 +307,9 @@ func main() {
 	mux.Handle("/debug/logs", rootLog.Handler())
 	mux.Handle("/debug/alerts", engine.Handler())
 	mux.Handle("/debug/flash", flashSvc.Handler())
+	mux.Handle("/debug/slo", sloEngine.Handler())
 	mux.Handle("/metrics", alertReg.Handler())
+	registerPprof(mux)
 	srv := &http.Server{Addr: *listen, Handler: mux}
 	go func() {
 		rootLog.Info("serving", "addr", "http://"+*listen+"/function/<name>")
@@ -286,6 +323,16 @@ func main() {
 	<-sig
 	rootLog.Info("shutting down")
 	srv.Close()
+}
+
+// registerPprof mounts net/http/pprof on an explicit mux (the package's
+// init only touches http.DefaultServeMux, which we do not serve).
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 func accelerator(usecase string) string {

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,7 +23,9 @@ import (
 	"blastfunction/internal/flash"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/metrics"
+	"blastfunction/internal/obs"
 	"blastfunction/internal/registry"
+	"blastfunction/internal/slo"
 )
 
 func main() {
@@ -35,7 +38,10 @@ func main() {
 		logLevel      = flag.String("log-level", "info", "minimum level mirrored to stderr (debug|info|warn|error)")
 		logRing       = flag.Int("log-ring", 4096, "events kept in the /debug/logs ring")
 		flashHist     = flag.String("flash-history", "", "append-only JSONL file persisting the flash-window history across restarts")
+		profileDir    = flag.String("profile-dir", "", "directory receiving alert-triggered pprof snapshots (empty disables)")
+		sloFlag       slo.Flag
 	)
+	flag.Var(&sloFlag, "slo", "service-level objective as name:p99<50ms:99.9%[:window] (repeatable)")
 	flag.Parse()
 
 	sinkLevel, err := logx.ParseLevel(*logLevel)
@@ -80,10 +86,28 @@ func main() {
 
 	// The alert engine evaluates the same series Algorithm 1 reads, plus
 	// the registry's own health verdicts; its firing gauge is exported
-	// through a local metrics registry at /metrics.
+	// through a local metrics registry at /metrics. The registry's own
+	// runtime series feed the TSDB through a local scrape target so the
+	// GoroutineLeak/HeapGrowth rules cover this process too.
 	alertReg := metrics.NewRegistry()
-	engine := alert.NewEngine(alert.Config{Log: rootLog.Named("alert"), Registry: alertReg})
+	runtimeCol := obs.NewRuntimeCollector(alertReg, metrics.Labels{"component": "registry"})
+	scraper.AddLocalTarget("registry", alertReg)
+	capture := &obs.ProfileCapture{Dir: *profileDir}
+	sloEngine := slo.NewEngine(db)
+	sloEngine.Add(sloFlag.Objectives...)
+	engine := alert.NewEngine(alert.Config{
+		Log:      rootLog.Named("alert"),
+		Registry: alertReg,
+		OnFire: func(rule alert.Rule, st alert.Status) {
+			if paths, err := capture.Capture(rule.Name); err != nil {
+				rootLog.Warn("profile capture failed", "rule", rule.Name, "err", err)
+			} else if paths != nil {
+				rootLog.Info("profile captured", "rule", rule.Name, "files", len(paths))
+			}
+		},
+	})
 	engine.Add(alert.DefaultRules(db)...)
+	engine.Add(sloEngine.Rules()...)
 	engine.Add(alert.Rule{
 		Name: "DeviceUnhealthy",
 		Help: "device unreachable past the migration grace period",
@@ -102,6 +126,7 @@ func main() {
 	defer cancel()
 	go scraper.Run(ctx)
 	go engine.Run(ctx, *alertInterval)
+	go runtimeCol.Run(ctx, *interval)
 
 	// Keep scrape targets synced with registered devices.
 	go func() {
@@ -130,7 +155,9 @@ func main() {
 	mux.Handle("/debug/flash", flashSvc.Handler())
 	mux.Handle("/debug/logs", rootLog.Handler())
 	mux.Handle("/debug/alerts", engine.Handler())
+	mux.Handle("/debug/slo", sloEngine.Handler())
 	mux.Handle("/metrics", alertReg.Handler())
+	registerPprof(mux)
 	srv := &http.Server{Addr: *listen, Handler: mux}
 	go func() {
 		rootLog.Info("serving", "addr", "http://"+*listen)
@@ -144,4 +171,14 @@ func main() {
 	<-sig
 	rootLog.Info("shutting down")
 	srv.Close()
+}
+
+// registerPprof mounts net/http/pprof on an explicit mux (the package's
+// init only touches http.DefaultServeMux, which we do not serve).
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

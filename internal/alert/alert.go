@@ -99,6 +99,10 @@ type Rule struct {
 	// For is the hysteresis: the condition must hold this long before
 	// the alert transitions pending→firing. Zero fires immediately.
 	For time.Duration
+	// Severity routes the firing transition: "page" logs at error level
+	// (someone's phone buzzes), anything else — "warn" or empty — logs
+	// at warn. Burn-rate rules use it to separate fast from slow burn.
+	Severity string
 }
 
 func (r Rule) breached(v float64) bool {
@@ -115,6 +119,7 @@ type Status struct {
 	Help      string         `json:"help,omitempty"`
 	Labels    metrics.Labels `json:"labels,omitempty"`
 	State     State          `json:"state"`
+	Severity  string         `json:"severity,omitempty"`
 	Value     float64        `json:"value"`
 	Threshold float64        `json:"threshold"`
 	Op        string         `json:"op"`
@@ -133,6 +138,11 @@ type Config struct {
 	Registry *metrics.Registry
 	// Now is the injectable clock (default time.Now).
 	Now func() time.Time
+	// OnFire, when set, is called once per pending→firing transition,
+	// after the evaluation pass releases the engine lock (so the hook
+	// may call back into the engine). The profile-capture hook hangs
+	// here: evidence is snapshotted the moment a rule fires.
+	OnFire func(rule Rule, st Status)
 }
 
 // seriesState is the per-(rule, label set) state machine.
@@ -151,13 +161,22 @@ type seriesState struct {
 // Engine evaluates a rule set periodically and tracks per-series alert
 // state across evaluations.
 type Engine struct {
-	log *logx.Logger
-	reg *metrics.Registry
-	now func() time.Time
+	log    *logx.Logger
+	reg    *metrics.Registry
+	now    func() time.Time
+	onFire func(Rule, Status)
 
 	mu     sync.Mutex
 	rules  []Rule
 	states []map[string]*seriesState // parallel to rules, keyed by Labels.String()
+	fired  []firedEvent              // transitions of the in-progress pass
+}
+
+// firedEvent is one pending→firing transition queued for the OnFire
+// hook, delivered after EvalOnce drops the engine lock.
+type firedEvent struct {
+	rule Rule
+	st   Status
 }
 
 // NewEngine creates an empty engine; add rules with Add.
@@ -165,7 +184,7 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Engine{log: cfg.Log, reg: cfg.Registry, now: cfg.Now}
+	return &Engine{log: cfg.Log, reg: cfg.Registry, now: cfg.Now, onFire: cfg.OnFire}
 }
 
 // Add registers rules. Not safe to call concurrently with EvalOnce/Run.
@@ -200,7 +219,6 @@ func (e *Engine) Run(ctx context.Context, interval time.Duration) {
 // deterministically.
 func (e *Engine) EvalOnce(now time.Time) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	for i, rule := range e.rules {
 		states := e.states[i]
 		seen := make(map[string]bool, len(states))
@@ -233,6 +251,14 @@ func (e *Engine) EvalOnce(now time.Time) {
 			if !seen[key] {
 				e.step(rule, st, false, now)
 			}
+		}
+	}
+	fired := e.fired
+	e.fired = nil
+	e.mu.Unlock()
+	if e.onFire != nil {
+		for _, f := range fired {
+			e.onFire(f.rule, f.st)
 		}
 	}
 }
@@ -281,9 +307,21 @@ func (e *Engine) fire(rule Rule, st *seriesState, now time.Time) {
 	if st.hasGauge {
 		st.gauge.Set(1)
 	}
-	e.log.Warn("alert firing",
-		"rule", rule.Name, "labels", st.labels.String(),
+	logf := e.log.Warn
+	if rule.Severity == "page" {
+		logf = e.log.Error
+	}
+	logf("alert firing",
+		"rule", rule.Name, "labels", st.labels.String(), "severity", rule.Severity,
 		"value", st.value, "threshold", rule.Threshold, "op", rule.Op.String())
+	if e.onFire != nil {
+		e.fired = append(e.fired, firedEvent{rule: rule, st: Status{
+			Rule: rule.Name, Help: rule.Help, Labels: st.labels,
+			State: StateFiring, Severity: rule.Severity,
+			Value: st.value, Threshold: rule.Threshold, Op: rule.Op.String(),
+			Since: now, FiredAt: now,
+		}})
+	}
 }
 
 // Statuses snapshots every series that has ever left inactive, plus
@@ -300,6 +338,7 @@ func (e *Engine) Statuses() []Status {
 				Help:       rule.Help,
 				Labels:     st.labels,
 				State:      st.state,
+				Severity:   rule.Severity,
 				Value:      st.value,
 				Threshold:  rule.Threshold,
 				Op:         rule.Op.String(),
@@ -392,6 +431,28 @@ func DefaultRules(db *metrics.TSDB) []Rule {
 			Op:        OpLess,
 			Threshold: 1,
 			For:       10 * time.Second,
+		},
+		{
+			// bf_runtime_goroutines is sampled by every binary's
+			// RuntimeCollector; a monotone climb of hundreds over two
+			// minutes is a leak (blocked senders, abandoned waiters), not
+			// load — load-driven goroutines come and go within a scrape.
+			Name:      "GoroutineLeak",
+			Help:      "goroutine count grew by more than 500 within 2m",
+			Source:    Delta(db, "bf_runtime_goroutines", 2*time.Minute),
+			Op:        OpGreater,
+			Threshold: 500,
+			For:       30 * time.Second,
+			Severity:  "page",
+		},
+		{
+			Name:      "HeapGrowth",
+			Help:      "live heap grew by more than 256 MiB within 2m",
+			Source:    Delta(db, "bf_runtime_heap_alloc_bytes", 2*time.Minute),
+			Op:        OpGreater,
+			Threshold: 256 << 20,
+			For:       30 * time.Second,
+			Severity:  "warn",
 		},
 		{
 			// A board reflashing more than ~6 times a minute is thrashing

@@ -55,6 +55,22 @@ func Rate(db *metrics.TSDB, metric string, window time.Duration) Source {
 	})
 }
 
+// Delta observes last-minus-first of every series of a gauge metric
+// over the trailing window — growth detection for gauges (goroutine
+// count, heap bytes) where Rate's counter-reset handling would turn a
+// recovery dip into a spurious positive.
+func Delta(db *metrics.TSDB, metric string, window time.Duration) Source {
+	return sourceFunc(func(now time.Time) []Observation {
+		var out []Observation
+		for _, lbl := range db.Series(metric) {
+			if v, ok := db.Delta(metric, lbl, now, window); ok {
+				out = append(out, Observation{Labels: lbl, Value: v})
+			}
+		}
+		return out
+	})
+}
+
 // Avg observes the windowed mean of every series of a gauge metric.
 func Avg(db *metrics.TSDB, metric string, window time.Duration) Source {
 	return sourceFunc(func(now time.Time) []Observation {

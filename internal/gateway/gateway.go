@@ -460,21 +460,44 @@ func (g *Gateway) serveFunction(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		es.inflight.Add(-1)
 		fs.inflight.Add(-1)
-		fs.latSumUs.Add(time.Since(start).Microseconds())
+		elapsed := time.Since(start)
+		fs.latSumUs.Add(elapsed.Microseconds())
+		failed := false
 		if rec := recover(); rec != nil {
+			failed = true
 			fs.errors.Add(1)
 			g.Log.Error("gateway: endpoint panicked",
 				"function", name, "instance", es.uid, "panic", fmt.Sprint(rec))
 			if !sw.wrote {
 				http.Error(sw.ResponseWriter, "internal function error", http.StatusInternalServerError)
 			}
-			return
-		}
-		if sw.status >= 400 {
+		} else if sw.status >= 400 {
+			failed = true
 			fs.errors.Add(1)
 		}
+		// Per-function request/error counters and the latency histogram
+		// are the gateway-side SLIs the SLO engine reads (availability
+		// goal and front-door quantiles).
+		g.countFunction(name, elapsed, failed)
 	}()
 	es.ep.ServeHTTP(sw, r)
+}
+
+// countFunction records one served request into the exported SLI
+// series when a metrics registry is attached.
+func (g *Gateway) countFunction(function string, elapsed time.Duration, failed bool) {
+	if g.Metrics == nil {
+		return
+	}
+	lbl := metrics.Labels{"function": function}
+	g.Metrics.Counter("bf_function_requests_total",
+		"Requests the gateway routed to the function.", lbl).Inc()
+	if failed {
+		g.Metrics.Counter("bf_function_errors_total",
+			"Routed requests that failed (HTTP >= 400 or panic).", lbl).Inc()
+	}
+	g.Metrics.Histogram("bf_function_latency_seconds",
+		"Front-door request latency per function.", lbl, nil).Observe(elapsed.Seconds())
 }
 
 // countAdmission bumps a front-door counter when a metrics registry is

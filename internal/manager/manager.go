@@ -192,6 +192,8 @@ type tenantMetrics struct {
 	waitHist  metrics.Histogram // bf_tenant_queue_wait_seconds (alerting reads its p95)
 	deviceSec metrics.Counter   // bf_tenant_device_seconds_total
 	tasks     metrics.Counter   // bf_tenant_tasks_total
+	latHist   metrics.Histogram // bf_task_latency_seconds (SLO latency SLI)
+	failures  metrics.Counter   // bf_tenant_task_failures_total (SLO availability SLI)
 	deviceNS  atomic.Int64
 }
 
@@ -208,6 +210,8 @@ func (m *Manager) tenantMetric(tenant string) *tenantMetrics {
 			waitHist:  m.reg.Histogram("bf_tenant_queue_wait_seconds", "Queue-wait distribution of the tenant's executed tasks.", lbl, nil),
 			deviceSec: m.reg.Counter("bf_tenant_device_seconds_total", "Modelled device time consumed by the tenant.", lbl),
 			tasks:     m.reg.Counter("bf_tenant_tasks_total", "Tasks the tenant executed on the device.", lbl),
+			latHist:   m.reg.Histogram("bf_task_latency_seconds", "End-to-end task residency (submit to completion) per tenant; carries trace exemplars.", lbl, nil),
+			failures:  m.reg.Counter("bf_tenant_task_failures_total", "Tasks that completed with a failed operation.", lbl),
 		}
 		m.tenants[tenant] = tm
 	}
@@ -467,7 +471,18 @@ func (m *Manager) worker() {
 		tm.depth.Add(-1)
 		tm.waitTotal.Add(t.queueWait.Seconds())
 		tm.waitHist.Observe(t.queueWait.Seconds())
-		m.runTask(t)
+		failed := m.runTask(t)
+		if failed {
+			tm.failures.Inc()
+		}
+		// Task residency — submit to completion — is the latency the
+		// tenant's SLO is declared against. A sampled task's trace rides
+		// as the bucket exemplar (empty trace degrades to plain Observe).
+		var traceID string
+		if t.trace != 0 {
+			traceID = obs.TraceID(t.trace).String()
+		}
+		tm.latHist.ObserveExemplar(time.Since(it.Submitted).Seconds(), traceID)
 		m.syncBoardCounters()
 	}
 }

@@ -444,7 +444,9 @@ func (nb *notifyBatcher) flush() {
 // so later operations would observe inconsistent state. All of the task's
 // progress notifications leave as a single batch frame (for batch-capable
 // peers) once the task finishes.
-func (m *Manager) runTask(t *task) {
+// runTask executes one popped task and reports whether any of its
+// operations failed (the availability SLI counts failed tasks).
+func (m *Manager) runTask(t *task) (failedTask bool) {
 	if t.sess.expired.Load() {
 		// The lease sweeper reclaimed this session between submit and
 		// execution: its buffers are freed, so running would fault.
@@ -455,7 +457,7 @@ func (m *Manager) runTask(t *task) {
 			t.sess.sendFail(t.conn, t.ops[i].tag, err) // best effort: conn is likely closed
 		}
 		releaseOps(t.ops)
-		return
+		return true
 	}
 	m.mTasks.Inc()
 	var taskDevice time.Duration
@@ -556,6 +558,7 @@ func (m *Manager) runTask(t *task) {
 			"device_time", taskDevice, "queue_wait", t.queueWait,
 			"failed", failed, "trace", obs.TraceID(t.trace))
 	}
+	return failed
 }
 
 // runOp executes one operation and builds its completion notification.

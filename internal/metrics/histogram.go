@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // DefaultLatencyBuckets spans microseconds to seconds, suitable for the
@@ -15,16 +16,31 @@ var DefaultLatencyBuckets = []float64{
 	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5,
 }
 
+// Exemplar pins a trace to a histogram bucket: the trace ID of one
+// sampled observation that landed in that bucket, with its value and
+// arrival time. Buckets hold at most one exemplar (latest wins), which
+// bounds memory regardless of observation churn.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Time    time.Time
+}
+
 // histSeries is one histogram time series.
 type histSeries struct {
 	labels  Labels
 	buckets []float64 // sorted upper bounds, +Inf implied
 
-	mu     sync.Mutex
-	counts []uint64
-	sum    float64
-	count  uint64
+	mu        sync.Mutex
+	counts    []uint64
+	sum       float64
+	count     uint64
+	exemplars []Exemplar // nil until the first exemplar; len(buckets)+1 (+Inf last)
 }
+
+// exemplarNow is stubbed in tests that need deterministic exemplar
+// timestamps.
+var exemplarNow = time.Now
 
 // Histogram observes a distribution into cumulative buckets, exposed in
 // the standard <name>_bucket{le=...}/_sum/_count form.
@@ -32,15 +48,74 @@ type Histogram struct{ s *histSeries }
 
 // Observe records one value.
 func (h Histogram) Observe(v float64) {
-	h.s.mu.Lock()
-	defer h.s.mu.Unlock()
-	for i, ub := range h.s.buckets {
+	h.s.observe(v)
+}
+
+// ObserveExemplar records one value and attaches traceID as the
+// exemplar of the value's native bucket, replacing any previous one.
+// An empty traceID degrades to a plain Observe, so callers can pass
+// their trace unconditionally and unsampled requests cost nothing:
+// this wrapper stays small enough to inline, so the empty-trace branch
+// compiles down to the same call a plain Observe makes.
+func (h Histogram) ObserveExemplar(v float64, traceID string) {
+	if traceID == "" {
+		h.s.observe(v)
+		return
+	}
+	h.s.observeExemplar(v, traceID)
+}
+
+func (s *histSeries) observe(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, ub := range s.buckets {
 		if v <= ub {
-			h.s.counts[i]++
+			s.counts[i]++
 		}
 	}
-	h.s.sum += v
-	h.s.count++
+	s.sum += v
+	s.count++
+}
+
+func (s *histSeries) observeExemplar(v float64, traceID string) {
+	now := exemplarNow()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	native := len(s.buckets) // +Inf unless a finite bucket holds v
+	for i, ub := range s.buckets {
+		if v <= ub {
+			s.counts[i]++
+			if i < native {
+				native = i
+			}
+		}
+	}
+	s.sum += v
+	s.count++
+	if s.exemplars == nil {
+		s.exemplars = make([]Exemplar, len(s.buckets)+1)
+	}
+	s.exemplars[native] = Exemplar{TraceID: traceID, Value: v, Time: now}
+}
+
+// Exemplars snapshots the series' bucket exemplars keyed by the le
+// bound as rendered ("0.005", "+Inf"). Buckets without an exemplar are
+// absent.
+func (h Histogram) Exemplars() map[string]Exemplar {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	out := make(map[string]Exemplar)
+	for i, e := range h.s.exemplars {
+		if e.TraceID == "" {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.s.buckets) {
+			le = strconv.FormatFloat(h.s.buckets[i], 'g', -1, 64)
+		}
+		out[le] = e
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -151,10 +226,12 @@ func (r *Registry) renderHistograms(b *strings.Builder) {
 			s := hf.byLabel[k]
 			s.mu.Lock()
 			for i, ub := range s.buckets {
-				fmt.Fprintf(b, "%s_bucket%s %d\n", hf.name,
-					withLE(s.labels, strconv.FormatFloat(ub, 'g', -1, 64)), s.counts[i])
+				fmt.Fprintf(b, "%s_bucket%s %d%s\n", hf.name,
+					withLE(s.labels, strconv.FormatFloat(ub, 'g', -1, 64)), s.counts[i],
+					exemplarSuffix(s.exemplars, i))
 			}
-			fmt.Fprintf(b, "%s_bucket%s %d\n", hf.name, withLE(s.labels, "+Inf"), s.count)
+			fmt.Fprintf(b, "%s_bucket%s %d%s\n", hf.name, withLE(s.labels, "+Inf"), s.count,
+				exemplarSuffix(s.exemplars, len(s.buckets)))
 			fmt.Fprintf(b, "%s_sum%s %s\n", hf.name, s.labels.String(),
 				strconv.FormatFloat(s.sum, 'g', -1, 64))
 			fmt.Fprintf(b, "%s_count%s %d\n", hf.name, s.labels.String(), s.count)
@@ -162,6 +239,19 @@ func (r *Registry) renderHistograms(b *strings.Builder) {
 		}
 		hf.mu.Unlock()
 	}
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar clause for bucket i,
+// or "" when the bucket has none — series without exemplars render
+// byte-identically to the plain format.
+func exemplarSuffix(exemplars []Exemplar, i int) string {
+	if i >= len(exemplars) || exemplars[i].TraceID == "" {
+		return ""
+	}
+	e := exemplars[i]
+	return fmt.Sprintf(" # {trace_id=%q} %s %s", e.TraceID,
+		strconv.FormatFloat(e.Value, 'g', -1, 64),
+		strconv.FormatFloat(float64(e.Time.UnixMilli())/1000, 'f', 3, 64))
 }
 
 // withLE renders a label set extended with an le bucket bound.

@@ -3,15 +3,18 @@ package metrics
 import (
 	"bufio"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Sample is one parsed exposition line.
 type Sample struct {
-	Name   string
-	Labels Labels
-	Value  float64
+	Name     string
+	Labels   Labels
+	Value    float64
+	Exemplar *Exemplar // OpenMetrics exemplar clause, if the line had one
 }
 
 // SeriesKey identifies a time series across scrapes.
@@ -42,6 +45,16 @@ func Parse(text string) ([]Sample, error) {
 
 func parseLine(line string) (Sample, error) {
 	var s Sample
+	// An OpenMetrics exemplar rides after " # " — split it off first so
+	// the value split below sees only the plain sample.
+	if hash := strings.Index(line, " # "); hash >= 0 {
+		ex, err := parseExemplar(strings.TrimSpace(line[hash+3:]))
+		if err != nil {
+			return s, fmt.Errorf("bad exemplar in %q: %w", line, err)
+		}
+		s.Exemplar = ex
+		line = strings.TrimSpace(line[:hash])
+	}
 	// Split metric part from value at the last space.
 	sp := strings.LastIndexByte(line, ' ')
 	if sp < 0 {
@@ -65,27 +78,74 @@ func parseLine(line string) (Sample, error) {
 	if err := validName(s.Name); err != nil {
 		return s, err
 	}
-	labelText := metricPart[brace+1 : len(metricPart)-1]
-	if labelText == "" {
-		return s, nil
+	labels, err := parseLabels(metricPart[brace+1 : len(metricPart)-1])
+	if err != nil {
+		return s, fmt.Errorf("%w in %q", err, line)
 	}
-	s.Labels = make(Labels)
+	s.Labels = labels
+	return s, nil
+}
+
+// parseLabels parses the inside of a {...} label set (no braces).
+func parseLabels(labelText string) (Labels, error) {
+	if labelText == "" {
+		return nil, nil
+	}
+	labels := make(Labels)
 	for len(labelText) > 0 {
 		eq := strings.IndexByte(labelText, '=')
 		if eq < 0 || len(labelText) < eq+2 || labelText[eq+1] != '"' {
-			return s, fmt.Errorf("malformed label in %q", line)
+			return nil, fmt.Errorf("malformed label")
 		}
 		key := labelText[:eq]
 		rest := labelText[eq+2:]
 		end := strings.IndexByte(rest, '"')
 		if end < 0 {
-			return s, fmt.Errorf("unterminated label value in %q", line)
+			return nil, fmt.Errorf("unterminated label value")
 		}
-		s.Labels[key] = rest[:end]
+		labels[key] = rest[:end]
 		labelText = rest[end+1:]
 		labelText = strings.TrimPrefix(labelText, ",")
 	}
-	return s, nil
+	return labels, nil
+}
+
+// parseExemplar parses the clause after " # ":
+//
+//	{trace_id="4ba1..."} 0.042 1719321600.123
+//
+// The timestamp is optional, matching OpenMetrics.
+func parseExemplar(text string) (*Exemplar, error) {
+	if !strings.HasPrefix(text, "{") {
+		return nil, fmt.Errorf("missing label set")
+	}
+	close := strings.IndexByte(text, '}')
+	if close < 0 {
+		return nil, fmt.Errorf("unterminated label set")
+	}
+	labels, err := parseLabels(text[1:close])
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(text[close+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("want value [timestamp] after labels")
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad value: %w", err)
+	}
+	e := &Exemplar{TraceID: labels["trace_id"], Value: v}
+	if len(fields) == 2 {
+		ts, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad timestamp: %w", err)
+		}
+		// Rendered at millisecond resolution; rounding here makes the
+		// render/parse loop lossless.
+		e.Time = time.UnixMilli(int64(math.Round(ts * 1000)))
+	}
+	return e, nil
 }
 
 func validName(name string) error {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sync"
 	"time"
@@ -23,10 +24,14 @@ type Scraper struct {
 	// between healthy and failing (including a first scrape that fails).
 	// Callbacks run from scrape goroutines; keep them cheap.
 	OnHealth func(target string, up bool, err error)
+	// NoJitter disables the random start-phase delay in Run. Tests that
+	// drive Run against a wall clock set it for determinism.
+	NoJitter bool
 
 	mu      sync.Mutex
-	targets map[string]string // target name -> URL
-	errs    map[string]error  // last scrape error per target
+	targets map[string]string    // target name -> URL
+	locals  map[string]*Registry // in-process targets, read without HTTP
+	errs    map[string]error     // last scrape error per target
 }
 
 // NewScraper creates a scraper feeding db every interval.
@@ -41,6 +46,7 @@ func NewScraper(db *TSDB, interval time.Duration) *Scraper {
 		Now:      time.Now,
 		Timeout:  5 * time.Second,
 		targets:  make(map[string]string),
+		locals:   make(map[string]*Registry),
 		errs:     make(map[string]error),
 	}
 }
@@ -53,11 +59,23 @@ func (s *Scraper) AddTarget(name, url string) {
 	s.targets[name] = url
 }
 
+// AddLocalTarget registers an in-process registry as a scrape target.
+// It is rendered and parsed through the same text path as HTTP targets
+// — exemplars and all — so a binary's own series (its runtime collector,
+// the gateway's per-function counters) land in the TSDB without the
+// process scraping itself over loopback.
+func (s *Scraper) AddLocalTarget(name string, reg *Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.locals[name] = reg
+}
+
 // RemoveTarget deregisters a target.
 func (s *Scraper) RemoveTarget(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.targets, name)
+	delete(s.locals, name)
 	delete(s.errs, name)
 }
 
@@ -87,20 +105,29 @@ func (s *Scraper) LastError(name string) error {
 // all of them). Tests and the DES experiments call it directly for
 // determinism; all samples share one timestamp.
 func (s *Scraper) ScrapeOnce() {
+	type job struct {
+		name  string
+		fetch func() ([]Sample, error)
+	}
 	s.mu.Lock()
-	targets := make(map[string]string, len(s.targets))
+	jobs := make([]job, 0, len(s.targets)+len(s.locals))
 	for n, u := range s.targets {
-		targets[n] = u
+		url := u
+		jobs = append(jobs, job{n, func() ([]Sample, error) { return s.fetch(url) }})
+	}
+	for n, r := range s.locals {
+		reg := r
+		jobs = append(jobs, job{n, func() ([]Sample, error) { return Parse(reg.Render()) }})
 	}
 	s.mu.Unlock()
 	now := s.Now()
 	var wg sync.WaitGroup
-	for name, url := range targets {
+	for _, j := range jobs {
 		wg.Add(1)
-		go func(name, url string) {
+		go func(name string, fetch func() ([]Sample, error)) {
 			defer wg.Done()
 			start := time.Now()
-			samples, err := s.fetch(url)
+			samples, err := fetch()
 			elapsed := time.Since(start)
 			s.mu.Lock()
 			prev, known := s.errs[name]
@@ -133,7 +160,7 @@ func (s *Scraper) ScrapeOnce() {
 				samples = health
 			}
 			s.db.Append(now, samples) // TSDB appends are lock-protected
-		}(name, url)
+		}(j.name, j.fetch)
 	}
 	wg.Wait()
 }
@@ -164,8 +191,28 @@ func (s *Scraper) fetch(url string) ([]Sample, error) {
 	return Parse(string(body))
 }
 
-// Run scrapes on the configured interval until ctx is cancelled.
+// startJitter picks a random phase in [0, interval): many managers
+// started together (one systemd burst, one compose up) would otherwise
+// tick in lockstep and hit the registry as a synchronized burst every
+// interval forever.
+func (s *Scraper) startJitter() time.Duration {
+	if s.interval <= 0 {
+		return 0
+	}
+	return rand.N(s.interval)
+}
+
+// Run scrapes on the configured interval until ctx is cancelled. The
+// first tick waits an extra random fraction of the interval (see
+// startJitter) unless NoJitter is set.
 func (s *Scraper) Run(ctx context.Context) {
+	if !s.NoJitter {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(s.startJitter()):
+		}
+	}
 	ticker := time.NewTicker(s.interval)
 	defer ticker.Stop()
 	for {

@@ -17,9 +17,10 @@ type Point struct {
 type TSDB struct {
 	mu        sync.Mutex
 	retention time.Duration
-	series    map[string][]Point // keyed by Sample.SeriesKey()
-	meta      map[string]Sample  // name+labels of each key
-	gen       uint64             // bumped once per Append (scrape generation)
+	series    map[string][]Point  // keyed by Sample.SeriesKey()
+	meta      map[string]Sample   // name+labels of each key
+	exemplars map[string]Exemplar // latest exemplar per series key
+	gen       uint64              // bumped once per Append (scrape generation)
 }
 
 // NewTSDB creates a store keeping points for the given retention window.
@@ -31,6 +32,7 @@ func NewTSDB(retention time.Duration) *TSDB {
 		retention: retention,
 		series:    make(map[string][]Point),
 		meta:      make(map[string]Sample),
+		exemplars: make(map[string]Exemplar),
 	}
 }
 
@@ -53,7 +55,18 @@ func (db *TSDB) Append(t time.Time, samples []Sample) {
 		if _, ok := db.meta[k]; !ok {
 			db.meta[k] = Sample{Name: s.Name, Labels: s.Labels}
 		}
+		if s.Exemplar != nil && s.Exemplar.TraceID != "" {
+			db.exemplars[k] = *s.Exemplar
+		}
 	}
+}
+
+// Exemplar returns the latest exemplar stored for the series, if any.
+func (db *TSDB) Exemplar(name string, labels Labels) (Exemplar, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.exemplars[Sample{Name: name, Labels: labels}.SeriesKey()]
+	return e, ok
 }
 
 // Generation reports how many Append batches the store has absorbed.
@@ -126,6 +139,20 @@ func (db *TSDB) Increase(name string, labels Labels, now time.Time, window time.
 		dv = pts[len(pts)-1].V
 	}
 	return dv, true
+}
+
+// Delta computes last-minus-first of a gauge series over the window
+// ending at now. Unlike Increase it has no counter-reset handling and
+// may be negative — the right shape for goroutine counts and heap
+// sizes, where a drop is a recovery, not a reset.
+func (db *TSDB) Delta(name string, labels Labels, now time.Time, window time.Duration) (float64, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pts := db.window(Sample{Name: name, Labels: labels}.SeriesKey(), now, window)
+	if len(pts) < 2 {
+		return 0, false
+	}
+	return pts[len(pts)-1].V - pts[0].V, true
 }
 
 // Avg computes the mean of a gauge series over the window ending at now.

@@ -245,7 +245,10 @@ func (t *Tracer) Record(sp Span) {
 	}
 	t.mu.Unlock()
 	if t.reg != nil {
-		t.stageHist(sp.Stage).Observe(sp.Duration.Seconds())
+		// Recorded spans always belong to a sampled trace, so each
+		// observation doubles as the bucket's exemplar: the exact trace
+		// behind a burning stage latency is one /metrics scrape away.
+		t.stageHist(sp.Stage).ObserveExemplar(sp.Duration.Seconds(), sp.Trace.String())
 	}
 }
 

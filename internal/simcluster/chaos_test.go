@@ -19,7 +19,9 @@ import (
 	"blastfunction/internal/fpga"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/manager"
+	"blastfunction/internal/metrics"
 	"blastfunction/internal/model"
+	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
 	"blastfunction/internal/remote"
 	"blastfunction/internal/rpc"
@@ -112,21 +114,38 @@ func openLoopback(t *testing.T, client ocl.Client) (ocl.Context, ocl.CommandQueu
 	return ctx, q, k
 }
 
-// waitGoroutines asserts the goroutine count drains back to around its
-// pre-test level, catching leaked readers, workers, sweepers or heartbeat
-// loops.
-func waitGoroutines(t *testing.T, limit int) {
+// goroutineWatch asserts leak-freedom through the same runtime collector
+// the production binaries export as bf_runtime_goroutines — the series
+// the GoroutineLeak alert rule watches — instead of hand-rolled
+// runtime.NumGoroutine polling.
+type goroutineWatch struct {
+	col  *obs.RuntimeCollector
+	base int
+}
+
+// watchGoroutines snapshots the current goroutine count as the baseline.
+func watchGoroutines() *goroutineWatch {
+	col := obs.NewRuntimeCollector(metrics.NewRegistry(), metrics.Labels{"component": "chaos"})
+	return &goroutineWatch{col: col, base: col.Goroutines()}
+}
+
+// waitDrained asserts the collector's goroutine gauge drains back to
+// around the baseline, catching leaked readers, workers, sweepers or
+// heartbeat loops.
+func (g *goroutineWatch) waitDrained(t *testing.T, slack int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= limit {
+		g.col.SampleOnce()
+		if g.col.Goroutines() <= g.base+slack {
 			return
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
 	buf := make([]byte, 1<<20)
 	n := runtime.Stack(buf, true)
-	t.Fatalf("goroutine leak: %d still running (limit %d)\n%s", runtime.NumGoroutine(), limit, buf[:n])
+	t.Fatalf("goroutine leak: %d still running (baseline %d, slack %d)\n%s",
+		g.col.Goroutines(), g.base, slack, buf[:n])
 }
 
 // TestChaosManagerKilledMidTaskFailsPendingEvents wedges the uplink so a
@@ -134,7 +153,7 @@ func waitGoroutines(t *testing.T, limit int) {
 // pending event must fail within a bounded time and match
 // rpc.ErrManagerDown, and teardown must not leak goroutines.
 func TestChaosManagerKilledMidTaskFailsPendingEvents(t *testing.T) {
-	base := runtime.NumGoroutine()
+	gw := watchGoroutines()
 	rig := newChaosRig(t, manager.Config{DeviceID: "chaos-A"})
 	client, fc := dialChaos(t, rig)
 	ctx, q, k := openLoopback(t, client)
@@ -198,7 +217,7 @@ func TestChaosManagerKilledMidTaskFailsPendingEvents(t *testing.T) {
 	}
 
 	client.Close()
-	waitGoroutines(t, base+3)
+	gw.waitDrained(t, 3)
 }
 
 // TestChaosLeaseExpiryReclaimsWedgedClient wedges a client's uplink (TCP
@@ -207,7 +226,7 @@ func TestChaosManagerKilledMidTaskFailsPendingEvents(t *testing.T) {
 // freed, the session is gone, and the deferred-ack operation receives a
 // terminal OpFailed while the downlink can still carry it.
 func TestChaosLeaseExpiryReclaimsWedgedClient(t *testing.T) {
-	base := runtime.NumGoroutine()
+	gw := watchGoroutines()
 	lease := 300 * time.Millisecond
 	rig := newChaosRig(t, manager.Config{DeviceID: "chaos-B", LeaseDuration: lease})
 	client, fc := dialChaos(t, rig)
@@ -267,5 +286,5 @@ func TestChaosLeaseExpiryReclaimsWedgedClient(t *testing.T) {
 
 	client.Close()
 	rig.close()
-	waitGoroutines(t, base+3)
+	gw.waitDrained(t, 3)
 }
