@@ -30,7 +30,7 @@ vet:
 # against concurrent Allocates on the same blank boards. slo computes
 # burn rates from a TSDB that scrape goroutines append to concurrently.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/... ./internal/obs/... ./internal/logx/... ./internal/alert/... ./internal/datacache/... ./internal/fpga/... ./internal/gateway/... ./internal/flash/... ./internal/registry/... ./internal/slo/...
+	$(GO) test -race ./internal/rpc/... ./internal/manager/... ./internal/remote/... ./internal/sched/... ./internal/simcluster/... ./internal/obs/... ./internal/logx/... ./internal/alert/... ./internal/datacache/... ./internal/fpga/... ./internal/gateway/... ./internal/flash/... ./internal/registry/... ./internal/slo/... ./internal/flightrec/...
 
 # Run the scheduling fairness experiment: the two-tenant skew workload on
 # the real Device Manager under fifo vs drr, checked against the
@@ -65,9 +65,13 @@ bench-reconfig:
 
 # Record the observability tax into BENCH_obs.json: the three histogram
 # observation paths (plain, unsampled exemplar, sampled exemplar), the
-# runtime collector's sampling cost, and the scrape render with exemplars
-# on vs off. The unsampled-path budget — what every request pays at
-# default sampling — is <2% over a plain Observe.
+# runtime collector's sampling cost, the scrape render with exemplars
+# on vs off, and the always-on flight recorder's per-task cost against
+# the live 4K round trip. Two gates fail the run on regression: the
+# unsampled exemplar path — what every request pays at default
+# sampling — must stay within 2% of a plain Observe, and the flight
+# recorder's per-task work must stay within 2% of the recorder-free
+# round trip.
 bench-obs:
 	BF_BENCH_OBS=1 $(GO) test -run TestBenchObsArtifact -count=1 -v .
 

@@ -8,14 +8,18 @@ package blastfunction
 // within 2% of a plain Observe.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
 	"os"
 	"testing"
+	"time"
 
+	"blastfunction/internal/flightrec"
 	"blastfunction/internal/metrics"
 	"blastfunction/internal/obs"
+	"blastfunction/internal/remote"
 )
 
 // obsReport is the BENCH_obs.json schema.
@@ -32,6 +36,71 @@ type obsReport struct {
 	RenderPlainNs             float64 `json:"render_50_histograms_plain_ns"`
 	RenderWithExemplarsNs     float64 `json:"render_50_histograms_exemplars_ns"`
 	RenderExemplarOverheadPct float64 `json:"render_exemplar_overhead_pct"`
+
+	// Flight-recorder tax. FlightLifecycleNs is the total recorder work
+	// one task costs across both processes (the client library's key
+	// reservation + batched completion, the manager's key reservation +
+	// cache probe + batched completion), measured in isolation where a
+	// nanosecond-scale number is reproducible. RecorderOverheadPct — the
+	// ≤2% gate — is that work relative to the measured recorder-free 4K
+	// round trip. The in-situ on/off pair is recorded alongside as a
+	// sanity signal (RoundTripRecorderDeltaPct) but not gated: a 2%
+	// budget is ~1µs here, below what back-to-back ~40µs round-trip
+	// runs can resolve against machine drift.
+	FlightLifecycleNs         float64 `json:"flight_lifecycle_ns"`
+	RoundTripRecorderOffNs    float64 `json:"round_trip_4k_recorder_off_ns"`
+	RoundTripRecorderOnNs     float64 `json:"round_trip_4k_recorder_on_ns"`
+	RoundTripRecorderDeltaPct float64 `json:"round_trip_recorder_delta_pct"`
+	RecorderOverheadPct       float64 `json:"recorder_overhead_pct"`
+}
+
+// benchWriteReadFlight is the live write->kernel->read round trip with
+// the flight recorder toggled on both ends of the path: the Remote
+// Library's (Dial creates one unless told not to) and the Device
+// Manager's. Mirrors bench_test.go's benchWriteRead otherwise.
+func benchWriteReadFlight(b *testing.B, size int, off bool) {
+	b.Helper()
+	tb, err := NewTestbed(NodeConfig{Name: "bench", NoFlightRecorder: off})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := remote.Dial(remote.Config{
+		ClientName:       "bench",
+		Managers:         []string{tb.Nodes[0].Addr},
+		Transport:        remote.TransportGRPC,
+		NoFlightRecorder: off,
+	})
+	if err != nil {
+		tb.Close()
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		client.Close()
+		tb.Close()
+	})
+	_, q, k, in, out := setupCopy(b, client, size)
+	for i, arg := range []any{in, out, int32(size)} {
+		if err := k.SetArg(i, arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload := bytes.Repeat([]byte{0xAB}, size)
+	dst := make([]byte, size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.EnqueueWriteBuffer(in, false, 0, payload, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.EnqueueTask(k, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.EnqueueReadBuffer(out, false, 0, dst, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := q.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // minBench runs a benchmark five times and keeps the fastest ns/op —
@@ -44,6 +113,54 @@ func minBench(f func(b *testing.B)) float64 {
 		}
 	}
 	return best
+}
+
+// minBenchPair interleaves two benchmarks (a,b,a,b,...) and keeps each
+// one's fastest ns/op. For comparisons whose difference is small against
+// machine drift — the flight-recorder round-trip gate — interleaving
+// exposes both variants to the same drift phases; running all of one
+// then all of the other would attribute the drift to the code change.
+func minBenchPair(fa, fb func(b *testing.B)) (float64, float64) {
+	bestA, bestB := math.MaxFloat64, math.MaxFloat64
+	for i := 0; i < 5; i++ {
+		if v := float64(testing.Benchmark(fa).NsPerOp()); v < bestA {
+			bestA = v
+		}
+		if v := float64(testing.Benchmark(fb).NsPerOp()); v < bestB {
+			bestB = v
+		}
+	}
+	return bestA, bestB
+}
+
+// pairedMinNs compares two loops whose difference is below what even
+// benchmark-granularity interleaving can resolve (the 2%-of-30ns
+// observe gate is ~0.6ns): it alternates them in back-to-back slices of
+// sliceOps iterations — milliseconds, far shorter than machine drift
+// phases, so each pair of slices sees the same machine — and keeps each
+// side's fastest per-op time over all rounds. The first rounds warm
+// caches and are discarded.
+func pairedMinNs(sliceOps, rounds int, fa, fb func(n int)) (float64, float64) {
+	const warmup = 3
+	bestA, bestB := math.MaxFloat64, math.MaxFloat64
+	for r := 0; r < warmup+rounds; r++ {
+		t0 := time.Now()
+		fa(sliceOps)
+		da := time.Since(t0)
+		t1 := time.Now()
+		fb(sliceOps)
+		db := time.Since(t1)
+		if r < warmup {
+			continue
+		}
+		if v := float64(da.Nanoseconds()) / float64(sliceOps); v < bestA {
+			bestA = v
+		}
+		if v := float64(db.Nanoseconds()) / float64(sliceOps); v < bestB {
+			bestB = v
+		}
+	}
+	return bestA, bestB
 }
 
 const obsBatch = 1000
@@ -66,22 +183,28 @@ func TestBenchObsArtifact(t *testing.T) {
 	}
 
 	report := obsReport{GeneratedBy: "make bench-obs"}
-	report.ObservePlainNs = minBench(func(b *testing.B) {
-		h := newHist()
-		for i := 0; i < b.N; i++ {
-			for _, v := range vals {
-				h.Observe(v)
+	// Plain vs unsampled-exemplar run tightly paired: the gated
+	// difference is well under a nanosecond per observation, which only
+	// millisecond-scale alternation can attribute correctly when the
+	// machine drifts.
+	hPlain, hUnsampled := newHist(), newHist()
+	plainNs, unsampledNs := pairedMinNs(300, 200,
+		func(n int) {
+			for i := 0; i < n; i++ {
+				for _, v := range vals {
+					hPlain.Observe(v)
+				}
 			}
-		}
-	}) / obsBatch
-	report.ObserveUnsampledNs = minBench(func(b *testing.B) {
-		h := newHist()
-		for i := 0; i < b.N; i++ {
-			for _, v := range vals {
-				h.ObserveExemplar(v, "") // the default-sampling path: no trace attached
+		},
+		func(n int) {
+			for i := 0; i < n; i++ {
+				for _, v := range vals {
+					hUnsampled.ObserveExemplar(v, "") // the default-sampling path: no trace attached
+				}
 			}
-		}
-	}) / obsBatch
+		})
+	report.ObservePlainNs = plainNs / obsBatch
+	report.ObserveUnsampledNs = unsampledNs / obsBatch
 	report.ObserveSampledNs = minBench(func(b *testing.B) {
 		h := newHist()
 		for i := 0; i < b.N; i++ {
@@ -127,17 +250,72 @@ func TestBenchObsArtifact(t *testing.T) {
 	report.RenderWithExemplarsNs = renderCost(true)
 	report.RenderExemplarOverheadPct = 100 * (report.RenderWithExemplarsNs - report.RenderPlainNs) / report.RenderPlainNs
 
+	// The flight recorder's per-task cost: everything both processes'
+	// recorders do for one write->kernel->read round trip, in the exact
+	// shape the hot paths use — the client library reserves a key and
+	// applies its batched wire-send milestone at the terminal
+	// notification; the manager reserves a key, records the session's
+	// cache probe, and applies the worker's batched milestones at
+	// completion. Runs at the default ring size so steady-state FIFO
+	// eviction is included.
+	report.FlightLifecycleNs = minBench(func(b *testing.B) {
+		cli := flightrec.New(flightrec.Config{Process: "library/bench"})
+		mgr := flightrec.New(flightrec.Config{Process: "manager/bench"})
+		defer cli.Close()
+		defer mgr.Close()
+		cliBatch := []flightrec.Event{
+			{Kind: flightrec.KindUpload, Dur: time.Microsecond, Detail: "wire-send"},
+		}
+		mgrBatch := []flightrec.Event{
+			{Kind: flightrec.KindEnqueued, Depth: 1, Pos: 1, Detail: "3 ops"},
+			{Kind: flightrec.KindScheduled, Dur: time.Millisecond, Detail: "fifo"},
+			{Kind: flightrec.KindUpload, Dur: time.Millisecond, Detail: "device-write"},
+			{Kind: flightrec.KindExecute, Dur: time.Millisecond, Detail: "3 ops"},
+			{Kind: flightrec.KindNotify, Dur: time.Microsecond},
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ck := cli.Alloc(0)
+			mk := mgr.Alloc(0)
+			mgr.Record(mk, flightrec.Event{Kind: flightrec.KindBufferHit})
+			mgr.CompleteWith(mk, "bench", mgrBatch, 3*time.Millisecond, false, "")
+			cli.CompleteWith(ck, "bench", cliBatch, 4*time.Millisecond, false, "")
+		}
+	})
+
+	// The same tax in situ: the live 4K gRPC round trip with the flight
+	// recorders disabled on both the library and the manager, then with
+	// the always-on default — interleaved so machine drift cancels.
+	report.RoundTripRecorderOffNs, report.RoundTripRecorderOnNs = minBenchPair(
+		func(b *testing.B) { benchWriteReadFlight(b, 4<<10, true) },
+		func(b *testing.B) { benchWriteReadFlight(b, 4<<10, false) },
+	)
+	report.RoundTripRecorderDeltaPct = 100 * (report.RoundTripRecorderOnNs - report.RoundTripRecorderOffNs) / report.RoundTripRecorderOffNs
+	// The gated number: the recorder's measured per-task work against the
+	// measured recorder-free round trip.
+	report.RecorderOverheadPct = 100 * report.FlightLifecycleNs / report.RoundTripRecorderOffNs
+
 	t.Logf("observe: plain=%.1fns unsampled-exemplar=%.1fns (%.2f%%) sampled=%.1fns",
 		report.ObservePlainNs, report.ObserveUnsampledNs, report.UnsampledOverheadPct, report.ObserveSampledNs)
 	t.Logf("runtime collector sample: %.0fns", report.RuntimeSampleNs)
 	t.Logf("render 50 histograms: plain=%.0fns exemplars=%.0fns (%.1f%%)",
 		report.RenderPlainNs, report.RenderWithExemplarsNs, report.RenderExemplarOverheadPct)
+	t.Logf("flight recorder: lifecycle=%.0fns (%.2f%% of round trip) in-situ off=%.0fns on=%.0fns (delta %.2f%%)",
+		report.FlightLifecycleNs, report.RecorderOverheadPct,
+		report.RoundTripRecorderOffNs, report.RoundTripRecorderOnNs, report.RoundTripRecorderDeltaPct)
 
 	// Quality bar: the unsampled observation path — what every request
 	// pays at default sampling — must stay within 2% of a plain Observe.
 	if report.UnsampledOverheadPct > 2 {
 		t.Fatalf("unsampled exemplar path costs %.2f%% over plain Observe, budget 2%%",
 			report.UnsampledOverheadPct)
+	}
+	// And the always-on flight recorder's per-task work must stay within
+	// 2% of the recorder-free round trip — it has no sampling knob to
+	// hide behind.
+	if report.RecorderOverheadPct > 2 {
+		t.Fatalf("flight recorder work is %.2f%% of the 4K round trip, budget 2%%",
+			report.RecorderOverheadPct)
 	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")

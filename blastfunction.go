@@ -40,6 +40,9 @@ type NodeConfig struct {
 	// Memoize enables kernel-result memoization on the node's Device
 	// Manager (the content-addressed buffer cache is on regardless).
 	Memoize bool
+	// NoFlightRecorder disables the manager's always-on task flight
+	// recorder — benchmark baselines only.
+	NoFlightRecorder bool
 }
 
 // Node is one running node of a Testbed: a simulated DE5a-Net board, its
@@ -77,10 +80,11 @@ func NewTestbed(nodes ...NodeConfig) (*Testbed, error) {
 		cfg.TimeScale = nc.TimeScale
 		board := fpga.NewBoard(cfg, accel.Catalog())
 		mgr := manager.New(manager.Config{
-			Node:           nc.Name,
-			DeviceID:       "fpga-" + nc.Name,
-			Log:            nc.Log,
-			MemoizeKernels: nc.Memoize,
+			Node:             nc.Name,
+			DeviceID:         "fpga-" + nc.Name,
+			Log:              nc.Log,
+			MemoizeKernels:   nc.Memoize,
+			NoFlightRecorder: nc.NoFlightRecorder,
 		}, board)
 		srv := rpc.NewServer(mgr)
 		addr, err := srv.Listen("127.0.0.1:0")

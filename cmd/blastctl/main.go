@@ -5,6 +5,7 @@
 //	blastctl -manager http://localhost:5101 traces
 //	blastctl -manager http://localhost:5101 tenants
 //	blastctl -gateway http://localhost:8081 -manager http://localhost:5101 trace <trace-id>
+//	blastctl explain <trace-id>
 //	blastctl logs -level warn -trace <trace-id>
 //	blastctl alerts
 //	blastctl slo
@@ -31,6 +32,7 @@ import (
 
 	"blastfunction/internal/alert"
 	"blastfunction/internal/flash"
+	"blastfunction/internal/flightrec"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/obs"
 	"blastfunction/internal/slo"
@@ -66,6 +68,8 @@ func main() {
 			log.Fatal("blastctl: trace needs a trace id (the hex form printed in span dumps)")
 		}
 		showTrace(*gatewayURL, *managerURL, id)
+	case "explain":
+		showExplain(bases, flag.Args()[1:])
 	case "logs":
 		showLogs(bases, flag.Args()[1:])
 	case "alerts":
@@ -77,7 +81,7 @@ func main() {
 	case "flash":
 		showFlash(bases, flag.Args()[1:])
 	default:
-		log.Fatalf("blastctl: unknown command %q (want devices|functions|traces|tenants|trace|logs|alerts|slo|top|flash)", cmd)
+		log.Fatalf("blastctl: unknown command %q (want devices|functions|traces|tenants|trace|explain|logs|alerts|slo|top|flash)", cmd)
 	}
 }
 
@@ -681,12 +685,14 @@ func showTrace(gatewayBase, managerBase, id string) {
 	}
 	spanBases := dedup(gatewayBase, managerBase)
 	parts := make([][]span, len(spanBases))
+	headers := make([]http.Header, len(spanBases))
 	errs := make([]error, len(spanBases))
 	forEachBase(spanBases, func(i int, base string) {
-		errs[i] = fetch(base+"/debug/spans?trace="+id, &parts[i])
+		headers[i], errs[i] = fetchHeaders(base+"/debug/spans?trace="+id, &parts[i])
 	})
 	var spans []span
-	sources := 0
+	sources, evicted := 0, 0
+	evictedExact := true
 	for i := range spanBases {
 		if errs[i] != nil {
 			fmt.Fprintf(os.Stderr, "blastctl: warning: %v (timeline may be partial)\n", errs[i])
@@ -694,6 +700,21 @@ func showTrace(gatewayBase, managerBase, id string) {
 		}
 		sources++
 		spans = append(spans, parts[i]...)
+		// Rings annotate evictions in headers so the JSON body keeps its
+		// plain []span shape for older consumers.
+		if n, err := strconv.Atoi(headers[i].Get("X-Spans-Evicted")); err == nil && n > 0 {
+			evicted += n
+			if headers[i].Get("X-Spans-Evicted-Exact") == "false" {
+				evictedExact = false
+			}
+		}
+	}
+	if evicted > 0 {
+		qualifier := ""
+		if !evictedExact {
+			qualifier = "at least "
+		}
+		fmt.Fprintf(os.Stderr, "blastctl: warning: %s%d spans evicted, timeline partial\n", qualifier, evicted)
 	}
 	if sources == 0 {
 		log.Fatal("blastctl: no span source reachable (tried the gateway's and the manager's /debug/spans)")
@@ -736,6 +757,36 @@ func showTrace(gatewayBase, managerBase, id string) {
 			s.Component, s.Stage, s.Note, float64(off)/1e6, float64(dur)/1e6, line)
 	}
 	w.Flush()
+}
+
+// showExplain runs the cross-signal postmortem engine: it fetches flight
+// events, spans, log rings, alerts, SLO reports and flash state from
+// every reachable process, merges one causal timeline, and renders the
+// wait breakdown with a dominant-contributor verdict.
+func showExplain(bases []string, args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the raw postmortem as JSON")
+	fs.Parse(args)
+	id := fs.Arg(0)
+	if id == "" {
+		log.Fatal("blastctl: explain needs a trace id (hex; `blastctl slo` and span dumps print them)")
+	}
+	trace, err := obs.ParseTraceID(id)
+	if err != nil {
+		log.Fatalf("blastctl: trace id %q: %v", id, err)
+	}
+	ex := &flightrec.Explainer{Bases: bases, Client: httpClient}
+	pm, err := ex.Explain(trace)
+	if err != nil {
+		log.Fatalf("blastctl: %v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(pm)
+		return
+	}
+	pm.Render(os.Stdout)
 }
 
 // showTenants joins the manager's scheduling snapshot with its trace ring
@@ -829,6 +880,25 @@ func fetch(url string, v any) error {
 		return fmt.Errorf("decoding %s: %v", url, err)
 	}
 	return nil
+}
+
+// fetchHeaders is fetch plus the response headers, for endpoints that
+// annotate their JSON body through headers (/debug/spans?trace= reports
+// ring evictions in X-Spans-Evicted).
+func fetchHeaders(url string, v any) (http.Header, error) {
+	resp, err := httpClient.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("fetching %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return resp.Header, fmt.Errorf("%s answered %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return resp.Header, fmt.Errorf("decoding %s: %v", url, err)
+	}
+	return resp.Header, nil
 }
 
 // mustFetch is fetch for the single-source commands: any failure is

@@ -56,6 +56,8 @@ func main() {
 		memoCache = flag.Int64("memo-cache-bytes", 0, "memoized-result cache capacity (0 = default 64 MiB)")
 		flashHist = flag.String("flash-history", "", "append-only JSONL file persisting the bitstream flash history across restarts")
 		flashKeep = flag.Int("flash-history-limit", 0, "flash history entries kept per board (0 = default 64)")
+		flightRing   = flag.Int("flight-ring", 0, "flight-recorder ring size served at /debug/flight (0 = default 1024)")
+		flightLedger = flag.String("flight-ledger", "", "durable JSONL spill file for notable flights (failures, tail outliers)")
 	)
 	flag.Parse()
 
@@ -99,6 +101,8 @@ func main() {
 		MemoCacheBytes:    *memoCache,
 		FlashHistoryPath:  *flashHist,
 		FlashHistoryLimit: *flashKeep,
+		FlightRing:        *flightRing,
+		FlightLedgerPath:  *flightLedger,
 	}, board)
 	defer mgr.Close()
 
@@ -126,6 +130,7 @@ func main() {
 	mux.Handle("/debug/sched", mgr.SchedStatsHandler())
 	mux.Handle("/debug/cache", mgr.CacheStatsHandler())
 	mux.Handle("/debug/flash", mgr.Flash().Handler())
+	mux.Handle("/debug/flight", mgr.FlightHandler())
 	mux.Handle("/debug/logs", rootLog.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -33,6 +33,7 @@ import (
 	"blastfunction/internal/apps"
 	"blastfunction/internal/cluster"
 	"blastfunction/internal/flash"
+	"blastfunction/internal/flightrec"
 	"blastfunction/internal/gateway"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/metrics"
@@ -89,7 +90,9 @@ func main() {
 		logLevel      = flag.String("log-level", "info", "minimum level mirrored to stderr (debug|info|warn|error)")
 		logRing       = flag.Int("log-ring", 4096, "events kept in the /debug/logs ring")
 		routerName    = flag.String("router", "roundrobin", "routing policy: roundrobin|least-inflight|locality|weighted")
-		profileDir    = flag.String("profile-dir", "", "directory receiving alert-triggered pprof snapshots (empty disables)")
+		profileDir    = flag.String("profile-dir", "", "directory receiving alert-triggered pprof snapshots and SLO fast-burn explain reports (empty disables)")
+		flightRing    = flag.Int("flight-ring", 0, "front-door flight-recorder ring size served at /debug/flight (0 = default 1024)")
+		flightLedger  = flag.String("flight-ledger", "", "durable JSONL spill file for notable front-door flights")
 		managers      listFlag
 		deploys       listFlag
 		admissions    listFlag
@@ -141,10 +144,17 @@ func main() {
 	defer flashSvc.Close()
 	reg.SetFlash(flashSvc)
 
+	// explainBases are the process base URLs the postmortem engine queries
+	// when an SLO fast-burn fires: this gateway plus every manager that
+	// advertises a metrics URL (its debug endpoints ride the same mux).
+	explainBases := []string{"http://" + *listen}
 	for _, raw := range managers {
 		m, err := parseManager(raw)
 		if err != nil {
 			log.Fatalf("gateway: %v", err)
+		}
+		if m.metrics != "" {
+			explainBases = append(explainBases, strings.TrimSuffix(m.metrics, "/metrics"))
 		}
 		if err := cl.AddNode(cluster.Node{Name: m.node}); err != nil && !strings.Contains(err.Error(), "already") {
 			log.Fatalf("gateway: %v", err)
@@ -192,6 +202,24 @@ func main() {
 			} else if paths != nil {
 				rootLog.Info("profile captured", "rule", rule.Name, "files", len(paths))
 			}
+			// An SLO fast-burn page captures a postmortem next to the pprof
+			// snapshots: the breaching objective's exemplar trace, explained
+			// across every process the gateway knows about.
+			if rule.Name != "SLOFastBurn" || *profileDir == "" {
+				return
+			}
+			trace := exemplarTrace(sloEngine, st.Labels["slo"])
+			if trace == 0 {
+				rootLog.Warn("no exemplar trace for explain capture", "slo", st.Labels["slo"])
+				return
+			}
+			go func() {
+				if path, err := flightrec.CaptureExplain(*profileDir, rule.Name, explainBases, trace); err != nil {
+					rootLog.Warn("explain capture failed", "rule", rule.Name, "err", err)
+				} else {
+					rootLog.Info("explain captured", "rule", rule.Name, "file", path, "trace", trace)
+				}
+			}()
 		},
 	})
 	engine.Add(alert.DefaultRules(db)...)
@@ -239,6 +267,15 @@ func main() {
 	gw := gateway.New(cl)
 	gw.Log = rootLog
 	gw.Metrics = alertReg
+	// Front-door flight recorder: every request leaves a milestone
+	// skeleton at /debug/flight, notable ones spill to the ledger.
+	gwFlight := flightrec.New(flightrec.Config{
+		Process:    "gateway",
+		Flights:    *flightRing,
+		LedgerPath: *flightLedger,
+	})
+	defer gwFlight.Close()
+	gw.Flight = gwFlight
 	// A factory returning a live endpoint means the instance's program
 	// build landed on its board: close the flash window the allocation
 	// opened so /debug/flash shows only genuinely pending reprograms.
@@ -323,6 +360,24 @@ func main() {
 	<-sig
 	rootLog.Info("shutting down")
 	srv.Close()
+}
+
+// exemplarTrace pulls the named objective's freshest latency exemplar:
+// the concrete over-target request behind the burning quantile. An empty
+// objective name matches any objective carrying an exemplar.
+func exemplarTrace(eng *slo.Engine, objective string) obs.TraceID {
+	for _, r := range eng.ReportAt(time.Now()) {
+		if objective != "" && r.Name != objective {
+			continue
+		}
+		if r.Latency.ExemplarTrace == "" {
+			continue
+		}
+		if id, err := obs.ParseTraceID(r.Latency.ExemplarTrace); err == nil && id != 0 {
+			return id
+		}
+	}
+	return 0
 }
 
 // registerPprof mounts net/http/pprof on an explicit mux (the package's

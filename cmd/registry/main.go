@@ -16,11 +16,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"blastfunction/internal/alert"
 	"blastfunction/internal/flash"
+	"blastfunction/internal/flightrec"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/metrics"
 	"blastfunction/internal/obs"
@@ -38,7 +40,8 @@ func main() {
 		logLevel      = flag.String("log-level", "info", "minimum level mirrored to stderr (debug|info|warn|error)")
 		logRing       = flag.Int("log-ring", 4096, "events kept in the /debug/logs ring")
 		flashHist     = flag.String("flash-history", "", "append-only JSONL file persisting the flash-window history across restarts")
-		profileDir    = flag.String("profile-dir", "", "directory receiving alert-triggered pprof snapshots (empty disables)")
+		profileDir    = flag.String("profile-dir", "", "directory receiving alert-triggered pprof snapshots and SLO fast-burn explain reports (empty disables)")
+		flightLedger  = flag.String("flight-ledger", "", "durable JSONL spill file for notable flights")
 		sloFlag       slo.Flag
 	)
 	flag.Var(&sloFlag, "slo", "service-level objective as name:p99<50ms:99.9%[:window] (repeatable)")
@@ -95,6 +98,11 @@ func main() {
 	capture := &obs.ProfileCapture{Dir: *profileDir}
 	sloEngine := slo.NewEngine(db)
 	sloEngine.Add(sloFlag.Objectives...)
+	flightRec := flightrec.New(flightrec.Config{
+		Process:    "registry",
+		LedgerPath: *flightLedger,
+	})
+	defer flightRec.Close()
 	engine := alert.NewEngine(alert.Config{
 		Log:      rootLog.Named("alert"),
 		Registry: alertReg,
@@ -104,6 +112,30 @@ func main() {
 			} else if paths != nil {
 				rootLog.Info("profile captured", "rule", rule.Name, "files", len(paths))
 			}
+			// An SLO fast-burn page writes a postmortem next to the pprof
+			// snapshots: the breaching objective's exemplar trace explained
+			// across every device manager the registry knows about.
+			if rule.Name != "SLOFastBurn" || *profileDir == "" {
+				return
+			}
+			trace := exemplarTrace(sloEngine, st.Labels["slo"])
+			if trace == 0 {
+				rootLog.Warn("no exemplar trace for explain capture", "slo", st.Labels["slo"])
+				return
+			}
+			bases := []string{"http://" + *listen}
+			for _, d := range reg.Devices() {
+				if d.MetricsURL != "" {
+					bases = append(bases, strings.TrimSuffix(d.MetricsURL, "/metrics"))
+				}
+			}
+			go func() {
+				if path, err := flightrec.CaptureExplain(*profileDir, rule.Name, bases, trace); err != nil {
+					rootLog.Warn("explain capture failed", "rule", rule.Name, "err", err)
+				} else {
+					rootLog.Info("explain captured", "rule", rule.Name, "file", path, "trace", trace)
+				}
+			}()
 		},
 	})
 	engine.Add(alert.DefaultRules(db)...)
@@ -153,6 +185,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", reg.Handler())
 	mux.Handle("/debug/flash", flashSvc.Handler())
+	mux.Handle("/debug/flight", flightRec.Handler())
 	mux.Handle("/debug/logs", rootLog.Handler())
 	mux.Handle("/debug/alerts", engine.Handler())
 	mux.Handle("/debug/slo", sloEngine.Handler())
@@ -171,6 +204,24 @@ func main() {
 	<-sig
 	rootLog.Info("shutting down")
 	srv.Close()
+}
+
+// exemplarTrace pulls the named objective's freshest latency exemplar:
+// the concrete over-target request behind the burning quantile. An empty
+// objective name matches any objective carrying an exemplar.
+func exemplarTrace(eng *slo.Engine, objective string) obs.TraceID {
+	for _, r := range eng.ReportAt(time.Now()) {
+		if objective != "" && r.Name != objective {
+			continue
+		}
+		if r.Latency.ExemplarTrace == "" {
+			continue
+		}
+		if id, err := obs.ParseTraceID(r.Latency.ExemplarTrace); err == nil && id != 0 {
+			return id
+		}
+	}
+	return 0
 }
 
 // registerPprof mounts net/http/pprof on an explicit mux (the package's

@@ -1,0 +1,88 @@
+package flightrec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"blastfunction/internal/obs"
+)
+
+// Handler serves the flight ring at /debug/flight. Query parameters:
+// ?trace=<hex id> returns just that flight's snapshot (consulting the
+// durable ledger when the ring has already evicted it), ?n=<count> tails
+// the flight list. A nil recorder serves an empty snapshot so binaries
+// can mount the endpoint unconditionally.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if s := req.URL.Query().Get("trace"); s != "" {
+			id, err := obs.ParseTraceID(s)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			snap := Snapshot{Process: r.Process()}
+			if r != nil {
+				r.mu.Lock()
+				snap.Evicted = r.evicted
+				snap.Spilled = r.spilled
+				r.mu.Unlock()
+			}
+			if f, ok := r.FlightFor(id); ok {
+				snap.Flights = []Flight{f}
+			}
+			writeJSON(w, snap)
+			return
+		}
+		snap := r.Snapshot()
+		if s := req.URL.Query().Get("n"); s != "" {
+			// Reuse obs.ServeTail's ?n= semantics on the flight list while
+			// keeping the snapshot envelope (process stamp + counters).
+			var n int
+			if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 0 {
+				http.Error(w, "bad n parameter: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			if n < len(snap.Flights) {
+				snap.Flights = snap.Flights[len(snap.Flights)-n:]
+			}
+		}
+		writeJSON(w, snap)
+	})
+}
+
+// writeJSON mirrors obs.ServeTail's encode-to-memory-first discipline.
+func writeJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+// FetchFlight retrieves one trace's flight snapshot from base's
+// /debug/flight endpoint — the client half of Handler, shared by
+// `blastctl explain` and the end-to-end tests.
+func FetchFlight(base string, trace obs.TraceID) (Snapshot, error) {
+	u := base + "/debug/flight?trace=" + trace.String()
+	resp, err := http.Get(u)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return Snapshot{}, fmt.Errorf("GET %s: %s: %s", u, resp.Status, body)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return Snapshot{}, fmt.Errorf("GET %s: decoding: %w", u, err)
+	}
+	return snap, nil
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"blastfunction/internal/cluster"
+	"blastfunction/internal/flightrec"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/metrics"
 	"blastfunction/internal/obs"
@@ -161,6 +162,12 @@ type Gateway struct {
 	// per-tenant token buckets; over-budget requests get 429 with a
 	// Retry-After. Nil admits everything.
 	Admission *Admission
+	// Flight, when set, is the gateway's always-on flight recorder: every
+	// /function/ request leaves a milestone skeleton (admitted, routed,
+	// complete) under a synthetic per-request key — the front-door leg of a
+	// postmortem timeline. Handler serves it at /debug/flight; nil records
+	// nothing.
+	Flight *flightrec.Recorder
 	// Metrics, when set, receives the front-door counters
 	// (bf_gateway_admitted_total / bf_gateway_rejected_total per
 	// function). Nil skips them.
@@ -390,10 +397,12 @@ func (g *Gateway) materialize(fs *funcState, in cluster.Instance, attempt int) {
 //	GET /system/functions  list deployments and statistics
 //	GET /debug/gateway     admission + routing state (JSON)
 //	GET /debug/spans       client-side distributed-tracing spans
+//	GET /debug/flight      front-door flight-recorder skeletons
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/function/", g.serveFunction)
 	mux.Handle("/debug/spans", g.Tracer.Handler())
+	mux.Handle("/debug/flight", g.Flight.Handler())
 	mux.HandleFunc("/debug/gateway", g.serveDebug)
 	mux.HandleFunc("/system/functions", func(w http.ResponseWriter, _ *http.Request) {
 		g.mu.Lock()
@@ -425,17 +434,25 @@ func (g *Gateway) serveFunction(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("function %q not found", name), http.StatusNotFound)
 		return
 	}
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = name
+	}
+	// Front-door flight: a synthetic per-request key (no trace exists yet
+	// at admission time), tenant-attributed for tail detection.
+	flight := g.Flight.Begin(0, tenant)
+	admStart := time.Now()
 	if g.Admission != nil {
-		tenant := r.Header.Get(TenantHeader)
-		if tenant == "" {
-			tenant = name
-		}
 		ok, retryAfter := g.Admission.Admit(tenant)
 		if !ok {
 			fs.rejected.Add(1)
 			g.countAdmission("bf_gateway_rejected_total", name)
 			secs := int(retryAfter/time.Second) + 1
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			g.Flight.Record(flight, flightrec.Event{
+				Kind: flightrec.KindFailure, Dur: time.Since(admStart),
+				Detail: "admission rejected (429), retry after " + strconv.Itoa(secs) + "s"})
+			g.Flight.Complete(flight, time.Since(admStart), true, "over admission budget")
 			http.Error(w, fmt.Sprintf("tenant %q over admission budget", tenant),
 				http.StatusTooManyRequests)
 			return
@@ -443,11 +460,18 @@ func (g *Gateway) serveFunction(w http.ResponseWriter, r *http.Request) {
 		fs.admitted.Add(1)
 		g.countAdmission("bf_gateway_admitted_total", name)
 	}
+	g.Flight.Record(flight, flightrec.Event{
+		Kind: flightrec.KindAdmitted, Dur: time.Since(admStart), Detail: name})
 	es := g.router().Pick(fs, RouteHint{Node: r.Header.Get(AffinityHeader)})
 	if es == nil {
+		g.Flight.Record(flight, flightrec.Event{
+			Kind: flightrec.KindFailure, Detail: "no ready instances"})
+		g.Flight.Complete(flight, time.Since(admStart), true, "no ready instances")
 		http.Error(w, fmt.Sprintf("function %q has no ready instances", name), http.StatusServiceUnavailable)
 		return
 	}
+	g.Flight.Record(flight, flightrec.Event{
+		Kind: flightrec.KindRouted, Detail: fmt.Sprintf("%T -> %s on %s", g.router(), es.uid, es.node)})
 	fs.requests.Add(1)
 	es.requests.Add(1)
 	fs.inflight.Add(1)
@@ -463,8 +487,10 @@ func (g *Gateway) serveFunction(w http.ResponseWriter, r *http.Request) {
 		elapsed := time.Since(start)
 		fs.latSumUs.Add(elapsed.Microseconds())
 		failed := false
+		cause := ""
 		if rec := recover(); rec != nil {
 			failed = true
+			cause = "endpoint panicked"
 			fs.errors.Add(1)
 			g.Log.Error("gateway: endpoint panicked",
 				"function", name, "instance", es.uid, "panic", fmt.Sprint(rec))
@@ -473,8 +499,14 @@ func (g *Gateway) serveFunction(w http.ResponseWriter, r *http.Request) {
 			}
 		} else if sw.status >= 400 {
 			failed = true
+			cause = "endpoint returned HTTP " + strconv.Itoa(sw.status)
 			fs.errors.Add(1)
 		}
+		if failed {
+			g.Flight.Record(flight, flightrec.Event{
+				Kind: flightrec.KindFailure, Detail: cause})
+		}
+		g.Flight.Complete(flight, elapsed, failed, cause)
 		// Per-function request/error counters and the latency histogram
 		// are the gateway-side SLIs the SLO engine reads (availability
 		// goal and front-door quantiles).

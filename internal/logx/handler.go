@@ -136,12 +136,24 @@ func FetchRing(base string, q Query) ([]Event, error) {
 }
 
 // Merge combines per-process rings into one timeline ordered by event
-// time (stable across rings for equal timestamps).
+// time. Equal timestamps — common when coarse clocks or simulated time
+// make whole bursts share one instant — tie-break on process name, then
+// per-ring sequence, so the interleaving is deterministic regardless of
+// the order rings were fetched in.
 func Merge(rings ...[]Event) []Event {
 	var out []Event
 	for _, r := range rings {
 		out = append(out, r...)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Seq < b.Seq
+	})
 	return out
 }

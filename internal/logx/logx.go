@@ -99,6 +99,11 @@ type Event struct {
 	Trace     obs.TraceID `json:"trace,omitempty"`
 	Span      obs.SpanID  `json:"span,omitempty"`
 	Fields    []Field     `json:"fields,omitempty"`
+	// Proc names the recording process ("manager/fpga-A") and Seq is its
+	// ring-assigned sequence number — together the deterministic tie-break
+	// when Merge interleaves rings whose clocks collide on a timestamp.
+	Proc string `json:"proc,omitempty"`
+	Seq  uint64 `json:"seq,omitempty"`
 }
 
 // Format renders the event as one grep-friendly text line:
@@ -163,6 +168,10 @@ type Config struct {
 	SinkLevel Level
 	// Now is the injectable clock (default time.Now).
 	Now func() time.Time
+	// Process stamps every event with the recording process's identity
+	// (e.g. "manager/fpga-A"); defaults to Component. Merge uses it to
+	// order same-timestamp events from different rings deterministically.
+	Process string
 }
 
 // core is the shared state behind a family of derived loggers: one ring,
@@ -173,10 +182,12 @@ type core struct {
 	sinkMin Level
 	sink    func(Event)
 	now     func() time.Time
+	proc    string
 	mu      sync.Mutex
 	buf     []Event
 	next    int
 	full    bool
+	seq     uint64
 }
 
 // Logger records structured events. Methods on a nil *Logger are no-ops,
@@ -198,12 +209,16 @@ func New(cfg Config) *Logger {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Process == "" {
+		cfg.Process = cfg.Component
+	}
 	return &Logger{
 		core: &core{
 			min:     cfg.Level,
 			sinkMin: cfg.SinkLevel,
 			sink:    cfg.Sink,
 			now:     cfg.Now,
+			proc:    cfg.Process,
 			buf:     make([]Event, cfg.RingSize),
 		},
 		component: cfg.Component,
@@ -324,8 +339,11 @@ func (l *Logger) Log(lv Level, msg string, kv ...any) {
 		ev.Trace, ev.Span, fields = appendKV(ev.Trace, ev.Span, fields, kv)
 	}
 	ev.Fields = fields
+	ev.Proc = c.proc
 
 	c.mu.Lock()
+	c.seq++
+	ev.Seq = c.seq
 	c.buf[c.next] = ev
 	c.next = (c.next + 1) % len(c.buf)
 	if c.next == 0 {

@@ -280,3 +280,81 @@ func TestParseLevel(t *testing.T) {
 		t.Error("ParseLevel accepted unknown level")
 	}
 }
+
+// TestMergeDeterministic pins the merged-timeline ordering contract:
+// identical timestamps sort by process name, then by per-process
+// sequence — so two processes logging in the same instant interleave the
+// same way on every invocation, regardless of input ring order.
+func TestMergeDeterministic(t *testing.T) {
+	at := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	ring := func(proc string, n int) []Event {
+		evs := make([]Event, n)
+		for i := range evs {
+			evs[i] = Event{Time: at, Proc: proc, Seq: uint64(i + 1), Msg: proc}
+		}
+		return evs
+	}
+	a, b, c := ring("alpha", 3), ring("beta", 3), ring("gamma", 2)
+
+	want := Merge(a, b, c)
+	// Every permutation of input rings yields the identical timeline.
+	for _, rings := range [][][]Event{
+		{c, b, a}, {b, a, c}, {c, a, b}, {a, c, b}, {b, c, a},
+	} {
+		got := Merge(rings...)
+		if len(got) != len(want) {
+			t.Fatalf("merge length %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Proc != want[i].Proc || got[i].Seq != want[i].Seq {
+				t.Fatalf("permuted merge diverges at %d: got %s/%d, want %s/%d",
+					i, got[i].Proc, got[i].Seq, want[i].Proc, want[i].Seq)
+			}
+		}
+	}
+	// The canonical order itself: process name breaks the timestamp tie,
+	// sequence breaks the process tie.
+	for i := 1; i < len(want); i++ {
+		p, q := want[i-1], want[i]
+		if p.Proc > q.Proc || (p.Proc == q.Proc && p.Seq >= q.Seq) {
+			t.Fatalf("order violated at %d: %s/%d before %s/%d", i, p.Proc, p.Seq, q.Proc, q.Seq)
+		}
+	}
+	// Distinct timestamps still dominate every tie-break.
+	late := []Event{{Time: at.Add(time.Second), Proc: "aaaa", Seq: 1}}
+	merged := Merge(late, ring("zzz", 1))
+	if merged[0].Proc != "zzz" || merged[1].Proc != "aaaa" {
+		t.Fatalf("time ordering lost to tie-breaks: %+v", merged)
+	}
+}
+
+// TestLoggerStampsProcSeq pins that Log fills the merge keys: the
+// configured process name and a monotonic per-core sequence.
+func TestLoggerStampsProcSeq(t *testing.T) {
+	l := New(Config{
+		Component: "manager",
+		Process:   "manager/fpga-A",
+		RingSize:  8,
+		Now:       fixedClock(time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)),
+	})
+	l.Info("one")
+	l.Named("sub").Info("two")
+	evs := l.Tail()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Proc != "manager/fpga-A" {
+			t.Fatalf("event %d proc = %q", i, ev.Proc)
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq = %d", i, ev.Seq)
+		}
+	}
+	// Process defaults to the component when unset.
+	d := testLogger(4)
+	d.Info("x")
+	if got := d.Tail()[0].Proc; got != "test" {
+		t.Fatalf("default proc = %q", got)
+	}
+}

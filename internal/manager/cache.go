@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"blastfunction/internal/datacache"
+	"blastfunction/internal/flightrec"
 	"blastfunction/internal/ocl"
 	"blastfunction/internal/wire"
 )
@@ -37,6 +38,7 @@ func (s *session) createCachedBuffer(m *Manager, req *wire.CreateBufferRequest) 
 	if boardID, ok := m.bufcache.Acquire(key); ok {
 		m.mBufHits.Inc()
 		m.mBufSaved.Add(float64(req.Size))
+		m.flight.Record(s.flight, flightrec.Event{Kind: flightrec.KindBufferHit})
 		id := s.insertBuffer(bufferInfo{
 			boardID: boardID, size: req.Size, flags: ocl.MemFlags(req.Flags),
 			hash: req.ContentHash, shared: true,
@@ -70,6 +72,7 @@ func (s *session) createCachedBuffer(m *Manager, req *wire.CreateBufferRequest) 
 		m.board.Free(boardID)
 	}
 	m.mBufMisses.Inc()
+	m.flight.Record(s.flight, flightrec.Event{Kind: flightrec.KindBufferMiss})
 	id := s.insertBuffer(bufferInfo{
 		boardID: canonical, size: req.Size, flags: ocl.MemFlags(req.Flags),
 		hash: req.ContentHash, shared: true,
@@ -140,6 +143,8 @@ func (m *Manager) runKernelMemo(t *task, o *op) (int64, error) {
 			restore += d
 		}
 		m.mMemoHits.Inc()
+		t.flightEvs = append(t.flightEvs, flightrec.Event{
+			Kind: flightrec.KindMemoHit, Dur: restore, Detail: o.kernelName, Time: time.Now()})
 		m.syncCacheGauges()
 		return int64(restore), nil
 	}

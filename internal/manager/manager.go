@@ -31,6 +31,7 @@ import (
 
 	"blastfunction/internal/datacache"
 	"blastfunction/internal/flash"
+	"blastfunction/internal/flightrec"
 	"blastfunction/internal/fpga"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/metrics"
@@ -107,6 +108,17 @@ type Config struct {
 	// FlashHistoryLimit bounds the per-board history served at
 	// /debug/flash. Zero selects the flash package default.
 	FlashHistoryLimit int
+	// FlightRing bounds the flight recorder's in-memory ring (whole task
+	// skeletons, served at /debug/flight). Zero selects the flightrec
+	// default (1024).
+	FlightRing int
+	// FlightLedgerPath is the durable JSONL spill file for notable
+	// flights (failed tasks, tail-latency outliers); empty keeps flights
+	// in memory only.
+	FlightLedgerPath string
+	// NoFlightRecorder disables the always-on flight recorder entirely —
+	// the recorder-overhead benchmark's baseline, not a production knob.
+	NoFlightRecorder bool
 }
 
 // Manager serves one board. It implements rpc.Handler.
@@ -180,6 +192,11 @@ type Manager struct {
 
 	// log receives structured events; nil-safe (see Config.Log).
 	log *logx.Logger
+
+	// flight is the always-on task flight recorder: every task leaves a
+	// milestone skeleton at /debug/flight whether or not it was sampled.
+	// Nil only under Config.NoFlightRecorder (all calls no-op).
+	flight *flightrec.Recorder
 
 	lastBusy atomic.Int64 // last board busy reading pushed to mBusy
 }
@@ -290,6 +307,13 @@ func New(cfg Config, board *fpga.Board) *Manager {
 		}),
 	}
 	m.mScale.Set(board.Config().TimeScale)
+	if !cfg.NoFlightRecorder {
+		m.flight = flightrec.New(flightrec.Config{
+			Process:    "manager/" + cfg.DeviceID,
+			Flights:    cfg.FlightRing,
+			LedgerPath: cfg.FlightLedgerPath,
+		})
+	}
 	if cfg.BufferCacheBytes >= 0 {
 		capBytes := cfg.BufferCacheBytes
 		if capBytes == 0 {
@@ -371,7 +395,15 @@ func (m *Manager) Close() {
 	m.queue.Close() // the worker drains what is queued, then exits
 	m.wg.Wait()
 	m.flash.Close() // fails queued flashes, finishes the in-flight one
+	m.flight.Close()
 }
+
+// Flight exposes the manager's flight recorder (nil-safe; nil when
+// disabled).
+func (m *Manager) Flight() *flightrec.Recorder { return m.flight }
+
+// FlightHandler serves the flight ring at /debug/flight.
+func (m *Manager) FlightHandler() http.Handler { return m.flight.Handler() }
 
 // Discipline reports the scheduling discipline the central queue runs.
 func (m *Manager) Discipline() sched.Discipline { return m.disc }
@@ -438,7 +470,12 @@ func (m *Manager) expireSession(s *session) {
 			t.sess.sendFail(t.conn, t.ops[i].tag, err) // best effort
 		}
 		releaseOps(t.ops)
+		m.flight.CompleteWith(t.flight, s.clientName,
+			[]flightrec.Event{{Kind: flightrec.KindFailure, Detail: "session lease expired while queued"}},
+			0, true, "lease expired")
 	}
+	m.flight.MarkNotable(s.flight, "lease-expired")
+	m.flight.Complete(s.flight, 0, true, "lease expired")
 	m.mQueueDepth.Set(float64(m.queue.Len()))
 	s.expire(m)
 	m.mLeaseExp.Inc()
@@ -453,19 +490,31 @@ func (m *Manager) expireSession(s *session) {
 // old channel ranging: everything submitted before Close still runs.
 func (m *Manager) worker() {
 	defer m.wg.Done()
+	// Per-worker flight-milestone scratch: tasks run serially on a worker,
+	// so one grown array serves every task's lock-free accumulation. The
+	// recorder copies events out in CompleteWith, never retaining the slice.
+	var scratch []flightrec.Event
 	for {
 		it, ok := m.queue.Pop(context.Background())
 		if !ok {
 			return
 		}
 		t := it.Payload.(*task)
-		t.queueWait = time.Since(it.Submitted)
+		popped := time.Now()
+		t.queueWait = popped.Sub(it.Submitted)
 		if t.trace != 0 {
 			// The central-queue wait: flush arrival until the worker popped
 			// the task, parented under the client's task root span.
 			m.tracer.End(obs.TraceID(t.trace), m.tracer.NewSpan(), obs.SpanID(t.span),
 				"queue-wait", "", it.Submitted)
 		}
+		// The enqueue and schedule milestones join the batch here rather
+		// than at submit: the queue snapshot (Depth/Pos) is only final
+		// after Push, and the worker is the first code that sees it.
+		t.flightEvs = append(scratch[:0],
+			flightrec.Event{Kind: flightrec.KindEnqueued, Depth: it.Depth, Pos: it.Pos,
+				Detail: fmt.Sprintf("%d ops", len(t.ops)), Time: it.Submitted},
+			flightrec.Event{Kind: flightrec.KindScheduled, Dur: t.queueWait, Detail: string(m.disc), Time: popped})
 		m.mQueueDepth.Set(float64(m.queue.Len()))
 		tm := m.tenantMetric(t.sess.clientName)
 		tm.depth.Add(-1)
@@ -478,11 +527,14 @@ func (m *Manager) worker() {
 		// Task residency — submit to completion — is the latency the
 		// tenant's SLO is declared against. A sampled task's trace rides
 		// as the bucket exemplar (empty trace degrades to plain Observe).
+		residency := time.Since(it.Submitted)
 		var traceID string
 		if t.trace != 0 {
 			traceID = obs.TraceID(t.trace).String()
 		}
-		tm.latHist.ObserveExemplar(time.Since(it.Submitted).Seconds(), traceID)
+		tm.latHist.ObserveExemplar(residency.Seconds(), traceID)
+		m.flight.CompleteWith(t.flight, t.sess.clientName, t.flightEvs, residency, failed, t.failCause)
+		scratch, t.flightEvs = t.flightEvs, nil
 		m.syncBoardCounters()
 	}
 }
@@ -534,6 +586,9 @@ func (m *Manager) HandleRequest(c *rpc.Conn, method wire.Method, body []byte) ([
 	s.lastBeat.Store(time.Now().UnixNano())
 	switch method {
 	case wire.MethodHeartbeat:
+		// Consecutive renewals coalesce into one counted milestone on the
+		// session's flight, so an idle hour reads as "lease-renewal ×120".
+		m.flight.Record(s.flight, flightrec.Event{Kind: flightrec.KindLease})
 		return nil, nil // the renewal above is the whole effect
 	case wire.MethodDeviceInfo:
 		return m.handleDeviceInfo()
@@ -605,6 +660,10 @@ func (m *Manager) handleHello(c *rpc.Conn, d *wire.Decoder) ([]byte, error) {
 	m.sessions[s.id] = s
 	m.mu.Unlock()
 	c.SetSession(s)
+	// Session-scoped milestones (cache probes, flash waits, lease
+	// renewals) attach to a synthetic per-session flight: they happen
+	// outside any task, before a trace can exist.
+	s.flight = m.flight.Begin(0, s.clientName)
 	m.log.Debug("session opened", "client", s.clientName, "session", s.id, "proto", int(s.proto))
 
 	var leaseMillis uint32
@@ -676,7 +735,15 @@ func (m *Manager) handleBuildProgram(s *session, d *wire.Decoder) ([]byte, error
 		Requester:   s.clientName,
 		Binary:      binary,
 	})
-	if err := ticket.Wait(context.Background()); err != nil {
+	m.flight.Record(s.flight, flightrec.Event{Kind: flightrec.KindFlashJoin, Detail: bitID})
+	waitStart := time.Now()
+	err = ticket.Wait(context.Background())
+	m.flight.Record(s.flight, flightrec.Event{
+		Kind: flightrec.KindFlashWait, Detail: bitID, Dur: time.Since(waitStart)})
+	if err != nil {
+		m.flight.Record(s.flight, flightrec.Event{
+			Kind: flightrec.KindFailure, Detail: "reconfiguration failed: " + err.Error()})
+		m.flight.MarkNotable(s.flight, "reconfiguration failed")
 		m.log.Error("board reconfiguration failed", "client", s.clientName, "bitstream", bitID, "err", err)
 		return nil, err
 	}
@@ -739,9 +806,18 @@ func (m *Manager) submit(t *task) error {
 		Deadline: t.deadline,
 		Payload:  t,
 	}
+	// Alloc, not Begin: the task's flight is admitted by the worker's
+	// CompleteWith in one locked pass; reserving the key costs one atomic.
+	t.flight = m.flight.Alloc(obs.TraceID(t.trace))
 	if err := m.queue.Push(it); err != nil {
-		return ocl.Errf(ocl.ErrDeviceNotAvailable, "manager shutting down")
+		serr := ocl.Errf(ocl.ErrDeviceNotAvailable, "manager shutting down")
+		m.flight.CompleteWith(t.flight, t.sess.clientName,
+			[]flightrec.Event{{Kind: flightrec.KindFailure, Detail: "enqueue: manager shutting down"}},
+			0, true, "manager shutting down")
+		return serr
 	}
+	// The enqueued milestone (with the post-Push queue snapshot) is
+	// recorded by the worker as part of the task's completion batch.
 	m.mQueueDepth.Set(float64(m.queue.Len()))
 	m.tenantMetric(t.sess.clientName).depth.Add(1)
 	return nil

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"blastfunction/internal/fpga"
+	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
 	"blastfunction/internal/rpc"
 	"blastfunction/internal/shm"
@@ -36,6 +37,10 @@ type session struct {
 	// Registry-propagated binding); zero means unweighted. Immutable after
 	// the handshake.
 	weight int
+	// flight keys the session's flight-recorder skeleton (synthetic:
+	// session-scoped milestones happen outside any traced task). Set once
+	// at Hello, before the connection serves requests.
+	flight obs.TraceID
 
 	mu       sync.Mutex
 	nextID   uint64

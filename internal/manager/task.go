@@ -1,8 +1,10 @@
 package manager
 
 import (
+	"fmt"
 	"time"
 
+	"blastfunction/internal/flightrec"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/model"
 	"blastfunction/internal/obs"
@@ -84,6 +86,19 @@ type task struct {
 	// frame (zero when untraced); span is the task's root span.
 	trace uint64
 	span  uint64
+	// flight keys the task's flight-recorder skeleton: the trace ID when
+	// sampled, a synthetic local key otherwise (assigned at submit).
+	flight obs.TraceID
+	// flightEvs accumulates the task's flight milestones lock-free while
+	// the worker runs it (backed by a per-worker scratch array); they are
+	// applied in one batch by CompleteWith at task completion so the
+	// always-on recorder costs one mutex acquisition per task, not one
+	// per milestone. Events carry their own timestamps, so the recorded
+	// timeline is unchanged.
+	flightEvs []flightrec.Event
+	// failCause is the first operation failure's message, carried to the
+	// flight's terminal milestone.
+	failCause string
 }
 
 // releaseOps returns the pooled inline write payloads of operations that
@@ -457,6 +472,9 @@ func (m *Manager) runTask(t *task) (failedTask bool) {
 			t.sess.sendFail(t.conn, t.ops[i].tag, err) // best effort: conn is likely closed
 		}
 		releaseOps(t.ops)
+		t.failCause = "session lease expired"
+		t.flightEvs = append(t.flightEvs, flightrec.Event{
+			Kind: flightrec.KindFailure, Detail: t.failCause, Time: time.Now()})
 		return true
 	}
 	m.mTasks.Inc()
@@ -475,10 +493,10 @@ func (m *Manager) runTask(t *task) (failedTask bool) {
 	}
 	failed := false
 	var abortErr error
-	var execStart time.Time
-	if t.trace != 0 {
-		execStart = time.Now()
-	}
+	// The flight recorder is always on, so stage clocks run whether or
+	// not the task was sampled (the recorder-overhead benchmark gates the
+	// cost of these reads at ≤2% of a live round trip).
+	execStart := time.Now()
 	for i := range t.ops {
 		o := &t.ops[i]
 		if failed {
@@ -495,10 +513,7 @@ func (m *Manager) runTask(t *task) (failedTask bool) {
 			continue
 		}
 		nb.add(&wire.OpNotification{Tag: o.tag, State: wire.OpRunning}, false)
-		var opStart time.Time
-		if o.trace != 0 {
-			opStart = time.Now()
-		}
+		opStart := time.Now()
 		n, ownData, err := m.runOp(t, o, cost, scale)
 		if o.trace != 0 {
 			// Per-op board execution, parented under the client's "call"
@@ -506,12 +521,22 @@ func (m *Manager) runTask(t *task) (failedTask bool) {
 			m.tracer.End(obs.TraceID(o.trace), m.tracer.NewSpan(), obs.SpanID(o.span),
 				"op", o.kind.String(), opStart)
 		}
+		if o.kind == opWrite {
+			// Device ingest time is the manager's share of the "upload"
+			// wait-breakdown stage (the client records its wire share).
+			opEnd := time.Now()
+			t.flightEvs = append(t.flightEvs, flightrec.Event{
+				Kind: flightrec.KindUpload, Dur: opEnd.Sub(opStart), Detail: "device-write", Time: opEnd})
+		}
 		m.mOps.Inc()
 		if n != nil {
 			taskDevice += time.Duration(n.DeviceNanos)
 		}
 		if err != nil {
 			failed, abortErr = true, err
+			t.failCause = o.kind.String() + ": " + err.Error()
+			t.flightEvs = append(t.flightEvs, flightrec.Event{
+				Kind: flightrec.KindFailure, Detail: t.failCause, Time: time.Now()})
 			m.log.Warn("task operation failed",
 				"client", t.sess.clientName, "op", o.kind.String(), "err", err,
 				"trace", obs.TraceID(t.trace))
@@ -529,15 +554,18 @@ func (m *Manager) runTask(t *task) (failedTask bool) {
 		m.tracer.End(obs.TraceID(t.trace), m.tracer.NewSpan(), obs.SpanID(t.span),
 			"execute", "", execStart)
 	}
-	var notifyStart time.Time
-	if t.trace != 0 {
-		notifyStart = time.Now()
-	}
+	notifyStart := time.Now()
+	t.flightEvs = append(t.flightEvs, flightrec.Event{
+		Kind: flightrec.KindExecute, Dur: notifyStart.Sub(execStart),
+		Detail: fmt.Sprintf("%d ops", len(t.ops)), Time: notifyStart})
 	nb.flush()
 	if t.trace != 0 {
 		m.tracer.End(obs.TraceID(t.trace), m.tracer.NewSpan(), obs.SpanID(t.span),
 			"notify", "", notifyStart)
 	}
+	notifyEnd := time.Now()
+	t.flightEvs = append(t.flightEvs, flightrec.Event{
+		Kind: flightrec.KindNotify, Dur: notifyEnd.Sub(notifyStart), Time: notifyEnd})
 	m.mTaskHist.Observe(taskDevice.Seconds())
 	tm := m.tenantMetric(t.sess.clientName)
 	tm.tasks.Inc()

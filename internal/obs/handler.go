@@ -9,7 +9,9 @@ import (
 
 // Handler serves the tracer's span ring as JSON at /debug/spans.
 // Query parameters: ?trace=<hex id> filters to one trace, ?n=<count>
-// keeps only the most recent n spans.
+// keeps only the most recent n spans. Trace queries additionally carry
+// an X-Spans-Evicted header when the ring has already overwritten part
+// of that trace, so clients can warn that the timeline is partial.
 func (t *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		spans := t.Spans()
@@ -26,6 +28,12 @@ func (t *Tracer) Handler() http.Handler {
 				}
 			}
 			spans = kept
+			if n, exact := t.EvictedFor(id); n > 0 {
+				w.Header().Set("X-Spans-Evicted", strconv.Itoa(n))
+				if !exact {
+					w.Header().Set("X-Spans-Evicted-Exact", "false")
+				}
+			}
 		}
 		ServeTail(w, r, spans)
 	})

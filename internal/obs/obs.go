@@ -143,11 +143,21 @@ type Tracer struct {
 	next int
 	full bool
 
+	// evicted counts ring overwrites per trace, so /debug/spans can tell
+	// a caller its timeline is partial instead of silently rendering
+	// gaps. Bounded: at capacity the map resets and evictedOther absorbs
+	// everything already counted.
+	evicted      map[TraceID]int
+	evictedOther int
+
 	reg    *metrics.Registry
 	labels metrics.Labels
 	hmu    sync.Mutex
 	hists  map[string]metrics.Histogram
 }
+
+// evictedCap bounds the per-trace eviction map.
+const evictedCap = 4096
 
 // New creates a Tracer.
 func New(cfg Config) *Tracer {
@@ -238,6 +248,19 @@ func (t *Tracer) Record(sp Span) {
 		sp.Component = t.component
 	}
 	t.mu.Lock()
+	if t.full {
+		if old := t.buf[t.next]; old.Trace != 0 {
+			if t.evicted == nil {
+				t.evicted = make(map[TraceID]int)
+			} else if len(t.evicted) >= evictedCap {
+				for _, n := range t.evicted {
+					t.evictedOther += n
+				}
+				t.evicted = make(map[TraceID]int)
+			}
+			t.evicted[old.Trace]++
+		}
+	}
 	t.buf[t.next] = sp
 	t.next = (t.next + 1) % len(t.buf)
 	if t.next == 0 {
@@ -295,6 +318,20 @@ func (t *Tracer) Spans() []Span {
 	}
 	out = append(out, t.buf[:t.next]...)
 	return out
+}
+
+// EvictedFor reports how many of a trace's spans the ring has already
+// overwritten. A second value of true means the count is exact; false
+// means the per-trace map overflowed at some point, so evictions counted
+// before the reset are no longer attributable — the trace MAY have lost
+// more spans than reported.
+func (t *Tracer) EvictedFor(trace TraceID) (int, bool) {
+	if t == nil {
+		return 0, true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted[trace], t.evictedOther == 0
 }
 
 // SpansFor returns the retained spans of one trace, oldest first.

@@ -181,3 +181,75 @@ func TestConcurrentRecordAndSnapshot(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+func TestEvictedForCountsAndHeader(t *testing.T) {
+	tr := New(Config{Component: "c", RingSize: 4})
+	for i := 0; i < 4; i++ {
+		tr.Record(Span{Trace: 7, ID: SpanID(i + 1), Stage: "call"})
+	}
+	// Two more records overwrite the two oldest trace-7 spans.
+	tr.Record(Span{Trace: 9, ID: 100, Stage: "call"})
+	tr.Record(Span{Trace: 9, ID: 101, Stage: "call"})
+	if n, exact := tr.EvictedFor(7); n != 2 || !exact {
+		t.Fatalf("EvictedFor(7) = %d, exact=%v; want 2, true", n, exact)
+	}
+	if n, exact := tr.EvictedFor(9); n != 0 || !exact {
+		t.Fatalf("EvictedFor(9) = %d, exact=%v; want 0, true", n, exact)
+	}
+
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		return rec
+	}
+	rec := get("/debug/spans?trace=0000000000000007")
+	if rec.Code != 200 {
+		t.Fatalf("trace query: code %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Spans-Evicted"); got != "2" {
+		t.Fatalf("X-Spans-Evicted = %q, want \"2\"", got)
+	}
+	if got := rec.Header().Get("X-Spans-Evicted-Exact"); got != "" {
+		t.Fatalf("X-Spans-Evicted-Exact = %q, want unset for an exact count", got)
+	}
+	var spans []Span
+	if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 || spans[0].ID != 3 || spans[1].ID != 4 {
+		t.Fatalf("surviving trace-7 spans = %v, want IDs 3,4", spans)
+	}
+	// A trace with no evictions carries no header at all.
+	if got := get("/debug/spans?trace=0000000000000009").Header().Get("X-Spans-Evicted"); got != "" {
+		t.Fatalf("X-Spans-Evicted on un-evicted trace = %q, want unset", got)
+	}
+}
+
+func TestEvictedMapOverflowTurnsInexact(t *testing.T) {
+	// A size-1 ring makes every record past the first an eviction of a
+	// distinct trace, so the per-trace map hits evictedCap quickly and
+	// resets into evictedOther — after which counts are lower bounds.
+	tr := New(Config{Component: "c", RingSize: 1})
+	for i := 1; i <= evictedCap+2; i++ {
+		tr.Record(Span{Trace: TraceID(i), ID: 1, Stage: "call"})
+	}
+	if _, exact := tr.EvictedFor(TraceID(1)); exact {
+		t.Fatal("EvictedFor stayed exact after the eviction map overflowed")
+	}
+	// The ring now holds trace evictedCap+2; one more record evicts it
+	// into the fresh post-reset map, so its count is 1 but inexact.
+	last := TraceID(evictedCap + 2)
+	tr.Record(Span{Trace: last + 1, ID: 1, Stage: "call"})
+	if n, exact := tr.EvictedFor(last); n != 1 || exact {
+		t.Fatalf("EvictedFor(last) = %d, exact=%v; want 1, false", n, exact)
+	}
+	rec := httptest.NewRecorder()
+	url := "/debug/spans?trace=" + last.String()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	if got := rec.Header().Get("X-Spans-Evicted"); got != "1" {
+		t.Fatalf("X-Spans-Evicted = %q, want \"1\"", got)
+	}
+	if got := rec.Header().Get("X-Spans-Evicted-Exact"); got != "false" {
+		t.Fatalf("X-Spans-Evicted-Exact = %q, want \"false\"", got)
+	}
+}

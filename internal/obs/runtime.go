@@ -228,6 +228,11 @@ func (p *ProfileCapture) Capture(tag string) ([]string, error) {
 	return paths, nil
 }
 
+// SanitizeTag keeps file names shell- and URL-safe — shared with the
+// flight recorder's explain-report capture so incident artifacts follow
+// one naming scheme.
+func SanitizeTag(tag string) string { return sanitizeTag(tag) }
+
 // sanitizeTag keeps file names shell- and URL-safe.
 func sanitizeTag(tag string) string {
 	if tag == "" {

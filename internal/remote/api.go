@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"blastfunction/internal/datacache"
+	"blastfunction/internal/flightrec"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/obs"
 	"blastfunction/internal/ocl"
@@ -306,27 +307,43 @@ type commandQueue struct {
 	trace     obs.TraceID // zero: task unsampled
 	taskSpan  obs.SpanID  // the task's root span
 	taskStart time.Time
+	// flightKey keys the current task's always-on flight-recorder skeleton:
+	// the sampled trace when one exists, a synthetic local key otherwise.
+	flightKey obs.TraceID
+	// flightEvs accumulates the current task's client-side flight
+	// milestones under q.mu; Flush hands them to the task's terminal
+	// event, whose completion notification applies them in one batched
+	// recorder call (one recorder-mutex acquisition per task — that mutex
+	// bounces between the application and connection goroutines).
+	flightEvs []flightrec.Event
 }
 
-// beginOp joins an operation to the current task's trace, deciding
-// sampling at the task's first operation. It returns the operation's
+// beginOp joins an operation to the current task's trace and flight,
+// deciding trace sampling at the task's first operation. It stamps the
+// event's flight identity (always on) and returns the operation's
 // trace/span identity and issue time — all zero when tracing is off or
 // the task is unsampled.
-func (q *commandQueue) beginOp() (trace obs.TraceID, span, parent obs.SpanID, issued time.Time) {
-	tr := q.ctx.mc.tracer
-	if tr == nil {
-		return 0, 0, 0, time.Time{}
-	}
+func (q *commandQueue) beginOp(ev *remoteEvent) (trace obs.TraceID, span, parent obs.SpanID, issued time.Time) {
+	mc := q.ctx.mc
+	tr := mc.tracer
 	q.mu.Lock()
 	if !q.traceLive {
 		q.traceLive = true
-		q.trace = tr.Sample()
-		if q.trace != 0 {
-			q.taskSpan = tr.NewSpan()
-			q.taskStart = time.Now()
+		q.taskStart = time.Now()
+		if tr != nil {
+			q.trace = tr.Sample()
+			if q.trace != 0 {
+				q.taskSpan = tr.NewSpan()
+			}
 		}
+		// First op of the task: reserve the flight key (sampled trace when
+		// one exists, synthetic otherwise). Alloc is one atomic — the
+		// flight itself is admitted by the terminal notification's
+		// CompleteWith, together with the batched milestones.
+		q.flightKey = mc.flight.Alloc(q.trace)
 	}
 	trace, parent = q.trace, q.taskSpan
+	ev.flight, ev.taskStart = q.flightKey, q.taskStart
 	q.mu.Unlock()
 	if trace == 0 {
 		return 0, 0, 0, time.Time{}
@@ -422,7 +439,7 @@ func (q *commandQueue) EnqueueWriteBuffer(b ocl.Buffer, blocking bool, offset in
 			}
 		}
 	}
-	trace, span, parent, issued := q.beginOp()
+	trace, span, parent, issued := q.beginOp(ev)
 	ev.trace, ev.span, ev.parent, ev.issued = trace, span, parent, issued
 	if trace != 0 && mc.traceWire() {
 		req.TraceID, req.SpanID = uint64(trace), uint64(span)
@@ -437,13 +454,20 @@ func (q *commandQueue) EnqueueWriteBuffer(b ocl.Buffer, blocking bool, offset in
 	head := e.Len()
 	req.EncodeTail(e)
 	buf := e.Bytes()
-	var sendStart time.Time
-	if trace != 0 {
-		sendStart = time.Now()
-	}
+	sendStart := time.Now()
 	err := mc.rpc.Send(wire.MethodEnqueueWrite, buf[:head], req.Data, buf[head:])
-	if err == nil && trace != 0 {
-		mc.tracer.End(trace, mc.tracer.NewSpan(), span, "send", "", sendStart)
+	if err == nil {
+		// The client side of the upload stage: wire-send of the payload
+		// (the manager's device-write is the other half). Joins the task's
+		// milestone batch rather than paying the recorder mutex here.
+		sendEnd := time.Now()
+		q.mu.Lock()
+		q.flightEvs = append(q.flightEvs, flightrec.Event{
+			Kind: flightrec.KindUpload, Dur: sendEnd.Sub(sendStart), Detail: "wire-send", Time: sendEnd})
+		q.mu.Unlock()
+		if trace != 0 {
+			mc.tracer.End(trace, mc.tracer.NewSpan(), span, "send", "", sendStart)
+		}
 	}
 	e.Release()
 	if err != nil {
@@ -495,7 +519,7 @@ func (q *commandQueue) EnqueueReadBuffer(b ocl.Buffer, blocking bool, offset int
 			ev.shmOff, ev.shmLen, ev.freeArena = off, int64(len(dst)), true
 		}
 	}
-	trace, span, parent, issued := q.beginOp()
+	trace, span, parent, issued := q.beginOp(ev)
 	ev.trace, ev.span, ev.parent, ev.issued = trace, span, parent, issued
 	if trace != 0 && mc.traceWire() {
 		req.TraceID, req.SpanID = uint64(trace), uint64(span)
@@ -577,7 +601,7 @@ func (q *commandQueue) EnqueueCopyBuffer(src, dst ocl.Buffer, srcOffset, dstOffs
 		DstOffset: int64(dstOffset),
 		Length:    int64(n),
 	}
-	trace, span, parent, issued := q.beginOp()
+	trace, span, parent, issued := q.beginOp(ev)
 	ev.trace, ev.span, ev.parent, ev.issued = trace, span, parent, issued
 	if trace != 0 && mc.traceWire() {
 		req.TraceID, req.SpanID = uint64(trace), uint64(span)
@@ -631,7 +655,7 @@ func (q *commandQueue) EnqueueNDRangeKernel(k ocl.Kernel, global, local []int, w
 		Global: toI64(global),
 		Local:  toI64(local),
 	}
-	trace, span, parent, issued := q.beginOp()
+	trace, span, parent, issued := q.beginOp(ev)
 	ev.trace, ev.span, ev.parent, ev.issued = trace, span, parent, issued
 	if trace != 0 && mc.traceWire() {
 		req.TraceID, req.SpanID = uint64(trace), uint64(span)
@@ -712,10 +736,22 @@ func (q *commandQueue) ensureFlushed(ev *remoteEvent) {
 func (q *commandQueue) Flush() error {
 	q.mu.Lock()
 	hadOps := len(q.unflushed) > 0
+	if hadOps {
+		// Sealing the task fixes its final operation: that op's terminal
+		// notification completes the flight (client-observed total) and
+		// applies the milestones batched on the queue. Safe to set here —
+		// the manager only executes flushed tasks, so the terminal
+		// notification cannot race this store.
+		last := q.unflushed[len(q.unflushed)-1]
+		last.flightEvs = q.flightEvs
+		q.flightEvs = nil
+		last.taskEnd.Store(true)
+	}
 	q.unflushed = q.unflushed[:0]
 	deadline := q.deadline
 	trace, taskSpan, taskStart := q.trace, q.taskSpan, q.taskStart
 	q.traceLive, q.trace, q.taskSpan = false, 0, 0
+	q.flightKey = 0
 	q.mu.Unlock()
 	if !hadOps {
 		return nil

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blastfunction/internal/flightrec"
 	"blastfunction/internal/logx"
 	"blastfunction/internal/model"
 	"blastfunction/internal/obs"
@@ -39,6 +40,12 @@ type managerConn struct {
 	tracer *obs.Tracer
 	// log records structured events; nil-safe.
 	log *logx.Logger
+	// flight is the Client's always-on flight recorder (nil-safe).
+	// connFlight is the connection's synthetic session flight: lease
+	// renewals and connection-level failures land there, task milestones
+	// on their own per-task flights.
+	flight     *flightrec.Recorder
+	connFlight obs.TraceID
 
 	// lease is the session lease the manager advertised at Hello (zero:
 	// leases disabled); stopBeat stops the heartbeat goroutine renewing it.
@@ -65,7 +72,8 @@ func dialManager(cfg *Config, addr string) (*managerConn, error) {
 		}
 	}
 	cl.CallTimeout = cfg.CallTimeout
-	mc := &managerConn{cfg: cfg, addr: addr, rpc: cl, mode: model.TransportGRPC, tracer: cfg.Tracer, log: cfg.Log}
+	mc := &managerConn{cfg: cfg, addr: addr, rpc: cl, mode: model.TransportGRPC, tracer: cfg.Tracer, log: cfg.Log, flight: cfg.flight}
+	mc.connFlight = mc.flight.Begin(0, cfg.ClientName)
 
 	// Hello: open the session. Not retried — a timed-out Hello may still
 	// have created a session on the manager, and retrying would leak it.
@@ -144,9 +152,14 @@ func (mc *managerConn) heartbeatLoop() {
 			body, err := mc.rpc.CallWithTimeout(wire.MethodHeartbeat, mc.lease/3)
 			wire.PutBuf(body)
 			if err != nil && (errors.Is(err, rpc.ErrManagerDown) || errors.Is(err, rpc.ErrClosed)) {
+				mc.flight.Record(mc.connFlight, flightrec.Event{
+					Kind: flightrec.KindFailure, Detail: "heartbeat stopped: manager connection down"})
 				mc.log.Warn("heartbeat stopped: manager connection down", "manager", mc.addr)
 				return
 			}
+			// Renewals coalesce into one counted milestone on the
+			// connection's flight.
+			mc.flight.Record(mc.connFlight, flightrec.Event{Kind: flightrec.KindLease})
 		}
 	}
 }
@@ -258,6 +271,7 @@ func (mc *managerConn) connectionThread() {
 	// against rpc.ErrManagerDown and trigger fail-over instead of treating
 	// it like an application error.
 	lost := 0
+	failedFlights := make(map[obs.TraceID]bool)
 	mc.pending.Range(func(k, v any) bool {
 		ev := v.(*remoteEvent)
 		lost++
@@ -267,12 +281,22 @@ func (mc *managerConn) connectionThread() {
 			mc.log.Warn("in-flight operation failed: connection lost",
 				"manager", mc.addr, "trace", ev.trace)
 		}
+		if ev.flight != 0 && !failedFlights[ev.flight] {
+			// One terminal milestone per task flight, not one per op.
+			failedFlights[ev.flight] = true
+			mc.flight.CompleteWith(ev.flight, mc.cfg.ClientName,
+				append(ev.flightEvs, flightrec.Event{Kind: flightrec.KindFailure, Detail: "connection to manager lost"}),
+				time.Since(ev.taskStart), true, "connection lost")
+		}
 		ev.Fail(ocl.ErrfCause(ocl.ErrDeviceNotAvailable, rpc.ErrManagerDown,
 			"connection to %s lost", mc.addr))
 		mc.pending.Delete(k)
 		return true
 	})
 	if lost > 0 {
+		mc.flight.Record(mc.connFlight, flightrec.Event{
+			Kind: flightrec.KindFailure, Detail: "connection lost with operations in flight"})
+		mc.flight.MarkNotable(mc.connFlight, "connection lost")
 		mc.log.Warn("connection to manager lost", "manager", mc.addr, "in_flight", lost)
 	}
 }
@@ -328,6 +352,19 @@ type remoteEvent struct {
 	parent obs.SpanID
 	issued time.Time
 
+	// Flight-recorder identity: flight keys the task's always-on milestone
+	// skeleton, taskStart anchors the client-observed total. taskEnd marks
+	// the task's final op (set by Flush on the application thread, read by
+	// the connection thread once the terminal notification arrives — which
+	// cannot precede the flush that sent the task). flightEvs rides on the
+	// terminal op: the task's client-side milestones, batched on the queue
+	// and applied by the completion in one recorder call (written before
+	// the taskEnd store, read after its load).
+	flight    obs.TraceID
+	taskStart time.Time
+	taskEnd   atomic.Bool
+	flightEvs []flightrec.Event
+
 	// Read completion plumbing.
 	dst       []byte // user destination for reads
 	shmOff    int64  // staging range for shm transfers
@@ -361,11 +398,27 @@ func (ev *remoteEvent) machine(mc *managerConn, n *wire.OpNotification) {
 		ev.SetDeviceTime(time.Duration(n.DeviceNanos))
 		ev.finishRead(mc, n)
 		ev.endCallSpan(mc, "")
+		if ev.taskEnd.Load() {
+			// Last op of the flush-formed task: the client-observed total is
+			// first enqueue through final completion, and the milestones the
+			// application goroutine batched on the queue land in the same
+			// recorder call.
+			mc.flight.CompleteWith(ev.flight, mc.cfg.ClientName, ev.flightEvs, time.Since(ev.taskStart), false, "")
+		}
 		ev.Complete()
 	case wire.OpFailed:
 		ev.releaseStaging(mc)
 		ev.endCallSpan(mc, "failed")
 		mc.log.Warn("operation failed", "manager", mc.addr, "error", n.Error, "trace", ev.trace)
+		if ev.taskEnd.Load() {
+			mc.flight.CompleteWith(ev.flight, mc.cfg.ClientName,
+				append(ev.flightEvs, flightrec.Event{Kind: flightrec.KindFailure, Detail: n.Error}),
+				time.Since(ev.taskStart), true, n.Error)
+		} else {
+			mc.flight.Record(ev.flight, flightrec.Event{
+				Kind: flightrec.KindFailure, Detail: n.Error})
+			mc.flight.MarkNotable(ev.flight, "operation failed")
+		}
 		ev.Fail(ocl.Errf(ocl.Status(n.Status), "%s", n.Error))
 	}
 }

@@ -126,6 +126,8 @@ func (q *queue) Push(it *Item) error {
 			}
 			it.Weight = q.effectiveWeight(it)
 			q.pol.push(it)
+			it.Depth = q.pol.len()
+			it.Pos = it.Depth
 			q.pushed++
 			tc := q.tenant(it.Tenant)
 			tc.depth++

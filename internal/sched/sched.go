@@ -75,6 +75,13 @@ type Item struct {
 	// Payload is the opaque task.
 	Payload any
 
+	// Depth and Pos are stamped at Push: the queue's total occupancy
+	// after admission and this item's arrival position within it. They
+	// feed the flight recorder's enqueue milestone so a postmortem can
+	// say "entered at position 7 of 7" without re-deriving queue state.
+	Depth int
+	Pos   int
+
 	// seq is the queue-assigned arrival number breaking all ties
 	// deterministically in submission order.
 	seq uint64

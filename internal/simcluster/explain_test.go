@@ -1,0 +1,261 @@
+package simcluster
+
+// End-to-end postmortem test: a real Remote Library <-> Device Manager
+// pair runs a transfer-heavy task under full trace sampling, then the
+// Explainer — pointed at both processes' debug endpoints exactly as
+// `blastctl explain` would be — must reconstruct the flight. The wait
+// breakdown has to account for the wall-clock latency the client
+// measured (within 5%), and the verdict must name the stage that was
+// engineered to dominate. A second test overflows a tiny span ring and
+// checks the explicit partial-timeline warning.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"blastfunction/internal/accel"
+	"blastfunction/internal/flightrec"
+	"blastfunction/internal/fpga"
+	"blastfunction/internal/logx"
+	"blastfunction/internal/manager"
+	"blastfunction/internal/model"
+	"blastfunction/internal/obs"
+	"blastfunction/internal/ocl"
+	"blastfunction/internal/remote"
+	"blastfunction/internal/rpc"
+)
+
+// explainServers mounts the two debug endpoints the Explainer reads from
+// each process. The remaining signals (logs, alerts, slo, flash) are
+// soft misses, as with a process that does not serve them.
+func explainServers(t *testing.T, mgr *manager.Manager, client *remote.Client, tracer *obs.Tracer) []string {
+	t.Helper()
+	mgrMux := http.NewServeMux()
+	mgrMux.Handle("/debug/flight", mgr.FlightHandler())
+	mgrMux.Handle("/debug/spans", mgr.SpanHandler())
+	mgrSrv := httptest.NewServer(mgrMux)
+	t.Cleanup(mgrSrv.Close)
+
+	libMux := http.NewServeMux()
+	libMux.Handle("/debug/flight", client.Flight().Handler())
+	libMux.Handle("/debug/spans", tracer.Handler())
+	libSrv := httptest.NewServer(libMux)
+	t.Cleanup(libSrv.Close)
+	return []string{mgrSrv.URL, libSrv.URL}
+}
+
+// waitComplete polls a recorder until the flight holds its terminal
+// milestone — completion is recorded by the client's event machine just
+// as Finish unblocks, so the test must not race it.
+func waitComplete(t *testing.T, rec *flightrec.Recorder, trace obs.TraceID) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if f, ok := rec.FlightFor(trace); ok {
+			for _, ev := range f.Events {
+				if ev.Kind == flightrec.KindComplete {
+					return
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("flight %s never recorded completion", trace)
+}
+
+func TestExplainEndToEnd(t *testing.T) {
+	rig := newSLORig(t) // 0.05 GB/s PCIe: a 4 MiB transfer sleeps ~80ms
+
+	tracer := obs.New(obs.Config{Component: "library", SampleRate: 1})
+	client, err := remote.Dial(remote.Config{
+		ClientName: "payments",
+		Managers:   []string{rig.addr},
+		Transport:  remote.TransportGRPC,
+		Tracer:     tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	cctx, q, k := openLoopback(t, client)
+
+	// Asymmetric copy task: a 4 KiB input makes the device write cheap,
+	// while reading the full 4 MiB output buffer keeps the modelled
+	// device->host transfer — part of the manager's execute loop — the
+	// dominant latency contributor by an order of magnitude.
+	const inBytes, outBytes = 4096, 4 << 20
+	in, err := cctx.CreateBuffer(ocl.MemReadOnly, inBytes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cctx.CreateBuffer(ocl.MemWriteOnly, outBytes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Release()
+	defer out.Release()
+	for i, arg := range []any{in, out, int32(inBytes)} {
+		if err := k.SetArg(i, arg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	if _, err := q.EnqueueWriteBuffer(in, false, 0, make([]byte, inBytes), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueTask(k, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, outBytes)
+	if _, err := q.EnqueueReadBuffer(out, false, 0, dst, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	measured := time.Since(start)
+
+	spans := tracer.Spans()
+	if len(spans) == 0 {
+		t.Fatal("sampled task left no client spans")
+	}
+	trace := spans[0].Trace
+	waitComplete(t, client.Flight(), trace)
+	waitComplete(t, rig.mgr.Flight(), trace)
+
+	ex := &flightrec.Explainer{Bases: explainServers(t, rig.mgr, client, tracer)}
+	pm, err := ex.Explain(trace)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+
+	// Both processes answered and both contributed a flight skeleton.
+	for _, src := range pm.Sources {
+		if src.Err != "" {
+			t.Fatalf("source %s unreachable: %s", src.Base, src.Err)
+		}
+		if src.Flights == 0 {
+			t.Fatalf("source %s (%s) contributed no flight", src.Base, src.Process)
+		}
+	}
+	if len(pm.Timeline) == 0 {
+		t.Fatal("postmortem has an empty timeline")
+	}
+
+	// The client-observed total must match what the client measured on
+	// its own clock: within 5%, per the acceptance bar.
+	if pm.Total <= 0 {
+		t.Fatalf("postmortem total %v, want > 0", pm.Total)
+	}
+	diff := measured - pm.Total
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.05*float64(measured) {
+		t.Fatalf("postmortem total %v vs measured %v: off by %v (> 5%%)", pm.Total, measured, diff)
+	}
+
+	// The stages plus the unattributed remainder are the breakdown of
+	// the total — so they too must sum to the measured latency within 5%.
+	var attributed time.Duration
+	for _, s := range pm.Stages {
+		attributed += s.Dur
+	}
+	sum := attributed + pm.Unattributed
+	if d := sum - measured; d > time.Duration(0.05*float64(measured)) || -d > time.Duration(0.05*float64(measured)) {
+		t.Fatalf("stage sum %v (+%v unattributed) vs measured %v: outside 5%%", attributed, pm.Unattributed, measured)
+	}
+
+	// Verdict: the 4 MiB device->host read dominates, and it lives in
+	// the execute stage.
+	if !strings.HasPrefix(pm.Verdict, "execute dominated") {
+		t.Fatalf("verdict %q, want execute dominated", pm.Verdict)
+	}
+	var execDur time.Duration
+	for _, s := range pm.Stages {
+		if s.Name == "execute" {
+			execDur = s.Dur
+		}
+	}
+	if float64(execDur) < 0.5*float64(pm.Total) {
+		t.Fatalf("execute stage %v is under half the %v total", execDur, pm.Total)
+	}
+
+	// No rings overflowed, so the rendered report must carry no partial
+	// warning — and must state the verdict.
+	var buf bytes.Buffer
+	pm.Render(&buf)
+	if strings.Contains(buf.String(), "WARNING") {
+		t.Fatalf("unexpected partial warning:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "verdict: execute dominated") {
+		t.Fatalf("rendered report lacks the verdict:\n%s", buf.String())
+	}
+}
+
+func TestExplainPartialSpanWarning(t *testing.T) {
+	// A manager with a tiny span ring: later tasks evict the first
+	// task's spans, and the postmortem must say so instead of silently
+	// rendering a gap-ridden timeline.
+	board := fpga.NewBoard(fpga.DE5aNet(model.WorkerNode()), accel.Catalog())
+	mgr := manager.New(manager.Config{Node: "evict", DeviceID: "evict-A", TraceRing: 8}, board)
+	srv := rpc.NewServer(mgr)
+	srv.Log = logx.NewLogf("rpc", t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); mgr.Close() }()
+
+	tracer := obs.New(obs.Config{Component: "library", SampleRate: 1})
+	client, err := remote.Dial(remote.Config{
+		ClientName: "payments",
+		Managers:   []string{addr},
+		Transport:  remote.TransportGRPC,
+		Tracer:     tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	cctx, q, k := openLoopback(t, client)
+
+	runCopyTask(t, cctx, q, k, 4096)
+	first := tracer.Spans()[0].Trace
+	waitComplete(t, client.Flight(), first)
+
+	// Each later task records several manager spans into the 8-slot
+	// ring; a dozen tasks guarantee the first trace has been evicted.
+	for i := 0; i < 12; i++ {
+		runCopyTask(t, cctx, q, k, 4096)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n, _ := mgr.Tracer().EvictedFor(first); n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("manager ring never evicted the first trace's spans")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ex := &flightrec.Explainer{Bases: explainServers(t, mgr, client, tracer)}
+	pm, err := ex.Explain(first)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if pm.SpansEvicted == 0 {
+		t.Fatal("postmortem reports no evicted spans after a forced overflow")
+	}
+	var buf bytes.Buffer
+	pm.Render(&buf)
+	if !strings.Contains(buf.String(), "spans evicted, timeline partial") {
+		t.Fatalf("rendered report lacks the partial warning:\n%s", buf.String())
+	}
+}
